@@ -1,0 +1,88 @@
+// Ablation benchmarks: design choices DESIGN.md calls out, measured the
+// same way as the main figures.
+//
+//   - BenchmarkAblationRBcastMode — §3.1's majority-relay optimization
+//     vs. the classical ≈n² reliable broadcast in the modular stack.
+//   - BenchmarkAblationWindow — the flow-control window (hence M, the
+//     batch size) around the paper's claim that M ≈ 4 "optimizes
+//     performance of both stacks".
+//   - BenchmarkAblationDispatchCost — sensitivity of the modularity gap
+//     to the per-dispatch (framework) cost, isolating how much of the
+//     overhead is event routing vs. extra network messages.
+package modab_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"modab/internal/engine"
+	"modab/internal/netsim"
+	"modab/internal/types"
+)
+
+// ablationPoint runs one simulated point with a custom engine config and
+// cost model.
+func ablationPoint(b *testing.B, stk types.Stack, cfg engine.Config, model netsim.CostModel) {
+	b.Helper()
+	var lat, thr, m float64
+	for i := 0; i < b.N; i++ {
+		lc, err := netsim.NewLoadedCluster(
+			netsim.Options{N: cfg.N, Stack: stk, Seed: 42 + int64(i), Engine: cfg, Model: model},
+			netsim.Workload{OfferedLoad: 4000, Size: 16384},
+			time.Second, 2*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lc.Run(4 * time.Second)
+		if errs := lc.Errs(); len(errs) > 0 {
+			b.Fatal(errs[0])
+		}
+		lat = lc.Recorder.MeanLatency() * 1e3
+		thr = lc.Recorder.Throughput()
+		m = lc.TotalCounters().AvgBatch()
+	}
+	b.ReportMetric(lat, "ms-latency")
+	b.ReportMetric(thr, "msgs/s")
+	b.ReportMetric(m, "M")
+}
+
+func BenchmarkAblationRBcastMode(b *testing.B) {
+	for _, classic := range []bool{false, true} {
+		name := "majority"
+		if classic {
+			name = "classic"
+		}
+		for _, n := range []int{3, 7} {
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				cfg := engine.DefaultConfig(n)
+				cfg.ClassicRBcast = classic
+				ablationPoint(b, types.Modular, cfg, netsim.DefaultModel())
+			})
+		}
+	}
+}
+
+func BenchmarkAblationWindow(b *testing.B) {
+	for _, stk := range []types.Stack{types.Modular, types.Monolithic} {
+		for _, window := range []int{1, 2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/window=%d", stk, window), func(b *testing.B) {
+				cfg := engine.DefaultConfig(3)
+				cfg.Window = window
+				ablationPoint(b, stk, cfg, netsim.DefaultModel())
+			})
+		}
+	}
+}
+
+func BenchmarkAblationDispatchCost(b *testing.B) {
+	for _, stk := range []types.Stack{types.Modular, types.Monolithic} {
+		for _, mult := range []int{0, 1, 4} {
+			b.Run(fmt.Sprintf("%s/dispatchx%d", stk, mult), func(b *testing.B) {
+				model := netsim.DefaultModel()
+				model.PerDispatch *= time.Duration(mult)
+				ablationPoint(b, stk, engine.DefaultConfig(3), model)
+			})
+		}
+	}
+}

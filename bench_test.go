@@ -1,0 +1,162 @@
+// Benchmarks regenerating the paper's evaluation (one per table/figure;
+// see EXPERIMENTS.md for the recorded series and cmd/abbench for the full
+// sweeps):
+//
+//	A1/A2 (§5.2)  BenchmarkAnalytical*   closed forms + simulated counters
+//	Figure 8      BenchmarkFig08*        early latency vs offered load
+//	Figure 9      BenchmarkFig09*        early latency vs message size
+//	Figure 10     BenchmarkFig10*        throughput vs offered load
+//	Figure 11     BenchmarkFig11*        throughput vs message size
+//
+// Each benchmark iteration simulates one measured point and reports the
+// paper's metric via b.ReportMetric (ms-latency or msgs/s), so `go test
+// -bench` prints the reproduced series shape directly.
+package modab_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"modab/internal/analytical"
+	"modab/internal/benchharness"
+	"modab/internal/netsim"
+	"modab/internal/types"
+)
+
+// benchOpts are deliberately short: benches report shape, cmd/abbench
+// produces the full-resolution figures.
+func benchOpts() benchharness.RunOptions {
+	return benchharness.RunOptions{
+		Warmup:      500 * time.Millisecond,
+		Measure:     1500 * time.Millisecond,
+		Repetitions: 1,
+		Seed:        42,
+	}
+}
+
+// benchPoint measures one configuration per iteration and reports the
+// relevant metrics.
+func benchPoint(b *testing.B, n int, stk types.Stack, load float64, size int) {
+	b.Helper()
+	var last benchharness.Point
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		opts.Seed += int64(i)
+		p, err := benchharness.RunPoint(n, stk, load, size, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = p
+	}
+	b.ReportMetric(last.LatencyMs, "ms-latency")
+	b.ReportMetric(last.Throughput, "msgs/s")
+	b.ReportMetric(last.M, "M")
+	b.ReportMetric(last.MsgsPerDec, "msgs/decision")
+}
+
+// --- A1/A2: §5.2 analytical model ---------------------------------------
+
+// BenchmarkAnalyticalMessageCounts evaluates the closed forms (A1) — and,
+// once per run, cross-checks them against simulated counters.
+func BenchmarkAnalyticalMessageCounts(b *testing.B) {
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{3, 7} {
+			sink += analytical.ModularMessages(n, 4) + analytical.MonolithicMessages(n)
+		}
+	}
+	if sink == 0 {
+		b.Fatal("unreachable")
+	}
+	b.ReportMetric(float64(analytical.ModularMessages(3, 4)), "modular-n3")
+	b.ReportMetric(float64(analytical.MonolithicMessages(3)), "mono-n3")
+	b.ReportMetric(float64(analytical.ModularMessages(7, 4)), "modular-n7")
+	b.ReportMetric(float64(analytical.MonolithicMessages(7)), "mono-n7")
+}
+
+// BenchmarkAnalyticalDataVolume evaluates A2 and reports the modularity
+// overhead ratios the paper quotes (50% at n=3, 75% at n=7).
+func BenchmarkAnalyticalDataVolume(b *testing.B) {
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{3, 7} {
+			sink += analytical.ModularData(n, 4, 16384) + analytical.MonolithicData(n, 4, 16384)
+		}
+	}
+	if sink == 0 {
+		b.Fatal("unreachable")
+	}
+	b.ReportMetric(analytical.Overhead(3)*100, "overhead%-n3")
+	b.ReportMetric(analytical.Overhead(7)*100, "overhead%-n7")
+}
+
+// --- Figures 8 and 10: load sweeps at 16384 bytes ------------------------
+
+func BenchmarkFig08LatencyVsLoad(b *testing.B) {
+	for _, n := range []int{3, 7} {
+		for _, stk := range []types.Stack{types.Monolithic, types.Modular} {
+			for _, load := range []float64{500, 2000, 7000} {
+				b.Run(fmt.Sprintf("n=%d/%s/load=%.0f", n, stk, load), func(b *testing.B) {
+					benchPoint(b, n, stk, load, 16384)
+				})
+			}
+		}
+	}
+}
+
+func BenchmarkFig10ThroughputVsLoad(b *testing.B) {
+	for _, n := range []int{3, 7} {
+		for _, stk := range []types.Stack{types.Monolithic, types.Modular} {
+			for _, load := range []float64{500, 2000, 7000} {
+				b.Run(fmt.Sprintf("n=%d/%s/load=%.0f", n, stk, load), func(b *testing.B) {
+					benchPoint(b, n, stk, load, 16384)
+				})
+			}
+		}
+	}
+}
+
+// --- Figures 9 and 11: size sweeps at 2000 msgs/s ------------------------
+
+func BenchmarkFig09LatencyVsSize(b *testing.B) {
+	for _, n := range []int{3, 7} {
+		for _, stk := range []types.Stack{types.Monolithic, types.Modular} {
+			for _, size := range []int{64, 1024, 16384, 32768} {
+				b.Run(fmt.Sprintf("n=%d/%s/size=%d", n, stk, size), func(b *testing.B) {
+					benchPoint(b, n, stk, 2000, size)
+				})
+			}
+		}
+	}
+}
+
+func BenchmarkFig11ThroughputVsSize(b *testing.B) {
+	for _, n := range []int{3, 7} {
+		for _, stk := range []types.Stack{types.Monolithic, types.Modular} {
+			for _, size := range []int{64, 1024, 16384, 32768} {
+				b.Run(fmt.Sprintf("n=%d/%s/size=%d", n, stk, size), func(b *testing.B) {
+					benchPoint(b, n, stk, 2000, size)
+				})
+			}
+		}
+	}
+}
+
+// --- Microbenchmarks: the mechanisms under the figures -------------------
+
+// BenchmarkSimThroughput measures simulator event-processing speed (wall
+// time per simulated second under saturation) — the cost of regenerating
+// the figures themselves.
+func BenchmarkSimThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lc, err := netsim.NewLoadedCluster(
+			netsim.Options{N: 3, Stack: types.Monolithic, Seed: int64(i)},
+			netsim.Workload{OfferedLoad: 2000, Size: 16384},
+			200*time.Millisecond, 800*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lc.Run(time.Second)
+	}
+}

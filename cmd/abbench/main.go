@@ -1,0 +1,73 @@
+// Command abbench regenerates the evaluation of "On the Cost of
+// Modularity in Atomic Broadcast" (DSN 2007): Figures 8-11 as parameter
+// sweeps over the deterministic simulator, plus the §5.2 analytical
+// tables.
+//
+// Usage:
+//
+//	abbench -fig all                # every figure (several minutes)
+//	abbench -fig 8                  # one figure
+//	abbench -analytical             # §5.2 closed-form tables only
+//	abbench -fig 10 -reps 5 -measure 8s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"modab/internal/benchharness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "abbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig        = flag.String("fig", "all", `figure to regenerate: "8", "9", "10", "11" or "all"`)
+		analytical = flag.Bool("analytical", false, "print the §5.2 analytical tables and exit")
+		reps       = flag.Int("reps", 3, "repetitions per point (95% CIs are computed across them)")
+		warmup     = flag.Duration("warmup", 2*time.Second, "virtual warm-up before measuring")
+		measure    = flag.Duration("measure", 4*time.Second, "virtual measurement window")
+		seed       = flag.Int64("seed", 42, "base simulation seed")
+	)
+	flag.Parse()
+
+	if *analytical {
+		benchharness.RenderAnalytical(os.Stdout, 4, 16384)
+		return nil
+	}
+
+	opts := benchharness.RunOptions{
+		Warmup:      *warmup,
+		Measure:     *measure,
+		Repetitions: *reps,
+		Seed:        *seed,
+	}
+	type gen func(benchharness.RunOptions) (benchharness.Figure, error)
+	figures := map[string]gen{
+		"8":  benchharness.Fig8,
+		"9":  benchharness.Fig9,
+		"10": benchharness.Fig10,
+		"11": benchharness.Fig11,
+	}
+	order := []string{"8", "9", "10", "11"}
+
+	benchharness.RenderAnalytical(os.Stdout, 4, 16384)
+	for _, id := range order {
+		if *fig != "all" && *fig != id {
+			continue
+		}
+		f, err := figures[id](opts)
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", id, err)
+		}
+		benchharness.Render(os.Stdout, f)
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+// Command abnode runs one process of an atomic broadcast group over real
+// TCP — the deployment shape of the paper's testbed. Start n copies (on
+// one machine or several), give each the same -peers list and its own
+// -id, and they form a group.
+//
+// Example (three processes on one machine):
+//
+//	abnode -id 0 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -stack monolithic -rate 100 -size 1024
+//	abnode -id 1 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -stack monolithic -rate 100 -size 1024
+//	abnode -id 2 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -stack monolithic -rate 100 -size 1024
+//
+// Each process abcasts -size byte messages at -rate msgs/s for -dur, then
+// reports its measured throughput, latency of its own messages, and the
+// group-visible counters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"modab/internal/core"
+	"modab/internal/engine"
+	"modab/internal/stats"
+	"modab/internal/types"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "abnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id       = flag.Int("id", -1, "this process's ID (0-based index into -peers)")
+		peers    = flag.String("peers", "", "comma-separated listen addresses, indexed by ID")
+		stackArg = flag.String("stack", "modular", `implementation: "modular" or "monolithic"`)
+		rate     = flag.Float64("rate", 50, "abcast rate of this process (msgs/s); 0 = listen only")
+		size     = flag.Int("size", 1024, "payload size (bytes)")
+		dur      = flag.Duration("dur", 10*time.Second, "injection duration")
+		quiet    = flag.Bool("quiet", false, "suppress per-delivery output")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*peers, ",")
+	if *peers == "" || len(addrs) < 1 {
+		return fmt.Errorf("-peers required (comma-separated addresses)")
+	}
+	if *id < 0 || *id >= len(addrs) {
+		return fmt.Errorf("-id must index into -peers (got %d of %d)", *id, len(addrs))
+	}
+	var stk types.Stack
+	switch *stackArg {
+	case "modular":
+		stk = types.Modular
+	case "monolithic":
+		stk = types.Monolithic
+	default:
+		return fmt.Errorf("unknown -stack %q", *stackArg)
+	}
+
+	self := types.ProcessID(*id)
+	var (
+		mu        sync.Mutex
+		delivered int
+		t0s       = map[types.MsgID]time.Time{}
+		lat       stats.Series
+	)
+	node, err := core.NewTCPNode(core.TCPNodeOptions{
+		Self:  self,
+		Addrs: addrs,
+		Stack: stk,
+		OnDeliver: func(d engine.Delivery) {
+			mu.Lock()
+			delivered++
+			if t0, ok := t0s[d.Msg.ID]; ok {
+				lat.Add(time.Since(t0).Seconds())
+				delete(t0s, d.Msg.ID)
+			}
+			count := delivered
+			mu.Unlock()
+			if !*quiet && count%100 == 0 {
+				fmt.Printf("%s delivered %d messages (last: %s in instance %d)\n",
+					self, count, d.Msg.ID, d.Instance)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	fmt.Printf("%s up as %s of %d peers, stack=%s\n", self, self, len(addrs), stk)
+
+	// Give peers a moment to come up before injecting.
+	time.Sleep(time.Second)
+
+	start := time.Now()
+	sent := 0
+	if *rate > 0 {
+		interval := time.Duration(float64(time.Second) / *rate)
+		body := make([]byte, *size)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for time.Since(start) < *dur {
+			<-ticker.C
+			submit := time.Now()
+			msgID, err := node.AbcastBlocking(body)
+			if err != nil {
+				return fmt.Errorf("abcast: %w", err)
+			}
+			mu.Lock()
+			t0s[msgID] = submit
+			mu.Unlock()
+			sent++
+		}
+	} else {
+		time.Sleep(*dur)
+	}
+
+	// Drain: wait for our own messages to come back.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		outstanding := len(t0s)
+		mu.Unlock()
+		if outstanding == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	elapsed := time.Since(start).Seconds()
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("\n%s summary: sent=%d delivered=%d (%.1f msgs/s)\n",
+		self, sent, delivered, float64(delivered)/elapsed)
+	if lat.N() > 0 {
+		fmt.Printf("own-message latency: mean=%.2fms p50=%.2fms p99=%.2fms (n=%d)\n",
+			lat.Mean()*1e3, lat.Median()*1e3, lat.Percentile(99)*1e3, lat.N())
+	}
+	fmt.Printf("counters: %s\n", node.Counters())
+	return nil
+}

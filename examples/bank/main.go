@@ -1,0 +1,146 @@
+// Replicated bank: total order as a correctness tool.
+//
+// Accounts are replicated on every process; transfers are abcast and
+// applied in delivery order. A transfer only succeeds if the source
+// balance covers it — a decision that every replica must make
+// identically, which requires every replica to see the same transfer
+// order. The example ends by checking that all replicas agree on every
+// balance and that money was neither created nor destroyed.
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"modab"
+)
+
+const (
+	accounts       = 8
+	initialBalance = 1000
+	n              = 3
+	clientsPerNode = 2
+	transfersEach  = 30
+)
+
+// transfer is the replicated command.
+type transfer struct {
+	From, To, Amount int
+}
+
+// bank is one replica's ledger.
+type bank struct {
+	mu       sync.Mutex
+	balance  [accounts]int
+	applied  int
+	rejected int
+}
+
+func newBank() *bank {
+	b := &bank{}
+	for i := range b.balance {
+		b.balance[i] = initialBalance
+	}
+	return b
+}
+
+// apply executes one transfer deterministically: rejected if underfunded.
+func (b *bank) apply(t transfer) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.applied++
+	if t.From == t.To || t.Amount <= 0 || b.balance[t.From] < t.Amount {
+		b.rejected++
+		return
+	}
+	b.balance[t.From] -= t.Amount
+	b.balance[t.To] += t.Amount
+}
+
+func (b *bank) snapshot() ([accounts]int, int, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.balance, b.applied, b.rejected
+}
+
+func main() {
+	replicas := make([]*bank, n)
+	for i := range replicas {
+		replicas[i] = newBank()
+	}
+
+	group, err := modab.NewLocalGroup(n, modab.Modular, func(p modab.ProcessID, d modab.Delivery) {
+		var t transfer
+		if err := json.Unmarshal(d.Msg.Body, &t); err == nil {
+			replicas[p].apply(t)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer group.Close()
+
+	total := n * clientsPerNode * transfersEach
+	var wg sync.WaitGroup
+	for node := 0; node < n; node++ {
+		for c := 0; c < clientsPerNode; c++ {
+			wg.Add(1)
+			go func(node, c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(node*100 + c)))
+				for i := 0; i < transfersEach; i++ {
+					t := transfer{
+						From:   rng.Intn(accounts),
+						To:     rng.Intn(accounts),
+						Amount: 1 + rng.Intn(400),
+					}
+					body, _ := json.Marshal(t)
+					if _, err := group.Abcast(node, body); err != nil {
+						log.Printf("abcast: %v", err)
+						return
+					}
+				}
+			}(node, c)
+		}
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		done := true
+		for _, r := range replicas {
+			if _, applied, _ := r.snapshot(); applied < total {
+				done = false
+			}
+		}
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	ref, _, _ := replicas[0].snapshot()
+	consistent := true
+	for i, r := range replicas {
+		bal, applied, rejected := r.snapshot()
+		sum := 0
+		for _, v := range bal {
+			sum += v
+		}
+		fmt.Printf("replica %d: applied=%d rejected=%d total-money=%d\n", i+1, applied, rejected, sum)
+		if bal != ref {
+			consistent = false
+		}
+		if sum != accounts*initialBalance {
+			fmt.Printf("  MONEY LEAK on replica %d!\n", i+1)
+		}
+	}
+	fmt.Printf("balances identical on all replicas: %v\n", consistent)
+	fmt.Printf("final balances: %v\n", ref)
+}

@@ -1,0 +1,86 @@
+// Quickstart: a three-process atomic broadcast group in one OS process.
+//
+// Three processes concurrently abcast greetings; every process adelivers
+// exactly the same sequence, demonstrating uniform total order — the
+// property that makes atomic broadcast the standard tool for replication.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"modab"
+)
+
+func main() {
+	const n = 3
+	var (
+		mu     sync.Mutex
+		orders = make([][]string, n)
+	)
+
+	group, err := modab.NewLocalGroup(n, modab.Modular, func(p modab.ProcessID, d modab.Delivery) {
+		mu.Lock()
+		orders[p] = append(orders[p], fmt.Sprintf("%s:%q", d.Msg.ID, d.Msg.Body))
+		mu.Unlock()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer group.Close()
+
+	// Every process broadcasts concurrently — arrival order at each
+	// process's network is arbitrary, the delivery order is not.
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 1; i <= 3; i++ {
+				msg := fmt.Sprintf("hello %d from p%d", i, p+1)
+				if _, err := group.Abcast(p, []byte(msg)); err != nil {
+					log.Printf("abcast: %v", err)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	// Wait until everyone delivered all nine messages.
+	waitFor(func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, o := range orders {
+			if len(o) < n*3 {
+				return false
+			}
+		}
+		return true
+	})
+
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Println("delivery order at each process:")
+	for p, o := range orders {
+		fmt.Printf("  p%d: %v\n", p+1, o)
+	}
+	same := true
+	for p := 1; p < n; p++ {
+		for i := range orders[0] {
+			if orders[p][i] != orders[0][i] {
+				same = false
+			}
+		}
+	}
+	fmt.Printf("identical total order at all processes: %v\n", same)
+}
+
+func waitFor(cond func() bool) {
+	for !cond() {
+		time.Sleep(5 * time.Millisecond)
+	}
+}

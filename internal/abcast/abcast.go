@@ -1,0 +1,347 @@
+// Package abcast implements the atomic broadcast microprotocol of the
+// modular stack: the Chandra–Toueg reduction of atomic broadcast to
+// consensus (paper §3.3).
+//
+// An abcast message is first diffused to every process over the
+// quasi-reliable channels (the paper's optimization over rbcast
+// diffusion), collected into the pending set, and then ordered by a
+// sequence of consensus instances: each instance decides a batch of
+// pending messages, which every process adelivers in a deterministic
+// order. Consensus instances are black boxes here — this layer cannot see
+// the coordinator's identity, cannot piggyback payloads on consensus
+// messages, and cannot merge a decision with the next proposal. Those are
+// exactly the optimizations reserved to the monolithic stack (§4).
+//
+// Correctness outside good runs: if a sender crashes mid-diffusion, the
+// survivors holding the message re-diffuse it after observing consensus
+// instances that failed to order it (driven by the idle-kick timer and by
+// decision processing), so the coordinator eventually proposes it. This
+// implements the guarantee the paper obtains with its "start a consensus
+// after t seconds of silence" rule.
+package abcast
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"modab/internal/engine"
+	"modab/internal/flow"
+	"modab/internal/stack"
+	"modab/internal/types"
+	"modab/internal/wire"
+)
+
+// timerKick is the layer-local idle/retry timer.
+const timerKick engine.TimerID = 1
+
+// rediffuseGrace is how many decided instances a pending message may miss
+// before the holder re-diffuses it. It must sit comfortably above the
+// flow-control backlog divided by M (the natural number of instances a
+// message waits under saturation, 2-3) so the recovery path never fires in
+// good runs.
+const rediffuseGrace = 8
+
+// Layer is the atomic broadcast microprotocol.
+type Layer struct {
+	ctx *stack.Context
+	cfg engine.Config
+
+	self types.ProcessID
+	n    int
+	fc   *flow.Controller
+
+	// pending maps unordered known messages to their content; epoch
+	// records the next-to-decide instance at insertion time, for staleness
+	// detection.
+	pending map[types.MsgID]pendingMsg
+	// delivered deduplicates adelivered messages per sender.
+	delivered map[types.ProcessID]*dedup
+	// nextDecide is the lowest instance not yet processed locally.
+	nextDecide uint64
+	// myProposed is the highest instance this process proposed.
+	myProposed uint64
+	// decisionsBuf holds out-of-order decisions until their turn.
+	decisionsBuf map[uint64]wire.Batch
+	// lastProgress is when the last decision was processed or consensus
+	// started (guards the kick timer against firing during healthy load).
+	lastProgress time.Duration
+}
+
+var _ stack.Layer = (*Layer)(nil)
+
+// pendingMsg is one unordered message with its staleness epoch.
+type pendingMsg struct {
+	msg   wire.AppMsg
+	epoch uint64
+}
+
+// New returns an atomic broadcast layer with the given configuration.
+func New(cfg engine.Config) *Layer {
+	return &Layer{cfg: cfg}
+}
+
+// Tag implements stack.Layer.
+func (l *Layer) Tag() stack.Tag { return stack.TagABcast }
+
+// Init implements stack.Layer.
+func (l *Layer) Init(ctx *stack.Context) {
+	l.ctx = ctx
+	l.self = ctx.Env().Self()
+	l.n = ctx.Env().N()
+	l.fc = flow.NewController(l.self, l.cfg.Window)
+	l.pending = make(map[types.MsgID]pendingMsg)
+	l.delivered = make(map[types.ProcessID]*dedup, l.n)
+	l.decisionsBuf = make(map[uint64]wire.Batch)
+	l.nextDecide = 1
+}
+
+// Start implements stack.Layer.
+func (l *Layer) Start() {
+	l.armKick()
+}
+
+// Pending returns the number of known, unordered messages (diagnostics).
+func (l *Layer) Pending() int { return len(l.pending) }
+
+// InFlight returns the number of local messages held by flow control.
+func (l *Layer) InFlight() int { return l.fc.InFlight() }
+
+// Abcast submits one application payload: admit through flow control,
+// diffuse to all processes, and order via consensus.
+func (l *Layer) Abcast(body []byte) (types.MsgID, error) {
+	id, err := l.fc.Admit()
+	if err != nil {
+		return types.MsgID{}, err
+	}
+	msg := wire.AppMsg{ID: id, Body: body}
+	l.pending[id] = pendingMsg{msg: msg, epoch: l.nextDecide}
+	c := l.ctx.Env().Counters()
+	c.ABCast.Add(1)
+	c.Dispatches.Add(1) // application downcall into the stack
+	c.PayloadBytesSent.Add(int64(len(body) * (l.n - 1)))
+	l.ctx.NetSendAll(marshalDiffuse(msg))
+	l.maybeStartConsensus()
+	l.armKick()
+	return id, nil
+}
+
+// Receive implements stack.Layer: a diffused message from a peer.
+func (l *Layer) Receive(from types.ProcessID, data []byte) error {
+	msg, err := unmarshalDiffuse(data)
+	if err != nil {
+		return fmt.Errorf("abcast: bad diffuse from %s: %w", from, err)
+	}
+	if l.isDelivered(msg.ID) {
+		return nil
+	}
+	if _, known := l.pending[msg.ID]; !known {
+		l.pending[msg.ID] = pendingMsg{msg: msg, epoch: l.nextDecide}
+	}
+	l.armKick()
+	l.maybeStartConsensus()
+	return nil
+}
+
+// maybeStartConsensus proposes the current pending set for the next
+// undecided instance, unless a proposal of ours is still in flight.
+func (l *Layer) maybeStartConsensus() {
+	if l.myProposed >= l.nextDecide {
+		return // consensus running
+	}
+	if len(l.pending) == 0 {
+		return
+	}
+	batch := l.pendingBatch()
+	l.myProposed = l.nextDecide
+	l.lastProgress = l.ctx.Env().Now()
+	l.ctx.Emit(stack.TagConsensus, stack.Event{
+		Kind:     stack.EvProposeReq,
+		Instance: l.nextDecide,
+		Batch:    batch,
+	})
+}
+
+// pendingBatch snapshots the pending set as a deterministic, optionally
+// capped batch.
+func (l *Layer) pendingBatch() wire.Batch {
+	batch := make(wire.Batch, 0, len(l.pending))
+	for _, p := range l.pending {
+		batch = append(batch, p.msg)
+	}
+	batch.SortDeterministic()
+	if l.cfg.MaxBatch > 0 && len(batch) > l.cfg.MaxBatch {
+		batch = batch[:l.cfg.MaxBatch]
+	}
+	return batch
+}
+
+// Event implements stack.Layer: consensus decisions arrive here, possibly
+// out of instance order.
+func (l *Layer) Event(ev stack.Event) {
+	if ev.Kind != stack.EvDecide {
+		return
+	}
+	if ev.Instance < l.nextDecide {
+		return // duplicate decision for an already-processed instance
+	}
+	l.decisionsBuf[ev.Instance] = ev.Batch
+	for {
+		batch, ok := l.decisionsBuf[l.nextDecide]
+		if !ok {
+			break
+		}
+		delete(l.decisionsBuf, l.nextDecide)
+		l.processDecision(l.nextDecide, batch)
+		l.nextDecide++
+	}
+	l.maybeStartConsensus()
+	l.armKick()
+}
+
+// processDecision adelivers a decided batch in deterministic order,
+// releases flow-control slots, and re-diffuses stale survivors.
+func (l *Layer) processDecision(k uint64, batch wire.Batch) {
+	l.lastProgress = l.ctx.Env().Now()
+	ordered := make(wire.Batch, len(batch))
+	copy(ordered, batch)
+	ordered.SortDeterministic()
+	c := l.ctx.Env().Counters()
+	for _, m := range ordered {
+		delete(l.pending, m.ID)
+		if l.isDelivered(m.ID) {
+			continue
+		}
+		l.markDelivered(m.ID)
+		c.ADeliver.Add(1)
+		l.ctx.Env().Deliver(engine.Delivery{Msg: m, Instance: k})
+		if err := l.fc.Delivered(m.ID); err != nil {
+			// Duplicate releases indicate a protocol bug; surface loudly
+			// in tests via the counters rather than corrupting state.
+			c.Retransmissions.Add(1)
+		}
+	}
+	// Survivor re-diffusion: a pending message that predates several
+	// decided instances was missed by the coordinator — the only causes
+	// are a sender crash mid-diffusion or extreme reordering. Re-diffuse
+	// so the next proposal includes it.
+	for _, id := range l.sortedPendingIDs() {
+		p := l.pending[id]
+		if k >= p.epoch && k-p.epoch >= rediffuseGrace {
+			p.epoch = l.nextDecide + 1
+			l.pending[id] = p
+			c.Retransmissions.Add(int64(l.n - 1))
+			c.PayloadBytesSent.Add(int64(len(p.msg.Body) * (l.n - 1)))
+			l.ctx.NetSendAll(marshalDiffuse(p.msg))
+		}
+	}
+}
+
+// Timer implements stack.Layer: the idle kick. If nothing has progressed
+// for the configured period and messages are still pending, retry the
+// proposal (and let processDecision's staleness rule re-diffuse).
+func (l *Layer) Timer(id engine.TimerID) {
+	if id != timerKick || l.cfg.IdleKick <= 0 {
+		return
+	}
+	now := l.ctx.Env().Now()
+	if len(l.pending) > 0 && now-l.lastProgress >= l.cfg.IdleKick {
+		// Stalled: re-diffuse everything still pending so the round-1
+		// coordinator certainly learns of it, then (re)propose.
+		c := l.ctx.Env().Counters()
+		for _, mid := range l.sortedPendingIDs() {
+			p := l.pending[mid]
+			p.epoch = l.nextDecide + 1
+			l.pending[mid] = p
+			c.Retransmissions.Add(int64(l.n - 1))
+			c.PayloadBytesSent.Add(int64(len(p.msg.Body) * (l.n - 1)))
+			l.ctx.NetSendAll(marshalDiffuse(p.msg))
+		}
+		l.maybeStartConsensus()
+	}
+	if len(l.pending) > 0 {
+		l.armKick()
+	}
+}
+
+// armKick (re-)arms the idle timer when there is anything to watch over.
+func (l *Layer) armKick() {
+	if l.cfg.IdleKick <= 0 {
+		return
+	}
+	if len(l.pending) > 0 || l.fc.InFlight() > 0 {
+		l.ctx.SetTimer(timerKick, l.cfg.IdleKick)
+	}
+}
+
+// Suspect implements stack.Layer; the reduction itself ignores the failure
+// detector (consensus consumes it).
+func (l *Layer) Suspect(types.ProcessID, bool) {}
+
+// Diffuse wire format: one AppMsg.
+func marshalDiffuse(m wire.AppMsg) []byte {
+	w := wire.NewWriter(m.WireSize())
+	m.Marshal(w)
+	return w.Bytes()
+}
+
+func unmarshalDiffuse(data []byte) (wire.AppMsg, error) {
+	r := wire.NewReader(data)
+	m := wire.UnmarshalAppMsg(r)
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		return wire.AppMsg{}, err
+	}
+	return m, nil
+}
+
+// sortedPendingIDs returns the pending message IDs in deterministic order
+// (iteration-driven sends must be reproducible under simulation).
+func (l *Layer) sortedPendingIDs() []types.MsgID {
+	ids := make([]types.MsgID, 0, len(l.pending))
+	for id := range l.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	return ids
+}
+
+// dedup suppresses duplicate deliveries per sender with a contiguous
+// watermark plus sparse set (bounded memory on long runs).
+type dedup struct {
+	watermark uint64
+	sparse    map[uint64]struct{}
+}
+
+func (l *Layer) dedupFor(sender types.ProcessID) *dedup {
+	d := l.delivered[sender]
+	if d == nil {
+		d = &dedup{sparse: make(map[uint64]struct{})}
+		l.delivered[sender] = d
+	}
+	return d
+}
+
+func (l *Layer) isDelivered(id types.MsgID) bool {
+	d := l.dedupFor(id.Sender)
+	if id.Seq <= d.watermark {
+		return true
+	}
+	_, ok := d.sparse[id.Seq]
+	return ok
+}
+
+func (l *Layer) markDelivered(id types.MsgID) {
+	d := l.dedupFor(id.Sender)
+	if id.Seq <= d.watermark {
+		return
+	}
+	d.sparse[id.Seq] = struct{}{}
+	for {
+		if _, ok := d.sparse[d.watermark+1]; !ok {
+			break
+		}
+		delete(d.sparse, d.watermark+1)
+		d.watermark++
+	}
+}

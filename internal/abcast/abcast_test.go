@@ -1,0 +1,245 @@
+package abcast
+
+import (
+	"testing"
+	"time"
+
+	"modab/internal/engine"
+	"modab/internal/enginetest"
+	"modab/internal/stack"
+	"modab/internal/types"
+	"modab/internal/wire"
+)
+
+// consensusStub records proposals and lets the test inject decisions.
+type consensusStub struct {
+	ctx       *stack.Context
+	proposals map[uint64]wire.Batch
+}
+
+var _ stack.Layer = (*consensusStub)(nil)
+
+func (c *consensusStub) Tag() stack.Tag        { return stack.TagConsensus }
+func (c *consensusStub) Init(x *stack.Context) { c.ctx = x }
+func (c *consensusStub) Start()                {}
+func (c *consensusStub) Event(ev stack.Event) {
+	if ev.Kind == stack.EvProposeReq {
+		c.proposals[ev.Instance] = ev.Batch
+	}
+}
+func (c *consensusStub) Receive(types.ProcessID, []byte) error { return nil }
+func (c *consensusStub) Timer(engine.TimerID)                  {}
+func (c *consensusStub) Suspect(types.ProcessID, bool)         {}
+
+// decide injects a decision event into the abcast layer.
+func (c *consensusStub) decide(k uint64, batch wire.Batch) {
+	c.ctx.Emit(stack.TagABcast, stack.Event{Kind: stack.EvDecide, Instance: k, Batch: batch})
+}
+
+func rig(t *testing.T, cfg engine.Config) (*enginetest.Env, *Layer, *consensusStub) {
+	t.Helper()
+	env := enginetest.New(0, 3)
+	if cfg.N == 0 {
+		cfg = engine.DefaultConfig(3)
+		cfg.IdleKick = 0
+	}
+	ab := New(cfg)
+	cs := &consensusStub{proposals: make(map[uint64]wire.Batch)}
+	st := stack.New(env, cs, ab)
+	st.Start()
+	return env, ab, cs
+}
+
+func msg(sender types.ProcessID, seq uint64) wire.AppMsg {
+	return wire.AppMsg{ID: types.MsgID{Sender: sender, Seq: seq}, Body: []byte{byte(seq)}}
+}
+
+func TestAbcastDiffusesAndProposes(t *testing.T) {
+	env, ab, cs := rig(t, engine.Config{})
+	id, err := ab.Abcast([]byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Sender != 0 || id.Seq != 1 {
+		t.Fatalf("id = %v", id)
+	}
+	if len(env.Sends) != 2 {
+		t.Fatalf("diffusion sends = %d, want n-1", len(env.Sends))
+	}
+	got, ok := cs.proposals[1]
+	if !ok || len(got) != 1 || got[0].ID != id {
+		t.Fatalf("proposal = %v", got)
+	}
+}
+
+func TestNoSecondProposalWhileRunning(t *testing.T) {
+	_, ab, cs := rig(t, engine.Config{})
+	if _, err := ab.Abcast([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ab.Abcast([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.proposals) != 1 {
+		t.Fatalf("proposals = %d, want 1 while instance 1 runs", len(cs.proposals))
+	}
+	// Deciding instance 1 releases the next proposal with the leftover.
+	cs.decide(1, cs.proposals[1])
+	if got := cs.proposals[2]; len(got) != 1 || got[0].ID.Seq != 2 {
+		t.Fatalf("proposal 2 = %v", got)
+	}
+}
+
+func TestOutOfOrderDecisionsBuffered(t *testing.T) {
+	env, ab, cs := rig(t, engine.Config{})
+	if _, err := ab.Abcast([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	// Decision for instance 2 arrives before instance 1.
+	b2 := wire.Batch{msg(1, 1)}
+	b1 := wire.Batch{msg(0, 1)}
+	cs.decide(2, b2)
+	if len(env.Deliveries) != 0 {
+		t.Fatal("delivered out of order")
+	}
+	cs.decide(1, b1)
+	if len(env.Deliveries) != 2 {
+		t.Fatalf("deliveries = %d, want 2", len(env.Deliveries))
+	}
+	if env.Deliveries[0].Msg.ID != b1[0].ID || env.Deliveries[1].Msg.ID != b2[0].ID {
+		t.Fatalf("wrong order: %v", env.Deliveries)
+	}
+	if env.Deliveries[0].Instance != 1 || env.Deliveries[1].Instance != 2 {
+		t.Fatal("instance metadata wrong")
+	}
+}
+
+func TestDecisionBatchSortedOnDelivery(t *testing.T) {
+	env, _, cs := rig(t, engine.Config{})
+	// Unsorted decided batch must be delivered in (sender, seq) order.
+	batch := wire.Batch{msg(2, 1), msg(0, 5), msg(1, 3)}
+	cs.decide(1, batch)
+	if len(env.Deliveries) != 3 {
+		t.Fatalf("deliveries = %d", len(env.Deliveries))
+	}
+	for i := 1; i < 3; i++ {
+		if !env.Deliveries[i-1].Msg.ID.Less(env.Deliveries[i].Msg.ID) {
+			t.Fatalf("unsorted delivery: %v", env.Deliveries)
+		}
+	}
+}
+
+func TestDuplicateInDecisionsDeliveredOnce(t *testing.T) {
+	env, _, cs := rig(t, engine.Config{})
+	m := msg(1, 1)
+	cs.decide(1, wire.Batch{m})
+	cs.decide(2, wire.Batch{m, msg(1, 2)})
+	count := 0
+	for _, d := range env.Deliveries {
+		if d.Msg.ID == m.ID {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("duplicate delivered %d times", count)
+	}
+}
+
+func TestReceiveAddsPendingAndProposes(t *testing.T) {
+	env, ab, cs := rig(t, engine.Config{})
+	m := msg(2, 1)
+	frame := marshalDiffuse(m)
+	if err := ab.Receive(2, frame); err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.proposals[1]; len(got) != 1 || got[0].ID != m.ID {
+		t.Fatalf("proposal = %v", got)
+	}
+	_ = env
+}
+
+func TestMaxBatchCapsProposal(t *testing.T) {
+	cfg := engine.DefaultConfig(3)
+	cfg.IdleKick = 0
+	cfg.MaxBatch = 2
+	cfg.Window = 8
+	_, ab, cs := rig(t, cfg)
+	for i := 0; i < 5; i++ {
+		if _, err := ab.Abcast([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(cs.proposals[1]); got != 1 {
+		// The first proposal went out on the first abcast, before the
+		// rest existed; decide it and check the cap on the follow-up.
+		t.Fatalf("proposal 1 size = %d", got)
+	}
+	cs.decide(1, cs.proposals[1])
+	if got := len(cs.proposals[2]); got != 2 {
+		t.Fatalf("proposal 2 size = %d, want MaxBatch 2", got)
+	}
+}
+
+func TestKickRediffusesStalePending(t *testing.T) {
+	cfg := engine.DefaultConfig(3)
+	cfg.IdleKick = 10 * time.Millisecond
+	env, ab, cs := rig(t, cfg)
+	// A foreign message is pending but never ordered.
+	if err := ab.Receive(2, marshalDiffuse(msg(2, 1))); err != nil {
+		t.Fatal(err)
+	}
+	env.Sends = nil
+	env.Clock = time.Second // long past the kick deadline
+	ab.Timer(timerKick)
+	if len(env.Sends) != 2 {
+		t.Fatalf("kick re-diffusion sends = %d, want n-1", len(env.Sends))
+	}
+	if env.Cnt.Retransmissions.Load() == 0 {
+		t.Error("retransmissions not counted")
+	}
+	_ = cs
+}
+
+func TestRediffusionAfterMissedInstances(t *testing.T) {
+	cfg := engine.DefaultConfig(3)
+	cfg.IdleKick = 0
+	env, ab, cs := rig(t, cfg)
+	if err := ab.Receive(2, marshalDiffuse(msg(2, 9))); err != nil {
+		t.Fatal(err)
+	}
+	env.Sends = nil
+	// Decisions for rediffuseGrace+1 instances pass without ordering it.
+	for k := uint64(1); k <= rediffuseGrace+1; k++ {
+		cs.decide(k, wire.Batch{msg(0, k)})
+	}
+	if len(env.Sends) == 0 {
+		t.Fatal("stale pending message never re-diffused")
+	}
+	_ = ab
+}
+
+func TestMalformedDiffuse(t *testing.T) {
+	_, ab, _ := rig(t, engine.Config{})
+	if err := ab.Receive(1, []byte{1, 2, 3}); err == nil {
+		t.Fatal("malformed diffuse accepted")
+	}
+}
+
+func TestFlowReleaseOnlyForOwn(t *testing.T) {
+	_, ab, cs := rig(t, engine.Config{})
+	if _, err := ab.Abcast([]byte("mine")); err != nil {
+		t.Fatal(err)
+	}
+	if got := ab.InFlight(); got != 1 {
+		t.Fatalf("in flight = %d", got)
+	}
+	// A decision with only foreign messages does not release our window.
+	cs.decide(1, wire.Batch{msg(1, 1)})
+	if got := ab.InFlight(); got != 1 {
+		t.Fatalf("in flight after foreign decision = %d", got)
+	}
+	cs.decide(2, wire.Batch{{ID: types.MsgID{Sender: 0, Seq: 1}, Body: []byte("mine")}})
+	if got := ab.InFlight(); got != 0 {
+		t.Fatalf("in flight after own decision = %d", got)
+	}
+}

@@ -1,0 +1,81 @@
+// Package analytical implements the closed-form performance model of
+// paper §5.2: the number of point-to-point messages and the number of
+// payload bytes each implementation sends per consensus execution (i.e.
+// to adeliver M abcast messages of l bytes in a group of n), plus the
+// modularity overhead ratio. The simulator's traced counters are asserted
+// against these formulas in tests, tying implementation to model.
+package analytical
+
+// ModularMessages returns the messages sent per consensus execution by
+// the modular stack: (n-1)·(M + 2 + ⌊(n+1)/2⌋).
+//
+// Breakdown: M·(n-1) diffusion messages, n-1 for the proposal, n-1 acks,
+// and (n-1)·⌊(n+1)/2⌋ for the reliable broadcast of the decision.
+func ModularMessages(n, m int) int {
+	if n <= 1 {
+		return 0
+	}
+	return (n - 1) * (m + 2 + (n+1)/2)
+}
+
+// MonolithicMessages returns the messages sent per consensus execution by
+// the monolithic stack in a saturated pipeline: 2·(n-1) — one combined
+// proposal+decision fan-out plus one ack+diffusion per non-coordinator.
+func MonolithicMessages(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return 2 * (n - 1)
+}
+
+// ModularData returns the payload bytes sent per consensus execution by
+// the modular stack: 2·(n-1)·M·l (each payload crosses the network once
+// in diffusion and once inside the proposal).
+func ModularData(n, m, l int) int {
+	if n <= 1 {
+		return 0
+	}
+	return 2 * (n - 1) * m * l
+}
+
+// MonolithicData returns the payload bytes sent per consensus execution
+// by the monolithic stack: (n-1)·(1+1/n)·M·l (each payload rides one ack
+// to the coordinator — except the coordinator's own M/n — and once inside
+// the proposal).
+//
+// The value is returned in exact integer form: (n-1)·(n+1)·M·l / n.
+func MonolithicData(n, m, l int) int {
+	if n <= 1 {
+		return 0
+	}
+	return (n - 1) * (n + 1) * m * l / n
+}
+
+// Overhead returns the relative data overhead of the modular stack over
+// the monolithic one, (Datamod - Datamono)/Datamono = (n-1)/(n+1):
+// 50% at n=3, 75% at n=7.
+func Overhead(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return float64(n-1) / float64(n+1)
+}
+
+// RBcastMessages returns the messages per reliable broadcast for the
+// majority-optimized algorithm, (n-1)·⌊(n+1)/2⌋ (paper §4.3 quotes this
+// as the modular decision-dissemination cost).
+func RBcastMessages(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return (n - 1) * ((n + 1) / 2)
+}
+
+// ClassicRBcastMessages returns the messages per reliable broadcast for
+// the classical re-send-to-all algorithm, (n-1)·n ≈ n².
+func ClassicRBcastMessages(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return (n - 1) * n
+}

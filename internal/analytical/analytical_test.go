@@ -1,0 +1,103 @@
+package analytical
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestPaperNumbers pins the concrete values quoted in the paper.
+func TestPaperNumbers(t *testing.T) {
+	// §5.2.1: n=3, M=4 — "the monolithic implementation needs 4 messages
+	// to order these 4 abcast messages ... In the case of the modular
+	// stack, 16 messages are needed".
+	if got := ModularMessages(3, 4); got != 16 {
+		t.Errorf("ModularMessages(3,4) = %d, want 16", got)
+	}
+	if got := MonolithicMessages(3); got != 4 {
+		t.Errorf("MonolithicMessages(3) = %d, want 4", got)
+	}
+	// §5.2.2: overhead 50% at n=3, 75% at n=7.
+	if got := Overhead(3); got != 0.5 {
+		t.Errorf("Overhead(3) = %g, want 0.5", got)
+	}
+	if got := Overhead(7); got != 0.75 {
+		t.Errorf("Overhead(7) = %g, want 0.75", got)
+	}
+	// §3.1: optimized rbcast sends (n-1)(⌊(n-1)/2⌋+1) messages.
+	if got := RBcastMessages(3); got != 4 {
+		t.Errorf("RBcastMessages(3) = %d, want 4", got)
+	}
+	if got := RBcastMessages(7); got != 24 {
+		t.Errorf("RBcastMessages(7) = %d, want 24", got)
+	}
+}
+
+// TestOverheadConsistency: the closed-form overhead must equal the ratio
+// of the two data formulas.
+func TestOverheadConsistency(t *testing.T) {
+	f := func(rawN, rawM uint8, rawL uint16) bool {
+		n := int(rawN%16) + 2
+		m := int(rawM%16) + 1
+		// l multiple of n so integer division in MonolithicData is exact.
+		l := (int(rawL%1024) + 1) * n
+		mod := float64(ModularData(n, m, l))
+		mono := float64(MonolithicData(n, m, l))
+		want := Overhead(n)
+		got := (mod - mono) / mono
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMessageBreakdown: the modular total decomposes into diffusion +
+// proposal + acks + rbcast of the decision.
+func TestMessageBreakdown(t *testing.T) {
+	f := func(rawN, rawM uint8) bool {
+		n := int(rawN%16) + 2
+		m := int(rawM % 32)
+		diffusion := m * (n - 1)
+		proposal := n - 1
+		acks := n - 1
+		decision := RBcastMessages(n)
+		return ModularMessages(n, m) == diffusion+proposal+acks+decision
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegenerateGroups(t *testing.T) {
+	for _, fn := range []func() int{
+		func() int { return ModularMessages(1, 4) },
+		func() int { return MonolithicMessages(1) },
+		func() int { return ModularData(1, 4, 100) },
+		func() int { return MonolithicData(1, 4, 100) },
+		func() int { return RBcastMessages(1) },
+		func() int { return ClassicRBcastMessages(0) },
+	} {
+		if got := fn(); got != 0 {
+			t.Errorf("degenerate group cost = %d, want 0", got)
+		}
+	}
+	if Overhead(1) != 0 {
+		t.Error("Overhead(1) != 0")
+	}
+}
+
+// TestMonolithicAlwaysCheaper: for every n >= 2, M >= 1 the monolithic
+// stack sends strictly fewer messages and bytes.
+func TestMonolithicAlwaysCheaper(t *testing.T) {
+	f := func(rawN, rawM uint8, rawL uint8) bool {
+		n := int(rawN%16) + 2
+		m := int(rawM%32) + 1
+		l := (int(rawL) + 1) * n
+		return MonolithicMessages(n) < ModularMessages(n, m) &&
+			MonolithicData(n, m, l) < ModularData(n, m, l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

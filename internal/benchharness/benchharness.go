@@ -1,0 +1,252 @@
+// Package benchharness regenerates the paper's evaluation (§5.3): the
+// four experimental figures (8-11) as parameter sweeps over the
+// deterministic simulator, and the §5.2 analytical tables. cmd/abbench
+// and the root bench_test.go are thin wrappers over this package.
+package benchharness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"modab/internal/analytical"
+	"modab/internal/netsim"
+	"modab/internal/stats"
+	"modab/internal/types"
+)
+
+// Point is one measured configuration.
+type Point struct {
+	N           int
+	Stack       types.Stack
+	OfferedLoad float64 // msgs/s, global
+	Size        int     // bytes
+
+	LatencyMs   float64 // mean early latency
+	LatencyCI   float64 // 95% CI half-width (ms), across repetitions
+	Throughput  float64 // msgs/s (paper's T)
+	ThroughCI   float64
+	M           float64 // avg messages ordered per consensus
+	MsgsPerDec  float64 // messages sent per consensus decided (group-wide)
+	Utilization float64 // busiest-process CPU utilization
+	Blocked     int64   // flow-control rejections in the window
+}
+
+// RunOptions control one sweep point.
+type RunOptions struct {
+	// Warmup and Measure bound the measurement window. Defaults: 2s + 4s.
+	Warmup, Measure time.Duration
+	// Repetitions with distinct seeds; the CIs are computed across them.
+	// Default 3.
+	Repetitions int
+	// Seed is the base seed (repetition i uses Seed+i).
+	Seed int64
+	// Model overrides the hardware model (zero = calibrated default).
+	Model netsim.CostModel
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.Warmup <= 0 {
+		o.Warmup = 2 * time.Second
+	}
+	if o.Measure <= 0 {
+		o.Measure = 4 * time.Second
+	}
+	if o.Repetitions <= 0 {
+		o.Repetitions = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// RunPoint measures one configuration, averaging over repetitions.
+func RunPoint(n int, stk types.Stack, load float64, size int, opts RunOptions) (Point, error) {
+	opts = opts.withDefaults()
+	var lat, thr, avgM, msgsPerDec, util stats.Welford
+	var blocked int64
+	for rep := 0; rep < opts.Repetitions; rep++ {
+		lc, err := netsim.NewLoadedCluster(
+			netsim.Options{N: n, Stack: stk, Seed: opts.Seed + int64(rep), Model: opts.Model},
+			netsim.Workload{OfferedLoad: load, Size: size},
+			opts.Warmup, opts.Measure)
+		if err != nil {
+			return Point{}, err
+		}
+		lc.Run(opts.Warmup + opts.Measure + time.Second)
+		if errs := lc.Errs(); len(errs) > 0 {
+			return Point{}, fmt.Errorf("engine error: %w", errs[0])
+		}
+		tot := lc.TotalCounters()
+		lat.Add(lc.Recorder.MeanLatency() * 1e3)
+		thr.Add(lc.Recorder.Throughput())
+		avgM.Add(tot.AvgBatch())
+		decisionsPerProc := float64(tot.ConsensusDecided) / float64(n)
+		if decisionsPerProc > 0 {
+			msgsPerDec.Add(float64(tot.MsgsSent) / decisionsPerProc)
+		}
+		maxUtil := 0.0
+		for p := 0; p < n; p++ {
+			if u := lc.Utilization(types.ProcessID(p)); u > maxUtil {
+				maxUtil = u
+			}
+		}
+		util.Add(maxUtil)
+		blocked += lc.Recorder.Blocked
+	}
+	return Point{
+		N:           n,
+		Stack:       stk,
+		OfferedLoad: load,
+		Size:        size,
+		LatencyMs:   lat.Mean(),
+		LatencyCI:   lat.CI95(),
+		Throughput:  thr.Mean(),
+		ThroughCI:   thr.CI95(),
+		M:           avgM.Mean(),
+		MsgsPerDec:  msgsPerDec.Mean(),
+		Utilization: util.Mean(),
+		Blocked:     blocked / int64(opts.Repetitions),
+	}, nil
+}
+
+// Figure is one regenerated evaluation figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Points []Point
+}
+
+// Series parameters mirroring the paper.
+var (
+	// LoadSweep is the offered-load x-axis of Figures 8 and 10 (msgs/s).
+	LoadSweep = []float64{250, 500, 1000, 2000, 3000, 4000, 5000, 6000, 7000}
+	// SizeSweep is the message-size x-axis of Figures 9 and 11 (bytes).
+	SizeSweep = []int{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
+	// GroupSizes are the paper's two group sizes.
+	GroupSizes = []int{3, 7}
+	// Stacks under comparison.
+	Stacks = []types.Stack{types.Monolithic, types.Modular}
+)
+
+// fig8Size is the fixed message size of Figures 8 and 10.
+const fig8Size = 16384
+
+// fig9Load is the fixed offered load of Figures 9 and 11 (msgs/s).
+const fig9Load = 2000
+
+// sweep runs the cartesian product of group sizes, stacks and xs.
+func sweep(opts RunOptions, xs int, run func(n int, stk types.Stack, i int) (Point, error)) ([]Point, error) {
+	points := make([]Point, 0, len(GroupSizes)*len(Stacks)*xs)
+	for _, n := range GroupSizes {
+		for _, stk := range Stacks {
+			for i := 0; i < xs; i++ {
+				p, err := run(n, stk, i)
+				if err != nil {
+					return nil, err
+				}
+				points = append(points, p)
+			}
+		}
+	}
+	return points, nil
+}
+
+// Fig8 regenerates Figure 8: early latency vs offered load, 16384-byte
+// messages.
+func Fig8(opts RunOptions) (Figure, error) {
+	pts, err := sweep(opts, len(LoadSweep), func(n int, stk types.Stack, i int) (Point, error) {
+		return RunPoint(n, stk, LoadSweep[i], fig8Size, opts)
+	})
+	return Figure{
+		ID:     "fig8",
+		Title:  "Early latency vs. offered load (message size = 16384 bytes)",
+		XLabel: "offered load (msgs/s)",
+		YLabel: "early latency (ms)",
+		Points: pts,
+	}, err
+}
+
+// Fig9 regenerates Figure 9: early latency vs message size at 2000 msgs/s.
+func Fig9(opts RunOptions) (Figure, error) {
+	pts, err := sweep(opts, len(SizeSweep), func(n int, stk types.Stack, i int) (Point, error) {
+		return RunPoint(n, stk, fig9Load, SizeSweep[i], opts)
+	})
+	return Figure{
+		ID:     "fig9",
+		Title:  "Early latency vs. message size (offered load = 2000 msgs/s)",
+		XLabel: "message size (bytes)",
+		YLabel: "early latency (ms)",
+		Points: pts,
+	}, err
+}
+
+// Fig10 regenerates Figure 10: throughput vs offered load, 16384-byte
+// messages.
+func Fig10(opts RunOptions) (Figure, error) {
+	pts, err := sweep(opts, len(LoadSweep), func(n int, stk types.Stack, i int) (Point, error) {
+		return RunPoint(n, stk, LoadSweep[i], fig8Size, opts)
+	})
+	return Figure{
+		ID:     "fig10",
+		Title:  "Throughput vs. offered load (message size = 16384 bytes)",
+		XLabel: "offered load (msgs/s)",
+		YLabel: "throughput (msgs/s)",
+		Points: pts,
+	}, err
+}
+
+// Fig11 regenerates Figure 11: throughput vs message size at 2000 msgs/s.
+func Fig11(opts RunOptions) (Figure, error) {
+	pts, err := sweep(opts, len(SizeSweep), func(n int, stk types.Stack, i int) (Point, error) {
+		return RunPoint(n, stk, fig9Load, SizeSweep[i], opts)
+	})
+	return Figure{
+		ID:     "fig11",
+		Title:  "Throughput vs. message size (offered load = 2000 msgs/s)",
+		XLabel: "message size (bytes)",
+		YLabel: "throughput (msgs/s)",
+		Points: pts,
+	}, err
+}
+
+// Render writes the figure as an aligned text table, one row per point,
+// grouped the way the paper's curves are labelled.
+func Render(w io.Writer, fig Figure) {
+	fmt.Fprintf(w, "%s — %s\n", fig.ID, fig.Title)
+	fmt.Fprintf(w, "%-6s %-11s %12s %10s %14s %14s %7s %9s %6s\n",
+		"group", "stack", fig.XLabel, "lat(ms)", "±95%CI", "thr(msg/s)", "M", "msgs/dec", "util")
+	for _, p := range fig.Points {
+		x := p.OfferedLoad
+		if fig.ID == "fig9" || fig.ID == "fig11" {
+			x = float64(p.Size)
+		}
+		fmt.Fprintf(w, "%-6d %-11s %12.0f %10.3f %14.3f %14.1f %7.2f %9.2f %6.2f\n",
+			p.N, p.Stack, x, p.LatencyMs, p.LatencyCI, p.Throughput, p.M, p.MsgsPerDec, p.Utilization)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderAnalytical writes the §5.2 tables (A1: messages per consensus,
+// A2: payload bytes per consensus and overhead) for the given M and l.
+func RenderAnalytical(w io.Writer, m, l int) {
+	fmt.Fprintf(w, "A1 (§5.2.1) — messages sent per consensus execution (M=%d)\n", m)
+	fmt.Fprintf(w, "%-6s %10s %12s %8s\n", "n", "modular", "monolithic", "ratio")
+	for _, n := range GroupSizes {
+		mod := analytical.ModularMessages(n, m)
+		mono := analytical.MonolithicMessages(n)
+		fmt.Fprintf(w, "%-6d %10d %12d %8.2f\n", n, mod, mono, float64(mod)/float64(mono))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "A2 (§5.2.2) — payload bytes per consensus execution (M=%d, l=%d)\n", m, l)
+	fmt.Fprintf(w, "%-6s %12s %12s %10s\n", "n", "modular", "monolithic", "overhead")
+	for _, n := range GroupSizes {
+		fmt.Fprintf(w, "%-6d %12d %12d %9.0f%%\n",
+			n, analytical.ModularData(n, m, l), analytical.MonolithicData(n, m, l),
+			analytical.Overhead(n)*100)
+	}
+	fmt.Fprintln(w)
+}

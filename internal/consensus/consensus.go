@@ -1,0 +1,506 @@
+// Package consensus implements the optimized Chandra–Toueg ◇S consensus
+// microprotocol of the modular stack (paper §3.2).
+//
+// The algorithm proceeds in asynchronous rounds; the coordinator of round
+// r is process (r-1) mod n. The paper's optimizations (from Urbán '03) are
+// all implemented:
+//
+//   - the estimate phase of round 1 is suppressed: the round-1 coordinator
+//     proposes its own initial value directly;
+//   - a new round starts only when the current round's coordinator is
+//     suspected by the local failure detector (instead of rounds free-running);
+//   - decisions are disseminated through reliable broadcast as a small
+//     DECISION tag; receivers decide the proposal they already hold for
+//     that round, and fetch the full decision only if they miss it.
+//
+// The layer manages many consensus instances (one per atomic broadcast
+// batch) but exposes each as an independent black box: nothing about
+// instance k is reused for instance k+1. That independence is precisely
+// the modularity cost the paper measures; the monolithic engine removes it.
+package consensus
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"modab/internal/engine"
+	"modab/internal/stack"
+	"modab/internal/types"
+	"modab/internal/wire"
+)
+
+// timerResend is the layer-local timer driving decision-fetch retries.
+const timerResend engine.TimerID = 1
+
+// Layer is the consensus microprotocol. It accepts stack.EvProposeReq
+// events, emits stack.EvDecide events to the subscriber layer, and sends
+// its decisions through the reliable broadcast layer.
+type Layer struct {
+	ctx        *stack.Context
+	subscriber stack.Tag
+	resend     time.Duration
+	horizon    int
+
+	self       types.ProcessID
+	n          int
+	majority   int
+	insts      map[uint64]*instance
+	suspected  map[types.ProcessID]bool
+	maxDecided uint64
+}
+
+var _ stack.Layer = (*Layer)(nil)
+
+// New returns a consensus layer that reports decisions to the subscriber
+// layer. resendEvery drives crash-path retransmissions; horizon bounds how
+// many decided instances are retained for catch-up.
+func New(subscriber stack.Tag, resendEvery time.Duration, horizon int) *Layer {
+	if horizon < 1 {
+		horizon = 1
+	}
+	return &Layer{subscriber: subscriber, resend: resendEvery, horizon: horizon}
+}
+
+// Tag implements stack.Layer.
+func (l *Layer) Tag() stack.Tag { return stack.TagConsensus }
+
+// Init implements stack.Layer.
+func (l *Layer) Init(ctx *stack.Context) {
+	l.ctx = ctx
+	l.self = ctx.Env().Self()
+	l.n = ctx.Env().N()
+	l.majority = types.Majority(l.n)
+	l.insts = make(map[uint64]*instance)
+	l.suspected = make(map[types.ProcessID]bool)
+}
+
+// Start implements stack.Layer.
+func (l *Layer) Start() {}
+
+// coordinator returns the coordinator of round r (1-based rounds).
+func (l *Layer) coordinator(r uint32) types.ProcessID {
+	return types.ProcessID((int(r) - 1) % l.n)
+}
+
+// instance state.
+type instance struct {
+	k uint64
+	// round is the local progression: the round whose proposal this
+	// process awaits or has acknowledged.
+	round uint32
+	// estimate/estTS/hasEstimate implement the CT locking rule: the
+	// estimate is adopted from each acknowledged proposal with ts = round.
+	estimate    wire.Batch
+	estTS       uint32
+	hasEstimate bool
+	// proposals stores received proposals per round (needed to resolve
+	// DECISION tags).
+	proposals map[uint32]wire.Batch
+	nacked    map[uint32]bool
+	// coord holds this process's coordinator duties per round.
+	coord map[uint32]*coordRound
+	// decision state.
+	decided         bool
+	decision        wire.Batch
+	decisionRound   uint32
+	waitingDecision bool
+}
+
+type coordRound struct {
+	estimates map[types.ProcessID]estimateEntry
+	proposed  bool
+	proposal  wire.Batch
+	acks      map[types.ProcessID]bool
+}
+
+func (inst *instance) coordRound(r uint32) *coordRound {
+	cr := inst.coord[r]
+	if cr == nil {
+		cr = &coordRound{
+			estimates: make(map[types.ProcessID]estimateEntry),
+			acks:      make(map[types.ProcessID]bool),
+		}
+		inst.coord[r] = cr
+	}
+	return cr
+}
+
+// get returns the instance state for k, creating it in round 1 (and
+// immediately advancing past rounds whose coordinator is already
+// suspected).
+func (l *Layer) get(k uint64) *instance {
+	inst := l.insts[k]
+	if inst != nil {
+		return inst
+	}
+	inst = &instance{
+		k:         k,
+		round:     1,
+		proposals: make(map[uint32]wire.Batch),
+		nacked:    make(map[uint32]bool),
+		coord:     make(map[uint32]*coordRound),
+	}
+	l.insts[k] = inst
+	for l.suspected[l.coordinator(inst.round)] {
+		l.advanceRound(inst)
+	}
+	return inst
+}
+
+// Event implements stack.Layer: EvProposeReq sets the local initial value;
+// EvRDeliver carries reliably broadcast consensus messages (decisions).
+func (l *Layer) Event(ev stack.Event) {
+	switch ev.Kind {
+	case stack.EvProposeReq:
+		l.propose(ev.Instance, ev.Batch)
+	case stack.EvRDeliver:
+		m, err := unmarshalMessage(ev.Data)
+		if err != nil || m.Type != mtDecisionTag {
+			return
+		}
+		l.handleDecisionTag(ev.From, m)
+	}
+}
+
+// propose records the local initial value for instance k (the paper's
+// propose primitive) and, if this process coordinates round 1, proposes
+// immediately — the suppressed estimate phase.
+func (l *Layer) propose(k uint64, batch wire.Batch) {
+	inst := l.get(k)
+	if inst.decided || inst.hasEstimate {
+		return
+	}
+	l.ctx.Env().Counters().ConsensusStarted.Add(1)
+	inst.estimate = batch
+	inst.estTS = 0
+	inst.hasEstimate = true
+	if l.coordinator(1) == l.self && inst.round == 1 && !inst.coordRound(1).proposed {
+		l.proposeRound(inst, 1, batch)
+		return
+	}
+	// A later-round coordinatorship may have been waiting for a local
+	// initial value (all collected estimates were bottom).
+	rounds := make([]uint32, 0, len(inst.coord))
+	for r := range inst.coord {
+		rounds = append(rounds, r)
+	}
+	sort.Slice(rounds, func(i, j int) bool { return rounds[i] < rounds[j] })
+	for _, r := range rounds {
+		if !inst.coord[r].proposed {
+			l.coordMaybePropose(inst, r)
+		}
+	}
+}
+
+// proposeRound makes this process (the coordinator of round r) send its
+// proposal and adopt it as its own estimate.
+func (l *Layer) proposeRound(inst *instance, r uint32, batch wire.Batch) {
+	cr := inst.coordRound(r)
+	cr.proposal = batch
+	cr.proposed = true
+	cr.acks[l.self] = true
+	inst.estimate = batch
+	inst.estTS = r
+	inst.hasEstimate = true
+	if r > inst.round {
+		inst.round = r
+	}
+	inst.proposals[r] = batch
+	l.sendAll(message{Type: mtProposal, Instance: inst.k, Round: r, Batch: batch})
+	l.checkDecide(inst, r)
+}
+
+// coordMaybePropose proposes for round r >= 2 once a majority of estimates
+// (including the local one) is available and at least one carries a value.
+func (l *Layer) coordMaybePropose(inst *instance, r uint32) {
+	if r < 2 || inst.decided {
+		return
+	}
+	cr := inst.coordRound(r)
+	if cr.proposed {
+		return
+	}
+	votes := len(cr.estimates)
+	if _, ok := cr.estimates[l.self]; !ok {
+		votes++ // the local estimate participates implicitly
+	}
+	if votes < l.majority {
+		return
+	}
+	// Choose the estimate with the largest timestamp ("the eldest value").
+	// Iterate in process order so tie-breaks are deterministic.
+	best := estimateEntry{hasValue: inst.hasEstimate, ts: inst.estTS, batch: inst.estimate}
+	for p := 0; p < l.n; p++ {
+		e, ok := cr.estimates[types.ProcessID(p)]
+		if !ok || !e.hasValue {
+			continue
+		}
+		if !best.hasValue || e.ts > best.ts {
+			best = e
+		}
+	}
+	if !best.hasValue {
+		return // no initial value anywhere yet; retried when one arrives
+	}
+	l.proposeRound(inst, r, best.batch)
+}
+
+// advanceRound moves the local progression past a suspected coordinator:
+// nack the abandoned round and send the current estimate to the next
+// coordinator (the paper's round-change path; never taken in good runs).
+func (l *Layer) advanceRound(inst *instance) {
+	r := inst.round
+	if c := l.coordinator(r); c != l.self && !inst.nacked[r] {
+		l.send(c, message{Type: mtNack, Instance: inst.k, Round: r})
+	}
+	inst.nacked[r] = true
+	inst.round = r + 1
+	l.ctx.Env().Counters().Rounds.Add(1)
+	next := l.coordinator(inst.round)
+	if next == l.self {
+		l.coordMaybePropose(inst, inst.round)
+		return
+	}
+	l.send(next, message{
+		Type:     mtEstimate,
+		Instance: inst.k,
+		Round:    inst.round,
+		TS:       inst.estTS,
+		HasValue: inst.hasEstimate,
+		Batch:    inst.estimate,
+	})
+}
+
+// Receive implements stack.Layer.
+func (l *Layer) Receive(from types.ProcessID, data []byte) error {
+	m, err := unmarshalMessage(data)
+	if err != nil {
+		return fmt.Errorf("consensus: from %s: %w", from, err)
+	}
+	switch m.Type {
+	case mtProposal:
+		l.handleProposal(from, m)
+	case mtAck:
+		l.handleAck(from, m)
+	case mtNack:
+		// The optimized protocol starts a new round only on suspicion;
+		// a nack carries no further obligation for the coordinator.
+	case mtEstimate:
+		l.handleEstimate(from, m)
+	case mtDecisionTag:
+		// Decision tags normally arrive through reliable broadcast
+		// (Event/EvRDeliver); accept direct ones for robustness.
+		l.handleDecisionTag(from, m)
+	case mtDecisionReq:
+		l.handleDecisionReq(from, m)
+	case mtDecisionFull:
+		l.handleDecisionFull(m)
+	default:
+		return fmt.Errorf("consensus: unexpected message type %d from %s", uint8(m.Type), from)
+	}
+	return nil
+}
+
+func (l *Layer) handleProposal(from types.ProcessID, m message) {
+	inst := l.get(m.Instance)
+	if inst.decided {
+		return
+	}
+	inst.proposals[m.Round] = m.Batch
+	if inst.waitingDecision && m.Round == inst.decisionRound {
+		l.decideLocal(inst, m.Batch, m.Round)
+		return
+	}
+	if m.Round < inst.round {
+		// Stale proposal from an abandoned round.
+		l.send(from, message{Type: mtNack, Instance: inst.k, Round: m.Round})
+		return
+	}
+	inst.round = m.Round
+	if inst.nacked[m.Round] {
+		return
+	}
+	// Adopt the proposal (CT locking) and acknowledge.
+	inst.estimate = m.Batch
+	inst.estTS = m.Round
+	inst.hasEstimate = true
+	l.send(from, message{Type: mtAck, Instance: inst.k, Round: m.Round})
+}
+
+func (l *Layer) handleAck(from types.ProcessID, m message) {
+	inst := l.get(m.Instance)
+	if inst.decided {
+		return
+	}
+	cr := inst.coordRound(m.Round)
+	if !cr.proposed {
+		return // stray ack for a round this process never proposed
+	}
+	cr.acks[from] = true
+	l.checkDecide(inst, m.Round)
+}
+
+func (l *Layer) handleEstimate(from types.ProcessID, m message) {
+	inst := l.get(m.Instance)
+	if inst.decided {
+		// Catch the lagging process up instead.
+		l.send(from, message{Type: mtDecisionFull, Instance: inst.k, Round: inst.decisionRound, Batch: inst.decision})
+		return
+	}
+	if l.coordinator(m.Round) != l.self || m.Round < 2 {
+		return
+	}
+	cr := inst.coordRound(m.Round)
+	cr.estimates[from] = estimateEntry{from: from, ts: m.TS, hasValue: m.HasValue, batch: m.Batch}
+	l.coordMaybePropose(inst, m.Round)
+}
+
+// checkDecide decides once a majority (including the coordinator itself)
+// has acknowledged the round-r proposal.
+func (l *Layer) checkDecide(inst *instance, r uint32) {
+	cr := inst.coordRound(r)
+	if inst.decided || !cr.proposed || len(cr.acks) < l.majority {
+		return
+	}
+	// Disseminate the DECISION tag through reliable broadcast, then decide
+	// locally. Receivers decide the proposal they already hold.
+	tag := message{Type: mtDecisionTag, Instance: inst.k, Round: r}
+	l.ctx.Emit(stack.TagRBcast, stack.Event{Kind: stack.EvBroadcastReq, Data: tag.marshal()})
+	l.decideLocal(inst, cr.proposal, r)
+}
+
+// decideLocal finalizes the instance at this process and notifies the
+// subscriber layer.
+func (l *Layer) decideLocal(inst *instance, batch wire.Batch, r uint32) {
+	if inst.decided {
+		return
+	}
+	inst.decided = true
+	inst.decision = batch
+	inst.decisionRound = r
+	inst.waitingDecision = false
+	c := l.ctx.Env().Counters()
+	c.ConsensusDecided.Add(1)
+	c.BatchedMsgs.Add(int64(len(batch)))
+	if inst.k > l.maxDecided {
+		l.maxDecided = inst.k
+	}
+	l.ctx.Emit(l.subscriber, stack.Event{Kind: stack.EvDecide, Instance: inst.k, Batch: batch})
+	l.prune()
+}
+
+// handleDecisionTag processes the reliably broadcast DECISION tag: decide
+// the matching proposal if held, otherwise fetch the full decision.
+func (l *Layer) handleDecisionTag(origin types.ProcessID, m message) {
+	inst := l.get(m.Instance)
+	if inst.decided {
+		return
+	}
+	if batch, ok := inst.proposals[m.Round]; ok {
+		l.decideLocal(inst, batch, m.Round)
+		return
+	}
+	inst.waitingDecision = true
+	inst.decisionRound = m.Round
+	if origin != l.self && origin != types.Nobody {
+		l.send(origin, message{Type: mtDecisionReq, Instance: inst.k})
+		l.ctx.Env().Counters().Retransmissions.Add(1)
+	}
+	if l.resend > 0 {
+		l.ctx.SetTimer(timerResend, l.resend)
+	}
+}
+
+func (l *Layer) handleDecisionReq(from types.ProcessID, m message) {
+	inst := l.insts[m.Instance]
+	if inst == nil || !inst.decided {
+		return
+	}
+	l.send(from, message{Type: mtDecisionFull, Instance: inst.k, Round: inst.decisionRound, Batch: inst.decision})
+	l.ctx.Env().Counters().Retransmissions.Add(1)
+}
+
+func (l *Layer) handleDecisionFull(m message) {
+	inst := l.get(m.Instance)
+	if inst.decided {
+		return
+	}
+	l.decideLocal(inst, m.Batch, m.Round)
+}
+
+// Timer implements stack.Layer: retry decision fetches for instances stuck
+// waiting on a DECISION tag whose proposal never arrived.
+func (l *Layer) Timer(id engine.TimerID) {
+	if id != timerResend {
+		return
+	}
+	waiting := false
+	for _, k := range l.sortedInstanceKeys() {
+		inst := l.insts[k]
+		if !inst.waitingDecision || inst.decided {
+			continue
+		}
+		waiting = true
+		req := message{Type: mtDecisionReq, Instance: inst.k}
+		l.sendAll(req)
+		l.ctx.Env().Counters().Retransmissions.Add(int64(l.n - 1))
+	}
+	if waiting && l.resend > 0 {
+		l.ctx.SetTimer(timerResend, l.resend)
+	}
+}
+
+// sortedInstanceKeys returns the live instance numbers in ascending order,
+// so that iteration-driven sends are deterministic (required for
+// reproducible simulation).
+func (l *Layer) sortedInstanceKeys() []uint64 {
+	keys := make([]uint64, 0, len(l.insts))
+	for k := range l.insts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Suspect implements stack.Layer: advance every undecided instance whose
+// current coordinator is now suspected (the only trigger for new rounds in
+// the optimized protocol).
+func (l *Layer) Suspect(p types.ProcessID, suspected bool) {
+	l.suspected[p] = suspected
+	if !suspected {
+		return
+	}
+	for _, k := range l.sortedInstanceKeys() {
+		inst := l.insts[k]
+		for !inst.decided && l.suspected[l.coordinator(inst.round)] {
+			l.advanceRound(inst)
+		}
+	}
+}
+
+// prune drops decided instances that fell behind the retention horizon.
+func (l *Layer) prune() {
+	if len(l.insts) <= l.horizon || l.maxDecided < uint64(l.horizon) {
+		return
+	}
+	cutoff := l.maxDecided - uint64(l.horizon)
+	for k, inst := range l.insts {
+		if inst.decided && k <= cutoff {
+			delete(l.insts, k)
+		}
+	}
+}
+
+// send marshals and transmits one consensus message, accounting payload
+// bytes for the data-volume analysis.
+func (l *Layer) send(to types.ProcessID, m message) {
+	l.ctx.Env().Counters().PayloadBytesSent.Add(int64(m.Batch.PayloadBytes()))
+	l.ctx.NetSend(to, m.marshal())
+}
+
+// sendAll transmits one consensus message to every other process.
+func (l *Layer) sendAll(m message) {
+	l.ctx.Env().Counters().PayloadBytesSent.Add(int64(m.Batch.PayloadBytes() * (l.n - 1)))
+	l.ctx.NetSendAll(m.marshal())
+}

@@ -1,0 +1,123 @@
+package consensus
+
+import (
+	"testing"
+
+	"modab/internal/stack"
+	"modab/internal/types"
+)
+
+// TestDuplicateAcksDoNotFakeMajority replays one ack many times; the
+// coordinator must not decide off a single acknowledging process in a
+// group of 5 (majority 3 = self + 2 distinct others).
+func TestDuplicateAcksDoNotFakeMajority(t *testing.T) {
+	h := newHarness(t, 5)
+	// Only p2's messages reach p1; everyone else is partitioned away.
+	h.net.Drop = func(from, to types.ProcessID, _ []byte) bool {
+		return !(from == 0 || (from == 1 && to == 0))
+	}
+	h.propose(0, 1, batchOf(0, 1))
+	h.run(t)
+	// p1 has self-ack + p2's ack = 2 < majority 3.
+	if _, decided := h.decided[0].decisions[1]; decided {
+		t.Fatal("decided with 2 of 5 acks")
+	}
+	// Replay p2's ack a few times by re-delivering manually.
+	ack := message{Type: mtAck, Instance: 1, Round: 1}
+	for i := 0; i < 5; i++ {
+		if err := h.stacks[0].Receive(1,
+			append([]byte{byte(stack.TagConsensus)}, ack.marshal()...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, decided := h.decided[0].decisions[1]; decided {
+		t.Fatal("duplicate acks counted as distinct processes")
+	}
+}
+
+// TestStaleProposalNacked: a proposal for an abandoned round must be
+// nacked, not adopted.
+func TestStaleProposalNacked(t *testing.T) {
+	h := newHarness(t, 3)
+	// p3 advances to round 2 by suspecting p1 before any proposal.
+	h.net.Drop = func(from, to types.ProcessID, _ []byte) bool {
+		return true // isolate everything; we drive by hand
+	}
+	h.suspect(2, 0)
+	h.run(t)
+	// Now p1's round-1 proposal arrives late at p3.
+	h.net.Drop = nil
+	prop := message{Type: mtProposal, Instance: 1, Round: 1, Batch: batchOf(0, 1)}
+	if err := h.stacks[2].Receive(0,
+		append([]byte{byte(stack.TagConsensus)}, prop.marshal()...)); err != nil {
+		t.Fatal(err)
+	}
+	// p3 must NOT have adopted round 1 (its round is 2) — it nacks, and
+	// no ack is recorded at p1.
+	if err := h.net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	inst := h.layers[0].insts[1]
+	if inst != nil && len(inst.coordRound(1).acks) > 1 {
+		t.Fatal("stale proposal was acked")
+	}
+}
+
+// TestAckForUnproposedRoundIgnored: stray acks for rounds this process
+// never proposed must not corrupt coordinator state.
+func TestAckForUnproposedRoundIgnored(t *testing.T) {
+	h := newHarness(t, 3)
+	ack := message{Type: mtAck, Instance: 7, Round: 1}
+	if err := h.stacks[0].Receive(1,
+		append([]byte{byte(stack.TagConsensus)}, ack.marshal()...)); err != nil {
+		t.Fatal(err)
+	}
+	if _, decided := h.decided[0].decisions[7]; decided {
+		t.Fatal("stray ack caused a decision")
+	}
+}
+
+// TestDecisionReqForUnknownInstanceIgnored: a catch-up request for an
+// instance this process knows nothing about is dropped silently.
+func TestDecisionReqForUnknownInstanceIgnored(t *testing.T) {
+	h := newHarness(t, 3)
+	req := message{Type: mtDecisionReq, Instance: 42}
+	if err := h.stacks[1].Receive(2,
+		append([]byte{byte(stack.TagConsensus)}, req.marshal()...)); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.envs[1].Sends) != 0 {
+		t.Fatal("replied to a request for an unknown instance")
+	}
+}
+
+// TestMessageRoundTrips covers every consensus message variant through
+// the codec.
+func TestMessageRoundTrips(t *testing.T) {
+	msgs := []message{
+		{Type: mtEstimate, Instance: 9, Round: 3, TS: 2, HasValue: true, Batch: batchOf(1, 4, 5)},
+		{Type: mtEstimate, Instance: 9, Round: 3, HasValue: false, Batch: nil},
+		{Type: mtProposal, Instance: 1, Round: 1, Batch: batchOf(0, 1)},
+		{Type: mtAck, Instance: 2, Round: 7},
+		{Type: mtNack, Instance: 2, Round: 7},
+		{Type: mtDecisionTag, Instance: 3, Round: 1},
+		{Type: mtDecisionReq, Instance: 4},
+		{Type: mtDecisionFull, Instance: 4, Round: 2, Batch: batchOf(2, 8)},
+	}
+	for _, m := range msgs {
+		got, err := unmarshalMessage(m.marshal())
+		if err != nil {
+			t.Fatalf("%s: %v", m.Type, err)
+		}
+		if got.Type != m.Type || got.Instance != m.Instance || got.Round != m.Round ||
+			got.TS != m.TS || got.HasValue != m.HasValue || len(got.Batch) != len(m.Batch) {
+			t.Fatalf("%s: round trip mismatch: %+v vs %+v", m.Type, got, m)
+		}
+	}
+	if _, err := unmarshalMessage([]byte{0xFF}); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	if _, err := unmarshalMessage(nil); err == nil {
+		t.Fatal("empty message accepted")
+	}
+}

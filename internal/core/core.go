@@ -1,0 +1,138 @@
+// Package core assembles the pieces of the library into the high-level
+// API surface that the root package modab re-exports: single real-time
+// nodes (over any transport), whole in-process groups (over the in-memory
+// network), TCP groups, and simulated clusters.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"modab/internal/engine"
+	"modab/internal/netsim"
+	"modab/internal/runtime"
+	"modab/internal/transport"
+	"modab/internal/types"
+)
+
+// DeliverFunc observes one adelivery at one process of a group.
+type DeliverFunc func(p types.ProcessID, d engine.Delivery)
+
+// Group is a set of real-time nodes connected by an in-memory network —
+// the quickest way to use the library inside one OS process.
+type Group struct {
+	nodes []*runtime.Node
+	net   *transport.MemNetwork
+}
+
+// NewLocalGroup starts an n-process group running the given stack over an
+// in-memory network. onDeliver (optional) observes every adelivery; it is
+// invoked from each node's event loop and must not block.
+func NewLocalGroup(n int, stack types.Stack, onDeliver DeliverFunc) (*Group, error) {
+	if n < 1 {
+		return nil, types.ErrEmptyGroup
+	}
+	net := transport.NewMemNetwork()
+	g := &Group{net: net, nodes: make([]*runtime.Node, n)}
+	for i := 0; i < n; i++ {
+		p := types.ProcessID(i)
+		var cb func(engine.Delivery)
+		if onDeliver != nil {
+			cb = func(d engine.Delivery) { onDeliver(p, d) }
+		}
+		node, err := runtime.NewNode(runtime.Options{
+			Self:      p,
+			N:         n,
+			Stack:     stack,
+			Transport: net.Endpoint(p),
+			OnDeliver: cb,
+		})
+		if err != nil {
+			g.Close()
+			return nil, fmt.Errorf("core: start node %d: %w", i, err)
+		}
+		g.nodes[i] = node
+	}
+	return g, nil
+}
+
+// N returns the group size.
+func (g *Group) N() int { return len(g.nodes) }
+
+// Node returns the i-th process's node.
+func (g *Group) Node(i int) *runtime.Node { return g.nodes[i] }
+
+// Abcast submits a payload at process p, blocking on flow control.
+func (g *Group) Abcast(p int, body []byte) (types.MsgID, error) {
+	return g.nodes[p].AbcastBlocking(body)
+}
+
+// Crash closes one node, simulating a crash-stop failure. The survivors'
+// failure detectors will suspect it after their timeout.
+func (g *Group) Crash(p int) error {
+	if g.nodes[p] == nil {
+		return nil
+	}
+	err := g.nodes[p].Close()
+	g.nodes[p] = nil
+	return err
+}
+
+// Close shuts the whole group down.
+func (g *Group) Close() {
+	for i, n := range g.nodes {
+		if n != nil {
+			_ = n.Close()
+			g.nodes[i] = nil
+		}
+	}
+}
+
+// TCPNodeOptions configures one process of a TCP group.
+type TCPNodeOptions struct {
+	// Self is the local process ID; Addrs lists every process's listen
+	// address, indexed by ID.
+	Self  types.ProcessID
+	Addrs []string
+	// Stack selects the implementation.
+	Stack types.Stack
+	// Engine optionally overrides the protocol tunables.
+	Engine engine.Config
+	// OnDeliver observes adeliveries (from the event loop; must not block).
+	OnDeliver func(d engine.Delivery)
+	// HeartbeatPeriod and SuspectTimeout parameterize the failure
+	// detector (zero values use the runtime defaults).
+	HeartbeatPeriod time.Duration
+	SuspectTimeout  time.Duration
+}
+
+// NewTCPNode starts one process of a group communicating over TCP — the
+// deployment used by cmd/abnode.
+func NewTCPNode(opts TCPNodeOptions) (*runtime.Node, error) {
+	tr, err := transport.NewTCP(opts.Self, opts.Addrs)
+	if err != nil {
+		return nil, err
+	}
+	node, err := runtime.NewNode(runtime.Options{
+		Self:            opts.Self,
+		N:               len(opts.Addrs),
+		Stack:           opts.Stack,
+		Engine:          opts.Engine,
+		Transport:       tr,
+		OnDeliver:       opts.OnDeliver,
+		HeartbeatPeriod: opts.HeartbeatPeriod,
+		SuspectTimeout:  opts.SuspectTimeout,
+	})
+	if err != nil {
+		_ = tr.Close()
+		return nil, err
+	}
+	return node, nil
+}
+
+// NewSimCluster builds a deterministic simulated cluster (see
+// internal/netsim); it is re-exported so library users can run the
+// paper's experiments programmatically.
+func NewSimCluster(opts netsim.Options) (*netsim.Cluster, error) {
+	return netsim.NewCluster(opts)
+}

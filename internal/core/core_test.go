@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"modab/internal/engine"
+	"modab/internal/netsim"
+	"modab/internal/types"
+)
+
+func TestLocalGroupTotalOrder(t *testing.T) {
+	var mu sync.Mutex
+	orders := make(map[types.ProcessID][]types.MsgID)
+	g, err := NewLocalGroup(3, types.Modular, func(p types.ProcessID, d engine.Delivery) {
+		mu.Lock()
+		orders[p] = append(orders[p], d.Msg.ID)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.N() != 3 {
+		t.Fatalf("N = %d", g.N())
+	}
+	for p := 0; p < 3; p++ {
+		if _, err := g.Abcast(p, []byte{byte(p)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		done := len(orders[0]) == 3 && len(orders[1]) == 3 && len(orders[2]) == 3
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timeout")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for p := types.ProcessID(1); p < 3; p++ {
+		for i := range orders[0] {
+			if orders[p][i] != orders[0][i] {
+				t.Fatalf("divergence at %d", i)
+			}
+		}
+	}
+}
+
+func TestLocalGroupCrashSurvivors(t *testing.T) {
+	var mu sync.Mutex
+	count := make(map[types.ProcessID]int)
+	g, err := NewLocalGroup(3, types.Monolithic, func(p types.ProcessID, _ engine.Delivery) {
+		mu.Lock()
+		count[p]++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := g.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Crash(0); err != nil {
+		t.Fatal("double crash should be nil")
+	}
+	// Survivors keep working once the FD suspects the dead coordinator.
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Abcast(1, []byte("after crash"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("abcast blocked forever after crash")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		ok := count[1] >= 1 && count[2] >= 1
+		mu.Unlock()
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("survivors never delivered")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestLocalGroupValidation(t *testing.T) {
+	if _, err := NewLocalGroup(0, types.Modular, nil); err == nil {
+		t.Error("accepted empty group")
+	}
+	if _, err := NewLocalGroup(2, 0, nil); err == nil {
+		t.Error("accepted zero stack")
+	}
+}
+
+func TestTCPNodeEndToEnd(t *testing.T) {
+	// A single-process TCP "group" sanity check (multi-process TCP is
+	// covered in internal/runtime).
+	var mu sync.Mutex
+	delivered := 0
+	node, err := NewTCPNode(TCPNodeOptions{
+		Self:  0,
+		Addrs: []string{"127.0.0.1:0"},
+		Stack: types.Monolithic,
+		OnDeliver: func(engine.Delivery) {
+			mu.Lock()
+			delivered++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if _, err := node.AbcastBlocking([]byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		ok := delivered == 1
+		mu.Unlock()
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("not delivered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestTCPNodeBadAddr(t *testing.T) {
+	if _, err := NewTCPNode(TCPNodeOptions{
+		Self:  0,
+		Addrs: []string{"256.256.256.256:99999"},
+		Stack: types.Modular,
+	}); err == nil {
+		t.Error("accepted unlistenable address")
+	}
+}
+
+func TestNewSimCluster(t *testing.T) {
+	c, err := NewSimCluster(netsim.Options{N: 3, Stack: types.Modular, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 3 {
+		t.Fatalf("N = %d", c.N())
+	}
+}

@@ -1,0 +1,170 @@
+// Package engine defines the contract between protocol implementations
+// (the modular and monolithic atomic broadcast stacks) and the drivers
+// that run them (the discrete-event simulator and the real-time runtime).
+//
+// Engines are pure, single-threaded state machines: they never spawn
+// goroutines, read wall-clock time, or block. All interaction with the
+// world goes through the Env interface injected at construction. This is
+// what lets the exact same protocol code run deterministically under
+// simulated virtual time and concurrently over real TCP connections.
+package engine
+
+import (
+	"time"
+
+	"modab/internal/trace"
+	"modab/internal/types"
+	"modab/internal/wire"
+)
+
+// TimerID names a logical timer owned by an engine. Re-arming an ID
+// replaces the previous deadline; firing is edge-triggered.
+type TimerID int64
+
+// Well-known timer IDs. Engines may derive further IDs above TimerUser.
+const (
+	// TimerKick fires when no message has been received for the configured
+	// idle period; the abcast layer then starts a consensus even with an
+	// empty batch (paper §3.3, correctness under partial diffusion).
+	TimerKick TimerID = 1
+	// TimerResend drives crash-path retransmissions.
+	TimerResend TimerID = 2
+	// TimerUser is the first ID free for driver/application use.
+	TimerUser TimerID = 64
+)
+
+// Delivery is one adelivered application message together with the
+// consensus instance that ordered it.
+type Delivery struct {
+	Msg      wire.AppMsg
+	Instance uint64
+}
+
+// Env is the world as seen by an engine. Drivers provide it; engines must
+// treat it as the only side-effect channel they have.
+//
+// Concurrency: drivers guarantee that all Engine methods and all Env
+// callbacks run on a single logical thread per process, so engines need no
+// internal locking.
+type Env interface {
+	// Self returns the local process identifier (0-based).
+	Self() types.ProcessID
+	// N returns the static group size.
+	N() int
+	// Now returns the elapsed time since the process started, in the
+	// driver's clock (virtual in simulation, monotonic in real time).
+	Now() time.Duration
+	// Send transmits data to the given process over the quasi-reliable
+	// point-to-point channel. Send never blocks and never fails; if the
+	// destination has crashed the message is silently dropped (crash-stop
+	// model).
+	Send(to types.ProcessID, data []byte)
+	// SetTimer (re-)arms the timer with the given ID to fire after d.
+	SetTimer(id TimerID, d time.Duration)
+	// CancelTimer disarms the timer if armed.
+	CancelTimer(id TimerID)
+	// Deliver hands an adelivered message to the application.
+	Deliver(d Delivery)
+	// Counters returns the per-process instrumentation sink.
+	Counters() *trace.Counters
+}
+
+// Engine is a deterministic protocol state machine implementing atomic
+// broadcast. Implementations: the modular stack (internal/modular) and the
+// monolithic stack (internal/monolithic).
+type Engine interface {
+	// Start is invoked exactly once, after construction and before any
+	// other call; engines arm their initial timers here.
+	Start()
+	// HandleMessage processes one inbound network message. Malformed
+	// messages are dropped and reported as an error (drivers surface the
+	// error in tests; production drivers count and continue).
+	HandleMessage(from types.ProcessID, data []byte) error
+	// HandleTimer fires a previously armed timer.
+	HandleTimer(id TimerID)
+	// Abcast submits an application payload for total-order broadcast.
+	// It returns the assigned message ID, or types.ErrFlowControl when the
+	// flow-control window is exhausted (the caller retries after
+	// deliveries free the window).
+	Abcast(body []byte) (types.MsgID, error)
+	// Suspect updates the failure-detector output for process p.
+	Suspect(p types.ProcessID, suspected bool)
+	// Pending returns the number of locally known application messages
+	// not yet adelivered (diagnostics and flow-control tests).
+	Pending() int
+}
+
+// Config carries the tunables shared by both stacks. The zero value is not
+// valid; use DefaultConfig and override.
+type Config struct {
+	// N is the group size (required, >= 1).
+	N int
+	// Window is the per-process flow-control window: the maximum number of
+	// locally abcast messages not yet adelivered. The paper's flow control
+	// targets an average of M = 4 messages ordered per consensus.
+	Window int
+	// MaxBatch caps the number of messages packed into one consensus
+	// proposal; 0 means unlimited.
+	MaxBatch int
+	// IdleKick is the paper's t: after this long without receiving any
+	// message, a process starts a consensus even with an empty batch.
+	// Zero disables the kick (useful in unit tests).
+	IdleKick time.Duration
+	// ResendEvery drives crash-path retransmission timers.
+	ResendEvery time.Duration
+	// DecisionHorizon is how many decided instances are retained for
+	// catch-up retransmission before being pruned.
+	DecisionHorizon int
+	// ClassicRBcast makes the modular stack's reliable broadcast use the
+	// classical re-send-at-every-process algorithm (≈n² messages per
+	// broadcast) instead of the majority-relay optimization the paper's
+	// modular stack uses. Benchmark ablation only; ignored by the
+	// monolithic stack.
+	ClassicRBcast bool
+}
+
+// DefaultWindow returns the per-process flow-control window used by both
+// stacks (the paper stresses that the two implementations share the same
+// flow-control mechanism). It targets a group-wide backlog of about 12
+// messages; with a delivery pipeline 2-3 instances deep this orders the
+// paper's M ≈ 4 messages per consensus under saturation.
+func DefaultWindow(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	const backlog = 12
+	w := (backlog + n - 1) / n
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// DefaultConfig returns the tunables used throughout the paper's
+// evaluation for a group of n processes.
+func DefaultConfig(n int) Config {
+	return Config{
+		N:               n,
+		Window:          DefaultWindow(n),
+		MaxBatch:        0,
+		IdleKick:        50 * time.Millisecond,
+		ResendEvery:     100 * time.Millisecond,
+		DecisionHorizon: 128,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.N < 1:
+		return types.ErrEmptyGroup
+	case c.Window < 1:
+		return types.ErrBadConfig
+	case c.MaxBatch < 0:
+		return types.ErrBadConfig
+	case c.DecisionHorizon < 1:
+		return types.ErrBadConfig
+	default:
+		return nil
+	}
+}

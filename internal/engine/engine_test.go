@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"modab/internal/types"
+)
+
+func TestDefaultConfigIsValid(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 20} {
+		cfg := DefaultConfig(n)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("DefaultConfig(%d) invalid: %v", n, err)
+		}
+		if cfg.N != n {
+			t.Errorf("N = %d", cfg.N)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want error
+	}{
+		{"empty group", func(c *Config) { c.N = 0 }, types.ErrEmptyGroup},
+		{"zero window", func(c *Config) { c.Window = 0 }, types.ErrBadConfig},
+		{"negative batch", func(c *Config) { c.MaxBatch = -1 }, types.ErrBadConfig},
+		{"zero horizon", func(c *Config) { c.DecisionHorizon = 0 }, types.ErrBadConfig},
+	}
+	for _, c := range cases {
+		cfg := DefaultConfig(3)
+		c.mut(&cfg)
+		if err := cfg.Validate(); !errors.Is(err, c.want) {
+			t.Errorf("%s: got %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestDefaultWindowTargetsBacklog(t *testing.T) {
+	// The window must give a group backlog of roughly 12 (±n rounding)
+	// and never be below 1.
+	for n := 1; n <= 24; n++ {
+		w := DefaultWindow(n)
+		if w < 1 {
+			t.Fatalf("window(%d) = %d", n, w)
+		}
+		backlog := w * n
+		if backlog < 12 || backlog > 12+n {
+			t.Errorf("n=%d: backlog %d outside [12, %d]", n, backlog, 12+n)
+		}
+	}
+	if DefaultWindow(0) != 1 {
+		t.Error("degenerate group window")
+	}
+	// The paper's group sizes.
+	if DefaultWindow(3) != 4 || DefaultWindow(7) != 2 {
+		t.Errorf("paper windows: n=3 -> %d, n=7 -> %d", DefaultWindow(3), DefaultWindow(7))
+	}
+}

@@ -1,0 +1,97 @@
+// Package enginetest provides a fake engine.Env for unit-testing protocol
+// layers and engines in isolation: it records sends, timers and
+// deliveries, and lets tests advance a manual clock.
+package enginetest
+
+import (
+	"time"
+
+	"modab/internal/engine"
+	"modab/internal/trace"
+	"modab/internal/types"
+)
+
+// Sent is one recorded transmission.
+type Sent struct {
+	To   types.ProcessID
+	Data []byte
+}
+
+// Timer is one recorded timer arm/cancel.
+type Timer struct {
+	ID       engine.TimerID
+	Delay    time.Duration
+	Canceled bool
+}
+
+// Env is the recording fake.
+type Env struct {
+	SelfID types.ProcessID
+	NProcs int
+	Clock  time.Duration
+
+	Sends      []Sent
+	Timers     []Timer
+	Deliveries []engine.Delivery
+	Cnt        trace.Counters
+}
+
+var _ engine.Env = (*Env)(nil)
+
+// New creates a fake environment for process self in a group of n.
+func New(self types.ProcessID, n int) *Env {
+	return &Env{SelfID: self, NProcs: n}
+}
+
+// Self implements engine.Env.
+func (e *Env) Self() types.ProcessID { return e.SelfID }
+
+// N implements engine.Env.
+func (e *Env) N() int { return e.NProcs }
+
+// Now implements engine.Env; advance Clock manually in tests.
+func (e *Env) Now() time.Duration { return e.Clock }
+
+// Send implements engine.Env.
+func (e *Env) Send(to types.ProcessID, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	e.Cnt.MsgsSent.Add(1)
+	e.Cnt.BytesSent.Add(int64(len(data)))
+	e.Sends = append(e.Sends, Sent{To: to, Data: cp})
+}
+
+// SetTimer implements engine.Env.
+func (e *Env) SetTimer(id engine.TimerID, d time.Duration) {
+	e.Timers = append(e.Timers, Timer{ID: id, Delay: d})
+}
+
+// CancelTimer implements engine.Env.
+func (e *Env) CancelTimer(id engine.TimerID) {
+	e.Timers = append(e.Timers, Timer{ID: id, Canceled: true})
+}
+
+// Deliver implements engine.Env.
+func (e *Env) Deliver(d engine.Delivery) { e.Deliveries = append(e.Deliveries, d) }
+
+// Counters implements engine.Env.
+func (e *Env) Counters() *trace.Counters { return &e.Cnt }
+
+// SendsTo returns the recorded sends addressed to p.
+func (e *Env) SendsTo(p types.ProcessID) []Sent {
+	var out []Sent
+	for _, s := range e.Sends {
+		if s.To == p {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Reset clears the recorded sends, timers and deliveries (counters keep
+// accumulating, as they would in a real run).
+func (e *Env) Reset() {
+	e.Sends = nil
+	e.Timers = nil
+	e.Deliveries = nil
+}

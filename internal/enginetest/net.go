@@ -1,0 +1,71 @@
+package enginetest
+
+import (
+	"fmt"
+
+	"modab/internal/types"
+)
+
+// Net routes the recorded sends of a set of fake environments into their
+// counterpart receivers, FIFO, until quiescence — a synchronous mini
+// network for protocol unit tests. Drop (optional) filters messages for
+// fault injection; every dropped or delivered message is consumed.
+type Net struct {
+	Envs []*Env
+	// Deliver hands one message to the destination protocol instance.
+	Deliver func(to, from types.ProcessID, data []byte) error
+	// Drop, when non-nil and true, discards the message instead.
+	Drop func(from, to types.ProcessID, data []byte) bool
+
+	queue []netMsg
+	// Delivered counts messages actually handed to receivers.
+	Delivered int
+}
+
+type netMsg struct {
+	from, to types.ProcessID
+	data     []byte
+}
+
+// collect harvests new sends from every env into the FIFO queue.
+func (n *Net) collect() {
+	for _, e := range n.Envs {
+		for _, s := range e.Sends {
+			n.queue = append(n.queue, netMsg{from: e.SelfID, to: s.To, data: s.Data})
+		}
+		e.Sends = nil
+	}
+}
+
+// Step delivers one queued message; it reports whether any was pending.
+func (n *Net) Step() (bool, error) {
+	n.collect()
+	if len(n.queue) == 0 {
+		return false, nil
+	}
+	m := n.queue[0]
+	n.queue = n.queue[1:]
+	if n.Drop != nil && n.Drop(m.from, m.to, m.data) {
+		return true, nil
+	}
+	if int(m.to) < 0 || int(m.to) >= len(n.Envs) {
+		return true, fmt.Errorf("enginetest: send to unknown process %v", m.to)
+	}
+	n.Delivered++
+	return true, n.Deliver(m.to, m.from, m.data)
+}
+
+// Run delivers until quiescence (bounded by a generous step budget so a
+// protocol livelock fails the test instead of hanging it).
+func (n *Net) Run() error {
+	for steps := 0; steps < 100000; steps++ {
+		ok, err := n.Step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+	return fmt.Errorf("enginetest: no quiescence after 100000 steps")
+}

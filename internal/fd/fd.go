@@ -1,0 +1,233 @@
+// Package fd implements the local failure-detector module of the system
+// model (paper §2.1): each process maintains a list of processes it
+// currently suspects of having crashed. The list may be wrong (◇S-style
+// unreliability); the consensus protocols tolerate wrong suspicions and
+// only need the crashed coordinator to be suspected eventually.
+//
+// The real-time implementation is heartbeat-based: every process
+// broadcasts heartbeats; a peer silent for longer than the timeout is
+// suspected, and unsuspected again as soon as it is heard from.
+package fd
+
+import (
+	"sync"
+	"time"
+
+	"modab/internal/types"
+)
+
+// ChangeFunc observes suspicion changes. Implementations of Detector
+// invoke it serially.
+type ChangeFunc func(p types.ProcessID, suspected bool)
+
+// Detector is the failure-detector interface consumed by the runtime.
+type Detector interface {
+	// Start begins monitoring and reporting changes to onChange.
+	Start(onChange ChangeFunc)
+	// Heard records a sign of life from p (a heartbeat or any message).
+	Heard(p types.ProcessID)
+	// Suspects returns the current suspicion list (diagnostics).
+	Suspects() []types.ProcessID
+	// Close stops the detector.
+	Close()
+}
+
+// Heartbeat is the timeout-based Detector. The runtime calls Heard on
+// every heartbeat (and may call it on every protocol message, which makes
+// suspicions strictly more accurate).
+type Heartbeat struct {
+	self    types.ProcessID
+	n       int
+	timeout time.Duration
+	period  time.Duration
+	send    func(to types.ProcessID) // emits one heartbeat to a peer
+
+	mu        sync.Mutex
+	lastSeen  map[types.ProcessID]time.Time
+	suspected map[types.ProcessID]bool
+	onChange  ChangeFunc
+	closed    bool
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+var _ Detector = (*Heartbeat)(nil)
+
+// NewHeartbeat creates a heartbeat detector for process self in a group
+// of n. send emits one heartbeat to a peer (wired to the transport by the
+// runtime); period is the emission interval and timeout the silence
+// threshold (timeout should be several periods).
+func NewHeartbeat(self types.ProcessID, n int, period, timeout time.Duration,
+	send func(to types.ProcessID)) *Heartbeat {
+	return &Heartbeat{
+		self:      self,
+		n:         n,
+		timeout:   timeout,
+		period:    period,
+		send:      send,
+		lastSeen:  make(map[types.ProcessID]time.Time, n),
+		suspected: make(map[types.ProcessID]bool, n),
+		done:      make(chan struct{}),
+	}
+}
+
+// Start implements Detector.
+func (h *Heartbeat) Start(onChange ChangeFunc) {
+	h.mu.Lock()
+	h.onChange = onChange
+	now := time.Now()
+	for i := 0; i < h.n; i++ {
+		if p := types.ProcessID(i); p != h.self {
+			h.lastSeen[p] = now // grace period at startup
+		}
+	}
+	h.mu.Unlock()
+	h.wg.Add(1)
+	go h.loop()
+}
+
+// loop emits heartbeats and checks for silence.
+func (h *Heartbeat) loop() {
+	defer h.wg.Done()
+	ticker := time.NewTicker(h.period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-h.done:
+			return
+		case <-ticker.C:
+		}
+		for i := 0; i < h.n; i++ {
+			if p := types.ProcessID(i); p != h.self {
+				h.send(p)
+			}
+		}
+		h.check()
+	}
+}
+
+// check updates the suspicion list from the silence threshold.
+func (h *Heartbeat) check() {
+	now := time.Now()
+	var changes []types.ProcessID
+	h.mu.Lock()
+	for i := 0; i < h.n; i++ {
+		p := types.ProcessID(i)
+		if p == h.self {
+			continue
+		}
+		silent := now.Sub(h.lastSeen[p]) > h.timeout
+		if silent != h.suspected[p] {
+			h.suspected[p] = silent
+			changes = append(changes, p)
+		}
+	}
+	cb := h.onChange
+	suspectedCopy := make(map[types.ProcessID]bool, len(h.suspected))
+	for p, s := range h.suspected {
+		suspectedCopy[p] = s
+	}
+	h.mu.Unlock()
+	if cb == nil {
+		return
+	}
+	for _, p := range changes {
+		cb(p, suspectedCopy[p])
+	}
+}
+
+// Heard implements Detector.
+func (h *Heartbeat) Heard(p types.ProcessID) {
+	if p == h.self {
+		return
+	}
+	h.mu.Lock()
+	h.lastSeen[p] = time.Now()
+	wasSuspected := h.suspected[p]
+	if wasSuspected {
+		h.suspected[p] = false
+	}
+	cb := h.onChange
+	h.mu.Unlock()
+	if wasSuspected && cb != nil {
+		cb(p, false)
+	}
+}
+
+// Suspects implements Detector.
+func (h *Heartbeat) Suspects() []types.ProcessID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []types.ProcessID
+	for i := 0; i < h.n; i++ {
+		if p := types.ProcessID(i); h.suspected[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Close implements Detector.
+func (h *Heartbeat) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	h.mu.Unlock()
+	close(h.done)
+	h.wg.Wait()
+}
+
+// Scripted is a Detector driven entirely by test code: call Inject to
+// change the suspicion list. It never suspects on its own.
+type Scripted struct {
+	mu        sync.Mutex
+	onChange  ChangeFunc
+	suspected map[types.ProcessID]bool
+}
+
+var _ Detector = (*Scripted)(nil)
+
+// NewScripted creates an inert detector for tests.
+func NewScripted() *Scripted {
+	return &Scripted{suspected: make(map[types.ProcessID]bool)}
+}
+
+// Start implements Detector.
+func (s *Scripted) Start(onChange ChangeFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onChange = onChange
+}
+
+// Inject reports a suspicion change to the consumer.
+func (s *Scripted) Inject(p types.ProcessID, suspected bool) {
+	s.mu.Lock()
+	s.suspected[p] = suspected
+	cb := s.onChange
+	s.mu.Unlock()
+	if cb != nil {
+		cb(p, suspected)
+	}
+}
+
+// Heard implements Detector (ignored; scripts decide everything).
+func (s *Scripted) Heard(types.ProcessID) {}
+
+// Suspects implements Detector.
+func (s *Scripted) Suspects() []types.ProcessID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []types.ProcessID
+	for p, susp := range s.suspected {
+		if susp {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Close implements Detector.
+func (s *Scripted) Close() {}

@@ -1,0 +1,68 @@
+// Package flow implements the flow-control mechanism shared by both
+// atomic broadcast stacks (paper §5.1): abcast is blocked whenever the
+// process already has Window of its own messages in flight (abcast but not
+// yet adelivered). Bounding the per-process backlog bounds the number of
+// messages ordered per consensus execution — the paper tunes it so that on
+// average M = 4 messages are ordered per consensus.
+package flow
+
+import (
+	"fmt"
+
+	"modab/internal/types"
+)
+
+// Controller tracks the local process's in-flight abcast messages and
+// assigns sequence numbers. It is driven from the engine's single event
+// loop and needs no locking.
+type Controller struct {
+	self     types.ProcessID
+	window   int
+	nextSeq  uint64
+	inFlight map[uint64]struct{}
+}
+
+// NewController returns a controller for the given process with the given
+// window (>= 1).
+func NewController(self types.ProcessID, window int) *Controller {
+	if window < 1 {
+		window = 1
+	}
+	return &Controller{
+		self:     self,
+		window:   window,
+		inFlight: make(map[uint64]struct{}, window),
+	}
+}
+
+// Window returns the configured window.
+func (c *Controller) Window() int { return c.window }
+
+// InFlight returns the number of local messages abcast but not yet
+// adelivered.
+func (c *Controller) InFlight() int { return len(c.inFlight) }
+
+// Admit reserves a window slot and assigns the next message ID. It returns
+// types.ErrFlowControl when the window is full.
+func (c *Controller) Admit() (types.MsgID, error) {
+	if len(c.inFlight) >= c.window {
+		return types.MsgID{}, types.ErrFlowControl
+	}
+	c.nextSeq++
+	c.inFlight[c.nextSeq] = struct{}{}
+	return types.MsgID{Sender: c.self, Seq: c.nextSeq}, nil
+}
+
+// Delivered releases the slot held by a locally originated message when it
+// is adelivered. Messages from other senders are ignored. Releasing an
+// unknown local message is an error (it indicates duplicate delivery).
+func (c *Controller) Delivered(id types.MsgID) error {
+	if id.Sender != c.self {
+		return nil
+	}
+	if _, ok := c.inFlight[id.Seq]; !ok {
+		return fmt.Errorf("flow: release of unknown or already-delivered message %s", id)
+	}
+	delete(c.inFlight, id.Seq)
+	return nil
+}

@@ -1,0 +1,294 @@
+package modular
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"modab/internal/engine"
+	"modab/internal/enginetest"
+	"modab/internal/types"
+)
+
+// rig wires n modular engines over the enginetest network.
+type rig struct {
+	n    int
+	envs []*enginetest.Env
+	engs []*Engine
+	net  *enginetest.Net
+}
+
+func newRig(t *testing.T, n int, cfg engine.Config) *rig {
+	t.Helper()
+	if cfg.N == 0 {
+		cfg = engine.DefaultConfig(n)
+		cfg.IdleKick = 0 // tests drive timers explicitly
+	}
+	r := &rig{n: n, envs: make([]*enginetest.Env, n), engs: make([]*Engine, n)}
+	for i := 0; i < n; i++ {
+		r.envs[i] = enginetest.New(types.ProcessID(i), n)
+		r.engs[i] = New(r.envs[i], cfg)
+		r.engs[i].Start()
+	}
+	r.net = &enginetest.Net{
+		Envs: r.envs,
+		Deliver: func(to, from types.ProcessID, data []byte) error {
+			return r.engs[to].HandleMessage(from, data)
+		},
+	}
+	return r
+}
+
+func (r *rig) run(t *testing.T) {
+	t.Helper()
+	if err := r.net.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// order returns the delivered MsgIDs at process p.
+func (r *rig) order(p int) []types.MsgID {
+	out := make([]types.MsgID, 0, len(r.envs[p].Deliveries))
+	for _, d := range r.envs[p].Deliveries {
+		out = append(out, d.Msg.ID)
+	}
+	return out
+}
+
+func (r *rig) checkTotalOrder(t *testing.T, want int) {
+	t.Helper()
+	ref := r.order(0)
+	if len(ref) != want {
+		t.Fatalf("p1 delivered %d, want %d", len(ref), want)
+	}
+	for p := 1; p < r.n; p++ {
+		if got := r.order(p); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("order divergence: p1=%v p%d=%v", ref, p+1, got)
+		}
+	}
+}
+
+func TestSingleAbcastReachesEveryone(t *testing.T) {
+	r := newRig(t, 3, engine.Config{})
+	if _, err := r.engs[1].Abcast([]byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t)
+	r.checkTotalOrder(t, 1)
+	if got := r.order(0)[0]; got.Sender != 1 || got.Seq != 1 {
+		t.Fatalf("delivered %v", got)
+	}
+}
+
+func TestConcurrentAbcastsTotalOrder(t *testing.T) {
+	r := newRig(t, 5, engine.Config{})
+	for p := 0; p < 5; p++ {
+		if _, err := r.engs[p].Abcast([]byte{byte(p)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.run(t)
+	r.checkTotalOrder(t, 5)
+}
+
+func TestFlowControlWindow(t *testing.T) {
+	cfg := engine.DefaultConfig(3)
+	cfg.Window = 2
+	cfg.IdleKick = 0
+	r := newRig(t, 3, cfg)
+	if _, err := r.engs[0].Abcast([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.engs[0].Abcast([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.engs[0].Abcast([]byte("c")); !errors.Is(err, types.ErrFlowControl) {
+		t.Fatalf("want ErrFlowControl, got %v", err)
+	}
+	r.run(t) // deliveries release the window
+	if _, err := r.engs[0].Abcast([]byte("c")); err != nil {
+		t.Fatalf("window not released: %v", err)
+	}
+}
+
+func TestPipelinedLoadKeepsOrder(t *testing.T) {
+	r := newRig(t, 3, engine.Config{})
+	total := 0
+	// Interleave submissions with partial network drains.
+	for round := 0; round < 20; round++ {
+		for p := 0; p < 3; p++ {
+			if _, err := r.engs[p].Abcast([]byte{byte(round)}); err == nil {
+				total++
+			}
+			// Deliver a few messages, not all, to force pipelining.
+			for i := 0; i < 3; i++ {
+				if ok, err := r.net.Step(); err != nil {
+					t.Fatal(err)
+				} else if !ok {
+					break
+				}
+			}
+		}
+	}
+	r.run(t)
+	r.checkTotalOrder(t, total)
+}
+
+func TestDuplicateDiffusionIgnored(t *testing.T) {
+	r := newRig(t, 3, engine.Config{})
+	if _, err := r.engs[0].Abcast([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Capture p0's diffusion to p1 and replay it after the run.
+	var dup []byte
+	for _, s := range r.envs[0].Sends {
+		if s.To == 1 {
+			dup = append([]byte(nil), s.Data...)
+			break
+		}
+	}
+	r.run(t)
+	if err := r.engs[1].HandleMessage(0, dup); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t)
+	r.checkTotalOrder(t, 1) // no duplicate delivery
+}
+
+func TestIdleKickRecoversPartialDiffusion(t *testing.T) {
+	cfg := engine.DefaultConfig(3)
+	cfg.IdleKick = 10 * time.Millisecond
+	r := newRig(t, 3, cfg)
+	// p2 abcasts m but crashes mid-diffusion: only p3 receives the copy;
+	// the coordinator p1 never sees it, and p2 is silent from then on.
+	if _, err := r.engs[1].Abcast([]byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.envs[1].Sends {
+		if s.To == 2 {
+			if err := r.engs[2].HandleMessage(1, s.Data); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	r.envs[1].Sends = nil
+	r.net.Drop = func(from, to types.ProcessID, _ []byte) bool {
+		return from == 1 || to == 1 // p2 crashed
+	}
+	r.run(t)
+	// p3 holds m pending; nothing delivered anywhere.
+	if got := r.engs[2].Pending(); got != 1 {
+		t.Fatalf("p3 pending = %d", got)
+	}
+	// The kick timer at p3 re-diffuses to the coordinator and re-proposes.
+	r.envs[2].Clock += time.Second
+	fireKick(t, r, 2)
+	r.run(t)
+	// m must now be ordered at the survivors (p1 and p3).
+	if len(r.envs[0].Deliveries) != 1 || len(r.envs[2].Deliveries) != 1 {
+		t.Fatalf("recovery failed: p1=%d p3=%d deliveries",
+			len(r.envs[0].Deliveries), len(r.envs[2].Deliveries))
+	}
+}
+
+// fireKick fires every pending (non-canceled) timer at process p.
+func fireKick(t *testing.T, r *rig, p int) {
+	t.Helper()
+	timers := r.envs[p].Timers
+	r.envs[p].Timers = nil
+	fired := map[engine.TimerID]bool{}
+	for _, tm := range timers {
+		if !tm.Canceled && !fired[tm.ID] {
+			fired[tm.ID] = true
+			r.engs[p].HandleTimer(tm.ID)
+		}
+	}
+}
+
+func TestCoordinatorCrashUnderLoad(t *testing.T) {
+	r := newRig(t, 5, engine.Config{})
+	for p := 0; p < 5; p++ {
+		if _, err := r.engs[p].Abcast([]byte{1, byte(p)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash p1 before it can answer anything.
+	r.net.Drop = func(from, to types.ProcessID, _ []byte) bool {
+		return from == 0 || to == 0
+	}
+	r.run(t)
+	// Survivors suspect p1; round change orders the backlog.
+	for p := 1; p < 5; p++ {
+		r.engs[p].Suspect(0, true)
+	}
+	r.run(t)
+	ref := r.order(1)
+	if len(ref) != 4 { // p1's message died with it; 4 survivors' messages
+		t.Fatalf("survivors delivered %d messages, want 4: %v", len(ref), ref)
+	}
+	for p := 2; p < 5; p++ {
+		if got := r.order(p); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("divergence after crash: %v vs %v", ref, got)
+		}
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	r := newRig(t, 3, engine.Config{})
+	if got := r.engs[0].Pending(); got != 0 {
+		t.Fatalf("initial pending = %d", got)
+	}
+	if _, err := r.engs[0].Abcast([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.engs[0].Pending(); got != 1 {
+		t.Fatalf("pending after abcast = %d", got)
+	}
+	r.run(t)
+	if got := r.engs[0].Pending(); got != 0 {
+		t.Fatalf("pending after delivery = %d", got)
+	}
+}
+
+func TestDeliveryInstanceMetadata(t *testing.T) {
+	r := newRig(t, 3, engine.Config{})
+	for i := 0; i < 3; i++ {
+		if _, err := r.engs[0].Abcast([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		r.run(t)
+	}
+	// Instances must be monotonically non-decreasing in delivery order.
+	last := uint64(0)
+	for _, d := range r.envs[1].Deliveries {
+		if d.Instance < last {
+			t.Fatalf("instance went backwards: %d after %d", d.Instance, last)
+		}
+		last = d.Instance
+	}
+	if last == 0 {
+		t.Fatal("no instances recorded")
+	}
+}
+
+func TestManyMessagesManyInstances(t *testing.T) {
+	r := newRig(t, 3, engine.Config{})
+	total := 0
+	for batch := 0; batch < 30; batch++ {
+		for p := 0; p < 3; p++ {
+			if _, err := r.engs[p].Abcast([]byte(fmt.Sprintf("%d-%d", batch, p))); err == nil {
+				total++
+			}
+		}
+		r.run(t)
+	}
+	r.checkTotalOrder(t, total)
+	// Counters: every process delivered exactly total messages.
+	for p := 0; p < 3; p++ {
+		if got := r.envs[p].Cnt.ADeliver.Load(); got != int64(total) {
+			t.Fatalf("p%d ADeliver = %d, want %d", p+1, got, total)
+		}
+	}
+}

@@ -1,0 +1,819 @@
+// Package monolithic implements the monolithic atomic broadcast stack
+// (paper §4, Fig. 1 right): the same reliable broadcast, consensus and
+// atomic broadcast algorithms as internal/modular, merged into a single
+// module so that the three cross-module optimizations become possible:
+//
+//  1. §4.1 — the decision of consensus instance k-1 is piggybacked on the
+//     proposal of instance k (both come from the same coordinator in good
+//     runs), saving the standalone decision dissemination;
+//  2. §4.2 — abcast messages are not diffused to everyone; they ride on
+//     the consensus ack (or, on coordinator change, on the estimate) to
+//     the coordinator only, which is the one process that needs them;
+//  3. §4.3 — the reliable broadcast of decisions is reduced from
+//     (n-1)·⌊(n+1)/2⌋ messages to n-1: the messages of instance k+1 act as
+//     implicit acknowledgments for the decision of instance k.
+//
+// In saturated good runs one consensus instance therefore costs exactly
+// 2(n-1) messages — proposal+decision out, ack+diffusion back — versus
+// (n-1)(M+2+⌊(n+1)/2⌋) for the modular stack (§5.2.1).
+//
+// Correctness in bad runs is preserved by the same Chandra–Toueg round
+// machinery as the modular consensus (estimates carry the sender's
+// unordered messages to the new coordinator), plus gap detection with
+// decision refetch for processes that missed a piggybacked decision.
+package monolithic
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"modab/internal/engine"
+	"modab/internal/flow"
+	"modab/internal/types"
+	"modab/internal/wire"
+)
+
+// attachGrace is how many instances an attached-but-unordered own message
+// may wait before being re-attached to the next ack (covers acks that
+// arrived after the coordinator already proposed). It sits above the
+// natural pipeline wait (2-3 instances under saturation) so no duplicate
+// piggybacking happens in good runs.
+const attachGrace = 8
+
+// Engine is the monolithic atomic broadcast engine.
+type Engine struct {
+	env engine.Env
+	cfg engine.Config
+
+	self     types.ProcessID
+	n        int
+	majority int
+	fc       *flow.Controller
+
+	// own tracks locally abcast messages until adelivery.
+	own map[uint64]*ownMsg // keyed by local sequence number
+	// pool holds messages this process would propose when coordinating
+	// (its own plus those piggybacked to it).
+	pool map[types.MsgID]wire.AppMsg
+	// delivered deduplicates adeliveries per sender.
+	delivered map[types.ProcessID]*dedup
+	// decidedK is the highest instance decided locally; instances decide
+	// strictly in order.
+	decidedK uint64
+	// insts holds per-instance round state for undecided instances and
+	// recently decided ones (catch-up horizon).
+	insts     map[uint64]*inst
+	suspected map[types.ProcessID]bool
+	// lastProgress is when the last decision was processed (kick guard).
+	lastProgress time.Duration
+	started      bool
+	// pipelineIdle reports that the consensus pipeline stopped (the last
+	// decision was flushed standalone because the coordinator's pool was
+	// empty). While the pipeline runs, fresh abcast messages simply wait
+	// for the next ack; when it is idle they must be forwarded explicitly
+	// to restart it.
+	pipelineIdle bool
+}
+
+var _ engine.Engine = (*Engine)(nil)
+
+// inst is the per-instance consensus state, as in the modular consensus
+// but with merged abcast bookkeeping.
+type inst struct {
+	k             uint64
+	round         uint32
+	est           wire.Batch
+	estTS         uint32
+	hasEst        bool
+	proposals     map[uint32]wire.Batch
+	nacked        map[uint32]bool
+	coord         map[uint32]*coordRound
+	decided       bool
+	decision      wire.Batch
+	decisionRound uint32
+	// waitingRound is nonzero when a decision for this instance is known
+	// to exist in that round but the matching proposal is missing.
+	waitingRound uint32
+}
+
+type coordRound struct {
+	estimates map[types.ProcessID]estimateEntry
+	proposed  bool
+	proposal  wire.Batch
+	acks      map[types.ProcessID]bool
+}
+
+func (in *inst) coordRound(r uint32) *coordRound {
+	cr := in.coord[r]
+	if cr == nil {
+		cr = &coordRound{
+			estimates: make(map[types.ProcessID]estimateEntry),
+			acks:      make(map[types.ProcessID]bool),
+		}
+		in.coord[r] = cr
+	}
+	return cr
+}
+
+// New builds the monolithic engine for the given environment.
+func New(env engine.Env, cfg engine.Config) *Engine {
+	e := &Engine{
+		env:       env,
+		cfg:       cfg,
+		self:      env.Self(),
+		n:         env.N(),
+		majority:  types.Majority(env.N()),
+		fc:        flow.NewController(env.Self(), cfg.Window),
+		own:       make(map[uint64]*ownMsg),
+		pool:      make(map[types.MsgID]wire.AppMsg),
+		delivered: make(map[types.ProcessID]*dedup, env.N()),
+		insts:     make(map[uint64]*inst),
+		suspected: make(map[types.ProcessID]bool),
+	}
+	return e
+}
+
+// Start implements engine.Engine.
+func (e *Engine) Start() {
+	e.started = true
+	e.pipelineIdle = true
+	e.armKick()
+}
+
+// Pending implements engine.Engine: unordered messages known locally.
+func (e *Engine) Pending() int {
+	known := make(map[types.MsgID]struct{}, len(e.pool)+len(e.own))
+	for id := range e.pool {
+		known[id] = struct{}{}
+	}
+	for _, om := range e.own {
+		known[om.msg.ID] = struct{}{}
+	}
+	return len(known)
+}
+
+// coordinator returns the coordinator of round r (1-based).
+func (e *Engine) coordinator(r uint32) types.ProcessID {
+	return types.ProcessID((int(r) - 1) % e.n)
+}
+
+// get returns (creating if needed) the instance state for k, advancing
+// past rounds whose coordinator is already suspected.
+func (e *Engine) get(k uint64) *inst {
+	in := e.insts[k]
+	if in != nil {
+		return in
+	}
+	in = &inst{
+		k:         k,
+		round:     1,
+		proposals: make(map[uint32]wire.Batch),
+		nacked:    make(map[uint32]bool),
+		coord:     make(map[uint32]*coordRound),
+	}
+	e.insts[k] = in
+	for e.suspected[e.coordinator(in.round)] {
+		e.advanceRound(in)
+	}
+	return in
+}
+
+// current returns the instance currently being agreed on (decidedK+1).
+func (e *Engine) current() *inst { return e.get(e.decidedK + 1) }
+
+// Abcast implements engine.Engine. The message is NOT diffused: it waits
+// for the next ack to the coordinator (§4.2), or is forwarded immediately
+// when no consensus is in flight to piggyback on.
+func (e *Engine) Abcast(body []byte) (types.MsgID, error) {
+	id, err := e.fc.Admit()
+	if err != nil {
+		return types.MsgID{}, err
+	}
+	msg := wire.AppMsg{ID: id, Body: body}
+	e.own[id.Seq] = &ownMsg{msg: msg}
+	// Own messages always join the local pool: inert while another process
+	// coordinates, but immediately proposable if this process is (or
+	// becomes, after a round change) the coordinator.
+	e.pool[id] = msg
+	c := e.env.Counters()
+	c.ABCast.Add(1)
+	c.Dispatches.Add(1) // application downcall into the engine
+	cur := e.current()
+	coord := e.coordinator(cur.round)
+	if coord == e.self {
+		e.own[id.Seq].attached = cur.k
+		e.tryPropose()
+		e.armKick()
+		return id, nil
+	}
+	if e.pipelineIdle && len(cur.proposals) == 0 && !cur.decided {
+		// The pipeline is stopped, so no ack will come by to piggyback on:
+		// forward directly to the coordinator to restart it.
+		e.forwardOwn(cur, coord)
+	}
+	e.armKick()
+	return id, nil
+}
+
+// forwardOwn sends every eligible own message to the coordinator as a
+// standalone forward (idle/bootstrap path).
+func (e *Engine) forwardOwn(cur *inst, coord types.ProcessID) {
+	batch := e.eligibleOwn(cur.k)
+	if len(batch) == 0 {
+		return
+	}
+	e.send(coord, message{Type: mForward, Instance: cur.k, Round: cur.round, Batch: batch})
+}
+
+// eligibleOwn collects own unordered messages that should be (re)sent to a
+// coordinator when acking instance k, and marks them attached to k.
+func (e *Engine) eligibleOwn(k uint64) wire.Batch {
+	var batch wire.Batch
+	for _, om := range e.own {
+		if om.attached == 0 || k >= om.attached+attachGrace {
+			om.attached = k
+			batch = append(batch, om.msg)
+		}
+	}
+	batch.SortDeterministic()
+	return batch
+}
+
+// allOwn collects every own unordered message (estimate path: the new
+// coordinator starts with nothing of ours).
+func (e *Engine) allOwn(k uint64) wire.Batch {
+	var batch wire.Batch
+	for _, om := range e.own {
+		om.attached = k
+		batch = append(batch, om.msg)
+	}
+	batch.SortDeterministic()
+	return batch
+}
+
+// tryPropose makes this process propose for the current instance if it is
+// the coordinator of the instance's current round and has something to
+// propose (round 1: its pool, estimate phase suppressed; rounds >= 2: the
+// locked estimate once a majority of estimates arrived).
+func (e *Engine) tryPropose() {
+	cur := e.current()
+	if cur.decided {
+		return
+	}
+	r := cur.round
+	if e.coordinator(r) != e.self {
+		return
+	}
+	cr := cur.coordRound(r)
+	if cr.proposed {
+		return
+	}
+	if r == 1 {
+		batch := e.poolBatch()
+		if len(batch) == 0 {
+			return
+		}
+		e.env.Counters().ConsensusStarted.Add(1)
+		e.proposeRound(cur, r, batch)
+		return
+	}
+	e.coordMaybePropose(cur, r)
+}
+
+// poolBatch snapshots the pool as a deterministic, optionally capped batch.
+func (e *Engine) poolBatch() wire.Batch {
+	batch := make(wire.Batch, 0, len(e.pool))
+	for _, m := range e.pool {
+		batch = append(batch, m)
+	}
+	batch.SortDeterministic()
+	if e.cfg.MaxBatch > 0 && len(batch) > e.cfg.MaxBatch {
+		batch = batch[:e.cfg.MaxBatch]
+	}
+	return batch
+}
+
+// proposeRound sends the combined proposal(k)+decision(k-1) (§4.1) and
+// adopts the proposal locally.
+func (e *Engine) proposeRound(in *inst, r uint32, batch wire.Batch) {
+	cr := in.coordRound(r)
+	cr.proposal = batch
+	cr.proposed = true
+	cr.acks[e.self] = true
+	in.est = batch
+	in.estTS = r
+	in.hasEst = true
+	if r > in.round {
+		in.round = r
+	}
+	in.proposals[r] = batch
+	m := message{Type: mPropDec, Instance: in.k, Round: r, Batch: batch}
+	if prev := e.insts[in.k-1]; prev != nil && prev.decided {
+		m.PrevDecided = true
+		m.PrevK = prev.k
+		m.PrevRound = prev.decisionRound
+	}
+	e.sendAll(m)
+	e.checkDecide(in, r)
+}
+
+// coordMaybePropose proposes for round r >= 2 once a majority of estimates
+// is collected; if every estimate is bottom, the coordinator's own pool is
+// the initial value.
+func (e *Engine) coordMaybePropose(in *inst, r uint32) {
+	if in.decided || r < 2 {
+		return
+	}
+	cr := in.coordRound(r)
+	if cr.proposed {
+		return
+	}
+	votes := len(cr.estimates)
+	if _, ok := cr.estimates[e.self]; !ok {
+		votes++
+	}
+	if votes < e.majority {
+		return
+	}
+	// Iterate in process order so tie-breaks are deterministic.
+	best := estimateEntry{hasValue: in.hasEst, ts: in.estTS, batch: in.est}
+	for p := 0; p < e.n; p++ {
+		en, ok := cr.estimates[types.ProcessID(p)]
+		if !ok || !en.hasValue {
+			continue
+		}
+		if !best.hasValue || en.ts > best.ts {
+			best = en
+		}
+	}
+	if !best.hasValue {
+		// No locked value anywhere: free to propose fresh messages.
+		batch := e.poolBatch()
+		if len(batch) == 0 {
+			return
+		}
+		best = estimateEntry{hasValue: true, batch: batch}
+		e.env.Counters().ConsensusStarted.Add(1)
+	}
+	e.proposeRound(in, r, best.batch)
+}
+
+// advanceRound abandons a round with a suspected coordinator: nack it and
+// send the estimate — carrying all own unordered messages (§4.2) — to the
+// next coordinator.
+func (e *Engine) advanceRound(in *inst) {
+	r := in.round
+	if c := e.coordinator(r); c != e.self && !in.nacked[r] {
+		e.send(c, message{Type: mNack, Instance: in.k, Round: r})
+	}
+	in.nacked[r] = true
+	in.round = r + 1
+	e.env.Counters().Rounds.Add(1)
+	next := e.coordinator(in.round)
+	if next == e.self {
+		e.coordMaybePropose(in, in.round)
+		return
+	}
+	e.send(next, message{
+		Type:      mEstimate,
+		Instance:  in.k,
+		Round:     in.round,
+		TS:        in.estTS,
+		HasValue:  in.hasEst,
+		Batch:     in.est,
+		Piggyback: e.allOwn(in.k),
+	})
+}
+
+// HandleMessage implements engine.Engine.
+func (e *Engine) HandleMessage(from types.ProcessID, data []byte) error {
+	m, err := unmarshalMessage(data)
+	if err != nil {
+		return fmt.Errorf("monolithic: from %s: %w", from, err)
+	}
+	e.env.Counters().Dispatches.Add(1)
+	switch m.Type {
+	case mPropDec:
+		e.handlePropDec(from, m)
+	case mAckDiff:
+		e.handleAckDiff(from, m)
+	case mEstimate:
+		e.handleEstimate(from, m)
+	case mNack:
+		// Round changes are driven by suspicion only (§3.2 optimization).
+	case mForward:
+		e.handleForward(m)
+	case mDecisionOnly:
+		e.handleDecisionOnly(from, m)
+	case mDecisionReq:
+		e.handleDecisionReq(from, m)
+	case mDecisionFull:
+		e.handleDecisionFull(m)
+	default:
+		return fmt.Errorf("monolithic: unexpected message type %d from %s", uint8(m.Type), from)
+	}
+	return nil
+}
+
+// handlePropDec processes the combined proposal+decision: apply the
+// piggybacked decision of k-1, then adopt and acknowledge proposal k,
+// piggybacking fresh own messages on the ack (§4.1 + §4.2).
+func (e *Engine) handlePropDec(from types.ProcessID, m message) {
+	e.pipelineIdle = false
+	if m.PrevDecided {
+		e.applyRemoteDecision(from, m.PrevK, m.PrevRound)
+	}
+	in := e.get(m.Instance)
+	in.proposals[m.Round] = m.Batch
+	if in.decided {
+		return
+	}
+	if in.waitingRound != 0 && m.Round == in.waitingRound {
+		e.decide(in, m.Batch, m.Round)
+		return
+	}
+	if m.Round < in.round {
+		e.send(from, message{Type: mNack, Instance: in.k, Round: m.Round})
+		return
+	}
+	if m.Instance > e.decidedK+1 {
+		// Gap: we missed one or more decisions (coordinator crash window).
+		e.requestMissing(from, m.Instance)
+	}
+	in.round = m.Round
+	if in.nacked[m.Round] {
+		return
+	}
+	in.est = m.Batch
+	in.estTS = m.Round
+	in.hasEst = true
+	ack := message{Type: mAckDiff, Instance: in.k, Round: m.Round, Batch: e.eligibleOwn(in.k)}
+	e.send(from, ack)
+}
+
+// handleAckDiff processes an ack at the coordinator: pool the piggybacked
+// messages and decide on majority.
+func (e *Engine) handleAckDiff(from types.ProcessID, m message) {
+	e.poolIn(m.Batch)
+	in := e.get(m.Instance)
+	if in.decided {
+		e.tryPropose()
+		return
+	}
+	cr := in.coordRound(m.Round)
+	if cr.proposed {
+		cr.acks[from] = true
+		e.checkDecide(in, m.Round)
+	}
+	e.tryPropose()
+}
+
+// handleEstimate processes a round-change estimate at the new coordinator.
+func (e *Engine) handleEstimate(from types.ProcessID, m message) {
+	e.poolIn(m.Piggyback)
+	in := e.get(m.Instance)
+	if in.decided {
+		e.send(from, message{Type: mDecisionFull, Instance: in.k, Round: in.decisionRound, Batch: in.decision})
+		return
+	}
+	if e.coordinator(m.Round) != e.self || m.Round < 2 {
+		return
+	}
+	cr := in.coordRound(m.Round)
+	cr.estimates[from] = estimateEntry{ts: m.TS, hasValue: m.HasValue, batch: m.Batch}
+	e.coordMaybePropose(in, m.Round)
+}
+
+// handleForward pools directly forwarded messages at the coordinator.
+func (e *Engine) handleForward(m message) {
+	e.poolIn(m.Batch)
+	e.tryPropose()
+}
+
+// poolIn adds piggybacked messages to the pool, ignoring already-delivered
+// ones.
+func (e *Engine) poolIn(batch wire.Batch) {
+	for _, msg := range batch {
+		if e.isDelivered(msg.ID) {
+			continue
+		}
+		if _, ok := e.pool[msg.ID]; !ok {
+			e.pool[msg.ID] = msg
+		}
+	}
+}
+
+// checkDecide decides instance k at the coordinator once a majority
+// (including itself) acknowledged round r.
+func (e *Engine) checkDecide(in *inst, r uint32) {
+	cr := in.coordRound(r)
+	if in.decided || !cr.proposed || len(cr.acks) < e.majority {
+		return
+	}
+	e.decide(in, cr.proposal, r)
+}
+
+// applyRemoteDecision applies a decision learned from a peer (piggybacked
+// on a proposal or flushed standalone). Decisions apply strictly in order;
+// gaps trigger refetch, and announcements for future instances are
+// remembered on the instance so the cascade in decide picks them up.
+func (e *Engine) applyRemoteDecision(from types.ProcessID, k uint64, round uint32) {
+	if k <= e.decidedK {
+		return
+	}
+	if k > e.decidedK+1 {
+		// Remember that k is decided in this round, then backfill the gap.
+		in := e.get(k)
+		if !in.decided && in.waitingRound == 0 {
+			in.waitingRound = round
+		}
+		e.requestMissing(from, k)
+		return
+	}
+	in := e.get(k)
+	if in.decided {
+		return
+	}
+	if batch, ok := in.proposals[round]; ok {
+		e.decide(in, batch, round)
+		return
+	}
+	in.waitingRound = round
+	e.send(from, message{Type: mDecisionReq, Instance: k})
+	e.env.Counters().Retransmissions.Add(1)
+	if e.cfg.ResendEvery > 0 {
+		e.env.SetTimer(engine.TimerResend, e.cfg.ResendEvery)
+	}
+}
+
+// requestMissing refetches every decision in [decidedK+1, upto] from a
+// peer (upto itself is included: its announcement may have carried no
+// usable proposal).
+func (e *Engine) requestMissing(from types.ProcessID, upto uint64) {
+	c := e.env.Counters()
+	for k := e.decidedK + 1; k <= upto; k++ {
+		e.send(from, message{Type: mDecisionReq, Instance: k})
+		c.Retransmissions.Add(1)
+	}
+	if e.cfg.ResendEvery > 0 {
+		e.env.SetTimer(engine.TimerResend, e.cfg.ResendEvery)
+	}
+}
+
+// decide finalizes the current instance: adeliver the batch, release flow
+// control, advance to the next instance and keep the pipeline moving.
+func (e *Engine) decide(in *inst, batch wire.Batch, r uint32) {
+	if in.decided || in.k != e.decidedK+1 {
+		return
+	}
+	in.decided = true
+	in.decision = batch
+	in.decisionRound = r
+	in.waitingRound = 0
+	e.decidedK = in.k
+	e.lastProgress = e.env.Now()
+	c := e.env.Counters()
+	c.ConsensusDecided.Add(1)
+	c.BatchedMsgs.Add(int64(len(batch)))
+	ordered := make(wire.Batch, len(batch))
+	copy(ordered, batch)
+	ordered.SortDeterministic()
+	for _, msg := range ordered {
+		delete(e.pool, msg.ID)
+		if msg.ID.Sender == e.self {
+			delete(e.own, msg.ID.Seq)
+		}
+		if e.isDelivered(msg.ID) {
+			continue
+		}
+		e.markDelivered(msg.ID)
+		c.ADeliver.Add(1)
+		e.env.Deliver(engine.Delivery{Msg: msg, Instance: in.k})
+		if err := e.fc.Delivered(msg.ID); err != nil {
+			c.Retransmissions.Add(1)
+		}
+	}
+	e.prune()
+	// Cascade: a decision announcement for the next instance may already
+	// be buffered (out-of-order recovery).
+	if buf := e.insts[e.decidedK+1]; buf != nil && !buf.decided && buf.waitingRound != 0 {
+		if batch, ok := buf.proposals[buf.waitingRound]; ok {
+			e.decide(buf, batch, buf.waitingRound)
+			return
+		}
+	}
+	// Keep the pipeline moving: the next instance's coordinator proposes,
+	// piggybacking this decision (§4.1). If it has nothing to propose, the
+	// pipeline stops: flush the decision standalone so the idle tail still
+	// learns it (never taken under load).
+	next := e.current()
+	if e.coordinator(next.round) == e.self {
+		e.tryPropose()
+		if cur := e.current(); cur.k == in.k+1 && !cur.coordRound(cur.round).proposed {
+			e.pipelineIdle = true
+			e.sendAll(message{Type: mDecisionOnly, Instance: in.k, Round: r})
+		}
+	}
+	e.armKick()
+}
+
+// handleDecisionOnly processes a standalone decision flush: the pipeline
+// has stopped, so any locally waiting messages must be forwarded to the
+// coordinator explicitly to restart it.
+func (e *Engine) handleDecisionOnly(from types.ProcessID, m message) {
+	e.pipelineIdle = true
+	e.applyRemoteDecision(from, m.Instance, m.Round)
+	if len(e.own) > 0 {
+		cur := e.current()
+		if coord := e.coordinator(cur.round); coord != e.self && !cur.decided && len(cur.proposals) == 0 {
+			e.forwardOwn(cur, coord)
+		}
+	}
+}
+
+// handleDecisionReq answers with the full decision if known.
+func (e *Engine) handleDecisionReq(from types.ProcessID, m message) {
+	in := e.insts[m.Instance]
+	if in == nil || !in.decided {
+		return
+	}
+	e.send(from, message{Type: mDecisionFull, Instance: in.k, Round: in.decisionRound, Batch: in.decision})
+	e.env.Counters().Retransmissions.Add(1)
+}
+
+// handleDecisionFull applies a refetched decision. Early arrivals (for
+// instances past the next one) are buffered on the instance and applied
+// by the cascade in decide once their turn comes.
+func (e *Engine) handleDecisionFull(m message) {
+	if m.Instance <= e.decidedK {
+		return
+	}
+	in := e.get(m.Instance)
+	if in.decided {
+		return
+	}
+	in.proposals[m.Round] = m.Batch
+	in.waitingRound = m.Round
+	if m.Instance == e.decidedK+1 {
+		e.decide(in, m.Batch, m.Round)
+	}
+}
+
+// HandleTimer implements engine.Engine.
+func (e *Engine) HandleTimer(id engine.TimerID) {
+	switch id {
+	case engine.TimerResend:
+		e.retryWaiting()
+	case engine.TimerKick:
+		e.kick()
+	}
+}
+
+// retryWaiting re-requests a decision this process knows exists but cannot
+// resolve (the announcing peer may have crashed).
+func (e *Engine) retryWaiting() {
+	in := e.insts[e.decidedK+1]
+	if in == nil || in.decided || in.waitingRound == 0 {
+		return
+	}
+	e.sendAll(message{Type: mDecisionReq, Instance: in.k})
+	e.env.Counters().Retransmissions.Add(int64(e.n - 1))
+	if e.cfg.ResendEvery > 0 {
+		e.env.SetTimer(engine.TimerResend, e.cfg.ResendEvery)
+	}
+}
+
+// kick is the idle/stall timer: re-forward own messages and retry
+// proposing when nothing has progressed for the configured period.
+func (e *Engine) kick() {
+	if e.cfg.IdleKick <= 0 {
+		return
+	}
+	now := e.env.Now()
+	stalled := now-e.lastProgress >= e.cfg.IdleKick
+	if stalled && (len(e.own) > 0 || len(e.pool) > 0) {
+		cur := e.current()
+		coord := e.coordinator(cur.round)
+		if coord == e.self {
+			for _, om := range e.own {
+				e.pool[om.msg.ID] = om.msg
+			}
+			e.tryPropose()
+		} else {
+			// Re-forward everything we still hold.
+			batch := e.allOwn(cur.k)
+			if len(batch) > 0 {
+				e.send(coord, message{Type: mForward, Instance: cur.k, Round: cur.round, Batch: batch})
+				e.env.Counters().Retransmissions.Add(1)
+			}
+		}
+	}
+	e.armKick()
+}
+
+// armKick re-arms the idle timer while there is anything outstanding.
+func (e *Engine) armKick() {
+	if e.cfg.IdleKick <= 0 || !e.started {
+		return
+	}
+	if len(e.own) > 0 || len(e.pool) > 0 {
+		e.env.SetTimer(engine.TimerKick, e.cfg.IdleKick)
+	}
+}
+
+// Suspect implements engine.Engine: advance the current instance past
+// rounds whose coordinator is suspected (the only round-change trigger).
+func (e *Engine) Suspect(p types.ProcessID, suspected bool) {
+	e.suspected[p] = suspected
+	if !suspected {
+		return
+	}
+	keys := make([]uint64, 0, len(e.insts))
+	for k := range e.insts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		in := e.insts[k]
+		for !in.decided && e.suspected[e.coordinator(in.round)] {
+			e.advanceRound(in)
+		}
+	}
+	e.tryPropose()
+	e.armKick()
+}
+
+// prune drops instance state beyond the catch-up horizon.
+func (e *Engine) prune() {
+	h := uint64(e.cfg.DecisionHorizon)
+	if h == 0 || e.decidedK <= h {
+		return
+	}
+	cutoff := e.decidedK - h
+	for k, in := range e.insts {
+		if in.decided && k <= cutoff {
+			delete(e.insts, k)
+		}
+	}
+}
+
+// send marshals and transmits one message, accounting payload bytes.
+func (e *Engine) send(to types.ProcessID, m message) {
+	pb := m.Batch.PayloadBytes() + m.Piggyback.PayloadBytes()
+	e.env.Counters().PayloadBytesSent.Add(int64(pb))
+	e.env.Send(to, m.marshal())
+}
+
+// sendAll transmits one message to every other process.
+func (e *Engine) sendAll(m message) {
+	pb := m.Batch.PayloadBytes() + m.Piggyback.PayloadBytes()
+	e.env.Counters().PayloadBytesSent.Add(int64(pb * (e.n - 1)))
+	data := m.marshal()
+	for p := 0; p < e.n; p++ {
+		if types.ProcessID(p) == e.self {
+			continue
+		}
+		e.env.Send(types.ProcessID(p), data)
+	}
+}
+
+// dedup is the per-sender duplicate-delivery suppressor (watermark +
+// sparse set; bounded memory).
+type dedup struct {
+	watermark uint64
+	sparse    map[uint64]struct{}
+}
+
+func (e *Engine) dedupFor(sender types.ProcessID) *dedup {
+	d := e.delivered[sender]
+	if d == nil {
+		d = &dedup{sparse: make(map[uint64]struct{})}
+		e.delivered[sender] = d
+	}
+	return d
+}
+
+func (e *Engine) isDelivered(id types.MsgID) bool {
+	d := e.dedupFor(id.Sender)
+	if id.Seq <= d.watermark {
+		return true
+	}
+	_, ok := d.sparse[id.Seq]
+	return ok
+}
+
+func (e *Engine) markDelivered(id types.MsgID) {
+	d := e.dedupFor(id.Sender)
+	if id.Seq <= d.watermark {
+		return
+	}
+	d.sparse[id.Seq] = struct{}{}
+	for {
+		if _, ok := d.sparse[d.watermark+1]; !ok {
+			break
+		}
+		delete(d.sparse, d.watermark+1)
+		d.watermark++
+	}
+}

@@ -1,0 +1,39 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"modab/internal/types"
+)
+
+// TestCalibrationProbe prints steady-state behaviour of both stacks under
+// the paper's workloads. Run with -v to inspect; it asserts only sanity.
+func TestCalibrationProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	for _, n := range []int{3, 7} {
+		for _, stk := range []types.Stack{types.Modular, types.Monolithic} {
+			for _, load := range []float64{200, 500, 1000, 2000, 4000} {
+				lc, err := NewLoadedCluster(Options{N: n, Stack: stk, Seed: 7},
+					Workload{OfferedLoad: load, Size: 16384},
+					2*time.Second, 4*time.Second)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lc.Run(7 * time.Second)
+				if errs := lc.Errs(); len(errs) > 0 {
+					t.Fatalf("engine errors: %v", errs[0])
+				}
+				tot := lc.TotalCounters()
+				t.Logf("n=%d %-10s load=%5.0f  thr=%7.1f lat=%7.3fms  M=%5.2f util0=%4.2f msgs/dec=%5.2f blocked=%d",
+					n, stk, load, lc.Recorder.Throughput(),
+					lc.Recorder.MeanLatency()*1e3, tot.AvgBatch(),
+					lc.Utilization(0),
+					float64(tot.MsgsSent)/float64(tot.ConsensusDecided/int64(n)+1),
+					lc.Recorder.Blocked)
+			}
+		}
+	}
+}

@@ -1,0 +1,446 @@
+// Package netsim is a deterministic discrete-event simulator for the
+// atomic broadcast stacks: virtual time, a per-process CPU server with a
+// calibrated cost model, per-NIC egress bandwidth and propagation delay,
+// seeded workload generation and fault injection.
+//
+// The same engine code (internal/modular, internal/monolithic) that runs
+// over real TCP in internal/runtime runs here unchanged; the simulator
+// merely drives HandleMessage/HandleTimer/Abcast in virtual time and
+// charges CPU according to the measured work (message sizes and dispatch
+// counts). Identical seeds and options yield identical traces.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"modab/internal/engine"
+	"modab/internal/modular"
+	"modab/internal/monolithic"
+	"modab/internal/trace"
+	"modab/internal/types"
+)
+
+// Options configures a simulated cluster.
+type Options struct {
+	// N is the group size (required).
+	N int
+	// Stack selects the implementation under test (required).
+	Stack types.Stack
+	// Engine carries the protocol tunables; the zero value means
+	// engine.DefaultConfig(N).
+	Engine engine.Config
+	// Model is the hardware cost model; the zero value means
+	// DefaultModel().
+	Model CostModel
+	// Seed drives workload jitter. Same seed, same trace.
+	Seed int64
+	// OnDeliver, when set, observes every adelivery.
+	OnDeliver func(p types.ProcessID, d engine.Delivery, at time.Duration)
+}
+
+// Cluster is a simulated group of processes running one stack.
+type Cluster struct {
+	opts  Options
+	model CostModel
+	now   time.Duration
+	seq   uint64
+	queue eventQueue
+	procs []*proc
+	rng   *rand.Rand
+	// errs collects engine errors (malformed messages etc.); tests assert
+	// it stays empty.
+	errs []error
+}
+
+// proc is one simulated process.
+type proc struct {
+	id       types.ProcessID
+	eng      engine.Engine
+	counters trace.Counters
+	env      *simEnv
+
+	cpuFreeAt time.Duration
+	nicFreeAt time.Duration
+	crashed   bool
+	timerGen  map[engine.TimerID]uint64
+
+	// busy accumulates CPU time consumed (utilization reporting).
+	busy time.Duration
+}
+
+// eventKind discriminates queue entries.
+type eventKind uint8
+
+const (
+	evMsg eventKind = iota + 1
+	evTimer
+	evCall
+)
+
+// event is one queue entry.
+type event struct {
+	at   time.Duration
+	seq  uint64
+	kind eventKind
+	proc types.ProcessID
+	// evMsg fields.
+	from types.ProcessID
+	data []byte
+	// evTimer fields.
+	timerID  engine.TimerID
+	timerGen uint64
+	// evCall field.
+	fn func()
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// NewCluster builds a simulated cluster. The engines are constructed and
+// started immediately (at virtual time zero).
+func NewCluster(opts Options) (*Cluster, error) {
+	if opts.N < 1 {
+		return nil, types.ErrEmptyGroup
+	}
+	if opts.Stack != types.Modular && opts.Stack != types.Monolithic {
+		return nil, fmt.Errorf("%w: unknown stack %v", types.ErrBadConfig, opts.Stack)
+	}
+	if opts.Engine.N == 0 {
+		opts.Engine = engine.DefaultConfig(opts.N)
+	}
+	if opts.Engine.N != opts.N {
+		return nil, fmt.Errorf("%w: engine config N=%d, cluster N=%d", types.ErrBadConfig, opts.Engine.N, opts.N)
+	}
+	if err := opts.Engine.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Model == (CostModel{}) {
+		opts.Model = DefaultModel()
+	}
+	c := &Cluster{
+		opts:  opts,
+		model: opts.Model,
+		procs: make([]*proc, opts.N),
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+	}
+	heap.Init(&c.queue)
+	for i := 0; i < opts.N; i++ {
+		p := &proc{
+			id:       types.ProcessID(i),
+			timerGen: make(map[engine.TimerID]uint64),
+		}
+		p.env = &simEnv{c: c, p: p}
+		switch opts.Stack {
+		case types.Modular:
+			p.eng = modular.New(p.env, opts.Engine)
+		case types.Monolithic:
+			p.eng = monolithic.New(p.env, opts.Engine)
+		}
+		c.procs[i] = p
+	}
+	for _, p := range c.procs {
+		c.exec(p, 0, 0, p.eng.Start)
+	}
+	return c, nil
+}
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() time.Duration { return c.now }
+
+// N returns the group size.
+func (c *Cluster) N() int { return c.opts.N }
+
+// Errs returns engine errors collected so far (nil in healthy runs).
+func (c *Cluster) Errs() []error { return c.errs }
+
+// Counters returns a snapshot of one process's counters.
+func (c *Cluster) Counters(p types.ProcessID) trace.Snapshot {
+	return c.procs[p].counters.Snapshot()
+}
+
+// TotalCounters returns the group-wide counter totals.
+func (c *Cluster) TotalCounters() trace.Snapshot {
+	var total trace.Snapshot
+	for _, p := range c.procs {
+		total.Add(p.counters.Snapshot())
+	}
+	return total
+}
+
+// Utilization returns the fraction of virtual time process p's CPU was
+// busy, up to the current time.
+func (c *Cluster) Utilization(p types.ProcessID) float64 {
+	if c.now <= 0 {
+		return 0
+	}
+	return float64(c.procs[p].busy) / float64(c.now)
+}
+
+// Pending returns the engine's count of unordered messages at p.
+func (c *Cluster) Pending(p types.ProcessID) int { return c.procs[p].eng.Pending() }
+
+// push schedules an event.
+func (c *Cluster) push(e *event) {
+	c.seq++
+	e.seq = c.seq
+	heap.Push(&c.queue, e)
+}
+
+// At schedules a harness callback at the given virtual time (or now,
+// whichever is later). Callbacks run outside any process CPU.
+func (c *Cluster) At(t time.Duration, fn func()) {
+	if t < c.now {
+		t = c.now
+	}
+	c.push(&event{at: t, kind: evCall, proc: types.Nobody, fn: fn})
+}
+
+// Abcast schedules an abcast submission at process p at the given time.
+// report, if non-nil, observes the outcome: the assigned ID and t0 (the
+// time the abcast call completed), or the admission error.
+func (c *Cluster) Abcast(p types.ProcessID, at time.Duration, body []byte,
+	report func(id types.MsgID, t0 time.Duration, err error)) {
+	if at < c.now {
+		at = c.now
+	}
+	c.push(&event{at: at, kind: evCall, proc: types.Nobody, fn: func() {
+		pr := c.procs[p]
+		if pr.crashed {
+			if report != nil {
+				report(types.MsgID{}, c.now, types.ErrCrashed)
+			}
+			return
+		}
+		var id types.MsgID
+		var err error
+		end := c.exec(pr, c.now, c.model.AbcastPerMsg, func() {
+			id, err = pr.eng.Abcast(body)
+		})
+		if report != nil {
+			report(id, end, err)
+		}
+	}})
+}
+
+// Crash stops process p at the given time: its pending and future events
+// are discarded and every other process's failure detector reports it
+// after the configured detection delay.
+func (c *Cluster) Crash(p types.ProcessID, at time.Duration) {
+	c.At(at, func() {
+		pr := c.procs[p]
+		if pr.crashed {
+			return
+		}
+		pr.crashed = true
+		for _, q := range c.procs {
+			if q.id == p || q.crashed {
+				continue
+			}
+			qp := q
+			c.At(c.now+c.model.FDDetect, func() {
+				if qp.crashed {
+					return
+				}
+				c.exec(qp, c.now, c.model.TimerPerFire, func() {
+					qp.eng.Suspect(p, true)
+				})
+			})
+		}
+	})
+}
+
+// SuspectWindow injects a wrong suspicion: process q suspects p during
+// [at, at+dur) although p is alive.
+func (c *Cluster) SuspectWindow(q, p types.ProcessID, at, dur time.Duration) {
+	c.At(at, func() {
+		qp := c.procs[q]
+		if qp.crashed {
+			return
+		}
+		c.exec(qp, c.now, c.model.TimerPerFire, func() { qp.eng.Suspect(p, true) })
+	})
+	c.At(at+dur, func() {
+		qp := c.procs[q]
+		if qp.crashed {
+			return
+		}
+		c.exec(qp, c.now, c.model.TimerPerFire, func() { qp.eng.Suspect(p, false) })
+	})
+}
+
+// Run processes events until the queue is exhausted or virtual time
+// exceeds until. It returns the virtual time reached.
+func (c *Cluster) Run(until time.Duration) time.Duration {
+	for c.queue.Len() > 0 {
+		e := c.queue[0]
+		if e.at > until {
+			c.now = until
+			return c.now
+		}
+		heap.Pop(&c.queue)
+		c.now = e.at
+		c.dispatch(e)
+	}
+	if c.now < until {
+		c.now = until
+	}
+	return c.now
+}
+
+// RunIdle processes events until the queue is empty (engines must
+// quiesce; periodic timers re-arm only while work is outstanding).
+// The safety valve bounds runaway executions.
+func (c *Cluster) RunIdle(safetyValve time.Duration) time.Duration {
+	return c.Run(c.now + safetyValve)
+}
+
+// dispatch executes one event.
+func (c *Cluster) dispatch(e *event) {
+	switch e.kind {
+	case evCall:
+		e.fn()
+	case evMsg:
+		p := c.procs[e.proc]
+		if p.crashed {
+			return
+		}
+		p.counters.MsgsRecv.Add(1)
+		p.counters.BytesRecv.Add(int64(len(e.data)))
+		c.exec(p, e.at, c.model.recvCost(len(e.data)), func() {
+			if err := p.eng.HandleMessage(e.from, e.data); err != nil {
+				c.errs = append(c.errs, fmt.Errorf("sim t=%v %s: %w", e.at, p.id, err))
+			}
+		})
+	case evTimer:
+		p := c.procs[e.proc]
+		if p.crashed || p.timerGen[e.timerID] != e.timerGen {
+			return
+		}
+		c.exec(p, e.at, c.model.TimerPerFire, func() {
+			p.eng.HandleTimer(e.timerID)
+		})
+	}
+}
+
+// exec runs one engine call on p's CPU at virtual time at (or when the
+// CPU frees up), charges baseCost plus the per-dispatch and per-send
+// costs measured during the call, and flushes buffered sends through the
+// NIC model. It returns the time the handler completed.
+func (c *Cluster) exec(p *proc, at time.Duration, baseCost time.Duration, fn func()) time.Duration {
+	start := at
+	if p.cpuFreeAt > start {
+		start = p.cpuFreeAt
+	}
+	env := p.env
+	env.handlerNow = start
+	env.outbox = env.outbox[:0]
+	env.deliveries = env.deliveries[:0]
+	d0 := p.counters.Dispatches.Load()
+	fn()
+	dd := p.counters.Dispatches.Load() - d0
+
+	cost := baseCost + time.Duration(dd)*c.model.PerDispatch
+	for _, om := range env.outbox {
+		cost += c.model.sendCost(len(om.data))
+	}
+	end := start + cost
+	p.cpuFreeAt = end
+	p.busy += cost
+
+	// NIC egress: messages serialize in emission order on the sender's
+	// link, then arrive after the propagation delay.
+	for _, om := range env.outbox {
+		sendStart := end
+		if p.nicFreeAt > sendStart {
+			sendStart = p.nicFreeAt
+		}
+		ser := c.model.serialization(len(om.data))
+		p.nicFreeAt = sendStart + ser
+		dst := c.procs[om.to]
+		if dst.crashed {
+			continue
+		}
+		c.push(&event{
+			at:   sendStart + ser + c.model.PropDelay,
+			kind: evMsg,
+			proc: om.to,
+			from: p.id,
+			data: om.data,
+		})
+	}
+	// Application upcalls complete when the handler does.
+	if c.opts.OnDeliver != nil {
+		for _, d := range env.deliveries {
+			c.opts.OnDeliver(p.id, d, end)
+		}
+	}
+	return end
+}
+
+// outMsg is one buffered send.
+type outMsg struct {
+	to   types.ProcessID
+	data []byte
+}
+
+// simEnv implements engine.Env for one simulated process.
+type simEnv struct {
+	c          *Cluster
+	p          *proc
+	handlerNow time.Duration
+	outbox     []outMsg
+	deliveries []engine.Delivery
+}
+
+var _ engine.Env = (*simEnv)(nil)
+
+func (e *simEnv) Self() types.ProcessID     { return e.p.id }
+func (e *simEnv) N() int                    { return e.c.opts.N }
+func (e *simEnv) Now() time.Duration        { return e.handlerNow }
+func (e *simEnv) Counters() *trace.Counters { return &e.p.counters }
+func (e *simEnv) Deliver(d engine.Delivery) { e.deliveries = append(e.deliveries, d) }
+
+func (e *simEnv) Send(to types.ProcessID, data []byte) {
+	if to == e.p.id || to < 0 || int(to) >= e.c.opts.N {
+		return
+	}
+	e.p.counters.MsgsSent.Add(1)
+	e.p.counters.BytesSent.Add(int64(len(data)))
+	e.outbox = append(e.outbox, outMsg{to: to, data: data})
+}
+
+func (e *simEnv) SetTimer(id engine.TimerID, d time.Duration) {
+	e.p.timerGen[id]++
+	e.c.push(&event{
+		at:       e.handlerNow + d,
+		kind:     evTimer,
+		proc:     e.p.id,
+		timerID:  id,
+		timerGen: e.p.timerGen[id],
+	})
+}
+
+func (e *simEnv) CancelTimer(id engine.TimerID) {
+	e.p.timerGen[id]++
+}

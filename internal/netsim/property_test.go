@@ -1,0 +1,159 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"modab/internal/engine"
+	"modab/internal/types"
+)
+
+// TestRandomScheduleTotalOrderProperty is the system-level property test:
+// under randomized workloads, message sizes, group sizes, crashes and
+// wrong suspicions, the three atomic broadcast safety properties must
+// hold at every correct process:
+//
+//	agreement  — all correct processes deliver the same sequence prefix;
+//	integrity  — no message is delivered twice, and only abcast messages
+//	             are delivered;
+//	validity   — messages abcast by processes that stay correct are
+//	             eventually delivered.
+func TestRandomScheduleTotalOrderProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep")
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		for _, stk := range []types.Stack{types.Modular, types.Monolithic} {
+			stk := stk
+			t.Run(stk.String(), func(t *testing.T) {
+				t.Parallel()
+				runRandomSchedule(t, stk, seed)
+			})
+		}
+	}
+}
+
+func runRandomSchedule(t *testing.T, stk types.Stack, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := 3 + rng.Intn(3)*2 // 3, 5 or 7
+	type sent struct {
+		id      types.MsgID
+		byProc  types.ProcessID
+		crashed bool // sender crashed during the run
+	}
+	var (
+		submitted []sent
+		orders    = make([][]types.MsgID, n)
+	)
+	c, err := NewCluster(Options{
+		N:     n,
+		Stack: stk,
+		Seed:  seed,
+		OnDeliver: func(p types.ProcessID, d engine.Delivery, _ time.Duration) {
+			orders[p] = append(orders[p], d.Msg.ID)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Random workload: 40-120 messages across random processes and times.
+	total := 40 + rng.Intn(80)
+	horizon := 2 * time.Second
+	for i := 0; i < total; i++ {
+		p := types.ProcessID(rng.Intn(n))
+		at := time.Duration(rng.Int63n(int64(horizon)))
+		size := 16 + rng.Intn(2048)
+		body := make([]byte, size)
+		idx := len(submitted)
+		submitted = append(submitted, sent{byProc: p})
+		c.Abcast(p, at, body, func(id types.MsgID, _ time.Duration, err error) {
+			if err != nil {
+				submitted[idx].id = types.MsgID{} // rejected or crashed
+				return
+			}
+			submitted[idx].id = id
+		})
+	}
+
+	// Random faults: crash at most a minority; maybe a wrong suspicion.
+	crashed := map[types.ProcessID]bool{}
+	for f := 0; f < types.MaxFaulty(n) && rng.Intn(2) == 0; f++ {
+		victim := types.ProcessID(rng.Intn(n))
+		if crashed[victim] {
+			continue
+		}
+		crashed[victim] = true
+		c.Crash(victim, time.Duration(rng.Int63n(int64(horizon))))
+	}
+	if rng.Intn(3) == 0 {
+		q := types.ProcessID(rng.Intn(n))
+		p := types.ProcessID(rng.Intn(n))
+		if q != p && !crashed[q] {
+			c.SuspectWindow(q, p, time.Duration(rng.Int63n(int64(horizon))), 200*time.Millisecond)
+		}
+	}
+
+	c.Run(30 * time.Second)
+	if errs := c.Errs(); len(errs) > 0 {
+		t.Fatalf("seed=%d n=%d: engine error: %v", seed, n, errs[0])
+	}
+
+	// Agreement: all correct processes share a common prefix (and equal
+	// totals after quiescence).
+	var ref []types.MsgID
+	refProc := -1
+	for p := 0; p < n; p++ {
+		if crashed[types.ProcessID(p)] {
+			continue
+		}
+		if refProc == -1 {
+			ref, refProc = orders[p], p
+			continue
+		}
+		got := orders[p]
+		if len(got) != len(ref) {
+			t.Fatalf("seed=%d n=%d: p%d delivered %d, p%d delivered %d",
+				seed, n, p+1, len(got), refProc+1, len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("seed=%d n=%d: order differs at %d: %v vs %v",
+					seed, n, ref[i], got[i], i)
+			}
+		}
+	}
+
+	// Integrity: no duplicates; only submitted IDs delivered.
+	validIDs := map[types.MsgID]bool{}
+	for _, s := range submitted {
+		if s.id != (types.MsgID{}) {
+			validIDs[s.id] = true
+		}
+	}
+	seen := map[types.MsgID]bool{}
+	for _, id := range ref {
+		if seen[id] {
+			t.Fatalf("seed=%d: duplicate delivery %v", seed, id)
+		}
+		seen[id] = true
+		if !validIDs[id] {
+			t.Fatalf("seed=%d: delivered never-submitted %v", seed, id)
+		}
+	}
+
+	// Validity: every message admitted at a process that stayed correct
+	// must be delivered.
+	for _, s := range submitted {
+		if s.id == (types.MsgID{}) || crashed[s.byProc] {
+			continue
+		}
+		if !seen[s.id] {
+			t.Fatalf("seed=%d n=%d stack=%s: message %v from correct %v never delivered",
+				seed, n, stk, s.id, s.byProc)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"modab/internal/engine"
+	"modab/internal/types"
+)
+
+// collector records deliveries per process for order checking.
+type collector struct {
+	orders [][]types.MsgID
+}
+
+func newCollector(n int) *collector {
+	return &collector{orders: make([][]types.MsgID, n)}
+}
+
+func (col *collector) onDeliver(p types.ProcessID, d engine.Delivery, _ time.Duration) {
+	col.orders[p] = append(col.orders[p], d.Msg.ID)
+}
+
+// checkTotalOrder asserts every process delivered the same sequence.
+func (col *collector) checkTotalOrder(t *testing.T) {
+	t.Helper()
+	ref := col.orders[0]
+	for p := 1; p < len(col.orders); p++ {
+		got := col.orders[p]
+		if len(got) != len(ref) {
+			t.Fatalf("process %d delivered %d messages, process 0 delivered %d", p, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("order divergence at position %d: p0=%v p%d=%v", i, ref[i], p, got[i])
+			}
+		}
+	}
+}
+
+func TestSmokeBothStacks(t *testing.T) {
+	for _, stk := range []types.Stack{types.Modular, types.Monolithic} {
+		for _, n := range []int{1, 2, 3, 7} {
+			stk, n := stk, n
+			t.Run(stk.String()+"/n="+string(rune('0'+n)), func(t *testing.T) {
+				col := newCollector(n)
+				c, err := NewCluster(Options{
+					N:         n,
+					Stack:     stk,
+					Seed:      1,
+					OnDeliver: col.onDeliver,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Every process abcasts 5 messages, spaced out; flow-control
+				// rejections are retried (the blocking abcast behaviour).
+				const perProc = 5
+				var submit func(p types.ProcessID, at time.Duration, body []byte)
+				submit = func(p types.ProcessID, at time.Duration, body []byte) {
+					c.Abcast(p, at, body, func(_ types.MsgID, t0 time.Duration, err error) {
+						if err != nil {
+							submit(p, t0+2*time.Millisecond, body)
+						}
+					})
+				}
+				for i := 0; i < n; i++ {
+					for j := 0; j < perProc; j++ {
+						submit(types.ProcessID(i), time.Duration(j*3)*time.Millisecond, []byte{byte(i), byte(j)})
+					}
+				}
+				c.Run(5 * time.Second)
+				if errs := c.Errs(); len(errs) > 0 {
+					t.Fatalf("engine errors: %v", errs)
+				}
+				for p := 0; p < n; p++ {
+					if got := len(col.orders[p]); got != n*perProc {
+						t.Fatalf("process %d delivered %d of %d messages", p, got, n*perProc)
+					}
+				}
+				col.checkTotalOrder(t)
+			})
+		}
+	}
+}

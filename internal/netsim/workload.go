@@ -1,0 +1,177 @@
+package netsim
+
+import (
+	"time"
+
+	"modab/internal/engine"
+	"modab/internal/stats"
+	"modab/internal/types"
+)
+
+// Workload is the paper's symmetric workload (§5.1): every process abcasts
+// fixed-size messages at a constant rate. OfferedLoad is the global rate
+// across all processes, in messages per second; each process injects
+// OfferedLoad/n.
+type Workload struct {
+	// OfferedLoad is the global abcast attempt rate (msgs/s).
+	OfferedLoad float64
+	// Size is the application payload size in bytes.
+	Size int
+	// Start and End bound the injection interval.
+	Start, End time.Duration
+}
+
+// Recorder accumulates the paper's two metrics over a measurement window:
+// early latency (min over processes of adeliver time, minus t0) and
+// throughput (mean per-process adeliver rate). Messages abcast during
+// warm-up are excluded from latency; deliveries outside the window are
+// excluded from throughput.
+type Recorder struct {
+	n                      int
+	WindowStart, WindowEnd time.Duration
+
+	// Latency holds one early-latency sample (in seconds) per measured
+	// message.
+	Latency stats.Series
+
+	t0        map[types.MsgID]time.Duration
+	delivered map[types.MsgID]struct{}
+	perProc   []int64
+
+	// Attempted/Admitted/Blocked count abcast attempts inside the window.
+	Attempted int64
+	Admitted  int64
+	Blocked   int64
+}
+
+// NewRecorder creates a recorder measuring the given window for a group of
+// n processes.
+func NewRecorder(n int, windowStart, windowEnd time.Duration) *Recorder {
+	return &Recorder{
+		n:           n,
+		WindowStart: windowStart,
+		WindowEnd:   windowEnd,
+		t0:          make(map[types.MsgID]time.Duration),
+		delivered:   make(map[types.MsgID]struct{}),
+		perProc:     make([]int64, n),
+	}
+}
+
+// inWindow reports whether t falls inside the measurement window.
+func (r *Recorder) inWindow(t time.Duration) bool {
+	return t >= r.WindowStart && t < r.WindowEnd
+}
+
+// onAbcast records one abcast outcome.
+func (r *Recorder) onAbcast(id types.MsgID, t0 time.Duration, err error) {
+	if r.inWindow(t0) {
+		r.Attempted++
+		if err != nil {
+			r.Blocked++
+		} else {
+			r.Admitted++
+		}
+	}
+	if err == nil && r.inWindow(t0) {
+		r.t0[id] = t0
+	}
+}
+
+// OnDeliver records one adelivery; wire it to Options.OnDeliver.
+func (r *Recorder) OnDeliver(p types.ProcessID, id types.MsgID, at time.Duration) {
+	if r.inWindow(at) {
+		r.perProc[p]++
+	}
+	if _, seen := r.delivered[id]; seen {
+		return
+	}
+	r.delivered[id] = struct{}{}
+	if t0, ok := r.t0[id]; ok {
+		r.Latency.Add((at - t0).Seconds())
+		delete(r.t0, id)
+	}
+}
+
+// Throughput returns the paper's T = (1/n) Σ r_i in msgs/s over the
+// measurement window.
+func (r *Recorder) Throughput() float64 {
+	window := (r.WindowEnd - r.WindowStart).Seconds()
+	if window <= 0 {
+		return 0
+	}
+	var sum float64
+	for _, cnt := range r.perProc {
+		sum += float64(cnt) / window
+	}
+	return sum / float64(r.n)
+}
+
+// MeanLatency returns the mean early latency in seconds (0 if no samples).
+func (r *Recorder) MeanLatency() float64 { return r.Latency.Mean() }
+
+// InstallWorkload wires the workload and recorder into the cluster: every
+// process submits Size-byte messages at rate OfferedLoad/n with a seeded
+// phase offset, and every delivery feeds the recorder.
+//
+// Call before Run; the cluster's OnDeliver must route to rec.OnDeliver
+// (NewLoadedCluster does all of this).
+func InstallWorkload(c *Cluster, w Workload, rec *Recorder) {
+	if w.OfferedLoad <= 0 || c.opts.N == 0 {
+		return
+	}
+	perProc := w.OfferedLoad / float64(c.opts.N)
+	interval := time.Duration(float64(time.Second) / perProc)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	body := make([]byte, w.Size)
+	for i := 0; i < c.opts.N; i++ {
+		p := types.ProcessID(i)
+		// Deterministic per-process phase spreads senders across the
+		// interval; the paper's workload is symmetric, not synchronized.
+		phase := time.Duration(c.rng.Int63n(int64(interval) + 1))
+		scheduleSender(c, p, w, body, rec, w.Start+phase, interval)
+	}
+}
+
+// scheduleSender arms the periodic injection loop for one process.
+func scheduleSender(c *Cluster, p types.ProcessID, w Workload, body []byte,
+	rec *Recorder, next time.Duration, interval time.Duration) {
+	if next >= w.End {
+		return
+	}
+	c.Abcast(p, next, body, func(id types.MsgID, t0 time.Duration, err error) {
+		if rec != nil && err != types.ErrCrashed {
+			rec.onAbcast(id, t0, err)
+		}
+	})
+	c.At(next, func() {
+		scheduleSender(c, p, w, body, rec, next+interval, interval)
+	})
+}
+
+// LoadedCluster bundles a cluster with its workload recorder.
+type LoadedCluster struct {
+	*Cluster
+	Recorder *Recorder
+	Workload Workload
+}
+
+// NewLoadedCluster builds a cluster running the paper's symmetric workload
+// with a measurement window of [warmup, warmup+measure) and the injection
+// running for the whole horizon.
+func NewLoadedCluster(opts Options, w Workload, warmup, measure time.Duration) (*LoadedCluster, error) {
+	rec := NewRecorder(opts.N, warmup, warmup+measure)
+	opts.OnDeliver = func(p types.ProcessID, d engine.Delivery, at time.Duration) {
+		rec.OnDeliver(p, d.Msg.ID, at)
+	}
+	if w.End == 0 {
+		w.End = warmup + measure
+	}
+	c, err := NewCluster(opts)
+	if err != nil {
+		return nil, err
+	}
+	InstallWorkload(c, w, rec)
+	return &LoadedCluster{Cluster: c, Recorder: rec, Workload: w}, nil
+}

@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"modab/internal/types"
+)
+
+func TestRecorderWindowing(t *testing.T) {
+	r := NewRecorder(2, time.Second, 2*time.Second)
+	id := types.MsgID{Sender: 0, Seq: 1}
+
+	// Before the window: ignored for stats.
+	r.onAbcast(id, 500*time.Millisecond, nil)
+	if r.Admitted != 0 || r.Attempted != 0 {
+		t.Fatal("counted outside window")
+	}
+	// Inside the window.
+	id2 := types.MsgID{Sender: 0, Seq: 2}
+	r.onAbcast(id2, 1100*time.Millisecond, nil)
+	if r.Admitted != 1 || r.Attempted != 1 {
+		t.Fatalf("admitted=%d attempted=%d", r.Admitted, r.Attempted)
+	}
+	// Blocked attempts count separately.
+	r.onAbcast(types.MsgID{}, 1200*time.Millisecond, types.ErrFlowControl)
+	if r.Blocked != 1 || r.Attempted != 2 {
+		t.Fatalf("blocked=%d attempted=%d", r.Blocked, r.Attempted)
+	}
+
+	// First delivery anywhere defines early latency; later deliveries of
+	// the same message only add to per-process throughput.
+	r.OnDeliver(0, id2, 1150*time.Millisecond)
+	r.OnDeliver(1, id2, 1300*time.Millisecond)
+	if r.Latency.N() != 1 {
+		t.Fatalf("latency samples = %d", r.Latency.N())
+	}
+	if got := r.Latency.Mean(); math.Abs(got-0.050) > 1e-9 {
+		t.Fatalf("latency = %v, want 50ms", got)
+	}
+	// Throughput: both processes delivered once in a 1s window.
+	if got := r.Throughput(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("throughput = %v", got)
+	}
+}
+
+func TestRecorderDeliveryOutsideWindow(t *testing.T) {
+	r := NewRecorder(1, 0, time.Second)
+	id := types.MsgID{Sender: 0, Seq: 1}
+	r.onAbcast(id, 900*time.Millisecond, nil)
+	// Delivered after the window: not in throughput, but latency still
+	// recorded (the message was abcast inside the window).
+	r.OnDeliver(0, id, 1500*time.Millisecond)
+	if r.Throughput() != 0 {
+		t.Fatalf("throughput = %v", r.Throughput())
+	}
+	if r.Latency.N() != 1 {
+		t.Fatal("latency sample missing")
+	}
+}
+
+func TestWorkloadOffersAtConfiguredRate(t *testing.T) {
+	lc, err := NewLoadedCluster(Options{N: 3, Stack: types.Monolithic, Seed: 3},
+		Workload{OfferedLoad: 900, Size: 64}, 500*time.Millisecond, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc.Run(4 * time.Second)
+	// 900 msgs/s over a 2s window ≈ 1800 attempts (± edge effects).
+	if lc.Recorder.Attempted < 1700 || lc.Recorder.Attempted > 1900 {
+		t.Fatalf("attempted = %d, want ≈1800", lc.Recorder.Attempted)
+	}
+}
+
+func TestCostModelArithmetic(t *testing.T) {
+	m := CostModel{
+		RecvPerMsg:           100 * time.Microsecond,
+		SendPerMsg:           50 * time.Microsecond,
+		RecvNsPerByte:        10,
+		SendNsPerByte:        5,
+		BandwidthBytesPerSec: 1e6,
+	}
+	if got := m.recvCost(1000); got != 110*time.Microsecond {
+		t.Errorf("recvCost = %v", got)
+	}
+	if got := m.sendCost(1000); got != 55*time.Microsecond {
+		t.Errorf("sendCost = %v", got)
+	}
+	if got := m.serialization(1000); got != time.Millisecond {
+		t.Errorf("serialization = %v", got)
+	}
+	var zero CostModel
+	if got := zero.serialization(1000); got != 0 {
+		t.Errorf("zero-bandwidth serialization = %v", got)
+	}
+}
+
+func TestDefaultModelSane(t *testing.T) {
+	m := DefaultModel()
+	if m.RecvPerMsg <= 0 || m.PerDispatch <= 0 || m.BandwidthBytesPerSec <= 0 ||
+		m.PropDelay <= 0 || m.FDDetect <= 0 {
+		t.Fatalf("default model has zero fields: %+v", m)
+	}
+	// Receiving must cost more than sending (interrupt + copy + decode):
+	// the calibration notes in DESIGN.md depend on it.
+	if m.RecvPerMsg <= m.SendPerMsg {
+		t.Error("recv fixed cost should exceed send fixed cost")
+	}
+}

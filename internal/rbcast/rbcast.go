@@ -1,0 +1,222 @@
+// Package rbcast implements the reliable broadcast microprotocol of the
+// modular stack (paper §3.1).
+//
+// Classical algorithm: the sender sends a copy of m to all processes; on
+// receiving m for the first time, every process re-sends m to all. That
+// costs about n² messages per broadcast.
+//
+// Majority optimization (the mode used in the paper's modular stack):
+// assuming a majority of processes never crash, only a fixed relay set of
+// ⌊(n-1)/2⌋ processes re-sends, giving (n-1)·(⌊(n-1)/2⌋+1) =
+// (n-1)·⌊(n+1)/2⌋ messages per broadcast. Together with the origin, the
+// relay set forms a majority, so at least one correct process re-sends
+// every rdelivered message and all correct processes rdeliver it.
+package rbcast
+
+import (
+	"fmt"
+
+	"modab/internal/engine"
+	"modab/internal/stack"
+	"modab/internal/types"
+	"modab/internal/wire"
+)
+
+// Mode selects the re-send strategy.
+type Mode int
+
+const (
+	// Majority uses the relay-set optimization (default in the paper).
+	Majority Mode = iota + 1
+	// Classic re-sends at every process on first receipt.
+	Classic
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Majority:
+		return "majority"
+	case Classic:
+		return "classic"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// MessagesPerBroadcast returns the number of point-to-point messages a
+// single rbcast generates in a good run for the given group size — the
+// quantity used in the paper's §5.2.1 analysis.
+func (m Mode) MessagesPerBroadcast(n int) int {
+	switch m {
+	case Majority:
+		return (n - 1) * ((n-1)/2 + 1)
+	case Classic:
+		return (n - 1) * n
+	default:
+		return 0
+	}
+}
+
+// Layer is the reliable broadcast microprotocol. It accepts
+// stack.EvBroadcastReq events and emits stack.EvRDeliver events to the
+// subscriber layer.
+type Layer struct {
+	ctx        *stack.Context
+	subscriber stack.Tag
+	mode       Mode
+
+	self    types.ProcessID
+	n       int
+	nextSeq uint64
+	seen    map[types.ProcessID]*dedup
+}
+
+var _ stack.Layer = (*Layer)(nil)
+
+// New returns a reliable broadcast layer that rdelivers to the layer with
+// the given tag.
+func New(subscriber stack.Tag, mode Mode) *Layer {
+	return &Layer{subscriber: subscriber, mode: mode}
+}
+
+// Tag implements stack.Layer.
+func (l *Layer) Tag() stack.Tag { return stack.TagRBcast }
+
+// Init implements stack.Layer.
+func (l *Layer) Init(ctx *stack.Context) {
+	l.ctx = ctx
+	l.self = ctx.Env().Self()
+	l.n = ctx.Env().N()
+	l.seen = make(map[types.ProcessID]*dedup, l.n)
+}
+
+// Start implements stack.Layer.
+func (l *Layer) Start() {}
+
+// Event implements stack.Layer: only EvBroadcastReq is meaningful here.
+func (l *Layer) Event(ev stack.Event) {
+	if ev.Kind != stack.EvBroadcastReq {
+		return
+	}
+	l.nextSeq++
+	m := message{origin: l.self, seq: l.nextSeq, payload: ev.Data}
+	// The local process rdelivers its own broadcast immediately.
+	l.markSeen(m.origin, m.seq)
+	l.ctx.Emit(l.subscriber, stack.Event{Kind: stack.EvRDeliver, From: m.origin, Data: m.payload})
+	l.sendToOthers(m, types.Nobody)
+}
+
+// Receive implements stack.Layer.
+func (l *Layer) Receive(from types.ProcessID, data []byte) error {
+	m, err := unmarshalMessage(data)
+	if err != nil {
+		return fmt.Errorf("rbcast: bad message from %s: %w", from, err)
+	}
+	if l.isSeen(m.origin, m.seq) {
+		return nil
+	}
+	l.markSeen(m.origin, m.seq)
+	if l.shouldRelay(m.origin) {
+		l.sendToOthers(m, from)
+	}
+	l.ctx.Emit(l.subscriber, stack.Event{Kind: stack.EvRDeliver, From: m.origin, Data: m.payload})
+	return nil
+}
+
+// Timer implements stack.Layer; rbcast arms no timers.
+func (l *Layer) Timer(engine.TimerID) {}
+
+// Suspect implements stack.Layer; rbcast ignores the failure detector.
+func (l *Layer) Suspect(types.ProcessID, bool) {}
+
+// shouldRelay reports whether the local process re-sends broadcasts
+// originated by origin.
+func (l *Layer) shouldRelay(origin types.ProcessID) bool {
+	if l.mode == Classic {
+		return true
+	}
+	// Relay set: the ⌊(n-1)/2⌋ processes following the origin in ring
+	// order. Origin plus relay set is a majority.
+	relays := (l.n - 1) / 2
+	d := (int(l.self) - int(origin) + l.n) % l.n
+	return d >= 1 && d <= relays
+}
+
+// sendToOthers transmits m to every process except self. The textbook
+// algorithm (and the paper's §5.2.1 message count) re-sends to all n-1
+// other processes, including the origin.
+func (l *Layer) sendToOthers(m message, relayedFrom types.ProcessID) {
+	if relayedFrom != types.Nobody {
+		l.ctx.Env().Counters().Retransmissions.Add(int64(l.n - 1))
+	}
+	l.ctx.NetSendAll(m.marshal())
+}
+
+// message is the rbcast wire unit.
+type message struct {
+	origin  types.ProcessID
+	seq     uint64
+	payload []byte
+}
+
+func (m message) marshal() []byte {
+	w := wire.NewWriter(16 + len(m.payload))
+	w.Int32(int32(m.origin))
+	w.Uint64(m.seq)
+	w.Raw(m.payload)
+	return w.Bytes()
+}
+
+func unmarshalMessage(data []byte) (message, error) {
+	r := wire.NewReader(data)
+	var m message
+	m.origin = types.ProcessID(r.Int32())
+	m.seq = r.Uint64()
+	m.payload = r.Rest()
+	if err := r.Err(); err != nil {
+		return message{}, err
+	}
+	return m, nil
+}
+
+// dedup suppresses duplicate (origin, seq) pairs with a contiguous
+// watermark plus a sparse set for out-of-order arrivals, so memory stays
+// bounded on long runs.
+type dedup struct {
+	watermark uint64
+	sparse    map[uint64]struct{}
+}
+
+func (l *Layer) dedupFor(origin types.ProcessID) *dedup {
+	d := l.seen[origin]
+	if d == nil {
+		d = &dedup{sparse: make(map[uint64]struct{})}
+		l.seen[origin] = d
+	}
+	return d
+}
+
+func (l *Layer) isSeen(origin types.ProcessID, seq uint64) bool {
+	d := l.dedupFor(origin)
+	if seq <= d.watermark {
+		return true
+	}
+	_, ok := d.sparse[seq]
+	return ok
+}
+
+func (l *Layer) markSeen(origin types.ProcessID, seq uint64) {
+	d := l.dedupFor(origin)
+	if seq <= d.watermark {
+		return
+	}
+	d.sparse[seq] = struct{}{}
+	for {
+		if _, ok := d.sparse[d.watermark+1]; !ok {
+			break
+		}
+		delete(d.sparse, d.watermark+1)
+		d.watermark++
+	}
+}

@@ -1,0 +1,249 @@
+package rbcast
+
+import (
+	"fmt"
+	"testing"
+
+	"modab/internal/engine"
+	"modab/internal/enginetest"
+	"modab/internal/stack"
+	"modab/internal/types"
+)
+
+// sink records rdelivered payloads; it stands in for the consensus layer.
+type sink struct {
+	delivered []stack.Event
+}
+
+var _ stack.Layer = (*sink)(nil)
+
+func (s *sink) Tag() stack.Tag                        { return stack.TagConsensus }
+func (s *sink) Init(*stack.Context)                   {}
+func (s *sink) Start()                                {}
+func (s *sink) Event(ev stack.Event)                  { s.delivered = append(s.delivered, ev) }
+func (s *sink) Receive(types.ProcessID, []byte) error { return nil }
+func (s *sink) Timer(engine.TimerID)                  {}
+func (s *sink) Suspect(types.ProcessID, bool)         {}
+
+// rig builds an rbcast layer wired to a sink at a given process.
+func rig(self types.ProcessID, n int, mode Mode) (*enginetest.Env, *stack.Stack, *Layer, *sink) {
+	env := enginetest.New(self, n)
+	rb := New(stack.TagConsensus, mode)
+	sk := &sink{}
+	st := stack.New(env, rb, sk)
+	st.Start()
+	return env, st, rb, sk
+}
+
+func TestBroadcastDeliversLocallyAndSendsToAll(t *testing.T) {
+	env, _, rb, sk := rig(0, 5, Majority)
+	rb.Event(stack.Event{Kind: stack.EvBroadcastReq, Data: []byte("m1")})
+	if len(sk.delivered) != 1 || string(sk.delivered[0].Data) != "m1" {
+		t.Fatalf("local rdeliver missing: %+v", sk.delivered)
+	}
+	if sk.delivered[0].From != 0 {
+		t.Fatalf("origin = %v", sk.delivered[0].From)
+	}
+	if len(env.Sends) != 4 {
+		t.Fatalf("sends = %d, want n-1 = 4", len(env.Sends))
+	}
+}
+
+func TestFirstReceiptDeliversOnceAndDupSuppressed(t *testing.T) {
+	env0, st0, rb0, _ := rig(0, 5, Majority)
+	// Broadcast at p0, replay its wire message into p3 twice.
+	rb0.Event(stack.Event{Kind: stack.EvBroadcastReq, Data: []byte("m")})
+	frame := env0.Sends[0].Data
+
+	_, st3, _, sk3 := rig(3, 5, Majority)
+	if err := st3.Receive(0, frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := st3.Receive(0, frame); err != nil {
+		t.Fatal(err)
+	}
+	if len(sk3.delivered) != 1 {
+		t.Fatalf("delivered %d times, want 1", len(sk3.delivered))
+	}
+	_ = st0
+}
+
+// TestRelaySetSize checks that exactly ⌊(n-1)/2⌋ processes relay each
+// origin's broadcasts, so the total message count matches §5.2.1.
+func TestRelaySetSize(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 7, 9} {
+		for origin := 0; origin < n; origin++ {
+			relays := 0
+			for self := 0; self < n; self++ {
+				if self == origin {
+					continue
+				}
+				l := &Layer{mode: Majority, n: n, self: types.ProcessID(self)}
+				if l.shouldRelay(types.ProcessID(origin)) {
+					relays++
+				}
+			}
+			if want := (n - 1) / 2; relays != want {
+				t.Errorf("n=%d origin=%d: %d relays, want %d", n, origin, relays, want)
+			}
+		}
+	}
+}
+
+// TestMessageCountPerBroadcast simulates a full broadcast through every
+// process and counts wire messages against the analytical formulas.
+func TestMessageCountPerBroadcast(t *testing.T) {
+	for _, mode := range []Mode{Majority, Classic} {
+		for _, n := range []int{3, 5, 7} {
+			envs := make([]*enginetest.Env, n)
+			stacks := make([]*stack.Stack, n)
+			rbs := make([]*Layer, n)
+			for i := 0; i < n; i++ {
+				envs[i], stacks[i], rbs[i], _ = rig(types.ProcessID(i), n, mode)
+			}
+			// p0 broadcasts; deliver every queued send until quiescence.
+			rbs[0].Event(stack.Event{Kind: stack.EvBroadcastReq, Data: []byte("x")})
+			total := 0
+			queue := []enginetest.Sent{}
+			drain := func(from types.ProcessID, env *enginetest.Env) []enginetest.Sent {
+				out := make([]enginetest.Sent, len(env.Sends))
+				copy(out, env.Sends)
+				env.Sends = nil
+				return out
+			}
+			type inflight struct {
+				from types.ProcessID
+				s    enginetest.Sent
+			}
+			var fly []inflight
+			for _, s := range drain(0, envs[0]) {
+				fly = append(fly, inflight{0, s})
+			}
+			for len(fly) > 0 {
+				m := fly[0]
+				fly = fly[1:]
+				total++
+				if err := stacks[m.s.To].Receive(m.from, m.s.Data); err != nil {
+					t.Fatal(err)
+				}
+				for _, s := range drain(m.s.To, envs[m.s.To]) {
+					fly = append(fly, inflight{m.s.To, s})
+				}
+			}
+			if want := mode.MessagesPerBroadcast(n); total != want {
+				t.Errorf("mode=%s n=%d: %d messages, want %d", mode, n, total, want)
+			}
+			_ = queue
+		}
+	}
+}
+
+// TestAllCorrectDeliverDespiteOriginCrash drops the origin's sends to a
+// subset of processes (crash mid-broadcast); relays must cover everyone.
+func TestAllCorrectDeliverDespiteOriginCrash(t *testing.T) {
+	const n = 5
+	envs := make([]*enginetest.Env, n)
+	stacks := make([]*stack.Stack, n)
+	rbs := make([]*Layer, n)
+	sinks := make([]*sink, n)
+	for i := 0; i < n; i++ {
+		envs[i], stacks[i], rbs[i], sinks[i] = rig(types.ProcessID(i), n, Majority)
+	}
+	// p0 broadcasts but "crashes" after reaching only its relay set
+	// (p1, p2): drop sends to p3, p4.
+	rbs[0].Event(stack.Event{Kind: stack.EvBroadcastReq, Data: []byte("m")})
+	type inflight struct {
+		from types.ProcessID
+		s    enginetest.Sent
+	}
+	var fly []inflight
+	for _, s := range envs[0].Sends {
+		if s.To == 3 || s.To == 4 {
+			continue // lost in the crash
+		}
+		fly = append(fly, inflight{0, s})
+	}
+	envs[0].Sends = nil
+	for len(fly) > 0 {
+		m := fly[0]
+		fly = fly[1:]
+		if err := stacks[m.s.To].Receive(m.from, m.s.Data); err != nil {
+			t.Fatal(err)
+		}
+		env := envs[m.s.To]
+		for _, s := range env.Sends {
+			fly = append(fly, inflight{m.s.To, s})
+		}
+		env.Sends = nil
+	}
+	for i := 1; i < n; i++ {
+		if len(sinks[i].delivered) != 1 {
+			t.Errorf("p%d delivered %d, want 1 (relay coverage broken)", i+1, len(sinks[i].delivered))
+		}
+	}
+}
+
+func TestModeStringsAndCounts(t *testing.T) {
+	if Majority.String() != "majority" || Classic.String() != "classic" {
+		t.Error("mode names")
+	}
+	if got := Mode(9).String(); got != "mode(9)" {
+		t.Errorf("unknown mode = %q", got)
+	}
+	// Paper's §5.2.1: majority = (n-1)·⌊(n+1)/2⌋.
+	for n := 2; n <= 9; n++ {
+		if got, want := Majority.MessagesPerBroadcast(n), (n-1)*((n+1)/2); got != want {
+			t.Errorf("majority n=%d: %d != %d", n, got, want)
+		}
+		if got, want := Classic.MessagesPerBroadcast(n), (n-1)*n; got != want {
+			t.Errorf("classic n=%d: %d != %d", n, got, want)
+		}
+	}
+	if Mode(0).MessagesPerBroadcast(3) != 0 {
+		t.Error("unknown mode count should be 0")
+	}
+}
+
+func TestMalformedMessage(t *testing.T) {
+	_, st, _, _ := rig(1, 3, Majority)
+	if err := st.Receive(0, []byte{byte(stack.TagRBcast), 1, 2}); err == nil {
+		t.Fatal("truncated rbcast message accepted")
+	}
+}
+
+func TestWatermarkCompaction(t *testing.T) {
+	_, _, rb, _ := rig(0, 3, Majority)
+	// Mark 1..100 in order: everything should compact into the watermark.
+	for seq := uint64(1); seq <= 100; seq++ {
+		rb.markSeen(1, seq)
+	}
+	d := rb.seen[1]
+	if d.watermark != 100 || len(d.sparse) != 0 {
+		t.Fatalf("watermark=%d sparse=%d", d.watermark, len(d.sparse))
+	}
+	// Out-of-order: gap keeps sparse entries until filled.
+	rb.markSeen(2, 5)
+	if rb.seen[2].watermark != 0 || len(rb.seen[2].sparse) != 1 {
+		t.Fatal("gap not kept sparse")
+	}
+	for _, seq := range []uint64{1, 2, 3, 4} {
+		rb.markSeen(2, seq)
+	}
+	if rb.seen[2].watermark != 5 || len(rb.seen[2].sparse) != 0 {
+		t.Fatalf("gap fill: watermark=%d sparse=%d", rb.seen[2].watermark, len(rb.seen[2].sparse))
+	}
+}
+
+func TestClassicEveryoneRelays(t *testing.T) {
+	for self := 1; self < 4; self++ {
+		l := &Layer{mode: Classic, n: 4, self: types.ProcessID(self)}
+		if !l.shouldRelay(0) {
+			t.Errorf("classic: p%d should relay", self+1)
+		}
+	}
+}
+
+func ExampleMode_MessagesPerBroadcast() {
+	fmt.Println(Majority.MessagesPerBroadcast(3), Classic.MessagesPerBroadcast(3))
+	// Output: 4 6
+}

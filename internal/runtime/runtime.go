@@ -1,0 +1,344 @@
+// Package runtime is the real-time driver for the atomic broadcast
+// engines: one Node per process, with a single-goroutine event loop that
+// serializes transport deliveries, timer fires, failure-detector changes
+// and application abcasts into the engine — the same calls the simulator
+// makes in virtual time, so protocol code is shared verbatim.
+//
+// Frames on the wire carry a one-byte channel tag so protocol traffic and
+// failure-detector heartbeats can share one transport.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"modab/internal/engine"
+	"modab/internal/fd"
+	"modab/internal/modular"
+	"modab/internal/monolithic"
+	"modab/internal/trace"
+	"modab/internal/transport"
+	"modab/internal/types"
+)
+
+// Frame channel tags.
+const (
+	chanEngine byte = 0
+	chanFD     byte = 1
+)
+
+// Options configures a Node.
+type Options struct {
+	// Self is the local process ID; N the group size. Required.
+	Self types.ProcessID
+	N    int
+	// Stack selects the implementation. Required.
+	Stack types.Stack
+	// Engine carries protocol tunables; zero means engine.DefaultConfig(N).
+	Engine engine.Config
+	// Transport is the quasi-reliable channel endpoint. Required.
+	Transport transport.Transport
+	// Detector is the failure detector; nil means a heartbeat detector
+	// with the intervals below.
+	Detector fd.Detector
+	// HeartbeatPeriod/SuspectTimeout parameterize the default detector.
+	HeartbeatPeriod time.Duration
+	SuspectTimeout  time.Duration
+	// OnDeliver observes adeliveries. It is invoked from the event loop;
+	// it must not block and must not call back into the Node.
+	OnDeliver func(d engine.Delivery)
+}
+
+// Node is one running process of the group.
+type Node struct {
+	opts Options
+	eng  engine.Engine
+	env  *nodeEnv
+	det  fd.Detector
+	tr   transport.Transport
+
+	loop    chan func()
+	quit    chan struct{}
+	stopped chan struct{}
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	windowCh chan struct{} // pulsed on own-message delivery (AbcastBlocking)
+}
+
+// NewNode builds and starts a node: the engine starts, the transport
+// begins delivering, and the failure detector begins monitoring.
+func NewNode(opts Options) (*Node, error) {
+	if opts.N < 1 {
+		return nil, types.ErrEmptyGroup
+	}
+	if opts.Transport == nil {
+		return nil, fmt.Errorf("%w: transport required", types.ErrBadConfig)
+	}
+	if opts.Engine.N == 0 {
+		opts.Engine = engine.DefaultConfig(opts.N)
+	}
+	if err := opts.Engine.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.HeartbeatPeriod <= 0 {
+		opts.HeartbeatPeriod = 25 * time.Millisecond
+	}
+	if opts.SuspectTimeout <= 0 {
+		opts.SuspectTimeout = 8 * opts.HeartbeatPeriod
+	}
+	n := &Node{
+		opts:     opts,
+		tr:       opts.Transport,
+		loop:     make(chan func(), 1024),
+		quit:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+		windowCh: make(chan struct{}, 1),
+	}
+	n.env = &nodeEnv{node: n, start: time.Now(), timers: make(map[engine.TimerID]*timerState)}
+	switch opts.Stack {
+	case types.Modular:
+		n.eng = modular.New(n.env, opts.Engine)
+	case types.Monolithic:
+		n.eng = monolithic.New(n.env, opts.Engine)
+	default:
+		return nil, fmt.Errorf("%w: unknown stack %v", types.ErrBadConfig, opts.Stack)
+	}
+
+	n.det = opts.Detector
+	if n.det == nil {
+		n.det = fd.NewHeartbeat(opts.Self, opts.N, opts.HeartbeatPeriod, opts.SuspectTimeout,
+			func(to types.ProcessID) {
+				_ = n.tr.Send(to, []byte{chanFD})
+			})
+	}
+
+	n.wg.Add(1)
+	go n.run()
+
+	if err := n.tr.Start(n.onFrame); err != nil {
+		n.shutdownLoop()
+		return nil, err
+	}
+	n.det.Start(func(p types.ProcessID, suspected bool) {
+		n.post(func() { n.eng.Suspect(p, suspected) })
+	})
+	n.post(n.eng.Start)
+	return n, nil
+}
+
+// run is the event loop: every engine interaction happens here.
+func (n *Node) run() {
+	defer n.wg.Done()
+	defer close(n.stopped)
+	for {
+		select {
+		case fn := <-n.loop:
+			fn()
+		case <-n.quit:
+			return
+		}
+	}
+}
+
+// post enqueues a closure on the event loop; it is dropped if the node is
+// closed (equivalent to a message lost at crash time).
+func (n *Node) post(fn func()) {
+	select {
+	case n.loop <- fn:
+	case <-n.quit:
+	}
+}
+
+// onFrame routes one transport frame.
+func (n *Node) onFrame(from types.ProcessID, data []byte) {
+	if len(data) < 1 {
+		return
+	}
+	n.det.Heard(from) // any traffic is a sign of life
+	switch data[0] {
+	case chanFD:
+		// Heartbeat: nothing beyond Heard.
+	case chanEngine:
+		payload := data[1:]
+		n.post(func() {
+			// Malformed frames are dropped; quasi-reliable channels do not
+			// corrupt, so this only fires on version mismatch.
+			_ = n.eng.HandleMessage(from, payload)
+		})
+	}
+}
+
+// Abcast submits one payload for total-order broadcast. It returns
+// types.ErrFlowControl when the window is full.
+func (n *Node) Abcast(body []byte) (types.MsgID, error) {
+	type result struct {
+		id  types.MsgID
+		err error
+	}
+	ch := make(chan result, 1)
+	n.post(func() {
+		id, err := n.eng.Abcast(body)
+		ch <- result{id, err}
+	})
+	select {
+	case r := <-ch:
+		return r.id, r.err
+	case <-n.stopped:
+		return types.MsgID{}, types.ErrStopped
+	}
+}
+
+// AbcastBlocking submits one payload, waiting for flow-control room — the
+// paper's blocking abcast. It returns when the message is admitted or the
+// node stops.
+func (n *Node) AbcastBlocking(body []byte) (types.MsgID, error) {
+	for {
+		id, err := n.Abcast(body)
+		if err == nil || err != types.ErrFlowControl {
+			return id, err
+		}
+		select {
+		case <-n.windowCh:
+			// A local message was delivered; the window may have room now.
+		case <-time.After(5 * time.Millisecond):
+			// Defensive wake-up: the pulse may have been consumed by a
+			// concurrent blocked sender.
+		case <-n.stopped:
+			return types.MsgID{}, types.ErrStopped
+		}
+	}
+}
+
+// Pending returns the engine's unordered message count (diagnostics).
+func (n *Node) Pending() int {
+	ch := make(chan int, 1)
+	n.post(func() { ch <- n.eng.Pending() })
+	select {
+	case v := <-ch:
+		return v
+	case <-n.stopped:
+		return 0
+	}
+}
+
+// Counters returns a snapshot of the node's instrumentation.
+func (n *Node) Counters() trace.Snapshot { return n.env.counters.Snapshot() }
+
+// Close stops the node: detector, transport, event loop.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+
+	n.det.Close()
+	err := n.tr.Close()
+	n.env.stopTimers()
+	n.shutdownLoop()
+	return err
+}
+
+func (n *Node) shutdownLoop() {
+	close(n.quit)
+	n.wg.Wait()
+}
+
+// timerState tracks one armed timer.
+type timerState struct {
+	gen   uint64
+	timer *time.Timer
+}
+
+// nodeEnv implements engine.Env on real time.
+type nodeEnv struct {
+	node     *Node
+	start    time.Time
+	counters trace.Counters
+
+	mu     sync.Mutex
+	timers map[engine.TimerID]*timerState
+}
+
+var _ engine.Env = (*nodeEnv)(nil)
+
+func (e *nodeEnv) Self() types.ProcessID     { return e.node.opts.Self }
+func (e *nodeEnv) N() int                    { return e.node.opts.N }
+func (e *nodeEnv) Now() time.Duration        { return time.Since(e.start) }
+func (e *nodeEnv) Counters() *trace.Counters { return &e.counters }
+
+func (e *nodeEnv) Send(to types.ProcessID, data []byte) {
+	if to == e.node.opts.Self {
+		return
+	}
+	frame := make([]byte, 0, 1+len(data))
+	frame = append(frame, chanEngine)
+	frame = append(frame, data...)
+	e.counters.MsgsSent.Add(1)
+	e.counters.BytesSent.Add(int64(len(data)))
+	_ = e.node.tr.Send(to, frame) // send failures = crash-stop message loss
+}
+
+func (e *nodeEnv) SetTimer(id engine.TimerID, d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.timers[id]
+	if st == nil {
+		st = &timerState{}
+		e.timers[id] = st
+	}
+	st.gen++
+	gen := st.gen
+	if st.timer != nil {
+		st.timer.Stop()
+	}
+	st.timer = time.AfterFunc(d, func() {
+		e.node.post(func() {
+			e.mu.Lock()
+			live := e.timers[id] != nil && e.timers[id].gen == gen
+			e.mu.Unlock()
+			if live {
+				e.node.eng.HandleTimer(id)
+			}
+		})
+	})
+}
+
+func (e *nodeEnv) CancelTimer(id engine.TimerID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st := e.timers[id]; st != nil {
+		st.gen++
+		if st.timer != nil {
+			st.timer.Stop()
+		}
+	}
+}
+
+func (e *nodeEnv) stopTimers() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, st := range e.timers {
+		st.gen++
+		if st.timer != nil {
+			st.timer.Stop()
+		}
+	}
+}
+
+func (e *nodeEnv) Deliver(d engine.Delivery) {
+	if d.Msg.ID.Sender == e.node.opts.Self {
+		select {
+		case e.node.windowCh <- struct{}{}:
+		default:
+		}
+	}
+	if cb := e.node.opts.OnDeliver; cb != nil {
+		cb(d)
+	}
+}

@@ -1,0 +1,126 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"modab/internal/engine"
+	"modab/internal/transport"
+	"modab/internal/types"
+)
+
+// group spins up n nodes over an in-memory network and records deliveries.
+type group struct {
+	nodes  []*Node
+	mu     sync.Mutex
+	orders [][]types.MsgID
+}
+
+func newGroup(t *testing.T, n int, stk types.Stack) *group {
+	t.Helper()
+	net := transport.NewMemNetwork()
+	g := &group{orders: make([][]types.MsgID, n)}
+	g.nodes = make([]*Node, n)
+	for i := 0; i < n; i++ {
+		i := i
+		node, err := NewNode(Options{
+			Self:      types.ProcessID(i),
+			N:         n,
+			Stack:     stk,
+			Transport: net.Endpoint(types.ProcessID(i)),
+			OnDeliver: func(d engine.Delivery) {
+				g.mu.Lock()
+				g.orders[i] = append(g.orders[i], d.Msg.ID)
+				g.mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		g.nodes[i] = node
+	}
+	t.Cleanup(func() {
+		for _, nd := range g.nodes {
+			_ = nd.Close()
+		}
+	})
+	return g
+}
+
+// waitDelivered blocks until every node delivered want messages (or times
+// out).
+func (g *group) waitDelivered(t *testing.T, want int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		g.mu.Lock()
+		done := true
+		for _, o := range g.orders {
+			if len(o) < want {
+				done = false
+			}
+		}
+		g.mu.Unlock()
+		if done {
+			return
+		}
+		if time.Now().After(deadline) {
+			g.mu.Lock()
+			counts := make([]int, len(g.orders))
+			for i, o := range g.orders {
+				counts[i] = len(o)
+			}
+			g.mu.Unlock()
+			t.Fatalf("timeout waiting for %d deliveries; got %v", want, counts)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (g *group) checkTotalOrder(t *testing.T) {
+	t.Helper()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ref := g.orders[0]
+	for p := 1; p < len(g.orders); p++ {
+		if len(g.orders[p]) != len(ref) {
+			t.Fatalf("node %d delivered %d, node 0 delivered %d", p, len(g.orders[p]), len(ref))
+		}
+		for i := range ref {
+			if g.orders[p][i] != ref[i] {
+				t.Fatalf("divergence at %d: node0=%v node%d=%v", i, ref[i], p, g.orders[p][i])
+			}
+		}
+	}
+}
+
+func TestNodeTotalOrderMem(t *testing.T) {
+	for _, stk := range []types.Stack{types.Modular, types.Monolithic} {
+		for _, n := range []int{3, 5} {
+			stk, n := stk, n
+			t.Run(fmt.Sprintf("%s/n=%d", stk, n), func(t *testing.T) {
+				t.Parallel()
+				g := newGroup(t, n, stk)
+				const perProc = 20
+				var wg sync.WaitGroup
+				for i, node := range g.nodes {
+					wg.Add(1)
+					go func(i int, node *Node) {
+						defer wg.Done()
+						for j := 0; j < perProc; j++ {
+							if _, err := node.AbcastBlocking([]byte(fmt.Sprintf("p%d-%d", i, j))); err != nil {
+								t.Errorf("abcast: %v", err)
+								return
+							}
+						}
+					}(i, node)
+				}
+				wg.Wait()
+				g.waitDelivered(t, n*perProc, 10*time.Second)
+				g.checkTotalOrder(t)
+			})
+		}
+	}
+}

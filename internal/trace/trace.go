@@ -1,0 +1,123 @@
+// Package trace provides the per-process counters that tie the running
+// system back to the paper's analytical model (§5.2): messages sent,
+// bytes sent, application payload bytes, layer-event dispatches, consensus
+// instances, and batch sizes.
+//
+// Counters are written by engines on their own single-threaded event loop
+// and read by harnesses after quiescence (simulation) or via Snapshot
+// (real time), so reads under concurrency use atomic loads.
+package trace
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Counters accumulates the measurable activity of one process. The zero
+// value is ready to use.
+type Counters struct {
+	// MsgsSent counts point-to-point sends handed to the transport.
+	MsgsSent atomic.Int64
+	// BytesSent counts the total wire bytes (headers included) handed to
+	// the transport.
+	BytesSent atomic.Int64
+	// PayloadBytesSent counts only application payload bytes inside sends,
+	// the l-denominated quantity of §5.2.2.
+	PayloadBytesSent atomic.Int64
+	// MsgsRecv counts messages received from the transport.
+	MsgsRecv atomic.Int64
+	// BytesRecv counts wire bytes received.
+	BytesRecv atomic.Int64
+	// Dispatches counts intra-stack event dispatches (layer crossings).
+	// In the modular stack every inter-module event costs a dispatch; the
+	// monolithic engine performs essentially one per network message.
+	Dispatches atomic.Int64
+	// ConsensusStarted counts consensus instances begun locally.
+	ConsensusStarted atomic.Int64
+	// ConsensusDecided counts consensus instances decided locally.
+	ConsensusDecided atomic.Int64
+	// Rounds counts consensus round changes beyond the first round
+	// (0 in good runs: a new round starts only on suspicion).
+	Rounds atomic.Int64
+	// ABCast counts application messages accepted by Abcast locally.
+	ABCast atomic.Int64
+	// ADeliver counts application messages adelivered locally.
+	ADeliver atomic.Int64
+	// BatchedMsgs sums the sizes of decided batches (numerator of the
+	// average M messages ordered per consensus).
+	BatchedMsgs atomic.Int64
+	// Retransmissions counts recovery-path sends (decision refetch,
+	// rbcast relay duplicates suppressed, etc.).
+	Retransmissions atomic.Int64
+}
+
+// Snapshot is an immutable copy of the counters at one instant.
+type Snapshot struct {
+	MsgsSent         int64
+	BytesSent        int64
+	PayloadBytesSent int64
+	MsgsRecv         int64
+	BytesRecv        int64
+	Dispatches       int64
+	ConsensusStarted int64
+	ConsensusDecided int64
+	Rounds           int64
+	ABCast           int64
+	ADeliver         int64
+	BatchedMsgs      int64
+	Retransmissions  int64
+}
+
+// Snapshot returns a consistent-enough copy for reporting (each field is
+// individually atomic; cross-field exactness is only guaranteed at
+// quiescence).
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		MsgsSent:         c.MsgsSent.Load(),
+		BytesSent:        c.BytesSent.Load(),
+		PayloadBytesSent: c.PayloadBytesSent.Load(),
+		MsgsRecv:         c.MsgsRecv.Load(),
+		BytesRecv:        c.BytesRecv.Load(),
+		Dispatches:       c.Dispatches.Load(),
+		ConsensusStarted: c.ConsensusStarted.Load(),
+		ConsensusDecided: c.ConsensusDecided.Load(),
+		Rounds:           c.Rounds.Load(),
+		ABCast:           c.ABCast.Load(),
+		ADeliver:         c.ADeliver.Load(),
+		BatchedMsgs:      c.BatchedMsgs.Load(),
+		Retransmissions:  c.Retransmissions.Load(),
+	}
+}
+
+// Add accumulates another snapshot into s (for group-wide totals).
+func (s *Snapshot) Add(o Snapshot) {
+	s.MsgsSent += o.MsgsSent
+	s.BytesSent += o.BytesSent
+	s.PayloadBytesSent += o.PayloadBytesSent
+	s.MsgsRecv += o.MsgsRecv
+	s.BytesRecv += o.BytesRecv
+	s.Dispatches += o.Dispatches
+	s.ConsensusStarted += o.ConsensusStarted
+	s.ConsensusDecided += o.ConsensusDecided
+	s.Rounds += o.Rounds
+	s.ABCast += o.ABCast
+	s.ADeliver += o.ADeliver
+	s.BatchedMsgs += o.BatchedMsgs
+	s.Retransmissions += o.Retransmissions
+}
+
+// AvgBatch returns the measured M: average messages ordered per decided
+// consensus instance (0 when nothing decided).
+func (s Snapshot) AvgBatch() float64 {
+	if s.ConsensusDecided == 0 {
+		return 0
+	}
+	return float64(s.BatchedMsgs) / float64(s.ConsensusDecided)
+}
+
+// String implements fmt.Stringer with the headline counters.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("sent=%d (%d B, payload %d B) recv=%d consensus=%d/%d avgM=%.2f dispatches=%d",
+		s.MsgsSent, s.BytesSent, s.PayloadBytesSent, s.MsgsRecv,
+		s.ConsensusDecided, s.ConsensusStarted, s.AvgBatch(), s.Dispatches)
+}

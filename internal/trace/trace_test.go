@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSnapshotAndAdd(t *testing.T) {
+	var c Counters
+	c.MsgsSent.Add(3)
+	c.BytesSent.Add(100)
+	c.ConsensusDecided.Add(2)
+	c.BatchedMsgs.Add(8)
+
+	s := c.Snapshot()
+	if s.MsgsSent != 3 || s.BytesSent != 100 {
+		t.Fatalf("snapshot: %+v", s)
+	}
+	if got := s.AvgBatch(); got != 4 {
+		t.Fatalf("AvgBatch = %g", got)
+	}
+
+	var total Snapshot
+	total.Add(s)
+	total.Add(s)
+	if total.MsgsSent != 6 || total.BatchedMsgs != 16 {
+		t.Fatalf("Add: %+v", total)
+	}
+}
+
+func TestAvgBatchEmpty(t *testing.T) {
+	var s Snapshot
+	if s.AvgBatch() != 0 {
+		t.Fatal("AvgBatch of empty snapshot not 0")
+	}
+}
+
+func TestStringContainsHeadlineNumbers(t *testing.T) {
+	var c Counters
+	c.MsgsSent.Add(7)
+	got := c.Snapshot().String()
+	if !strings.Contains(got, "sent=7") {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestConcurrentWrites(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.MsgsSent.Add(1)
+				c.Dispatches.Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.MsgsSent != 8000 || s.Dispatches != 16000 {
+		t.Fatalf("lost updates: %+v", s)
+	}
+}

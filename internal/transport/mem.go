@@ -1,0 +1,167 @@
+package transport
+
+import (
+	"sync"
+
+	"modab/internal/types"
+)
+
+// MemNetwork is an in-process network connecting the endpoints of one
+// group. Channels are FIFO per pair and quasi-reliable: messages to a
+// closed endpoint are silently dropped (crash-stop model). Optional drop
+// rules support partition-style fault injection in tests.
+type MemNetwork struct {
+	mu        sync.Mutex
+	endpoints map[types.ProcessID]*MemEndpoint
+	dropped   map[[2]types.ProcessID]bool
+}
+
+// NewMemNetwork creates an empty in-memory network.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{
+		endpoints: make(map[types.ProcessID]*MemEndpoint),
+		dropped:   make(map[[2]types.ProcessID]bool),
+	}
+}
+
+// Endpoint returns (creating if needed) the endpoint of process id.
+func (n *MemNetwork) Endpoint(id types.ProcessID) *MemEndpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep := n.endpoints[id]
+	if ep == nil {
+		ep = &MemEndpoint{net: n, self: id}
+		ep.cond = sync.NewCond(&ep.mu)
+		n.endpoints[id] = ep
+	}
+	return ep
+}
+
+// SetDrop installs (or removes) a unidirectional drop rule from -> to,
+// for fault-injection tests.
+func (n *MemNetwork) SetDrop(from, to types.ProcessID, drop bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if drop {
+		n.dropped[[2]types.ProcessID{from, to}] = true
+	} else {
+		delete(n.dropped, [2]types.ProcessID{from, to})
+	}
+}
+
+func (n *MemNetwork) route(from, to types.ProcessID, data []byte) {
+	n.mu.Lock()
+	drop := n.dropped[[2]types.ProcessID{from, to}]
+	dst := n.endpoints[to]
+	n.mu.Unlock()
+	if drop || dst == nil {
+		return
+	}
+	dst.enqueue(from, data)
+}
+
+// MemEndpoint is one process's in-memory transport. It delivers inbound
+// messages from a dedicated pump goroutine in arrival order; the inbox is
+// unbounded so senders never block (preventing event-loop deadlocks).
+type MemEndpoint struct {
+	net  *MemNetwork
+	self types.ProcessID
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	inbox   []memMsg
+	started bool
+	closed  bool
+	done    chan struct{}
+}
+
+var _ Transport = (*MemEndpoint)(nil)
+
+type memMsg struct {
+	from types.ProcessID
+	data []byte
+}
+
+// Start implements Transport.
+func (ep *MemEndpoint) Start(h Handler) error {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return ErrClosed
+	}
+	if ep.started {
+		return ErrAlreadyStarted
+	}
+	ep.started = true
+	ep.done = make(chan struct{})
+	go ep.pump(h)
+	return nil
+}
+
+// pump delivers queued messages until the endpoint closes.
+func (ep *MemEndpoint) pump(h Handler) {
+	defer close(ep.done)
+	for {
+		ep.mu.Lock()
+		for len(ep.inbox) == 0 && !ep.closed {
+			ep.cond.Wait()
+		}
+		if ep.closed && len(ep.inbox) == 0 {
+			ep.mu.Unlock()
+			return
+		}
+		batch := ep.inbox
+		ep.inbox = nil
+		ep.mu.Unlock()
+		for _, m := range batch {
+			h(m.from, m.data)
+		}
+	}
+}
+
+func (ep *MemEndpoint) enqueue(from types.ProcessID, data []byte) {
+	// Copy: the network must not alias sender-owned buffers.
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed || !ep.started {
+		return
+	}
+	ep.inbox = append(ep.inbox, memMsg{from: from, data: cp})
+	ep.cond.Signal()
+}
+
+// Send implements Transport.
+func (ep *MemEndpoint) Send(to types.ProcessID, data []byte) error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return ErrClosed
+	}
+	if !ep.started {
+		ep.mu.Unlock()
+		return ErrNotStarted
+	}
+	ep.mu.Unlock()
+	ep.net.route(ep.self, to, data)
+	return nil
+}
+
+// Close implements Transport. It waits for the pump goroutine to drain.
+func (ep *MemEndpoint) Close() error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil
+	}
+	ep.closed = true
+	started := ep.started
+	ep.cond.Broadcast()
+	done := ep.done
+	ep.mu.Unlock()
+	if started {
+		<-done
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"modab/internal/types"
+)
+
+// maxFrame bounds a single TCP frame (64 MiB), matching wire.MaxChunk.
+const maxFrame = 64 << 20
+
+// dialRetry is how long a failed dial suppresses re-dialing the same peer
+// (sends in between are dropped; quasi-reliable channels tolerate this
+// only if the peer actually crashed, which is the model's assumption).
+const dialRetry = 250 * time.Millisecond
+
+// TCP is the TCP implementation of Transport: persistent connections with
+// 4-byte length-prefixed frames. Each connection is identified by a hello
+// frame carrying the dialer's process ID.
+type TCP struct {
+	self  types.ProcessID
+	addrs []string // addrs[i] is the listen address of process i
+
+	ln      net.Listener
+	handler Handler
+
+	mu       sync.Mutex
+	started  bool
+	closed   bool
+	conns    map[types.ProcessID]*tcpConn
+	inbound  map[net.Conn]struct{}
+	lastFail map[types.ProcessID]time.Time
+	wg       sync.WaitGroup
+}
+
+var _ Transport = (*TCP)(nil)
+
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// NewTCP creates a TCP transport for process self in a group whose listen
+// addresses are addrs (indexed by process ID). It binds the listener
+// immediately so peers can connect before Start.
+func NewTCP(self types.ProcessID, addrs []string) (*TCP, error) {
+	if int(self) < 0 || int(self) >= len(addrs) {
+		return nil, fmt.Errorf("%w: self %d of %d", ErrUnknownPeer, self, len(addrs))
+	}
+	ln, err := net.Listen("tcp", addrs[self])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addrs[self], err)
+	}
+	cp := make([]string, len(addrs))
+	copy(cp, addrs)
+	return &TCP{
+		self:     self,
+		addrs:    cp,
+		ln:       ln,
+		conns:    make(map[types.ProcessID]*tcpConn),
+		inbound:  make(map[net.Conn]struct{}),
+		lastFail: make(map[types.ProcessID]time.Time),
+	}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0" addresses).
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// SetAddrs replaces the peer address table (used when peers bind ":0" and
+// exchange addresses out of band, as the tests do).
+func (t *TCP) SetAddrs(addrs []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs = make([]string, len(addrs))
+	copy(t.addrs, addrs)
+}
+
+// Start implements Transport.
+func (t *TCP) Start(h Handler) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if t.started {
+		return ErrAlreadyStarted
+	}
+	t.started = true
+	t.handler = h
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return nil
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			c.Close()
+			return
+		}
+		t.inbound[c] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(c)
+	}
+}
+
+// readLoop consumes frames from one inbound connection. The first frame
+// is the hello (4-byte peer ID); subsequent frames are payloads.
+func (t *TCP) readLoop(c net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		c.Close()
+		t.mu.Lock()
+		delete(t.inbound, c)
+		t.mu.Unlock()
+	}()
+	var idBuf [4]byte
+	if _, err := io.ReadFull(c, idBuf[:]); err != nil {
+		return
+	}
+	from := types.ProcessID(int32(binary.BigEndian.Uint32(idBuf[:])))
+	if int(from) < 0 || int(from) >= len(t.addrs) {
+		return
+	}
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(c, lenBuf[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(lenBuf[:])
+		if size > maxFrame {
+			return
+		}
+		data := make([]byte, size)
+		if _, err := io.ReadFull(c, data); err != nil {
+			return
+		}
+		t.mu.Lock()
+		h := t.handler
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		if h != nil {
+			h(from, data)
+		}
+	}
+}
+
+// Send implements Transport. Connections are dialed lazily; a send to an
+// unreachable peer drops the message (crash-stop assumption) and backs
+// off before re-dialing.
+func (t *TCP) Send(to types.ProcessID, data []byte) error {
+	if int(to) < 0 || int(to) >= len(t.addrs) {
+		return ErrUnknownPeer
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	if !t.started {
+		t.mu.Unlock()
+		return ErrNotStarted
+	}
+	conn := t.conns[to]
+	t.mu.Unlock()
+
+	if conn == nil {
+		var err error
+		conn, err = t.dial(to)
+		if err != nil {
+			return err
+		}
+	}
+	if err := conn.writeFrame(data); err != nil {
+		t.dropConn(to, conn)
+		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+// dial establishes (or reuses, on race) the outgoing connection to a peer.
+func (t *TCP) dial(to types.ProcessID) (*tcpConn, error) {
+	t.mu.Lock()
+	if last, ok := t.lastFail[to]; ok && time.Since(last) < dialRetry {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("transport: peer %s in dial backoff", to)
+	}
+	addr := t.addrs[to]
+	t.mu.Unlock()
+
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.mu.Lock()
+		t.lastFail[to] = time.Now()
+		t.mu.Unlock()
+		return nil, fmt.Errorf("transport: dial %s: %w", to, err)
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	// Hello frame: our process ID.
+	var idBuf [4]byte
+	binary.BigEndian.PutUint32(idBuf[:], uint32(int32(t.self)))
+	if _, err := c.Write(idBuf[:]); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("transport: hello to %s: %w", to, err)
+	}
+
+	conn := &tcpConn{c: c}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		c.Close()
+		return nil, ErrClosed
+	}
+	if existing := t.conns[to]; existing != nil {
+		c.Close()
+		return existing, nil
+	}
+	t.conns[to] = conn
+	delete(t.lastFail, to)
+	return conn, nil
+}
+
+func (t *TCP) dropConn(to types.ProcessID, conn *tcpConn) {
+	t.mu.Lock()
+	if t.conns[to] == conn {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	conn.mu.Lock()
+	conn.c.Close()
+	conn.mu.Unlock()
+}
+
+// writeFrame writes one length-prefixed frame; serialized per connection.
+func (cn *tcpConn) writeFrame(data []byte) error {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
+	if _, err := cn.c.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := cn.c.Write(data)
+	return err
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = map[types.ProcessID]*tcpConn{}
+	in := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		in = append(in, c)
+	}
+	t.mu.Unlock()
+
+	t.ln.Close()
+	for _, cn := range conns {
+		cn.mu.Lock()
+		cn.c.Close()
+		cn.mu.Unlock()
+	}
+	for _, c := range in {
+		c.Close()
+	}
+	t.wg.Wait()
+	return nil
+}

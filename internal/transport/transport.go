@@ -1,0 +1,43 @@
+// Package transport provides the quasi-reliable point-to-point channels
+// of the system model (paper §2.1): if p sends m to q and both are
+// correct, q eventually receives m; per-pair delivery is FIFO.
+//
+// Two implementations are provided: an in-memory network for tests and
+// examples, and a TCP transport (length-prefixed frames over persistent
+// connections) for running a real group with cmd/abnode.
+package transport
+
+import (
+	"errors"
+
+	"modab/internal/types"
+)
+
+// Handler consumes one inbound message. Implementations invoke it from a
+// single goroutine per transport, in per-sender FIFO order.
+type Handler func(from types.ProcessID, data []byte)
+
+// Transport is one process's endpoint of the group's channels.
+type Transport interface {
+	// Start begins delivering inbound messages to h. It must be called
+	// exactly once, before any Send.
+	Start(h Handler) error
+	// Send transmits data to the given process. It never blocks
+	// indefinitely; delivery is quasi-reliable (guaranteed only while both
+	// endpoints stay up).
+	Send(to types.ProcessID, data []byte) error
+	// Close stops the endpoint and releases its resources.
+	Close() error
+}
+
+// Errors common to transports.
+var (
+	// ErrClosed is returned by operations on a closed transport.
+	ErrClosed = errors.New("transport: closed")
+	// ErrUnknownPeer is returned for sends to processes outside the group.
+	ErrUnknownPeer = errors.New("transport: unknown peer")
+	// ErrAlreadyStarted is returned by a second Start.
+	ErrAlreadyStarted = errors.New("transport: already started")
+	// ErrNotStarted is returned by Send before Start.
+	ErrNotStarted = errors.New("transport: not started")
+)

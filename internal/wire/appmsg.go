@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+
+	"modab/internal/types"
+)
+
+// AppMsg is an application message submitted through abcast. Both stacks
+// carry AppMsgs in consensus proposals (the proposals have size ≈ M·l in
+// the paper's analysis, where l is the application payload size).
+type AppMsg struct {
+	ID   types.MsgID
+	Body []byte
+}
+
+// appMsgHeaderBytes is the wire overhead per AppMsg beyond its body:
+// sender (4) + seq (8) + body length prefix (4).
+const appMsgHeaderBytes = 16
+
+// WireSize returns the encoded size of the message in bytes.
+func (m AppMsg) WireSize() int { return appMsgHeaderBytes + len(m.Body) }
+
+// Marshal appends the message to w.
+func (m AppMsg) Marshal(w *Writer) {
+	w.Int32(int32(m.ID.Sender))
+	w.Uint64(m.ID.Seq)
+	w.Bytes32(m.Body)
+}
+
+// UnmarshalAppMsg reads one AppMsg from r.
+func UnmarshalAppMsg(r *Reader) AppMsg {
+	var m AppMsg
+	m.ID.Sender = types.ProcessID(r.Int32())
+	m.ID.Seq = r.Uint64()
+	m.Body = r.Bytes32()
+	return m
+}
+
+// Batch is an ordered set of application messages proposed to (or decided
+// by) one consensus instance.
+type Batch []AppMsg
+
+// WireSize returns the encoded size of the batch in bytes.
+func (b Batch) WireSize() int {
+	n := 4 // count prefix
+	for _, m := range b {
+		n += m.WireSize()
+	}
+	return n
+}
+
+// PayloadBytes returns the sum of application body lengths, the quantity
+// the paper's §5.2.2 data-volume analysis is expressed in.
+func (b Batch) PayloadBytes() int {
+	n := 0
+	for _, m := range b {
+		n += len(m.Body)
+	}
+	return n
+}
+
+// Marshal appends the batch to w.
+func (b Batch) Marshal(w *Writer) {
+	w.Uint32(uint32(len(b)))
+	for _, m := range b {
+		m.Marshal(w)
+	}
+}
+
+// UnmarshalBatch reads a batch from r.
+func UnmarshalBatch(r *Reader) Batch {
+	n := r.Uint32()
+	if r.Err() != nil {
+		return nil
+	}
+	if n > MaxChunk/appMsgHeaderBytes {
+		r.fail(fmt.Errorf("%w: batch of %d messages", ErrTooLarge, n))
+		return nil
+	}
+	b := make(Batch, 0, n)
+	for i := uint32(0); i < n; i++ {
+		b = append(b, UnmarshalAppMsg(r))
+		if r.Err() != nil {
+			return nil
+		}
+	}
+	return b
+}
+
+// SortDeterministic orders the batch by (sender, seq) — the deterministic
+// adelivery order applied to a decided batch at every process (§3.3).
+func (b Batch) SortDeterministic() {
+	sort.Slice(b, func(i, j int) bool { return b[i].ID.Less(b[j].ID) })
+}
+
+// Dedup removes duplicate message IDs in place, keeping first occurrences.
+// The batch must already be sorted when order matters to the caller.
+func (b Batch) Dedup() Batch {
+	seen := make(map[types.MsgID]struct{}, len(b))
+	out := b[:0]
+	for _, m := range b {
+		if _, dup := seen[m.ID]; dup {
+			continue
+		}
+		seen[m.ID] = struct{}{}
+		out = append(out, m)
+	}
+	return out
+}
+
+// IDs returns the message identifiers of the batch, in batch order.
+func (b Batch) IDs() []types.MsgID {
+	ids := make([]types.MsgID, len(b))
+	for i, m := range b {
+		ids[i] = m.ID
+	}
+	return ids
+}

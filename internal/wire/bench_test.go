@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"testing"
+
+	"modab/internal/types"
+)
+
+// benchmark batches mirror the paper's proposal shapes: M=4 messages of
+// l bytes.
+func benchBatch(l int) Batch {
+	b := make(Batch, 4)
+	for i := range b {
+		b[i] = AppMsg{
+			ID:   types.MsgID{Sender: types.ProcessID(i), Seq: uint64(i + 1)},
+			Body: make([]byte, l),
+		}
+	}
+	return b
+}
+
+func BenchmarkBatchMarshal16K(b *testing.B) {
+	batch := benchBatch(16384)
+	b.SetBytes(int64(batch.WireSize()))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(batch.WireSize())
+		batch.Marshal(w)
+		if w.Len() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkBatchUnmarshal16K(b *testing.B) {
+	batch := benchBatch(16384)
+	w := NewWriter(batch.WireSize())
+	batch.Marshal(w)
+	data := w.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(data)
+		got := UnmarshalBatch(r)
+		if len(got) != 4 || r.Err() != nil {
+			b.Fatal("bad decode")
+		}
+	}
+}
+
+func BenchmarkBatchMarshalSmall(b *testing.B) {
+	batch := benchBatch(64)
+	b.SetBytes(int64(batch.WireSize()))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(batch.WireSize())
+		batch.Marshal(w)
+	}
+}
+
+func BenchmarkBatchSortDeterministic(b *testing.B) {
+	base := benchBatch(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		batch := make(Batch, len(base))
+		copy(batch, base)
+		batch.SortDeterministic()
+	}
+}

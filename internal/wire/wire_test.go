@@ -1,0 +1,227 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"modab/internal/types"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	w.Uint8(0xAB)
+	w.Uint16(0xCDEF)
+	w.Uint32(0xDEADBEEF)
+	w.Uint64(0x0123456789ABCDEF)
+	w.Int32(-42)
+	w.Int64(-1 << 40)
+	w.Bool(true)
+	w.Bool(false)
+	w.Bytes32([]byte("hello"))
+	w.Raw([]byte{1, 2, 3})
+
+	r := NewReader(w.Bytes())
+	if got := r.Uint8(); got != 0xAB {
+		t.Errorf("Uint8 = %#x", got)
+	}
+	if got := r.Uint16(); got != 0xCDEF {
+		t.Errorf("Uint16 = %#x", got)
+	}
+	if got := r.Uint32(); got != 0xDEADBEEF {
+		t.Errorf("Uint32 = %#x", got)
+	}
+	if got := r.Uint64(); got != 0x0123456789ABCDEF {
+		t.Errorf("Uint64 = %#x", got)
+	}
+	if got := r.Int32(); got != -42 {
+		t.Errorf("Int32 = %d", got)
+	}
+	if got := r.Int64(); got != -1<<40 {
+		t.Errorf("Int64 = %d", got)
+	}
+	if got := r.Bool(); got != true {
+		t.Errorf("Bool = %v", got)
+	}
+	if got := r.Bool(); got != false {
+		t.Errorf("Bool = %v", got)
+	}
+	if got := r.Bytes32(); !bytes.Equal(got, []byte("hello")) {
+		t.Errorf("Bytes32 = %q", got)
+	}
+	if got := r.Rest(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Rest = %v", got)
+	}
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestReaderShortBuffer(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.Uint32()
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Fatalf("want ErrShortBuffer, got %v", r.Err())
+	}
+	// Sticky: further reads return zero values, error is preserved.
+	if got := r.Uint64(); got != 0 {
+		t.Errorf("read after error = %d", got)
+	}
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Fatalf("error not sticky: %v", r.Err())
+	}
+}
+
+func TestReaderTrailing(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	_ = r.Uint8()
+	r.ExpectEOF()
+	if !errors.Is(r.Err(), ErrTrailing) {
+		t.Fatalf("want ErrTrailing, got %v", r.Err())
+	}
+}
+
+func TestBytes32TooLarge(t *testing.T) {
+	w := NewWriter(8)
+	w.Uint32(MaxChunk + 1)
+	r := NewReader(w.Bytes())
+	_ = r.Bytes32()
+	if !errors.Is(r.Err(), ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", r.Err())
+	}
+}
+
+func TestBytes32CopyIsSafe(t *testing.T) {
+	w := NewWriter(16)
+	w.Bytes32([]byte{9, 9, 9})
+	buf := w.Bytes()
+	r := NewReader(buf)
+	got := r.Bytes32()
+	buf[4] = 7 // mutate the underlying buffer
+	if got[0] != 9 {
+		t.Fatal("Bytes32 result aliases the input buffer")
+	}
+}
+
+func TestAppMsgRoundTripQuick(t *testing.T) {
+	f := func(sender int32, seq uint64, body []byte) bool {
+		m := AppMsg{ID: types.MsgID{Sender: types.ProcessID(sender), Seq: seq}, Body: body}
+		w := NewWriter(m.WireSize())
+		m.Marshal(w)
+		if w.Len() != m.WireSize() {
+			return false
+		}
+		r := NewReader(w.Bytes())
+		got := UnmarshalAppMsg(r)
+		r.ExpectEOF()
+		if r.Err() != nil {
+			return false
+		}
+		return got.ID == m.ID && bytes.Equal(got.Body, m.Body)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomBatch builds a batch with the given generator.
+func randomBatch(rng *rand.Rand, size int) Batch {
+	b := make(Batch, size)
+	for i := range b {
+		body := make([]byte, rng.Intn(64))
+		rng.Read(body)
+		b[i] = AppMsg{
+			ID:   types.MsgID{Sender: types.ProcessID(rng.Intn(8)), Seq: rng.Uint64() % 1000},
+			Body: body,
+		}
+	}
+	return b
+}
+
+func TestBatchRoundTripQuick(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := randomBatch(rng, int(size%32))
+		w := NewWriter(b.WireSize())
+		b.Marshal(w)
+		if w.Len() != b.WireSize() {
+			return false
+		}
+		r := NewReader(w.Bytes())
+		got := UnmarshalBatch(r)
+		r.ExpectEOF()
+		if r.Err() != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, b) || (len(b) == 0 && len(got) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchSortDeterministicQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := randomBatch(rng, 20)
+		b.SortDeterministic()
+		for i := 1; i < len(b); i++ {
+			if b[i].ID.Less(b[i-1].ID) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchDedup(t *testing.T) {
+	id1 := types.MsgID{Sender: 0, Seq: 1}
+	id2 := types.MsgID{Sender: 1, Seq: 1}
+	b := Batch{
+		{ID: id1, Body: []byte("first")},
+		{ID: id2},
+		{ID: id1, Body: []byte("dup")},
+	}
+	got := b.Dedup()
+	if len(got) != 2 {
+		t.Fatalf("Dedup kept %d, want 2", len(got))
+	}
+	if string(got[0].Body) != "first" {
+		t.Errorf("Dedup did not keep the first occurrence: %q", got[0].Body)
+	}
+}
+
+func TestBatchPayloadBytesAndIDs(t *testing.T) {
+	b := Batch{
+		{ID: types.MsgID{Sender: 0, Seq: 1}, Body: make([]byte, 10)},
+		{ID: types.MsgID{Sender: 1, Seq: 2}, Body: make([]byte, 22)},
+	}
+	if got := b.PayloadBytes(); got != 32 {
+		t.Errorf("PayloadBytes = %d, want 32", got)
+	}
+	ids := b.IDs()
+	if len(ids) != 2 || ids[0] != b[0].ID || ids[1] != b[1].ID {
+		t.Errorf("IDs = %v", ids)
+	}
+}
+
+func TestBatchCorruptDecode(t *testing.T) {
+	// A count prefix claiming many messages with a truncated body must
+	// fail cleanly, not panic or over-allocate.
+	w := NewWriter(8)
+	w.Uint32(1000)
+	r := NewReader(w.Bytes())
+	if got := UnmarshalBatch(r); got != nil {
+		t.Fatalf("corrupt batch decoded: %v", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("no error for corrupt batch")
+	}
+}

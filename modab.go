@@ -1,0 +1,97 @@
+// Package modab is a Go implementation of atomic broadcast in two
+// architectures — modular (ABcast / Consensus / RBcast microprotocols
+// composed as black boxes) and monolithic (the same algorithms merged
+// into one module) — reproducing Rütti, Mena, Ekwall and Schiper,
+// "On the Cost of Modularity in Atomic Broadcast", DSN 2007.
+//
+// # Quick start
+//
+//	group, err := modab.NewLocalGroup(3, modab.Modular, func(p modab.ProcessID, d modab.Delivery) {
+//		fmt.Printf("%s delivered %s: %q\n", p, d.Msg.ID, d.Msg.Body)
+//	})
+//	if err != nil { ... }
+//	defer group.Close()
+//	group.Abcast(0, []byte("hello"))    // totally ordered at all processes
+//
+// Both stacks guarantee uniform total order under crash faults (up to a
+// minority of processes) with an unreliable failure detector; the
+// difference is performance, which this library measures the same way the
+// paper does (see EXPERIMENTS.md and cmd/abbench).
+//
+// The packages under internal/ hold the implementation: the protocol
+// engines (internal/modular, internal/monolithic, and the microprotocol
+// layers they build on), the drivers (internal/runtime for real time over
+// TCP or in-memory channels, internal/netsim for deterministic
+// discrete-event simulation), and the measurement harness.
+package modab
+
+import (
+	"modab/internal/core"
+	"modab/internal/engine"
+	"modab/internal/netsim"
+	"modab/internal/runtime"
+	"modab/internal/types"
+)
+
+// Re-exported identifiers: the public vocabulary of the library.
+type (
+	// ProcessID identifies a process of the static group (0-based).
+	ProcessID = types.ProcessID
+	// MsgID uniquely identifies an abcast message.
+	MsgID = types.MsgID
+	// Stack selects the modular or monolithic implementation.
+	Stack = types.Stack
+	// Delivery is one adelivered message with its ordering instance.
+	Delivery = engine.Delivery
+	// Config carries the protocol tunables shared by both stacks.
+	Config = engine.Config
+	// Node is one running process (see NewTCPNode and Group.Node).
+	Node = runtime.Node
+	// Group is an in-process group over an in-memory network.
+	Group = core.Group
+	// TCPNodeOptions configures one process of a TCP group.
+	TCPNodeOptions = core.TCPNodeOptions
+	// SimOptions configures a deterministic simulated cluster.
+	SimOptions = netsim.Options
+	// SimCluster is a deterministic simulated cluster.
+	SimCluster = netsim.Cluster
+	// CostModel parameterizes the simulated hardware.
+	CostModel = netsim.CostModel
+)
+
+// Stack values.
+const (
+	// Modular composes ABcast, Consensus and RBcast as independent
+	// microprotocols (paper §3).
+	Modular = types.Modular
+	// Monolithic merges them into a single optimized module (paper §4).
+	Monolithic = types.Monolithic
+)
+
+// Errors.
+var (
+	// ErrFlowControl is returned by Node.Abcast when the window is full.
+	ErrFlowControl = types.ErrFlowControl
+	// ErrStopped is returned by operations on a closed node.
+	ErrStopped = types.ErrStopped
+)
+
+// NewLocalGroup starts an n-process group of the given stack over an
+// in-memory network. onDeliver (optional) observes every adelivery.
+func NewLocalGroup(n int, stack Stack, onDeliver func(p ProcessID, d Delivery)) (*Group, error) {
+	return core.NewLocalGroup(n, stack, onDeliver)
+}
+
+// NewTCPNode starts one process of a group communicating over TCP.
+func NewTCPNode(opts TCPNodeOptions) (*Node, error) { return core.NewTCPNode(opts) }
+
+// NewSimCluster builds a deterministic simulated cluster for running the
+// paper's experiments programmatically.
+func NewSimCluster(opts SimOptions) (*SimCluster, error) { return core.NewSimCluster(opts) }
+
+// DefaultConfig returns the protocol tunables used in the paper's
+// evaluation for a group of n processes.
+func DefaultConfig(n int) Config { return engine.DefaultConfig(n) }
+
+// DefaultCostModel returns the calibrated simulated-hardware model.
+func DefaultCostModel() CostModel { return netsim.DefaultModel() }

@@ -1,0 +1,86 @@
+package modab_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"modab"
+)
+
+// TestPublicAPIQuickstart exercises the README's quickstart path.
+func TestPublicAPIQuickstart(t *testing.T) {
+	var mu sync.Mutex
+	got := make(map[modab.ProcessID][]modab.MsgID)
+	group, err := modab.NewLocalGroup(3, modab.Monolithic, func(p modab.ProcessID, d modab.Delivery) {
+		mu.Lock()
+		got[p] = append(got[p], d.Msg.ID)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer group.Close()
+
+	for p := 0; p < group.N(); p++ {
+		if _, err := group.Abcast(p, []byte("hello")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		done := len(got[0]) == 3 && len(got[1]) == 3 && len(got[2]) == 3
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timeout")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for p := modab.ProcessID(1); p < 3; p++ {
+		for i := range got[0] {
+			if got[p][i] != got[0][i] {
+				t.Fatalf("order differs at %d", i)
+			}
+		}
+	}
+}
+
+// TestPublicSimAPI runs a small simulated comparison through the façade.
+func TestPublicSimAPI(t *testing.T) {
+	for _, stk := range []modab.Stack{modab.Modular, modab.Monolithic} {
+		delivered := 0
+		sim, err := modab.NewSimCluster(modab.SimOptions{
+			N:     3,
+			Stack: stk,
+			Seed:  1,
+			OnDeliver: func(_ modab.ProcessID, _ modab.Delivery, _ time.Duration) {
+				delivered++
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.Abcast(0, 0, []byte("x"), nil)
+		sim.Run(time.Second)
+		if delivered != 3 {
+			t.Fatalf("%s: delivered %d, want 3", stk, delivered)
+		}
+	}
+}
+
+func TestDefaultsExposed(t *testing.T) {
+	cfg := modab.DefaultConfig(3)
+	if cfg.N != 3 || cfg.Window < 1 {
+		t.Fatalf("config: %+v", cfg)
+	}
+	model := modab.DefaultCostModel()
+	if model.BandwidthBytesPerSec <= 0 {
+		t.Fatalf("model: %+v", model)
+	}
+}
