@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: all build test race vet ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The runtime and stream packages carry the concurrency-sensitive code
+# (event loop, delivery streams, flow-control wakeups); the root package
+# exercises the facade across all three drivers.
+race:
+	$(GO) test -race ./internal/runtime/... ./internal/stream/... ./internal/core/... .
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet test race

@@ -11,10 +11,14 @@
 //
 // Each process abcasts -size byte messages at -rate msgs/s for -dur, then
 // reports its measured throughput, latency of its own messages, and the
-// group-visible counters.
+// group-visible counters. Deliveries are consumed from the cluster's
+// pull-based stream; -dropslow switches the stream to the drop overflow
+// policy so a lagging consumer shows up as a nonzero streamDropped
+// counter instead of backpressuring the protocol.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,10 +26,8 @@ import (
 	"sync"
 	"time"
 
-	"modab/internal/core"
-	"modab/internal/engine"
+	"modab"
 	"modab/internal/stats"
-	"modab/internal/types"
 )
 
 func main() {
@@ -44,6 +46,7 @@ func run() error {
 		size     = flag.Int("size", 1024, "payload size (bytes)")
 		dur      = flag.Duration("dur", 10*time.Second, "injection duration")
 		quiet    = flag.Bool("quiet", false, "suppress per-delivery output")
+		dropslow = flag.Bool("dropslow", false, "drop deliveries instead of backpressuring when the consumer lags")
 	)
 	flag.Parse()
 
@@ -54,47 +57,55 @@ func run() error {
 	if *id < 0 || *id >= len(addrs) {
 		return fmt.Errorf("-id must index into -peers (got %d of %d)", *id, len(addrs))
 	}
-	var stk types.Stack
+	var stk modab.Stack
 	switch *stackArg {
 	case "modular":
-		stk = types.Modular
+		stk = modab.Modular
 	case "monolithic":
-		stk = types.Monolithic
+		stk = modab.Monolithic
 	default:
 		return fmt.Errorf("unknown -stack %q", *stackArg)
 	}
 
-	self := types.ProcessID(*id)
+	self := modab.ProcessID(*id)
+	opts := []modab.Option{modab.WithTransportTCP(addrs, self)}
+	if *dropslow {
+		opts = append(opts, modab.WithDeliveryOverflow(modab.OverflowDrop))
+	}
+	cluster, err := modab.New(len(addrs), stk, opts...)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	fmt.Printf("%s up as %s of %d peers, stack=%s\n", self, self, len(addrs), stk)
+
+	// Consume deliveries from the stream on a dedicated goroutine.
 	var (
 		mu        sync.Mutex
 		delivered int
-		t0s       = map[types.MsgID]time.Time{}
+		t0s       = map[modab.MsgID]time.Time{}
 		lat       stats.Series
 	)
-	node, err := core.NewTCPNode(core.TCPNodeOptions{
-		Self:  self,
-		Addrs: addrs,
-		Stack: stk,
-		OnDeliver: func(d engine.Delivery) {
+	sub := cluster.Deliveries()
+	var consumerWG sync.WaitGroup
+	consumerWG.Add(1)
+	go func() {
+		defer consumerWG.Done()
+		for ev := range sub.C() {
 			mu.Lock()
 			delivered++
-			if t0, ok := t0s[d.Msg.ID]; ok {
+			if t0, ok := t0s[ev.D.Msg.ID]; ok {
 				lat.Add(time.Since(t0).Seconds())
-				delete(t0s, d.Msg.ID)
+				delete(t0s, ev.D.Msg.ID)
 			}
 			count := delivered
 			mu.Unlock()
 			if !*quiet && count%100 == 0 {
 				fmt.Printf("%s delivered %d messages (last: %s in instance %d)\n",
-					self, count, d.Msg.ID, d.Instance)
+					self, count, ev.D.Msg.ID, ev.D.Instance)
 			}
-		},
-	})
-	if err != nil {
-		return err
-	}
-	defer node.Close()
-	fmt.Printf("%s up as %s of %d peers, stack=%s\n", self, self, len(addrs), stk)
+		}
+	}()
 
 	// Give peers a moment to come up before injecting.
 	time.Sleep(time.Second)
@@ -106,10 +117,12 @@ func run() error {
 		body := make([]byte, *size)
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
+		ctx, cancel := context.WithDeadline(context.Background(), start.Add(*dur+time.Minute))
+		defer cancel()
 		for time.Since(start) < *dur {
 			<-ticker.C
 			submit := time.Now()
-			msgID, err := node.AbcastBlocking(body)
+			msgID, err := cluster.Abcast(ctx, *id, body)
 			if err != nil {
 				return fmt.Errorf("abcast: %w", err)
 			}
@@ -135,6 +148,9 @@ func run() error {
 	}
 
 	elapsed := time.Since(start).Seconds()
+	counters := cluster.Counters(*id)
+	sub.Close()
+	consumerWG.Wait()
 	mu.Lock()
 	defer mu.Unlock()
 	fmt.Printf("\n%s summary: sent=%d delivered=%d (%.1f msgs/s)\n",
@@ -143,6 +159,9 @@ func run() error {
 		fmt.Printf("own-message latency: mean=%.2fms p50=%.2fms p99=%.2fms (n=%d)\n",
 			lat.Mean()*1e3, lat.Median()*1e3, lat.Percentile(99)*1e3, lat.N())
 	}
-	fmt.Printf("counters: %s\n", node.Counters())
+	fmt.Printf("counters: %s\n", counters)
+	if dropped := sub.Dropped(); dropped > 0 {
+		fmt.Printf("delivery stream dropped %d messages (consumer lagged)\n", dropped)
+	}
 	return nil
 }

@@ -4,13 +4,15 @@
 // applied in delivery order. A transfer only succeeds if the source
 // balance covers it — a decision that every replica must make
 // identically, which requires every replica to see the same transfer
-// order. The example ends by checking that all replicas agree on every
-// balance and that money was neither created nor destroyed.
+// order. Replicas apply commands from the cluster's delivery stream;
+// the example ends by checking that all replicas agree on every balance
+// and that money was neither created nor destroyed.
 //
 //	go run ./examples/bank
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -34,9 +36,9 @@ type transfer struct {
 	From, To, Amount int
 }
 
-// bank is one replica's ledger.
+// bank is one replica's ledger. No mutex: each replica is mutated only
+// by the single stream-consumer goroutine and read after it finishes.
 type bank struct {
-	mu       sync.Mutex
 	balance  [accounts]int
 	applied  int
 	rejected int
@@ -52,8 +54,6 @@ func newBank() *bank {
 
 // apply executes one transfer deterministically: rejected if underfunded.
 func (b *bank) apply(t transfer) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.applied++
 	if t.From == t.To || t.Amount <= 0 || b.balance[t.From] < t.Amount {
 		b.rejected++
@@ -63,30 +63,34 @@ func (b *bank) apply(t transfer) {
 	b.balance[t.To] += t.Amount
 }
 
-func (b *bank) snapshot() ([accounts]int, int, int) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.balance, b.applied, b.rejected
-}
-
 func main() {
 	replicas := make([]*bank, n)
 	for i := range replicas {
 		replicas[i] = newBank()
 	}
 
-	group, err := modab.NewLocalGroup(n, modab.Modular, func(p modab.ProcessID, d modab.Delivery) {
-		var t transfer
-		if err := json.Unmarshal(d.Msg.Body, &t); err == nil {
-			replicas[p].apply(t)
-		}
-	})
+	cluster, err := modab.New(n, modab.Modular)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer group.Close()
+	defer cluster.Close()
+
+	// The state machines consume the totally ordered command stream.
+	sub := cluster.Deliveries()
+	var consumer sync.WaitGroup
+	consumer.Add(1)
+	go func() {
+		defer consumer.Done()
+		for ev := range sub.C() {
+			var t transfer
+			if err := json.Unmarshal(ev.D.Msg.Body, &t); err == nil {
+				replicas[ev.P].apply(t)
+			}
+		}
+	}()
 
 	total := n * clientsPerNode * transfersEach
+	ctx := context.Background()
 	var wg sync.WaitGroup
 	for node := 0; node < n; node++ {
 		for c := 0; c < clientsPerNode; c++ {
@@ -101,7 +105,7 @@ func main() {
 						Amount: 1 + rng.Intn(400),
 					}
 					body, _ := json.Marshal(t)
-					if _, err := group.Abcast(node, body); err != nil {
+					if _, err := cluster.Abcast(ctx, node, body); err != nil {
 						log.Printf("abcast: %v", err)
 						return
 					}
@@ -111,30 +115,25 @@ func main() {
 	}
 	wg.Wait()
 
+	// Wait for every replica to adeliver everything, then end the stream.
 	deadline := time.Now().Add(10 * time.Second)
-	for {
-		done := true
-		for _, r := range replicas {
-			if _, applied, _ := r.snapshot(); applied < total {
-				done = false
-			}
-		}
-		if done || time.Now().After(deadline) {
-			break
-		}
+	for cluster.Stats().Total.ADeliver < int64(n*total) && time.Now().Before(deadline) {
 		time.Sleep(10 * time.Millisecond)
 	}
+	if err := cluster.Close(); err != nil {
+		log.Fatal(err)
+	}
+	consumer.Wait()
 
-	ref, _, _ := replicas[0].snapshot()
+	ref := replicas[0].balance
 	consistent := true
 	for i, r := range replicas {
-		bal, applied, rejected := r.snapshot()
 		sum := 0
-		for _, v := range bal {
+		for _, v := range r.balance {
 			sum += v
 		}
-		fmt.Printf("replica %d: applied=%d rejected=%d total-money=%d\n", i+1, applied, rejected, sum)
-		if bal != ref {
+		fmt.Printf("replica %d: applied=%d rejected=%d total-money=%d\n", i+1, r.applied, r.rejected, sum)
+		if r.balance != ref {
 			consistent = false
 		}
 		if sum != accounts*initialBalance {

@@ -6,11 +6,15 @@
 // change elects the next coordinator, and the stream continues without
 // violating total order. This exercises the crash paths that the paper
 // requires for correctness but excludes from its good-run benchmarks.
+// The writer uses a context-aware Abcast, so shutting the cluster down
+// unblocks it promptly even if it is parked on flow control.
 //
 //	go run ./examples/failover
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"sync"
@@ -21,36 +25,37 @@ import (
 
 func main() {
 	const n = 5
-	var (
-		mu     sync.Mutex
-		orders = make([][]modab.MsgID, n)
-	)
-
-	group, err := modab.NewLocalGroup(n, modab.Modular, func(p modab.ProcessID, d modab.Delivery) {
-		mu.Lock()
-		orders[p] = append(orders[p], d.Msg.ID)
-		mu.Unlock()
-	})
+	cluster, err := modab.New(n, modab.Modular)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer group.Close()
+	defer cluster.Close()
 
-	// A writer on process p3 keeps abcasting throughout.
-	stop := make(chan struct{})
+	orders := make([][]modab.MsgID, n)
+	sub := cluster.Deliveries()
+	var consumer sync.WaitGroup
+	consumer.Add(1)
+	go func() {
+		defer consumer.Done()
+		for ev := range sub.C() {
+			orders[ev.P] = append(orders[ev.P], ev.D.Msg.ID)
+		}
+	}()
+
+	// A writer on process p3 keeps abcasting throughout; cancellation
+	// stops it even when it is blocked on flow control.
+	ctx, stop := context.WithCancel(context.Background())
 	var sent int
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		for {
-			select {
-			case <-stop:
+			if _, err := cluster.Abcast(ctx, 2, []byte(fmt.Sprintf("op-%d", sent))); err != nil {
+				if !errors.Is(err, context.Canceled) {
+					log.Printf("abcast: %v", err)
+				}
 				return
-			default:
-			}
-			if _, err := group.Abcast(2, []byte(fmt.Sprintf("op-%d", sent))); err != nil {
-				return // group shutting down
 			}
 			sent++
 			time.Sleep(4 * time.Millisecond)
@@ -59,20 +64,22 @@ func main() {
 
 	time.Sleep(300 * time.Millisecond)
 	fmt.Println("crashing p1 (the round-1 coordinator of every instance)...")
-	if err := group.Crash(0); err != nil {
+	if err := cluster.Crash(0); err != nil {
 		log.Printf("crash: %v", err)
 	}
 
 	// Keep the stream running through suspicion + round change.
 	time.Sleep(1500 * time.Millisecond)
-	close(stop)
+	stop()
 	wg.Wait()
 
-	// Let the survivors drain.
+	// Let the survivors drain, then end the delivery stream.
 	time.Sleep(500 * time.Millisecond)
+	if err := cluster.Close(); err != nil {
+		log.Fatal(err)
+	}
+	consumer.Wait()
 
-	mu.Lock()
-	defer mu.Unlock()
 	fmt.Printf("writer abcast %d messages; survivor delivery counts:", sent)
 	for p := 1; p < n; p++ {
 		fmt.Printf(" p%d=%d", p+1, len(orders[p]))

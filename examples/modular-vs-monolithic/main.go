@@ -4,7 +4,9 @@
 // simulator under an identical saturating workload (n=3, 16 KiB messages)
 // and prints the head-to-head comparison: latency, throughput, messages
 // and payload bytes per consensus — next to the §5.2 analytical
-// predictions.
+// predictions. The clusters are built through the modab.New facade with
+// the simulation driver; the workload generator and latency recorder
+// plug into the same delivery events the application would consume.
 //
 //	go run ./examples/modular-vs-monolithic
 package main
@@ -36,26 +38,33 @@ func main() {
 	}
 	results := map[modab.Stack]row{}
 	for _, stk := range []modab.Stack{modab.Modular, modab.Monolithic} {
-		lc, err := netsim.NewLoadedCluster(
-			netsim.Options{N: n, Stack: stk, Seed: 7},
-			netsim.Workload{OfferedLoad: load, Size: size},
-			warmup, measure)
+		rec := netsim.NewRecorder(n, warmup, warmup+measure)
+		cluster, err := modab.New(n, stk,
+			modab.WithSimulation(7),
+			modab.WithOnDeliver(func(ev modab.Event) {
+				rec.OnDeliver(ev.P, ev.D.Msg.ID, ev.At)
+			}))
 		if err != nil {
 			log.Fatal(err)
 		}
-		lc.Run(warmup + measure + time.Second)
-		if errs := lc.Errs(); len(errs) > 0 {
+		sim := cluster.Sim()
+		netsim.InstallWorkload(sim, netsim.Workload{
+			OfferedLoad: load, Size: size, End: warmup + measure,
+		}, rec)
+		sim.Run(warmup + measure + time.Second)
+		if errs := sim.Errs(); len(errs) > 0 {
 			log.Fatalf("engine error: %v", errs[0])
 		}
-		tot := lc.TotalCounters()
+		tot := cluster.Stats().Total
 		decisions := float64(tot.ConsensusDecided) / float64(n)
-		lat := lc.Recorder.MeanLatency() * 1e3
-		thr := lc.Recorder.Throughput()
+		lat := rec.MeanLatency() * 1e3
+		thr := rec.Throughput()
 		results[stk] = row{lat, thr}
 		fmt.Printf("%-11s %10.2f %12.1f %8.2f %10.2f %14.0f\n",
 			stk, lat, thr, tot.AvgBatch(),
 			float64(tot.MsgsSent)/decisions,
 			float64(tot.PayloadBytesSent)/decisions)
+		_ = cluster.Close()
 	}
 
 	mod, mono := results[modab.Modular], results[modab.Monolithic]

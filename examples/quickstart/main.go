@@ -3,11 +3,13 @@
 // Three processes concurrently abcast greetings; every process adelivers
 // exactly the same sequence, demonstrating uniform total order — the
 // property that makes atomic broadcast the standard tool for replication.
+// Deliveries are consumed from the cluster's pull-based stream.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -18,23 +20,27 @@ import (
 
 func main() {
 	const n = 3
-	var (
-		mu     sync.Mutex
-		orders = make([][]string, n)
-	)
-
-	group, err := modab.NewLocalGroup(n, modab.Modular, func(p modab.ProcessID, d modab.Delivery) {
-		mu.Lock()
-		orders[p] = append(orders[p], fmt.Sprintf("%s:%q", d.Msg.ID, d.Msg.Body))
-		mu.Unlock()
-	})
+	cluster, err := modab.New(n, modab.Modular)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer group.Close()
+	defer cluster.Close()
+
+	// One consumer drains the cluster-wide delivery stream.
+	orders := make([][]string, n)
+	sub := cluster.Deliveries()
+	var consumer sync.WaitGroup
+	consumer.Add(1)
+	go func() {
+		defer consumer.Done()
+		for ev := range sub.C() {
+			orders[ev.P] = append(orders[ev.P], fmt.Sprintf("%s:%q", ev.D.Msg.ID, ev.D.Msg.Body))
+		}
+	}()
 
 	// Every process broadcasts concurrently — arrival order at each
 	// process's network is arbitrary, the delivery order is not.
+	ctx := context.Background()
 	var wg sync.WaitGroup
 	for p := 0; p < n; p++ {
 		wg.Add(1)
@@ -42,7 +48,7 @@ func main() {
 			defer wg.Done()
 			for i := 1; i <= 3; i++ {
 				msg := fmt.Sprintf("hello %d from p%d", i, p+1)
-				if _, err := group.Abcast(p, []byte(msg)); err != nil {
+				if _, err := cluster.Abcast(ctx, p, []byte(msg)); err != nil {
 					log.Printf("abcast: %v", err)
 				}
 			}
@@ -50,20 +56,16 @@ func main() {
 	}
 	wg.Wait()
 
-	// Wait until everyone delivered all nine messages.
-	waitFor(func() bool {
-		mu.Lock()
-		defer mu.Unlock()
-		for _, o := range orders {
-			if len(o) < n*3 {
-				return false
-			}
-		}
-		return true
-	})
+	// Wait until everyone delivered all nine messages, then end the
+	// stream so the consumer goroutine finishes.
+	for cluster.Stats().Total.ADeliver < n*n*3 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cluster.Close(); err != nil {
+		log.Fatal(err)
+	}
+	consumer.Wait()
 
-	mu.Lock()
-	defer mu.Unlock()
 	fmt.Println("delivery order at each process:")
 	for p, o := range orders {
 		fmt.Printf("  p%d: %v\n", p+1, o)
@@ -77,10 +79,4 @@ func main() {
 		}
 	}
 	fmt.Printf("identical total order at all processes: %v\n", same)
-}
-
-func waitFor(cond func() bool) {
-	for !cond() {
-		time.Sleep(5 * time.Millisecond)
-	}
 }

@@ -4,12 +4,15 @@
 // local map, so all replicas stay byte-identical without any further
 // coordination (state machine replication, the motivation in the paper's
 // introduction). Concurrent writers race — but they race identically at
-// every replica.
+// every replica. The replicas pull their command streams from
+// per-replica delivery subscriptions, demonstrating multi-subscriber
+// fan-out on one cluster.
 //
 //	go run ./examples/replicated-kv
 package main
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -47,16 +50,13 @@ func decode(b []byte) (command, bool) {
 	}
 }
 
-// store is one replica's state machine.
+// store is one replica's state machine, driven by one consumer goroutine.
 type store struct {
-	mu      sync.Mutex
 	data    map[string]string
 	applied int
 }
 
 func (s *store) apply(c command) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch c.op {
 	case "SET":
 		s.data[c.key] = c.value
@@ -67,9 +67,7 @@ func (s *store) apply(c command) {
 }
 
 // fingerprint hashes the full state, for replica comparison.
-func (s *store) fingerprint() (string, int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+func (s *store) fingerprint() string {
 	keys := make([]string, 0, len(s.data))
 	for k := range s.data {
 		keys = append(keys, k)
@@ -79,7 +77,7 @@ func (s *store) fingerprint() (string, int) {
 	for _, k := range keys {
 		fmt.Fprintf(h, "%s=%s;", k, s.data[k])
 	}
-	return hex.EncodeToString(h.Sum(nil))[:16], s.applied
+	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
 func main() {
@@ -94,17 +92,33 @@ func main() {
 		replicas[i] = &store{data: make(map[string]string)}
 	}
 
-	group, err := modab.NewLocalGroup(n, modab.Monolithic, func(p modab.ProcessID, d modab.Delivery) {
-		if c, ok := decode(d.Msg.Body); ok {
-			replicas[p].apply(c)
-		}
-	})
+	cluster, err := modab.New(n, modab.Monolithic)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer group.Close()
+	defer cluster.Close()
+
+	// One subscription per replica: each consumer applies only its own
+	// process's deliveries, at its own pace.
+	var consumers sync.WaitGroup
+	for i := 0; i < n; i++ {
+		sub := cluster.Deliveries()
+		consumers.Add(1)
+		go func(i int, sub *modab.DeliveryStream) {
+			defer consumers.Done()
+			for ev := range sub.C() {
+				if int(ev.P) != i {
+					continue
+				}
+				if c, ok := decode(ev.D.Msg.Body); ok {
+					replicas[i].apply(c)
+				}
+			}
+		}(i, sub)
+	}
 
 	// Concurrent writers on different processes, hammering the same keys.
+	ctx := context.Background()
 	var wg sync.WaitGroup
 	for w := 0; w < writers; w++ {
 		wg.Add(1)
@@ -116,7 +130,7 @@ func main() {
 				if i%10 == 9 {
 					cmd = command{op: "DEL", key: key}
 				}
-				if _, err := group.Abcast(w, cmd.encode()); err != nil {
+				if _, err := cluster.Abcast(ctx, w, cmd.encode()); err != nil {
 					log.Printf("abcast: %v", err)
 					return
 				}
@@ -125,27 +139,22 @@ func main() {
 	}
 	wg.Wait()
 
-	// Wait for every replica to apply everything.
+	// Wait for every process to adeliver everything, then end the streams.
 	deadline := time.Now().Add(10 * time.Second)
-	for {
-		done := true
-		for _, r := range replicas {
-			if _, applied := r.fingerprint(); applied < totalOps {
-				done = false
-			}
-		}
-		if done || time.Now().After(deadline) {
-			break
-		}
+	for cluster.Stats().Total.ADeliver < int64(n*totalOps) && time.Now().Before(deadline) {
 		time.Sleep(10 * time.Millisecond)
 	}
+	if err := cluster.Close(); err != nil {
+		log.Fatal(err)
+	}
+	consumers.Wait()
 
 	fmt.Println("replica states after concurrent writes to contended keys:")
-	first, _ := replicas[0].fingerprint()
+	first := replicas[0].fingerprint()
 	consistent := true
 	for i, r := range replicas {
-		fp, applied := r.fingerprint()
-		fmt.Printf("  replica %d: applied=%d state=%s\n", i+1, applied, fp)
+		fp := r.fingerprint()
+		fmt.Printf("  replica %d: applied=%d state=%s\n", i+1, r.applied, fp)
 		if fp != first {
 			consistent = false
 		}

@@ -1,0 +1,3 @@
+module modab
+
+go 1.24

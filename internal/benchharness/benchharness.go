@@ -30,6 +30,10 @@ type Point struct {
 	MsgsPerDec  float64 // messages sent per consensus decided (group-wide)
 	Utilization float64 // busiest-process CPU utilization
 	Blocked     int64   // flow-control rejections in the window
+	// StreamDropped counts adeliveries discarded by drop-policy delivery
+	// streams (trace.Counters.StreamDropped) — nonzero means the
+	// application side of the benchmark could not keep up.
+	StreamDropped int64
 }
 
 // RunOptions control one sweep point.
@@ -65,7 +69,7 @@ func (o RunOptions) withDefaults() RunOptions {
 func RunPoint(n int, stk types.Stack, load float64, size int, opts RunOptions) (Point, error) {
 	opts = opts.withDefaults()
 	var lat, thr, avgM, msgsPerDec, util stats.Welford
-	var blocked int64
+	var blocked, dropped int64
 	for rep := 0; rep < opts.Repetitions; rep++ {
 		lc, err := netsim.NewLoadedCluster(
 			netsim.Options{N: n, Stack: stk, Seed: opts.Seed + int64(rep), Model: opts.Model},
@@ -94,20 +98,22 @@ func RunPoint(n int, stk types.Stack, load float64, size int, opts RunOptions) (
 		}
 		util.Add(maxUtil)
 		blocked += lc.Recorder.Blocked
+		dropped += tot.StreamDropped
 	}
 	return Point{
-		N:           n,
-		Stack:       stk,
-		OfferedLoad: load,
-		Size:        size,
-		LatencyMs:   lat.Mean(),
-		LatencyCI:   lat.CI95(),
-		Throughput:  thr.Mean(),
-		ThroughCI:   thr.CI95(),
-		M:           avgM.Mean(),
-		MsgsPerDec:  msgsPerDec.Mean(),
-		Utilization: util.Mean(),
-		Blocked:     blocked / int64(opts.Repetitions),
+		N:             n,
+		Stack:         stk,
+		OfferedLoad:   load,
+		Size:          size,
+		LatencyMs:     lat.Mean(),
+		LatencyCI:     lat.CI95(),
+		Throughput:    thr.Mean(),
+		ThroughCI:     thr.CI95(),
+		M:             avgM.Mean(),
+		MsgsPerDec:    msgsPerDec.Mean(),
+		Utilization:   util.Mean(),
+		Blocked:       blocked / int64(opts.Repetitions),
+		StreamDropped: dropped / int64(opts.Repetitions),
 	}, nil
 }
 
@@ -217,15 +223,16 @@ func Fig11(opts RunOptions) (Figure, error) {
 // grouped the way the paper's curves are labelled.
 func Render(w io.Writer, fig Figure) {
 	fmt.Fprintf(w, "%s — %s\n", fig.ID, fig.Title)
-	fmt.Fprintf(w, "%-6s %-11s %12s %10s %14s %14s %7s %9s %6s\n",
-		"group", "stack", fig.XLabel, "lat(ms)", "±95%CI", "thr(msg/s)", "M", "msgs/dec", "util")
+	fmt.Fprintf(w, "%-6s %-11s %12s %10s %14s %14s %7s %9s %6s %8s %6s\n",
+		"group", "stack", fig.XLabel, "lat(ms)", "±95%CI", "thr(msg/s)", "M", "msgs/dec", "util", "blocked", "drops")
 	for _, p := range fig.Points {
 		x := p.OfferedLoad
 		if fig.ID == "fig9" || fig.ID == "fig11" {
 			x = float64(p.Size)
 		}
-		fmt.Fprintf(w, "%-6d %-11s %12.0f %10.3f %14.3f %14.1f %7.2f %9.2f %6.2f\n",
-			p.N, p.Stack, x, p.LatencyMs, p.LatencyCI, p.Throughput, p.M, p.MsgsPerDec, p.Utilization)
+		fmt.Fprintf(w, "%-6d %-11s %12.0f %10.3f %14.3f %14.1f %7.2f %9.2f %6.2f %8d %6d\n",
+			p.N, p.Stack, x, p.LatencyMs, p.LatencyCI, p.Throughput, p.M, p.MsgsPerDec, p.Utilization,
+			p.Blocked, p.StreamDropped)
 	}
 	fmt.Fprintln(w)
 }

@@ -5,12 +5,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"modab/internal/engine"
 	"modab/internal/netsim"
 	"modab/internal/runtime"
+	"modab/internal/stream"
+	"modab/internal/trace"
 	"modab/internal/transport"
 	"modab/internal/types"
 )
@@ -18,34 +23,71 @@ import (
 // DeliverFunc observes one adelivery at one process of a group.
 type DeliverFunc func(p types.ProcessID, d engine.Delivery)
 
+// GroupOptions carries the tunables of an in-process group beyond its
+// size and stack. The zero value is fully usable.
+type GroupOptions struct {
+	// Engine optionally overrides the protocol tunables (zero value means
+	// engine.DefaultConfig(n)).
+	Engine engine.Config
+	// HeartbeatPeriod and SuspectTimeout parameterize each node's failure
+	// detector (zero values use the runtime defaults).
+	HeartbeatPeriod time.Duration
+	SuspectTimeout  time.Duration
+	// DeliveryBuffer is the default per-subscriber buffer for Deliveries;
+	// 0 means stream.DefaultBuffer.
+	DeliveryBuffer int
+	// DeliveryOverflow is the default overflow policy for Deliveries.
+	DeliveryOverflow stream.Policy
+	// OnDeliver, when set, observes every adelivery — a convenience
+	// adapter over the delivery stream (see Group.Deliveries).
+	OnDeliver DeliverFunc
+}
+
 // Group is a set of real-time nodes connected by an in-memory network —
 // the quickest way to use the library inside one OS process.
 type Group struct {
+	// mu guards nodes: Crash and Close nil out entries concurrently
+	// with submissions reading them.
+	mu    sync.RWMutex
 	nodes []*runtime.Node
 	net   *transport.MemNetwork
+	hub   *stream.Hub[engine.Event]
+	start time.Time
+
+	// streamDropped counts drops at group-level subscriptions, which are
+	// not attributable to one process; Stats folds it into the totals.
+	streamDropped atomic.Int64
 }
 
-// NewLocalGroup starts an n-process group running the given stack over an
-// in-memory network. onDeliver (optional) observes every adelivery; it is
-// invoked from each node's event loop and must not block.
-func NewLocalGroup(n int, stack types.Stack, onDeliver DeliverFunc) (*Group, error) {
+// NewGroup starts an n-process group running the given stack over an
+// in-memory network.
+func NewGroup(n int, stack types.Stack, opts GroupOptions) (*Group, error) {
 	if n < 1 {
 		return nil, types.ErrEmptyGroup
 	}
 	net := transport.NewMemNetwork()
-	g := &Group{net: net, nodes: make([]*runtime.Node, n)}
+	g := &Group{net: net, nodes: make([]*runtime.Node, n), start: time.Now()}
+	g.hub = stream.NewHub[engine.Event](opts.DeliveryBuffer, opts.DeliveryOverflow,
+		func() { g.streamDropped.Add(1) })
 	for i := 0; i < n; i++ {
 		p := types.ProcessID(i)
-		var cb func(engine.Delivery)
-		if onDeliver != nil {
-			cb = func(d engine.Delivery) { onDeliver(p, d) }
+		cb := func(d engine.Delivery) {
+			if fn := opts.OnDeliver; fn != nil {
+				fn(p, d)
+			}
+			g.hub.Publish(engine.Event{P: p, D: d, At: time.Since(g.start)})
 		}
 		node, err := runtime.NewNode(runtime.Options{
-			Self:      p,
-			N:         n,
-			Stack:     stack,
-			Transport: net.Endpoint(p),
-			OnDeliver: cb,
+			Self:             p,
+			N:                n,
+			Stack:            stack,
+			Engine:           opts.Engine,
+			Transport:        net.Endpoint(p),
+			OnDeliver:        cb,
+			HeartbeatPeriod:  opts.HeartbeatPeriod,
+			SuspectTimeout:   opts.SuspectTimeout,
+			DeliveryBuffer:   opts.DeliveryBuffer,
+			DeliveryOverflow: opts.DeliveryOverflow,
 		})
 		if err != nil {
 			g.Close()
@@ -56,36 +98,123 @@ func NewLocalGroup(n int, stack types.Stack, onDeliver DeliverFunc) (*Group, err
 	return g, nil
 }
 
+// NewLocalGroup starts an n-process group running the given stack over an
+// in-memory network. onDeliver (optional) observes every adelivery.
+//
+// Deprecated: use NewGroup, which takes GroupOptions and supports
+// delivery streams.
+func NewLocalGroup(n int, stack types.Stack, onDeliver DeliverFunc) (*Group, error) {
+	return NewGroup(n, stack, GroupOptions{OnDeliver: onDeliver})
+}
+
 // N returns the group size.
 func (g *Group) N() int { return len(g.nodes) }
 
-// Node returns the i-th process's node.
-func (g *Group) Node(i int) *runtime.Node { return g.nodes[i] }
+// Node returns the i-th process's node (nil after Crash(i) or for an
+// out-of-range index).
+func (g *Group) Node(i int) *runtime.Node {
+	n, _ := g.node(i)
+	return n
+}
 
-// Abcast submits a payload at process p, blocking on flow control.
-func (g *Group) Abcast(p int, body []byte) (types.MsgID, error) {
-	return g.nodes[p].AbcastBlocking(body)
+// node fetches one process's live node, with bounds and crash checks.
+func (g *Group) node(p int) (*runtime.Node, error) {
+	if p < 0 || p >= len(g.nodes) {
+		return nil, fmt.Errorf("%w: p%d of a group of %d", types.ErrBadConfig, p+1, len(g.nodes))
+	}
+	g.mu.RLock()
+	n := g.nodes[p]
+	g.mu.RUnlock()
+	if n == nil {
+		return nil, types.ErrCrashed
+	}
+	return n, nil
+}
+
+// Abcast submits a payload at process p, blocking on flow control until
+// the message is admitted, the context is canceled (returning ctx.Err())
+// or the group shuts down. Submitting at a crashed process returns
+// types.ErrCrashed.
+func (g *Group) Abcast(ctx context.Context, p int, body []byte) (types.MsgID, error) {
+	node, err := g.node(p)
+	if err != nil {
+		return types.MsgID{}, err
+	}
+	return node.Abcast(ctx, body)
+}
+
+// TryAbcast submits a payload at process p without waiting; it returns
+// types.ErrFlowControl when p's window is full.
+func (g *Group) TryAbcast(p int, body []byte) (types.MsgID, error) {
+	node, err := g.node(p)
+	if err != nil {
+		return types.MsgID{}, err
+	}
+	return node.TryAbcast(body)
+}
+
+// Deliveries subscribes to the group-wide adelivery stream: every
+// adelivery at every process, tagged with the delivering process.
+// Per-process delivery order is preserved; the interleaving between
+// processes is arbitrary. Options override the group's default buffer
+// and overflow policy. The channel closes after Close.
+func (g *Group) Deliveries(opts ...stream.SubOption) *stream.Sub[engine.Event] {
+	return g.hub.Subscribe(opts...)
+}
+
+// Counters returns a snapshot of process p's instrumentation (zero after
+// Crash(p)).
+func (g *Group) Counters(p int) trace.Snapshot {
+	node, err := g.node(p)
+	if err != nil {
+		return trace.Snapshot{}
+	}
+	return node.Counters()
+}
+
+// Stats returns the uniform whole-group snapshot.
+func (g *Group) Stats() trace.Stats {
+	st := trace.Stats{N: len(g.nodes), PerProcess: make([]trace.Snapshot, len(g.nodes))}
+	for i := range g.nodes {
+		st.PerProcess[i] = g.Counters(i)
+		st.Total.Add(st.PerProcess[i])
+	}
+	st.Total.StreamDropped += g.streamDropped.Load()
+	return st
 }
 
 // Crash closes one node, simulating a crash-stop failure. The survivors'
 // failure detectors will suspect it after their timeout.
 func (g *Group) Crash(p int) error {
-	if g.nodes[p] == nil {
+	if p < 0 || p >= len(g.nodes) {
+		return fmt.Errorf("%w: p%d of a group of %d", types.ErrBadConfig, p+1, len(g.nodes))
+	}
+	g.mu.Lock()
+	node := g.nodes[p]
+	g.nodes[p] = nil
+	g.mu.Unlock()
+	if node == nil {
 		return nil
 	}
-	err := g.nodes[p].Close()
-	g.nodes[p] = nil
-	return err
+	return node.Close()
 }
 
-// Close shuts the whole group down.
+// Close shuts the whole group down and ends every delivery stream
+// (subscribers drain what is buffered, then see their channels closed).
 func (g *Group) Close() {
-	for i, n := range g.nodes {
+	g.mu.Lock()
+	nodes := make([]*runtime.Node, len(g.nodes))
+	copy(nodes, g.nodes)
+	for i := range g.nodes {
+		g.nodes[i] = nil
+	}
+	g.mu.Unlock()
+	for _, n := range nodes {
 		if n != nil {
 			_ = n.Close()
-			g.nodes[i] = nil
 		}
 	}
+	g.hub.Close()
 }
 
 // TCPNodeOptions configures one process of a TCP group.
@@ -98,12 +227,17 @@ type TCPNodeOptions struct {
 	Stack types.Stack
 	// Engine optionally overrides the protocol tunables.
 	Engine engine.Config
-	// OnDeliver observes adeliveries (from the event loop; must not block).
+	// OnDeliver observes adeliveries — a convenience adapter over the
+	// node's delivery stream (see runtime.Node.Deliveries).
 	OnDeliver func(d engine.Delivery)
 	// HeartbeatPeriod and SuspectTimeout parameterize the failure
 	// detector (zero values use the runtime defaults).
 	HeartbeatPeriod time.Duration
 	SuspectTimeout  time.Duration
+	// DeliveryBuffer and DeliveryOverflow set the node's delivery-stream
+	// defaults (see runtime.Options).
+	DeliveryBuffer   int
+	DeliveryOverflow stream.Policy
 }
 
 // NewTCPNode starts one process of a group communicating over TCP — the
@@ -114,14 +248,16 @@ func NewTCPNode(opts TCPNodeOptions) (*runtime.Node, error) {
 		return nil, err
 	}
 	node, err := runtime.NewNode(runtime.Options{
-		Self:            opts.Self,
-		N:               len(opts.Addrs),
-		Stack:           opts.Stack,
-		Engine:          opts.Engine,
-		Transport:       tr,
-		OnDeliver:       opts.OnDeliver,
-		HeartbeatPeriod: opts.HeartbeatPeriod,
-		SuspectTimeout:  opts.SuspectTimeout,
+		Self:             opts.Self,
+		N:                len(opts.Addrs),
+		Stack:            opts.Stack,
+		Engine:           opts.Engine,
+		Transport:        tr,
+		OnDeliver:        opts.OnDeliver,
+		HeartbeatPeriod:  opts.HeartbeatPeriod,
+		SuspectTimeout:   opts.SuspectTimeout,
+		DeliveryBuffer:   opts.DeliveryBuffer,
+		DeliveryOverflow: opts.DeliveryOverflow,
 	})
 	if err != nil {
 		_ = tr.Close()

@@ -40,6 +40,17 @@ type Delivery struct {
 	Instance uint64
 }
 
+// Event is one adelivery attributed to the process that performed it —
+// the element type of the group- and cluster-level delivery streams
+// (core.Group.Deliveries, netsim.Cluster.Deliveries). At is the driver's
+// clock at delivery: virtual time in simulation, elapsed monotonic time
+// in real time.
+type Event struct {
+	P  types.ProcessID
+	D  Delivery
+	At time.Duration
+}
+
 // Env is the world as seen by an engine. Drivers provide it; engines must
 // treat it as the only side-effect channel they have.
 //
@@ -63,7 +74,12 @@ type Env interface {
 	SetTimer(id TimerID, d time.Duration)
 	// CancelTimer disarms the timer if armed.
 	CancelTimer(id TimerID)
-	// Deliver hands an adelivered message to the application.
+	// Deliver hands an adelivered message to the application. Drivers fan
+	// deliveries out to pull-based subscriber streams; under the Block
+	// overflow policy a full subscriber buffer stalls Deliver — and with
+	// it the engine — which is how application backpressure reaches the
+	// ordering layer. Engines must therefore treat Deliver as potentially
+	// slow but must NOT assume it can re-enter the engine (it never does).
 	Deliver(d Delivery)
 	// Counters returns the per-process instrumentation sink.
 	Counters() *trace.Counters

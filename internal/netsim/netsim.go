@@ -14,11 +14,13 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"modab/internal/engine"
 	"modab/internal/modular"
 	"modab/internal/monolithic"
+	"modab/internal/stream"
 	"modab/internal/trace"
 	"modab/internal/types"
 )
@@ -37,8 +39,17 @@ type Options struct {
 	Model CostModel
 	// Seed drives workload jitter. Same seed, same trace.
 	Seed int64
-	// OnDeliver, when set, observes every adelivery.
+	// OnDeliver, when set, observes every adelivery synchronously in
+	// virtual time — the measurement harness uses it for exact
+	// timestamps. For pull-based consumption use Cluster.Deliveries.
 	OnDeliver func(p types.ProcessID, d engine.Delivery, at time.Duration)
+	// DeliveryBuffer is the default per-subscriber buffer for Deliveries;
+	// 0 means stream.DefaultBuffer.
+	DeliveryBuffer int
+	// DeliveryOverflow is the default overflow policy for Deliveries.
+	// Note that stream.Block makes the simulation's Run stall in real
+	// time until the subscriber drains.
+	DeliveryOverflow stream.Policy
 }
 
 // Cluster is a simulated group of processes running one stack.
@@ -50,6 +61,10 @@ type Cluster struct {
 	queue eventQueue
 	procs []*proc
 	rng   *rand.Rand
+	hub   *stream.Hub[engine.Event]
+	// streamDropped counts drops at cluster-level subscriptions; Stats
+	// folds it into the totals.
+	streamDropped atomic.Int64
 	// errs collects engine errors (malformed messages etc.); tests assert
 	// it stays empty.
 	errs []error
@@ -144,6 +159,8 @@ func NewCluster(opts Options) (*Cluster, error) {
 		procs: make([]*proc, opts.N),
 		rng:   rand.New(rand.NewSource(opts.Seed)),
 	}
+	c.hub = stream.NewHub[engine.Event](opts.DeliveryBuffer, opts.DeliveryOverflow,
+		func() { c.streamDropped.Add(1) })
 	heap.Init(&c.queue)
 	for i := 0; i < opts.N; i++ {
 		p := &proc{
@@ -179,13 +196,44 @@ func (c *Cluster) Counters(p types.ProcessID) trace.Snapshot {
 	return c.procs[p].counters.Snapshot()
 }
 
-// TotalCounters returns the group-wide counter totals.
+// TotalCounters returns the group-wide counter totals, including drops
+// at cluster-level delivery streams.
 func (c *Cluster) TotalCounters() trace.Snapshot {
 	var total trace.Snapshot
 	for _, p := range c.procs {
 		total.Add(p.counters.Snapshot())
 	}
+	total.StreamDropped += c.streamDropped.Load()
 	return total
+}
+
+// Stats returns the uniform whole-cluster snapshot (same shape as the
+// real-time drivers').
+func (c *Cluster) Stats() trace.Stats {
+	st := trace.Stats{N: c.opts.N, PerProcess: make([]trace.Snapshot, c.opts.N)}
+	for i, p := range c.procs {
+		st.PerProcess[i] = p.counters.Snapshot()
+		st.Total.Add(st.PerProcess[i])
+	}
+	st.Total.StreamDropped += c.streamDropped.Load()
+	return st
+}
+
+// Deliveries subscribes to the cluster-wide adelivery stream: every
+// adelivery at every process, tagged with the delivering process and the
+// virtual delivery time. Values are published while Run executes events,
+// from Run's goroutine — with the Block policy a full subscriber stalls
+// the simulation in real time (virtual time is unaffected). The channel
+// closes after Close.
+func (c *Cluster) Deliveries(opts ...stream.SubOption) *stream.Sub[engine.Event] {
+	return c.hub.Subscribe(opts...)
+}
+
+// Close ends the cluster's delivery streams; subscribers drain and see
+// their channels closed. The cluster itself holds no other resources —
+// Run can still be called, but further deliveries reach no stream.
+func (c *Cluster) Close() {
+	c.hub.Close()
 }
 
 // Utilization returns the fraction of virtual time process p's CPU was
@@ -287,6 +335,20 @@ func (c *Cluster) SuspectWindow(q, p types.ProcessID, at, dur time.Duration) {
 		}
 		c.exec(qp, c.now, c.model.TimerPerFire, func() { qp.eng.Suspect(p, false) })
 	})
+}
+
+// Step processes the single next queued event, advancing virtual time to
+// it. It reports false when the queue is empty. Step is how callers that
+// need fine-grained control (e.g. blocking submission in virtual time)
+// interleave with the simulation; Run remains the bulk driver.
+func (c *Cluster) Step() bool {
+	if c.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&c.queue).(*event)
+	c.now = e.at
+	c.dispatch(e)
+	return true
 }
 
 // Run processes events until the queue is exhausted or virtual time
@@ -393,6 +455,11 @@ func (c *Cluster) exec(p *proc, at time.Duration, baseCost time.Duration, fn fun
 	if c.opts.OnDeliver != nil {
 		for _, d := range env.deliveries {
 			c.opts.OnDeliver(p.id, d, end)
+		}
+	}
+	if c.hub.HasSubscribers() {
+		for _, d := range env.deliveries {
+			c.hub.Publish(engine.Event{P: p.id, D: d, At: end})
 		}
 	}
 	return end

@@ -1,0 +1,94 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"modab/internal/engine"
+	"modab/internal/stream"
+	"modab/internal/types"
+)
+
+// TestClusterDeliveriesStream pulls simulated adeliveries through the
+// stream and checks attribution, virtual timestamps and close semantics.
+func TestClusterDeliveriesStream(t *testing.T) {
+	c, err := NewCluster(Options{N: 3, Stack: types.Monolithic, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := c.Deliveries(stream.WithBuffer(64))
+	c.Abcast(0, 10*time.Millisecond, []byte("x"), nil)
+	c.Abcast(1, 20*time.Millisecond, []byte("y"), nil)
+	c.RunIdle(5 * time.Second)
+	c.Close()
+
+	perProc := make(map[types.ProcessID]int)
+	var lastAt time.Duration
+	for ev := range sub.C() {
+		perProc[ev.P]++
+		if ev.At <= 0 || ev.At > c.Now() {
+			t.Fatalf("delivery timestamp %v outside (0, %v]", ev.At, c.Now())
+		}
+		if ev.At < lastAt {
+			// The hub publishes in dispatch order, which is monotone in
+			// virtual time.
+			t.Fatalf("timestamps regressed: %v after %v", ev.At, lastAt)
+		}
+		lastAt = ev.At
+	}
+	for p := types.ProcessID(0); p < 3; p++ {
+		if perProc[p] != 2 {
+			t.Fatalf("process %v streamed %d of 2 deliveries", p, perProc[p])
+		}
+	}
+}
+
+// TestClusterStep single-steps the queue and checks virtual time follows
+// the event order.
+func TestClusterStep(t *testing.T) {
+	c, err := NewCluster(Options{N: 3, Stack: types.Modular, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	c.opts.OnDeliver = func(types.ProcessID, engine.Delivery, time.Duration) { delivered++ }
+	c.Abcast(0, time.Millisecond, []byte("s"), nil)
+	prev := c.Now()
+	steps := 0
+	for c.Step() {
+		if c.Now() < prev {
+			t.Fatalf("virtual time regressed: %v -> %v", prev, c.Now())
+		}
+		prev = c.Now()
+		steps++
+		if steps > 1_000_000 {
+			t.Fatal("queue never drained")
+		}
+	}
+	if delivered != 3 {
+		t.Fatalf("delivered %d of 3", delivered)
+	}
+	if c.Step() {
+		t.Fatal("Step on an empty queue reported work")
+	}
+}
+
+// TestClusterStatsUniform checks the Stats surface matches TotalCounters.
+func TestClusterStatsUniform(t *testing.T) {
+	c, err := NewCluster(Options{N: 3, Stack: types.Monolithic, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Abcast(0, time.Millisecond, []byte("x"), nil)
+	c.RunIdle(5 * time.Second)
+	st := c.Stats()
+	if st.N != 3 || len(st.PerProcess) != 3 {
+		t.Fatalf("stats shape: %+v", st)
+	}
+	if st.Total != c.TotalCounters() {
+		t.Fatalf("Stats total %+v != TotalCounters %+v", st.Total, c.TotalCounters())
+	}
+	if st.Total.ADeliver != 3 {
+		t.Fatalf("ADeliver = %d, want 3", st.Total.ADeliver)
+	}
+}

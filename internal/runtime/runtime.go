@@ -9,6 +9,8 @@
 package runtime
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -17,6 +19,7 @@ import (
 	"modab/internal/fd"
 	"modab/internal/modular"
 	"modab/internal/monolithic"
+	"modab/internal/stream"
 	"modab/internal/trace"
 	"modab/internal/transport"
 	"modab/internal/types"
@@ -45,9 +48,20 @@ type Options struct {
 	// HeartbeatPeriod/SuspectTimeout parameterize the default detector.
 	HeartbeatPeriod time.Duration
 	SuspectTimeout  time.Duration
-	// OnDeliver observes adeliveries. It is invoked from the event loop;
-	// it must not block and must not call back into the Node.
+	// OnDeliver observes adeliveries. It is a convenience adapter over the
+	// delivery stream (see Node.Deliveries): deliveries reach it in order
+	// on a dedicated goroutine, and a callback that stalls for long
+	// eventually backpressures the engine through the stream buffer. It
+	// must not call back into the Node.
 	OnDeliver func(d engine.Delivery)
+	// DeliveryBuffer is the default per-subscriber buffer capacity for
+	// Deliveries (and the OnDeliver adapter); 0 means stream.DefaultBuffer.
+	DeliveryBuffer int
+	// DeliveryOverflow is the default overflow policy for Deliveries:
+	// stream.Block (backpressure the engine, the default) or stream.Drop
+	// (discard for the lagging subscriber and count in
+	// trace.Counters.StreamDropped).
+	DeliveryOverflow stream.Policy
 }
 
 // Node is one running process of the group.
@@ -63,9 +77,17 @@ type Node struct {
 	stopped chan struct{}
 	wg      sync.WaitGroup
 
-	mu       sync.Mutex
-	closed   bool
-	windowCh chan struct{} // pulsed on own-message delivery (AbcastBlocking)
+	hub       *stream.Hub[engine.Delivery]
+	deliverWG sync.WaitGroup // OnDeliver adapter goroutine
+
+	mu     sync.Mutex
+	closed bool
+
+	// winMu guards winCh, which is closed and replaced each time one of
+	// this node's own messages is adelivered — a broadcast that wakes every
+	// Abcast call blocked on flow control so it can retry.
+	winMu sync.Mutex
+	winCh chan struct{}
 }
 
 // NewNode builds and starts a node: the engine starts, the transport
@@ -90,14 +112,26 @@ func NewNode(opts Options) (*Node, error) {
 		opts.SuspectTimeout = 8 * opts.HeartbeatPeriod
 	}
 	n := &Node{
-		opts:     opts,
-		tr:       opts.Transport,
-		loop:     make(chan func(), 1024),
-		quit:     make(chan struct{}),
-		stopped:  make(chan struct{}),
-		windowCh: make(chan struct{}, 1),
+		opts:    opts,
+		tr:      opts.Transport,
+		loop:    make(chan func(), 1024),
+		quit:    make(chan struct{}),
+		stopped: make(chan struct{}),
+		winCh:   make(chan struct{}),
 	}
 	n.env = &nodeEnv{node: n, start: time.Now(), timers: make(map[engine.TimerID]*timerState)}
+	n.hub = stream.NewHub[engine.Delivery](opts.DeliveryBuffer, opts.DeliveryOverflow,
+		func() { n.env.counters.StreamDropped.Add(1) })
+	if cb := opts.OnDeliver; cb != nil {
+		sub := n.hub.Subscribe()
+		n.deliverWG.Add(1)
+		go func() {
+			defer n.deliverWG.Done()
+			for d := range sub.C() {
+				cb(d)
+			}
+		}()
+	}
 	switch opts.Stack {
 	case types.Modular:
 		n.eng = modular.New(n.env, opts.Engine)
@@ -120,6 +154,8 @@ func NewNode(opts Options) (*Node, error) {
 
 	if err := n.tr.Start(n.onFrame); err != nil {
 		n.shutdownLoop()
+		n.hub.Close()
+		n.deliverWG.Wait()
 		return nil, err
 	}
 	n.det.Start(func(p types.ProcessID, suspected bool) {
@@ -171,45 +207,115 @@ func (n *Node) onFrame(from types.ProcessID, data []byte) {
 	}
 }
 
-// Abcast submits one payload for total-order broadcast. It returns
-// types.ErrFlowControl when the window is full.
-func (n *Node) Abcast(body []byte) (types.MsgID, error) {
+// TryAbcast submits one payload for total-order broadcast without
+// waiting on flow control: it returns types.ErrFlowControl when the
+// window is full and types.ErrStopped on a closed node. It is the only
+// entry point that surfaces ErrFlowControl.
+func (n *Node) TryAbcast(body []byte) (types.MsgID, error) {
+	id, err, _ := n.submit(body, nil)
+	return id, err
+}
+
+// submit runs one engine.Abcast on the event loop. cancel (may be nil)
+// aborts the wait at any point — including while the submission is still
+// queued behind a busy or stalled loop; ok=false then means the caller's
+// context ended and the outcome is unknown (the submission may still be
+// admitted when the loop gets to it).
+func (n *Node) submit(body []byte, cancel <-chan struct{}) (id types.MsgID, err error, ok bool) {
 	type result struct {
 		id  types.MsgID
 		err error
 	}
 	ch := make(chan result, 1)
-	n.post(func() {
+	fn := func() {
 		id, err := n.eng.Abcast(body)
 		ch <- result{id, err}
-	})
+	}
+	select {
+	case n.loop <- fn:
+	case <-cancel:
+		return types.MsgID{}, nil, false
+	case <-n.quit:
+		return types.MsgID{}, types.ErrStopped, true
+	}
 	select {
 	case r := <-ch:
-		return r.id, r.err
+		return r.id, r.err, true
+	case <-cancel:
+		return types.MsgID{}, nil, false
 	case <-n.stopped:
-		return types.MsgID{}, types.ErrStopped
+		return types.MsgID{}, types.ErrStopped, true
 	}
 }
 
-// AbcastBlocking submits one payload, waiting for flow-control room — the
-// paper's blocking abcast. It returns when the message is admitted or the
-// node stops.
-func (n *Node) AbcastBlocking(body []byte) (types.MsgID, error) {
+// Abcast submits one payload for total-order broadcast — the paper's
+// blocking abcast. When the flow-control window is full it parks until a
+// delivery of one of this node's own messages frees the window (a
+// condition broadcast, not a poll), the context is canceled (returning
+// ctx.Err()), or the node stops (returning types.ErrStopped).
+//
+// Cancellation that fires after the submission already reached the event
+// loop cannot retract it: the message may still be broadcast even though
+// Abcast returns ctx.Err() (the usual at-most-once ambiguity of any
+// canceled submission).
+func (n *Node) Abcast(ctx context.Context, body []byte) (types.MsgID, error) {
 	for {
-		id, err := n.Abcast(body)
-		if err == nil || err != types.ErrFlowControl {
+		if err := ctx.Err(); err != nil {
+			return types.MsgID{}, err
+		}
+		// Capture the wakeup channel before trying: a delivery between the
+		// failed try and the wait then shows up as an already-closed
+		// channel, so no wakeup is ever lost.
+		wait := n.windowChanged()
+		id, err, ok := n.submit(body, ctx.Done())
+		if !ok {
+			return types.MsgID{}, ctx.Err()
+		}
+		if !errors.Is(err, types.ErrFlowControl) {
 			return id, err
 		}
 		select {
-		case <-n.windowCh:
-			// A local message was delivered; the window may have room now.
-		case <-time.After(5 * time.Millisecond):
-			// Defensive wake-up: the pulse may have been consumed by a
-			// concurrent blocked sender.
+		case <-wait:
+		case <-ctx.Done():
+			return types.MsgID{}, ctx.Err()
 		case <-n.stopped:
 			return types.MsgID{}, types.ErrStopped
 		}
 	}
+}
+
+// AbcastBlocking submits one payload, waiting for flow-control room.
+//
+// Deprecated: use Abcast with a context.
+func (n *Node) AbcastBlocking(body []byte) (types.MsgID, error) {
+	return n.Abcast(context.Background(), body)
+}
+
+// windowChanged returns a channel that is closed the next time one of
+// this node's own messages is adelivered (i.e. the flow-control window
+// may have room again).
+func (n *Node) windowChanged() <-chan struct{} {
+	n.winMu.Lock()
+	defer n.winMu.Unlock()
+	return n.winCh
+}
+
+// windowPulse broadcasts a window change to every blocked Abcast.
+func (n *Node) windowPulse() {
+	n.winMu.Lock()
+	close(n.winCh)
+	n.winCh = make(chan struct{})
+	n.winMu.Unlock()
+}
+
+// Deliveries subscribes to this node's adelivery stream: a pull-based,
+// per-subscriber buffered feed of every adelivered message, in delivery
+// order. Options override the node's default buffer capacity and
+// overflow policy (stream.WithBuffer, stream.WithPolicy). The channel
+// closes after the node is closed and the buffer drains; close the
+// subscription to detach early.
+func (n *Node) Deliveries(opts ...stream.SubOption) *stream.Sub[engine.Delivery] {
+	return n.hub.Subscribe(opts...)
 }
 
 // Pending returns the engine's unordered message count (diagnostics).
@@ -240,7 +346,17 @@ func (n *Node) Close() error {
 	n.det.Close()
 	err := n.tr.Close()
 	n.env.stopTimers()
+	// Stop the loop before closing the hub: the currently-executing
+	// handler finishes (including its Deliver publishes), so every
+	// delivery that was counted also reaches the streams; queued but
+	// unexecuted closures are dropped (crash-equivalent) and never
+	// counted anything. Only then does the hub drain and close. A
+	// Block-policy subscriber that was abandoned — neither drained nor
+	// Closed — stalls this wait; that is the same contract violation
+	// that stalls the engine itself (see package stream).
 	n.shutdownLoop()
+	n.hub.Close()
+	n.deliverWG.Wait()
 	return err
 }
 
@@ -333,12 +449,7 @@ func (e *nodeEnv) stopTimers() {
 
 func (e *nodeEnv) Deliver(d engine.Delivery) {
 	if d.Msg.ID.Sender == e.node.opts.Self {
-		select {
-		case e.node.windowCh <- struct{}{}:
-		default:
-		}
+		e.node.windowPulse()
 	}
-	if cb := e.node.opts.OnDeliver; cb != nil {
-		cb(d)
-	}
+	e.node.hub.Publish(d)
 }

@@ -1,12 +1,15 @@
 package runtime
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
 	"time"
 
 	"modab/internal/engine"
+	"modab/internal/stream"
 	"modab/internal/transport"
 	"modab/internal/types"
 )
@@ -110,7 +113,7 @@ func TestNodeTotalOrderMem(t *testing.T) {
 					go func(i int, node *Node) {
 						defer wg.Done()
 						for j := 0; j < perProc; j++ {
-							if _, err := node.AbcastBlocking([]byte(fmt.Sprintf("p%d-%d", i, j))); err != nil {
+							if _, err := node.Abcast(context.Background(), []byte(fmt.Sprintf("p%d-%d", i, j))); err != nil {
 								t.Errorf("abcast: %v", err)
 								return
 							}
@@ -122,5 +125,254 @@ func TestNodeTotalOrderMem(t *testing.T) {
 				g.checkTotalOrder(t)
 			})
 		}
+	}
+}
+
+// soloStuckNode starts one node of a 3-process group whose peers never
+// come up: consensus cannot reach a majority, so nothing is ever
+// adelivered and the flow-control window never drains.
+func soloStuckNode(t *testing.T, window int) *Node {
+	t.Helper()
+	net := transport.NewMemNetwork()
+	cfg := engine.DefaultConfig(3)
+	cfg.Window = window
+	node, err := NewNode(Options{
+		Self:      0,
+		N:         3,
+		Stack:     types.Modular,
+		Engine:    cfg,
+		Transport: net.Endpoint(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = node.Close() })
+	return node
+}
+
+// TestTryAbcastFlowControl pins the typed-error contract: ErrFlowControl
+// surfaces only from TryAbcast, never from the blocking Abcast.
+func TestTryAbcastFlowControl(t *testing.T) {
+	node := soloStuckNode(t, 1)
+	if _, err := node.TryAbcast([]byte("a")); err != nil {
+		t.Fatalf("first try-abcast: %v", err)
+	}
+	if _, err := node.TryAbcast([]byte("b")); !errors.Is(err, types.ErrFlowControl) {
+		t.Fatalf("second try-abcast: got %v, want ErrFlowControl", err)
+	}
+}
+
+// TestAbcastContextCancelMidFlowControl submits against a full window
+// and checks that Abcast returns promptly with the context's error — no
+// busy-wait, no hang.
+func TestAbcastContextCancelMidFlowControl(t *testing.T) {
+	node := soloStuckNode(t, 1)
+	if _, err := node.TryAbcast([]byte("fill")); err != nil {
+		t.Fatalf("fill: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := node.Abcast(ctx, []byte("blocked"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if errors.Is(err, types.ErrFlowControl) {
+		t.Fatal("blocking Abcast leaked ErrFlowControl")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("Abcast took %v to honor the deadline", elapsed)
+	}
+
+	// Explicit cancellation behaves the same.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel2()
+	}()
+	if _, err := node.Abcast(ctx2, []byte("blocked2")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestAbcastUnblocksOnWindowRoom checks the condition-broadcast wakeup:
+// a blocked Abcast proceeds as soon as an own-message delivery frees the
+// window, with no polling.
+func TestAbcastUnblocksOnWindowRoom(t *testing.T) {
+	net := transport.NewMemNetwork()
+	cfg := engine.DefaultConfig(3)
+	cfg.Window = 1
+	nodes := make([]*Node, 3)
+	for i := range nodes {
+		node, err := NewNode(Options{
+			Self:      types.ProcessID(i),
+			N:         3,
+			Stack:     types.Monolithic,
+			Engine:    cfg,
+			Transport: net.Endpoint(types.ProcessID(i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			_ = nd.Close()
+		}
+	})
+	// With Window=1, message k+1 can only be admitted after message k is
+	// adelivered locally — every submission after the first must block
+	// and then be woken by the delivery broadcast.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	for j := 0; j < 10; j++ {
+		if _, err := nodes[0].Abcast(ctx, []byte{byte(j)}); err != nil {
+			t.Fatalf("abcast %d: %v", j, err)
+		}
+	}
+}
+
+// TestDeliveriesStream reads a node's adeliveries from the pull-based
+// stream and checks content and order.
+func TestDeliveriesStream(t *testing.T) {
+	net := transport.NewMemNetwork()
+	node, err := NewNode(Options{Self: 0, N: 1, Stack: types.Monolithic, Transport: net.Endpoint(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := node.Deliveries()
+	const k = 5
+	ids := make([]types.MsgID, 0, k)
+	for j := 0; j < k; j++ {
+		id, err := node.Abcast(context.Background(), []byte{byte(j)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for j := 0; j < k; j++ {
+		select {
+		case d := <-sub.C():
+			if d.Msg.ID != ids[j] {
+				t.Fatalf("position %d: got %v, want %v", j, d.Msg.ID, ids[j])
+			}
+			if len(d.Msg.Body) != 1 || d.Msg.Body[0] != byte(j) {
+				t.Fatalf("position %d: body %v", j, d.Msg.Body)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for delivery %d", j)
+		}
+	}
+	// Closing the node ends the stream.
+	_ = node.Close()
+	select {
+	case _, ok := <-sub.C():
+		if ok {
+			t.Fatal("unexpected extra delivery")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream not closed after node close")
+	}
+}
+
+// TestDeliveriesOverflowDrop checks the drop policy: a subscriber that
+// never reads loses deliveries, the losses are counted in
+// trace.Counters.StreamDropped, and nothing is lost twice.
+func TestDeliveriesOverflowDrop(t *testing.T) {
+	net := transport.NewMemNetwork()
+	node, err := NewNode(Options{Self: 0, N: 1, Stack: types.Monolithic, Transport: net.Endpoint(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := node.Deliveries(stream.WithBuffer(1), stream.WithPolicy(stream.Drop))
+	const k = 30
+	for j := 0; j < k; j++ {
+		if _, err := node.Abcast(context.Background(), []byte{byte(j)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for node.Counters().ADeliver < k {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d delivered", node.Counters().ADeliver, k)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_ = node.Close()
+	received := 0
+	for range sub.C() {
+		received++
+	}
+	dropped := node.Counters().StreamDropped
+	if dropped == 0 {
+		t.Fatal("no drops counted for an unread drop-policy subscriber")
+	}
+	if dropped != sub.Dropped() {
+		t.Fatalf("trace counter %d != subscription counter %d", dropped, sub.Dropped())
+	}
+	if int64(received)+dropped != k {
+		t.Fatalf("received %d + dropped %d != abcast %d", received, dropped, k)
+	}
+}
+
+// TestSubscribeAfterNodeClose checks the documented semantics: a
+// subscription taken after Close sees an immediately closed channel.
+func TestSubscribeAfterNodeClose(t *testing.T) {
+	net := transport.NewMemNetwork()
+	node, err := NewNode(Options{Self: 0, N: 1, Stack: types.Modular, Transport: net.Endpoint(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = node.Close()
+	sub := node.Deliveries()
+	select {
+	case _, ok := <-sub.C():
+		if ok {
+			t.Fatal("received a delivery from a closed node")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-close subscription channel not closed")
+	}
+	sub.Close() // safe no-op
+}
+
+// TestOnDeliverAdapterDrainsOnClose checks that the callback adapter
+// delivers everything that was adelivered before Close returns.
+func TestOnDeliverAdapterDrainsOnClose(t *testing.T) {
+	net := transport.NewMemNetwork()
+	var mu sync.Mutex
+	var got int
+	node, err := NewNode(Options{
+		Self: 0, N: 1, Stack: types.Monolithic,
+		Transport: net.Endpoint(0),
+		OnDeliver: func(engine.Delivery) {
+			mu.Lock()
+			got++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 10
+	for j := 0; j < k; j++ {
+		if _, err := node.Abcast(context.Background(), []byte{byte(j)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for node.Counters().ADeliver < k {
+		if time.Now().After(deadline) {
+			t.Fatal("deliveries never completed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_ = node.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if got != k {
+		t.Fatalf("callback saw %d of %d after Close", got, k)
 	}
 }

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -75,7 +76,7 @@ func TestTCPGroupTotalOrder(t *testing.T) {
 				go func(i int, node *Node) {
 					defer wg.Done()
 					for j := 0; j < perProc; j++ {
-						if _, err := node.AbcastBlocking([]byte(fmt.Sprintf("%d-%d", i, j))); err != nil {
+						if _, err := node.Abcast(context.Background(), []byte(fmt.Sprintf("%d-%d", i, j))); err != nil {
 							t.Errorf("abcast: %v", err)
 							return
 						}
@@ -123,7 +124,7 @@ func TestTCPGroupCrashFailover(t *testing.T) {
 	nodes, orders, mu := tcpGroup(t, n, types.Modular)
 	// Get some traffic through first.
 	for j := 0; j < 5; j++ {
-		if _, err := nodes[1].AbcastBlocking([]byte{byte(j)}); err != nil {
+		if _, err := nodes[1].Abcast(context.Background(), []byte{byte(j)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -139,7 +140,7 @@ func TestTCPGroupCrashFailover(t *testing.T) {
 	}
 	before := delivered()
 	for j := 0; j < 5; j++ {
-		if _, err := nodes[1].AbcastBlocking([]byte{0xF0, byte(j)}); err != nil {
+		if _, err := nodes[1].Abcast(context.Background(), []byte{0xF0, byte(j)}); err != nil {
 			t.Fatal(err)
 		}
 		if time.Now().After(deadline) {
@@ -176,7 +177,7 @@ func TestNodeLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := node.Abcast([]byte("solo")); err != nil {
+	if _, err := node.TryAbcast([]byte("solo")); err != nil {
 		t.Fatal(err)
 	}
 	if err := node.Close(); err != nil {
@@ -185,7 +186,10 @@ func TestNodeLifecycle(t *testing.T) {
 	if err := node.Close(); err != nil {
 		t.Fatal("double close should be nil")
 	}
-	if _, err := node.Abcast([]byte("after close")); err != types.ErrStopped {
+	if _, err := node.TryAbcast([]byte("after close")); err != types.ErrStopped {
+		t.Fatalf("try-abcast after close: %v", err)
+	}
+	if _, err := node.Abcast(context.Background(), []byte("after close")); err != types.ErrStopped {
 		t.Fatalf("abcast after close: %v", err)
 	}
 }
@@ -210,7 +214,7 @@ func TestCountersExposed(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer node.Close()
-	if _, err := node.AbcastBlocking([]byte("x")); err != nil {
+	if _, err := node.Abcast(context.Background(), []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)

@@ -1,0 +1,188 @@
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFanOutOrder(t *testing.T) {
+	h := NewHub[int](8, Block, nil)
+	a := h.Subscribe()
+	b := h.Subscribe(WithBuffer(4))
+	const n = 100
+	go func() {
+		for i := 0; i < n; i++ {
+			h.Publish(i)
+		}
+		h.Close()
+	}()
+	// Both subscribers use the Block policy, so they must drain
+	// concurrently: the publisher stalls on whichever lags.
+	var wg sync.WaitGroup
+	for name, sub := range map[string]*Sub[int]{"a": a, "b": b} {
+		wg.Add(1)
+		go func(name string, sub *Sub[int]) {
+			defer wg.Done()
+			i := 0
+			for v := range sub.C() {
+				if v != i {
+					t.Errorf("%s: got %d at position %d", name, v, i)
+					return
+				}
+				i++
+			}
+			if i != n {
+				t.Errorf("%s: received %d of %d", name, i, n)
+			}
+		}(name, sub)
+	}
+	wg.Wait()
+}
+
+func TestBlockPolicyBackpressure(t *testing.T) {
+	h := NewHub[int](1, Block, nil)
+	sub := h.Subscribe()
+	done := make(chan struct{})
+	var published atomic.Int64
+	go func() {
+		defer close(done)
+		for i := 0; i < 3; i++ {
+			h.Publish(i)
+			published.Add(1)
+		}
+	}()
+	// Buffer 1: the publisher must stall after ~2 values (1 buffered +
+	// 1 in the forwarder's hand) until the consumer reads.
+	time.Sleep(50 * time.Millisecond)
+	if got := published.Load(); got >= 3 {
+		t.Fatalf("publisher not blocked: published %d with no consumer", got)
+	}
+	var got []int
+	for v := range sub.C() {
+		got = append(got, v)
+		if len(got) == 3 {
+			break
+		}
+	}
+	<-done
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("consumed %v", got)
+	}
+	sub.Close()
+}
+
+func TestDropPolicyCounts(t *testing.T) {
+	var hubDrops atomic.Int64
+	h := NewHub[int](2, Drop, func() { hubDrops.Add(1) })
+	sub := h.Subscribe()
+	// Nobody consumes: forwarder takes one value, buffer holds two, the
+	// rest must be dropped and counted.
+	const n = 10
+	for i := 0; i < n; i++ {
+		h.Publish(i)
+	}
+	// The forwarder may race the first publishes; dropped + deliverable
+	// must account for every publish.
+	deadline := time.Now().Add(2 * time.Second)
+	for sub.Dropped() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if sub.Dropped() == 0 {
+		t.Fatal("no drops recorded with a full buffer and no consumer")
+	}
+	if hubDrops.Load() != sub.Dropped() {
+		t.Fatalf("hub hook %d != sub dropped %d", hubDrops.Load(), sub.Dropped())
+	}
+	h.Close()
+	var got int
+	for range sub.C() {
+		got++
+	}
+	if int64(got)+sub.Dropped() != n {
+		t.Fatalf("delivered %d + dropped %d != published %d", got, sub.Dropped(), n)
+	}
+}
+
+func TestSubscribeAfterClose(t *testing.T) {
+	h := NewHub[string](4, Block, nil)
+	h.Close()
+	sub := h.Subscribe()
+	select {
+	case _, ok := <-sub.C():
+		if ok {
+			t.Fatal("received a value from a closed hub")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("channel of post-close subscription not closed")
+	}
+	sub.Close() // must be a safe no-op
+}
+
+func TestHubCloseDrainsBuffered(t *testing.T) {
+	h := NewHub[int](16, Block, nil)
+	sub := h.Subscribe()
+	for i := 0; i < 5; i++ {
+		h.Publish(i)
+	}
+	h.Close()
+	var got []int
+	for v := range sub.C() {
+		got = append(got, v)
+	}
+	if len(got) != 5 {
+		t.Fatalf("drained %d of 5 buffered values: %v", len(got), got)
+	}
+}
+
+func TestSubCloseUnblocksPublisher(t *testing.T) {
+	h := NewHub[int](1, Block, nil)
+	sub := h.Subscribe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			h.Publish(i)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the publisher hit the full buffer
+	sub.Close()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("publisher still blocked after subscriber closed")
+	}
+	if h.HasSubscribers() {
+		t.Fatal("closed subscription still registered")
+	}
+}
+
+func TestConcurrentSubscribeCloseRace(t *testing.T) {
+	h := NewHub[int](4, Drop, nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Publish(i)
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		sub := h.Subscribe()
+		go func() {
+			for range sub.C() {
+			}
+		}()
+		sub.Close()
+	}
+	close(stop)
+	wg.Wait()
+	h.Close()
+}

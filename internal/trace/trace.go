@@ -49,6 +49,10 @@ type Counters struct {
 	// Retransmissions counts recovery-path sends (decision refetch,
 	// rbcast relay duplicates suppressed, etc.).
 	Retransmissions atomic.Int64
+	// StreamDropped counts adeliveries discarded by a delivery-stream
+	// subscriber running the drop overflow policy — nonzero means the
+	// application could not keep up with the ordering layer.
+	StreamDropped atomic.Int64
 }
 
 // Snapshot is an immutable copy of the counters at one instant.
@@ -66,6 +70,7 @@ type Snapshot struct {
 	ADeliver         int64
 	BatchedMsgs      int64
 	Retransmissions  int64
+	StreamDropped    int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting (each field is
@@ -86,6 +91,7 @@ func (c *Counters) Snapshot() Snapshot {
 		ADeliver:         c.ADeliver.Load(),
 		BatchedMsgs:      c.BatchedMsgs.Load(),
 		Retransmissions:  c.Retransmissions.Load(),
+		StreamDropped:    c.StreamDropped.Load(),
 	}
 }
 
@@ -104,6 +110,22 @@ func (s *Snapshot) Add(o Snapshot) {
 	s.ADeliver += o.ADeliver
 	s.BatchedMsgs += o.BatchedMsgs
 	s.Retransmissions += o.Retransmissions
+	s.StreamDropped += o.StreamDropped
+}
+
+// Stats is a uniform whole-driver snapshot: one Snapshot per process
+// plus the group-wide totals. Every driver (real-time group, TCP node,
+// simulated cluster) exposes it the same way, so harnesses can compare
+// stacks and drivers without caring which one produced the numbers.
+type Stats struct {
+	// N is the group size.
+	N int
+	// PerProcess holds one snapshot per process, indexed by ProcessID.
+	PerProcess []Snapshot
+	// Total is the sum over PerProcess, plus any driver-level activity
+	// not attributable to a single process (e.g. drops at a group-wide
+	// delivery stream).
+	Total Snapshot
 }
 
 // AvgBatch returns the measured M: average messages ordered per decided
@@ -117,7 +139,11 @@ func (s Snapshot) AvgBatch() float64 {
 
 // String implements fmt.Stringer with the headline counters.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("sent=%d (%d B, payload %d B) recv=%d consensus=%d/%d avgM=%.2f dispatches=%d",
+	out := fmt.Sprintf("sent=%d (%d B, payload %d B) recv=%d consensus=%d/%d avgM=%.2f dispatches=%d",
 		s.MsgsSent, s.BytesSent, s.PayloadBytesSent, s.MsgsRecv,
 		s.ConsensusDecided, s.ConsensusStarted, s.AvgBatch(), s.Dispatches)
+	if s.StreamDropped > 0 {
+		out += fmt.Sprintf(" streamDropped=%d", s.StreamDropped)
+	}
+	return out
 }

@@ -6,12 +6,46 @@
 //
 // # Quick start
 //
-//	group, err := modab.NewLocalGroup(3, modab.Modular, func(p modab.ProcessID, d modab.Delivery) {
-//		fmt.Printf("%s delivered %s: %q\n", p, d.Msg.ID, d.Msg.Body)
-//	})
+// New builds a cluster handle for either stack; by default it runs an
+// n-process group over an in-memory network inside this OS process.
+// Deliveries are consumed from a pull-based stream, and submission is
+// context-aware and blocks on flow control:
+//
+//	cluster, err := modab.New(3, modab.Modular)
 //	if err != nil { ... }
-//	defer group.Close()
-//	group.Abcast(0, []byte("hello"))    // totally ordered at all processes
+//	defer cluster.Close()
+//
+//	sub := cluster.Deliveries()            // pull-based, per-subscriber buffer
+//	go func() {
+//		for ev := range sub.C() {          // identical total order at all processes
+//			fmt.Printf("%s delivered %s: %q\n", ev.P, ev.D.Msg.ID, ev.D.Msg.Body)
+//		}
+//	}()
+//
+//	ctx := context.Background()
+//	cluster.Abcast(ctx, 0, []byte("hello"))   // blocks on flow control, honors ctx
+//
+// Functional options select the driver and tune it:
+//
+//	// One process of a group over real TCP (run one per -id):
+//	modab.New(3, modab.Monolithic,
+//		modab.WithTransportTCP(addrs, self),
+//		modab.WithFailureDetector(25*time.Millisecond, 200*time.Millisecond))
+//
+//	// The paper's deterministic discrete-event simulation:
+//	modab.New(3, modab.Modular, modab.WithSimulation(42))
+//
+//	// Protocol tunables and delivery-stream defaults:
+//	modab.New(5, modab.Modular,
+//		modab.WithConfig(cfg),
+//		modab.WithDeliveryBuffer(1024),
+//		modab.WithDeliveryOverflow(modab.OverflowDrop))
+//
+// Every driver exposes the same submission (Abcast, TryAbcast), the same
+// delivery stream (Deliveries) and the same instrumentation (Counters,
+// Stats). TryAbcast is the only entry point that returns ErrFlowControl;
+// the blocking Abcast parks on a condition signal until the window
+// drains, the context ends, or the node stops.
 //
 // Both stacks guarantee uniform total order under crash faults (up to a
 // minority of processes) with an unreliable failure detector; the
@@ -23,13 +57,25 @@
 // layers they build on), the drivers (internal/runtime for real time over
 // TCP or in-memory channels, internal/netsim for deterministic
 // discrete-event simulation), and the measurement harness.
+//
+// See MIGRATION.md for the mapping from the pre-v1 callback/positional
+// API (NewLocalGroup, NewTCPNode, NewSimCluster) to this surface.
 package modab
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
 	"modab/internal/core"
 	"modab/internal/engine"
 	"modab/internal/netsim"
 	"modab/internal/runtime"
+	"modab/internal/stream"
+	"modab/internal/trace"
 	"modab/internal/types"
 )
 
@@ -43,20 +89,40 @@ type (
 	Stack = types.Stack
 	// Delivery is one adelivered message with its ordering instance.
 	Delivery = engine.Delivery
+	// Event is one adelivery tagged with the delivering process and the
+	// driver's clock — the element of cluster-wide delivery streams.
+	Event = engine.Event
 	// Config carries the protocol tunables shared by both stacks.
 	Config = engine.Config
-	// Node is one running process (see NewTCPNode and Group.Node).
+	// Node is one running process (see Cluster.Node).
 	Node = runtime.Node
 	// Group is an in-process group over an in-memory network.
 	Group = core.Group
 	// TCPNodeOptions configures one process of a TCP group.
+	//
+	// Deprecated: use New with WithTransportTCP.
 	TCPNodeOptions = core.TCPNodeOptions
 	// SimOptions configures a deterministic simulated cluster.
+	//
+	// Deprecated: use New with WithSimulation.
 	SimOptions = netsim.Options
 	// SimCluster is a deterministic simulated cluster.
 	SimCluster = netsim.Cluster
 	// CostModel parameterizes the simulated hardware.
 	CostModel = netsim.CostModel
+	// Snapshot is an immutable copy of one process's counters.
+	Snapshot = trace.Snapshot
+	// Stats is the uniform whole-cluster instrumentation snapshot.
+	Stats = trace.Stats
+	// OverflowPolicy selects what a delivery stream does when a
+	// subscriber's buffer fills: OverflowBlock or OverflowDrop.
+	OverflowPolicy = stream.Policy
+	// DeliveryStream is a pull-based subscription to cluster-wide
+	// adeliveries; consume it with "for ev := range sub.C()".
+	DeliveryStream = stream.Sub[engine.Event]
+	// StreamOption tunes one subscription (see StreamBuffer,
+	// StreamOverflow).
+	StreamOption = stream.SubOption
 )
 
 // Stack values.
@@ -68,25 +134,497 @@ const (
 	Monolithic = types.Monolithic
 )
 
+// Overflow policies for delivery streams.
+const (
+	// OverflowBlock backpressures the protocol engine until the
+	// subscriber drains — no delivery is ever lost. The default.
+	OverflowBlock = stream.Block
+	// OverflowDrop discards deliveries for the lagging subscriber and
+	// counts them in Counters().StreamDropped.
+	OverflowDrop = stream.Drop
+)
+
 // Errors.
 var (
-	// ErrFlowControl is returned by Node.Abcast when the window is full.
+	// ErrFlowControl is returned by TryAbcast when the window is full. It
+	// is never returned by the blocking Abcast.
 	ErrFlowControl = types.ErrFlowControl
-	// ErrStopped is returned by operations on a closed node.
+	// ErrStopped is returned by operations on a closed cluster or node.
 	ErrStopped = types.ErrStopped
+	// ErrCrashed is returned when submitting at a crashed process.
+	ErrCrashed = types.ErrCrashed
+	// ErrNotLocal is returned by a TCP-driver cluster when the target
+	// process is one of the remote peers.
+	ErrNotLocal = types.ErrNotLocal
+	// ErrStalled is returned by a simulated blocking Abcast when virtual
+	// time cannot advance while the window is full.
+	ErrStalled = types.ErrStalled
 )
+
+// StreamBuffer overrides the subscription's buffer capacity.
+func StreamBuffer(n int) StreamOption { return stream.WithBuffer(n) }
+
+// StreamOverflow overrides the subscription's overflow policy.
+func StreamOverflow(p OverflowPolicy) StreamOption { return stream.WithPolicy(p) }
+
+// Option configures New.
+type Option func(*settings) error
+
+// settings accumulates the option values before driver construction.
+type settings struct {
+	engineCfg    Config
+	tcpAddrs     []string
+	tcpSelf      ProcessID
+	tcp          bool
+	sim          bool
+	seed         int64
+	model        CostModel
+	hbPeriod     time.Duration
+	suspectAfter time.Duration
+	buffer       int
+	policy       OverflowPolicy
+	onDeliver    func(Event)
+}
+
+// WithConfig overrides the protocol tunables (flow-control window, batch
+// cap, idle kick, ...). The zero value means DefaultConfig(n).
+func WithConfig(cfg Config) Option {
+	return func(s *settings) error {
+		s.engineCfg = cfg
+		return nil
+	}
+}
+
+// WithTransportTCP makes the cluster drive one real process — self — of
+// a group whose members listen on addrs (indexed by ProcessID). Start
+// one cluster per process to form the group; n must equal len(addrs).
+func WithTransportTCP(addrs []string, self ProcessID) Option {
+	return func(s *settings) error {
+		if len(addrs) == 0 {
+			return fmt.Errorf("%w: WithTransportTCP requires at least one address", types.ErrBadConfig)
+		}
+		if self < 0 || int(self) >= len(addrs) {
+			return fmt.Errorf("%w: self %d does not index addrs (len %d)", types.ErrBadConfig, self, len(addrs))
+		}
+		s.tcp = true
+		s.tcpAddrs = addrs
+		s.tcpSelf = self
+		return nil
+	}
+}
+
+// WithSimulation runs the cluster on the deterministic discrete-event
+// simulator with the given seed (same seed, same trace). Submission then
+// advances virtual time: Abcast executes at the current virtual instant,
+// and when blocked on flow control it steps the simulation until the
+// window drains. Use Sim() for scheduled workloads and fault injection.
+func WithSimulation(seed int64) Option {
+	return func(s *settings) error {
+		s.sim = true
+		s.seed = seed
+		return nil
+	}
+}
+
+// WithCostModel overrides the simulated hardware model; it implies
+// WithSimulation (with seed 0 unless WithSimulation is also given).
+func WithCostModel(m CostModel) Option {
+	return func(s *settings) error {
+		s.sim = true
+		s.model = m
+		return nil
+	}
+}
+
+// WithFailureDetector parameterizes the heartbeat failure detector of
+// the real-time drivers: heartbeats every period, suspicion after
+// timeout without traffic. The simulator ignores it (detection latency
+// lives in the cost model's FDDetect).
+func WithFailureDetector(period, timeout time.Duration) Option {
+	return func(s *settings) error {
+		if period < 0 || timeout < 0 {
+			return fmt.Errorf("%w: negative failure-detector interval", types.ErrBadConfig)
+		}
+		s.hbPeriod = period
+		s.suspectAfter = timeout
+		return nil
+	}
+}
+
+// WithDeliveryBuffer sets the default per-subscriber buffer capacity of
+// Deliveries (overridable per subscription via StreamBuffer).
+func WithDeliveryBuffer(k int) Option {
+	return func(s *settings) error {
+		if k < 1 {
+			return fmt.Errorf("%w: delivery buffer must be >= 1", types.ErrBadConfig)
+		}
+		s.buffer = k
+		return nil
+	}
+}
+
+// WithDeliveryOverflow sets the default overflow policy of Deliveries
+// (overridable per subscription via StreamOverflow).
+func WithDeliveryOverflow(p OverflowPolicy) Option {
+	return func(s *settings) error {
+		s.policy = p
+		return nil
+	}
+}
+
+// WithOnDeliver installs a delivery callback — a convenience adapter
+// over the delivery stream for applications that do not need pull-based
+// consumption. Events arrive in delivery order per process.
+func WithOnDeliver(fn func(Event)) Option {
+	return func(s *settings) error {
+		s.onDeliver = fn
+		return nil
+	}
+}
+
+// Cluster is the unified facade over the three drivers: an in-process
+// group over in-memory channels (the default), one process of a TCP
+// group (WithTransportTCP), or a simulated cluster (WithSimulation).
+// All drivers share the same submission, delivery-stream and
+// instrumentation surface.
+type Cluster struct {
+	n     int
+	stack Stack
+
+	group *core.Group // in-memory driver
+
+	node *runtime.Node // TCP driver (one local process)
+	self ProcessID
+	hub  *stream.Hub[engine.Event] // TCP driver's event stream
+	// streamDropped counts drops at the TCP driver's cluster-level
+	// subscriptions; Counters/Stats fold it into the local process.
+	streamDropped atomic.Int64
+	wg            sync.WaitGroup
+	start         time.Time
+
+	sim *netsim.Cluster // simulated driver
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// New builds a cluster of n processes running the given stack. With no
+// options it starts the whole group in this OS process over an in-memory
+// network; see WithTransportTCP and WithSimulation for the other
+// drivers.
+func New(n int, stack Stack, opts ...Option) (*Cluster, error) {
+	var s settings
+	for _, o := range opts {
+		if err := o(&s); err != nil {
+			return nil, err
+		}
+	}
+	if s.tcp && s.sim {
+		return nil, fmt.Errorf("%w: WithTransportTCP and WithSimulation are mutually exclusive", types.ErrBadConfig)
+	}
+	if s.tcp && len(s.tcpAddrs) != n {
+		return nil, fmt.Errorf("%w: n=%d but WithTransportTCP has %d addresses", types.ErrBadConfig, n, len(s.tcpAddrs))
+	}
+	c := &Cluster{n: n, stack: stack, start: time.Now()}
+
+	switch {
+	case s.sim:
+		var onDeliver func(p ProcessID, d Delivery, at time.Duration)
+		if fn := s.onDeliver; fn != nil {
+			onDeliver = func(p ProcessID, d Delivery, at time.Duration) {
+				fn(Event{P: p, D: d, At: at})
+			}
+		}
+		sim, err := netsim.NewCluster(netsim.Options{
+			N:                n,
+			Stack:            stack,
+			Engine:           s.engineCfg,
+			Model:            s.model,
+			Seed:             s.seed,
+			OnDeliver:        onDeliver,
+			DeliveryBuffer:   s.buffer,
+			DeliveryOverflow: s.policy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.sim = sim
+
+	case s.tcp:
+		c.self = s.tcpSelf
+		c.hub = stream.NewHub[engine.Event](s.buffer, s.policy,
+			func() { c.streamDropped.Add(1) })
+		node, err := core.NewTCPNode(core.TCPNodeOptions{
+			Self:             s.tcpSelf,
+			Addrs:            s.tcpAddrs,
+			Stack:            stack,
+			Engine:           s.engineCfg,
+			HeartbeatPeriod:  s.hbPeriod,
+			SuspectTimeout:   s.suspectAfter,
+			DeliveryBuffer:   s.buffer,
+			DeliveryOverflow: s.policy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.node = node
+		// Bridge the node's per-process stream into the cluster-wide
+		// event stream (and the optional callback).
+		sub := node.Deliveries()
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			for d := range sub.C() {
+				ev := Event{P: c.self, D: d, At: time.Since(c.start)}
+				if fn := s.onDeliver; fn != nil {
+					fn(ev)
+				}
+				c.hub.Publish(ev)
+			}
+			c.hub.Close()
+		}()
+
+	default:
+		var onDeliver core.DeliverFunc
+		if fn := s.onDeliver; fn != nil {
+			onDeliver = func(p ProcessID, d Delivery) {
+				fn(Event{P: p, D: d, At: time.Since(c.start)})
+			}
+		}
+		group, err := core.NewGroup(n, stack, core.GroupOptions{
+			Engine:           s.engineCfg,
+			HeartbeatPeriod:  s.hbPeriod,
+			SuspectTimeout:   s.suspectAfter,
+			DeliveryBuffer:   s.buffer,
+			DeliveryOverflow: s.policy,
+			OnDeliver:        onDeliver,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.group = group
+	}
+	return c, nil
+}
+
+// N returns the group size.
+func (c *Cluster) N() int { return c.n }
+
+// Stack returns the implementation under the facade.
+func (c *Cluster) Stack() Stack { return c.stack }
+
+// Abcast submits one payload for total-order broadcast at process p. It
+// blocks while p's flow-control window is full — woken by a condition
+// signal, not a poll — and returns ctx.Err() on cancellation or
+// deadline, ErrStopped after Close, ErrCrashed at a crashed process, and
+// ErrNotLocal when p is a remote peer of a TCP-driver cluster. On the
+// simulated driver, blocking advances virtual time step by step until
+// the window drains (ErrStalled if it never can).
+func (c *Cluster) Abcast(ctx context.Context, p int, body []byte) (MsgID, error) {
+	switch {
+	case c.sim != nil:
+		return c.simAbcast(ctx, p, body, false)
+	case c.node != nil:
+		if p != int(c.self) {
+			return MsgID{}, fmt.Errorf("%w: p%d (local node is %s)", ErrNotLocal, p+1, c.self)
+		}
+		return c.node.Abcast(ctx, body)
+	default:
+		return c.group.Abcast(ctx, p, body)
+	}
+}
+
+// TryAbcast submits without waiting: ErrFlowControl when the window is
+// full — the only entry point that returns it.
+func (c *Cluster) TryAbcast(p int, body []byte) (MsgID, error) {
+	switch {
+	case c.sim != nil:
+		return c.simAbcast(context.Background(), p, body, true)
+	case c.node != nil:
+		if p != int(c.self) {
+			return MsgID{}, fmt.Errorf("%w: p%d (local node is %s)", ErrNotLocal, p+1, c.self)
+		}
+		return c.node.TryAbcast(body)
+	default:
+		return c.group.TryAbcast(p, body)
+	}
+}
+
+// simAbcast submits at the current virtual instant. When blocking, it
+// steps the simulation forward until the window frees, the context ends,
+// or the event queue runs dry (ErrStalled).
+func (c *Cluster) simAbcast(ctx context.Context, p int, body []byte, try bool) (MsgID, error) {
+	if p < 0 || p >= c.n {
+		return MsgID{}, fmt.Errorf("%w: p%d of %d", types.ErrBadConfig, p+1, c.n)
+	}
+	for {
+		var (
+			id   MsgID
+			rerr error
+		)
+		c.sim.Abcast(ProcessID(p), c.sim.Now(), body, func(i MsgID, _ time.Duration, e error) {
+			id, rerr = i, e
+		})
+		c.sim.Run(c.sim.Now()) // execute everything due at this instant
+		if try || !errors.Is(rerr, ErrFlowControl) {
+			return id, rerr
+		}
+		if err := ctx.Err(); err != nil {
+			return MsgID{}, err
+		}
+		// Step virtual time until something is adelivered at p — only a
+		// delivery of p's own message can free the window, so retrying
+		// any earlier just charges the process CPU for rejected
+		// submissions that distort the simulated measurements.
+		before := c.sim.Counters(ProcessID(p)).ADeliver
+		for c.sim.Counters(ProcessID(p)).ADeliver == before {
+			if err := ctx.Err(); err != nil {
+				return MsgID{}, err
+			}
+			if !c.sim.Step() {
+				return MsgID{}, fmt.Errorf("%w: at virtual time %v", ErrStalled, c.sim.Now())
+			}
+		}
+	}
+}
+
+// Deliveries subscribes to the cluster-wide adelivery stream: every
+// adelivery at every process this cluster drives, tagged with process
+// and time. Per-process order is preserved. The channel closes after
+// Close (subscribers drain their buffers first); a subscription taken
+// after Close sees an already-closed channel.
+func (c *Cluster) Deliveries(opts ...StreamOption) *DeliveryStream {
+	switch {
+	case c.sim != nil:
+		return c.sim.Deliveries(opts...)
+	case c.node != nil:
+		return c.hub.Subscribe(opts...)
+	default:
+		return c.group.Deliveries(opts...)
+	}
+}
+
+// Counters returns a snapshot of process p's instrumentation. On the TCP
+// driver only the local process has counters; remote peers read as zero.
+func (c *Cluster) Counters(p int) Snapshot {
+	switch {
+	case c.sim != nil:
+		return c.sim.Counters(ProcessID(p))
+	case c.node != nil:
+		if p != int(c.self) {
+			return Snapshot{}
+		}
+		snap := c.node.Counters()
+		snap.StreamDropped += c.streamDropped.Load()
+		return snap
+	default:
+		return c.group.Counters(p)
+	}
+}
+
+// Stats returns the uniform whole-cluster snapshot: per-process counters
+// plus totals (including delivery-stream drops).
+func (c *Cluster) Stats() Stats {
+	switch {
+	case c.sim != nil:
+		return c.sim.Stats()
+	case c.node != nil:
+		st := Stats{N: c.n, PerProcess: make([]Snapshot, c.n)}
+		st.PerProcess[c.self] = c.Counters(int(c.self))
+		st.Total = st.PerProcess[c.self]
+		return st
+	default:
+		return c.group.Stats()
+	}
+}
+
+// Crash stops process p: crash-stop fault injection on the in-memory and
+// simulated drivers (survivors' failure detectors take over). On the TCP
+// driver it closes the local node when p is local and returns ErrNotLocal
+// otherwise.
+func (c *Cluster) Crash(p int) error {
+	switch {
+	case c.sim != nil:
+		c.sim.Crash(ProcessID(p), c.sim.Now())
+		c.sim.Run(c.sim.Now())
+		return nil
+	case c.node != nil:
+		if p != int(c.self) {
+			return fmt.Errorf("%w: p%d (local node is %s)", ErrNotLocal, p+1, c.self)
+		}
+		return c.node.Close()
+	default:
+		return c.group.Crash(p)
+	}
+}
+
+// Node returns the runtime node driving process p, or nil when p is not
+// driven by this cluster in real time (simulated driver, remote TCP
+// peers, crashed processes). It is the escape hatch to the lower-level
+// API.
+func (c *Cluster) Node(p int) *Node {
+	switch {
+	case c.sim != nil:
+		return nil
+	case c.node != nil:
+		if p != int(c.self) {
+			return nil
+		}
+		return c.node
+	default:
+		return c.group.Node(p)
+	}
+}
+
+// Sim returns the underlying simulated cluster (nil on real-time
+// drivers) for scheduled workloads, fault injection and virtual-time
+// control.
+func (c *Cluster) Sim() *SimCluster { return c.sim }
+
+// Close shuts the cluster down. Delivery streams drain what is buffered
+// and then close. Close is idempotent.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+
+	switch {
+	case c.sim != nil:
+		c.sim.Close()
+		return nil
+	case c.node != nil:
+		err := c.node.Close()
+		c.wg.Wait() // the bridge closes c.hub after draining
+		return err
+	default:
+		c.group.Close()
+		return nil
+	}
+}
 
 // NewLocalGroup starts an n-process group of the given stack over an
 // in-memory network. onDeliver (optional) observes every adelivery.
+//
+// Deprecated: use New; for the callback use WithOnDeliver, or better,
+// consume Deliveries.
 func NewLocalGroup(n int, stack Stack, onDeliver func(p ProcessID, d Delivery)) (*Group, error) {
 	return core.NewLocalGroup(n, stack, onDeliver)
 }
 
 // NewTCPNode starts one process of a group communicating over TCP.
+//
+// Deprecated: use New with WithTransportTCP.
 func NewTCPNode(opts TCPNodeOptions) (*Node, error) { return core.NewTCPNode(opts) }
 
 // NewSimCluster builds a deterministic simulated cluster for running the
 // paper's experiments programmatically.
+//
+// Deprecated: use New with WithSimulation (and Sim for the low-level
+// handle).
 func NewSimCluster(opts SimOptions) (*SimCluster, error) { return core.NewSimCluster(opts) }
 
 // DefaultConfig returns the protocol tunables used in the paper's

@@ -1,6 +1,8 @@
 package modab_test
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -8,29 +10,236 @@ import (
 	"modab"
 )
 
-// TestPublicAPIQuickstart exercises the README's quickstart path.
-func TestPublicAPIQuickstart(t *testing.T) {
+// TestFacadeQuickstart exercises the package doc's quick-start path:
+// New, Deliveries, context-aware Abcast, Stats, Close.
+func TestFacadeQuickstart(t *testing.T) {
+	for _, stk := range []modab.Stack{modab.Modular, modab.Monolithic} {
+		stk := stk
+		t.Run(stk.String(), func(t *testing.T) {
+			cluster, err := modab.New(3, stk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cluster.Close()
+			if cluster.N() != 3 || cluster.Stack() != stk {
+				t.Fatalf("N=%d Stack=%v", cluster.N(), cluster.Stack())
+			}
+
+			sub := cluster.Deliveries()
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			defer cancel()
+			for p := 0; p < 3; p++ {
+				if _, err := cluster.Abcast(ctx, p, []byte{byte(p)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// 3 messages adelivered at 3 processes each.
+			got := make(map[modab.ProcessID][]modab.MsgID)
+			timeout := time.After(15 * time.Second)
+			for seen := 0; seen < 9; seen++ {
+				select {
+				case ev := <-sub.C():
+					got[ev.P] = append(got[ev.P], ev.D.Msg.ID)
+				case <-timeout:
+					t.Fatalf("stream delivered %d of 9", seen)
+				}
+			}
+			for p := modab.ProcessID(1); p < 3; p++ {
+				for i := range got[0] {
+					if got[p][i] != got[0][i] {
+						t.Fatalf("order differs at %d", i)
+					}
+				}
+			}
+			st := cluster.Stats()
+			if st.Total.ADeliver != 9 || st.N != 3 {
+				t.Fatalf("stats: %+v", st.Total)
+			}
+		})
+	}
+}
+
+// TestFacadeSimulation runs the simulated driver through the same
+// surface: Abcast advances virtual time, Deliveries streams events,
+// Stats reads uniformly.
+func TestFacadeSimulation(t *testing.T) {
+	for _, stk := range []modab.Stack{modab.Modular, modab.Monolithic} {
+		cluster, err := modab.New(3, stk, modab.WithSimulation(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub := cluster.Deliveries(modab.StreamBuffer(32))
+		ctx := context.Background()
+		if _, err := cluster.Abcast(ctx, 0, []byte("x")); err != nil {
+			t.Fatalf("%s: %v", stk, err)
+		}
+		if cluster.Sim() == nil {
+			t.Fatal("Sim() nil on simulated driver")
+		}
+		cluster.Sim().RunIdle(5 * time.Second)
+		if st := cluster.Stats(); st.Total.ADeliver != 3 {
+			t.Fatalf("%s: ADeliver=%d, want 3", stk, st.Total.ADeliver)
+		}
+		if err := cluster.Close(); err != nil {
+			t.Fatal(err)
+		}
+		streamed := 0
+		for range sub.C() {
+			streamed++
+		}
+		if streamed != 3 {
+			t.Fatalf("%s: streamed %d of 3", stk, streamed)
+		}
+	}
+}
+
+// TestFacadeSimulationBlockingAbcast fills the window and checks that the
+// blocking Abcast drives virtual time forward until admitted.
+func TestFacadeSimulationBlockingAbcast(t *testing.T) {
+	cfg := modab.DefaultConfig(3)
+	cfg.Window = 1
+	cluster, err := modab.New(3, modab.Monolithic,
+		modab.WithSimulation(4), modab.WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := context.Background()
+	for j := 0; j < 5; j++ {
+		if _, err := cluster.Abcast(ctx, 0, []byte{byte(j)}); err != nil {
+			t.Fatalf("abcast %d: %v", j, err)
+		}
+	}
+	// A full window plus a canceled context surfaces the context error.
+	if _, err := cluster.TryAbcast(0, []byte("fill")); err != nil && !errors.Is(err, modab.ErrFlowControl) {
+		t.Fatal(err)
+	}
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	for {
+		_, err := cluster.TryAbcast(0, []byte("fill"))
+		if errors.Is(err, modab.ErrFlowControl) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cluster.Abcast(canceled, 0, []byte("blocked")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestFacadeOptionValidation checks option-combination errors.
+func TestFacadeOptionValidation(t *testing.T) {
+	if _, err := modab.New(3, modab.Modular,
+		modab.WithTransportTCP([]string{"a", "b", "c"}, 0),
+		modab.WithSimulation(1)); err == nil {
+		t.Error("accepted TCP+simulation")
+	}
+	if _, err := modab.New(2, modab.Modular,
+		modab.WithTransportTCP([]string{"a", "b", "c"}, 0)); err == nil {
+		t.Error("accepted n != len(addrs)")
+	}
+	if _, err := modab.New(3, modab.Modular,
+		modab.WithTransportTCP([]string{"a", "b"}, 5)); err == nil {
+		t.Error("accepted out-of-range self")
+	}
+	if _, err := modab.New(3, modab.Modular, modab.WithDeliveryBuffer(0)); err == nil {
+		t.Error("accepted zero delivery buffer")
+	}
+	if _, err := modab.New(0, modab.Modular); err == nil {
+		t.Error("accepted empty group")
+	}
+}
+
+// TestFacadeTCPNode drives a single-process TCP cluster through the
+// facade.
+func TestFacadeTCPNode(t *testing.T) {
+	cluster, err := modab.New(1, modab.Monolithic,
+		modab.WithTransportTCP([]string{"127.0.0.1:0"}, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := cluster.Deliveries()
+	if _, err := cluster.Abcast(context.Background(), 0, []byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-sub.C():
+		if string(ev.D.Msg.Body) != "solo" || ev.P != 0 {
+			t.Fatalf("event: %+v", ev)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no delivery streamed")
+	}
+	if _, err := cluster.Abcast(context.Background(), 1, nil); !errors.Is(err, modab.ErrNotLocal) {
+		t.Fatalf("remote submit: %v", err)
+	}
+	if err := cluster.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("stream open after close")
+	}
+	// Subscriber after close: immediately closed channel.
+	if _, ok := <-cluster.Deliveries().C(); ok {
+		t.Fatal("post-close subscription yielded a value")
+	}
+}
+
+// TestFacadeOnDeliverAdapter checks the callback option rides the stream.
+func TestFacadeOnDeliverAdapter(t *testing.T) {
 	var mu sync.Mutex
-	got := make(map[modab.ProcessID][]modab.MsgID)
-	group, err := modab.NewLocalGroup(3, modab.Monolithic, func(p modab.ProcessID, d modab.Delivery) {
+	var events []modab.Event
+	cluster, err := modab.New(3, modab.Modular, modab.WithOnDeliver(func(ev modab.Event) {
 		mu.Lock()
-		got[p] = append(got[p], d.Msg.ID)
+		events = append(events, ev)
+		mu.Unlock()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if _, err := cluster.Abcast(context.Background(), 1, []byte("cb")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		mu.Lock()
+		n := len(events)
+		mu.Unlock()
+		if n == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("callback saw %d of 3", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDeprecatedShims keeps the pre-v1 entry points working for one
+// release.
+func TestDeprecatedShims(t *testing.T) {
+	var mu sync.Mutex
+	count := 0
+	group, err := modab.NewLocalGroup(3, modab.Monolithic, func(modab.ProcessID, modab.Delivery) {
+		mu.Lock()
+		count++
 		mu.Unlock()
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer group.Close()
-
-	for p := 0; p < group.N(); p++ {
-		if _, err := group.Abcast(p, []byte("hello")); err != nil {
-			t.Fatal(err)
-		}
+	if _, err := group.Abcast(context.Background(), 0, []byte("hello")); err != nil {
+		t.Fatal(err)
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		mu.Lock()
-		done := len(got[0]) == 3 && len(got[1]) == 3 && len(got[2]) == 3
+		done := count == 3
 		mu.Unlock()
 		if done {
 			break
@@ -40,37 +249,21 @@ func TestPublicAPIQuickstart(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	mu.Lock()
-	defer mu.Unlock()
-	for p := modab.ProcessID(1); p < 3; p++ {
-		for i := range got[0] {
-			if got[p][i] != got[0][i] {
-				t.Fatalf("order differs at %d", i)
-			}
-		}
-	}
-}
 
-// TestPublicSimAPI runs a small simulated comparison through the façade.
-func TestPublicSimAPI(t *testing.T) {
-	for _, stk := range []modab.Stack{modab.Modular, modab.Monolithic} {
-		delivered := 0
-		sim, err := modab.NewSimCluster(modab.SimOptions{
-			N:     3,
-			Stack: stk,
-			Seed:  1,
-			OnDeliver: func(_ modab.ProcessID, _ modab.Delivery, _ time.Duration) {
-				delivered++
-			},
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		sim.Abcast(0, 0, []byte("x"), nil)
-		sim.Run(time.Second)
-		if delivered != 3 {
-			t.Fatalf("%s: delivered %d, want 3", stk, delivered)
-		}
+	sim, err := modab.NewSimCluster(modab.SimOptions{N: 3, Stack: modab.Modular, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	sim.Abcast(0, 0, []byte("x"), nil)
+	sub := sim.Deliveries()
+	sim.Run(time.Second)
+	sim.Close()
+	for range sub.C() {
+		delivered++
+	}
+	if delivered != 3 {
+		t.Fatalf("delivered %d, want 3", delivered)
 	}
 }
 
