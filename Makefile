@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet ci
+.PHONY: all build test race vet docs ci
 
 all: ci
 
@@ -19,4 +19,11 @@ race:
 vet:
 	$(GO) vet ./...
 
-ci: build vet test race
+# Documentation gate: gofmt-clean tree, documented exported symbols in
+# modab.go, package comments on every internal package, no broken local
+# markdown links (mirrors the CI docs job).
+docs:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) test -run 'TestExportedSymbolsDocumented|TestInternalPackagesHaveComments|TestMarkdownLinks' .
+
+ci: build vet test race docs

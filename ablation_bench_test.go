@@ -1,4 +1,4 @@
-// Ablation benchmarks: design choices DESIGN.md calls out, measured the
+// Ablation benchmarks: design choices docs/ARCHITECTURE.md calls out, measured the
 // same way as the main figures.
 //
 //   - BenchmarkAblationRBcastMode — §3.1's majority-relay optimization

@@ -9,6 +9,11 @@
 //	abbench -fig 8                  # one figure
 //	abbench -analytical             # §5.2 closed-form tables only
 //	abbench -fig 10 -reps 5 -measure 8s
+//	abbench -fig 11 -batch-msgs 32  # sender-side batching enabled
+//
+// With -batch-msgs >= 1 every measured engine runs sender-side batching
+// (see modab.WithBatching); the msgs/batch and hdrB/msg columns then show
+// how amortization closes the modular-vs-monolithic overhead gap.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"modab/internal/batch"
 	"modab/internal/benchharness"
 )
 
@@ -35,6 +41,9 @@ func run() error {
 		warmup     = flag.Duration("warmup", 2*time.Second, "virtual warm-up before measuring")
 		measure    = flag.Duration("measure", 4*time.Second, "virtual measurement window")
 		seed       = flag.Int64("seed", 42, "base simulation seed")
+		batchMsgs  = flag.Int("batch-msgs", 0, "sender-side batching: messages per batch (0 = disabled)")
+		batchBytes = flag.Int("batch-bytes", 0, "sender-side batching: encoded bytes per batch (0 = no byte cap)")
+		batchDelay = flag.Duration("batch-delay", 2*time.Millisecond, "sender-side batching: flush delay for undersized batches")
 	)
 	flag.Parse()
 
@@ -48,6 +57,10 @@ func run() error {
 		Measure:     *measure,
 		Repetitions: *reps,
 		Seed:        *seed,
+		Batch:       batch.Config{MaxMsgs: *batchMsgs, MaxBytes: *batchBytes, MaxDelay: *batchDelay},
+	}
+	if err := opts.Batch.Validate(); err != nil {
+		return err
 	}
 	type gen func(benchharness.RunOptions) (benchharness.Figure, error)
 	figures := map[string]gen{

@@ -47,6 +47,10 @@ func run() error {
 		dur      = flag.Duration("dur", 10*time.Second, "injection duration")
 		quiet    = flag.Bool("quiet", false, "suppress per-delivery output")
 		dropslow = flag.Bool("dropslow", false, "drop deliveries instead of backpressuring when the consumer lags")
+
+		batchMsgs  = flag.Int("batch-msgs", 0, "sender-side batching: messages per batch (0 = disabled)")
+		batchBytes = flag.Int("batch-bytes", 0, "sender-side batching: encoded bytes per batch (0 = no byte cap)")
+		batchDelay = flag.Duration("batch-delay", 2*time.Millisecond, "sender-side batching: flush delay for undersized batches")
 	)
 	flag.Parse()
 
@@ -71,6 +75,13 @@ func run() error {
 	opts := []modab.Option{modab.WithTransportTCP(addrs, self)}
 	if *dropslow {
 		opts = append(opts, modab.WithDeliveryOverflow(modab.OverflowDrop))
+	}
+	bcfg := modab.BatchConfig{MaxMsgs: *batchMsgs, MaxBytes: *batchBytes, MaxDelay: *batchDelay}
+	if err := bcfg.Validate(); err != nil {
+		return err
+	}
+	if bcfg.Enabled() {
+		opts = append(opts, modab.WithBatching(bcfg.MaxMsgs, bcfg.MaxBytes, bcfg.MaxDelay))
 	}
 	cluster, err := modab.New(len(addrs), stk, opts...)
 	if err != nil {

@@ -7,7 +7,11 @@
 // diffusion), collected into the pending set, and then ordered by a
 // sequence of consensus instances: each instance decides a batch of
 // pending messages, which every process adelivers in a deterministic
-// order. Consensus instances are black boxes here — this layer cannot see
+// order. With sender-side batching enabled (engine.Config.Batch), a
+// submitted message first waits in an internal/batch accumulator and is
+// diffused together with its batch in a single frame, amortizing the
+// per-message layer headers and handler dispatches the paper measures.
+// Consensus instances are black boxes here — this layer cannot see
 // the coordinator's identity, cannot piggyback payloads on consensus
 // messages, and cannot merge a decision with the next proposal. Those are
 // exactly the optimizations reserved to the monolithic stack (§4).
@@ -25,6 +29,7 @@ import (
 	"sort"
 	"time"
 
+	"modab/internal/batch"
 	"modab/internal/engine"
 	"modab/internal/flow"
 	"modab/internal/stack"
@@ -32,8 +37,15 @@ import (
 	"modab/internal/wire"
 )
 
-// timerKick is the layer-local idle/retry timer.
-const timerKick engine.TimerID = 1
+// Layer-local timers.
+const (
+	// timerKick is the idle/retry timer.
+	timerKick engine.TimerID = 1
+	// timerFlush is the sender-side batching age trigger: armed when a
+	// message enters an empty accumulator, it seals whatever accumulated
+	// by cfg.Batch.MaxDelay later.
+	timerFlush engine.TimerID = 2
+)
 
 // rediffuseGrace is how many decided instances a pending message may miss
 // before the holder re-diffuses it. It must sit comfortably above the
@@ -66,6 +78,11 @@ type Layer struct {
 	// lastProgress is when the last decision was processed or consensus
 	// started (guards the kick timer against firing during healthy load).
 	lastProgress time.Duration
+	// acc is the sender-side batching accumulator, nil when batching is
+	// disabled. Admitted messages wait here — already holding a
+	// flow-control slot but not yet diffused — until a count, byte or age
+	// trigger seals the batch.
+	acc *batch.Accumulator
 }
 
 var _ stack.Layer = (*Layer)(nil)
@@ -89,7 +106,10 @@ func (l *Layer) Init(ctx *stack.Context) {
 	l.ctx = ctx
 	l.self = ctx.Env().Self()
 	l.n = ctx.Env().N()
-	l.fc = flow.NewController(l.self, l.cfg.Window)
+	l.fc = flow.NewController(l.self, l.cfg.EffectiveWindow())
+	if l.cfg.Batch.Enabled() {
+		l.acc = batch.NewAccumulator(l.cfg.Batch)
+	}
 	l.pending = make(map[types.MsgID]pendingMsg)
 	l.delivered = make(map[types.ProcessID]*dedup, l.n)
 	l.decisionsBuf = make(map[uint64]wire.Batch)
@@ -101,42 +121,96 @@ func (l *Layer) Start() {
 	l.armKick()
 }
 
-// Pending returns the number of known, unordered messages (diagnostics).
-func (l *Layer) Pending() int { return len(l.pending) }
+// Pending returns the number of known, unordered messages, including any
+// still waiting in the sender-side batch accumulator (diagnostics).
+func (l *Layer) Pending() int {
+	n := len(l.pending)
+	if l.acc != nil {
+		n += l.acc.Len()
+	}
+	return n
+}
 
 // InFlight returns the number of local messages held by flow control.
 func (l *Layer) InFlight() int { return l.fc.InFlight() }
 
 // Abcast submits one application payload: admit through flow control,
-// diffuse to all processes, and order via consensus.
+// then either diffuse immediately (batching disabled) or accumulate into
+// the sender-side batch, which is diffused and proposed as one unit when
+// a count, byte or age trigger seals it.
 func (l *Layer) Abcast(body []byte) (types.MsgID, error) {
 	id, err := l.fc.Admit()
 	if err != nil {
 		return types.MsgID{}, err
 	}
 	msg := wire.AppMsg{ID: id, Body: body}
-	l.pending[id] = pendingMsg{msg: msg, epoch: l.nextDecide}
 	c := l.ctx.Env().Counters()
 	c.ABCast.Add(1)
 	c.Dispatches.Add(1) // application downcall into the stack
-	c.PayloadBytesSent.Add(int64(len(body) * (l.n - 1)))
-	l.ctx.NetSendAll(marshalDiffuse(msg))
-	l.maybeStartConsensus()
+	if l.acc == nil {
+		l.pending[id] = pendingMsg{msg: msg, epoch: l.nextDecide}
+		c.PayloadBytesSent.Add(int64(len(body) * (l.n - 1)))
+		l.diffuseOne(msg)
+		l.maybeStartConsensus()
+		l.armKick()
+		return id, nil
+	}
+	sealed, act := l.acc.Add(msg)
+	for _, b := range sealed {
+		l.ingestBatch(b)
+	}
+	switch act {
+	case batch.TimerArm:
+		l.ctx.SetTimer(timerFlush, l.cfg.Batch.MaxDelay)
+	case batch.TimerCancel:
+		l.ctx.CancelTimer(timerFlush)
+	}
 	l.armKick()
 	return id, nil
 }
 
-// Receive implements stack.Layer: a diffused message from a peer.
+// ingestBatch moves a sealed sender-side batch into the ordering path:
+// every message becomes pending, the batch is diffused as one frame, and
+// consensus is (re)started.
+func (l *Layer) ingestBatch(b wire.Batch) {
+	c := l.ctx.Env().Counters()
+	c.SenderBatches.Add(1)
+	c.SenderBatchedMsgs.Add(int64(len(b)))
+	c.PayloadBytesSent.Add(int64(b.PayloadBytes() * (l.n - 1)))
+	for _, m := range b {
+		l.pending[m.ID] = pendingMsg{msg: m, epoch: l.nextDecide}
+	}
+	w := wire.GetWriter(1 + b.WireSize())
+	wire.AppendBatchFrame(w, b)
+	l.ctx.NetSendAll(w.Bytes())
+	wire.PutWriter(w)
+	l.maybeStartConsensus()
+}
+
+// diffuseOne sends a single-message diffuse frame to every peer through a
+// pooled writer (NetSendAll copies the payload before the writer is
+// returned to the pool).
+func (l *Layer) diffuseOne(m wire.AppMsg) {
+	w := wire.GetWriter(1 + m.WireSize())
+	wire.AppendMsgFrame(w, m)
+	l.ctx.NetSendAll(w.Bytes())
+	wire.PutWriter(w)
+}
+
+// Receive implements stack.Layer: a diffused message or batch from a
+// peer. Both frame kinds decode to a batch, so one path handles both.
 func (l *Layer) Receive(from types.ProcessID, data []byte) error {
-	msg, err := unmarshalDiffuse(data)
+	b, err := wire.UnmarshalFrame(data)
 	if err != nil {
 		return fmt.Errorf("abcast: bad diffuse from %s: %w", from, err)
 	}
-	if l.isDelivered(msg.ID) {
-		return nil
-	}
-	if _, known := l.pending[msg.ID]; !known {
-		l.pending[msg.ID] = pendingMsg{msg: msg, epoch: l.nextDecide}
+	for _, msg := range b {
+		if l.isDelivered(msg.ID) {
+			continue
+		}
+		if _, known := l.pending[msg.ID]; !known {
+			l.pending[msg.ID] = pendingMsg{msg: msg, epoch: l.nextDecide}
+		}
 	}
 	l.armKick()
 	l.maybeStartConsensus()
@@ -232,15 +306,28 @@ func (l *Layer) processDecision(k uint64, batch wire.Batch) {
 			l.pending[id] = p
 			c.Retransmissions.Add(int64(l.n - 1))
 			c.PayloadBytesSent.Add(int64(len(p.msg.Body) * (l.n - 1)))
-			l.ctx.NetSendAll(marshalDiffuse(p.msg))
+			l.diffuseOne(p.msg)
 		}
 	}
 }
 
-// Timer implements stack.Layer: the idle kick. If nothing has progressed
-// for the configured period and messages are still pending, retry the
-// proposal (and let processDecision's staleness rule re-diffuse).
+// Timer implements stack.Layer: the batching age trigger and the idle
+// kick. timerFlush seals whatever the accumulator holds (a fire that
+// races a count-trigger seal finds it empty and diffuses nothing).
+// timerKick retries the proposal when nothing has progressed for the
+// configured period (and lets processDecision's staleness rule
+// re-diffuse).
 func (l *Layer) Timer(id engine.TimerID) {
+	if id == timerFlush {
+		if l.acc == nil {
+			return
+		}
+		if b := l.acc.Flush(); len(b) > 0 {
+			l.ingestBatch(b)
+			l.armKick()
+		}
+		return
+	}
 	if id != timerKick || l.cfg.IdleKick <= 0 {
 		return
 	}
@@ -255,7 +342,7 @@ func (l *Layer) Timer(id engine.TimerID) {
 			l.pending[mid] = p
 			c.Retransmissions.Add(int64(l.n - 1))
 			c.PayloadBytesSent.Add(int64(len(p.msg.Body) * (l.n - 1)))
-			l.ctx.NetSendAll(marshalDiffuse(p.msg))
+			l.diffuseOne(p.msg)
 		}
 		l.maybeStartConsensus()
 	}
@@ -278,21 +365,12 @@ func (l *Layer) armKick() {
 // detector (consensus consumes it).
 func (l *Layer) Suspect(types.ProcessID, bool) {}
 
-// Diffuse wire format: one AppMsg.
+// marshalDiffuse builds a single-message diffuse frame (tests craft
+// inbound frames with it; the hot path uses diffuseOne's pooled writer).
 func marshalDiffuse(m wire.AppMsg) []byte {
-	w := wire.NewWriter(m.WireSize())
-	m.Marshal(w)
+	w := wire.NewWriter(1 + m.WireSize())
+	wire.AppendMsgFrame(w, m)
 	return w.Bytes()
-}
-
-func unmarshalDiffuse(data []byte) (wire.AppMsg, error) {
-	r := wire.NewReader(data)
-	m := wire.UnmarshalAppMsg(r)
-	r.ExpectEOF()
-	if err := r.Err(); err != nil {
-		return wire.AppMsg{}, err
-	}
-	return m, nil
 }
 
 // sortedPendingIDs returns the pending message IDs in deterministic order

@@ -243,3 +243,143 @@ func TestFlowReleaseOnlyForOwn(t *testing.T) {
 		t.Fatalf("in flight after own decision = %d", got)
 	}
 }
+
+// batchCfg returns a config with sender-side batching enabled.
+func batchCfg(maxMsgs, maxBytes int) engine.Config {
+	cfg := engine.DefaultConfig(3)
+	cfg.IdleKick = 0
+	cfg.Batch.MaxMsgs = maxMsgs
+	cfg.Batch.MaxBytes = maxBytes
+	cfg.Batch.MaxDelay = 5 * time.Millisecond
+	return cfg
+}
+
+func TestBatchingAccumulatesUntilCountTrigger(t *testing.T) {
+	env, ab, cs := rig(t, batchCfg(3, 0))
+	for i := 0; i < 2; i++ {
+		if _, err := ab.Abcast([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(env.Sends) != 0 || len(cs.proposals) != 0 {
+		t.Fatalf("diffused before the count trigger: sends=%d proposals=%d",
+			len(env.Sends), len(cs.proposals))
+	}
+	if _, err := ab.Abcast([]byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	// One batch frame to each of the n-1 peers, one proposal of 3.
+	if len(env.Sends) != 2 {
+		t.Fatalf("batch diffusion sends = %d, want n-1", len(env.Sends))
+	}
+	b, err := wire.UnmarshalFrame(env.Sends[0].Data[1:]) // skip layer tag
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 3 {
+		t.Fatalf("diffused batch size = %d, want 3", len(b))
+	}
+	if got := cs.proposals[1]; len(got) != 3 {
+		t.Fatalf("proposal = %v, want 3 messages", got)
+	}
+	if env.Cnt.SenderBatches.Load() != 1 || env.Cnt.SenderBatchedMsgs.Load() != 3 {
+		t.Fatalf("batch counters = %d/%d",
+			env.Cnt.SenderBatches.Load(), env.Cnt.SenderBatchedMsgs.Load())
+	}
+}
+
+func TestBatchingFlushTimerSealsSingleMessageBatch(t *testing.T) {
+	env, ab, cs := rig(t, batchCfg(64, 0))
+	if _, err := ab.Abcast([]byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Sends) != 0 {
+		t.Fatal("undersized batch diffused before the age trigger")
+	}
+	ab.Timer(timerFlush)
+	if len(env.Sends) != 2 {
+		t.Fatalf("flush sends = %d, want n-1", len(env.Sends))
+	}
+	if got := cs.proposals[1]; len(got) != 1 {
+		t.Fatalf("proposal = %v, want the single flushed message", got)
+	}
+	if env.Cnt.SenderBatchedMsgs.Load() != 1 {
+		t.Fatalf("single-message batch not counted")
+	}
+}
+
+func TestBatchingEmptyFlushTimerIsNoop(t *testing.T) {
+	env, ab, cs := rig(t, batchCfg(2, 0))
+	// The count trigger seals the batch; the age timer then fires against
+	// an empty accumulator and must diffuse nothing.
+	for i := 0; i < 2; i++ {
+		if _, err := ab.Abcast([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sends, proposals := len(env.Sends), len(cs.proposals)
+	ab.Timer(timerFlush)
+	if len(env.Sends) != sends || len(cs.proposals) != proposals {
+		t.Fatalf("empty flush produced traffic: sends %d->%d proposals %d->%d",
+			sends, len(env.Sends), proposals, len(cs.proposals))
+	}
+}
+
+func TestBatchingMaxBytesOverflowSplits(t *testing.T) {
+	// Each message encodes to 16+100 bytes; a 300-byte cap seals after two.
+	env, ab, _ := rig(t, batchCfg(100, 300))
+	body := make([]byte, 100)
+	for i := 0; i < 3; i++ {
+		if _, err := ab.Abcast(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if env.Cnt.SenderBatches.Load() != 1 || env.Cnt.SenderBatchedMsgs.Load() != 2 {
+		t.Fatalf("overflow split: batches=%d msgs=%d, want 1 batch of 2",
+			env.Cnt.SenderBatches.Load(), env.Cnt.SenderBatchedMsgs.Load())
+	}
+	if got := ab.Pending(); got != 3 {
+		t.Fatalf("pending (incl. accumulator) = %d, want 3", got)
+	}
+}
+
+func TestBatchingWindowSpansBatchBoundary(t *testing.T) {
+	// Window 2 would deadlock a 4-message batch; EffectiveWindow widens it
+	// to two batches (8), so a full batch can accumulate while the sealed
+	// one is in flight — and the 9th submission hits flow control.
+	cfg := batchCfg(4, 0)
+	cfg.Window = 2
+	env, ab, cs := rig(t, cfg)
+	for i := 0; i < 8; i++ {
+		if _, err := ab.Abcast([]byte{byte(i)}); err != nil {
+			t.Fatalf("submission %d: %v", i, err)
+		}
+	}
+	if _, err := ab.Abcast([]byte{9}); err == nil {
+		t.Fatal("9th submission admitted past the widened window")
+	}
+	if env.Cnt.SenderBatches.Load() != 2 {
+		t.Fatalf("sealed batches = %d, want 2", env.Cnt.SenderBatches.Load())
+	}
+	// Delivering the first decided batch frees slots spanning the boundary.
+	cs.decide(1, cs.proposals[1])
+	if got := ab.InFlight(); got != 4 {
+		t.Fatalf("in flight after decision = %d, want 4", got)
+	}
+	if _, err := ab.Abcast([]byte{10}); err != nil {
+		t.Fatalf("admission after window drained: %v", err)
+	}
+}
+
+func TestReceiveBatchFrame(t *testing.T) {
+	_, ab, cs := rig(t, engine.Config{})
+	b := wire.Batch{msg(1, 1), msg(1, 2), msg(2, 7)}
+	w := wire.NewWriter(1 + b.WireSize())
+	wire.AppendBatchFrame(w, b)
+	if err := ab.Receive(1, w.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.proposals[1]; len(got) != 3 {
+		t.Fatalf("proposal from batch frame = %v, want 3 messages", got)
+	}
+}

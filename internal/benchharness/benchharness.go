@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"modab/internal/analytical"
+	"modab/internal/batch"
+	"modab/internal/engine"
 	"modab/internal/netsim"
 	"modab/internal/stats"
 	"modab/internal/types"
@@ -22,14 +24,16 @@ type Point struct {
 	OfferedLoad float64 // msgs/s, global
 	Size        int     // bytes
 
-	LatencyMs   float64 // mean early latency
-	LatencyCI   float64 // 95% CI half-width (ms), across repetitions
-	Throughput  float64 // msgs/s (paper's T)
-	ThroughCI   float64
-	M           float64 // avg messages ordered per consensus
-	MsgsPerDec  float64 // messages sent per consensus decided (group-wide)
-	Utilization float64 // busiest-process CPU utilization
-	Blocked     int64   // flow-control rejections in the window
+	LatencyMs    float64 // mean early latency
+	LatencyCI    float64 // 95% CI half-width (ms), across repetitions
+	Throughput   float64 // msgs/s (paper's T)
+	ThroughCI    float64
+	M            float64 // avg messages ordered per consensus
+	MsgsPerDec   float64 // messages sent per consensus decided (group-wide)
+	MsgsPerBat   float64 // avg app messages per sender-side batch (0 unbatched)
+	HeaderPerMsg float64 // protocol overhead bytes per app message (group-wide)
+	Utilization  float64 // busiest-process CPU utilization
+	Blocked      int64   // flow-control rejections in the window
 	// StreamDropped counts adeliveries discarded by drop-policy delivery
 	// streams (trace.Counters.StreamDropped) — nonzero means the
 	// application side of the benchmark could not keep up.
@@ -47,6 +51,18 @@ type RunOptions struct {
 	Seed int64
 	// Model overrides the hardware model (zero = calibrated default).
 	Model netsim.CostModel
+	// Batch enables sender-side batching in every measured engine (zero =
+	// disabled, the paper's original per-message behavior), so the
+	// modular-vs-monolithic overhead gap can be measured with and without
+	// amortization.
+	Batch batch.Config
+	// Window overrides the per-process flow-control window (0 = the stack
+	// defaults, which for a batched engine include EffectiveWindow's
+	// widening to two batches). Pin it to the same value in a batched and
+	// an unbatched run to compare pure amortization at equal admission
+	// capacity — otherwise the batched run also enjoys a larger in-flight
+	// allowance.
+	Window int
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -68,11 +84,19 @@ func (o RunOptions) withDefaults() RunOptions {
 // RunPoint measures one configuration, averaging over repetitions.
 func RunPoint(n int, stk types.Stack, load float64, size int, opts RunOptions) (Point, error) {
 	opts = opts.withDefaults()
-	var lat, thr, avgM, msgsPerDec, util stats.Welford
+	var engCfg engine.Config // zero value: netsim applies DefaultConfig(n)
+	if opts.Batch.Enabled() || opts.Window > 0 {
+		engCfg = engine.DefaultConfig(n)
+		engCfg.Batch = opts.Batch
+		if opts.Window > 0 {
+			engCfg.Window = opts.Window
+		}
+	}
+	var lat, thr, avgM, msgsPerDec, msgsPerBat, hdrPerMsg, util stats.Welford
 	var blocked, dropped int64
 	for rep := 0; rep < opts.Repetitions; rep++ {
 		lc, err := netsim.NewLoadedCluster(
-			netsim.Options{N: n, Stack: stk, Seed: opts.Seed + int64(rep), Model: opts.Model},
+			netsim.Options{N: n, Stack: stk, Engine: engCfg, Seed: opts.Seed + int64(rep), Model: opts.Model},
 			netsim.Workload{OfferedLoad: load, Size: size},
 			opts.Warmup, opts.Measure)
 		if err != nil {
@@ -90,6 +114,8 @@ func RunPoint(n int, stk types.Stack, load float64, size int, opts RunOptions) (
 		if decisionsPerProc > 0 {
 			msgsPerDec.Add(float64(tot.MsgsSent) / decisionsPerProc)
 		}
+		msgsPerBat.Add(tot.MsgsPerSenderBatch())
+		hdrPerMsg.Add(tot.HeaderBytesPerMsg())
 		maxUtil := 0.0
 		for p := 0; p < n; p++ {
 			if u := lc.Utilization(types.ProcessID(p)); u > maxUtil {
@@ -111,6 +137,8 @@ func RunPoint(n int, stk types.Stack, load float64, size int, opts RunOptions) (
 		ThroughCI:     thr.CI95(),
 		M:             avgM.Mean(),
 		MsgsPerDec:    msgsPerDec.Mean(),
+		MsgsPerBat:    msgsPerBat.Mean(),
+		HeaderPerMsg:  hdrPerMsg.Mean(),
 		Utilization:   util.Mean(),
 		Blocked:       blocked / int64(opts.Repetitions),
 		StreamDropped: dropped / int64(opts.Repetitions),
@@ -220,19 +248,23 @@ func Fig11(opts RunOptions) (Figure, error) {
 }
 
 // Render writes the figure as an aligned text table, one row per point,
-// grouped the way the paper's curves are labelled.
+// grouped the way the paper's curves are labelled. The msgs/batch column
+// is the average sender-side batch size (0 when batching is disabled);
+// hdrB/msg is the protocol overhead in wire bytes per application
+// message, the quantity batching amortizes.
 func Render(w io.Writer, fig Figure) {
 	fmt.Fprintf(w, "%s — %s\n", fig.ID, fig.Title)
-	fmt.Fprintf(w, "%-6s %-11s %12s %10s %14s %14s %7s %9s %6s %8s %6s\n",
-		"group", "stack", fig.XLabel, "lat(ms)", "±95%CI", "thr(msg/s)", "M", "msgs/dec", "util", "blocked", "drops")
+	fmt.Fprintf(w, "%-6s %-11s %12s %10s %14s %14s %7s %9s %10s %9s %6s %8s %6s\n",
+		"group", "stack", fig.XLabel, "lat(ms)", "±95%CI", "thr(msg/s)", "M", "msgs/dec",
+		"msgs/batch", "hdrB/msg", "util", "blocked", "drops")
 	for _, p := range fig.Points {
 		x := p.OfferedLoad
 		if fig.ID == "fig9" || fig.ID == "fig11" {
 			x = float64(p.Size)
 		}
-		fmt.Fprintf(w, "%-6d %-11s %12.0f %10.3f %14.3f %14.1f %7.2f %9.2f %6.2f %8d %6d\n",
-			p.N, p.Stack, x, p.LatencyMs, p.LatencyCI, p.Throughput, p.M, p.MsgsPerDec, p.Utilization,
-			p.Blocked, p.StreamDropped)
+		fmt.Fprintf(w, "%-6d %-11s %12.0f %10.3f %14.3f %14.1f %7.2f %9.2f %10.2f %9.1f %6.2f %8d %6d\n",
+			p.N, p.Stack, x, p.LatencyMs, p.LatencyCI, p.Throughput, p.M, p.MsgsPerDec,
+			p.MsgsPerBat, p.HeaderPerMsg, p.Utilization, p.Blocked, p.StreamDropped)
 	}
 	fmt.Fprintln(w)
 }

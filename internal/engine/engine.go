@@ -12,6 +12,7 @@ package engine
 import (
 	"time"
 
+	"modab/internal/batch"
 	"modab/internal/trace"
 	"modab/internal/types"
 	"modab/internal/wire"
@@ -29,6 +30,10 @@ const (
 	TimerKick TimerID = 1
 	// TimerResend drives crash-path retransmissions.
 	TimerResend TimerID = 2
+	// TimerFlush is the sender-side batching age trigger: it fires
+	// Config.Batch.MaxDelay after the first message entered an empty
+	// accumulator, sealing an undersized batch (see internal/batch).
+	TimerFlush TimerID = 3
 	// TimerUser is the first ID free for driver/application use.
 	TimerUser TimerID = 64
 )
@@ -137,6 +142,12 @@ type Config struct {
 	// modular stack uses. Benchmark ablation only; ignored by the
 	// monolithic stack.
 	ClassicRBcast bool
+	// Batch configures sender-side batching: application messages are
+	// coalesced at the submitting process and diffused/proposed as one
+	// unit, amortizing per-message header bytes and handler dispatches.
+	// The zero value disables it (one diffusion per message, the paper's
+	// original behavior). Both stacks honor it identically.
+	Batch batch.Config
 }
 
 // DefaultWindow returns the per-process flow-control window used by both
@@ -169,6 +180,22 @@ func DefaultConfig(n int) Config {
 	}
 }
 
+// EffectiveWindow returns the flow-control window the engines actually
+// use: Config.Window, widened to cover two full sender-side batches when
+// batching is enabled. Flow control keeps accounting in-flight messages
+// at message granularity (each application message occupies one slot
+// until its own adelivery); the widening only ensures the window can span
+// a batch boundary, so a batch can fill while the previous one is still
+// being ordered. With the default window (≈12 messages group-wide) a
+// 64-message batch would otherwise never fill.
+func (c Config) EffectiveWindow() int {
+	w := c.Window
+	if c.Batch.Enabled() && 2*c.Batch.MaxMsgs > w {
+		w = 2 * c.Batch.MaxMsgs
+	}
+	return w
+}
+
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
 	switch {
@@ -181,6 +208,6 @@ func (c Config) Validate() error {
 	case c.DecisionHorizon < 1:
 		return types.ErrBadConfig
 	default:
-		return nil
+		return c.Batch.Validate()
 	}
 }

@@ -4,6 +4,14 @@
 // yet adelivered). Bounding the per-process backlog bounds the number of
 // messages ordered per consensus execution — the paper tunes it so that on
 // average M = 4 messages are ordered per consensus.
+//
+// Accounting is always at message granularity, even when sender-side
+// batching makes the stacks diffuse and propose at batch granularity:
+// each application message occupies one window slot from admission until
+// its own adelivery, whether it crosses the wire alone or inside a batch.
+// The engines widen the window to span at least two batches when batching
+// is enabled (engine.Config.EffectiveWindow), so an accumulating batch
+// can fill while the previous one is still being ordered.
 package flow
 
 import (

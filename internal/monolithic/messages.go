@@ -83,9 +83,22 @@ type message struct {
 	Piggyback wire.Batch
 }
 
+// marshal encodes the message through a pooled writer scratch buffer and
+// returns an exact-size copy. The copy is required because env.Send may
+// retain the slice (the simulator queues it for later dispatch); the
+// pooling still removes the marshal buffer's grow-and-discard churn from
+// the hot path.
 func (m message) marshal() []byte {
 	size := 1 + 8 + 4 + m.Batch.WireSize() + m.Piggyback.WireSize() + 32
-	w := wire.NewWriter(size)
+	w := wire.GetWriter(size)
+	defer wire.PutWriter(w)
+	m.marshalTo(w)
+	out := make([]byte, w.Len())
+	copy(out, w.Bytes())
+	return out
+}
+
+func (m message) marshalTo(w *wire.Writer) {
 	w.Uint8(uint8(m.Type))
 	w.Uint64(m.Instance)
 	w.Uint32(m.Round)
@@ -105,7 +118,6 @@ func (m message) marshal() []byte {
 	case mNack, mDecisionOnly, mDecisionReq:
 		// Header only.
 	}
-	return w.Bytes()
 }
 
 func unmarshalMessage(data []byte) (message, error) {

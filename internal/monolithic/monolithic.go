@@ -28,6 +28,7 @@ import (
 	"sort"
 	"time"
 
+	"modab/internal/batch"
 	"modab/internal/engine"
 	"modab/internal/flow"
 	"modab/internal/types"
@@ -74,6 +75,11 @@ type Engine struct {
 	// for the next ack; when it is idle they must be forwarded explicitly
 	// to restart it.
 	pipelineIdle bool
+	// acc is the sender-side batching accumulator, nil when batching is
+	// disabled. Admitted messages wait here — holding a flow-control slot
+	// but not yet in own/pool — until a count, byte or age trigger seals
+	// the batch and ingestBatch hands it to the ordering machinery.
+	acc *batch.Accumulator
 }
 
 var _ engine.Engine = (*Engine)(nil)
@@ -124,12 +130,15 @@ func New(env engine.Env, cfg engine.Config) *Engine {
 		self:      env.Self(),
 		n:         env.N(),
 		majority:  types.Majority(env.N()),
-		fc:        flow.NewController(env.Self(), cfg.Window),
+		fc:        flow.NewController(env.Self(), cfg.EffectiveWindow()),
 		own:       make(map[uint64]*ownMsg),
 		pool:      make(map[types.MsgID]wire.AppMsg),
 		delivered: make(map[types.ProcessID]*dedup, env.N()),
 		insts:     make(map[uint64]*inst),
 		suspected: make(map[types.ProcessID]bool),
+	}
+	if cfg.Batch.Enabled() {
+		e.acc = batch.NewAccumulator(cfg.Batch)
 	}
 	return e
 }
@@ -141,7 +150,8 @@ func (e *Engine) Start() {
 	e.armKick()
 }
 
-// Pending implements engine.Engine: unordered messages known locally.
+// Pending implements engine.Engine: unordered messages known locally,
+// including any still waiting in the sender-side batch accumulator.
 func (e *Engine) Pending() int {
 	known := make(map[types.MsgID]struct{}, len(e.pool)+len(e.own))
 	for id := range e.pool {
@@ -150,7 +160,11 @@ func (e *Engine) Pending() int {
 	for _, om := range e.own {
 		known[om.msg.ID] = struct{}{}
 	}
-	return len(known)
+	n := len(known)
+	if e.acc != nil {
+		n += e.acc.Len()
+	}
+	return n
 }
 
 // coordinator returns the coordinator of round r (1-based).
@@ -184,28 +198,57 @@ func (e *Engine) current() *inst { return e.get(e.decidedK + 1) }
 
 // Abcast implements engine.Engine. The message is NOT diffused: it waits
 // for the next ack to the coordinator (§4.2), or is forwarded immediately
-// when no consensus is in flight to piggyback on.
+// when no consensus is in flight to piggyback on. With sender-side
+// batching enabled it first waits in the accumulator and enters the
+// ordering machinery together with its batch.
 func (e *Engine) Abcast(body []byte) (types.MsgID, error) {
 	id, err := e.fc.Admit()
 	if err != nil {
 		return types.MsgID{}, err
 	}
 	msg := wire.AppMsg{ID: id, Body: body}
-	e.own[id.Seq] = &ownMsg{msg: msg}
-	// Own messages always join the local pool: inert while another process
-	// coordinates, but immediately proposable if this process is (or
-	// becomes, after a round change) the coordinator.
-	e.pool[id] = msg
 	c := e.env.Counters()
 	c.ABCast.Add(1)
 	c.Dispatches.Add(1) // application downcall into the engine
+	if e.acc == nil {
+		e.ingestBatch(wire.Batch{msg})
+		return id, nil
+	}
+	sealed, act := e.acc.Add(msg)
+	for _, b := range sealed {
+		c.SenderBatches.Add(1)
+		c.SenderBatchedMsgs.Add(int64(len(b)))
+		e.ingestBatch(b)
+	}
+	switch act {
+	case batch.TimerArm:
+		e.env.SetTimer(engine.TimerFlush, e.cfg.Batch.MaxDelay)
+	case batch.TimerCancel:
+		e.env.CancelTimer(engine.TimerFlush)
+	}
+	return id, nil
+}
+
+// ingestBatch hands locally submitted messages to the ordering machinery:
+// they join own and the pool, and the coordinator/forward step runs once
+// for the whole batch (§4.2's piggybacking then carries them together).
+func (e *Engine) ingestBatch(b wire.Batch) {
+	for _, m := range b {
+		e.own[m.ID.Seq] = &ownMsg{msg: m}
+		// Own messages always join the local pool: inert while another
+		// process coordinates, but immediately proposable if this process
+		// is (or becomes, after a round change) the coordinator.
+		e.pool[m.ID] = m
+	}
 	cur := e.current()
 	coord := e.coordinator(cur.round)
 	if coord == e.self {
-		e.own[id.Seq].attached = cur.k
+		for _, m := range b {
+			e.own[m.ID.Seq].attached = cur.k
+		}
 		e.tryPropose()
 		e.armKick()
-		return id, nil
+		return
 	}
 	if e.pipelineIdle && len(cur.proposals) == 0 && !cur.decided {
 		// The pipeline is stopped, so no ack will come by to piggyback on:
@@ -213,7 +256,6 @@ func (e *Engine) Abcast(body []byte) (types.MsgID, error) {
 		e.forwardOwn(cur, coord)
 	}
 	e.armKick()
-	return id, nil
 }
 
 // forwardOwn sends every eligible own message to the coordinator as a
@@ -667,7 +709,26 @@ func (e *Engine) HandleTimer(id engine.TimerID) {
 		e.retryWaiting()
 	case engine.TimerKick:
 		e.kick()
+	case engine.TimerFlush:
+		e.flushBatch()
 	}
+}
+
+// flushBatch is the batching age trigger: seal whatever accumulated. A
+// fire that races a count-trigger seal finds the accumulator empty and
+// does nothing.
+func (e *Engine) flushBatch() {
+	if e.acc == nil {
+		return
+	}
+	b := e.acc.Flush()
+	if len(b) == 0 {
+		return
+	}
+	c := e.env.Counters()
+	c.SenderBatches.Add(1)
+	c.SenderBatchedMsgs.Add(int64(len(b)))
+	e.ingestBatch(b)
 }
 
 // retryWaiting re-requests a decision this process knows exists but cannot

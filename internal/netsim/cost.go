@@ -11,7 +11,7 @@ import "time"
 // dominate once messages reach tens of kilobytes.
 //
 // Absolute values are NOT meant to match the paper's milliseconds exactly;
-// EXPERIMENTS.md records paper-vs-measured for every series.
+// docs/BENCHMARKS.md records reproduced runs against the paper's tables.
 type CostModel struct {
 	// RecvPerMsg is the fixed CPU cost of handling one inbound message
 	// (demarshaling entry, buffer management, protocol bookkeeping).
@@ -42,7 +42,8 @@ type CostModel struct {
 }
 
 // DefaultModel returns the calibrated cost model used for the paper's
-// figures (see DESIGN.md §4 "Calibration").
+// figures (the calibration rationale is summarized in the CostModel doc
+// above; docs/ARCHITECTURE.md describes the simulator's charging model).
 func DefaultModel() CostModel {
 	return CostModel{
 		RecvPerMsg:           230 * time.Microsecond,

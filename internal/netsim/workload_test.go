@@ -103,7 +103,7 @@ func TestDefaultModelSane(t *testing.T) {
 		t.Fatalf("default model has zero fields: %+v", m)
 	}
 	// Receiving must cost more than sending (interrupt + copy + decode):
-	// the calibration notes in DESIGN.md depend on it.
+	// the reproduced runs in docs/BENCHMARKS.md depend on it.
 	if m.RecvPerMsg <= m.SendPerMsg {
 		t.Error("recv fixed cost should exceed send fixed cost")
 	}

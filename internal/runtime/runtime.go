@@ -23,6 +23,7 @@ import (
 	"modab/internal/trace"
 	"modab/internal/transport"
 	"modab/internal/types"
+	"modab/internal/wire"
 )
 
 // Frame channel tags.
@@ -392,12 +393,16 @@ func (e *nodeEnv) Send(to types.ProcessID, data []byte) {
 	if to == e.node.opts.Self {
 		return
 	}
-	frame := make([]byte, 0, 1+len(data))
-	frame = append(frame, chanEngine)
-	frame = append(frame, data...)
+	// The channel-tagged frame lives in a pooled buffer: Transport.Send
+	// must not retain its argument (the in-memory network copies, TCP
+	// writes synchronously), so the buffer is recycled immediately.
+	w := wire.GetWriter(1 + len(data))
+	w.Uint8(chanEngine)
+	w.Raw(data)
 	e.counters.MsgsSent.Add(1)
 	e.counters.BytesSent.Add(int64(len(data)))
-	_ = e.node.tr.Send(to, frame) // send failures = crash-stop message loss
+	_ = e.node.tr.Send(to, w.Bytes()) // send failures = crash-stop message loss
+	wire.PutWriter(w)
 }
 
 func (e *nodeEnv) SetTimer(id engine.TimerID, d time.Duration) {

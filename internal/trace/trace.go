@@ -46,6 +46,13 @@ type Counters struct {
 	// BatchedMsgs sums the sizes of decided batches (numerator of the
 	// average M messages ordered per consensus).
 	BatchedMsgs atomic.Int64
+	// SenderBatches counts sender-side batches sealed by the batching
+	// accumulator and handed to the ordering path (0 with batching
+	// disabled).
+	SenderBatches atomic.Int64
+	// SenderBatchedMsgs sums the application messages carried by those
+	// sender-side batches (numerator of the msgs/batch average).
+	SenderBatchedMsgs atomic.Int64
 	// Retransmissions counts recovery-path sends (decision refetch,
 	// rbcast relay duplicates suppressed, etc.).
 	Retransmissions atomic.Int64
@@ -57,20 +64,22 @@ type Counters struct {
 
 // Snapshot is an immutable copy of the counters at one instant.
 type Snapshot struct {
-	MsgsSent         int64
-	BytesSent        int64
-	PayloadBytesSent int64
-	MsgsRecv         int64
-	BytesRecv        int64
-	Dispatches       int64
-	ConsensusStarted int64
-	ConsensusDecided int64
-	Rounds           int64
-	ABCast           int64
-	ADeliver         int64
-	BatchedMsgs      int64
-	Retransmissions  int64
-	StreamDropped    int64
+	MsgsSent          int64
+	BytesSent         int64
+	PayloadBytesSent  int64
+	MsgsRecv          int64
+	BytesRecv         int64
+	Dispatches        int64
+	ConsensusStarted  int64
+	ConsensusDecided  int64
+	Rounds            int64
+	ABCast            int64
+	ADeliver          int64
+	BatchedMsgs       int64
+	SenderBatches     int64
+	SenderBatchedMsgs int64
+	Retransmissions   int64
+	StreamDropped     int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting (each field is
@@ -78,20 +87,22 @@ type Snapshot struct {
 // quiescence).
 func (c *Counters) Snapshot() Snapshot {
 	return Snapshot{
-		MsgsSent:         c.MsgsSent.Load(),
-		BytesSent:        c.BytesSent.Load(),
-		PayloadBytesSent: c.PayloadBytesSent.Load(),
-		MsgsRecv:         c.MsgsRecv.Load(),
-		BytesRecv:        c.BytesRecv.Load(),
-		Dispatches:       c.Dispatches.Load(),
-		ConsensusStarted: c.ConsensusStarted.Load(),
-		ConsensusDecided: c.ConsensusDecided.Load(),
-		Rounds:           c.Rounds.Load(),
-		ABCast:           c.ABCast.Load(),
-		ADeliver:         c.ADeliver.Load(),
-		BatchedMsgs:      c.BatchedMsgs.Load(),
-		Retransmissions:  c.Retransmissions.Load(),
-		StreamDropped:    c.StreamDropped.Load(),
+		MsgsSent:          c.MsgsSent.Load(),
+		BytesSent:         c.BytesSent.Load(),
+		PayloadBytesSent:  c.PayloadBytesSent.Load(),
+		MsgsRecv:          c.MsgsRecv.Load(),
+		BytesRecv:         c.BytesRecv.Load(),
+		Dispatches:        c.Dispatches.Load(),
+		ConsensusStarted:  c.ConsensusStarted.Load(),
+		ConsensusDecided:  c.ConsensusDecided.Load(),
+		Rounds:            c.Rounds.Load(),
+		ABCast:            c.ABCast.Load(),
+		ADeliver:          c.ADeliver.Load(),
+		BatchedMsgs:       c.BatchedMsgs.Load(),
+		SenderBatches:     c.SenderBatches.Load(),
+		SenderBatchedMsgs: c.SenderBatchedMsgs.Load(),
+		Retransmissions:   c.Retransmissions.Load(),
+		StreamDropped:     c.StreamDropped.Load(),
 	}
 }
 
@@ -109,6 +120,8 @@ func (s *Snapshot) Add(o Snapshot) {
 	s.ABCast += o.ABCast
 	s.ADeliver += o.ADeliver
 	s.BatchedMsgs += o.BatchedMsgs
+	s.SenderBatches += o.SenderBatches
+	s.SenderBatchedMsgs += o.SenderBatchedMsgs
 	s.Retransmissions += o.Retransmissions
 	s.StreamDropped += o.StreamDropped
 }
@@ -137,11 +150,37 @@ func (s Snapshot) AvgBatch() float64 {
 	return float64(s.BatchedMsgs) / float64(s.ConsensusDecided)
 }
 
+// MsgsPerSenderBatch returns the average number of application messages
+// per sealed sender-side batch — the amortization factor bought by
+// batching (0 when batching never sealed a batch).
+func (s Snapshot) MsgsPerSenderBatch() float64 {
+	if s.SenderBatches == 0 {
+		return 0
+	}
+	return float64(s.SenderBatchedMsgs) / float64(s.SenderBatches)
+}
+
+// HeaderBytesPerMsg returns the protocol overhead on the wire — total
+// bytes sent minus application payload bytes — per abcast application
+// message. This is the per-message cost of modularity the paper's §5.2.2
+// analysis predicts and sender-side batching amortizes; compare the value
+// with batching on and off. Meaningful on group-wide totals (ABCast then
+// counts each distinct application message once).
+func (s Snapshot) HeaderBytesPerMsg() float64 {
+	if s.ABCast == 0 {
+		return 0
+	}
+	return float64(s.BytesSent-s.PayloadBytesSent) / float64(s.ABCast)
+}
+
 // String implements fmt.Stringer with the headline counters.
 func (s Snapshot) String() string {
 	out := fmt.Sprintf("sent=%d (%d B, payload %d B) recv=%d consensus=%d/%d avgM=%.2f dispatches=%d",
 		s.MsgsSent, s.BytesSent, s.PayloadBytesSent, s.MsgsRecv,
 		s.ConsensusDecided, s.ConsensusStarted, s.AvgBatch(), s.Dispatches)
+	if s.SenderBatches > 0 {
+		out += fmt.Sprintf(" msgs/batch=%.2f", s.MsgsPerSenderBatch())
+	}
 	if s.StreamDropped > 0 {
 		out += fmt.Sprintf(" streamDropped=%d", s.StreamDropped)
 	}

@@ -40,9 +40,18 @@ type TCP struct {
 
 var _ Transport = (*TCP)(nil)
 
+// maxRetainedWriteBuf bounds the coalescing buffer kept per connection;
+// a rare giant frame must not pin its memory for the connection's life.
+const maxRetainedWriteBuf = 1 << 20
+
 type tcpConn struct {
 	mu sync.Mutex
 	c  net.Conn
+	// wbuf is the per-connection write-coalescing scratch: the 4-byte
+	// length prefix and the payload are assembled here and flushed in one
+	// Write, halving the syscalls (and avoiding a small-packet flush
+	// before the payload under TCP_NODELAY). Guarded by mu.
+	wbuf []byte
 }
 
 // NewTCP creates a TCP transport for process self in a group whose listen
@@ -250,15 +259,22 @@ func (t *TCP) dropConn(to types.ProcessID, conn *tcpConn) {
 }
 
 // writeFrame writes one length-prefixed frame; serialized per connection.
+// Prefix and payload are coalesced into one Write call.
 func (cn *tcpConn) writeFrame(data []byte) error {
 	cn.mu.Lock()
 	defer cn.mu.Unlock()
-	var lenBuf [4]byte
-	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
-	if _, err := cn.c.Write(lenBuf[:]); err != nil {
-		return err
+	need := 4 + len(data)
+	if cap(cn.wbuf) < need {
+		cn.wbuf = make([]byte, 0, need)
 	}
-	_, err := cn.c.Write(data)
+	buf := binary.BigEndian.AppendUint32(cn.wbuf[:0], uint32(len(data)))
+	buf = append(buf, data...)
+	if cap(buf) <= maxRetainedWriteBuf {
+		cn.wbuf = buf
+	} else {
+		cn.wbuf = nil
+	}
+	_, err := cn.c.Write(buf)
 	return err
 }
 

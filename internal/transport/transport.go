@@ -24,7 +24,10 @@ type Transport interface {
 	Start(h Handler) error
 	// Send transmits data to the given process. It never blocks
 	// indefinitely; delivery is quasi-reliable (guaranteed only while both
-	// endpoints stay up).
+	// endpoints stay up). Send must not retain data after it returns —
+	// callers reuse the buffer (the runtime driver sends pooled frames),
+	// so implementations copy (in-memory network) or write synchronously
+	// (TCP) before returning.
 	Send(to types.ProcessID, data []byte) error
 	// Close stops the endpoint and releases its resources.
 	Close() error

@@ -41,6 +41,11 @@
 //		modab.WithDeliveryBuffer(1024),
 //		modab.WithDeliveryOverflow(modab.OverflowDrop))
 //
+//	// Sender-side batching: amortize per-message layer overhead by
+//	// coalescing up to 32 messages (or 64 KiB) per diffusion/proposal,
+//	// flushing undersized batches after 2ms:
+//	modab.New(10, modab.Modular, modab.WithBatching(32, 65536, 2*time.Millisecond))
+//
 // Every driver exposes the same submission (Abcast, TryAbcast), the same
 // delivery stream (Deliveries) and the same instrumentation (Counters,
 // Stats). TryAbcast is the only entry point that returns ErrFlowControl;
@@ -50,7 +55,7 @@
 // Both stacks guarantee uniform total order under crash faults (up to a
 // minority of processes) with an unreliable failure detector; the
 // difference is performance, which this library measures the same way the
-// paper does (see EXPERIMENTS.md and cmd/abbench).
+// paper does (see docs/BENCHMARKS.md and cmd/abbench).
 //
 // The packages under internal/ hold the implementation: the protocol
 // engines (internal/modular, internal/monolithic, and the microprotocol
@@ -70,6 +75,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"modab/internal/batch"
 	"modab/internal/core"
 	"modab/internal/engine"
 	"modab/internal/netsim"
@@ -94,6 +100,9 @@ type (
 	Event = engine.Event
 	// Config carries the protocol tunables shared by both stacks.
 	Config = engine.Config
+	// BatchConfig tunes sender-side batching (see WithBatching and
+	// Config.Batch); the zero value disables it.
+	BatchConfig = batch.Config
 	// Node is one running process (see Cluster.Node).
 	Node = runtime.Node
 	// Group is an in-process group over an in-memory network.
@@ -184,6 +193,7 @@ type settings struct {
 	buffer       int
 	policy       OverflowPolicy
 	onDeliver    func(Event)
+	batch        *BatchConfig
 }
 
 // WithConfig overrides the protocol tunables (flow-control window, batch
@@ -191,6 +201,33 @@ type settings struct {
 func WithConfig(cfg Config) Option {
 	return func(s *settings) error {
 		s.engineCfg = cfg
+		return nil
+	}
+}
+
+// WithBatching enables sender-side batching on either stack: up to
+// maxMsgs application messages (or maxBytes of encoded batch, whichever
+// trips first; maxBytes 0 means no byte cap) are coalesced into one
+// diffusion frame and one consensus proposal, and an undersized batch is
+// flushed maxDelay after its first message. Batching amortizes the
+// per-message header bytes and handler dispatches that each composed
+// layer costs (the price of modularity the paper measures) and widens the
+// flow-control window to span two full batches while still accounting
+// in-flight messages individually (Config.EffectiveWindow). Per-batch
+// statistics appear in Counters (SenderBatches, SenderBatchedMsgs,
+// Snapshot.MsgsPerSenderBatch, Snapshot.HeaderBytesPerMsg) and in the
+// cmd/abbench table. It composes with WithConfig regardless of option
+// order.
+func WithBatching(maxMsgs, maxBytes int, maxDelay time.Duration) Option {
+	return func(s *settings) error {
+		b := BatchConfig{MaxMsgs: maxMsgs, MaxBytes: maxBytes, MaxDelay: maxDelay}
+		if !b.Enabled() {
+			return fmt.Errorf("%w: WithBatching requires maxMsgs >= 1", types.ErrBadConfig)
+		}
+		if err := b.Validate(); err != nil {
+			return err
+		}
+		s.batch = &b
 		return nil
 	}
 }
@@ -324,6 +361,15 @@ func New(n int, stack Stack, opts ...Option) (*Cluster, error) {
 	}
 	if s.tcp && len(s.tcpAddrs) != n {
 		return nil, fmt.Errorf("%w: n=%d but WithTransportTCP has %d addresses", types.ErrBadConfig, n, len(s.tcpAddrs))
+	}
+	if s.batch != nil {
+		// Materialize the defaults first so the batching fields survive the
+		// drivers' zero-config check, then overlay them on whatever
+		// WithConfig supplied.
+		if s.engineCfg.N == 0 {
+			s.engineCfg = engine.DefaultConfig(n)
+		}
+		s.engineCfg.Batch = *s.batch
 	}
 	c := &Cluster{n: n, stack: stack, start: time.Now()}
 

@@ -277,3 +277,109 @@ func TestDefaultsExposed(t *testing.T) {
 		t.Fatalf("model: %+v", model)
 	}
 }
+
+// TestBatchingOptionValidation covers WithBatching's argument contract.
+func TestBatchingOptionValidation(t *testing.T) {
+	if _, err := modab.New(3, modab.Modular, modab.WithBatching(0, 0, time.Millisecond)); err == nil {
+		t.Fatal("WithBatching(0, ...) accepted")
+	}
+	if _, err := modab.New(3, modab.Modular, modab.WithBatching(4, 0, 0)); err == nil {
+		t.Fatal("WithBatching without flush delay accepted")
+	}
+	if _, err := modab.New(3, modab.Modular, modab.WithBatching(4, -1, time.Millisecond)); err == nil {
+		t.Fatal("WithBatching with negative byte cap accepted")
+	}
+}
+
+// TestFacadeBatching runs both stacks over the in-memory driver with
+// sender-side batching and checks that everything is still delivered,
+// in order, with batches actually forming.
+func TestFacadeBatching(t *testing.T) {
+	for _, stk := range []modab.Stack{modab.Modular, modab.Monolithic} {
+		stk := stk
+		t.Run(stk.String(), func(t *testing.T) {
+			cluster, err := modab.New(3, stk,
+				modab.WithBatching(8, 0, time.Millisecond))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cluster.Close()
+			sub := cluster.Deliveries(modab.StreamBuffer(512))
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			const perProc = 20
+			for i := 0; i < perProc; i++ {
+				for p := 0; p < 3; p++ {
+					if _, err := cluster.Abcast(ctx, p, []byte{byte(p), byte(i)}); err != nil {
+						t.Fatalf("abcast p%d #%d: %v", p, i, err)
+					}
+				}
+			}
+			// Every process adelivers all 60 messages.
+			perDeliverer := make(map[modab.ProcessID][]modab.MsgID)
+			for ev := range sub.C() {
+				perDeliverer[ev.P] = append(perDeliverer[ev.P], ev.D.Msg.ID)
+				done := 0
+				for _, ids := range perDeliverer {
+					if len(ids) == 3*perProc {
+						done++
+					}
+				}
+				if done == 3 {
+					break
+				}
+			}
+			for p := 1; p < 3; p++ {
+				for i, id := range perDeliverer[modab.ProcessID(p)] {
+					if id != perDeliverer[0][i] {
+						t.Fatalf("delivery order diverges at %d on p%d", i, p+1)
+					}
+				}
+			}
+			tot := cluster.Stats().Total
+			if tot.SenderBatches == 0 {
+				t.Fatal("no sender-side batches formed")
+			}
+			if tot.MsgsPerSenderBatch() <= 1 {
+				t.Fatalf("msgs/batch = %.2f, batching never amortized", tot.MsgsPerSenderBatch())
+			}
+		})
+	}
+}
+
+// TestBatchingAgeTriggerSimulatedTime drives the flush timer in virtual
+// time: an undersized batch must be sealed MaxDelay after its first
+// message, on both stacks, deterministically.
+func TestBatchingAgeTriggerSimulatedTime(t *testing.T) {
+	for _, stk := range []modab.Stack{modab.Modular, modab.Monolithic} {
+		stk := stk
+		t.Run(stk.String(), func(t *testing.T) {
+			cluster, err := modab.New(3, stk,
+				modab.WithSimulation(7),
+				modab.WithBatching(100, 0, 2*time.Millisecond))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cluster.Close()
+			// Three messages: far below MaxMsgs, so only the age trigger
+			// can ever diffuse them.
+			for i := 0; i < 3; i++ {
+				if _, err := cluster.TryAbcast(0, []byte{byte(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			sim := cluster.Sim()
+			sim.RunIdle(time.Second)
+			for p := 0; p < 3; p++ {
+				if got := cluster.Counters(p).ADeliver; got != 3 {
+					t.Fatalf("p%d adelivered %d of 3", p+1, got)
+				}
+			}
+			snap := cluster.Counters(0)
+			if snap.SenderBatches != 1 || snap.SenderBatchedMsgs != 3 {
+				t.Fatalf("age trigger sealed %d batches with %d msgs, want 1 with 3",
+					snap.SenderBatches, snap.SenderBatchedMsgs)
+			}
+		})
+	}
+}
