@@ -10,11 +10,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The runtime and stream packages carry the concurrency-sensitive code
-# (event loop, delivery streams, flow-control wakeups); the root package
+# The runtime, stream, wal and recovery packages carry the
+# concurrency-sensitive code (event loop, delivery streams, flow-control
+# wakeups, background WAL fsync, restart paths); the root package
 # exercises the facade across all three drivers.
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/stream/... ./internal/core/... .
+	$(GO) test -race ./internal/runtime/... ./internal/stream/... ./internal/core/... ./internal/wal/... ./internal/recovery/... ./internal/transport/... .
 
 vet:
 	$(GO) vet ./...

@@ -7,13 +7,22 @@
 //
 //	abbench -fig all                # every figure (several minutes)
 //	abbench -fig 8                  # one figure
+//	abbench -fig recovery           # crash-recovery cost comparison
 //	abbench -analytical             # §5.2 closed-form tables only
 //	abbench -fig 10 -reps 5 -measure 8s
 //	abbench -fig 11 -batch-msgs 32  # sender-side batching enabled
+//	abbench -fig all -json BENCH_$(date +%Y%m%d).json
 //
 // With -batch-msgs >= 1 every measured engine runs sender-side batching
 // (see modab.WithBatching); the msgs/batch and hdrB/msg columns then show
 // how amortization closes the modular-vs-monolithic overhead gap.
+//
+// -fig recovery runs the scenario the paper never covered: a node of a
+// loaded, durable cluster crashes and restarts, and the table compares
+// what recovery costs each stack (replayed and fetched messages, catch-up
+// latency). -json additionally writes every produced figure as a
+// machine-readable report (schema modab-bench/v1) for performance
+// trajectory tracking.
 package main
 
 import (
@@ -35,7 +44,7 @@ func main() {
 
 func run() error {
 	var (
-		fig        = flag.String("fig", "all", `figure to regenerate: "8", "9", "10", "11" or "all"`)
+		fig        = flag.String("fig", "all", `figure to regenerate: "8", "9", "10", "11", "recovery" or "all"`)
 		analytical = flag.Bool("analytical", false, "print the §5.2 analytical tables and exit")
 		reps       = flag.Int("reps", 3, "repetitions per point (95% CIs are computed across them)")
 		warmup     = flag.Duration("warmup", 2*time.Second, "virtual warm-up before measuring")
@@ -44,6 +53,7 @@ func run() error {
 		batchMsgs  = flag.Int("batch-msgs", 0, "sender-side batching: messages per batch (0 = disabled)")
 		batchBytes = flag.Int("batch-bytes", 0, "sender-side batching: encoded bytes per batch (0 = no byte cap)")
 		batchDelay = flag.Duration("batch-delay", 2*time.Millisecond, "sender-side batching: flush delay for undersized batches")
+		jsonPath   = flag.String("json", "", "also write the produced figures as a machine-readable report to this path")
 	)
 	flag.Parse()
 
@@ -72,6 +82,7 @@ func run() error {
 	order := []string{"8", "9", "10", "11"}
 
 	benchharness.RenderAnalytical(os.Stdout, 4, 16384)
+	var produced []benchharness.Figure
 	for _, id := range order {
 		if *fig != "all" && *fig != id {
 			continue
@@ -81,6 +92,22 @@ func run() error {
 			return fmt.Errorf("figure %s: %w", id, err)
 		}
 		benchharness.Render(os.Stdout, f)
+		produced = append(produced, f)
+	}
+	var recFig *benchharness.RecoveryFigure
+	if *fig == "all" || *fig == "recovery" {
+		rf, err := benchharness.FigRecovery(opts)
+		if err != nil {
+			return fmt.Errorf("figure recovery: %w", err)
+		}
+		benchharness.RenderRecovery(os.Stdout, rf)
+		recFig = &rf
+	}
+	if *jsonPath != "" {
+		if err := benchharness.WriteJSON(*jsonPath, benchharness.NewReport(opts, produced, recFig)); err != nil {
+			return err
+		}
+		fmt.Printf("machine-readable report written to %s\n", *jsonPath)
 	}
 	return nil
 }

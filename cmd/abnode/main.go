@@ -15,15 +15,30 @@
 // pull-based stream; -dropslow switches the stream to the drop overflow
 // policy so a lagging consumer shows up as a nonzero streamDropped
 // counter instead of backpressuring the protocol.
+//
+// With -wal the process runs in the crash-recovery model: admissions and
+// decisions are persisted to a write-ahead log in that directory (-fsync
+// picks the policy), and a killed process restarted with the same -wal
+// directory replays its log and performs state transfer before resuming.
+// -seqlog appends one "sender seq instance" line per delivery — across a
+// restart the file accumulates both incarnations' streams, which is how
+// the integration tests verify the recovered total order.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: injection stops, the WAL is
+// flushed, the transport closes, and the delivery stream drains before
+// the summary prints.
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"modab"
@@ -51,6 +66,10 @@ func run() error {
 		batchMsgs  = flag.Int("batch-msgs", 0, "sender-side batching: messages per batch (0 = disabled)")
 		batchBytes = flag.Int("batch-bytes", 0, "sender-side batching: encoded bytes per batch (0 = no byte cap)")
 		batchDelay = flag.Duration("batch-delay", 2*time.Millisecond, "sender-side batching: flush delay for undersized batches")
+
+		walDir  = flag.String("wal", "", "write-ahead-log directory: enables crash recovery (restart with the same directory to rejoin)")
+		fsync   = flag.String("fsync", "always", `WAL fsync policy: "always", "interval" or "none"`)
+		seqPath = flag.String("seqlog", "", "append one line per delivered message to this file (total-order audit trail)")
 	)
 	flag.Parse()
 
@@ -83,12 +102,42 @@ func run() error {
 	if bcfg.Enabled() {
 		opts = append(opts, modab.WithBatching(bcfg.MaxMsgs, bcfg.MaxBytes, bcfg.MaxDelay))
 	}
+	if *walDir != "" {
+		var policy modab.SyncPolicy
+		switch *fsync {
+		case "always":
+			policy = modab.SyncAlways
+		case "interval":
+			policy = modab.SyncInterval
+		case "none":
+			policy = modab.SyncNone
+		default:
+			return fmt.Errorf("unknown -fsync %q", *fsync)
+		}
+		opts = append(opts, modab.WithDurability(*walDir, policy))
+	}
+
+	var seqlog *bufio.Writer
+	var seqfile *os.File
+	if *seqPath != "" {
+		f, err := os.OpenFile(*seqPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		seqfile = f
+		seqlog = bufio.NewWriter(f)
+	}
+
 	cluster, err := modab.New(len(addrs), stk, opts...)
 	if err != nil {
 		return err
 	}
-	defer cluster.Close()
 	fmt.Printf("%s up as %s of %d peers, stack=%s\n", self, self, len(addrs), stk)
+
+	// Graceful shutdown on SIGINT/SIGTERM: stop injecting, flush the WAL
+	// and close the transport (cluster.Close), drain the delivery stream.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	// Consume deliveries from the stream on a dedicated goroutine.
 	var (
@@ -110,6 +159,9 @@ func run() error {
 				delete(t0s, ev.D.Msg.ID)
 			}
 			count := delivered
+			if seqlog != nil {
+				fmt.Fprintf(seqlog, "%d %d %d\n", int32(ev.D.Msg.ID.Sender), ev.D.Msg.ID.Seq, ev.D.Instance)
+			}
 			mu.Unlock()
 			if !*quiet && count%100 == 0 {
 				fmt.Printf("%s delivered %d messages (last: %s in instance %d)\n",
@@ -119,22 +171,36 @@ func run() error {
 	}()
 
 	// Give peers a moment to come up before injecting.
-	time.Sleep(time.Second)
+	select {
+	case <-time.After(time.Second):
+	case <-ctx.Done():
+	}
 
 	start := time.Now()
 	sent := 0
-	if *rate > 0 {
+	interrupted := false
+	if *rate > 0 && ctx.Err() == nil {
 		interval := time.Duration(float64(time.Second) / *rate)
 		body := make([]byte, *size)
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
-		ctx, cancel := context.WithDeadline(context.Background(), start.Add(*dur+time.Minute))
+		abctx, cancel := context.WithDeadline(ctx, start.Add(*dur+time.Minute))
 		defer cancel()
+	inject:
 		for time.Since(start) < *dur {
-			<-ticker.C
+			select {
+			case <-ticker.C:
+			case <-ctx.Done():
+				interrupted = true
+				break inject
+			}
 			submit := time.Now()
-			msgID, err := cluster.Abcast(ctx, *id, body)
+			msgID, err := cluster.Abcast(abctx, *id, body)
 			if err != nil {
+				if ctx.Err() != nil {
+					interrupted = true
+					break inject
+				}
 				return fmt.Errorf("abcast: %w", err)
 			}
 			mu.Lock()
@@ -143,27 +209,48 @@ func run() error {
 			sent++
 		}
 	} else {
-		time.Sleep(*dur)
+		select {
+		case <-time.After(*dur):
+		case <-ctx.Done():
+			interrupted = true
+		}
 	}
 
-	// Drain: wait for our own messages to come back.
+	// Drain: wait for our own messages to come back (skipped when a
+	// signal asked for an immediate, orderly exit).
 	deadline := time.Now().Add(10 * time.Second)
-	for {
+	for !interrupted {
 		mu.Lock()
 		outstanding := len(t0s)
 		mu.Unlock()
 		if outstanding == 0 || time.Now().After(deadline) {
 			break
 		}
-		time.Sleep(50 * time.Millisecond)
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+			interrupted = true
+		}
 	}
 
 	elapsed := time.Since(start).Seconds()
 	counters := cluster.Counters(*id)
-	sub.Close()
+	// Close order: the cluster first (final WAL sync, transport teardown,
+	// stream end), then the consumer drains what is buffered, then the
+	// audit trail flushes.
+	closeErr := cluster.Close()
 	consumerWG.Wait()
+	if seqlog != nil {
+		mu.Lock()
+		_ = seqlog.Flush()
+		_ = seqfile.Close()
+		mu.Unlock()
+	}
 	mu.Lock()
 	defer mu.Unlock()
+	if interrupted {
+		fmt.Printf("\n%s interrupted: graceful shutdown complete\n", self)
+	}
 	fmt.Printf("\n%s summary: sent=%d delivered=%d (%.1f msgs/s)\n",
 		self, sent, delivered, float64(delivered)/elapsed)
 	if lat.N() > 0 {
@@ -174,5 +261,5 @@ func run() error {
 	if dropped := sub.Dropped(); dropped > 0 {
 		fmt.Printf("delivery stream dropped %d messages (consumer lagged)\n", dropped)
 	}
-	return nil
+	return closeErr
 }

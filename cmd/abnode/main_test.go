@@ -1,0 +1,289 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildAbnode compiles the abnode binary once per test run.
+func buildAbnode(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "abnode")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freePorts reserves n distinct loopback ports.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("reserve port: %v", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// seqEntry is one parsed seqlog line.
+type seqEntry struct {
+	sender int32
+	seq    uint64
+}
+
+// readSeqlog parses a "-seqlog" audit file, tolerating a torn final line
+// (a SIGKILLed process loses its unflushed buffer tail).
+func readSeqlog(t *testing.T, path string) []seqEntry {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	var out []seqEntry
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		if line == "" {
+			continue
+		}
+		var e seqEntry
+		var instance uint64
+		if _, err := fmt.Sscanf(line, "%d %d %d", &e.sender, &e.seq, &instance); err != nil {
+			if i >= len(lines)-2 {
+				continue // torn tail from the kill
+			}
+			t.Fatalf("%s line %d malformed: %q", path, i+1, line)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// assertPrefixConsistent checks that one sequence is a prefix of the other
+// (two correct processes observing the same total order, one of which
+// exited earlier).
+func assertPrefixConsistent(t *testing.T, name string, a, b []seqEntry) {
+	t.Helper()
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			t.Fatalf("%s: order diverges at %d: %v vs %v", name, i, a[i], b[i])
+		}
+	}
+}
+
+// assertRecoveredOrder checks the restarted process's concatenated
+// streams (both incarnations in one file) against the reference order:
+// a prefix of ref, then at most one gap — the deliveries lost in the
+// crash window plus whatever the dead process missed before its catch-up
+// resumed — then a contiguous run of ref. No duplicates, no reordering.
+func assertRecoveredOrder(t *testing.T, got, ref []seqEntry) {
+	t.Helper()
+	seen := make(map[seqEntry]struct{}, len(got))
+	for _, e := range got {
+		if _, dup := seen[e]; dup {
+			t.Fatalf("restarted process delivered %v twice", e)
+		}
+		seen[e] = struct{}{}
+	}
+	refIdx := make(map[seqEntry]int, len(ref))
+	for i, e := range ref {
+		refIdx[e] = i
+	}
+	gaps := 0
+	next := 0
+	for i, e := range got {
+		ri, ok := refIdx[e]
+		if !ok {
+			// The reference process may have exited before this delivery;
+			// tolerate a tail the reference never saw, but only at the end.
+			for _, rest := range got[i:] {
+				if _, known := refIdx[rest]; known {
+					t.Fatalf("delivery %v missing from the reference order mid-stream", e)
+				}
+			}
+			break
+		}
+		if ri != next {
+			if ri < next {
+				t.Fatalf("restarted process reordered: %v at ref %d, expected ref >= %d", e, ri, next)
+			}
+			gaps++
+			if gaps > 1 {
+				t.Fatalf("restarted process's stream has %d gaps, want at most 1 (crash window)", gaps)
+			}
+		}
+		next = ri + 1
+	}
+}
+
+// TestAbnodeRestartIntegration is the TCP acceptance test of the
+// crash-recovery subsystem: three real abnode processes over real TCP
+// with file-backed WALs; one is SIGKILLed mid-run and restarted against
+// the live pair, and the audit trails must show one consistent total
+// order with the restarted process recovering into it.
+func TestAbnodeRestartIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	bin := buildAbnode(t)
+	dir := t.TempDir()
+	addrs := freePorts(t, 3)
+	peers := strings.Join(addrs, ",")
+
+	args := func(id int, rate float64, dur time.Duration) []string {
+		return []string{
+			"-id", fmt.Sprint(id),
+			"-peers", peers,
+			"-stack", "modular",
+			"-rate", fmt.Sprint(rate),
+			"-size", "64",
+			"-dur", dur.String(),
+			"-quiet",
+			"-wal", filepath.Join(dir, fmt.Sprintf("wal%d", id)),
+			"-fsync", "none",
+			"-seqlog", filepath.Join(dir, fmt.Sprintf("seq%d", id)),
+		}
+	}
+
+	var outs [3]strings.Builder
+	procs := make([]*exec.Cmd, 3)
+	for i := 0; i < 3; i++ {
+		cmd := exec.Command(bin, args(i, 120, 5*time.Second)...)
+		cmd.Stdout = &outs[i]
+		cmd.Stderr = &outs[i]
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start abnode %d: %v", i, err)
+		}
+		procs[i] = cmd
+	}
+
+	// Let the group order traffic, then kill p3 hard mid-run.
+	time.Sleep(2500 * time.Millisecond)
+	if err := procs[2].Process.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	_ = procs[2].Wait()
+
+	// Restart it against the live pair with the same WAL and audit file;
+	// listen-only, long enough to catch up and observe the pair's tail.
+	time.Sleep(300 * time.Millisecond)
+	var restartOut strings.Builder
+	restarted := exec.Command(bin, args(2, 0, 3*time.Second)...)
+	restarted.Stdout = &restartOut
+	restarted.Stderr = &restartOut
+	if err := restarted.Start(); err != nil {
+		t.Fatalf("restart abnode 2: %v", err)
+	}
+
+	for i := 0; i < 2; i++ {
+		if err := procs[i].Wait(); err != nil {
+			t.Fatalf("abnode %d: %v\n%s", i, err, outs[i].String())
+		}
+	}
+	if err := restarted.Wait(); err != nil {
+		t.Fatalf("restarted abnode 2: %v\n%s", err, restartOut.String())
+	}
+	if !strings.Contains(restartOut.String(), "recoveries=1") {
+		t.Errorf("restarted process reported no recovery:\n%s", restartOut.String())
+	}
+
+	seq0 := readSeqlog(t, filepath.Join(dir, "seq0"))
+	seq1 := readSeqlog(t, filepath.Join(dir, "seq1"))
+	seq2 := readSeqlog(t, filepath.Join(dir, "seq2"))
+	if len(seq0) == 0 || len(seq1) == 0 || len(seq2) == 0 {
+		t.Fatalf("empty audit trails: %d/%d/%d", len(seq0), len(seq1), len(seq2))
+	}
+	assertPrefixConsistent(t, "p1 vs p2", seq0, seq1)
+	ref := seq0
+	if len(seq1) > len(ref) {
+		ref = seq1
+	}
+	assertRecoveredOrder(t, seq2, ref)
+}
+
+// TestAbnodeGracefulSignal: SIGTERM mid-run exits cleanly (WAL flushed,
+// stream drained, summary printed) instead of dying mid-write.
+func TestAbnodeGracefulSignal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	bin := buildAbnode(t)
+	dir := t.TempDir()
+	addrs := freePorts(t, 1)
+
+	var out strings.Builder
+	cmd := exec.Command(bin,
+		"-id", "0",
+		"-peers", addrs[0],
+		"-stack", "monolithic",
+		"-rate", "100",
+		"-size", "32",
+		"-dur", "30s",
+		"-quiet",
+		"-wal", filepath.Join(dir, "wal0"),
+		"-fsync", "interval",
+		"-seqlog", filepath.Join(dir, "seq0"),
+	)
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	time.Sleep(2 * time.Second)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signal: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("exit after SIGTERM: %v\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatalf("no exit within 10s of SIGTERM:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "graceful shutdown complete") {
+		t.Errorf("missing graceful-shutdown marker:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "summary:") {
+		t.Errorf("missing summary after signal:\n%s", out.String())
+	}
+	// The flushed WAL must replay cleanly: a follow-up listen-only run on
+	// the same directory recovers instead of starting fresh.
+	var out2 strings.Builder
+	cmd2 := exec.Command(bin,
+		"-id", "0", "-peers", addrs[0], "-stack", "monolithic",
+		"-rate", "0", "-dur", "500ms", "-quiet",
+		"-wal", filepath.Join(dir, "wal0"), "-fsync", "none",
+	)
+	cmd2.Stdout = &out2
+	cmd2.Stderr = &out2
+	if err := cmd2.Run(); err != nil {
+		t.Fatalf("rerun on flushed WAL: %v\n%s", err, out2.String())
+	}
+	if !strings.Contains(out2.String(), "recoveries=1") {
+		t.Errorf("rerun did not recover from the WAL:\n%s", out2.String())
+	}
+}

@@ -1,0 +1,177 @@
+package modab_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"modab"
+)
+
+// TestDurabilityRestartGroup drives the crash-recovery surface through
+// the facade on the default in-memory group driver: WithDurability, a
+// crash, Restart, and post-recovery convergence.
+func TestDurabilityRestartGroup(t *testing.T) {
+	cluster, err := modab.New(3, modab.Monolithic,
+		modab.WithDurability(t.TempDir(), modab.SyncNone),
+		modab.WithFailureDetector(10*time.Millisecond, 80*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	var mu sync.Mutex
+	perProc := make(map[int]int)
+	sub := cluster.Deliveries()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ev := range sub.C() {
+			mu.Lock()
+			perProc[int(ev.P)]++
+			mu.Unlock()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	total := 0
+	submit := func(p, k int) {
+		t.Helper()
+		for i := 0; i < k; i++ {
+			if _, err := cluster.Abcast(ctx, p, []byte("payload")); err != nil {
+				t.Fatalf("abcast at p%d: %v", p+1, err)
+			}
+			total++
+		}
+	}
+	delivered := func(p int) int {
+		mu.Lock()
+		defer mu.Unlock()
+		return perProc[p]
+	}
+	waitAll := func(procs ...int) {
+		t.Helper()
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			done := true
+			for _, p := range procs {
+				if delivered(p) < total {
+					done = false
+				}
+			}
+			if done {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout: delivered=%v want %d", perProc, total)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	submit(0, 10)
+	submit(1, 10)
+	waitAll(0, 1, 2)
+
+	if err := cluster.Crash(1); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	if _, err := cluster.Abcast(ctx, 1, []byte("x")); !errors.Is(err, modab.ErrCrashed) {
+		t.Fatalf("abcast at crashed process = %v, want ErrCrashed", err)
+	}
+	submit(0, 10)
+	waitAll(0, 2)
+
+	if err := cluster.Restart(1); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	submit(1, 5)
+	waitAll(0, 1, 2)
+
+	snap := cluster.Counters(1)
+	if snap.Recoveries != 1 || snap.RecoveryFetchedMsgs == 0 {
+		t.Fatalf("restarted process counters: %+v", snap)
+	}
+	sub.Close()
+	wg.Wait()
+}
+
+// TestDurabilityRestartSim drives the same surface on the simulated
+// driver, where WithDurability means a deterministic in-memory durable
+// store and Restart happens at the current virtual instant.
+func TestDurabilityRestartSim(t *testing.T) {
+	cluster, err := modab.New(3, modab.Modular,
+		modab.WithSimulation(42),
+		modab.WithDurability("", modab.SyncNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	sim := cluster.Sim()
+
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if _, err := cluster.Abcast(ctx, i%3, []byte("m")); err != nil {
+			t.Fatalf("abcast: %v", err)
+		}
+	}
+	sim.RunIdle(time.Minute)
+
+	if err := cluster.Crash(1); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := cluster.Abcast(ctx, 0, []byte("while-down")); err != nil {
+			t.Fatalf("abcast while p2 down: %v", err)
+		}
+	}
+	sim.RunIdle(time.Minute)
+
+	if err := cluster.Restart(1); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	sim.RunIdle(time.Minute)
+	if _, err := cluster.Abcast(ctx, 1, []byte("back")); err != nil {
+		t.Fatalf("abcast after restart: %v", err)
+	}
+	sim.RunIdle(time.Minute)
+
+	for _, err := range sim.Errs() {
+		t.Errorf("sim error: %v", err)
+	}
+	snap := cluster.Counters(1)
+	if snap.Recoveries != 1 {
+		t.Fatalf("Recoveries = %d, want 1", snap.Recoveries)
+	}
+	if snap.RecoveryFetchedMsgs == 0 {
+		t.Fatal("restarted process fetched nothing")
+	}
+	// Every live process ends with the same delivery count (total order,
+	// no gaps): 8 + 6 + 1 messages.
+	want := int64(15)
+	for p := 0; p < 3; p++ {
+		if got := cluster.Counters(p).ADeliver; got != want {
+			t.Fatalf("p%d ADeliver = %d, want %d", p+1, got, want)
+		}
+	}
+}
+
+// TestDurabilityValidation: the real-time drivers refuse an empty
+// directory, and Restart without WithDurability is rejected.
+func TestDurabilityValidation(t *testing.T) {
+	if _, err := modab.New(3, modab.Modular, modab.WithDurability("", modab.SyncAlways)); err == nil {
+		t.Fatal("WithDurability(\"\") on the group driver succeeded")
+	}
+	cluster, err := modab.New(3, modab.Modular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.Restart(0); err == nil {
+		t.Fatal("Restart without WithDurability succeeded")
+	}
+}

@@ -30,8 +30,10 @@ import (
 	"time"
 
 	"modab/internal/batch"
+	"modab/internal/dedup"
 	"modab/internal/engine"
 	"modab/internal/flow"
+	"modab/internal/recovery"
 	"modab/internal/stack"
 	"modab/internal/types"
 	"modab/internal/wire"
@@ -45,6 +47,9 @@ const (
 	// message enters an empty accumulator, it seals whatever accumulated
 	// by cfg.Batch.MaxDelay later.
 	timerFlush engine.TimerID = 2
+	// timerRecover drives state-transfer retries after a crash-recovery
+	// restart.
+	timerRecover engine.TimerID = 3
 )
 
 // rediffuseGrace is how many decided instances a pending message may miss
@@ -68,7 +73,7 @@ type Layer struct {
 	// detection.
 	pending map[types.MsgID]pendingMsg
 	// delivered deduplicates adelivered messages per sender.
-	delivered map[types.ProcessID]*dedup
+	delivered dedup.Map
 	// nextDecide is the lowest instance not yet processed locally.
 	nextDecide uint64
 	// myProposed is the highest instance this process proposed.
@@ -83,6 +88,14 @@ type Layer struct {
 	// flow-control slot but not yet diffused — until a count, byte or age
 	// trigger seals the batch.
 	acc *batch.Accumulator
+	// rec tracks state-transfer progress after a crash-recovery restart;
+	// while active the layer does not propose (re-entering long-decided,
+	// peer-pruned instances could manufacture a conflicting decision).
+	rec recovery.Catchup
+	// recLastSeen is nextDecide at the last recovery-timer fire: the timer
+	// re-announces only when no progress happened in between, so a healthy
+	// transfer is not multiplied by periodic re-broadcasts.
+	recLastSeen uint64
 }
 
 var _ stack.Layer = (*Layer)(nil)
@@ -111,14 +124,70 @@ func (l *Layer) Init(ctx *stack.Context) {
 		l.acc = batch.NewAccumulator(l.cfg.Batch)
 	}
 	l.pending = make(map[types.MsgID]pendingMsg)
-	l.delivered = make(map[types.ProcessID]*dedup, l.n)
+	l.delivered = dedup.NewMap(l.n)
 	l.decisionsBuf = make(map[uint64]wire.Batch)
 	l.nextDecide = 1
+	if st := l.cfg.Recovered; st != nil {
+		// Adopt the replayed state: decided watermark, per-sender delivered
+		// suppression, the unordered own backlog (re-occupying its
+		// flow-control slots) and the resumed sequence numbering.
+		l.nextDecide = st.NextDecide
+		if st.Delivered != nil {
+			l.delivered = st.Delivered
+		}
+		seqs := make([]uint64, 0, len(st.Own))
+		for _, m := range st.Own {
+			seqs = append(seqs, m.ID.Seq)
+			l.pending[m.ID] = pendingMsg{msg: m, epoch: l.nextDecide}
+		}
+		var last uint64
+		if st.NextSeq > 0 {
+			last = st.NextSeq - 1
+		}
+		l.fc.Resume(last, seqs)
+	}
 }
 
-// Start implements stack.Layer.
+// Start implements stack.Layer. A recovered layer re-diffuses its
+// unordered own messages (already logged — no re-persist), announces
+// itself, and catches up on missed decisions before proposing anything.
 func (l *Layer) Start() {
+	if st := l.cfg.Recovered; st != nil {
+		c := l.ctx.Env().Counters()
+		c.Recoveries.Add(1)
+		c.RecoveryReplayedMsgs.Add(st.ReplayedMsgs)
+		if len(st.Own) > 0 {
+			c.PayloadBytesSent.Add(int64(st.Own.PayloadBytes() * (l.n - 1)))
+			w := wire.GetWriter(1 + st.Own.WireSize())
+			wire.AppendBatchFrame(w, st.Own)
+			l.ctx.NetSendAll(w.Bytes())
+			wire.PutWriter(w)
+		}
+		if l.n > 1 {
+			l.rec.Begin(l.ctx.Env().Now(), recovery.Quorum(l.n))
+			l.recLastSeen = l.nextDecide
+			l.sendRecoverReq(types.Nobody)
+			if l.cfg.ResendEvery > 0 {
+				l.ctx.SetTimer(timerRecover, l.cfg.ResendEvery)
+			}
+		} else {
+			l.maybeStartConsensus()
+		}
+	}
 	l.armKick()
+}
+
+// sendRecoverReq sends a state-transfer request — to one peer, or to all
+// of them when to is types.Nobody (announce/retry).
+func (l *Layer) sendRecoverReq(to types.ProcessID) {
+	w := wire.GetWriter(16)
+	wire.AppendRecoverReqFrame(w, wire.RecoverReq{From: l.nextDecide})
+	if to == types.Nobody {
+		l.ctx.NetSendAll(w.Bytes())
+	} else {
+		l.ctx.NetSend(to, w.Bytes())
+	}
+	wire.PutWriter(w)
 }
 
 // Pending returns the number of known, unordered messages, including any
@@ -148,6 +217,11 @@ func (l *Layer) Abcast(body []byte) (types.MsgID, error) {
 	c.ABCast.Add(1)
 	c.Dispatches.Add(1) // application downcall into the stack
 	if l.acc == nil {
+		if l.cfg.Persist != nil {
+			// Write-ahead of the first diffusion: nothing reaches the wire
+			// that a restarted incarnation would not find in its log.
+			l.cfg.Persist.PersistAdmit(wire.Batch{msg})
+		}
 		l.pending[id] = pendingMsg{msg: msg, epoch: l.nextDecide}
 		c.PayloadBytesSent.Add(int64(len(body) * (l.n - 1)))
 		l.diffuseOne(msg)
@@ -173,6 +247,12 @@ func (l *Layer) Abcast(body []byte) (types.MsgID, error) {
 // every message becomes pending, the batch is diffused as one frame, and
 // consensus is (re)started.
 func (l *Layer) ingestBatch(b wire.Batch) {
+	if l.cfg.Persist != nil {
+		// Write-ahead of the batch's first diffusion. Messages still inside
+		// the accumulator are not yet durable — their sequence numbers never
+		// reached the wire, so a crash simply forgets them.
+		l.cfg.Persist.PersistAdmit(b)
+	}
 	c := l.ctx.Env().Counters()
 	c.SenderBatches.Add(1)
 	c.SenderBatchedMsgs.Add(int64(len(b)))
@@ -198,8 +278,25 @@ func (l *Layer) diffuseOne(m wire.AppMsg) {
 }
 
 // Receive implements stack.Layer: a diffused message or batch from a
-// peer. Both frame kinds decode to a batch, so one path handles both.
+// peer (both decode to a batch, so one path handles both), or a
+// state-transfer frame of the crash-recovery protocol.
 func (l *Layer) Receive(from types.ProcessID, data []byte) error {
+	switch wire.FrameKind(data) {
+	case wire.FrameRecoverReq:
+		req, err := wire.UnmarshalRecoverReq(data)
+		if err != nil {
+			return fmt.Errorf("abcast: bad recover-req from %s: %w", from, err)
+		}
+		l.handleRecoverReq(from, req)
+		return nil
+	case wire.FrameRecoverResp:
+		resp, err := wire.UnmarshalRecoverResp(data)
+		if err != nil {
+			return fmt.Errorf("abcast: bad recover-resp from %s: %w", from, err)
+		}
+		l.handleRecoverResp(from, resp)
+		return nil
+	}
 	b, err := wire.UnmarshalFrame(data)
 	if err != nil {
 		return fmt.Errorf("abcast: bad diffuse from %s: %w", from, err)
@@ -217,9 +314,81 @@ func (l *Layer) Receive(from types.ProcessID, data []byte) error {
 	return nil
 }
 
+// handleRecoverReq serves a restarted peer a chunk of decided instances
+// from the local write-ahead log. The layer itself retains no decided
+// batches (decisions live behind the consensus black box), so without a
+// log it can only report its decided horizon and let another peer serve
+// the data.
+func (l *Layer) handleRecoverReq(from types.ProcessID, req wire.RecoverReq) {
+	resp := wire.RecoverResp{UpTo: l.nextDecide - 1}
+	end := recovery.ChunkEnd(req.From, resp.UpTo)
+	for k := req.From; end > 0 && k <= end && l.cfg.Persist != nil; k++ {
+		batch, ok := l.cfg.Persist.ReadDecision(k)
+		if !ok {
+			break // can't serve a contiguous run past this point
+		}
+		resp.Decisions = append(resp.Decisions, wire.DecidedInstance{K: k, Batch: batch})
+	}
+	c := l.ctx.Env().Counters()
+	c.Retransmissions.Add(1)
+	for _, d := range resp.Decisions {
+		c.PayloadBytesSent.Add(int64(d.Batch.PayloadBytes()))
+	}
+	w := wire.GetWriter(16)
+	wire.AppendRecoverRespFrame(w, resp)
+	l.ctx.NetSend(from, w.Bytes())
+	wire.PutWriter(w)
+}
+
+// handleRecoverResp applies a state-transfer chunk through the normal
+// decision path (persisted, adelivered, deduplicated), then either
+// completes the catch-up or pulls the next chunk from the same peer.
+func (l *Layer) handleRecoverResp(from types.ProcessID, resp wire.RecoverResp) {
+	if !l.rec.Active() {
+		return // stale response from an earlier recovery
+	}
+	l.rec.Observe(from, resp.UpTo)
+	c := l.ctx.Env().Counters()
+	before := l.nextDecide
+	for _, d := range resp.Decisions {
+		if d.K < l.nextDecide {
+			continue // already applied (replay, buffered decision, racing chunk)
+		}
+		c.RecoveryFetchedMsgs.Add(int64(len(d.Batch)))
+		l.Event(stack.Event{Kind: stack.EvDecide, Instance: d.K, Batch: d.Batch})
+	}
+	if dur, done := l.rec.MaybeFinish(l.nextDecide, l.ctx.Env().Now()); done {
+		c.RecoveryNanos.Add(dur.Nanoseconds())
+		l.ctx.CancelTimer(timerRecover)
+		l.finishRecovery()
+		return
+	}
+	// Pull the next chunk only from a peer whose response advanced us:
+	// the broadcast announce fans out to everyone, and without this gate
+	// every responder would ship the same backlog in parallel.
+	if l.nextDecide > before && l.nextDecide <= l.rec.Target() {
+		l.sendRecoverReq(from)
+	}
+}
+
+// finishRecovery resumes normal operation after catch-up: pending-set
+// staleness restarts from here (the fetched instances could not have
+// ordered what only this process holds), and proposing is allowed again.
+func (l *Layer) finishRecovery() {
+	for id, p := range l.pending {
+		p.epoch = l.nextDecide
+		l.pending[id] = p
+	}
+	l.maybeStartConsensus()
+	l.armKick()
+}
+
 // maybeStartConsensus proposes the current pending set for the next
 // undecided instance, unless a proposal of ours is still in flight.
 func (l *Layer) maybeStartConsensus() {
+	if l.rec.Active() {
+		return // never propose while catching up on missed decisions
+	}
 	if l.myProposed >= l.nextDecide {
 		return // consensus running
 	}
@@ -274,8 +443,13 @@ func (l *Layer) Event(ev stack.Event) {
 }
 
 // processDecision adelivers a decided batch in deterministic order,
-// releases flow-control slots, and re-diffuses stale survivors.
+// releases flow-control slots, and re-diffuses stale survivors. With
+// durability enabled the decision is logged first — write-ahead of the
+// deliveries it implies.
 func (l *Layer) processDecision(k uint64, batch wire.Batch) {
+	if l.cfg.Persist != nil {
+		l.cfg.Persist.PersistDecision(k, batch)
+	}
 	l.lastProgress = l.ctx.Env().Now()
 	ordered := make(wire.Batch, len(batch))
 	copy(ordered, batch)
@@ -298,7 +472,14 @@ func (l *Layer) processDecision(k uint64, batch wire.Batch) {
 	// Survivor re-diffusion: a pending message that predates several
 	// decided instances was missed by the coordinator — the only causes
 	// are a sender crash mid-diffusion or extreme reordering. Re-diffuse
-	// so the next proposal includes it.
+	// so the next proposal includes it. Suppressed during state-transfer
+	// catch-up: the fetched (old) instances could never contain the
+	// replayed backlog, so the staleness rule would re-broadcast it every
+	// few applied chunks for nothing — finishRecovery restarts the epochs
+	// instead.
+	if l.rec.Active() {
+		return
+	}
 	for _, id := range l.sortedPendingIDs() {
 		p := l.pending[id]
 		if k >= p.epoch && k-p.epoch >= rediffuseGrace {
@@ -325,6 +506,21 @@ func (l *Layer) Timer(id engine.TimerID) {
 		if b := l.acc.Flush(); len(b) > 0 {
 			l.ingestBatch(b)
 			l.armKick()
+		}
+		return
+	}
+	if id == timerRecover {
+		if l.rec.Active() {
+			// Re-announce only when the transfer stalled since the last
+			// fire — a lost request/response or a dead serving peer; a
+			// healthy chunk chain re-arms without extra broadcasts.
+			if l.nextDecide == l.recLastSeen {
+				l.sendRecoverReq(types.Nobody)
+			}
+			l.recLastSeen = l.nextDecide
+			if l.cfg.ResendEvery > 0 {
+				l.ctx.SetTimer(timerRecover, l.cfg.ResendEvery)
+			}
 		}
 		return
 	}
@@ -384,42 +580,8 @@ func (l *Layer) sortedPendingIDs() []types.MsgID {
 	return ids
 }
 
-// dedup suppresses duplicate deliveries per sender with a contiguous
-// watermark plus sparse set (bounded memory on long runs).
-type dedup struct {
-	watermark uint64
-	sparse    map[uint64]struct{}
-}
+// isDelivered and markDelivered wrap the shared per-sender suppressor
+// (internal/dedup; crash recovery rebuilds it from the replayed log).
+func (l *Layer) isDelivered(id types.MsgID) bool { return l.delivered.Seen(id) }
 
-func (l *Layer) dedupFor(sender types.ProcessID) *dedup {
-	d := l.delivered[sender]
-	if d == nil {
-		d = &dedup{sparse: make(map[uint64]struct{})}
-		l.delivered[sender] = d
-	}
-	return d
-}
-
-func (l *Layer) isDelivered(id types.MsgID) bool {
-	d := l.dedupFor(id.Sender)
-	if id.Seq <= d.watermark {
-		return true
-	}
-	_, ok := d.sparse[id.Seq]
-	return ok
-}
-
-func (l *Layer) markDelivered(id types.MsgID) {
-	d := l.dedupFor(id.Sender)
-	if id.Seq <= d.watermark {
-		return
-	}
-	d.sparse[id.Seq] = struct{}{}
-	for {
-		if _, ok := d.sparse[d.watermark+1]; !ok {
-			break
-		}
-		delete(d.sparse, d.watermark+1)
-		d.watermark++
-	}
-}
+func (l *Layer) markDelivered(id types.MsgID) { l.delivered.Mark(id) }

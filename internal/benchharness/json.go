@@ -1,0 +1,66 @@
+package benchharness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// ReportSchema versions the machine-readable benchmark output; bump it on
+// breaking shape changes so trajectory tooling can dispatch.
+const ReportSchema = "modab-bench/v1"
+
+// Report is the machine-readable form of one abbench run: every figure's
+// points plus the recovery sweep, under a versioned schema — the input of
+// BENCH_*.json performance-trajectory tracking.
+type Report struct {
+	Schema      string          `json:"schema"`
+	GeneratedAt time.Time       `json:"generated_at"`
+	Options     ReportOptions   `json:"options"`
+	Figures     []Figure        `json:"figures,omitempty"`
+	Recovery    *RecoveryFigure `json:"recovery,omitempty"`
+}
+
+// ReportOptions records the sweep parameters the numbers were produced
+// under, so two reports are comparable (or visibly not).
+type ReportOptions struct {
+	WarmupSec   float64 `json:"warmup_sec"`
+	MeasureSec  float64 `json:"measure_sec"`
+	Repetitions int     `json:"repetitions"`
+	Seed        int64   `json:"seed"`
+	BatchMsgs   int     `json:"batch_msgs,omitempty"`
+	BatchBytes  int     `json:"batch_bytes,omitempty"`
+}
+
+// NewReport assembles a report from run options and results.
+func NewReport(opts RunOptions, figs []Figure, rec *RecoveryFigure) Report {
+	opts = opts.withDefaults()
+	return Report{
+		Schema:      ReportSchema,
+		GeneratedAt: time.Now().UTC(),
+		Options: ReportOptions{
+			WarmupSec:   opts.Warmup.Seconds(),
+			MeasureSec:  opts.Measure.Seconds(),
+			Repetitions: opts.Repetitions,
+			Seed:        opts.Seed,
+			BatchMsgs:   opts.Batch.MaxMsgs,
+			BatchBytes:  opts.Batch.MaxBytes,
+		},
+		Figures:  figs,
+		Recovery: rec,
+	}
+}
+
+// WriteJSON writes the report to path (pretty-printed, trailing newline).
+func WriteJSON(path string, r Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchharness: encode report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("benchharness: write report: %w", err)
+	}
+	return nil
+}

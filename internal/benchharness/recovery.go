@@ -1,0 +1,123 @@
+package benchharness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"modab/internal/netsim"
+	"modab/internal/stats"
+	"modab/internal/types"
+)
+
+// RecoveryPoint is one measured crash-recovery configuration: a node of a
+// loaded, durable cluster crashes mid-measurement and restarts after
+// DownTime; the point reports what its recovery cost — the axis the paper
+// never measured, extended here to the modularity question.
+type RecoveryPoint struct {
+	N           int
+	Stack       types.Stack
+	OfferedLoad float64       // msgs/s, global
+	Size        int           // bytes
+	DownTime    time.Duration // crash-to-restart gap (virtual)
+
+	ReplayedMsgs float64 // messages reconstructed from the local log
+	FetchedMsgs  float64 // messages fetched from peers during catch-up
+	RecoveryMs   float64 // catch-up latency, virtual ms (announce to caught-up)
+	RecoveryCI   float64 // 95% CI half-width across repetitions
+	Throughput   float64 // cluster throughput over the window, msgs/s
+}
+
+// RunRecoveryPoint measures one crash-recovery configuration, averaging
+// over repetitions.
+func RunRecoveryPoint(n int, stk types.Stack, load float64, size int, down time.Duration, opts RunOptions) (RecoveryPoint, error) {
+	opts = opts.withDefaults()
+	var replayed, fetched, recMs, thr stats.Welford
+	for rep := 0; rep < opts.Repetitions; rep++ {
+		lc, err := netsim.NewLoadedCluster(
+			netsim.Options{
+				N: n, Stack: stk, Seed: opts.Seed + int64(rep),
+				Model: opts.Model, Durable: true,
+			},
+			netsim.Workload{OfferedLoad: load, Size: size},
+			opts.Warmup, opts.Measure)
+		if err != nil {
+			return RecoveryPoint{}, err
+		}
+		victim := types.ProcessID(n - 1)
+		crashAt := opts.Warmup + opts.Measure/4
+		lc.Crash(victim, crashAt)
+		lc.Restart(victim, crashAt+down)
+		lc.Run(opts.Warmup + opts.Measure + time.Second)
+		if errs := lc.Errs(); len(errs) > 0 {
+			return RecoveryPoint{}, fmt.Errorf("engine error: %w", errs[0])
+		}
+		snap := lc.Counters(victim)
+		replayed.Add(float64(snap.RecoveryReplayedMsgs))
+		fetched.Add(float64(snap.RecoveryFetchedMsgs))
+		recMs.Add(float64(snap.RecoveryNanos) / 1e6)
+		thr.Add(lc.Recorder.Throughput())
+	}
+	return RecoveryPoint{
+		N:            n,
+		Stack:        stk,
+		OfferedLoad:  load,
+		Size:         size,
+		DownTime:     down,
+		ReplayedMsgs: replayed.Mean(),
+		FetchedMsgs:  fetched.Mean(),
+		RecoveryMs:   recMs.Mean(),
+		RecoveryCI:   recMs.CI95(),
+		Throughput:   thr.Mean(),
+	}, nil
+}
+
+// RecoveryFigure is the recovery-cost comparison: both stacks, both group
+// sizes, one crash-and-restart per run.
+type RecoveryFigure struct {
+	Title  string
+	Points []RecoveryPoint
+}
+
+// recoveryLoad and recoverySize pin the workload of the recovery sweep
+// (moderate load, small messages: the catch-up volume, not the link, is
+// the variable under study).
+const (
+	recoveryLoad = 1000
+	recoverySize = 1024
+)
+
+// recoveryDownTime is how long the crashed node stays down.
+const recoveryDownTime = 500 * time.Millisecond
+
+// FigRecovery measures the crash-recovery cost of both stacks: replayed
+// and fetched message counts and the catch-up latency of a node that was
+// down for half a second under load.
+func FigRecovery(opts RunOptions) (RecoveryFigure, error) {
+	fig := RecoveryFigure{
+		Title: fmt.Sprintf("Crash-recovery cost (load = %d msgs/s, size = %d B, downtime = %v)",
+			recoveryLoad, recoverySize, recoveryDownTime),
+	}
+	for _, n := range GroupSizes {
+		for _, stk := range Stacks {
+			p, err := RunRecoveryPoint(n, stk, recoveryLoad, recoverySize, recoveryDownTime, opts)
+			if err != nil {
+				return fig, err
+			}
+			fig.Points = append(fig.Points, p)
+		}
+	}
+	return fig, nil
+}
+
+// RenderRecovery writes the recovery figure as an aligned text table.
+func RenderRecovery(w io.Writer, fig RecoveryFigure) {
+	fmt.Fprintf(w, "recovery — %s\n", fig.Title)
+	fmt.Fprintf(w, "%-6s %-11s %10s %10s %12s %10s %14s\n",
+		"group", "stack", "replayed", "fetched", "recovery(ms)", "±95%CI", "thr(msg/s)")
+	for _, p := range fig.Points {
+		fmt.Fprintf(w, "%-6d %-11s %10.0f %10.0f %12.2f %10.2f %14.1f\n",
+			p.N, p.Stack, p.ReplayedMsgs, p.FetchedMsgs, p.RecoveryMs, p.RecoveryCI, p.Throughput)
+	}
+	fmt.Fprintln(w)
+}

@@ -7,18 +7,40 @@ package core
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"modab/internal/engine"
 	"modab/internal/netsim"
+	"modab/internal/recovery"
 	"modab/internal/runtime"
 	"modab/internal/stream"
 	"modab/internal/trace"
 	"modab/internal/transport"
 	"modab/internal/types"
+	"modab/internal/wal"
 )
+
+// DurabilityOptions enables the crash-recovery subsystem on the
+// real-time drivers: each process appends its admissions and consensus
+// decisions to a write-ahead log under Dir, and a restarted process
+// replays that log and performs state transfer before resuming (see
+// internal/recovery). A group places process i's log in Dir/p<i>; a
+// single TCP node logs directly in Dir.
+type DurabilityOptions struct {
+	// Dir is the root directory of the write-ahead log(s).
+	Dir string
+	// Log tunes the segmented log (fsync policy, segment size); the zero
+	// value means wal.SyncAlways with 4 MiB segments.
+	Log wal.Options
+}
+
+// open opens the log of process p under the configured root.
+func (d *DurabilityOptions) open(p types.ProcessID) (recovery.Store, error) {
+	return wal.Open(filepath.Join(d.Dir, fmt.Sprintf("p%d", p)), d.Log)
+}
 
 // DeliverFunc observes one adelivery at one process of a group.
 type DeliverFunc func(p types.ProcessID, d engine.Delivery)
@@ -41,18 +63,31 @@ type GroupOptions struct {
 	// OnDeliver, when set, observes every adelivery — a convenience
 	// adapter over the delivery stream (see Group.Deliveries).
 	OnDeliver DeliverFunc
+	// Durability, when non-nil, gives every node a write-ahead log under
+	// Durability.Dir and enables Group.Restart.
+	Durability *DurabilityOptions
 }
 
 // Group is a set of real-time nodes connected by an in-memory network —
 // the quickest way to use the library inside one OS process.
 type Group struct {
-	// mu guards nodes: Crash and Close nil out entries concurrently
+	// mu guards nodes: Crash, Restart and Close swap entries concurrently
 	// with submissions reading them.
 	mu    sync.RWMutex
 	nodes []*runtime.Node
 	net   *transport.MemNetwork
 	hub   *stream.Hub[engine.Event]
 	start time.Time
+
+	// lifecycle serializes Crash, Restart and Close with each other (but
+	// not with submissions): a Restart overlapping a Crash of the same
+	// process could otherwise reopen the write-ahead log while the dying
+	// incarnation is still appending to it.
+	lifecycle sync.Mutex
+
+	// stack and opts are retained so Restart can rebuild a node.
+	stack types.Stack
+	opts  GroupOptions
 
 	// streamDropped counts drops at group-level subscriptions, which are
 	// not attributable to one process; Stats folds it into the totals.
@@ -66,29 +101,17 @@ func NewGroup(n int, stack types.Stack, opts GroupOptions) (*Group, error) {
 		return nil, types.ErrEmptyGroup
 	}
 	net := transport.NewMemNetwork()
-	g := &Group{net: net, nodes: make([]*runtime.Node, n), start: time.Now()}
+	g := &Group{
+		net:   net,
+		nodes: make([]*runtime.Node, n),
+		start: time.Now(),
+		stack: stack,
+		opts:  opts,
+	}
 	g.hub = stream.NewHub[engine.Event](opts.DeliveryBuffer, opts.DeliveryOverflow,
 		func() { g.streamDropped.Add(1) })
 	for i := 0; i < n; i++ {
-		p := types.ProcessID(i)
-		cb := func(d engine.Delivery) {
-			if fn := opts.OnDeliver; fn != nil {
-				fn(p, d)
-			}
-			g.hub.Publish(engine.Event{P: p, D: d, At: time.Since(g.start)})
-		}
-		node, err := runtime.NewNode(runtime.Options{
-			Self:             p,
-			N:                n,
-			Stack:            stack,
-			Engine:           opts.Engine,
-			Transport:        net.Endpoint(p),
-			OnDeliver:        cb,
-			HeartbeatPeriod:  opts.HeartbeatPeriod,
-			SuspectTimeout:   opts.SuspectTimeout,
-			DeliveryBuffer:   opts.DeliveryBuffer,
-			DeliveryOverflow: opts.DeliveryOverflow,
-		})
+		node, err := g.startNode(types.ProcessID(i), net.Endpoint(types.ProcessID(i)))
 		if err != nil {
 			g.Close()
 			return nil, fmt.Errorf("core: start node %d: %w", i, err)
@@ -96,6 +119,75 @@ func NewGroup(n int, stack types.Stack, opts GroupOptions) (*Group, error) {
 		g.nodes[i] = node
 	}
 	return g, nil
+}
+
+// startNode builds one node of the group on the given transport endpoint,
+// opening its write-ahead log when durability is configured.
+func (g *Group) startNode(p types.ProcessID, ep transport.Transport) (*runtime.Node, error) {
+	var store recovery.Store
+	if g.opts.Durability != nil {
+		var err error
+		store, err = g.opts.Durability.open(p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cb := func(d engine.Delivery) {
+		if fn := g.opts.OnDeliver; fn != nil {
+			fn(p, d)
+		}
+		g.hub.Publish(engine.Event{P: p, D: d, At: time.Since(g.start)})
+	}
+	node, err := runtime.NewNode(runtime.Options{
+		Self:             p,
+		N:                len(g.nodes),
+		Stack:            g.stack,
+		Engine:           g.opts.Engine,
+		Transport:        ep,
+		Store:            store,
+		OnDeliver:        cb,
+		HeartbeatPeriod:  g.opts.HeartbeatPeriod,
+		SuspectTimeout:   g.opts.SuspectTimeout,
+		DeliveryBuffer:   g.opts.DeliveryBuffer,
+		DeliveryOverflow: g.opts.DeliveryOverflow,
+	})
+	if err != nil && store != nil {
+		_ = store.Close()
+	}
+	return node, err
+}
+
+// Restart brings a crashed process back — the crash-recovery model. It
+// requires GroupOptions.Durability: the new incarnation replays the
+// process's write-ahead log, announces itself, and catches up on missed
+// decisions via state transfer before resuming. The survivors' failure
+// detectors unsuspect it as soon as they hear from it again.
+func (g *Group) Restart(p int) error {
+	if p < 0 || p >= len(g.nodes) {
+		return fmt.Errorf("%w: p%d of a group of %d", types.ErrBadConfig, p+1, len(g.nodes))
+	}
+	if g.opts.Durability == nil {
+		return fmt.Errorf("%w: Restart requires GroupOptions.Durability", types.ErrBadConfig)
+	}
+	// Serialize against Crash/Close: the old incarnation must have fully
+	// released its write-ahead log before this one reopens it.
+	g.lifecycle.Lock()
+	defer g.lifecycle.Unlock()
+	g.mu.RLock()
+	running := g.nodes[p] != nil
+	g.mu.RUnlock()
+	if running {
+		return fmt.Errorf("%w: p%d is still running", types.ErrBadConfig, p+1)
+	}
+	pid := types.ProcessID(p)
+	node, err := g.startNode(pid, g.net.Reset(pid))
+	if err != nil {
+		return fmt.Errorf("core: restart node %d: %w", p, err)
+	}
+	g.mu.Lock()
+	g.nodes[p] = node
+	g.mu.Unlock()
+	return nil
 }
 
 // NewLocalGroup starts an n-process group running the given stack over an
@@ -184,11 +276,15 @@ func (g *Group) Stats() trace.Stats {
 }
 
 // Crash closes one node, simulating a crash-stop failure. The survivors'
-// failure detectors will suspect it after their timeout.
+// failure detectors will suspect it after their timeout. Crash returns
+// only after the node fully stopped (and, with durability, released its
+// write-ahead log), so a subsequent Restart finds the log quiescent.
 func (g *Group) Crash(p int) error {
 	if p < 0 || p >= len(g.nodes) {
 		return fmt.Errorf("%w: p%d of a group of %d", types.ErrBadConfig, p+1, len(g.nodes))
 	}
+	g.lifecycle.Lock()
+	defer g.lifecycle.Unlock()
 	g.mu.Lock()
 	node := g.nodes[p]
 	g.nodes[p] = nil
@@ -202,6 +298,8 @@ func (g *Group) Crash(p int) error {
 // Close shuts the whole group down and ends every delivery stream
 // (subscribers drain what is buffered, then see their channels closed).
 func (g *Group) Close() {
+	g.lifecycle.Lock()
+	defer g.lifecycle.Unlock()
 	g.mu.Lock()
 	nodes := make([]*runtime.Node, len(g.nodes))
 	copy(nodes, g.nodes)
@@ -238,13 +336,29 @@ type TCPNodeOptions struct {
 	// defaults (see runtime.Options).
 	DeliveryBuffer   int
 	DeliveryOverflow stream.Policy
+	// Durability, when non-nil, gives the node a write-ahead log directly
+	// under Durability.Dir (each process of a TCP group runs with its own
+	// directory) and makes a restarted process recover instead of
+	// rejoining empty-handed.
+	Durability *DurabilityOptions
 }
 
 // NewTCPNode starts one process of a group communicating over TCP — the
 // deployment used by cmd/abnode.
 func NewTCPNode(opts TCPNodeOptions) (*runtime.Node, error) {
+	var store recovery.Store
+	if opts.Durability != nil {
+		var err error
+		store, err = wal.Open(opts.Durability.Dir, opts.Durability.Log)
+		if err != nil {
+			return nil, err
+		}
+	}
 	tr, err := transport.NewTCP(opts.Self, opts.Addrs)
 	if err != nil {
+		if store != nil {
+			_ = store.Close()
+		}
 		return nil, err
 	}
 	node, err := runtime.NewNode(runtime.Options{
@@ -253,6 +367,7 @@ func NewTCPNode(opts TCPNodeOptions) (*runtime.Node, error) {
 		Stack:            opts.Stack,
 		Engine:           opts.Engine,
 		Transport:        tr,
+		Store:            store,
 		OnDeliver:        opts.OnDeliver,
 		HeartbeatPeriod:  opts.HeartbeatPeriod,
 		SuspectTimeout:   opts.SuspectTimeout,
@@ -261,6 +376,9 @@ func NewTCPNode(opts TCPNodeOptions) (*runtime.Node, error) {
 	})
 	if err != nil {
 		_ = tr.Close()
+		if store != nil {
+			_ = store.Close()
+		}
 		return nil, err
 	}
 	return node, nil

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"modab/internal/batch"
+	"modab/internal/dedup"
 	"modab/internal/trace"
 	"modab/internal/types"
 	"modab/internal/wire"
@@ -34,6 +35,9 @@ const (
 	// Config.Batch.MaxDelay after the first message entered an empty
 	// accumulator, sealing an undersized batch (see internal/batch).
 	TimerFlush TimerID = 3
+	// TimerRecover drives state-transfer retries while a restarted engine
+	// is catching up on missed decisions (crash-recovery subsystem).
+	TimerRecover TimerID = 4
 	// TimerUser is the first ID free for driver/application use.
 	TimerUser TimerID = 64
 )
@@ -88,6 +92,53 @@ type Env interface {
 	Deliver(d Delivery)
 	// Counters returns the per-process instrumentation sink.
 	Counters() *trace.Counters
+}
+
+// Persister is the durable-store hook the engines write through when
+// crash recovery is enabled (Config.Persist). Implementations — the
+// file-backed write-ahead log (internal/wal) and netsim's in-memory
+// simulated store — are injected by the drivers; a nil Persister means
+// the original crash-stop model (nothing survives a crash).
+//
+// Write-ahead contract: PersistAdmit must complete before the admitted
+// messages are first diffused, and PersistDecision before the decided
+// batch is adelivered. Implementations absorb their own I/O errors by
+// failing stop (a process that cannot persist must not keep running), so
+// the methods return nothing and engines never branch on storage state.
+type Persister interface {
+	// PersistAdmit records locally admitted application messages before
+	// they enter the ordering machinery.
+	PersistAdmit(b wire.Batch)
+	// PersistDecision records one decided consensus instance before its
+	// batch is adelivered.
+	PersistDecision(k uint64, b wire.Batch)
+	// ReadDecision fetches a previously persisted decision, serving
+	// state-transfer requests that fall behind the engine's in-memory
+	// retention horizon. ok is false when the instance is unknown.
+	ReadDecision(k uint64) (wire.Batch, bool)
+}
+
+// RecoveredState seeds a restarting engine with the state replayed from
+// its write-ahead log (internal/recovery builds it). A nil state — or a
+// fresh, empty log — means a first boot.
+type RecoveredState struct {
+	// NextDecide is the lowest consensus instance not yet decided locally
+	// (the replayed decided watermark + 1).
+	NextDecide uint64
+	// Delivered is the reconstructed per-sender duplicate suppressor: the
+	// engine adopts it so replayed messages are never adelivered twice.
+	Delivered dedup.Map
+	// Own holds this process's admitted-but-unordered messages: logged by
+	// PersistAdmit but absent from every replayed decision. The engine
+	// re-injects them into the ordering path after the restart.
+	Own wire.Batch
+	// NextSeq is the next local abcast sequence number to assign; resuming
+	// above every logged sequence number is what makes a restarted
+	// process's message IDs unambiguous.
+	NextSeq uint64
+	// ReplayedMsgs counts the adelivered messages reconstructed from the
+	// log (feeds trace.Counters.RecoveryReplayedMsgs).
+	ReplayedMsgs int64
 }
 
 // Engine is a deterministic protocol state machine implementing atomic
@@ -148,6 +199,16 @@ type Config struct {
 	// The zero value disables it (one diffusion per message, the paper's
 	// original behavior). Both stacks honor it identically.
 	Batch batch.Config
+	// Persist, when non-nil, enables the crash-recovery subsystem: the
+	// engine writes admissions and decisions through it ahead of acting on
+	// them. Driver-injected (see internal/wal and netsim's simulated
+	// store), not a user tunable.
+	Persist Persister
+	// Recovered, when non-nil, seeds the engine with the state replayed
+	// from its durable store; the engine then performs state transfer for
+	// the decisions it missed while down before resuming normal operation.
+	// Driver-injected.
+	Recovered *RecoveredState
 }
 
 // DefaultWindow returns the per-process flow-control window used by both

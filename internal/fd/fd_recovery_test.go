@@ -1,0 +1,92 @@
+package fd
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"modab/internal/types"
+)
+
+// transitionLog records suspicion changes for one peer and verifies the
+// exactly-once-per-transition contract.
+type transitionLog struct {
+	mu      sync.Mutex
+	changes []bool
+}
+
+func (l *transitionLog) onChange(p types.ProcessID, suspected bool) {
+	if p != 1 {
+		return
+	}
+	l.mu.Lock()
+	l.changes = append(l.changes, suspected)
+	l.mu.Unlock()
+}
+
+func (l *transitionLog) snapshot() []bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]bool(nil), l.changes...)
+}
+
+// TestHeardUnsuspectsExactlyOnce is the failure-detector half of the
+// crash-recovery path: a peer that was suspected (it crashed) and is then
+// heard from again (it restarted and announced itself) must be
+// unsuspected, and each suspicion change must be reported exactly once —
+// no matter how many heartbeats the recovered peer sends afterwards.
+func TestHeardUnsuspectsExactlyOnce(t *testing.T) {
+	log := &transitionLog{}
+	h := NewHeartbeat(0, 2, 5*time.Millisecond, 25*time.Millisecond, func(types.ProcessID) {})
+	h.Start(log.onChange)
+	defer h.Close()
+
+	// Silence: p1 must be reported suspected (once).
+	waitTransitions(t, log, []bool{true})
+	if s := h.Suspects(); len(s) != 1 || s[0] != 1 {
+		t.Fatalf("Suspects = %v, want [p2]", s)
+	}
+
+	// The recovered peer is heard repeatedly — e.g. its recovery announce
+	// followed by a burst of heartbeats. Exactly one unsuspected report.
+	for i := 0; i < 10; i++ {
+		h.Heard(1)
+	}
+	waitTransitions(t, log, []bool{true, false})
+	if s := h.Suspects(); len(s) != 0 {
+		t.Fatalf("Suspects after recovery = %v, want none", s)
+	}
+
+	// Give the checker a few periods to emit a spurious duplicate, then
+	// let silence re-suspect: the log must read exactly true, false, true.
+	time.Sleep(15 * time.Millisecond)
+	if got := log.snapshot(); len(got) != 2 {
+		t.Fatalf("changes after steady recovery = %v, want [true false]", got)
+	}
+	waitTransitions(t, log, []bool{true, false, true})
+}
+
+// waitTransitions polls until the transition log equals want, failing on
+// any divergence or timeout.
+func waitTransitions(t *testing.T, log *transitionLog, want []bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := log.snapshot()
+		for i := range got {
+			if i >= len(want) || got[i] != want[i] {
+				t.Fatalf("transitions = %v, want prefix of %v", got, want)
+			}
+			if i > 0 && got[i] == got[i-1] {
+				t.Fatalf("duplicate transition report: %v", got)
+			}
+		}
+		if len(got) == len(want) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: transitions = %v, want %v", got, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

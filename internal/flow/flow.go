@@ -50,6 +50,22 @@ func (c *Controller) Window() int { return c.window }
 // adelivered.
 func (c *Controller) InFlight() int { return len(c.inFlight) }
 
+// Resume restores the controller after a crash-recovery restart: sequence
+// assignment continues at lastSeq+1 — never reusing a sequence number that
+// any previous incarnation may have put on the wire — and the given
+// sequence numbers (the replayed admitted-but-unordered own messages)
+// re-occupy their window slots until their adeliveries release them. It
+// may leave the controller over-committed when the replayed backlog
+// exceeds the window; Admit then blocks until deliveries drain it.
+func (c *Controller) Resume(lastSeq uint64, inFlight []uint64) {
+	if lastSeq > c.nextSeq {
+		c.nextSeq = lastSeq
+	}
+	for _, seq := range inFlight {
+		c.inFlight[seq] = struct{}{}
+	}
+}
+
 // Admit reserves a window slot and assigns the next message ID. It returns
 // types.ErrFlowControl when the window is full.
 func (c *Controller) Admit() (types.MsgID, error) {

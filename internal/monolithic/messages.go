@@ -34,6 +34,12 @@ const (
 	mDecisionReq
 	// mDecisionFull answers mDecisionReq.
 	mDecisionFull
+	// mRecoverReq announces a restarted process and asks for the decided
+	// instances it missed, starting at Instance (its decided watermark + 1).
+	mRecoverReq
+	// mRecoverResp answers mRecoverReq with the responder's decided horizon
+	// (UpTo) and a contiguous chunk of decided instances.
+	mRecoverResp
 )
 
 // String implements fmt.Stringer.
@@ -55,6 +61,10 @@ func (t mtype) String() string {
 		return "decision-req"
 	case mDecisionFull:
 		return "decision-full"
+	case mRecoverReq:
+		return "recover-req"
+	case mRecoverResp:
+		return "recover-resp"
 	default:
 		return fmt.Sprintf("mtype(%d)", uint8(t))
 	}
@@ -81,6 +91,11 @@ type message struct {
 	// Piggyback carries the sender's unordered messages on an estimate
 	// (mEstimate); mAckDiff uses Batch for the same purpose.
 	Piggyback wire.Batch
+	// UpTo is the responder's highest contiguously decided instance and
+	// Decisions the served chunk (mRecoverResp; Instance echoes the
+	// requested starting instance).
+	UpTo      uint64
+	Decisions []wire.DecidedInstance
 }
 
 // marshal encodes the message through a pooled writer scratch buffer and
@@ -90,6 +105,9 @@ type message struct {
 // the hot path.
 func (m message) marshal() []byte {
 	size := 1 + 8 + 4 + m.Batch.WireSize() + m.Piggyback.WireSize() + 32
+	for _, d := range m.Decisions {
+		size += d.WireSize()
+	}
 	w := wire.GetWriter(size)
 	defer wire.PutWriter(w)
 	m.marshalTo(w)
@@ -115,7 +133,13 @@ func (m message) marshalTo(w *wire.Writer) {
 		w.Bool(m.HasValue)
 		m.Batch.Marshal(w)
 		m.Piggyback.Marshal(w)
-	case mNack, mDecisionOnly, mDecisionReq:
+	case mRecoverResp:
+		w.Uint64(m.UpTo)
+		w.Uint32(uint32(len(m.Decisions)))
+		for _, d := range m.Decisions {
+			d.Marshal(w)
+		}
+	case mNack, mDecisionOnly, mDecisionReq, mRecoverReq:
 		// Header only.
 	}
 }
@@ -139,7 +163,16 @@ func unmarshalMessage(data []byte) (message, error) {
 		m.HasValue = r.Bool()
 		m.Batch = wire.UnmarshalBatch(r)
 		m.Piggyback = wire.UnmarshalBatch(r)
-	case mNack, mDecisionOnly, mDecisionReq:
+	case mRecoverResp:
+		m.UpTo = r.Uint64()
+		n := r.Uint32()
+		if r.Err() == nil && n > wire.MaxChunk/16 {
+			return message{}, fmt.Errorf("monolithic: recover-resp of %d decisions", n)
+		}
+		for i := uint32(0); i < n && r.Err() == nil; i++ {
+			m.Decisions = append(m.Decisions, wire.UnmarshalDecidedInstance(r))
+		}
+	case mNack, mDecisionOnly, mDecisionReq, mRecoverReq:
 		// Header only.
 	default:
 		return message{}, fmt.Errorf("monolithic: unknown message type %d", uint8(m.Type))

@@ -29,8 +29,10 @@ import (
 	"time"
 
 	"modab/internal/batch"
+	"modab/internal/dedup"
 	"modab/internal/engine"
 	"modab/internal/flow"
+	"modab/internal/recovery"
 	"modab/internal/types"
 	"modab/internal/wire"
 )
@@ -58,7 +60,7 @@ type Engine struct {
 	// (its own plus those piggybacked to it).
 	pool map[types.MsgID]wire.AppMsg
 	// delivered deduplicates adeliveries per sender.
-	delivered map[types.ProcessID]*dedup
+	delivered dedup.Map
 	// decidedK is the highest instance decided locally; instances decide
 	// strictly in order.
 	decidedK uint64
@@ -80,6 +82,14 @@ type Engine struct {
 	// but not yet in own/pool — until a count, byte or age trigger seals
 	// the batch and ingestBatch hands it to the ordering machinery.
 	acc *batch.Accumulator
+	// rec tracks state-transfer progress after a crash-recovery restart;
+	// while active the engine neither proposes nor advances rounds (a
+	// recovering process re-entering long-decided instances could
+	// manufacture a conflicting decision).
+	rec recovery.Catchup
+	// recLastSeen is decidedK at the last recovery-timer fire: the timer
+	// re-announces only when no progress happened in between.
+	recLastSeen uint64
 }
 
 var _ engine.Engine = (*Engine)(nil)
@@ -133,21 +143,75 @@ func New(env engine.Env, cfg engine.Config) *Engine {
 		fc:        flow.NewController(env.Self(), cfg.EffectiveWindow()),
 		own:       make(map[uint64]*ownMsg),
 		pool:      make(map[types.MsgID]wire.AppMsg),
-		delivered: make(map[types.ProcessID]*dedup, env.N()),
+		delivered: dedup.NewMap(env.N()),
 		insts:     make(map[uint64]*inst),
 		suspected: make(map[types.ProcessID]bool),
 	}
 	if cfg.Batch.Enabled() {
 		e.acc = batch.NewAccumulator(cfg.Batch)
 	}
+	if st := cfg.Recovered; st != nil {
+		// Adopt the replayed state: the decided watermark, the per-sender
+		// delivered suppression, the unordered own backlog (re-occupying
+		// its flow-control slots) and the resumed sequence numbering.
+		e.decidedK = st.NextDecide - 1
+		if st.Delivered != nil {
+			e.delivered = st.Delivered
+		}
+		seqs := make([]uint64, 0, len(st.Own))
+		for _, m := range st.Own {
+			seqs = append(seqs, m.ID.Seq)
+			e.own[m.ID.Seq] = &ownMsg{msg: m}
+			e.pool[m.ID] = m
+		}
+		var last uint64
+		if st.NextSeq > 0 {
+			last = st.NextSeq - 1
+		}
+		e.fc.Resume(last, seqs)
+	}
 	return e
 }
 
-// Start implements engine.Engine.
+// Start implements engine.Engine. A recovered engine announces itself and
+// begins state transfer before proposing anything.
 func (e *Engine) Start() {
 	e.started = true
 	e.pipelineIdle = true
+	if st := e.cfg.Recovered; st != nil {
+		c := e.env.Counters()
+		c.Recoveries.Add(1)
+		c.RecoveryReplayedMsgs.Add(st.ReplayedMsgs)
+		if e.n > 1 {
+			e.rec.Begin(e.env.Now(), recovery.Quorum(e.n))
+			e.recLastSeen = e.decidedK
+			e.sendAll(message{Type: mRecoverReq, Instance: e.decidedK + 1})
+			if e.cfg.ResendEvery > 0 {
+				e.env.SetTimer(engine.TimerRecover, e.cfg.ResendEvery)
+			}
+			// Re-inject the replayed own backlog: forward it to the current
+			// coordinator now (the paper's bootstrap path) so its ordering
+			// does not depend on the idle-kick timer being enabled.
+			e.forwardRecoveredOwn()
+		} else {
+			e.tryPropose()
+		}
+	}
 	e.armKick()
+}
+
+// forwardRecoveredOwn pushes the admitted-but-unordered messages of the
+// previous incarnation toward the current coordinator (when that is not
+// this process — a coordinating self proposes them via tryPropose after
+// catch-up, since the pool already holds them).
+func (e *Engine) forwardRecoveredOwn() {
+	if len(e.own) == 0 {
+		return
+	}
+	cur := e.current()
+	if coord := e.coordinator(cur.round); coord != e.self {
+		e.forwardOwn(cur, coord)
+	}
 }
 
 // Pending implements engine.Engine: unordered messages known locally,
@@ -187,7 +251,7 @@ func (e *Engine) get(k uint64) *inst {
 		coord:     make(map[uint32]*coordRound),
 	}
 	e.insts[k] = in
-	for e.suspected[e.coordinator(in.round)] {
+	for !e.rec.Active() && e.suspected[e.coordinator(in.round)] {
 		e.advanceRound(in)
 	}
 	return in
@@ -232,7 +296,12 @@ func (e *Engine) Abcast(body []byte) (types.MsgID, error) {
 // ingestBatch hands locally submitted messages to the ordering machinery:
 // they join own and the pool, and the coordinator/forward step runs once
 // for the whole batch (§4.2's piggybacking then carries them together).
+// With durability enabled the batch is logged first — write-ahead of its
+// first appearance on the wire.
 func (e *Engine) ingestBatch(b wire.Batch) {
+	if e.cfg.Persist != nil {
+		e.cfg.Persist.PersistAdmit(b)
+	}
 	for _, m := range b {
 		e.own[m.ID.Seq] = &ownMsg{msg: m}
 		// Own messages always join the local pool: inert while another
@@ -299,6 +368,9 @@ func (e *Engine) allOwn(k uint64) wire.Batch {
 // propose (round 1: its pool, estimate phase suppressed; rounds >= 2: the
 // locked estimate once a majority of estimates arrived).
 func (e *Engine) tryPropose() {
+	if e.rec.Active() {
+		return // never propose while catching up on missed decisions
+	}
 	cur := e.current()
 	if cur.decided {
 		return
@@ -452,6 +524,10 @@ func (e *Engine) HandleMessage(from types.ProcessID, data []byte) error {
 		e.handleDecisionReq(from, m)
 	case mDecisionFull:
 		e.handleDecisionFull(m)
+	case mRecoverReq:
+		e.handleRecoverReq(from, m)
+	case mRecoverResp:
+		e.handleRecoverResp(from, m)
 	default:
 		return fmt.Errorf("monolithic: unexpected message type %d from %s", uint8(m.Type), from)
 	}
@@ -593,6 +669,9 @@ func (e *Engine) applyRemoteDecision(from types.ProcessID, k uint64, round uint3
 // peer (upto itself is included: its announcement may have carried no
 // usable proposal).
 func (e *Engine) requestMissing(from types.ProcessID, upto uint64) {
+	if e.rec.Active() {
+		return // the bulk state transfer already covers the gap
+	}
 	c := e.env.Counters()
 	for k := e.decidedK + 1; k <= upto; k++ {
 		e.send(from, message{Type: mDecisionReq, Instance: k})
@@ -608,6 +687,12 @@ func (e *Engine) requestMissing(from types.ProcessID, upto uint64) {
 func (e *Engine) decide(in *inst, batch wire.Batch, r uint32) {
 	if in.decided || in.k != e.decidedK+1 {
 		return
+	}
+	if e.cfg.Persist != nil {
+		// Write-ahead: the decision reaches stable storage before any of
+		// its messages is adelivered, so a crash-recovery replay never
+		// misses a delivery it may have performed.
+		e.cfg.Persist.PersistDecision(in.k, batch)
 	}
 	in.decided = true
 	in.decision = batch
@@ -648,7 +733,12 @@ func (e *Engine) decide(in *inst, batch wire.Batch, r uint32) {
 	// Keep the pipeline moving: the next instance's coordinator proposes,
 	// piggybacking this decision (§4.1). If it has nothing to propose, the
 	// pipeline stops: flush the decision standalone so the idle tail still
-	// learns it (never taken under load).
+	// learns it (never taken under load). During state-transfer catch-up
+	// the decisions being applied are old news to every peer, so the
+	// keepalive is skipped.
+	if e.rec.Active() {
+		return
+	}
 	next := e.current()
 	if e.coordinator(next.round) == e.self {
 		e.tryPropose()
@@ -702,6 +792,79 @@ func (e *Engine) handleDecisionFull(m message) {
 	}
 }
 
+// handleRecoverReq serves a restarted peer a chunk of decided instances,
+// from memory while the instance is inside the retention horizon and from
+// the local write-ahead log beyond it.
+func (e *Engine) handleRecoverReq(from types.ProcessID, m message) {
+	resp := message{Type: mRecoverResp, Instance: m.Instance, UpTo: e.decidedK}
+	end := recovery.ChunkEnd(m.Instance, e.decidedK)
+	for k := m.Instance; end > 0 && k <= end; k++ {
+		batch, ok := e.lookupDecision(k)
+		if !ok {
+			break // can't serve a contiguous run past this point
+		}
+		resp.Decisions = append(resp.Decisions, wire.DecidedInstance{K: k, Batch: batch})
+	}
+	e.env.Counters().Retransmissions.Add(1)
+	e.send(from, resp)
+}
+
+// lookupDecision finds a decided batch in instance memory or the durable
+// log.
+func (e *Engine) lookupDecision(k uint64) (wire.Batch, bool) {
+	if in := e.insts[k]; in != nil && in.decided {
+		return in.decision, true
+	}
+	if e.cfg.Persist != nil {
+		return e.cfg.Persist.ReadDecision(k)
+	}
+	return nil, false
+}
+
+// handleRecoverResp applies a state-transfer chunk: every decision goes
+// through the normal decide path (persisted, adelivered, pruned), then
+// either the catch-up completes or the next chunk is pulled from the same
+// peer.
+func (e *Engine) handleRecoverResp(from types.ProcessID, m message) {
+	if !e.rec.Active() {
+		return // stale response from an earlier recovery
+	}
+	e.rec.Observe(from, m.UpTo)
+	c := e.env.Counters()
+	before := e.decidedK
+	for _, d := range m.Decisions {
+		if d.K != e.decidedK+1 {
+			continue // already applied (replay, cascade, or a racing chunk)
+		}
+		c.RecoveryFetchedMsgs.Add(int64(len(d.Batch)))
+		in := e.get(d.K)
+		e.decide(in, d.Batch, in.round)
+	}
+	if dur, done := e.rec.MaybeFinish(e.decidedK+1, e.env.Now()); done {
+		c.RecoveryNanos.Add(dur.Nanoseconds())
+		e.finishRecovery()
+		return
+	}
+	// Pull the next chunk only from a peer whose response advanced us:
+	// the broadcast announce fans out to everyone, and without this gate
+	// every responder would ship the same backlog in parallel.
+	if e.decidedK > before && e.decidedK+1 <= e.rec.Target() {
+		e.send(from, message{Type: mRecoverReq, Instance: e.decidedK + 1})
+	}
+}
+
+// finishRecovery resumes normal operation after catch-up: round
+// advancement deferred during recovery happens now, the surviving own
+// backlog is pushed toward the coordinator, and the engine may propose
+// again.
+func (e *Engine) finishRecovery() {
+	e.env.CancelTimer(engine.TimerRecover)
+	e.advanceSuspected()
+	e.tryPropose()
+	e.forwardRecoveredOwn()
+	e.armKick()
+}
+
 // HandleTimer implements engine.Engine.
 func (e *Engine) HandleTimer(id engine.TimerID) {
 	switch id {
@@ -711,6 +874,19 @@ func (e *Engine) HandleTimer(id engine.TimerID) {
 		e.kick()
 	case engine.TimerFlush:
 		e.flushBatch()
+	case engine.TimerRecover:
+		if e.rec.Active() {
+			// Re-announce only when the transfer stalled since the last
+			// fire — a lost request/response or a dead serving peer; a
+			// healthy chunk chain re-arms without extra broadcasts.
+			if e.decidedK == e.recLastSeen {
+				e.sendAll(message{Type: mRecoverReq, Instance: e.decidedK + 1})
+			}
+			e.recLastSeen = e.decidedK
+			if e.cfg.ResendEvery > 0 {
+				e.env.SetTimer(engine.TimerRecover, e.cfg.ResendEvery)
+			}
+		}
 	}
 }
 
@@ -785,11 +961,21 @@ func (e *Engine) armKick() {
 
 // Suspect implements engine.Engine: advance the current instance past
 // rounds whose coordinator is suspected (the only round-change trigger).
+// While catching up after a restart only the suspicion is recorded; the
+// advancement runs when recovery finishes.
 func (e *Engine) Suspect(p types.ProcessID, suspected bool) {
 	e.suspected[p] = suspected
-	if !suspected {
+	if !suspected || e.rec.Active() {
 		return
 	}
+	e.advanceSuspected()
+	e.tryPropose()
+	e.armKick()
+}
+
+// advanceSuspected moves every undecided instance past rounds whose
+// coordinator is currently suspected.
+func (e *Engine) advanceSuspected() {
 	keys := make([]uint64, 0, len(e.insts))
 	for k := range e.insts {
 		keys = append(keys, k)
@@ -801,8 +987,6 @@ func (e *Engine) Suspect(p types.ProcessID, suspected bool) {
 			e.advanceRound(in)
 		}
 	}
-	e.tryPropose()
-	e.armKick()
 }
 
 // prune drops instance state beyond the catch-up horizon.
@@ -819,17 +1003,24 @@ func (e *Engine) prune() {
 	}
 }
 
+// payloadBytes sums the application payload carried by one message.
+func (m message) payloadBytes() int {
+	pb := m.Batch.PayloadBytes() + m.Piggyback.PayloadBytes()
+	for _, d := range m.Decisions {
+		pb += d.Batch.PayloadBytes()
+	}
+	return pb
+}
+
 // send marshals and transmits one message, accounting payload bytes.
 func (e *Engine) send(to types.ProcessID, m message) {
-	pb := m.Batch.PayloadBytes() + m.Piggyback.PayloadBytes()
-	e.env.Counters().PayloadBytesSent.Add(int64(pb))
+	e.env.Counters().PayloadBytesSent.Add(int64(m.payloadBytes()))
 	e.env.Send(to, m.marshal())
 }
 
 // sendAll transmits one message to every other process.
 func (e *Engine) sendAll(m message) {
-	pb := m.Batch.PayloadBytes() + m.Piggyback.PayloadBytes()
-	e.env.Counters().PayloadBytesSent.Add(int64(pb * (e.n - 1)))
+	e.env.Counters().PayloadBytesSent.Add(int64(m.payloadBytes() * (e.n - 1)))
 	data := m.marshal()
 	for p := 0; p < e.n; p++ {
 		if types.ProcessID(p) == e.self {
@@ -839,42 +1030,8 @@ func (e *Engine) sendAll(m message) {
 	}
 }
 
-// dedup is the per-sender duplicate-delivery suppressor (watermark +
-// sparse set; bounded memory).
-type dedup struct {
-	watermark uint64
-	sparse    map[uint64]struct{}
-}
+// isDelivered and markDelivered wrap the shared per-sender suppressor
+// (internal/dedup; crash recovery rebuilds it from the replayed log).
+func (e *Engine) isDelivered(id types.MsgID) bool { return e.delivered.Seen(id) }
 
-func (e *Engine) dedupFor(sender types.ProcessID) *dedup {
-	d := e.delivered[sender]
-	if d == nil {
-		d = &dedup{sparse: make(map[uint64]struct{})}
-		e.delivered[sender] = d
-	}
-	return d
-}
-
-func (e *Engine) isDelivered(id types.MsgID) bool {
-	d := e.dedupFor(id.Sender)
-	if id.Seq <= d.watermark {
-		return true
-	}
-	_, ok := d.sparse[id.Seq]
-	return ok
-}
-
-func (e *Engine) markDelivered(id types.MsgID) {
-	d := e.dedupFor(id.Sender)
-	if id.Seq <= d.watermark {
-		return
-	}
-	d.sparse[id.Seq] = struct{}{}
-	for {
-		if _, ok := d.sparse[d.watermark+1]; !ok {
-			break
-		}
-		delete(d.sparse, d.watermark+1)
-		d.watermark++
-	}
-}
+func (e *Engine) markDelivered(id types.MsgID) { e.delivered.Mark(id) }

@@ -20,6 +20,7 @@ import (
 	"modab/internal/engine"
 	"modab/internal/modular"
 	"modab/internal/monolithic"
+	"modab/internal/recovery"
 	"modab/internal/stream"
 	"modab/internal/trace"
 	"modab/internal/types"
@@ -50,6 +51,10 @@ type Options struct {
 	// Note that stream.Block makes the simulation's Run stall in real
 	// time until the subscriber drains.
 	DeliveryOverflow stream.Policy
+	// Durable gives every process a simulated durable store (an in-memory
+	// write-ahead log that survives Crash), enabling Restart: crash-recovery
+	// scenarios then run fully deterministically under virtual time.
+	Durable bool
 }
 
 // Cluster is a simulated group of processes running one stack.
@@ -60,8 +65,11 @@ type Cluster struct {
 	seq   uint64
 	queue eventQueue
 	procs []*proc
-	rng   *rand.Rand
-	hub   *stream.Hub[engine.Event]
+	// stores are the per-process simulated durable stores (Options.Durable);
+	// they survive Crash, which is what makes Restart possible.
+	stores []*recovery.MemStore
+	rng    *rand.Rand
+	hub    *stream.Hub[engine.Event]
 	// streamDropped counts drops at cluster-level subscriptions; Stats
 	// folds it into the totals.
 	streamDropped atomic.Int64
@@ -162,24 +170,42 @@ func NewCluster(opts Options) (*Cluster, error) {
 	c.hub = stream.NewHub[engine.Event](opts.DeliveryBuffer, opts.DeliveryOverflow,
 		func() { c.streamDropped.Add(1) })
 	heap.Init(&c.queue)
+	if opts.Durable {
+		c.stores = make([]*recovery.MemStore, opts.N)
+		for i := range c.stores {
+			c.stores[i] = recovery.NewMemStore()
+			c.stores[i].PersistBoot()
+		}
+	}
 	for i := 0; i < opts.N; i++ {
 		p := &proc{
 			id:       types.ProcessID(i),
 			timerGen: make(map[engine.TimerID]uint64),
 		}
 		p.env = &simEnv{c: c, p: p}
-		switch opts.Stack {
-		case types.Modular:
-			p.eng = modular.New(p.env, opts.Engine)
-		case types.Monolithic:
-			p.eng = monolithic.New(p.env, opts.Engine)
-		}
+		p.eng = c.newEngine(p, nil)
 		c.procs[i] = p
 	}
 	for _, p := range c.procs {
 		c.exec(p, 0, 0, p.eng.Start)
 	}
 	return c, nil
+}
+
+// newEngine constructs the engine of process p, wiring its simulated
+// durable store (if any) and the recovered state of a restart.
+func (c *Cluster) newEngine(p *proc, recovered *engine.RecoveredState) engine.Engine {
+	cfg := c.opts.Engine
+	if c.stores != nil {
+		cfg.Persist = c.stores[p.id]
+	}
+	cfg.Recovered = recovered
+	switch c.opts.Stack {
+	case types.Monolithic:
+		return monolithic.New(p.env, cfg)
+	default:
+		return modular.New(p.env, cfg)
+	}
 }
 
 // Now returns the current virtual time.
@@ -312,6 +338,74 @@ func (c *Cluster) Crash(p types.ProcessID, at time.Duration) {
 				}
 				c.exec(qp, c.now, c.model.TimerPerFire, func() {
 					qp.eng.Suspect(p, true)
+				})
+			})
+		}
+	})
+}
+
+// Restart brings a crashed process back at the given time — the
+// crash-recovery model (Options.Durable required). The new incarnation
+// replays the process's simulated durable store, announces itself, and
+// performs state transfer from a live peer before resuming; the previous
+// incarnation's queued timers are invalidated, and every live process's
+// failure detector reports the recovered peer unsuspected after the
+// detection delay (the restarted process likewise suspects peers that are
+// still down).
+func (c *Cluster) Restart(p types.ProcessID, at time.Duration) {
+	c.At(at, func() {
+		pr := c.procs[p]
+		if !pr.crashed {
+			return
+		}
+		if c.stores == nil {
+			c.errs = append(c.errs, fmt.Errorf("sim t=%v %s: Restart requires Options.Durable", c.now, p))
+			return
+		}
+		st, err := recovery.ReplayState(c.stores[p], c.opts.N)
+		if err != nil {
+			c.errs = append(c.errs, fmt.Errorf("sim t=%v %s: replay: %w", c.now, p, err))
+			return
+		}
+		if st == nil {
+			// Crashed before logging anything: rejoin with empty state, but
+			// still as a restart — catch-up must run.
+			st = &engine.RecoveredState{NextDecide: 1, NextSeq: 1}
+		}
+		c.stores[p].PersistBoot()
+		// Invalidate every timer armed by the previous incarnation; queued
+		// fires carry the old generation and are dropped on dispatch.
+		for id := range pr.timerGen {
+			pr.timerGen[id]++
+		}
+		pr.crashed = false
+		pr.eng = c.newEngine(pr, st)
+		c.exec(pr, c.now, 0, pr.eng.Start)
+		// Failure detection: the survivors hear the recovered process and
+		// unsuspect it; the recovered process detects peers still down.
+		for _, q := range c.procs {
+			if q.id == p {
+				continue
+			}
+			qp := q
+			if qp.crashed {
+				down := qp.id
+				c.At(c.now+c.model.FDDetect, func() {
+					if pr.crashed {
+						return
+					}
+					c.exec(pr, c.now, c.model.TimerPerFire, func() {
+						pr.eng.Suspect(down, true)
+					})
+				})
+				continue
+			}
+			c.At(c.now+c.model.FDDetect, func() {
+				if qp.crashed {
+					return
+				}
+				c.exec(qp, c.now, c.model.TimerPerFire, func() {
+					qp.eng.Suspect(p, false)
 				})
 			})
 		}

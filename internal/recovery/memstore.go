@@ -1,0 +1,74 @@
+package recovery
+
+import "modab/internal/wire"
+
+// MemStore is the in-memory Store used by the deterministic simulator
+// (netsim's "simulated durable storage") and by engine tests: it survives
+// a simulated crash exactly the way a file-backed log survives a process
+// crash, with none of the I/O nondeterminism. Appends deep-copy their
+// batches so a recycled caller buffer cannot corrupt the log.
+type MemStore struct {
+	recs      []Rec
+	decisions map[uint64]wire.Batch
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{decisions: make(map[uint64]wire.Batch)}
+}
+
+// copyBatch clones a batch including its message bodies.
+func copyBatch(b wire.Batch) wire.Batch {
+	cp := make(wire.Batch, len(b))
+	for i, m := range b {
+		body := make([]byte, len(m.Body))
+		copy(body, m.Body)
+		cp[i] = wire.AppMsg{ID: m.ID, Body: body}
+	}
+	return cp
+}
+
+// PersistAdmit implements engine.Persister.
+func (s *MemStore) PersistAdmit(b wire.Batch) {
+	s.recs = append(s.recs, Rec{Kind: RecAdmit, Batch: copyBatch(b)})
+}
+
+// PersistBoot implements Store.
+func (s *MemStore) PersistBoot() {
+	s.recs = append(s.recs, Rec{Kind: RecBoot})
+}
+
+// PersistDecision implements engine.Persister.
+func (s *MemStore) PersistDecision(k uint64, b wire.Batch) {
+	cp := copyBatch(b)
+	s.recs = append(s.recs, Rec{Kind: RecDecision, Instance: k, Batch: cp})
+	s.decisions[k] = cp
+}
+
+// ReadDecision implements engine.Persister.
+func (s *MemStore) ReadDecision(k uint64) (wire.Batch, bool) {
+	b, ok := s.decisions[k]
+	return b, ok
+}
+
+// Replay implements Store.
+func (s *MemStore) Replay(fn func(r Rec) error) error {
+	for _, r := range s.recs {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync implements Store (memory is always "stable").
+func (s *MemStore) Sync() error { return nil }
+
+// Close implements Store; the store stays replayable afterwards, like a
+// log file outliving its process.
+func (s *MemStore) Close() error { return nil }
+
+// Len returns the number of appended records (tests).
+func (s *MemStore) Len() int { return len(s.recs) }

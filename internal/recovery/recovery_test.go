@@ -1,0 +1,177 @@
+package recovery
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"modab/internal/types"
+	"modab/internal/wire"
+)
+
+func msg(sender types.ProcessID, seq uint64, body string) wire.AppMsg {
+	return wire.AppMsg{ID: types.MsgID{Sender: sender, Seq: seq}, Body: []byte(body)}
+}
+
+func TestReplayStateEmpty(t *testing.T) {
+	st, err := ReplayState(NewMemStore(), 3)
+	if err != nil {
+		t.Fatalf("ReplayState: %v", err)
+	}
+	if st != nil {
+		t.Fatalf("empty store replayed to %+v, want nil", st)
+	}
+}
+
+func TestReplayStateBootOnly(t *testing.T) {
+	s := NewMemStore()
+	s.PersistBoot()
+	st, err := ReplayState(s, 3)
+	if err != nil {
+		t.Fatalf("ReplayState: %v", err)
+	}
+	if st == nil {
+		t.Fatal("boot-marked store replayed to nil — a crashed-at-boot process would rejoin as fresh")
+	}
+	if st.NextDecide != 1 || st.NextSeq != 1 || len(st.Own) != 0 {
+		t.Fatalf("boot-only state = %+v", st)
+	}
+}
+
+func TestReplayStateReconstruction(t *testing.T) {
+	s := NewMemStore()
+	s.PersistBoot()
+	// Local process 1 admits seqs 1..3; instances 1 and 2 decide seqs 1-2
+	// (plus peer traffic); seq 3 stays unordered.
+	s.PersistAdmit(wire.Batch{msg(1, 1, "a"), msg(1, 2, "b")})
+	s.PersistDecision(1, wire.Batch{msg(0, 1, "x"), msg(1, 1, "a")})
+	s.PersistAdmit(wire.Batch{msg(1, 3, "c")})
+	s.PersistDecision(2, wire.Batch{msg(1, 2, "b"), msg(2, 1, "y")})
+
+	st, err := ReplayState(s, 3)
+	if err != nil {
+		t.Fatalf("ReplayState: %v", err)
+	}
+	if st.NextDecide != 3 {
+		t.Errorf("NextDecide = %d, want 3", st.NextDecide)
+	}
+	if st.NextSeq != 4 {
+		t.Errorf("NextSeq = %d, want 4 (resume above every logged own seq)", st.NextSeq)
+	}
+	if st.ReplayedMsgs != 4 {
+		t.Errorf("ReplayedMsgs = %d, want 4", st.ReplayedMsgs)
+	}
+	if len(st.Own) != 1 || st.Own[0].ID.Seq != 3 || string(st.Own[0].Body) != "c" {
+		t.Errorf("Own = %v, want just p2#3", st.Own)
+	}
+	for _, id := range []types.MsgID{{Sender: 0, Seq: 1}, {Sender: 1, Seq: 1}, {Sender: 1, Seq: 2}, {Sender: 2, Seq: 1}} {
+		if !st.Delivered.Seen(id) {
+			t.Errorf("replayed delivered state misses %s", id)
+		}
+	}
+	if st.Delivered.Seen(types.MsgID{Sender: 1, Seq: 3}) {
+		t.Error("unordered own message marked delivered")
+	}
+}
+
+func TestReplayStateDecisionGap(t *testing.T) {
+	s := NewMemStore()
+	s.PersistDecision(1, wire.Batch{msg(0, 1, "x")})
+	s.PersistDecision(3, wire.Batch{msg(0, 2, "y")})
+	if _, err := ReplayState(s, 3); err == nil {
+		t.Fatal("gapped decision log replayed without error")
+	}
+}
+
+func TestReplayStateDuplicateDecisionTolerated(t *testing.T) {
+	s := NewMemStore()
+	s.PersistDecision(1, wire.Batch{msg(0, 1, "x")})
+	s.PersistDecision(1, wire.Batch{msg(0, 1, "x")})
+	s.PersistDecision(2, wire.Batch{msg(0, 2, "y")})
+	st, err := ReplayState(s, 2)
+	if err != nil {
+		t.Fatalf("ReplayState: %v", err)
+	}
+	if st.NextDecide != 3 {
+		t.Fatalf("NextDecide = %d, want 3", st.NextDecide)
+	}
+}
+
+func TestReplayAbortPropagates(t *testing.T) {
+	s := NewMemStore()
+	s.PersistBoot()
+	s.PersistBoot()
+	want := errors.New("stop")
+	calls := 0
+	err := s.Replay(func(Rec) error {
+		calls++
+		return want
+	})
+	if !errors.Is(err, want) || calls != 1 {
+		t.Fatalf("Replay aborted after %d calls with %v", calls, err)
+	}
+}
+
+func TestMemStoreCopiesBatches(t *testing.T) {
+	s := NewMemStore()
+	body := []byte("mutate-me")
+	b := wire.Batch{{ID: types.MsgID{Sender: 0, Seq: 1}, Body: body}}
+	s.PersistDecision(1, b)
+	body[0] = 'X'
+	got, ok := s.ReadDecision(1)
+	if !ok || string(got[0].Body) != "mutate-me" {
+		t.Fatalf("stored decision aliased the caller's buffer: %q", got[0].Body)
+	}
+}
+
+func TestCatchupLifecycle(t *testing.T) {
+	var c Catchup
+	if c.Active() {
+		t.Fatal("zero Catchup is active")
+	}
+	c.Begin(10*time.Millisecond, 2) // e.g. a 5-group: self + 2 responders = majority
+	if !c.Active() {
+		t.Fatal("Begin did not activate")
+	}
+	c.Observe(1, 5)
+	c.Observe(1, 3) // lower horizons never regress the target
+	if c.Target() != 5 {
+		t.Fatalf("Target = %d, want 5", c.Target())
+	}
+	if _, done := c.MaybeFinish(5, 20*time.Millisecond); done {
+		t.Fatal("finished while instance 5 still missing")
+	}
+	// Past the only reported horizon, but one responder is not a quorum:
+	// the first answer could come from a peer that is itself behind.
+	if _, done := c.MaybeFinish(6, 22*time.Millisecond); done {
+		t.Fatal("finished off a single (possibly lagging) responder")
+	}
+	c.Observe(2, 4)
+	dur, done := c.MaybeFinish(6, 25*time.Millisecond)
+	if !done || dur != 15*time.Millisecond {
+		t.Fatalf("MaybeFinish = (%v, %v), want (15ms, true)", dur, done)
+	}
+	if _, again := c.MaybeFinish(7, 30*time.Millisecond); again {
+		t.Fatal("MaybeFinish reported completion twice")
+	}
+}
+
+func TestQuorum(t *testing.T) {
+	for n, want := range map[int]int{1: 0, 2: 1, 3: 1, 5: 2, 7: 3} {
+		if got := Quorum(n); got != want {
+			t.Errorf("Quorum(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestChunkEnd(t *testing.T) {
+	if end := ChunkEnd(5, 4); end != 0 {
+		t.Fatalf("ChunkEnd past horizon = %d, want 0", end)
+	}
+	if end := ChunkEnd(1, 10); end != 10 {
+		t.Fatalf("ChunkEnd small = %d, want 10", end)
+	}
+	if end := ChunkEnd(1, 1000); end != ChunkInstances {
+		t.Fatalf("ChunkEnd capped = %d, want %d", end, ChunkInstances)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"modab/internal/fd"
 	"modab/internal/modular"
 	"modab/internal/monolithic"
+	"modab/internal/recovery"
 	"modab/internal/stream"
 	"modab/internal/trace"
 	"modab/internal/transport"
@@ -43,6 +44,13 @@ type Options struct {
 	Engine engine.Config
 	// Transport is the quasi-reliable channel endpoint. Required.
 	Transport transport.Transport
+	// Store, when non-nil, enables the crash-recovery subsystem: the node
+	// replays it at start (recovering the previous incarnation's state and
+	// catching up via state transfer), stamps a boot marker, and persists
+	// admissions and decisions through it. The node owns the store from
+	// here on and closes it on Close; the on-disk log survives for the
+	// next incarnation.
+	Store recovery.Store
 	// Detector is the failure detector; nil means a heartbeat detector
 	// with the intervals below.
 	Detector fd.Detector
@@ -106,6 +114,15 @@ func NewNode(opts Options) (*Node, error) {
 	if err := opts.Engine.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.Store != nil {
+		st, err := recovery.ReplayState(opts.Store, opts.N)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: replaying durable store: %w", err)
+		}
+		opts.Store.PersistBoot()
+		opts.Engine.Persist = opts.Store
+		opts.Engine.Recovered = st
+	}
 	if opts.HeartbeatPeriod <= 0 {
 		opts.HeartbeatPeriod = 25 * time.Millisecond
 	}
@@ -157,6 +174,9 @@ func NewNode(opts Options) (*Node, error) {
 		n.shutdownLoop()
 		n.hub.Close()
 		n.deliverWG.Wait()
+		if opts.Store != nil {
+			_ = opts.Store.Close()
+		}
 		return nil, err
 	}
 	n.det.Start(func(p types.ProcessID, suspected bool) {
@@ -358,6 +378,13 @@ func (n *Node) Close() error {
 	n.shutdownLoop()
 	n.hub.Close()
 	n.deliverWG.Wait()
+	// The loop has stopped, so no append can race the store closing; the
+	// final sync makes even SyncNone logs durable across a graceful stop.
+	if n.opts.Store != nil {
+		if serr := n.opts.Store.Close(); err == nil {
+			err = serr
+		}
+	}
 	return err
 }
 

@@ -60,26 +60,44 @@ type Counters struct {
 	// subscriber running the drop overflow policy — nonzero means the
 	// application could not keep up with the ordering layer.
 	StreamDropped atomic.Int64
+	// Recoveries counts engine starts that replayed a write-ahead log
+	// (crash-recovery restarts).
+	Recoveries atomic.Int64
+	// RecoveryReplayedMsgs counts adelivered messages reconstructed from
+	// the local log during restart (not re-delivered to the application).
+	RecoveryReplayedMsgs atomic.Int64
+	// RecoveryFetchedMsgs counts messages in decisions fetched from live
+	// peers during state-transfer catch-up (these are adelivered, since the
+	// crashed incarnation never saw them).
+	RecoveryFetchedMsgs atomic.Int64
+	// RecoveryNanos accumulates the time from recovery start to catch-up
+	// completion, in nanoseconds of the driver's clock (virtual time under
+	// simulation).
+	RecoveryNanos atomic.Int64
 }
 
 // Snapshot is an immutable copy of the counters at one instant.
 type Snapshot struct {
-	MsgsSent          int64
-	BytesSent         int64
-	PayloadBytesSent  int64
-	MsgsRecv          int64
-	BytesRecv         int64
-	Dispatches        int64
-	ConsensusStarted  int64
-	ConsensusDecided  int64
-	Rounds            int64
-	ABCast            int64
-	ADeliver          int64
-	BatchedMsgs       int64
-	SenderBatches     int64
-	SenderBatchedMsgs int64
-	Retransmissions   int64
-	StreamDropped     int64
+	MsgsSent             int64
+	BytesSent            int64
+	PayloadBytesSent     int64
+	MsgsRecv             int64
+	BytesRecv            int64
+	Dispatches           int64
+	ConsensusStarted     int64
+	ConsensusDecided     int64
+	Rounds               int64
+	ABCast               int64
+	ADeliver             int64
+	BatchedMsgs          int64
+	SenderBatches        int64
+	SenderBatchedMsgs    int64
+	Retransmissions      int64
+	StreamDropped        int64
+	Recoveries           int64
+	RecoveryReplayedMsgs int64
+	RecoveryFetchedMsgs  int64
+	RecoveryNanos        int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting (each field is
@@ -87,22 +105,26 @@ type Snapshot struct {
 // quiescence).
 func (c *Counters) Snapshot() Snapshot {
 	return Snapshot{
-		MsgsSent:          c.MsgsSent.Load(),
-		BytesSent:         c.BytesSent.Load(),
-		PayloadBytesSent:  c.PayloadBytesSent.Load(),
-		MsgsRecv:          c.MsgsRecv.Load(),
-		BytesRecv:         c.BytesRecv.Load(),
-		Dispatches:        c.Dispatches.Load(),
-		ConsensusStarted:  c.ConsensusStarted.Load(),
-		ConsensusDecided:  c.ConsensusDecided.Load(),
-		Rounds:            c.Rounds.Load(),
-		ABCast:            c.ABCast.Load(),
-		ADeliver:          c.ADeliver.Load(),
-		BatchedMsgs:       c.BatchedMsgs.Load(),
-		SenderBatches:     c.SenderBatches.Load(),
-		SenderBatchedMsgs: c.SenderBatchedMsgs.Load(),
-		Retransmissions:   c.Retransmissions.Load(),
-		StreamDropped:     c.StreamDropped.Load(),
+		MsgsSent:             c.MsgsSent.Load(),
+		BytesSent:            c.BytesSent.Load(),
+		PayloadBytesSent:     c.PayloadBytesSent.Load(),
+		MsgsRecv:             c.MsgsRecv.Load(),
+		BytesRecv:            c.BytesRecv.Load(),
+		Dispatches:           c.Dispatches.Load(),
+		ConsensusStarted:     c.ConsensusStarted.Load(),
+		ConsensusDecided:     c.ConsensusDecided.Load(),
+		Rounds:               c.Rounds.Load(),
+		ABCast:               c.ABCast.Load(),
+		ADeliver:             c.ADeliver.Load(),
+		BatchedMsgs:          c.BatchedMsgs.Load(),
+		SenderBatches:        c.SenderBatches.Load(),
+		SenderBatchedMsgs:    c.SenderBatchedMsgs.Load(),
+		Retransmissions:      c.Retransmissions.Load(),
+		StreamDropped:        c.StreamDropped.Load(),
+		Recoveries:           c.Recoveries.Load(),
+		RecoveryReplayedMsgs: c.RecoveryReplayedMsgs.Load(),
+		RecoveryFetchedMsgs:  c.RecoveryFetchedMsgs.Load(),
+		RecoveryNanos:        c.RecoveryNanos.Load(),
 	}
 }
 
@@ -124,6 +146,10 @@ func (s *Snapshot) Add(o Snapshot) {
 	s.SenderBatchedMsgs += o.SenderBatchedMsgs
 	s.Retransmissions += o.Retransmissions
 	s.StreamDropped += o.StreamDropped
+	s.Recoveries += o.Recoveries
+	s.RecoveryReplayedMsgs += o.RecoveryReplayedMsgs
+	s.RecoveryFetchedMsgs += o.RecoveryFetchedMsgs
+	s.RecoveryNanos += o.RecoveryNanos
 }
 
 // Stats is a uniform whole-driver snapshot: one Snapshot per process
@@ -183,6 +209,11 @@ func (s Snapshot) String() string {
 	}
 	if s.StreamDropped > 0 {
 		out += fmt.Sprintf(" streamDropped=%d", s.StreamDropped)
+	}
+	if s.Recoveries > 0 {
+		out += fmt.Sprintf(" recoveries=%d (replayed=%d fetched=%d in %.1fms)",
+			s.Recoveries, s.RecoveryReplayedMsgs, s.RecoveryFetchedMsgs,
+			float64(s.RecoveryNanos)/1e6)
 	}
 	return out
 }

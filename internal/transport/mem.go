@@ -37,6 +37,18 @@ func (n *MemNetwork) Endpoint(id types.ProcessID) *MemEndpoint {
 	return ep
 }
 
+// Reset replaces the endpoint of process id with a fresh one — the
+// transport half of a node restart (the old endpoint, closed when the
+// node crashed, keeps silently dropping whatever still reaches it).
+func (n *MemNetwork) Reset(id types.ProcessID) *MemEndpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep := &MemEndpoint{net: n, self: id}
+	ep.cond = sync.NewCond(&ep.mu)
+	n.endpoints[id] = ep
+	return ep
+}
+
 // SetDrop installs (or removes) a unidirectional drop rule from -> to,
 // for fault-injection tests.
 func (n *MemNetwork) SetDrop(from, to types.ProcessID, drop bool) {

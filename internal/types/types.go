@@ -8,6 +8,7 @@
 package types
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 )
@@ -70,6 +71,12 @@ func (s Stack) String() string {
 	default:
 		return fmt.Sprintf("stack(%d)", int(s))
 	}
+}
+
+// MarshalJSON encodes the stack by name, so machine-readable benchmark
+// results stay self-describing.
+func (s Stack) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
 }
 
 // Majority returns the size of a strict majority of a group of n processes.

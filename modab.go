@@ -83,6 +83,7 @@ import (
 	"modab/internal/stream"
 	"modab/internal/trace"
 	"modab/internal/types"
+	"modab/internal/wal"
 )
 
 // Re-exported identifiers: the public vocabulary of the library.
@@ -132,6 +133,9 @@ type (
 	// StreamOption tunes one subscription (see StreamBuffer,
 	// StreamOverflow).
 	StreamOption = stream.SubOption
+	// SyncPolicy selects when write-ahead-log appends reach stable storage
+	// (see WithDurability): SyncAlways, SyncInterval or SyncNone.
+	SyncPolicy = wal.SyncPolicy
 )
 
 // Stack values.
@@ -141,6 +145,18 @@ const (
 	Modular = types.Modular
 	// Monolithic merges them into a single optimized module (paper §4).
 	Monolithic = types.Monolithic
+)
+
+// Write-ahead-log fsync policies (see WithDurability).
+const (
+	// SyncAlways fsyncs after every append: zero loss window, slowest.
+	SyncAlways = wal.SyncAlways
+	// SyncInterval fsyncs on a short background ticker: bounded loss
+	// window under power failure, none under a process crash.
+	SyncInterval = wal.SyncInterval
+	// SyncNone leaves flushing to the OS: durable against process crashes
+	// only.
+	SyncNone = wal.SyncNone
 )
 
 // Overflow policies for delivery streams.
@@ -194,6 +210,7 @@ type settings struct {
 	policy       OverflowPolicy
 	onDeliver    func(Event)
 	batch        *BatchConfig
+	dur          *core.DurabilityOptions
 }
 
 // WithConfig overrides the protocol tunables (flow-control window, batch
@@ -228,6 +245,27 @@ func WithBatching(maxMsgs, maxBytes int, maxDelay time.Duration) Option {
 			return err
 		}
 		s.batch = &b
+		return nil
+	}
+}
+
+// WithDurability enables the crash-recovery subsystem: every process the
+// cluster drives appends its admissions and consensus decisions to a
+// write-ahead log under dir before acting on them, and Cluster.Restart
+// brings a crashed process back — it replays its log, announces itself,
+// and fetches the decisions it missed from a live peer (state transfer)
+// before resuming, with no duplicate, missed, or reordered deliveries.
+//
+// policy bounds the durability window: SyncAlways survives power loss,
+// SyncInterval bounds the loss window to milliseconds, SyncNone survives
+// process crashes only. An in-process group logs to dir/p0..p<n-1>; a TCP
+// node (WithTransportTCP) logs directly to dir — give each process of the
+// group its own directory. The simulated driver (WithSimulation) ignores
+// dir and uses a deterministic in-memory durable store instead, so
+// recovery scenarios replay identically under virtual time.
+func WithDurability(dir string, policy SyncPolicy) Option {
+	return func(s *settings) error {
+		s.dur = &core.DurabilityOptions{Dir: dir, Log: wal.Options{Policy: policy}}
 		return nil
 	}
 }
@@ -333,6 +371,11 @@ type Cluster struct {
 	node *runtime.Node // TCP driver (one local process)
 	self ProcessID
 	hub  *stream.Hub[engine.Event] // TCP driver's event stream
+	// tcpOpts and onDeliver are retained so Restart can rebuild the local
+	// TCP node; durable records whether WithDurability was given.
+	tcpOpts   core.TCPNodeOptions
+	onDeliver func(Event)
+	durable   bool
 	// streamDropped counts drops at the TCP driver's cluster-level
 	// subscriptions; Counters/Stats fold it into the local process.
 	streamDropped atomic.Int64
@@ -362,6 +405,9 @@ func New(n int, stack Stack, opts ...Option) (*Cluster, error) {
 	if s.tcp && len(s.tcpAddrs) != n {
 		return nil, fmt.Errorf("%w: n=%d but WithTransportTCP has %d addresses", types.ErrBadConfig, n, len(s.tcpAddrs))
 	}
+	if s.dur != nil && !s.sim && s.dur.Dir == "" {
+		return nil, fmt.Errorf("%w: WithDurability requires a directory on the real-time drivers", types.ErrBadConfig)
+	}
 	if s.batch != nil {
 		// Materialize the defaults first so the batching fields survive the
 		// drivers' zero-config check, then overlay them on whatever
@@ -371,7 +417,7 @@ func New(n int, stack Stack, opts ...Option) (*Cluster, error) {
 		}
 		s.engineCfg.Batch = *s.batch
 	}
-	c := &Cluster{n: n, stack: stack, start: time.Now()}
+	c := &Cluster{n: n, stack: stack, start: time.Now(), durable: s.dur != nil, onDeliver: s.onDeliver}
 
 	switch {
 	case s.sim:
@@ -390,6 +436,7 @@ func New(n int, stack Stack, opts ...Option) (*Cluster, error) {
 			OnDeliver:        onDeliver,
 			DeliveryBuffer:   s.buffer,
 			DeliveryOverflow: s.policy,
+			Durable:          s.dur != nil,
 		})
 		if err != nil {
 			return nil, err
@@ -400,7 +447,7 @@ func New(n int, stack Stack, opts ...Option) (*Cluster, error) {
 		c.self = s.tcpSelf
 		c.hub = stream.NewHub[engine.Event](s.buffer, s.policy,
 			func() { c.streamDropped.Add(1) })
-		node, err := core.NewTCPNode(core.TCPNodeOptions{
+		c.tcpOpts = core.TCPNodeOptions{
 			Self:             s.tcpSelf,
 			Addrs:            s.tcpAddrs,
 			Stack:            stack,
@@ -409,26 +456,14 @@ func New(n int, stack Stack, opts ...Option) (*Cluster, error) {
 			SuspectTimeout:   s.suspectAfter,
 			DeliveryBuffer:   s.buffer,
 			DeliveryOverflow: s.policy,
-		})
+			Durability:       s.dur,
+		}
+		node, err := core.NewTCPNode(c.tcpOpts)
 		if err != nil {
 			return nil, err
 		}
 		c.node = node
-		// Bridge the node's per-process stream into the cluster-wide
-		// event stream (and the optional callback).
-		sub := node.Deliveries()
-		c.wg.Add(1)
-		go func() {
-			defer c.wg.Done()
-			for d := range sub.C() {
-				ev := Event{P: c.self, D: d, At: time.Since(c.start)}
-				if fn := s.onDeliver; fn != nil {
-					fn(ev)
-				}
-				c.hub.Publish(ev)
-			}
-			c.hub.Close()
-		}()
+		c.bridge(node)
 
 	default:
 		var onDeliver core.DeliverFunc
@@ -444,6 +479,7 @@ func New(n int, stack Stack, opts ...Option) (*Cluster, error) {
 			DeliveryBuffer:   s.buffer,
 			DeliveryOverflow: s.policy,
 			OnDeliver:        onDeliver,
+			Durability:       s.dur,
 		})
 		if err != nil {
 			return nil, err
@@ -453,8 +489,34 @@ func New(n int, stack Stack, opts ...Option) (*Cluster, error) {
 	return c, nil
 }
 
+// bridge pumps one TCP node's per-process delivery stream into the
+// cluster-wide event stream (and the optional callback). It does not
+// close the hub when the node stops — the node may be restarted and
+// bridged again; Close closes the hub after the last bridge drains.
+func (c *Cluster) bridge(node *runtime.Node) {
+	sub := node.Deliveries()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for d := range sub.C() {
+			ev := Event{P: c.self, D: d, At: time.Since(c.start)}
+			if fn := c.onDeliver; fn != nil {
+				fn(ev)
+			}
+			c.hub.Publish(ev)
+		}
+	}()
+}
+
 // N returns the group size.
 func (c *Cluster) N() int { return c.n }
+
+// tcpNode returns the TCP driver's current local node (Restart swaps it).
+func (c *Cluster) tcpNode() *runtime.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.node
+}
 
 // Stack returns the implementation under the facade.
 func (c *Cluster) Stack() Stack { return c.stack }
@@ -470,11 +532,11 @@ func (c *Cluster) Abcast(ctx context.Context, p int, body []byte) (MsgID, error)
 	switch {
 	case c.sim != nil:
 		return c.simAbcast(ctx, p, body, false)
-	case c.node != nil:
+	case c.hub != nil:
 		if p != int(c.self) {
 			return MsgID{}, fmt.Errorf("%w: p%d (local node is %s)", ErrNotLocal, p+1, c.self)
 		}
-		return c.node.Abcast(ctx, body)
+		return c.tcpNode().Abcast(ctx, body)
 	default:
 		return c.group.Abcast(ctx, p, body)
 	}
@@ -486,11 +548,11 @@ func (c *Cluster) TryAbcast(p int, body []byte) (MsgID, error) {
 	switch {
 	case c.sim != nil:
 		return c.simAbcast(context.Background(), p, body, true)
-	case c.node != nil:
+	case c.hub != nil:
 		if p != int(c.self) {
 			return MsgID{}, fmt.Errorf("%w: p%d (local node is %s)", ErrNotLocal, p+1, c.self)
 		}
-		return c.node.TryAbcast(body)
+		return c.tcpNode().TryAbcast(body)
 	default:
 		return c.group.TryAbcast(p, body)
 	}
@@ -543,7 +605,7 @@ func (c *Cluster) Deliveries(opts ...StreamOption) *DeliveryStream {
 	switch {
 	case c.sim != nil:
 		return c.sim.Deliveries(opts...)
-	case c.node != nil:
+	case c.hub != nil:
 		return c.hub.Subscribe(opts...)
 	default:
 		return c.group.Deliveries(opts...)
@@ -556,11 +618,11 @@ func (c *Cluster) Counters(p int) Snapshot {
 	switch {
 	case c.sim != nil:
 		return c.sim.Counters(ProcessID(p))
-	case c.node != nil:
+	case c.hub != nil:
 		if p != int(c.self) {
 			return Snapshot{}
 		}
-		snap := c.node.Counters()
+		snap := c.tcpNode().Counters()
 		snap.StreamDropped += c.streamDropped.Load()
 		return snap
 	default:
@@ -574,7 +636,7 @@ func (c *Cluster) Stats() Stats {
 	switch {
 	case c.sim != nil:
 		return c.sim.Stats()
-	case c.node != nil:
+	case c.hub != nil:
 		st := Stats{N: c.n, PerProcess: make([]Snapshot, c.n)}
 		st.PerProcess[c.self] = c.Counters(int(c.self))
 		st.Total = st.PerProcess[c.self]
@@ -594,13 +656,60 @@ func (c *Cluster) Crash(p int) error {
 		c.sim.Crash(ProcessID(p), c.sim.Now())
 		c.sim.Run(c.sim.Now())
 		return nil
-	case c.node != nil:
+	case c.hub != nil:
 		if p != int(c.self) {
 			return fmt.Errorf("%w: p%d (local node is %s)", ErrNotLocal, p+1, c.self)
 		}
-		return c.node.Close()
+		return c.tcpNode().Close()
 	default:
 		return c.group.Crash(p)
+	}
+}
+
+// Restart brings a crashed process back — the crash-recovery model. It
+// requires WithDurability: the new incarnation replays the process's
+// write-ahead log (or the simulated durable store), announces itself, and
+// fetches the decisions it missed from a live peer before resuming
+// normal operation; survivors unsuspect it as soon as they hear from it.
+// On the TCP driver only the local process can be restarted
+// (ErrNotLocal otherwise); on the simulated driver the restart happens at
+// the current virtual instant.
+//
+// Counters after a restart: the simulated driver accumulates across
+// incarnations, while on the real-time drivers the restarted process's
+// Counters restart from zero — its pre-crash deliveries are summarized
+// by RecoveryReplayedMsgs (ADeliver + RecoveryReplayedMsgs is its
+// lifetime delivery count).
+func (c *Cluster) Restart(p int) error {
+	if !c.durable {
+		return fmt.Errorf("%w: Restart requires WithDurability", types.ErrBadConfig)
+	}
+	if p < 0 || p >= c.n {
+		return fmt.Errorf("%w: p%d of %d", types.ErrBadConfig, p+1, c.n)
+	}
+	switch {
+	case c.sim != nil:
+		c.sim.Restart(ProcessID(p), c.sim.Now())
+		c.sim.Run(c.sim.Now())
+		return nil
+	case c.hub != nil:
+		if p != int(c.self) {
+			return fmt.Errorf("%w: p%d (local node is %s)", ErrNotLocal, p+1, c.self)
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.closed {
+			return ErrStopped
+		}
+		node, err := core.NewTCPNode(c.tcpOpts)
+		if err != nil {
+			return err
+		}
+		c.node = node
+		c.bridge(node)
+		return nil
+	default:
+		return c.group.Restart(p)
 	}
 }
 
@@ -612,11 +721,11 @@ func (c *Cluster) Node(p int) *Node {
 	switch {
 	case c.sim != nil:
 		return nil
-	case c.node != nil:
+	case c.hub != nil:
 		if p != int(c.self) {
 			return nil
 		}
-		return c.node
+		return c.tcpNode()
 	default:
 		return c.group.Node(p)
 	}
@@ -642,9 +751,10 @@ func (c *Cluster) Close() error {
 	case c.sim != nil:
 		c.sim.Close()
 		return nil
-	case c.node != nil:
-		err := c.node.Close()
-		c.wg.Wait() // the bridge closes c.hub after draining
+	case c.hub != nil:
+		err := c.tcpNode().Close()
+		c.wg.Wait() // every bridge drains its node's stream first
+		c.hub.Close()
 		return err
 	default:
 		c.group.Close()
