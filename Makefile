@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet docs ci
+.PHONY: all build test race vet docs bench-smoke ci
 
 all: ci
 
@@ -20,6 +20,14 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Benchmark smoke: compile and run every benchmark for exactly one
+# iteration, plus one repetition of the abbench pipeline figure on the
+# simulator, so benchmark code can no longer rot silently (it is not
+# compiled by plain `go test`).
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/abbench -fig pipeline -reps 1 -warmup 500ms -measure 1s
+
 # Documentation gate: gofmt-clean tree, documented exported symbols in
 # modab.go, package comments on every internal package, no broken local
 # markdown links (mirrors the CI docs job).
@@ -27,4 +35,4 @@ docs:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) test -run 'TestExportedSymbolsDocumented|TestInternalPackagesHaveComments|TestMarkdownLinks' .
 
-ci: build vet test race docs
+ci: build vet test race docs bench-smoke

@@ -8,21 +8,28 @@
 //	abbench -fig all                # every figure (several minutes)
 //	abbench -fig 8                  # one figure
 //	abbench -fig recovery           # crash-recovery cost comparison
+//	abbench -fig pipeline           # consensus pipelining sweep (W = 1..16)
 //	abbench -analytical             # §5.2 closed-form tables only
 //	abbench -fig 10 -reps 5 -measure 8s
 //	abbench -fig 11 -batch-msgs 32  # sender-side batching enabled
+//	abbench -fig 10 -pipeline 8     # 8 instances in flight in every engine
 //	abbench -fig all -json BENCH_$(date +%Y%m%d).json
 //
 // With -batch-msgs >= 1 every measured engine runs sender-side batching
 // (see modab.WithBatching); the msgs/batch and hdrB/msg columns then show
-// how amortization closes the modular-vs-monolithic overhead gap.
+// how amortization closes the modular-vs-monolithic overhead gap. With
+// -pipeline >= 2 every measured engine keeps that many consensus
+// instances in flight (see modab.WithPipelining).
 //
 // -fig recovery runs the scenario the paper never covered: a node of a
 // loaded, durable cluster crashes and restarts, and the table compares
 // what recovery costs each stack (replayed and fetched messages, catch-up
-// latency). -json additionally writes every produced figure as a
-// machine-readable report (schema modab-bench/v1) for performance
-// trajectory tracking.
+// latency). -fig pipeline sweeps the pipeline window W over both stacks
+// at n=3/64 B saturating load on the metro cost model (modern CPUs, 1 ms
+// links — the latency-bound regime pipelining reclaims), with throughput
+// and adeliver-latency columns per depth. -json additionally writes every
+// produced figure as a machine-readable report (schema modab-bench/v1)
+// for performance trajectory tracking.
 package main
 
 import (
@@ -44,7 +51,7 @@ func main() {
 
 func run() error {
 	var (
-		fig        = flag.String("fig", "all", `figure to regenerate: "8", "9", "10", "11", "recovery" or "all"`)
+		fig        = flag.String("fig", "all", `figure to regenerate: "8", "9", "10", "11", "recovery", "pipeline" or "all"`)
 		analytical = flag.Bool("analytical", false, "print the §5.2 analytical tables and exit")
 		reps       = flag.Int("reps", 3, "repetitions per point (95% CIs are computed across them)")
 		warmup     = flag.Duration("warmup", 2*time.Second, "virtual warm-up before measuring")
@@ -53,6 +60,7 @@ func run() error {
 		batchMsgs  = flag.Int("batch-msgs", 0, "sender-side batching: messages per batch (0 = disabled)")
 		batchBytes = flag.Int("batch-bytes", 0, "sender-side batching: encoded bytes per batch (0 = no byte cap)")
 		batchDelay = flag.Duration("batch-delay", 2*time.Millisecond, "sender-side batching: flush delay for undersized batches")
+		pipeline   = flag.Int("pipeline", 0, "consensus pipeline window W for the standard figures (0/1 = sequential)")
 		jsonPath   = flag.String("json", "", "also write the produced figures as a machine-readable report to this path")
 	)
 	flag.Parse()
@@ -68,6 +76,7 @@ func run() error {
 		Repetitions: *reps,
 		Seed:        *seed,
 		Batch:       batch.Config{MaxMsgs: *batchMsgs, MaxBytes: *batchBytes, MaxDelay: *batchDelay},
+		Pipeline:    *pipeline,
 	}
 	if err := opts.Batch.Validate(); err != nil {
 		return err
@@ -103,8 +112,17 @@ func run() error {
 		benchharness.RenderRecovery(os.Stdout, rf)
 		recFig = &rf
 	}
+	var pipeFig *benchharness.PipelineFigure
+	if *fig == "all" || *fig == "pipeline" {
+		pf, err := benchharness.FigPipeline(opts)
+		if err != nil {
+			return fmt.Errorf("figure pipeline: %w", err)
+		}
+		benchharness.RenderPipeline(os.Stdout, pf)
+		pipeFig = &pf
+	}
 	if *jsonPath != "" {
-		if err := benchharness.WriteJSON(*jsonPath, benchharness.NewReport(opts, produced, recFig)); err != nil {
+		if err := benchharness.WriteJSON(*jsonPath, benchharness.NewReport(opts, produced, recFig, pipeFig)); err != nil {
 			return err
 		}
 		fmt.Printf("machine-readable report written to %s\n", *jsonPath)

@@ -66,6 +66,7 @@ func run() error {
 		batchMsgs  = flag.Int("batch-msgs", 0, "sender-side batching: messages per batch (0 = disabled)")
 		batchBytes = flag.Int("batch-bytes", 0, "sender-side batching: encoded bytes per batch (0 = no byte cap)")
 		batchDelay = flag.Duration("batch-delay", 2*time.Millisecond, "sender-side batching: flush delay for undersized batches")
+		pipeline   = flag.Int("pipeline", 0, "consensus pipeline window W: instances kept in flight concurrently (0/1 = sequential)")
 
 		walDir  = flag.String("wal", "", "write-ahead-log directory: enables crash recovery (restart with the same directory to rejoin)")
 		fsync   = flag.String("fsync", "always", `WAL fsync policy: "always", "interval" or "none"`)
@@ -101,6 +102,9 @@ func run() error {
 	}
 	if bcfg.Enabled() {
 		opts = append(opts, modab.WithBatching(bcfg.MaxMsgs, bcfg.MaxBytes, bcfg.MaxDelay))
+	}
+	if *pipeline > 1 {
+		opts = append(opts, modab.WithPipelining(*pipeline))
 	}
 	if *walDir != "" {
 		var policy modab.SyncPolicy

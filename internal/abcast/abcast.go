@@ -11,6 +11,11 @@
 // submitted message first waits in an internal/batch accumulator and is
 // diffused together with its batch in a single frame, amortizing the
 // per-message layer headers and handler dispatches the paper measures.
+// With pipelining enabled (engine.Config.PipelineDepth > 1) the layer
+// keeps up to W consensus instances in flight concurrently, partitioning
+// the pending set across them, instead of leaving the wire idle while
+// each decision round-trips; depth 1 reproduces the paper's strictly
+// sequential instances bit-for-bit.
 // Consensus instances are black boxes here — this layer cannot see
 // the coordinator's identity, cannot piggyback payloads on consensus
 // messages, and cannot merge a decision with the next proposal. Those are
@@ -56,7 +61,10 @@ const (
 // before the holder re-diffuses it. It must sit comfortably above the
 // flow-control backlog divided by M (the natural number of instances a
 // message waits under saturation, 2-3) so the recovery path never fires in
-// good runs.
+// good runs. With pipelining the grace scales by the window W: a W-deep
+// pipeline both widens the flow-control backlog W× and keeps W instances
+// worth of messages legitimately waiting, so the natural instance wait
+// grows by the same factor.
 const rediffuseGrace = 8
 
 // Layer is the atomic broadcast microprotocol.
@@ -70,16 +78,30 @@ type Layer struct {
 
 	// pending maps unordered known messages to their content; epoch
 	// records the next-to-decide instance at insertion time, for staleness
-	// detection.
+	// detection, and assigned the in-flight proposal (if any) currently
+	// carrying the message.
 	pending map[types.MsgID]pendingMsg
 	// delivered deduplicates adelivered messages per sender.
 	delivered dedup.Map
 	// nextDecide is the lowest instance not yet processed locally.
 	nextDecide uint64
-	// myProposed is the highest instance this process proposed.
-	myProposed uint64
-	// decisionsBuf holds out-of-order decisions until their turn.
+	// inflight maps every instance this process proposed and has not yet
+	// processed the decision of to the message IDs it proposed there. Its
+	// size is bounded by pipe: that bound IS the consensus pipeline.
+	inflight map[uint64][]types.MsgID
+	// pipe is the effective pipeline window W (>= 1); 1 reproduces the
+	// paper's strictly sequential instances bit-for-bit.
+	pipe int
+	// decisionsBuf holds out-of-order decisions until their turn. With
+	// pipelining, decisions for up to W instances legitimately race each
+	// other here (the paper's sequential stack only ever buffered
+	// reordered rbcast deliveries).
 	decisionsBuf map[uint64]wire.Batch
+	// snapIDs caches the proposable (pending, unassigned) message IDs in
+	// sorted order between pendingBatch calls; snapClean reports the cache
+	// still matches the pending set and assignments.
+	snapIDs   []types.MsgID
+	snapClean bool
 	// lastProgress is when the last decision was processed or consensus
 	// started (guards the kick timer against firing during healthy load).
 	lastProgress time.Duration
@@ -100,10 +122,15 @@ type Layer struct {
 
 var _ stack.Layer = (*Layer)(nil)
 
-// pendingMsg is one unordered message with its staleness epoch.
+// pendingMsg is one unordered message with its staleness epoch and the
+// in-flight instance it is currently proposed in (0 = unassigned). The
+// assignment partitions the pending set across the open pipeline window:
+// no message of ours rides two concurrent proposals, so concurrent
+// instances order disjoint slices of the backlog.
 type pendingMsg struct {
-	msg   wire.AppMsg
-	epoch uint64
+	msg      wire.AppMsg
+	epoch    uint64
+	assigned uint64
 }
 
 // New returns an atomic broadcast layer with the given configuration.
@@ -126,6 +153,8 @@ func (l *Layer) Init(ctx *stack.Context) {
 	l.pending = make(map[types.MsgID]pendingMsg)
 	l.delivered = dedup.NewMap(l.n)
 	l.decisionsBuf = make(map[uint64]wire.Batch)
+	l.inflight = make(map[uint64][]types.MsgID)
+	l.pipe = l.cfg.EffectivePipeline()
 	l.nextDecide = 1
 	if st := l.cfg.Recovered; st != nil {
 		// Adopt the replayed state: decided watermark, per-sender delivered
@@ -223,6 +252,7 @@ func (l *Layer) Abcast(body []byte) (types.MsgID, error) {
 			l.cfg.Persist.PersistAdmit(wire.Batch{msg})
 		}
 		l.pending[id] = pendingMsg{msg: msg, epoch: l.nextDecide}
+		l.snapClean = false
 		c.PayloadBytesSent.Add(int64(len(body) * (l.n - 1)))
 		l.diffuseOne(msg)
 		l.maybeStartConsensus()
@@ -260,6 +290,7 @@ func (l *Layer) ingestBatch(b wire.Batch) {
 	for _, m := range b {
 		l.pending[m.ID] = pendingMsg{msg: m, epoch: l.nextDecide}
 	}
+	l.snapClean = false
 	w := wire.GetWriter(1 + b.WireSize())
 	wire.AppendBatchFrame(w, b)
 	l.ctx.NetSendAll(w.Bytes())
@@ -307,6 +338,7 @@ func (l *Layer) Receive(from types.ProcessID, data []byte) error {
 		}
 		if _, known := l.pending[msg.ID]; !known {
 			l.pending[msg.ID] = pendingMsg{msg: msg, epoch: l.nextDecide}
+			l.snapClean = false
 		}
 	}
 	l.armKick()
@@ -383,38 +415,80 @@ func (l *Layer) finishRecovery() {
 	l.armKick()
 }
 
-// maybeStartConsensus proposes the current pending set for the next
-// undecided instance, unless a proposal of ours is still in flight.
+// maybeStartConsensus opens consensus instances until the pipeline window
+// is full or the proposable backlog runs out: each new proposal takes the
+// pending messages no other in-flight proposal of ours already carries.
+// With pipe == 1 this is exactly the paper's sequential rule — one
+// proposal at a time, for the next undecided instance, of the whole
+// pending set.
 func (l *Layer) maybeStartConsensus() {
 	if l.rec.Active() {
 		return // never propose while catching up on missed decisions
 	}
-	if l.myProposed >= l.nextDecide {
-		return // consensus running
+	for len(l.inflight) < l.pipe {
+		batch := l.pendingBatch()
+		if len(batch) == 0 {
+			return
+		}
+		// The lowest instance that is neither decided locally, nor already
+		// carrying one of our proposals, nor decided-but-buffered: the first
+		// one this proposal can still win.
+		k := l.nextDecide
+		for {
+			_, ours := l.inflight[k]
+			_, buffered := l.decisionsBuf[k]
+			if !ours && !buffered {
+				break
+			}
+			k++
+		}
+		ids := make([]types.MsgID, len(batch))
+		for i, m := range batch {
+			ids[i] = m.ID
+			p := l.pending[m.ID]
+			p.assigned = k
+			l.pending[m.ID] = p
+		}
+		l.snapClean = false
+		l.inflight[k] = ids
+		l.lastProgress = l.ctx.Env().Now()
+		l.ctx.Env().Counters().ObserveDepth(len(l.inflight))
+		l.ctx.Emit(stack.TagConsensus, stack.Event{
+			Kind:     stack.EvProposeReq,
+			Instance: k,
+			Batch:    batch,
+		})
 	}
-	if len(l.pending) == 0 {
-		return
-	}
-	batch := l.pendingBatch()
-	l.myProposed = l.nextDecide
-	l.lastProgress = l.ctx.Env().Now()
-	l.ctx.Emit(stack.TagConsensus, stack.Event{
-		Kind:     stack.EvProposeReq,
-		Instance: l.nextDecide,
-		Batch:    batch,
-	})
 }
 
-// pendingBatch snapshots the pending set as a deterministic, optionally
-// capped batch.
+// pendingBatch snapshots the proposable pending set — known, unordered
+// messages not assigned to an in-flight proposal — as a deterministic,
+// optionally capped batch. The sorted ID order is cached across calls and
+// rebuilt only after the pending set or the assignments changed, so a
+// proposal attempt against an unchanged backlog costs no re-sort; the
+// returned batch is always a fresh slice because the consensus layer
+// retains it.
 func (l *Layer) pendingBatch() wire.Batch {
-	batch := make(wire.Batch, 0, len(l.pending))
-	for _, p := range l.pending {
-		batch = append(batch, p.msg)
+	if !l.snapClean {
+		l.snapIDs = l.snapIDs[:0]
+		for id, p := range l.pending {
+			if p.assigned == 0 {
+				l.snapIDs = append(l.snapIDs, id)
+			}
+		}
+		sort.Slice(l.snapIDs, func(i, j int) bool { return l.snapIDs[i].Less(l.snapIDs[j]) })
+		l.snapClean = true
 	}
-	batch.SortDeterministic()
-	if l.cfg.MaxBatch > 0 && len(batch) > l.cfg.MaxBatch {
-		batch = batch[:l.cfg.MaxBatch]
+	n := len(l.snapIDs)
+	if l.cfg.MaxBatch > 0 && n > l.cfg.MaxBatch {
+		n = l.cfg.MaxBatch
+	}
+	if n == 0 {
+		return nil
+	}
+	batch := make(wire.Batch, n)
+	for i := range batch {
+		batch[i] = l.pending[l.snapIDs[i]].msg
 	}
 	return batch
 }
@@ -457,7 +531,12 @@ func (l *Layer) processDecision(k uint64, batch wire.Batch) {
 	c := l.ctx.Env().Counters()
 	for _, m := range ordered {
 		delete(l.pending, m.ID)
+		l.snapClean = false
 		if l.isDelivered(m.ID) {
+			// With pipelining, two concurrent instances may both order a
+			// message (different processes proposed it to different
+			// instances); the per-sender suppressor makes the second
+			// decision a no-op at delivery.
 			continue
 		}
 		l.markDelivered(m.ID)
@@ -467,6 +546,19 @@ func (l *Layer) processDecision(k uint64, batch wire.Batch) {
 			// Duplicate releases indicate a protocol bug; surface loudly
 			// in tests via the counters rather than corrupting state.
 			c.Retransmissions.Add(1)
+		}
+	}
+	// Close our in-flight proposal for k: messages of ours this instance
+	// did not order (another proposal won) become proposable again for a
+	// later instance.
+	if ids, ok := l.inflight[k]; ok {
+		delete(l.inflight, k)
+		for _, id := range ids {
+			if p, ok := l.pending[id]; ok && p.assigned == k {
+				p.assigned = 0
+				l.pending[id] = p
+				l.snapClean = false
+			}
 		}
 	}
 	// Survivor re-diffusion: a pending message that predates several
@@ -482,7 +574,7 @@ func (l *Layer) processDecision(k uint64, batch wire.Batch) {
 	}
 	for _, id := range l.sortedPendingIDs() {
 		p := l.pending[id]
-		if k >= p.epoch && k-p.epoch >= rediffuseGrace {
+		if k >= p.epoch && k-p.epoch >= rediffuseGrace*uint64(l.pipe) {
 			p.epoch = l.nextDecide + 1
 			l.pending[id] = p
 			c.Retransmissions.Add(int64(l.n - 1))

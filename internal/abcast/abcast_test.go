@@ -383,3 +383,133 @@ func TestReceiveBatchFrame(t *testing.T) {
 		t.Fatalf("proposal from batch frame = %v, want 3 messages", got)
 	}
 }
+
+// TestPipelinedProposals checks the windowed propose path directly: with
+// PipelineDepth 3, three proposals go out for three distinct instances,
+// each carrying a disjoint slice of the pending set, and a decision for
+// the head of the window immediately opens the next slot.
+func TestPipelinedProposals(t *testing.T) {
+	cfg := engine.DefaultConfig(3)
+	cfg.IdleKick = 0
+	cfg.Window = 16
+	cfg.PipelineDepth = 3
+	_, ab, cs := rig(t, cfg)
+
+	var first types.MsgID
+	for i := 0; i < 3; i++ {
+		id, err := ab.Abcast([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = id
+		}
+	}
+	if len(cs.proposals) != 3 {
+		t.Fatalf("open proposals = %d, want 3 (one per submission, window 3)", len(cs.proposals))
+	}
+	seen := make(map[types.MsgID]uint64)
+	for k, b := range cs.proposals {
+		if len(b) != 1 {
+			t.Fatalf("instance %d proposed %d messages, want 1 (partitioning)", k, len(b))
+		}
+		if prev, dup := seen[b[0].ID]; dup {
+			t.Fatalf("message %s proposed in instances %d and %d", b[0].ID, prev, k)
+		}
+		seen[b[0].ID] = k
+	}
+	// Decide instance 1 with the first message: slot opens, and the next
+	// submission must land in instance 4 (2 and 3 are still in flight).
+	cs.decide(1, wire.Batch{{ID: first, Body: []byte{0}}})
+	if _, err := ab.Abcast([]byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cs.proposals[4]; !ok {
+		t.Fatalf("proposals after decide+submit: %v, want instance 4 opened", keys(cs.proposals))
+	}
+}
+
+func keys(m map[uint64]wire.Batch) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestPendingBatchSnapshotCache pins the pendingBatch micro-optimization:
+// repeated snapshots of an unchanged pending set must not rebuild or
+// re-sort the ID cache — only the handed-out batch slice may allocate —
+// and any mutation (new message, decision, assignment) must invalidate
+// the cache.
+func TestPendingBatchSnapshotCache(t *testing.T) {
+	cfg := engine.DefaultConfig(3)
+	cfg.IdleKick = 0
+	_, ab, _ := rig(t, cfg)
+	for i := uint64(1); i <= 64; i++ {
+		m := msg(1, i)
+		ab.pending[m.ID] = pendingMsg{msg: m, epoch: 1}
+	}
+	ab.snapClean = false
+
+	first := ab.pendingBatch()
+	if len(first) != 64 {
+		t.Fatalf("snapshot = %d messages, want 64", len(first))
+	}
+	if !ab.snapClean {
+		t.Fatal("snapshot did not mark the cache clean")
+	}
+	// Unchanged set: one allocation (the returned batch), no re-sort.
+	allocs := testing.AllocsPerRun(100, func() {
+		if got := ab.pendingBatch(); len(got) != 64 {
+			t.Fatalf("cached snapshot = %d messages", len(got))
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("pendingBatch on an unchanged set allocates %.0f times, want <= 1 (scratch reuse)", allocs)
+	}
+	// Mutation invalidates: a new message must appear in the next batch.
+	extra := msg(2, 1)
+	ab.pending[extra.ID] = pendingMsg{msg: extra, epoch: 1}
+	ab.snapClean = false
+	if got := ab.pendingBatch(); len(got) != 65 {
+		t.Fatalf("post-mutation snapshot = %d messages, want 65", len(got))
+	}
+}
+
+// BenchmarkPendingBatch measures the snapshot path the proposal hot loop
+// sits on, in the regime the cache targets: repeated proposal attempts
+// over a stable backlog (the common case under flow-control saturation,
+// where Receive-driven maybeStartConsensus calls vastly outnumber
+// backlog changes).
+func BenchmarkPendingBatch(b *testing.B) {
+	for _, mutate := range []bool{false, true} {
+		name := "stable"
+		if mutate {
+			name = "mutating"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := engine.DefaultConfig(3)
+			cfg.IdleKick = 0
+			env := enginetest.New(0, 3)
+			ab := New(cfg)
+			cs := &consensusStub{proposals: make(map[uint64]wire.Batch)}
+			stack.New(env, cs, ab).Start()
+			for i := uint64(1); i <= 256; i++ {
+				m := msg(1, i)
+				ab.pending[m.ID] = pendingMsg{msg: m, epoch: 1}
+			}
+			ab.snapClean = false
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mutate {
+					ab.snapClean = false // worst case: re-sort every snapshot
+				}
+				if len(ab.pendingBatch()) != 256 {
+					b.Fatal("bad snapshot")
+				}
+			}
+		})
+	}
+}

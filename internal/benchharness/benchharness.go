@@ -63,6 +63,11 @@ type RunOptions struct {
 	// capacity — otherwise the batched run also enjoys a larger in-flight
 	// allowance.
 	Window int
+	// Pipeline sets the consensus pipeline window W in every measured
+	// engine (0 or 1 = the paper's strictly sequential instances). The
+	// dedicated pipeline figure (FigPipeline) sweeps depths itself; this
+	// field pipelines the standard figures.
+	Pipeline int
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -85,12 +90,13 @@ func (o RunOptions) withDefaults() RunOptions {
 func RunPoint(n int, stk types.Stack, load float64, size int, opts RunOptions) (Point, error) {
 	opts = opts.withDefaults()
 	var engCfg engine.Config // zero value: netsim applies DefaultConfig(n)
-	if opts.Batch.Enabled() || opts.Window > 0 {
+	if opts.Batch.Enabled() || opts.Window > 0 || opts.Pipeline > 0 {
 		engCfg = engine.DefaultConfig(n)
 		engCfg.Batch = opts.Batch
 		if opts.Window > 0 {
 			engCfg.Window = opts.Window
 		}
+		engCfg.PipelineDepth = opts.Pipeline
 	}
 	var lat, thr, avgM, msgsPerDec, msgsPerBat, hdrPerMsg, util stats.Welford
 	var blocked, dropped int64

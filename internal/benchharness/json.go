@@ -20,6 +20,7 @@ type Report struct {
 	Options     ReportOptions   `json:"options"`
 	Figures     []Figure        `json:"figures,omitempty"`
 	Recovery    *RecoveryFigure `json:"recovery,omitempty"`
+	Pipeline    *PipelineFigure `json:"pipeline,omitempty"`
 }
 
 // ReportOptions records the sweep parameters the numbers were produced
@@ -31,10 +32,11 @@ type ReportOptions struct {
 	Seed        int64   `json:"seed"`
 	BatchMsgs   int     `json:"batch_msgs,omitempty"`
 	BatchBytes  int     `json:"batch_bytes,omitempty"`
+	Pipeline    int     `json:"pipeline,omitempty"`
 }
 
 // NewReport assembles a report from run options and results.
-func NewReport(opts RunOptions, figs []Figure, rec *RecoveryFigure) Report {
+func NewReport(opts RunOptions, figs []Figure, rec *RecoveryFigure, pipe *PipelineFigure) Report {
 	opts = opts.withDefaults()
 	return Report{
 		Schema:      ReportSchema,
@@ -46,9 +48,11 @@ func NewReport(opts RunOptions, figs []Figure, rec *RecoveryFigure) Report {
 			Seed:        opts.Seed,
 			BatchMsgs:   opts.Batch.MaxMsgs,
 			BatchBytes:  opts.Batch.MaxBytes,
+			Pipeline:    opts.Pipeline,
 		},
 		Figures:  figs,
 		Recovery: rec,
+		Pipeline: pipe,
 	}
 }
 

@@ -17,6 +17,12 @@
 // batch) but exposes each as an independent black box: nothing about
 // instance k is reused for instance k+1. That independence is precisely
 // the modularity cost the paper measures; the monolithic engine removes it.
+// It is also what makes the abcast layer's pipelining
+// (engine.Config.PipelineDepth) transparent here: W concurrent EvProposeReq
+// instances run their rounds, suspicion-driven round advancement and
+// decision dissemination fully independently, and retention (prune) only
+// ever drops decided instances, so an in-flight window can never lose
+// state to GC.
 package consensus
 
 import (
@@ -480,6 +486,9 @@ func (l *Layer) Suspect(p types.ProcessID, suspected bool) {
 }
 
 // prune drops decided instances that fell behind the retention horizon.
+// Undecided instances are never pruned, whatever their number: with
+// pipelining, up to PipelineDepth instances above maxDecided are
+// legitimately still running.
 func (l *Layer) prune() {
 	if len(l.insts) <= l.horizon || l.maxDecided < uint64(l.horizon) {
 		return

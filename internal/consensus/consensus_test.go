@@ -59,7 +59,7 @@ func newHarness(t *testing.T, n int) *harness {
 		h.envs[i] = enginetest.New(types.ProcessID(i), n)
 		h.layers[i] = New(stack.TagABcast, 50*time.Millisecond, 16)
 		h.decided[i] = &decider{decisions: make(map[uint64]wire.Batch)}
-		rb := rbcast.New(stack.TagConsensus, rbcast.Majority)
+		rb := rbcast.New(stack.TagConsensus, rbcast.Majority, 0)
 		h.stacks[i] = stack.New(h.envs[i], rb, h.layers[i], h.decided[i])
 		h.stacks[i].Start()
 	}

@@ -13,7 +13,6 @@ import (
 	"time"
 
 	"modab/internal/engine"
-	"modab/internal/netsim"
 	"modab/internal/recovery"
 	"modab/internal/runtime"
 	"modab/internal/stream"
@@ -188,15 +187,6 @@ func (g *Group) Restart(p int) error {
 	g.nodes[p] = node
 	g.mu.Unlock()
 	return nil
-}
-
-// NewLocalGroup starts an n-process group running the given stack over an
-// in-memory network. onDeliver (optional) observes every adelivery.
-//
-// Deprecated: use NewGroup, which takes GroupOptions and supports
-// delivery streams.
-func NewLocalGroup(n int, stack types.Stack, onDeliver DeliverFunc) (*Group, error) {
-	return NewGroup(n, stack, GroupOptions{OnDeliver: onDeliver})
 }
 
 // N returns the group size.
@@ -382,11 +372,4 @@ func NewTCPNode(opts TCPNodeOptions) (*runtime.Node, error) {
 		return nil, err
 	}
 	return node, nil
-}
-
-// NewSimCluster builds a deterministic simulated cluster (see
-// internal/netsim); it is re-exported so library users can run the
-// paper's experiments programmatically.
-func NewSimCluster(opts netsim.Options) (*netsim.Cluster, error) {
-	return netsim.NewCluster(opts)
 }

@@ -7,18 +7,17 @@ import (
 	"time"
 
 	"modab/internal/engine"
-	"modab/internal/netsim"
 	"modab/internal/types"
 )
 
 func TestLocalGroupTotalOrder(t *testing.T) {
 	var mu sync.Mutex
 	orders := make(map[types.ProcessID][]types.MsgID)
-	g, err := NewLocalGroup(3, types.Modular, func(p types.ProcessID, d engine.Delivery) {
+	g, err := NewGroup(3, types.Modular, GroupOptions{OnDeliver: func(p types.ProcessID, d engine.Delivery) {
 		mu.Lock()
 		orders[p] = append(orders[p], d.Msg.ID)
 		mu.Unlock()
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,11 +57,11 @@ func TestLocalGroupTotalOrder(t *testing.T) {
 func TestLocalGroupCrashSurvivors(t *testing.T) {
 	var mu sync.Mutex
 	count := make(map[types.ProcessID]int)
-	g, err := NewLocalGroup(3, types.Monolithic, func(p types.ProcessID, _ engine.Delivery) {
+	g, err := NewGroup(3, types.Monolithic, GroupOptions{OnDeliver: func(p types.ProcessID, _ engine.Delivery) {
 		mu.Lock()
 		count[p]++
 		mu.Unlock()
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,10 +102,10 @@ func TestLocalGroupCrashSurvivors(t *testing.T) {
 }
 
 func TestLocalGroupValidation(t *testing.T) {
-	if _, err := NewLocalGroup(0, types.Modular, nil); err == nil {
+	if _, err := NewGroup(0, types.Modular, GroupOptions{}); err == nil {
 		t.Error("accepted empty group")
 	}
-	if _, err := NewLocalGroup(2, 0, nil); err == nil {
+	if _, err := NewGroup(2, 0, GroupOptions{}); err == nil {
 		t.Error("accepted zero stack")
 	}
 }
@@ -130,7 +129,7 @@ func TestTCPNodeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer node.Close()
-	if _, err := node.AbcastBlocking([]byte("solo")); err != nil {
+	if _, err := node.Abcast(context.Background(), []byte("solo")); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
@@ -155,16 +154,6 @@ func TestTCPNodeBadAddr(t *testing.T) {
 		Stack: types.Modular,
 	}); err == nil {
 		t.Error("accepted unlistenable address")
-	}
-}
-
-func TestNewSimCluster(t *testing.T) {
-	c, err := NewSimCluster(netsim.Options{N: 3, Stack: types.Modular, Seed: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if c.N() != 3 {
-		t.Fatalf("N = %d", c.N())
 	}
 }
 

@@ -139,6 +139,12 @@ type RecoveredState struct {
 	// ReplayedMsgs counts the adelivered messages reconstructed from the
 	// log (feeds trace.Counters.RecoveryReplayedMsgs).
 	ReplayedMsgs int64
+	// Boots counts the previous incarnations found in the log (their boot
+	// markers). Layers that stamp per-broadcast sequence numbers on the
+	// wire namespace them by incarnation, so a restarted process's fresh
+	// numbering is never mistaken for duplicates of its pre-crash traffic
+	// (the modular rbcast needs this; see rbcast.New).
+	Boots uint64
 }
 
 // Engine is a deterministic protocol state machine implementing atomic
@@ -199,6 +205,15 @@ type Config struct {
 	// The zero value disables it (one diffusion per message, the paper's
 	// original behavior). Both stacks honor it identically.
 	Batch batch.Config
+	// PipelineDepth is the consensus pipeline window W: the maximum number
+	// of consensus instances a process keeps in flight concurrently
+	// instead of waiting for instance k to decide before proposing k+1.
+	// 0 and 1 both mean the paper's strictly sequential behavior (and are
+	// bit-identical to it); higher values overlap the decision round-trips
+	// of up to W instances in both stacks. Delivery order, duplicate
+	// suppression and the flow-control contract are unchanged — pipelining
+	// only overlaps the wait. Both stacks honor it identically.
+	PipelineDepth int
 	// Persist, when non-nil, enables the crash-recovery subsystem: the
 	// engine writes admissions and decisions through it ahead of acting on
 	// them. Driver-injected (see internal/wal and netsim's simulated
@@ -241,20 +256,33 @@ func DefaultConfig(n int) Config {
 	}
 }
 
+// EffectivePipeline returns the consensus pipeline window the engines
+// actually run: PipelineDepth, with the zero value meaning the sequential
+// depth 1.
+func (c Config) EffectivePipeline() int {
+	if c.PipelineDepth < 1 {
+		return 1
+	}
+	return c.PipelineDepth
+}
+
 // EffectiveWindow returns the flow-control window the engines actually
 // use: Config.Window, widened to cover two full sender-side batches when
-// batching is enabled. Flow control keeps accounting in-flight messages
+// batching is enabled, and multiplied by the pipeline depth when
+// pipelining is enabled. Flow control keeps accounting in-flight messages
 // at message granularity (each application message occupies one slot
-// until its own adelivery); the widening only ensures the window can span
-// a batch boundary, so a batch can fill while the previous one is still
-// being ordered. With the default window (≈12 messages group-wide) a
-// 64-message batch would otherwise never fill.
+// until its own adelivery); the widenings only ensure the window can span
+// a batch boundary (a batch can fill while the previous one is still
+// being ordered) and W concurrent consensus instances (W instances each
+// ordering M messages need a W× deeper per-process backlog to stay
+// busy). With the default window (≈12 messages group-wide) a 64-message
+// batch — or an 8-deep pipeline — would otherwise starve.
 func (c Config) EffectiveWindow() int {
 	w := c.Window
 	if c.Batch.Enabled() && 2*c.Batch.MaxMsgs > w {
 		w = 2 * c.Batch.MaxMsgs
 	}
-	return w
+	return w * c.EffectivePipeline()
 }
 
 // Validate reports whether the configuration is usable.
@@ -265,6 +293,8 @@ func (c Config) Validate() error {
 	case c.Window < 1:
 		return types.ErrBadConfig
 	case c.MaxBatch < 0:
+		return types.ErrBadConfig
+	case c.PipelineDepth < 0:
 		return types.ErrBadConfig
 	case c.DecisionHorizon < 1:
 		return types.ErrBadConfig

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"modab/internal/types"
 )
@@ -29,6 +30,7 @@ func TestValidateRejects(t *testing.T) {
 		{"zero window", func(c *Config) { c.Window = 0 }, types.ErrBadConfig},
 		{"negative batch", func(c *Config) { c.MaxBatch = -1 }, types.ErrBadConfig},
 		{"zero horizon", func(c *Config) { c.DecisionHorizon = 0 }, types.ErrBadConfig},
+		{"negative pipeline", func(c *Config) { c.PipelineDepth = -1 }, types.ErrBadConfig},
 	}
 	for _, c := range cases {
 		cfg := DefaultConfig(3)
@@ -58,5 +60,31 @@ func TestDefaultWindowTargetsBacklog(t *testing.T) {
 	// The paper's group sizes.
 	if DefaultWindow(3) != 4 || DefaultWindow(7) != 2 {
 		t.Errorf("paper windows: n=3 -> %d, n=7 -> %d", DefaultWindow(3), DefaultWindow(7))
+	}
+}
+
+func TestEffectivePipelineAndWindowWidening(t *testing.T) {
+	cfg := DefaultConfig(3)
+	if cfg.EffectivePipeline() != 1 {
+		t.Fatalf("zero PipelineDepth: effective %d, want 1", cfg.EffectivePipeline())
+	}
+	base := cfg.EffectiveWindow()
+	cfg.PipelineDepth = 1
+	if cfg.EffectiveWindow() != base {
+		t.Fatalf("depth 1 widened the window: %d != %d", cfg.EffectiveWindow(), base)
+	}
+	cfg.PipelineDepth = 8
+	if got := cfg.EffectiveWindow(); got != 8*base {
+		t.Fatalf("depth 8 window = %d, want %d (W instances must be able to stay busy)", got, 8*base)
+	}
+	// Pipelining composes with batching: the batch widening applies first,
+	// then the depth factor.
+	cfg.Batch.MaxMsgs = 32
+	cfg.Batch.MaxDelay = time.Millisecond
+	if got := cfg.EffectiveWindow(); got != 8*64 {
+		t.Fatalf("batched+pipelined window = %d, want %d", got, 8*64)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid pipelined config rejected: %v", err)
 	}
 }

@@ -31,7 +31,14 @@ func New(env engine.Env, cfg engine.Config) *Engine {
 	if cfg.ClassicRBcast {
 		mode = rbcast.Classic
 	}
-	rb := rbcast.New(stack.TagConsensus, mode)
+	// A restarted process broadcasts under a fresh incarnation so its
+	// rbcast numbering (not persisted) is not swallowed as duplicates of
+	// its pre-crash broadcasts by the surviving peers.
+	var incarnation uint64
+	if cfg.Recovered != nil {
+		incarnation = cfg.Recovered.Boots
+	}
+	rb := rbcast.New(stack.TagConsensus, mode, incarnation)
 	cs := consensus.New(stack.TagABcast, cfg.ResendEvery, cfg.DecisionHorizon)
 	ab := abcast.New(cfg)
 	return &Engine{

@@ -21,6 +21,14 @@
 // machinery as the modular consensus (estimates carry the sender's
 // unordered messages to the new coordinator), plus gap detection with
 // decision refetch for processes that missed a piggybacked decision.
+//
+// With pipelining enabled (engine.Config.PipelineDepth > 1) the
+// coordinator proposes into up to W instances past its decided watermark
+// concurrently — the pool is partitioned so no message rides two open
+// proposals — and the §4.1 piggyback generalizes to "the latest decided
+// instance on every fresh proposal", with a standalone decision flush
+// whenever a decision finds no fresh proposal to ride. Depth 1 reproduces
+// the paper's strictly sequential engine bit-for-bit.
 package monolithic
 
 import (
@@ -41,7 +49,8 @@ import (
 // may wait before being re-attached to the next ack (covers acks that
 // arrived after the coordinator already proposed). It sits above the
 // natural pipeline wait (2-3 instances under saturation) so no duplicate
-// piggybacking happens in good runs.
+// piggybacking happens in good runs. With pipelining the grace scales by
+// the window W, matching the W× deeper backlog and longer instance wait.
 const attachGrace = 8
 
 // Engine is the monolithic atomic broadcast engine.
@@ -59,6 +68,20 @@ type Engine struct {
 	// pool holds messages this process would propose when coordinating
 	// (its own plus those piggybacked to it).
 	pool map[types.MsgID]wire.AppMsg
+	// pipe is the effective pipeline window W (>= 1): how many instances
+	// past decidedK this process keeps proposing into concurrently; 1
+	// reproduces the paper's strictly sequential engine bit-for-bit.
+	pipe int
+	// assigned partitions the pool across the open window: a message
+	// carried by one of this process's in-flight proposals (the mapped
+	// instance) is excluded from concurrent proposals for other instances.
+	// propIDs is the reverse index used to release a closed instance's
+	// survivors back to the proposable pool; propSent counts proposals
+	// ever sent (decide uses it to detect that a fresh proposal carried
+	// the latest decision).
+	assigned map[types.MsgID]uint64
+	propIDs  map[uint64][]types.MsgID
+	propSent int64
 	// delivered deduplicates adeliveries per sender.
 	delivered dedup.Map
 	// decidedK is the highest instance decided locally; instances decide
@@ -143,6 +166,9 @@ func New(env engine.Env, cfg engine.Config) *Engine {
 		fc:        flow.NewController(env.Self(), cfg.EffectiveWindow()),
 		own:       make(map[uint64]*ownMsg),
 		pool:      make(map[types.MsgID]wire.AppMsg),
+		pipe:      cfg.EffectivePipeline(),
+		assigned:  make(map[types.MsgID]uint64),
+		propIDs:   make(map[uint64][]types.MsgID),
 		delivered: dedup.NewMap(env.N()),
 		insts:     make(map[uint64]*inst),
 		suspected: make(map[types.ProcessID]bool),
@@ -342,7 +368,7 @@ func (e *Engine) forwardOwn(cur *inst, coord types.ProcessID) {
 func (e *Engine) eligibleOwn(k uint64) wire.Batch {
 	var batch wire.Batch
 	for _, om := range e.own {
-		if om.attached == 0 || k >= om.attached+attachGrace {
+		if om.attached == 0 || k >= om.attached+attachGrace*uint64(e.pipe) {
 			om.attached = k
 			batch = append(batch, om.msg)
 		}
@@ -363,42 +389,53 @@ func (e *Engine) allOwn(k uint64) wire.Batch {
 	return batch
 }
 
-// tryPropose makes this process propose for the current instance if it is
-// the coordinator of the instance's current round and has something to
-// propose (round 1: its pool, estimate phase suppressed; rounds >= 2: the
-// locked estimate once a majority of estimates arrived).
+// tryPropose makes this process propose for every window instance whose
+// current round it coordinates and has not proposed yet (round 1: the
+// proposable pool, estimate phase suppressed; rounds >= 2: the locked
+// estimate once a majority of estimates arrived). With pipe == 1 the
+// window is the single current instance — the paper's sequential engine;
+// deeper windows keep up to W proposals in flight, each carrying a
+// disjoint slice of the pool.
 func (e *Engine) tryPropose() {
 	if e.rec.Active() {
 		return // never propose while catching up on missed decisions
 	}
-	cur := e.current()
-	if cur.decided {
-		return
-	}
-	r := cur.round
-	if e.coordinator(r) != e.self {
-		return
-	}
-	cr := cur.coordRound(r)
-	if cr.proposed {
-		return
-	}
-	if r == 1 {
-		batch := e.poolBatch()
-		if len(batch) == 0 {
-			return
+	for k := e.decidedK + 1; k <= e.decidedK+uint64(e.pipe); k++ {
+		in := e.get(k)
+		if in.decided {
+			continue
 		}
-		e.env.Counters().ConsensusStarted.Add(1)
-		e.proposeRound(cur, r, batch)
-		return
+		r := in.round
+		if e.coordinator(r) != e.self {
+			continue
+		}
+		cr := in.coordRound(r)
+		if cr.proposed {
+			continue
+		}
+		if r == 1 {
+			batch := e.poolBatch(k)
+			if len(batch) == 0 {
+				continue // nothing proposable; later round-1 slots are empty too
+			}
+			e.env.Counters().ConsensusStarted.Add(1)
+			e.proposeRound(in, r, batch)
+			continue
+		}
+		e.coordMaybePropose(in, r)
 	}
-	e.coordMaybePropose(cur, r)
 }
 
-// poolBatch snapshots the pool as a deterministic, optionally capped batch.
-func (e *Engine) poolBatch() wire.Batch {
+// poolBatch snapshots the pool slice proposable for instance k — messages
+// not riding another in-flight proposal (those assigned to k itself stay
+// eligible: a round change within k re-proposes them) — as a
+// deterministic, optionally capped batch.
+func (e *Engine) poolBatch(k uint64) wire.Batch {
 	batch := make(wire.Batch, 0, len(e.pool))
-	for _, m := range e.pool {
+	for id, m := range e.pool {
+		if a, ok := e.assigned[id]; ok && a != k {
+			continue
+		}
 		batch = append(batch, m)
 	}
 	batch.SortDeterministic()
@@ -408,8 +445,25 @@ func (e *Engine) poolBatch() wire.Batch {
 	return batch
 }
 
-// proposeRound sends the combined proposal(k)+decision(k-1) (§4.1) and
-// adopts the proposal locally.
+// openProposals counts this process's in-flight proposals: window
+// instances whose current round this process proposed and that have not
+// decided yet.
+func (e *Engine) openProposals() int {
+	open := 0
+	for k := e.decidedK + 1; k <= e.decidedK+uint64(e.pipe); k++ {
+		in := e.insts[k]
+		if in == nil || in.decided {
+			continue
+		}
+		if cr := in.coord[in.round]; cr != nil && cr.proposed {
+			open++
+		}
+	}
+	return open
+}
+
+// proposeRound sends the combined proposal(k)+decision (§4.1) and adopts
+// the proposal locally.
 func (e *Engine) proposeRound(in *inst, r uint32, batch wire.Batch) {
 	cr := in.coordRound(r)
 	cr.proposal = batch
@@ -422,8 +476,27 @@ func (e *Engine) proposeRound(in *inst, r uint32, batch wire.Batch) {
 		in.round = r
 	}
 	in.proposals[r] = batch
+	// Partition bookkeeping: pool messages carried by this proposal must
+	// not ride a second concurrent proposal (decide releases survivors).
+	for _, pm := range batch {
+		if _, ok := e.pool[pm.ID]; ok && e.assigned[pm.ID] != in.k {
+			e.assigned[pm.ID] = in.k
+			e.propIDs[in.k] = append(e.propIDs[in.k], pm.ID)
+		}
+	}
+	e.propSent++
+	e.env.Counters().ObserveDepth(e.openProposals())
 	m := message{Type: mPropDec, Instance: in.k, Round: r, Batch: batch}
-	if prev := e.insts[in.k-1]; prev != nil && prev.decided {
+	// Piggyback a decision on the proposal (§4.1). Sequentially the
+	// freshest decision is exactly instance in.k-1; under pipelining the
+	// proposal of a newly opened window slot instead carries the latest
+	// decided instance, which is what keeps every peer's in-order decide
+	// cascade fed while earlier slots are still in flight.
+	prevK := in.k - 1
+	if e.pipe > 1 {
+		prevK = e.decidedK
+	}
+	if prev := e.insts[prevK]; prev != nil && prev.decided {
 		m.PrevDecided = true
 		m.PrevK = prev.k
 		m.PrevRound = prev.decisionRound
@@ -463,7 +536,7 @@ func (e *Engine) coordMaybePropose(in *inst, r uint32) {
 	}
 	if !best.hasValue {
 		// No locked value anywhere: free to propose fresh messages.
-		batch := e.poolBatch()
+		batch := e.poolBatch(in.k)
 		if len(batch) == 0 {
 			return
 		}
@@ -555,8 +628,12 @@ func (e *Engine) handlePropDec(from types.ProcessID, m message) {
 		e.send(from, message{Type: mNack, Instance: in.k, Round: m.Round})
 		return
 	}
-	if m.Instance > e.decidedK+1 {
-		// Gap: we missed one or more decisions (coordinator crash window).
+	if m.Instance > e.decidedK+uint64(e.pipe) {
+		// Gap: a proposal beyond the pipeline window means the proposer's
+		// decided horizon ran ahead of ours — we missed one or more
+		// decisions (coordinator crash window). Proposals merely ahead
+		// within the window are normal pipelining, and the decisions they
+		// piggyback arrive in order on the same FIFO channel.
 		e.requestMissing(from, m.Instance)
 	}
 	in.round = m.Round
@@ -708,10 +785,15 @@ func (e *Engine) decide(in *inst, batch wire.Batch, r uint32) {
 	ordered.SortDeterministic()
 	for _, msg := range ordered {
 		delete(e.pool, msg.ID)
+		delete(e.assigned, msg.ID)
 		if msg.ID.Sender == e.self {
 			delete(e.own, msg.ID.Seq)
 		}
 		if e.isDelivered(msg.ID) {
+			// With pipelining, two concurrent instances may both order a
+			// message (it reached different coordinator rounds through
+			// different acks); the per-sender suppressor makes the second
+			// decision a delivery no-op.
 			continue
 		}
 		e.markDelivered(msg.ID)
@@ -720,6 +802,16 @@ func (e *Engine) decide(in *inst, batch wire.Batch, r uint32) {
 		if err := e.fc.Delivered(msg.ID); err != nil {
 			c.Retransmissions.Add(1)
 		}
+	}
+	// Close this instance's proposal bookkeeping: pool messages it carried
+	// but did not order become proposable again for a later window slot.
+	if ids := e.propIDs[in.k]; ids != nil {
+		for _, id := range ids {
+			if e.assigned[id] == in.k {
+				delete(e.assigned, id)
+			}
+		}
+		delete(e.propIDs, in.k)
 	}
 	e.prune()
 	// Cascade: a decision announcement for the next instance may already
@@ -730,20 +822,48 @@ func (e *Engine) decide(in *inst, batch wire.Batch, r uint32) {
 			return
 		}
 	}
-	// Keep the pipeline moving: the next instance's coordinator proposes,
-	// piggybacking this decision (§4.1). If it has nothing to propose, the
-	// pipeline stops: flush the decision standalone so the idle tail still
-	// learns it (never taken under load). During state-transfer catch-up
-	// the decisions being applied are old news to every peer, so the
-	// keepalive is skipped.
+	// Cascade (ack path): with pipelining, a later window instance can
+	// complete its ack majority while an earlier one is still undecided —
+	// that checkDecide attempt is dropped by the in-order guard at the top
+	// of this function, and since its acks are already consumed, nothing
+	// would ever re-trigger it. Re-check the new window head's coordinator
+	// rounds now that it became eligible. (Sequential operation keeps the
+	// paper's exact behavior: the coordinator never has a completed
+	// majority waiting beyond the current instance in good runs, and the
+	// pinned golden traces assume the pre-pipelining tail.)
+	if nxt := e.insts[e.decidedK+1]; nxt != nil && !nxt.decided && e.pipe > 1 {
+		rounds := make([]uint32, 0, len(nxt.coord))
+		for r := range nxt.coord {
+			rounds = append(rounds, r)
+		}
+		sort.Slice(rounds, func(i, j int) bool { return rounds[i] < rounds[j] })
+		for _, r := range rounds {
+			e.checkDecide(nxt, r)
+			if nxt.decided {
+				return
+			}
+		}
+	}
+	// Keep the pipeline moving: sliding the window open one more slot lets
+	// this coordinator propose again, piggybacking this decision (§4.1).
+	// If no fresh proposal went out to carry it, flush the decision
+	// standalone so the idle tail still learns it (never taken under
+	// load). During state-transfer catch-up the decisions being applied
+	// are old news to every peer, so the keepalive is skipped.
 	if e.rec.Active() {
 		return
 	}
 	next := e.current()
 	if e.coordinator(next.round) == e.self {
+		sent := e.propSent
 		e.tryPropose()
-		if cur := e.current(); cur.k == in.k+1 && !cur.coordRound(cur.round).proposed {
-			e.pipelineIdle = true
+		noneOpen := e.openProposals() == 0
+		if e.propSent == sent && (e.pipe > 1 || noneOpen) {
+			// Sequentially the flush is gated on the whole (one-slot)
+			// window being unproposed, exactly as the paper's engine; a
+			// deeper pipeline must flush whenever no fresh proposal carried
+			// the decision — earlier in-flight proposals predate it.
+			e.pipelineIdle = noneOpen
 			e.sendAll(message{Type: mDecisionOnly, Instance: in.k, Round: r})
 		}
 	}
@@ -908,13 +1028,31 @@ func (e *Engine) flushBatch() {
 }
 
 // retryWaiting re-requests a decision this process knows exists but cannot
-// resolve (the announcing peer may have crashed).
+// resolve (the announcing peer may have crashed). Under pipelining the
+// head of the window also retries when only a LATER window instance has
+// an unresolved announcement: that announcement proves the head decided
+// somewhere, even if its own announcement was lost with the announcer.
 func (e *Engine) retryWaiting() {
 	in := e.insts[e.decidedK+1]
-	if in == nil || in.decided || in.waitingRound == 0 {
+	if in != nil && in.decided {
 		return
 	}
-	e.sendAll(message{Type: mDecisionReq, Instance: in.k})
+	// The head instance may not even exist locally (the gap was learned
+	// from an announcement for a later instance only); the scan below must
+	// still run, or the refetch chain dies with the crashed announcer.
+	waiting := in != nil && in.waitingRound != 0
+	if !waiting && e.pipe > 1 {
+		for k := e.decidedK + 2; k <= e.decidedK+uint64(e.pipe); k++ {
+			if buf := e.insts[k]; buf != nil && buf.waitingRound != 0 {
+				waiting = true
+				break
+			}
+		}
+	}
+	if !waiting {
+		return
+	}
+	e.sendAll(message{Type: mDecisionReq, Instance: e.decidedK + 1})
 	e.env.Counters().Retransmissions.Add(int64(e.n - 1))
 	if e.cfg.ResendEvery > 0 {
 		e.env.SetTimer(engine.TimerResend, e.cfg.ResendEvery)

@@ -361,3 +361,130 @@ func TestPruneBoundsState(t *testing.T) {
 	}
 	r.checkTotalOrder(t, 50)
 }
+
+// TestPipelinedWindowProposals drives the windowed coordinator directly:
+// with PipelineDepth 3 and submissions arriving while earlier instances
+// are still collecting acks, the coordinator must keep up to three
+// proposals in flight over disjoint pool slices, and the cluster must
+// still converge to one duplicate-free total order.
+func TestPipelinedWindowProposals(t *testing.T) {
+	cfg := engine.DefaultConfig(3)
+	cfg.IdleKick = 0
+	cfg.Window = 16
+	cfg.PipelineDepth = 3
+	r := newRig(t, 3, cfg)
+
+	// Submit at the coordinator one at a time WITHOUT running the network:
+	// instance k cannot decide, so each submission must open a new window
+	// slot rather than wait (the sequential engine would sit on one).
+	for i := 0; i < 3; i++ {
+		if _, err := r.engs[0].Abcast([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.engs[0].openProposals(); got != 3 {
+		t.Fatalf("open proposals at the coordinator = %d, want 3", got)
+	}
+	seen := make(map[types.MsgID]uint64)
+	for k := uint64(1); k <= 3; k++ {
+		in := r.engs[0].insts[k]
+		if in == nil {
+			t.Fatalf("instance %d not open", k)
+		}
+		cr := in.coord[in.round]
+		if cr == nil || !cr.proposed {
+			t.Fatalf("instance %d not proposed", k)
+		}
+		if len(cr.proposal) != 1 {
+			t.Fatalf("instance %d proposal carries %d messages, want 1 (partitioning)", k, len(cr.proposal))
+		}
+		if prev, dup := seen[cr.proposal[0].ID]; dup {
+			t.Fatalf("message %s rides instances %d and %d", cr.proposal[0].ID, prev, k)
+		}
+		seen[cr.proposal[0].ID] = k
+	}
+	// A fourth submission must NOT open instance 4: the window is full.
+	if _, err := r.engs[0].Abcast([]byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.engs[0].openProposals(); got != 3 {
+		t.Fatalf("window overran: %d open proposals", got)
+	}
+	// Let the network run: everything decides, in order, exactly once.
+	r.run(t)
+	r.checkTotalOrder(t, 4)
+	if got := r.envs[0].Counters().PipelineDepthObserved.Load(); got != 3 {
+		t.Fatalf("PipelineDepthObserved = %d, want 3", got)
+	}
+}
+
+// TestPipelinedOutOfOrderAckMajority is the regression test for the
+// window-head wedge: with W=2, the coordinator's second in-flight
+// instance completes its ack majority BEFORE the first decides. The
+// decision attempt fires while the instance is not yet the window head
+// (decide's in-order guard drops it) and no further ack will re-trigger
+// it — decide must therefore re-check the new head's coordinator rounds
+// after the watermark advances, or instance 2 never decides.
+func TestPipelinedOutOfOrderAckMajority(t *testing.T) {
+	cfg := engine.DefaultConfig(3)
+	cfg.IdleKick = 0
+	cfg.ResendEvery = 0 // no timers: the cascade alone must recover
+	cfg.Window = 8
+	cfg.PipelineDepth = 2
+	r := newRig(t, 3, cfg)
+
+	// Two submissions at the coordinator: proposals for instances 1 and 2
+	// go out back-to-back.
+	for i := 0; i < 2; i++ {
+		if _, err := r.engs[0].Abcast([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Deliver instance 2's proposals and acks FIRST, withholding
+	// instance 1's: p0 collects a full majority for 2 while 1 is
+	// undecided.
+	var held []enginetest.Sent
+	take := func(env *enginetest.Env) []enginetest.Sent {
+		out := env.Sends
+		env.Sends = nil
+		return out
+	}
+	instOf := func(data []byte) uint64 {
+		m, err := unmarshalMessage(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Instance
+	}
+	for _, s := range take(r.envs[0]) {
+		if instOf(s.Data) == 2 {
+			if err := r.engs[s.To].HandleMessage(0, s.Data); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			held = append(held, s)
+		}
+	}
+	for p := 1; p < 3; p++ {
+		for _, s := range take(r.envs[p]) {
+			if err := r.engs[s.To].HandleMessage(types.ProcessID(p), s.Data); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if e0 := r.engs[0]; e0.decidedK != 0 {
+		t.Fatalf("instance decided out of order: decidedK = %d", e0.decidedK)
+	}
+	// Now release instance 1's proposals and run to quiescence: deciding 1
+	// must cascade into the already-complete majority of 2.
+	for _, s := range held {
+		if err := r.engs[s.To].HandleMessage(0, s.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.run(t)
+	if got := r.engs[0].decidedK; got != 2 {
+		t.Fatalf("decidedK = %d, want 2 (ready ack-majority decision was dropped)", got)
+	}
+	r.checkTotalOrder(t, 2)
+}

@@ -1,0 +1,134 @@
+package netsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+	"time"
+
+	"modab/internal/engine"
+	"modab/internal/types"
+)
+
+// goldenScenario is one deterministic simulated run whose full observable
+// behavior — the delivery sequence at every process plus the byte-exact
+// wire and dispatch counters — is pinned by a recorded fingerprint.
+//
+// The fingerprints were captured from the pre-pipelining engines (every
+// consensus instance strictly sequential). The pipelined refactor must
+// reproduce them bit-for-bit at pipeline depth 1: same deliveries in the
+// same order, same messages, same bytes on the wire, same dispatch
+// counts. Any divergence means depth-1 operation is not the exact
+// sequential protocol the paper measured.
+type goldenScenario struct {
+	name string
+	n    int
+	seed int64
+	load float64
+	size int
+	// crash, when >= 0, crash-stops that process at crashAt.
+	crash   int
+	crashAt time.Duration
+	// restart re-enables the crashed process at restartAt on a durable
+	// cluster (crash-recovery model).
+	restart   bool
+	restartAt time.Duration
+}
+
+// goldenScenarios is the pinned scenario matrix: good runs at both group
+// sizes, a round-1 coordinator crash (p0 coordinates round 1 of every
+// instance), and a durable crash+restart.
+var goldenScenarios = []goldenScenario{
+	{name: "good/n=3", n: 3, seed: 42, load: 1500, size: 128, crash: -1},
+	{name: "good/n=7", n: 7, seed: 7, load: 2100, size: 64, crash: -1},
+	{name: "coordcrash/n=3", n: 3, seed: 5, load: 1200, size: 64, crash: 0, crashAt: 500 * time.Millisecond},
+	{name: "restart/n=3", n: 3, seed: 11, load: 1500, size: 128, crash: 1, crashAt: 500 * time.Millisecond,
+		restart: true, restartAt: 1200 * time.Millisecond},
+}
+
+// goldenFingerprints maps scenario/stack to the recorded pre-pipelining
+// fingerprint (see goldenScenario). To regenerate, empty this map, run
+//
+//	go test ./internal/netsim -run TestGoldenTraces -v
+//
+// and copy the logged GOLDEN lines back — but only when a deliberate
+// wire- or schedule-visible protocol change is being made; say so in the
+// commit.
+var goldenFingerprints = map[string]string{
+	"good/n=3/modular":          "p0{del=2684 sent=4740 B=1125272 disp=7480 cons=685/685} p1{del=2684 sent=3739 B=291074 disp=6110 cons=1/685} p2{del=2684 sent=2369 B=255454 disp=6795 cons=1/685} order=42e8c2506f31c70c",
+	"good/n=3/monolithic":       "p0{del=3000 sent=3604 B=972086 disp=4604 cons=1801/1801} p1{del=3000 sent=1802 B=174634 disp=2802 cons=0/1801} p2{del=3000 sent=1802 B=174634 disp=2802 cons=0/1801} order=d175104a3a0dbf60",
+	"good/n=7/modular":          "p0{del=1639 sent=5916 B=1034952 disp=5917 cons=329/329} p1{del=1639 sent=3617 B=163678 disp=3943 cons=1/329} p2{del=1639 sent=3611 B=163186 disp=3943 cons=1/329} p3{del=1639 sent=3617 B=163678 disp=3943 cons=1/329} p4{del=1639 sent=1643 B=112354 disp=4272 cons=1/329} p5{del=1639 sent=1637 B=111862 disp=4272 cons=1/329} p6{del=1639 sent=1637 B=111862 disp=4272 cons=1/329} order=63e0891ab3a8ba52",
+	"good/n=7/monolithic":       "p0{del=2987 sent=4788 B=1577298 disp=5385 cons=797/797} p1{del=2987 sent=798 B=46046 disp=1204 cons=0/797} p2{del=2987 sent=797 B=46029 disp=1204 cons=0/797} p3{del=2987 sent=798 B=46046 disp=1204 cons=0/797} p4{del=2987 sent=798 B=44686 disp=1187 cons=0/797} p5{del=2987 sent=797 B=44749 disp=1188 cons=0/797} p6{del=2987 sent=797 B=44749 disp=1188 cons=0/797} order=9abff4015fa86255",
+	"coordcrash/n=3/modular":    "p0{del=596 sent=1138 B=144868 disp=1886 cons=185/184} p1{del=1722 sent=4043 B=358378 disp=5387 cons=390/574} p2{del=1722 sent=3675 B=169280 disp=4791 cons=390/574} order=5cc46d5530af63ec",
+	"coordcrash/n=3/monolithic": "p0{del=597 sent=910 B=122640 disp=1103 cons=445/444} p1{del=1723 sent=3262 B=259704 disp=2898 cons=560/1005} p2{del=1723 sent=2694 B=154928 disp=2338 cons=0/1005} order=4f965e8252b2740e",
+	"restart/n=3/modular":       "p0{del=2432 sent=5394 B=1076816 disp=7578 cons=848/848} p1{del=2432 sent=2429 B=186526 disp=3973 cons=2/448} p2{del=2432 sent=2657 B=386386 disp=7141 cons=2/848} order=9e3fd0ad53a3d1e3",
+	"restart/n=3/monolithic":    "p0{del=2640 sent=3609 B=874127 disp=3973 cons=1799/1799} p1{del=2640 sent=1192 B=113780 disp=1834 cons=0/1799} p2{del=2640 sent=1821 B=286045 disp=2824 cons=0/1799} order=61acde73bb09578b",
+}
+
+// fingerprint runs the scenario and folds every process's delivery
+// sequence and counters into one comparable string.
+func (s goldenScenario) fingerprint(t *testing.T, stk types.Stack, cfg engine.Config) string {
+	t.Helper()
+	seqs := make([][]types.MsgID, s.n)
+	c, err := NewCluster(Options{
+		N:       s.n,
+		Stack:   stk,
+		Engine:  cfg,
+		Seed:    s.seed,
+		Durable: s.restart,
+		OnDeliver: func(p types.ProcessID, d engine.Delivery, _ time.Duration) {
+			seqs[p] = append(seqs[p], d.Msg.ID)
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	InstallWorkload(c, Workload{OfferedLoad: s.load, Size: s.size, End: 2 * time.Second}, nil)
+	if s.crash >= 0 {
+		c.Crash(types.ProcessID(s.crash), s.crashAt)
+		if s.restart {
+			c.Restart(types.ProcessID(s.crash), s.restartAt)
+		}
+	}
+	c.Run(3 * time.Second)
+	c.RunIdle(30 * time.Second)
+	for _, err := range c.Errs() {
+		t.Errorf("engine error: %v", err)
+	}
+	h := fnv.New64a()
+	for p := 0; p < s.n; p++ {
+		for _, id := range seqs[p] {
+			fmt.Fprintf(h, "%d:%s;", p, id)
+		}
+	}
+	var out string
+	for p := 0; p < s.n; p++ {
+		snap := c.Counters(types.ProcessID(p))
+		out += fmt.Sprintf("p%d{del=%d sent=%d B=%d disp=%d cons=%d/%d} ",
+			p, len(seqs[p]), snap.MsgsSent, snap.BytesSent, snap.Dispatches,
+			snap.ConsensusStarted, snap.ConsensusDecided)
+	}
+	return fmt.Sprintf("%sorder=%x", out, h.Sum64())
+}
+
+// TestGoldenTraces pins the depth-1 behavior of both stacks to the
+// recorded pre-pipelining fingerprints, for the default configuration.
+func TestGoldenTraces(t *testing.T) {
+	for _, sc := range goldenScenarios {
+		for _, stk := range []types.Stack{types.Modular, types.Monolithic} {
+			sc, stk := sc, stk
+			t.Run(sc.name+"/"+stk.String(), func(t *testing.T) {
+				got := sc.fingerprint(t, stk, engine.Config{})
+				key := sc.name + "/" + stk.String()
+				want, ok := goldenFingerprints[key]
+				if !ok {
+					t.Logf("GOLDEN %q: %q,", key, got)
+					t.Fatalf("no golden recorded for %s", key)
+				}
+				if got != want {
+					t.Errorf("trace diverged from the sequential golden:\n got %s\nwant %s", got, want)
+				}
+			})
+		}
+	}
+}

@@ -58,6 +58,15 @@ func (m Mode) MessagesPerBroadcast(n int) int {
 	}
 }
 
+// incarnationShift splits the 64-bit wire sequence number into an
+// incarnation tag (high 16 bits) and a per-incarnation counter (low 48
+// bits). A restarted process broadcasts under a fresh incarnation, so its
+// numbering — which necessarily restarts, rbcast state is not persisted —
+// is never swallowed by peers' duplicate suppression for its pre-crash
+// traffic. Incarnation 0 produces the exact wire bytes of the
+// crash-stop protocol.
+const incarnationShift = 48
+
 // Layer is the reliable broadcast microprotocol. It accepts
 // stack.EvBroadcastReq events and emits stack.EvRDeliver events to the
 // subscriber layer.
@@ -66,18 +75,24 @@ type Layer struct {
 	subscriber stack.Tag
 	mode       Mode
 
-	self    types.ProcessID
-	n       int
-	nextSeq uint64
-	seen    map[types.ProcessID]*dedup
+	self        types.ProcessID
+	n           int
+	incarnation uint64
+	nextSeq     uint64
+	// seen suppresses duplicates per origin and per origin-incarnation
+	// (each incarnation numbers its broadcasts independently).
+	seen map[types.ProcessID]map[uint64]*dedup
 }
 
 var _ stack.Layer = (*Layer)(nil)
 
 // New returns a reliable broadcast layer that rdelivers to the layer with
-// the given tag.
-func New(subscriber stack.Tag, mode Mode) *Layer {
-	return &Layer{subscriber: subscriber, mode: mode}
+// the given tag. incarnation is the number of previous incarnations of
+// this process (0 on first boot; the replayed boot-marker count after a
+// crash-recovery restart) — it namespaces the broadcast sequence numbers
+// this layer stamps on the wire.
+func New(subscriber stack.Tag, mode Mode, incarnation uint64) *Layer {
+	return &Layer{subscriber: subscriber, mode: mode, incarnation: incarnation}
 }
 
 // Tag implements stack.Layer.
@@ -88,7 +103,7 @@ func (l *Layer) Init(ctx *stack.Context) {
 	l.ctx = ctx
 	l.self = ctx.Env().Self()
 	l.n = ctx.Env().N()
-	l.seen = make(map[types.ProcessID]*dedup, l.n)
+	l.seen = make(map[types.ProcessID]map[uint64]*dedup, l.n)
 }
 
 // Start implements stack.Layer.
@@ -100,7 +115,7 @@ func (l *Layer) Event(ev stack.Event) {
 		return
 	}
 	l.nextSeq++
-	m := message{origin: l.self, seq: l.nextSeq, payload: ev.Data}
+	m := message{origin: l.self, seq: l.incarnation<<incarnationShift | l.nextSeq, payload: ev.Data}
 	// The local process rdelivers its own broadcast immediately.
 	l.markSeen(m.origin, m.seq)
 	l.ctx.Emit(l.subscriber, stack.Event{Kind: stack.EvRDeliver, From: m.origin, Data: m.payload})
@@ -180,38 +195,53 @@ func unmarshalMessage(data []byte) (message, error) {
 	return m, nil
 }
 
-// dedup suppresses duplicate (origin, seq) pairs with a contiguous
-// watermark plus a sparse set for out-of-order arrivals, so memory stays
-// bounded on long runs.
+// dedup suppresses duplicate (origin, incarnation, seq) triples with a
+// contiguous watermark plus a sparse set for out-of-order arrivals, so
+// memory stays bounded on long runs. Each origin incarnation numbers its
+// broadcasts contiguously from 1, so the watermark keeps advancing across
+// restarts instead of wedging on the inter-incarnation gap.
 type dedup struct {
 	watermark uint64
 	sparse    map[uint64]struct{}
 }
 
-func (l *Layer) dedupFor(origin types.ProcessID) *dedup {
-	d := l.seen[origin]
+func (l *Layer) dedupFor(origin types.ProcessID, inc uint64) *dedup {
+	byInc := l.seen[origin]
+	if byInc == nil {
+		byInc = make(map[uint64]*dedup, 1)
+		l.seen[origin] = byInc
+	}
+	d := byInc[inc]
 	if d == nil {
 		d = &dedup{sparse: make(map[uint64]struct{})}
-		l.seen[origin] = d
+		byInc[inc] = d
 	}
 	return d
 }
 
+// splitSeq separates a wire sequence number into its incarnation tag and
+// per-incarnation counter.
+func splitSeq(seq uint64) (inc, ctr uint64) {
+	return seq >> incarnationShift, seq & (1<<incarnationShift - 1)
+}
+
 func (l *Layer) isSeen(origin types.ProcessID, seq uint64) bool {
-	d := l.dedupFor(origin)
-	if seq <= d.watermark {
+	inc, ctr := splitSeq(seq)
+	d := l.dedupFor(origin, inc)
+	if ctr <= d.watermark {
 		return true
 	}
-	_, ok := d.sparse[seq]
+	_, ok := d.sparse[ctr]
 	return ok
 }
 
 func (l *Layer) markSeen(origin types.ProcessID, seq uint64) {
-	d := l.dedupFor(origin)
-	if seq <= d.watermark {
+	inc, ctr := splitSeq(seq)
+	d := l.dedupFor(origin, inc)
+	if ctr <= d.watermark {
 		return
 	}
-	d.sparse[seq] = struct{}{}
+	d.sparse[ctr] = struct{}{}
 	for {
 		if _, ok := d.sparse[d.watermark+1]; !ok {
 			break

@@ -28,7 +28,7 @@ func (s *sink) Suspect(types.ProcessID, bool)         {}
 // rig builds an rbcast layer wired to a sink at a given process.
 func rig(self types.ProcessID, n int, mode Mode) (*enginetest.Env, *stack.Stack, *Layer, *sink) {
 	env := enginetest.New(self, n)
-	rb := New(stack.TagConsensus, mode)
+	rb := New(stack.TagConsensus, mode, 0)
 	sk := &sink{}
 	st := stack.New(env, rb, sk)
 	st.Start()
@@ -217,20 +217,66 @@ func TestWatermarkCompaction(t *testing.T) {
 	for seq := uint64(1); seq <= 100; seq++ {
 		rb.markSeen(1, seq)
 	}
-	d := rb.seen[1]
+	d := rb.seen[1][0]
 	if d.watermark != 100 || len(d.sparse) != 0 {
 		t.Fatalf("watermark=%d sparse=%d", d.watermark, len(d.sparse))
 	}
 	// Out-of-order: gap keeps sparse entries until filled.
 	rb.markSeen(2, 5)
-	if rb.seen[2].watermark != 0 || len(rb.seen[2].sparse) != 1 {
+	if rb.seen[2][0].watermark != 0 || len(rb.seen[2][0].sparse) != 1 {
 		t.Fatal("gap not kept sparse")
 	}
 	for _, seq := range []uint64{1, 2, 3, 4} {
 		rb.markSeen(2, seq)
 	}
-	if rb.seen[2].watermark != 5 || len(rb.seen[2].sparse) != 0 {
-		t.Fatalf("gap fill: watermark=%d sparse=%d", rb.seen[2].watermark, len(rb.seen[2].sparse))
+	if rb.seen[2][0].watermark != 5 || len(rb.seen[2][0].sparse) != 0 {
+		t.Fatalf("gap fill: watermark=%d sparse=%d", rb.seen[2][0].watermark, len(rb.seen[2][0].sparse))
+	}
+}
+
+// TestIncarnationNamespacing pins the crash-recovery contract: a restarted
+// origin's broadcasts restart their numbering under a fresh incarnation
+// and must NOT be suppressed by the duplicate state of its previous
+// incarnation — that wedge is exactly the bug that stalled survivors
+// after a coordinator restart. Each incarnation compacts independently.
+func TestIncarnationNamespacing(t *testing.T) {
+	env0, _, rb0, _ := rig(0, 3, Majority)
+	rb0.Event(stack.Event{Kind: stack.EvBroadcastReq, Data: []byte("before-crash")})
+	preCrash := env0.Sends[0].Data
+
+	// The same process after a crash-recovery restart: incarnation 1.
+	env1 := enginetest.New(0, 3)
+	rb1 := New(stack.TagConsensus, Majority, 1)
+	sk1 := &sink{}
+	st1 := stack.New(env1, rb1, sk1)
+	st1.Start()
+	rb1.Event(stack.Event{Kind: stack.EvBroadcastReq, Data: []byte("after-restart")})
+	postRestart := env1.Sends[0].Data
+
+	// A survivor that saw the pre-crash broadcast must still rdeliver the
+	// restarted incarnation's first broadcast (both carry counter 1).
+	_, st2, rb2, sk2 := rig(1, 3, Majority)
+	if err := st2.Receive(0, preCrash); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Receive(0, postRestart); err != nil {
+		t.Fatal(err)
+	}
+	if len(sk2.delivered) != 2 {
+		t.Fatalf("survivor rdelivered %d of 2 broadcasts across the origin's restart", len(sk2.delivered))
+	}
+	// Both incarnations' duplicates stay suppressed independently.
+	if err := st2.Receive(0, preCrash); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Receive(0, postRestart); err != nil {
+		t.Fatal(err)
+	}
+	if len(sk2.delivered) != 2 {
+		t.Fatalf("duplicate suppression broke across incarnations: %d deliveries", len(sk2.delivered))
+	}
+	if got := len(rb2.seen[0]); got != 2 {
+		t.Fatalf("survivor tracks %d incarnations of p1, want 2", got)
 	}
 }
 

@@ -141,8 +141,10 @@ func ReplayState(s Store, n int) (*engine.RecoveredState, error) {
 			}
 			st.NextDecide++
 		case RecBoot:
-			// A previous incarnation existed; the record itself carries no
-			// state, but its presence alone makes the replay non-empty.
+			// A previous incarnation existed; beyond making the replay
+			// non-empty, the marker count becomes the new incarnation's
+			// number (wire-visible sequence numbering is namespaced by it).
+			st.Boots++
 		default:
 			return fmt.Errorf("recovery: unknown record kind %d", r.Kind)
 		}

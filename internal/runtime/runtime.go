@@ -305,13 +305,6 @@ func (n *Node) Abcast(ctx context.Context, body []byte) (types.MsgID, error) {
 	}
 }
 
-// AbcastBlocking submits one payload, waiting for flow-control room.
-//
-// Deprecated: use Abcast with a context.
-func (n *Node) AbcastBlocking(body []byte) (types.MsgID, error) {
-	return n.Abcast(context.Background(), body)
-}
-
 // windowChanged returns a channel that is closed the next time one of
 // this node's own messages is adelivered (i.e. the flow-control window
 // may have room again).

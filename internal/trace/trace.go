@@ -53,6 +53,22 @@ type Counters struct {
 	// SenderBatchedMsgs sums the application messages carried by those
 	// sender-side batches (numerator of the msgs/batch average).
 	SenderBatchedMsgs atomic.Int64
+	// ConcurrentInstances sums, over every consensus proposal this process
+	// issued, the number of its own in-flight (proposed, not yet decided)
+	// instances right after the proposal — the numerator of the average
+	// pipeline depth. Sequential operation contributes exactly 1 per
+	// proposal. PipelineProposals counts those samples (the denominator);
+	// it differs from ConsensusStarted because a proposal for an instance
+	// whose initial value another process already supplied still occupies
+	// a window slot without "starting" the instance.
+	ConcurrentInstances atomic.Int64
+	// PipelineProposals counts the proposals sampled into
+	// ConcurrentInstances.
+	PipelineProposals atomic.Int64
+	// PipelineDepthObserved is the high-water mark of concurrently
+	// in-flight consensus instances at this process (1 in sequential
+	// operation; up to engine.Config.PipelineDepth with pipelining).
+	PipelineDepthObserved atomic.Int64
 	// Retransmissions counts recovery-path sends (decision refetch,
 	// rbcast relay duplicates suppressed, etc.).
 	Retransmissions atomic.Int64
@@ -78,26 +94,29 @@ type Counters struct {
 
 // Snapshot is an immutable copy of the counters at one instant.
 type Snapshot struct {
-	MsgsSent             int64
-	BytesSent            int64
-	PayloadBytesSent     int64
-	MsgsRecv             int64
-	BytesRecv            int64
-	Dispatches           int64
-	ConsensusStarted     int64
-	ConsensusDecided     int64
-	Rounds               int64
-	ABCast               int64
-	ADeliver             int64
-	BatchedMsgs          int64
-	SenderBatches        int64
-	SenderBatchedMsgs    int64
-	Retransmissions      int64
-	StreamDropped        int64
-	Recoveries           int64
-	RecoveryReplayedMsgs int64
-	RecoveryFetchedMsgs  int64
-	RecoveryNanos        int64
+	MsgsSent              int64
+	BytesSent             int64
+	PayloadBytesSent      int64
+	MsgsRecv              int64
+	BytesRecv             int64
+	Dispatches            int64
+	ConsensusStarted      int64
+	ConsensusDecided      int64
+	Rounds                int64
+	ABCast                int64
+	ADeliver              int64
+	BatchedMsgs           int64
+	SenderBatches         int64
+	SenderBatchedMsgs     int64
+	ConcurrentInstances   int64
+	PipelineProposals     int64
+	PipelineDepthObserved int64
+	Retransmissions       int64
+	StreamDropped         int64
+	Recoveries            int64
+	RecoveryReplayedMsgs  int64
+	RecoveryFetchedMsgs   int64
+	RecoveryNanos         int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting (each field is
@@ -105,26 +124,29 @@ type Snapshot struct {
 // quiescence).
 func (c *Counters) Snapshot() Snapshot {
 	return Snapshot{
-		MsgsSent:             c.MsgsSent.Load(),
-		BytesSent:            c.BytesSent.Load(),
-		PayloadBytesSent:     c.PayloadBytesSent.Load(),
-		MsgsRecv:             c.MsgsRecv.Load(),
-		BytesRecv:            c.BytesRecv.Load(),
-		Dispatches:           c.Dispatches.Load(),
-		ConsensusStarted:     c.ConsensusStarted.Load(),
-		ConsensusDecided:     c.ConsensusDecided.Load(),
-		Rounds:               c.Rounds.Load(),
-		ABCast:               c.ABCast.Load(),
-		ADeliver:             c.ADeliver.Load(),
-		BatchedMsgs:          c.BatchedMsgs.Load(),
-		SenderBatches:        c.SenderBatches.Load(),
-		SenderBatchedMsgs:    c.SenderBatchedMsgs.Load(),
-		Retransmissions:      c.Retransmissions.Load(),
-		StreamDropped:        c.StreamDropped.Load(),
-		Recoveries:           c.Recoveries.Load(),
-		RecoveryReplayedMsgs: c.RecoveryReplayedMsgs.Load(),
-		RecoveryFetchedMsgs:  c.RecoveryFetchedMsgs.Load(),
-		RecoveryNanos:        c.RecoveryNanos.Load(),
+		MsgsSent:              c.MsgsSent.Load(),
+		BytesSent:             c.BytesSent.Load(),
+		PayloadBytesSent:      c.PayloadBytesSent.Load(),
+		MsgsRecv:              c.MsgsRecv.Load(),
+		BytesRecv:             c.BytesRecv.Load(),
+		Dispatches:            c.Dispatches.Load(),
+		ConsensusStarted:      c.ConsensusStarted.Load(),
+		ConsensusDecided:      c.ConsensusDecided.Load(),
+		Rounds:                c.Rounds.Load(),
+		ABCast:                c.ABCast.Load(),
+		ADeliver:              c.ADeliver.Load(),
+		BatchedMsgs:           c.BatchedMsgs.Load(),
+		SenderBatches:         c.SenderBatches.Load(),
+		SenderBatchedMsgs:     c.SenderBatchedMsgs.Load(),
+		ConcurrentInstances:   c.ConcurrentInstances.Load(),
+		PipelineProposals:     c.PipelineProposals.Load(),
+		PipelineDepthObserved: c.PipelineDepthObserved.Load(),
+		Retransmissions:       c.Retransmissions.Load(),
+		StreamDropped:         c.StreamDropped.Load(),
+		Recoveries:            c.Recoveries.Load(),
+		RecoveryReplayedMsgs:  c.RecoveryReplayedMsgs.Load(),
+		RecoveryFetchedMsgs:   c.RecoveryFetchedMsgs.Load(),
+		RecoveryNanos:         c.RecoveryNanos.Load(),
 	}
 }
 
@@ -144,6 +166,13 @@ func (s *Snapshot) Add(o Snapshot) {
 	s.BatchedMsgs += o.BatchedMsgs
 	s.SenderBatches += o.SenderBatches
 	s.SenderBatchedMsgs += o.SenderBatchedMsgs
+	s.ConcurrentInstances += o.ConcurrentInstances
+	s.PipelineProposals += o.PipelineProposals
+	if o.PipelineDepthObserved > s.PipelineDepthObserved {
+		// The high-water mark aggregates as a max, not a sum: the group-wide
+		// value is the deepest pipeline any process ran.
+		s.PipelineDepthObserved = o.PipelineDepthObserved
+	}
 	s.Retransmissions += o.Retransmissions
 	s.StreamDropped += o.StreamDropped
 	s.Recoveries += o.Recoveries
@@ -186,6 +215,33 @@ func (s Snapshot) MsgsPerSenderBatch() float64 {
 	return float64(s.SenderBatchedMsgs) / float64(s.SenderBatches)
 }
 
+// ObserveDepth records one pipeline-depth sample at proposal time: depth
+// accumulates into ConcurrentInstances and raises the
+// PipelineDepthObserved high-water mark. Engines call it from their
+// single-threaded event loop; the CAS loop only defends against harness
+// reads racing the update.
+func (c *Counters) ObserveDepth(depth int) {
+	d := int64(depth)
+	c.ConcurrentInstances.Add(d)
+	c.PipelineProposals.Add(1)
+	for {
+		cur := c.PipelineDepthObserved.Load()
+		if cur >= d || c.PipelineDepthObserved.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// AvgPipelineDepth returns the average number of in-flight consensus
+// instances per proposal (1.0 in sequential operation, up to the
+// configured pipeline depth under saturation; 0 when nothing proposed).
+func (s Snapshot) AvgPipelineDepth() float64 {
+	if s.PipelineProposals == 0 {
+		return 0
+	}
+	return float64(s.ConcurrentInstances) / float64(s.PipelineProposals)
+}
+
 // HeaderBytesPerMsg returns the protocol overhead on the wire — total
 // bytes sent minus application payload bytes — per abcast application
 // message. This is the per-message cost of modularity the paper's §5.2.2
@@ -206,6 +262,9 @@ func (s Snapshot) String() string {
 		s.ConsensusDecided, s.ConsensusStarted, s.AvgBatch(), s.Dispatches)
 	if s.SenderBatches > 0 {
 		out += fmt.Sprintf(" msgs/batch=%.2f", s.MsgsPerSenderBatch())
+	}
+	if s.PipelineDepthObserved > 1 {
+		out += fmt.Sprintf(" pipeline=%d (avg %.2f)", s.PipelineDepthObserved, s.AvgPipelineDepth())
 	}
 	if s.StreamDropped > 0 {
 		out += fmt.Sprintf(" streamDropped=%d", s.StreamDropped)

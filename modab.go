@@ -46,6 +46,11 @@
 //	// flushing undersized batches after 2ms:
 //	modab.New(10, modab.Modular, modab.WithBatching(32, 65536, 2*time.Millisecond))
 //
+//	// Consensus pipelining: keep a window of 8 instances in flight
+//	// instead of waiting out each decision round-trip (depth 1 is the
+//	// paper's sequential behavior):
+//	modab.New(3, modab.Modular, modab.WithPipelining(8))
+//
 // Every driver exposes the same submission (Abcast, TryAbcast), the same
 // delivery stream (Deliveries) and the same instrumentation (Counters,
 // Stats). TryAbcast is the only entry point that returns ErrFlowControl;
@@ -64,7 +69,8 @@
 // discrete-event simulation), and the measurement harness.
 //
 // See MIGRATION.md for the mapping from the pre-v1 callback/positional
-// API (NewLocalGroup, NewTCPNode, NewSimCluster) to this surface.
+// API (NewLocalGroup, NewTCPNode, NewSimCluster — kept as deprecated
+// shims for one release and now removed) to this surface.
 package modab
 
 import (
@@ -108,14 +114,6 @@ type (
 	Node = runtime.Node
 	// Group is an in-process group over an in-memory network.
 	Group = core.Group
-	// TCPNodeOptions configures one process of a TCP group.
-	//
-	// Deprecated: use New with WithTransportTCP.
-	TCPNodeOptions = core.TCPNodeOptions
-	// SimOptions configures a deterministic simulated cluster.
-	//
-	// Deprecated: use New with WithSimulation.
-	SimOptions = netsim.Options
 	// SimCluster is a deterministic simulated cluster.
 	SimCluster = netsim.Cluster
 	// CostModel parameterizes the simulated hardware.
@@ -210,6 +208,7 @@ type settings struct {
 	policy       OverflowPolicy
 	onDeliver    func(Event)
 	batch        *BatchConfig
+	pipeline     int
 	dur          *core.DurabilityOptions
 }
 
@@ -245,6 +244,32 @@ func WithBatching(maxMsgs, maxBytes int, maxDelay time.Duration) Option {
 			return err
 		}
 		s.batch = &b
+		return nil
+	}
+}
+
+// WithPipelining sets the consensus pipeline window W on either stack:
+// each process keeps up to depth consensus instances in flight
+// concurrently — proposing into instance k+1 (… k+W-1) while instance k's
+// decision is still round-tripping — instead of the paper's strictly
+// sequential one-instance-at-a-time execution. Depth 1 (and the default)
+// is bit-for-bit the sequential protocol. Pipelining overlaps the
+// per-instance decision latency the same way sender-side batching
+// (WithBatching) amortizes the per-message cost: the two compose, and
+// both stacks honor the window identically, so the modularity comparison
+// stays apples-to-apples at every depth. The flow-control window is
+// widened by the same factor so W instances can stay busy
+// (Config.EffectiveWindow); delivery order, duplicate suppression and all
+// safety properties are unchanged. Observability: Counters report
+// PipelineDepthObserved and ConcurrentInstances, and cmd/abbench grows
+// -pipeline and -fig pipeline. It composes with WithConfig regardless of
+// option order.
+func WithPipelining(depth int) Option {
+	return func(s *settings) error {
+		if depth < 1 {
+			return fmt.Errorf("%w: WithPipelining requires depth >= 1", types.ErrBadConfig)
+		}
+		s.pipeline = depth
 		return nil
 	}
 }
@@ -408,14 +433,19 @@ func New(n int, stack Stack, opts ...Option) (*Cluster, error) {
 	if s.dur != nil && !s.sim && s.dur.Dir == "" {
 		return nil, fmt.Errorf("%w: WithDurability requires a directory on the real-time drivers", types.ErrBadConfig)
 	}
-	if s.batch != nil {
-		// Materialize the defaults first so the batching fields survive the
-		// drivers' zero-config check, then overlay them on whatever
-		// WithConfig supplied.
+	if s.batch != nil || s.pipeline > 0 {
+		// Materialize the defaults first so the batching/pipelining fields
+		// survive the drivers' zero-config check, then overlay them on
+		// whatever WithConfig supplied.
 		if s.engineCfg.N == 0 {
 			s.engineCfg = engine.DefaultConfig(n)
 		}
-		s.engineCfg.Batch = *s.batch
+		if s.batch != nil {
+			s.engineCfg.Batch = *s.batch
+		}
+		if s.pipeline > 0 {
+			s.engineCfg.PipelineDepth = s.pipeline
+		}
 	}
 	c := &Cluster{n: n, stack: stack, start: time.Now(), durable: s.dur != nil, onDeliver: s.onDeliver}
 
@@ -761,27 +791,6 @@ func (c *Cluster) Close() error {
 		return nil
 	}
 }
-
-// NewLocalGroup starts an n-process group of the given stack over an
-// in-memory network. onDeliver (optional) observes every adelivery.
-//
-// Deprecated: use New; for the callback use WithOnDeliver, or better,
-// consume Deliveries.
-func NewLocalGroup(n int, stack Stack, onDeliver func(p ProcessID, d Delivery)) (*Group, error) {
-	return core.NewLocalGroup(n, stack, onDeliver)
-}
-
-// NewTCPNode starts one process of a group communicating over TCP.
-//
-// Deprecated: use New with WithTransportTCP.
-func NewTCPNode(opts TCPNodeOptions) (*Node, error) { return core.NewTCPNode(opts) }
-
-// NewSimCluster builds a deterministic simulated cluster for running the
-// paper's experiments programmatically.
-//
-// Deprecated: use New with WithSimulation (and Sim for the low-level
-// handle).
-func NewSimCluster(opts SimOptions) (*SimCluster, error) { return core.NewSimCluster(opts) }
 
 // DefaultConfig returns the protocol tunables used in the paper's
 // evaluation for a group of n processes.

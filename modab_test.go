@@ -219,51 +219,31 @@ func TestFacadeOnDeliverAdapter(t *testing.T) {
 	}
 }
 
-// TestDeprecatedShims keeps the pre-v1 entry points working for one
-// release.
-func TestDeprecatedShims(t *testing.T) {
-	var mu sync.Mutex
-	count := 0
-	group, err := modab.NewLocalGroup(3, modab.Monolithic, func(modab.ProcessID, modab.Delivery) {
-		mu.Lock()
-		count++
-		mu.Unlock()
-	})
+// TestWithPipelining drives a pipelined modular cluster end to end on
+// the simulated driver and checks both the ordering contract and the
+// observability: the configured window must actually be reached.
+func TestWithPipelining(t *testing.T) {
+	cluster, err := modab.New(3, modab.Modular,
+		modab.WithSimulation(7), modab.WithPipelining(4))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer group.Close()
-	if _, err := group.Abcast(context.Background(), 0, []byte("hello")); err != nil {
-		t.Fatal(err)
+	defer cluster.Close()
+	sim := cluster.Sim()
+	for i := 0; i < 40; i++ {
+		p := modab.ProcessID(i % 3)
+		sim.Abcast(p, time.Duration(i)*time.Millisecond, []byte{byte(i)}, nil)
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		mu.Lock()
-		done := count == 3
-		mu.Unlock()
-		if done {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("timeout")
-		}
-		time.Sleep(5 * time.Millisecond)
+	sim.Run(10 * time.Second)
+	st := cluster.Stats()
+	if st.Total.ADeliver != 3*40 {
+		t.Fatalf("delivered %d of %d", st.Total.ADeliver, 3*40)
 	}
-
-	sim, err := modab.NewSimCluster(modab.SimOptions{N: 3, Stack: modab.Modular, Seed: 1})
-	if err != nil {
-		t.Fatal(err)
+	if st.Total.PipelineDepthObserved < 2 {
+		t.Fatalf("pipeline depth observed %d, want >= 2", st.Total.PipelineDepthObserved)
 	}
-	delivered := 0
-	sim.Abcast(0, 0, []byte("x"), nil)
-	sub := sim.Deliveries()
-	sim.Run(time.Second)
-	sim.Close()
-	for range sub.C() {
-		delivered++
-	}
-	if delivered != 3 {
-		t.Fatalf("delivered %d, want 3", delivered)
+	if _, err := modab.New(3, modab.Modular, modab.WithPipelining(0)); err == nil {
+		t.Fatal("WithPipelining(0) accepted")
 	}
 }
 
