@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet docs bench-smoke ci
+.PHONY: all build test race vet docs bench-smoke test-chaos ci
 
 all: ci
 
@@ -10,12 +10,21 @@ build:
 test:
 	$(GO) test ./...
 
-# The runtime, stream, wal and recovery packages carry the
+# The runtime, stream, wal, recovery and fd packages carry the
 # concurrency-sensitive code (event loop, delivery streams, flow-control
-# wakeups, background WAL fsync, restart paths); the root package
-# exercises the facade across all three drivers.
+# wakeups, background WAL fsync, restart paths, heartbeat suspicion
+# reporting); the root package exercises the facade across all three
+# drivers.
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/stream/... ./internal/core/... ./internal/wal/... ./internal/recovery/... ./internal/transport/... .
+	$(GO) test -race ./internal/runtime/... ./internal/stream/... ./internal/core/... ./internal/wal/... ./internal/recovery/... ./internal/transport/... ./internal/fd/... .
+
+# Chaos soak: the fixed-seed short sweep of the fault-injection harness
+# (three scenario families plus randomized schedules, both stacks, every
+# atomic broadcast property checked per run) — bounded well under a
+# minute so it can gate every push. The nightly-style deep sweep is the
+# same target with CHAOS_SEEDS=200 (or any seed count).
+test-chaos:
+	$(GO) test ./internal/chaos -run 'TestChaosSeedSweep|TestChaosRandomSchedules' -count=1 -timeout 10m -v
 
 vet:
 	$(GO) vet ./...
@@ -35,4 +44,4 @@ docs:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) test -run 'TestExportedSymbolsDocumented|TestInternalPackagesHaveComments|TestMarkdownLinks' .
 
-ci: build vet test race docs bench-smoke
+ci: build vet test race docs bench-smoke test-chaos

@@ -9,6 +9,7 @@
 //	abbench -fig 8                  # one figure
 //	abbench -fig recovery           # crash-recovery cost comparison
 //	abbench -fig pipeline           # consensus pipelining sweep (W = 1..16)
+//	abbench -fig chaos              # property-checked fault-schedule soak
 //	abbench -analytical             # §5.2 closed-form tables only
 //	abbench -fig 10 -reps 5 -measure 8s
 //	abbench -fig 11 -batch-msgs 32  # sender-side batching enabled
@@ -27,7 +28,12 @@
 // latency). -fig pipeline sweeps the pipeline window W over both stacks
 // at n=3/64 B saturating load on the metro cost model (modern CPUs, 1 ms
 // links — the latency-bound regime pipelining reclaims), with throughput
-// and adeliver-latency columns per depth. -json additionally writes every
+// and adeliver-latency columns per depth. -fig chaos runs seeded
+// randomized fault schedules (partitions, lossy links, wrong suspicions,
+// crash+restart) through internal/chaos with every atomic broadcast
+// property checked per run, and tables the injected fault volume against
+// each stack's repair cost; any property violation fails the run.
+// -json additionally writes every
 // produced figure as a machine-readable report (schema modab-bench/v1)
 // for performance trajectory tracking.
 package main
@@ -51,7 +57,7 @@ func main() {
 
 func run() error {
 	var (
-		fig        = flag.String("fig", "all", `figure to regenerate: "8", "9", "10", "11", "recovery", "pipeline" or "all"`)
+		fig        = flag.String("fig", "all", `figure to regenerate: "8", "9", "10", "11", "recovery", "pipeline", "chaos" or "all"`)
 		analytical = flag.Bool("analytical", false, "print the §5.2 analytical tables and exit")
 		reps       = flag.Int("reps", 3, "repetitions per point (95% CIs are computed across them)")
 		warmup     = flag.Duration("warmup", 2*time.Second, "virtual warm-up before measuring")
@@ -121,8 +127,17 @@ func run() error {
 		benchharness.RenderPipeline(os.Stdout, pf)
 		pipeFig = &pf
 	}
+	var chaosFig *benchharness.ChaosFigure
+	if *fig == "all" || *fig == "chaos" {
+		cf, err := benchharness.FigChaos(opts)
+		if err != nil {
+			return fmt.Errorf("figure chaos: %w", err)
+		}
+		benchharness.RenderChaos(os.Stdout, cf)
+		chaosFig = &cf
+	}
 	if *jsonPath != "" {
-		if err := benchharness.WriteJSON(*jsonPath, benchharness.NewReport(opts, produced, recFig, pipeFig)); err != nil {
+		if err := benchharness.WriteJSON(*jsonPath, benchharness.NewReport(opts, produced, recFig, pipeFig, chaosFig)); err != nil {
 			return err
 		}
 		fmt.Printf("machine-readable report written to %s\n", *jsonPath)

@@ -375,11 +375,15 @@ func (l *Layer) handleRecoverReq(from types.ProcessID, req wire.RecoverReq) {
 // handleRecoverResp applies a state-transfer chunk through the normal
 // decision path (persisted, adelivered, deduplicated), then either
 // completes the catch-up or pulls the next chunk from the same peer.
+//
+// Decisions are applied even when the catch-up has already finished: the
+// finish can race a still-in-flight chunk (the quorum check can be
+// satisfied by a responder that is itself lagging — e.g. the peer that
+// sat on the other side of a healed partition), and the raced chunk may
+// carry decisions whose dissemination this process permanently missed
+// while down. Discarding it would leave an unhealable gap (found by the
+// chaos harness under partition+crash+restart schedules).
 func (l *Layer) handleRecoverResp(from types.ProcessID, resp wire.RecoverResp) {
-	if !l.rec.Active() {
-		return // stale response from an earlier recovery
-	}
-	l.rec.Observe(from, resp.UpTo)
 	c := l.ctx.Env().Counters()
 	before := l.nextDecide
 	for _, d := range resp.Decisions {
@@ -389,6 +393,10 @@ func (l *Layer) handleRecoverResp(from types.ProcessID, resp wire.RecoverResp) {
 		c.RecoveryFetchedMsgs.Add(int64(len(d.Batch)))
 		l.Event(stack.Event{Kind: stack.EvDecide, Instance: d.K, Batch: d.Batch})
 	}
+	if !l.rec.Active() {
+		return // finished catch-up: the decisions above were still usable
+	}
+	l.rec.Observe(from, resp.UpTo)
 	if dur, done := l.rec.MaybeFinish(l.nextDecide, l.ctx.Env().Now()); done {
 		c.RecoveryNanos.Add(dur.Nanoseconds())
 		l.ctx.CancelTimer(timerRecover)
@@ -620,7 +628,23 @@ func (l *Layer) Timer(id engine.TimerID) {
 		return
 	}
 	now := l.ctx.Env().Now()
-	if len(l.pending) > 0 && now-l.lastProgress >= l.cfg.IdleKick {
+	stalled := now-l.lastProgress >= l.cfg.IdleKick
+	if stalled && !l.rec.Active() && l.n > 1 && l.staleGap() {
+		// Backstop for missed decision dissemination: a buffered decision
+		// far beyond the deliverable watermark proves the cluster decided
+		// instances whose announcements this process permanently missed
+		// (e.g. the catch-up finish raced the deciding traffic). Re-enter
+		// the state-transfer protocol to pull the gap from a peer's log.
+		l.rec.Begin(now, recovery.Quorum(l.n))
+		l.recLastSeen = l.nextDecide
+		l.sendRecoverReq(types.Nobody)
+		if l.cfg.ResendEvery > 0 {
+			l.ctx.SetTimer(timerRecover, l.cfg.ResendEvery)
+		}
+		l.armKick()
+		return
+	}
+	if len(l.pending) > 0 && stalled {
 		// Stalled: re-diffuse everything still pending so the round-1
 		// coordinator certainly learns of it, then (re)propose.
 		c := l.ctx.Env().Counters()
@@ -644,9 +668,24 @@ func (l *Layer) armKick() {
 	if l.cfg.IdleKick <= 0 {
 		return
 	}
-	if len(l.pending) > 0 || l.fc.InFlight() > 0 {
+	if len(l.pending) > 0 || l.fc.InFlight() > 0 || len(l.decisionsBuf) > 0 {
 		l.ctx.SetTimer(timerKick, l.cfg.IdleKick)
 	}
+}
+
+// staleGap reports whether a buffered out-of-order decision sits so far
+// beyond the deliverable watermark that it cannot be explained by
+// in-flight racing (the same staleness bound the re-diffusion rule uses):
+// the instances below it were decided by the cluster, and their
+// announcements are not coming back.
+func (l *Layer) staleGap() bool {
+	bound := l.nextDecide + rediffuseGrace*uint64(l.pipe)
+	for k := range l.decisionsBuf {
+		if k >= bound {
+			return true
+		}
+	}
+	return false
 }
 
 // Suspect implements stack.Layer; the reduction itself ignores the failure

@@ -21,6 +21,7 @@ type Report struct {
 	Figures     []Figure        `json:"figures,omitempty"`
 	Recovery    *RecoveryFigure `json:"recovery,omitempty"`
 	Pipeline    *PipelineFigure `json:"pipeline,omitempty"`
+	Chaos       *ChaosFigure    `json:"chaos,omitempty"`
 }
 
 // ReportOptions records the sweep parameters the numbers were produced
@@ -36,7 +37,7 @@ type ReportOptions struct {
 }
 
 // NewReport assembles a report from run options and results.
-func NewReport(opts RunOptions, figs []Figure, rec *RecoveryFigure, pipe *PipelineFigure) Report {
+func NewReport(opts RunOptions, figs []Figure, rec *RecoveryFigure, pipe *PipelineFigure, cha *ChaosFigure) Report {
 	opts = opts.withDefaults()
 	return Report{
 		Schema:      ReportSchema,
@@ -53,6 +54,7 @@ func NewReport(opts RunOptions, figs []Figure, rec *RecoveryFigure, pipe *Pipeli
 		Figures:  figs,
 		Recovery: rec,
 		Pipeline: pipe,
+		Chaos:    cha,
 	}
 }
 

@@ -1,0 +1,265 @@
+// Package chaos is the deterministic fault-injection harness over the two
+// atomic broadcast stacks: it runs a seeded fault schedule (link
+// partitions, probabilistic drops, delay/jitter, duplication, bounded
+// reordering, crashes and restarts — see internal/netsim's link-fault
+// model) against the modular and the monolithic stack with identical
+// seeds, and checks the atomic broadcast properties on every run:
+//
+//	validity          — a message abcast by a process that stays correct
+//	                    is eventually adelivered by every correct process;
+//	uniform agreement — if any process adelivers m (even one that later
+//	                    crashes), every correct process adelivers m;
+//	uniform integrity — every process adelivers m at most once, and only
+//	                    if m was abcast;
+//	uniform total order — any two delivery sequences are consistent: one
+//	                    is a prefix of the other's order;
+//	liveness after heal — once every fault has cleared, the cluster
+//	                    quiesces within a bounded amount of virtual time
+//	                    with nothing left undelivered.
+//
+// On a violation the harness re-runs the schedule through a greedy
+// minimizer and reports the seed, the minimized schedule, and the
+// divergent suffix of the two delivery logs that witnessed the violation
+// — everything needed to reproduce the failure with one command.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"modab/internal/engine"
+	"modab/internal/netsim"
+	"modab/internal/trace"
+	"modab/internal/types"
+)
+
+// StackConfig parameterizes the cluster and workload a schedule runs
+// against. The zero value of every field selects a sensible default.
+type StackConfig struct {
+	// N is the group size (default 3).
+	N int
+	// Engine carries protocol tunables; zero means engine.DefaultConfig(N).
+	Engine engine.Config
+	// Model is the hardware cost model; zero means netsim.DefaultModel().
+	Model netsim.CostModel
+	// Durable gives every process a simulated durable store (required by
+	// schedules containing restarts; forced on for those).
+	Durable bool
+	// Load is the global submission rate in msgs/s (default 300).
+	Load float64
+	// Size is the payload size in bytes (default 64).
+	Size int
+	// InjectEnd bounds the submission interval [0, InjectEnd)
+	// (default 1200ms).
+	InjectEnd time.Duration
+	// Horizon is how long the schedule phase runs; it must cover the
+	// schedule's end (default: the later of InjectEnd and the schedule
+	// end, plus 500ms).
+	Horizon time.Duration
+	// Settle bounds the virtual time the cluster may take to quiesce
+	// after Horizon — the liveness-after-heal budget (default 30s).
+	Settle time.Duration
+}
+
+func (c StackConfig) withDefaults(sch Schedule) StackConfig {
+	if c.N == 0 {
+		c.N = 3
+	}
+	if c.Load == 0 {
+		c.Load = 300
+	}
+	if c.Size == 0 {
+		c.Size = 64
+	}
+	if c.InjectEnd == 0 {
+		c.InjectEnd = 1200 * time.Millisecond
+	}
+	if c.Horizon == 0 {
+		end, _ := sch.End()
+		c.Horizon = c.InjectEnd
+		if end > c.Horizon {
+			c.Horizon = end
+		}
+		c.Horizon += 500 * time.Millisecond
+	}
+	if c.Settle == 0 {
+		c.Settle = 30 * time.Second
+	}
+	if sch.NeedsDurability() {
+		c.Durable = true
+	}
+	return c
+}
+
+// Submission is one abcast attempt the harness injected.
+type Submission struct {
+	// By is the submitting process and At the submission time.
+	By types.ProcessID
+	At time.Duration
+	// ID is the assigned message ID; the zero ID means the submission was
+	// rejected (flow control) or hit a crashed process.
+	ID types.MsgID
+}
+
+// StackResult is the observable outcome of one stack's run.
+type StackResult struct {
+	Stack types.Stack
+	// Logs holds each process's delivery sequence, pre-crash and
+	// post-restart deliveries concatenated.
+	Logs [][]types.MsgID
+	// Submissions records every injected abcast attempt.
+	Submissions []Submission
+	// Stats is the cluster-wide counter snapshot after quiescence.
+	Stats trace.Stats
+	// Quiesced reports that the event queue drained within the settle
+	// budget; false is a liveness violation.
+	Quiesced bool
+	// Errs carries engine errors surfaced by the simulator.
+	Errs []error
+}
+
+// Violation is one property violation found by the checker.
+type Violation struct {
+	Stack    types.Stack
+	Property string
+	Detail   string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("property %s (%s): %s", v.Property, v.Stack, v.Detail)
+}
+
+// Result is the outcome of one chaos run over both stacks.
+type Result struct {
+	Seed       int64
+	Schedule   Schedule
+	Config     StackConfig
+	Stacks     []StackResult
+	Violations []Violation
+	// Minimized is the greedily minimized schedule that still violates;
+	// only set when Violations is non-empty.
+	Minimized Schedule
+}
+
+// Ok reports whether every property held in both stacks.
+func (r *Result) Ok() bool { return len(r.Violations) == 0 }
+
+// Report renders the violation report: seed, violations with divergent
+// log suffixes, and the minimized schedule — or a one-line all-clear.
+func (r *Result) Report() string {
+	var b strings.Builder
+	if r.Ok() {
+		total := 0
+		if len(r.Stacks) > 0 {
+			total = int(r.Stacks[0].Stats.Total.ADeliver)
+		}
+		fmt.Fprintf(&b, "chaos: seed=%d ok (%d ops, %d adeliveries/stack-process set)", r.Seed, len(r.Schedule), total)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "chaos: seed=%d VIOLATION\n", r.Seed)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	fmt.Fprintf(&b, "  minimized schedule (%d of %d ops):\n%s\n", len(r.Minimized), len(r.Schedule), indent(r.Minimized.String()))
+	fmt.Fprintf(&b, "  repro: chaos.Run(%d, schedule, cfg) — same seed, same schedule, same run", r.Seed)
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
+}
+
+// Run executes the schedule against both stacks with identical seeds and
+// workloads, checks every property, and — when a violation is found —
+// minimizes the schedule before returning. The run is bit-for-bit
+// reproducible: same seed, schedule and config give the same Result.
+func Run(seed int64, sch Schedule, cfg StackConfig) (*Result, error) {
+	res, err := run(seed, sch, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Ok() {
+		res.Minimized = Minimize(seed, sch, cfg)
+	}
+	return res, nil
+}
+
+// run executes and checks without minimizing (the minimizer's inner loop).
+func run(seed int64, sch Schedule, cfg StackConfig) (*Result, error) {
+	cfg = cfg.withDefaults(sch)
+	res := &Result{Seed: seed, Schedule: sch, Config: cfg}
+	for _, stk := range []types.Stack{types.Modular, types.Monolithic} {
+		sr, err := runStack(stk, seed, sch, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Stacks = append(res.Stacks, *sr)
+		res.Violations = append(res.Violations, checkStack(sr, sch, cfg)...)
+	}
+	return res, nil
+}
+
+// runStack drives one stack through the schedule. The submission schedule
+// is derived from the seed alone, so both stacks see identical workloads.
+func runStack(stk types.Stack, seed int64, sch Schedule, cfg StackConfig) (*StackResult, error) {
+	sr := &StackResult{Stack: stk, Logs: make([][]types.MsgID, cfg.N)}
+	c, err := netsim.NewCluster(netsim.Options{
+		N:       cfg.N,
+		Stack:   stk,
+		Engine:  cfg.Engine,
+		Model:   cfg.Model,
+		Seed:    seed,
+		Durable: cfg.Durable,
+		OnDeliver: func(p types.ProcessID, d engine.Delivery, _ time.Duration) {
+			sr.Logs[p] = append(sr.Logs[p], d.Msg.ID)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	sch.Apply(c)
+
+	// Seed-derived workload, identical across stacks: random processes
+	// submit fixed-size payloads at random times inside [0, InjectEnd).
+	rng := newSubmitRNG(seed)
+	total := int(cfg.Load * cfg.InjectEnd.Seconds())
+	body := make([]byte, cfg.Size)
+	for i := 0; i < total; i++ {
+		p := types.ProcessID(rng.Intn(cfg.N))
+		at := time.Duration(rng.Int63n(int64(cfg.InjectEnd)))
+		idx := len(sr.Submissions)
+		sr.Submissions = append(sr.Submissions, Submission{By: p, At: at})
+		c.Abcast(p, at, body, func(id types.MsgID, _ time.Duration, err error) {
+			if err == nil {
+				sr.Submissions[idx].ID = id
+			}
+		})
+	}
+
+	c.Run(cfg.Horizon)
+	c.RunIdle(cfg.Settle)
+	sr.Quiesced = c.Events() == 0
+	sr.Stats = c.Stats()
+	sr.Errs = c.Errs()
+	if testMutateLog != nil {
+		for p := range sr.Logs {
+			sr.Logs[p] = testMutateLog(stk, types.ProcessID(p), sr.Logs[p])
+		}
+	}
+	return sr, nil
+}
+
+// newSubmitRNG derives the submission-schedule RNG from the run seed; it
+// is independent of the cluster's fault RNG so both stacks inject the
+// exact same workload.
+func newSubmitRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ 0x5eedc4a05))
+}
+
+// testMutateLog, when set by a test, corrupts collected delivery logs
+// before checking — the intentional-bug hook proving the checker catches
+// agreement violations end to end.
+var testMutateLog func(stk types.Stack, p types.ProcessID, log []types.MsgID) []types.MsgID

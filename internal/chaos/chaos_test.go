@@ -1,0 +1,150 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"modab/internal/types"
+)
+
+// TestPartitionRunHoldsProperties is the smoke test of the harness: a
+// symmetric partition of the round-1 coordinator, healed mid-run, must
+// leave every property intact in both stacks.
+func TestPartitionRunHoldsProperties(t *testing.T) {
+	sch := Schedule{
+		{Kind: OpPartition, A: 0, B: 1, From: 300 * time.Millisecond, To: 800 * time.Millisecond},
+		{Kind: OpPartition, A: 0, B: 2, From: 300 * time.Millisecond, To: 800 * time.Millisecond},
+	}
+	res, err := Run(7, sch, StackConfig{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Ok() {
+		t.Fatalf("properties violated:\n%s", res.Report())
+	}
+	for _, sr := range res.Stacks {
+		if sr.Stats.Total.DroppedByFault == 0 {
+			t.Errorf("%s: partition dropped nothing", sr.Stack)
+		}
+		if sr.Stats.Total.PartitionNanos == 0 {
+			t.Errorf("%s: partition time not accounted", sr.Stack)
+		}
+		if sr.Stats.Total.ADeliver == 0 {
+			t.Errorf("%s: no deliveries", sr.Stack)
+		}
+	}
+}
+
+// TestRunDeterministic: the same seed, schedule and config must reproduce
+// the exact same delivery logs and counters.
+func TestRunDeterministic(t *testing.T) {
+	sch := Schedule{
+		{Kind: OpLinkFault, A: 0, B: 1, From: 200 * time.Millisecond, To: 900 * time.Millisecond,
+			Fault: lossy()},
+		{Kind: OpPartition, A: 1, B: 2, From: 400 * time.Millisecond, To: 700 * time.Millisecond},
+	}
+	a, err := Run(11, sch, StackConfig{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := Run(11, sch, StackConfig{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fmt.Sprint(a.Stacks) != fmt.Sprint(b.Stacks) {
+		t.Fatal("same seed produced different chaos runs")
+	}
+	if !a.Ok() {
+		t.Fatalf("properties violated:\n%s", a.Report())
+	}
+}
+
+// TestInjectedAgreementBugCaught corrupts one process's delivery log
+// through the test-only hook and requires the checker to flag it and the
+// minimizer to produce a (possibly empty) reproducing schedule — the
+// acceptance gate that the checker is actually wired to the logs.
+func TestInjectedAgreementBugCaught(t *testing.T) {
+	defer func() { testMutateLog = nil }()
+	testMutateLog = func(stk types.Stack, p types.ProcessID, log []types.MsgID) []types.MsgID {
+		if stk == types.Modular && p == 2 && len(log) > 4 {
+			out := append([]types.MsgID(nil), log...)
+			out[1], out[3] = out[3], out[1] // divergent order at p3
+			return out
+		}
+		return log
+	}
+	sch := Schedule{
+		{Kind: OpPartition, A: 0, B: 1, From: 300 * time.Millisecond, To: 600 * time.Millisecond},
+		{Kind: OpSuspect, A: 1, B: 2, From: 100 * time.Millisecond, To: 300 * time.Millisecond},
+	}
+	res, err := Run(3, sch, StackConfig{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Ok() {
+		t.Fatal("checker missed the injected agreement bug")
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Stack == types.Modular && (v.Property == "uniform-total-order" || v.Property == "uniform-agreement") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a total-order/agreement violation, got:\n%s", res.Report())
+	}
+	report := res.Report()
+	for _, want := range []string{"seed=3", "minimized schedule", "suffix"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report lacks %q:\n%s", want, report)
+		}
+	}
+	// The corruption survives any schedule, so the minimizer must shrink
+	// to the empty schedule — the strongest possible minimization.
+	if len(res.Minimized) != 0 {
+		t.Errorf("minimizer kept %d ops for a schedule-independent bug:\n%s", len(res.Minimized), res.Report())
+	}
+}
+
+// TestScheduleEnd covers the heal/window end computation.
+func TestScheduleEnd(t *testing.T) {
+	open := Schedule{{Kind: OpPartition, A: 0, B: 1, From: 100 * time.Millisecond}}
+	if _, ok := open.End(); ok {
+		t.Error("open-ended partition without heal reported healable")
+	}
+	healed := append(open, Op{Kind: OpHeal, From: 500 * time.Millisecond})
+	end, ok := healed.End()
+	if !ok || end != 500*time.Millisecond {
+		t.Errorf("End() = %v, %v; want 500ms, true", end, ok)
+	}
+	windowed := Schedule{
+		{Kind: OpPartition, A: 0, B: 1, From: 100 * time.Millisecond, To: 400 * time.Millisecond},
+		{Kind: OpCrash, A: 2, From: 200 * time.Millisecond},
+		{Kind: OpRestart, A: 2, From: 900 * time.Millisecond},
+	}
+	end, ok = windowed.End()
+	if !ok || end != 900*time.Millisecond {
+		t.Errorf("End() = %v, %v; want 900ms, true", end, ok)
+	}
+	if down := windowed.CrashedForever(); len(down) != 0 {
+		t.Errorf("CrashedForever() = %v, want none (restarted)", down)
+	}
+}
+
+// TestHealClearsOpenEndedPartition: an open-ended partition terminated
+// only by Heal must still satisfy liveness after heal.
+func TestHealClearsOpenEndedPartition(t *testing.T) {
+	sch := Schedule{
+		{Kind: OpPartition, A: 0, B: 2, From: 250 * time.Millisecond},
+		{Kind: OpHeal, From: 750 * time.Millisecond},
+	}
+	res, err := Run(5, sch, StackConfig{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Ok() {
+		t.Fatalf("properties violated:\n%s", res.Report())
+	}
+}

@@ -1,0 +1,139 @@
+package chaos
+
+import (
+	"fmt"
+
+	"modab/internal/types"
+)
+
+// suffixCap bounds how much of a divergent log suffix a violation report
+// prints.
+const suffixCap = 10
+
+// checkStack verifies the atomic broadcast properties on one stack's run.
+// Processes the schedule crashes and never restarts are the faulty ones;
+// everyone else — restarted processes included — must behave like a
+// correct process.
+func checkStack(sr *StackResult, sch Schedule, cfg StackConfig) []Violation {
+	var out []Violation
+	add := func(property, format string, args ...any) {
+		out = append(out, Violation{Stack: sr.Stack, Property: property, Detail: fmt.Sprintf(format, args...)})
+	}
+	for _, err := range sr.Errs {
+		add("engine-health", "engine error: %v", err)
+	}
+
+	down := sch.CrashedForever()
+	n := len(sr.Logs)
+
+	// Reference order: the longest correct log (every correct process must
+	// match it exactly; crashed processes must be a prefix of it).
+	ref := -1
+	for p := 0; p < n; p++ {
+		if down[types.ProcessID(p)] {
+			continue
+		}
+		if ref == -1 || len(sr.Logs[p]) > len(sr.Logs[ref]) {
+			ref = p
+		}
+	}
+	if ref == -1 {
+		add("validity", "schedule leaves no correct process")
+		return out
+	}
+	refLog := sr.Logs[ref]
+
+	// Uniform agreement + uniform total order: correct processes deliver
+	// identical sequences; crashed processes deliver a prefix.
+	for p := 0; p < n; p++ {
+		if p == ref {
+			continue
+		}
+		got := sr.Logs[p]
+		crashed := down[types.ProcessID(p)]
+		if i := firstDivergence(refLog, got); i >= 0 {
+			add("uniform-total-order", "%s and %s diverge at index %d:\n    %s suffix: %v\n    %s suffix: %v",
+				types.ProcessID(ref), types.ProcessID(p), i,
+				types.ProcessID(ref), suffix(refLog, i), types.ProcessID(p), suffix(got, i))
+			continue
+		}
+		if !crashed && len(got) != len(refLog) {
+			add("uniform-agreement", "correct %s delivered %d messages, correct %s delivered %d:\n    %s suffix: %v",
+				types.ProcessID(p), len(got), types.ProcessID(ref), len(refLog),
+				types.ProcessID(ref), suffix(refLog, len(got)))
+		}
+	}
+
+	// Uniform integrity: no process delivers twice, nothing undelivered is
+	// invented.
+	valid := make(map[types.MsgID]bool, len(sr.Submissions))
+	for _, s := range sr.Submissions {
+		if s.ID != (types.MsgID{}) {
+			valid[s.ID] = true
+		}
+	}
+	for p := 0; p < n; p++ {
+		seen := make(map[types.MsgID]bool, len(sr.Logs[p]))
+		for i, id := range sr.Logs[p] {
+			if seen[id] {
+				add("uniform-integrity", "%s delivered %s twice (second at index %d)", types.ProcessID(p), id, i)
+			}
+			seen[id] = true
+			if !valid[id] {
+				add("uniform-integrity", "%s delivered never-abcast %s (index %d)", types.ProcessID(p), id, i)
+			}
+		}
+	}
+
+	// Validity + liveness after heal: every admission at a correct process
+	// is in the reference order, and the cluster quiesced inside the
+	// settle budget once faults cleared.
+	delivered := make(map[types.MsgID]bool, len(refLog))
+	for _, id := range refLog {
+		delivered[id] = true
+	}
+	missing := 0
+	for _, s := range sr.Submissions {
+		if s.ID == (types.MsgID{}) || down[s.By] || delivered[s.ID] {
+			continue
+		}
+		missing++
+		if missing <= 3 {
+			add("validity", "%s admitted at correct %s (t=%v) never delivered", s.ID, s.By, s.At)
+		}
+	}
+	if missing > 3 {
+		add("validity", "... and %d more undelivered admissions", missing-3)
+	}
+	if !sr.Quiesced {
+		add("liveness-after-heal", "cluster failed to quiesce within %v of virtual settle time after the horizon", cfg.Settle)
+	}
+	return out
+}
+
+// firstDivergence returns the first index where the two logs disagree on
+// a common position, or -1 when one is a prefix of the other.
+func firstDivergence(a, b []types.MsgID) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// suffix returns up to suffixCap entries of log starting at i.
+func suffix(log []types.MsgID, i int) []types.MsgID {
+	if i >= len(log) {
+		return nil
+	}
+	end := i + suffixCap
+	if end > len(log) {
+		end = len(log)
+	}
+	return log[i:end]
+}

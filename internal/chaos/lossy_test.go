@@ -1,0 +1,20 @@
+package chaos
+
+import (
+	"time"
+
+	"modab/internal/netsim"
+)
+
+// lossy returns the standard lossy-link degradation used across the chaos
+// tests: 20% drops, small delay and jitter, occasional duplication and
+// bounded reordering.
+func lossy() netsim.LinkFault {
+	return netsim.LinkFault{
+		Drop:    0.2,
+		Delay:   500 * time.Microsecond,
+		Jitter:  time.Millisecond,
+		Dup:     0.05,
+		Reorder: 0.1,
+	}
+}

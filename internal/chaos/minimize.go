@@ -1,0 +1,72 @@
+package chaos
+
+// minimizeTrials bounds the number of full re-runs the greedy minimizer
+// spends shrinking a violating schedule.
+const minimizeTrials = 48
+
+// Minimize greedily shrinks a violating schedule: it repeatedly tries to
+// drop one operation (re-running the full deterministic two-stack
+// scenario each time) and keeps any removal that still violates, until a
+// fixpoint or the trial budget is reached. The result reproduces the
+// violation with chaos.Run(seed, minimized, cfg).
+//
+// Crash/restart pairs are dropped together: a restart without its crash
+// (or vice versa) changes the scenario's fault semantics rather than
+// shrinking it.
+func Minimize(seed int64, sch Schedule, cfg StackConfig) Schedule {
+	violates := func(s Schedule) bool {
+		if _, healable := s.End(); !healable {
+			// Dropping a heal left an open-ended fault: that schedule
+			// violates liveness trivially, not because of the bug under
+			// minimization.
+			return false
+		}
+		res, err := run(seed, s, cfg)
+		return err == nil && !res.Ok()
+	}
+	cur := append(Schedule(nil), sch...)
+	trials := 0
+	for shrunk := true; shrunk && trials < minimizeTrials; {
+		shrunk = false
+		for i := 0; i < len(cur) && trials < minimizeTrials; i++ {
+			next := dropOp(cur, i)
+			trials++
+			if violates(next) {
+				cur = next
+				shrunk = true
+				i--
+			}
+		}
+	}
+	return cur
+}
+
+// dropOp returns the schedule without operation i — and without its
+// paired crash/restart op on the same process, so fault semantics are
+// preserved.
+func dropOp(s Schedule, i int) Schedule {
+	drop := map[int]bool{i: true}
+	switch s[i].Kind {
+	case OpCrash:
+		for j := i + 1; j < len(s); j++ {
+			if s[j].Kind == OpRestart && s[j].A == s[i].A {
+				drop[j] = true
+				break
+			}
+		}
+	case OpRestart:
+		for j := i - 1; j >= 0; j-- {
+			if s[j].Kind == OpCrash && s[j].A == s[i].A {
+				drop[j] = true
+				break
+			}
+		}
+	}
+	out := make(Schedule, 0, len(s)-len(drop))
+	for j, op := range s {
+		if !drop[j] {
+			out = append(out, op)
+		}
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"modab/internal/netsim"
+	"modab/internal/types"
+)
+
+// OpKind discriminates schedule operations.
+type OpKind int
+
+// Schedule operation kinds.
+const (
+	// OpPartition symmetrically cuts both directions between A and B
+	// during [From, To).
+	OpPartition OpKind = iota + 1
+	// OpPartitionOneWay cuts only the direction A -> B during [From, To).
+	OpPartitionOneWay
+	// OpLinkFault installs Fault on the directed link A -> B (drops,
+	// delay, jitter, duplication, bounded reordering).
+	OpLinkFault
+	// OpHeal clears every link fault at From.
+	OpHeal
+	// OpCrash crash-stops process A at From.
+	OpCrash
+	// OpRestart restarts a crashed process A at From (requires a durable
+	// cluster).
+	OpRestart
+	// OpSuspect injects a wrong suspicion: B suspects A during [From, To)
+	// although A is alive and reachable.
+	OpSuspect
+)
+
+// Op is one schedule operation. A and B name processes, From and To bound
+// the operation in virtual time (To is ignored by point operations), and
+// Fault carries the link degradation of OpLinkFault.
+type Op struct {
+	Kind  OpKind
+	A, B  types.ProcessID
+	From  time.Duration
+	To    time.Duration
+	Fault netsim.LinkFault
+}
+
+// String renders one operation compactly for violation reports.
+func (op Op) String() string {
+	switch op.Kind {
+	case OpPartition:
+		return fmt.Sprintf("partition %s<->%s [%v,%v)", op.A, op.B, op.From, op.To)
+	case OpPartitionOneWay:
+		return fmt.Sprintf("partition %s->%s [%v,%v)", op.A, op.B, op.From, op.To)
+	case OpLinkFault:
+		f := op.Fault
+		return fmt.Sprintf("fault %s->%s [%v,%v) drop=%.2f delay=%v jitter=%v dup=%.2f reorder=%.2f",
+			op.A, op.B, f.From, f.To, f.Drop, f.Delay, f.Jitter, f.Dup, f.Reorder)
+	case OpHeal:
+		return fmt.Sprintf("heal at %v", op.From)
+	case OpCrash:
+		return fmt.Sprintf("crash %s at %v", op.A, op.From)
+	case OpRestart:
+		return fmt.Sprintf("restart %s at %v", op.A, op.From)
+	case OpSuspect:
+		return fmt.Sprintf("suspect %s at %s [%v,%v)", op.A, op.B, op.From, op.To)
+	default:
+		return fmt.Sprintf("op(%d)", int(op.Kind))
+	}
+}
+
+// Schedule is a deterministic fault schedule: the same schedule applied to
+// the same seeded cluster reproduces the same run bit for bit.
+type Schedule []Op
+
+// String renders the schedule one operation per line.
+func (s Schedule) String() string {
+	if len(s) == 0 {
+		return "  (empty schedule)"
+	}
+	var b strings.Builder
+	for _, op := range s {
+		fmt.Fprintf(&b, "  %s\n", op)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Apply installs every operation on the cluster.
+func (s Schedule) Apply(c *netsim.Cluster) {
+	for _, op := range s {
+		switch op.Kind {
+		case OpPartition:
+			c.Partition(op.A, op.B, op.From, op.To)
+		case OpPartitionOneWay:
+			c.PartitionOneWay(op.A, op.B, op.From, op.To)
+		case OpLinkFault:
+			f := op.Fault
+			f.From, f.To = op.From, op.To
+			c.SetLinkFault(op.A, op.B, f)
+		case OpHeal:
+			c.Heal(op.From)
+		case OpCrash:
+			c.Crash(op.A, op.From)
+		case OpRestart:
+			c.Restart(op.A, op.From)
+		case OpSuspect:
+			c.SuspectWindow(op.B, op.A, op.From, op.To-op.From)
+		}
+	}
+}
+
+// End returns the virtual time by which every operation has ceased: the
+// latest window end, heal, or restart. Open-ended faults without a later
+// heal make the schedule unhealable; End returns ok=false for those.
+func (s Schedule) End() (end time.Duration, ok bool) {
+	ok = true
+	var lastHeal time.Duration
+	for _, op := range s {
+		if op.Kind == OpHeal && op.From > lastHeal {
+			lastHeal = op.From
+		}
+	}
+	for _, op := range s {
+		t := op.To
+		switch op.Kind {
+		case OpHeal, OpCrash, OpRestart:
+			t = op.From
+		}
+		if t == 0 { // open-ended window: needs a heal after it opens
+			if lastHeal <= op.From {
+				ok = false
+			}
+			t = lastHeal
+		}
+		if t > end {
+			end = t
+		}
+	}
+	return end, ok
+}
+
+// CrashedForever returns the processes the schedule crashes and never
+// restarts — the processes the properties treat as faulty.
+func (s Schedule) CrashedForever() map[types.ProcessID]bool {
+	down := make(map[types.ProcessID]bool)
+	for _, op := range s {
+		switch op.Kind {
+		case OpCrash:
+			down[op.A] = true
+		case OpRestart:
+			delete(down, op.A)
+		}
+	}
+	return down
+}
+
+// NeedsDurability reports whether the schedule restarts a process (which
+// requires the cluster to run a durable store).
+func (s Schedule) NeedsDurability() bool {
+	for _, op := range s {
+		if op.Kind == OpRestart {
+			return true
+		}
+	}
+	return false
+}
+
+// ScheduleRNG derives the generator RandomSchedule consumers feed from a
+// run seed — deliberately distinct from the submission-schedule RNG, so
+// fault topology and workload vary independently per seed.
+func ScheduleRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed*7919 + 17))
+}
+
+// RandomSchedule derives a randomized fault schedule from rng for a group
+// of n processes with fault activity inside [0, span): one to three fault
+// episodes drawn from partitions (symmetric and asymmetric), lossy-link
+// windows, wrong suspicions, and — when durable is set — crash+restart
+// pairs. Half the schedules end in a closing Heal (which may be the only
+// terminator of an open-ended partition, so the heal path is genuinely
+// exercised); the rest rely on their self-closing windows. Crash episodes
+// never exceed the tolerated minority.
+func RandomSchedule(rng *rand.Rand, n int, span time.Duration, durable bool) Schedule {
+	var s Schedule
+	episodes := 1 + rng.Intn(3)
+	withHeal := rng.Intn(2) == 0
+	crashes := 0
+	pick := func() types.ProcessID { return types.ProcessID(rng.Intn(n)) }
+	pair := func() (types.ProcessID, types.ProcessID) {
+		a := pick()
+		b := pick()
+		for b == a {
+			b = pick()
+		}
+		return a, b
+	}
+	window := func() (time.Duration, time.Duration) {
+		from := time.Duration(rng.Int63n(int64(span / 2)))
+		dur := span/10 + time.Duration(rng.Int63n(int64(span/4)))
+		return from, from + dur
+	}
+	for i := 0; i < episodes; i++ {
+		kinds := 4
+		if durable && crashes < types.MaxFaulty(n) {
+			kinds = 5
+		}
+		switch rng.Intn(kinds) {
+		case 0:
+			a, b := pair()
+			from, to := window()
+			if withHeal && rng.Intn(3) == 0 {
+				to = 0 // open-ended: the closing heal terminates it
+			}
+			s = append(s, Op{Kind: OpPartition, A: a, B: b, From: from, To: to})
+		case 1:
+			a, b := pair()
+			from, to := window()
+			s = append(s, Op{Kind: OpPartitionOneWay, A: a, B: b, From: from, To: to})
+		case 2:
+			a, b := pair()
+			from, to := window()
+			s = append(s, Op{Kind: OpLinkFault, A: a, B: b, From: from, To: to,
+				Fault: netsim.LinkFault{
+					Drop:    0.05 + 0.25*rng.Float64(),
+					Delay:   time.Duration(rng.Int63n(int64(2 * time.Millisecond))),
+					Jitter:  time.Duration(rng.Int63n(int64(2 * time.Millisecond))),
+					Dup:     0.1 * rng.Float64(),
+					Reorder: 0.2 * rng.Float64(),
+				}})
+		case 3:
+			a, b := pair()
+			from, to := window()
+			s = append(s, Op{Kind: OpSuspect, A: a, B: b, From: from, To: to})
+		case 4:
+			crashes++
+			p := pick()
+			from, to := window()
+			s = append(s, Op{Kind: OpCrash, A: p, From: from})
+			s = append(s, Op{Kind: OpRestart, A: p, From: to})
+		}
+	}
+	if withHeal {
+		s = append(s, Op{Kind: OpHeal, From: span * 3 / 4})
+	}
+	return s
+}

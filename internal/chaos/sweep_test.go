@@ -1,0 +1,137 @@
+package chaos
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"modab/internal/engine"
+	"modab/internal/netsim"
+	"modab/internal/types"
+)
+
+// sweepFamily is one scenario family of the seed-sweep regression: a
+// schedule generator (seeded, so every seed yields a fresh variation) and
+// the stack configuration it runs under.
+type sweepFamily struct {
+	name     string
+	schedule func(seed int64) Schedule
+	config   func() StackConfig
+}
+
+// sweepFamilies are the three regression families of the chaos sweep:
+// a partition during a W=4 pipeline, asymmetric drops on the round-1
+// coordinator's outbound links, and a partition overlapping a
+// crash+restart on a durable cluster.
+var sweepFamilies = []sweepFamily{
+	{
+		name: "partition-during-pipeline",
+		schedule: func(seed int64) Schedule {
+			a := types.ProcessID(seed % 3)
+			b := types.ProcessID((seed + 1 + seed/3%2) % 3)
+			from := 200*time.Millisecond + time.Duration(seed%7)*37*time.Millisecond
+			return Schedule{
+				{Kind: OpPartition, A: a, B: b, From: from, To: from + 400*time.Millisecond},
+			}
+		},
+		config: func() StackConfig {
+			cfg := engine.DefaultConfig(3)
+			cfg.PipelineDepth = 4
+			return StackConfig{Engine: cfg, Model: netsim.MetroModel(), Load: 900}
+		},
+	},
+	{
+		name: "asymmetric-drop-on-coordinator",
+		schedule: func(seed int64) Schedule {
+			// Degrade the round-1 coordinator's outbound links only: peers
+			// stop hearing p1 reliably while p1 hears everything.
+			drop := 0.15 + float64(seed%5)*0.1
+			from := 150*time.Millisecond + time.Duration(seed%5)*53*time.Millisecond
+			to := from + 500*time.Millisecond
+			f := netsim.LinkFault{Drop: drop, Jitter: time.Millisecond, Dup: 0.05, Reorder: 0.1}
+			return Schedule{
+				{Kind: OpLinkFault, A: 0, B: 1, From: from, To: to, Fault: f},
+				{Kind: OpLinkFault, A: 0, B: 2, From: from, To: to, Fault: f},
+			}
+		},
+		config: func() StackConfig { return StackConfig{} },
+	},
+	{
+		name: "partition-crash-restart",
+		schedule: func(seed int64) Schedule {
+			victim := types.ProcessID(1 + seed%2) // never the round-1 coordinator twice over
+			other := types.ProcessID(2 - seed%2)
+			crashAt := 300*time.Millisecond + time.Duration(seed%4)*41*time.Millisecond
+			return Schedule{
+				{Kind: OpPartition, A: 0, B: other, From: 200 * time.Millisecond, To: 650 * time.Millisecond},
+				{Kind: OpCrash, A: victim, From: crashAt},
+				{Kind: OpRestart, A: victim, From: crashAt + 500*time.Millisecond},
+			}
+		},
+		config: func() StackConfig { return StackConfig{Durable: true} },
+	},
+}
+
+// sweepSeeds returns how many seeds per family the sweep runs: 8 by
+// default (the CI short soak), or CHAOS_SEEDS when set — the nightly-style
+// long sweep (CHAOS_SEEDS=200 is the acceptance configuration).
+func sweepSeeds(t *testing.T) int64 {
+	if env := os.Getenv("CHAOS_SEEDS"); env != "" {
+		n, err := strconv.ParseInt(env, 10, 64)
+		if err != nil || n < 1 {
+			t.Fatalf("bad CHAOS_SEEDS=%q: %v", env, err)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 3
+	}
+	return 8
+}
+
+// TestChaosSeedSweep is the seed-sweep regression: every family x seed
+// runs the full two-stack scenario and asserts a gap-free, duplicate-free,
+// identical total order in both stacks plus liveness after heal. A
+// failure message carries the exact repro line.
+func TestChaosSeedSweep(t *testing.T) {
+	seeds := sweepSeeds(t)
+	for _, fam := range sweepFamilies {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < seeds; seed++ {
+				sch := fam.schedule(seed)
+				res, err := Run(seed, sch, fam.config())
+				if err != nil {
+					t.Fatalf("family %s seed %d: Run: %v", fam.name, seed, err)
+				}
+				if !res.Ok() {
+					t.Fatalf("family %s seed %d violated properties\n%s\nrepro: CHAOS_SEEDS=%d go test ./internal/chaos -run TestChaosSeedSweep/%s",
+						fam.name, seed, res.Report(), seed+1, fam.name)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosRandomSchedules sweeps fully randomized schedules (the
+// generator exercised by the soak) over a smaller seed range.
+func TestChaosRandomSchedules(t *testing.T) {
+	seeds := sweepSeeds(t)
+	if seeds > 32 {
+		t.Logf("randomized-schedule sweep capped at 32 of the requested %d seeds (the family sweep carries the depth)", seeds)
+		seeds = 32
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		sch := RandomSchedule(ScheduleRNG(seed), 3, time.Second, true)
+		res, err := Run(seed, sch, StackConfig{Durable: true})
+		if err != nil {
+			t.Fatalf("seed %d: Run: %v", seed, err)
+		}
+		if !res.Ok() {
+			t.Fatalf("random schedule seed %d violated properties\n%s\nschedule:\n%s",
+				seed, res.Report(), sch)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"sort"
 	"time"
 
+	"modab/internal/dedup"
 	"modab/internal/engine"
 	"modab/internal/stack"
 	"modab/internal/types"
@@ -54,6 +55,25 @@ type Layer struct {
 	insts      map[uint64]*instance
 	suspected  map[types.ProcessID]bool
 	maxDecided uint64
+	// decidedSet records every instance this process ever decided
+	// (contiguous watermark plus sparse set, so memory stays bounded once
+	// decisions become contiguous). It outlives pruning: a vote-producing
+	// message (proposal, estimate, ack) for an instance this process
+	// decided and then pruned must be ignored — recreating the instance
+	// as undecided and voting again could hand a badly lagging proposer a
+	// majority for a second, conflicting decision (the original and the
+	// new majority must intersect, and with every decided-then-pruned
+	// participant refusing, the intersection kills the new one).
+	// Instances this process has NOT decided — its own undecided gap
+	// during a partition, whether or not the instance state exists yet —
+	// keep processing normally; retransmitted proposals are how the gap
+	// heals.
+	decidedSet *dedup.Set
+}
+
+// pruned reports whether instance k was decided here and then pruned.
+func (l *Layer) pruned(k uint64) bool {
+	return l.decidedSet.Seen(k) && l.insts[k] == nil
 }
 
 var _ stack.Layer = (*Layer)(nil)
@@ -79,6 +99,7 @@ func (l *Layer) Init(ctx *stack.Context) {
 	l.majority = types.Majority(l.n)
 	l.insts = make(map[uint64]*instance)
 	l.suspected = make(map[types.ProcessID]bool)
+	l.decidedSet = dedup.NewSet()
 }
 
 // Start implements stack.Layer.
@@ -173,6 +194,9 @@ func (l *Layer) Event(ev stack.Event) {
 // propose primitive) and, if this process coordinates round 1, proposes
 // immediately — the suppressed estimate phase.
 func (l *Layer) propose(k uint64, batch wire.Batch) {
+	if l.pruned(k) {
+		return // decided long ago; the subscriber already holds the outcome
+	}
 	inst := l.get(k)
 	if inst.decided || inst.hasEstimate {
 		return
@@ -286,13 +310,24 @@ func (l *Layer) Receive(from types.ProcessID, data []byte) error {
 	}
 	switch m.Type {
 	case mtProposal:
+		if l.pruned(m.Instance) {
+			return nil // decided and pruned: never vote again (see prunedFloor)
+		}
 		l.handleProposal(from, m)
 	case mtAck:
+		if l.pruned(m.Instance) {
+			return nil
+		}
 		l.handleAck(from, m)
 	case mtNack:
-		// The optimized protocol starts a new round only on suspicion;
-		// a nack carries no further obligation for the coordinator.
+		if l.pruned(m.Instance) {
+			return nil // late nack for a settled instance: never resurrect it
+		}
+		l.handleNack(m)
 	case mtEstimate:
+		if l.pruned(m.Instance) {
+			return nil
+		}
 		l.handleEstimate(from, m)
 	case mtDecisionTag:
 		// Decision tags normally arrive through reliable broadcast
@@ -347,6 +382,34 @@ func (l *Layer) handleAck(from types.ProcessID, m message) {
 	l.checkDecide(inst, m.Round)
 }
 
+// handleNack processes a nack for a round this process coordinated. The
+// optimized protocol starts new rounds only on suspicion, which is
+// complete under quasi-reliable channels EXCEPT when the proposal was
+// lost to a crash-recovery restart (the restarted peer has no memory of
+// it and no reason to suspect anyone): the nacker has abandoned the round
+// for good, so an unsuspected coordinator stuck waiting for a majority
+// would wait forever. Advancing the local round re-enters the rotation —
+// always safe in Chandra–Toueg (the estimate locking rule protects
+// agreement); in good runs nacks only follow wrong suspicions and the
+// instance has usually decided before the nack arrives.
+func (l *Layer) handleNack(m message) {
+	inst := l.get(m.Instance)
+	if inst.decided || m.Round != inst.round {
+		return
+	}
+	cr := inst.coord[m.Round]
+	if cr == nil || !cr.proposed {
+		return
+	}
+	// Advance, then keep advancing past coordinators that are currently
+	// suspected (the same cascade Suspect performs): stopping on a round
+	// whose coordinator is down would send the estimate into a void.
+	l.advanceRound(inst)
+	for !inst.decided && l.suspected[l.coordinator(inst.round)] {
+		l.advanceRound(inst)
+	}
+}
+
 func (l *Layer) handleEstimate(from types.ProcessID, m message) {
 	inst := l.get(m.Instance)
 	if inst.decided {
@@ -386,6 +449,7 @@ func (l *Layer) decideLocal(inst *instance, batch wire.Batch, r uint32) {
 	inst.decision = batch
 	inst.decisionRound = r
 	inst.waitingDecision = false
+	l.decidedSet.Mark(inst.k)
 	c := l.ctx.Env().Counters()
 	c.ConsensusDecided.Add(1)
 	c.BatchedMsgs.Add(int64(len(batch)))
@@ -399,6 +463,9 @@ func (l *Layer) decideLocal(inst *instance, batch wire.Batch, r uint32) {
 // handleDecisionTag processes the reliably broadcast DECISION tag: decide
 // the matching proposal if held, otherwise fetch the full decision.
 func (l *Layer) handleDecisionTag(origin types.ProcessID, m message) {
+	if l.pruned(m.Instance) {
+		return // long decided and pruned: a late duplicate tag
+	}
 	inst := l.get(m.Instance)
 	if inst.decided {
 		return
@@ -428,6 +495,9 @@ func (l *Layer) handleDecisionReq(from types.ProcessID, m message) {
 }
 
 func (l *Layer) handleDecisionFull(m message) {
+	if l.pruned(m.Instance) {
+		return
+	}
 	inst := l.get(m.Instance)
 	if inst.decided {
 		return

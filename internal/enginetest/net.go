@@ -9,13 +9,19 @@ import (
 // Net routes the recorded sends of a set of fake environments into their
 // counterpart receivers, FIFO, until quiescence — a synchronous mini
 // network for protocol unit tests. Drop (optional) filters messages for
-// fault injection; every dropped or delivered message is consumed.
+// fault injection; Dup (optional) delivers a message twice, modeling the
+// duplication a faulty link (or a transport-level retransmission race)
+// produces. Every dropped or delivered message is consumed.
 type Net struct {
 	Envs []*Env
 	// Deliver hands one message to the destination protocol instance.
 	Deliver func(to, from types.ProcessID, data []byte) error
 	// Drop, when non-nil and true, discards the message instead.
 	Drop func(from, to types.ProcessID, data []byte) bool
+	// Dup, when non-nil and true, re-enqueues the message once after
+	// delivering it (the duplicate is itself exempt from further
+	// duplication, keeping the fault bounded).
+	Dup func(from, to types.ProcessID, data []byte) bool
 
 	queue []netMsg
 	// Delivered counts messages actually handed to receivers.
@@ -25,6 +31,8 @@ type Net struct {
 type netMsg struct {
 	from, to types.ProcessID
 	data     []byte
+	// duped marks a fault-injected duplicate (never duplicated again).
+	duped bool
 }
 
 // collect harvests new sends from every env into the FIFO queue.
@@ -50,6 +58,9 @@ func (n *Net) Step() (bool, error) {
 	}
 	if int(m.to) < 0 || int(m.to) >= len(n.Envs) {
 		return true, fmt.Errorf("enginetest: send to unknown process %v", m.to)
+	}
+	if !m.duped && n.Dup != nil && n.Dup(m.from, m.to, m.data) {
+		n.queue = append(n.queue, netMsg{from: m.from, to: m.to, data: m.data, duped: true})
 	}
 	n.Delivered++
 	return true, n.Deliver(m.to, m.from, m.data)

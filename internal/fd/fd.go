@@ -42,6 +42,17 @@ type Heartbeat struct {
 	period  time.Duration
 	send    func(to types.ProcessID) // emits one heartbeat to a peer
 
+	// reportMu serializes suspicion transitions WITH their onChange
+	// reports. Under message loss the checker (silence threshold) and
+	// Heard (a late heartbeat) race on the same peer: deciding a
+	// transition under mu but invoking the callback after unlocking let
+	// the two reports cross — the consumer could see "unsuspected" before
+	// the matching "suspected", or a report contradicting the final state.
+	// Decide-and-report is atomic under reportMu; mu alone still guards
+	// the maps for lock-free readers (Suspects). Lock order: reportMu
+	// before mu, never the reverse. onChange must not call back into the
+	// detector.
+	reportMu  sync.Mutex
 	mu        sync.Mutex
 	lastSeen  map[types.ProcessID]time.Time
 	suspected map[types.ProcessID]bool
@@ -106,8 +117,12 @@ func (h *Heartbeat) loop() {
 	}
 }
 
-// check updates the suspicion list from the silence threshold.
+// check updates the suspicion list from the silence threshold. Holding
+// reportMu across decide-and-report keeps the callback sequence identical
+// to the transition sequence (see the field comment).
 func (h *Heartbeat) check() {
+	h.reportMu.Lock()
+	defer h.reportMu.Unlock()
 	now := time.Now()
 	var changes []types.ProcessID
 	h.mu.Lock()
@@ -123,24 +138,40 @@ func (h *Heartbeat) check() {
 		}
 	}
 	cb := h.onChange
-	suspectedCopy := make(map[types.ProcessID]bool, len(h.suspected))
-	for p, s := range h.suspected {
-		suspectedCopy[p] = s
+	suspectedNow := make(map[types.ProcessID]bool, len(changes))
+	for _, p := range changes {
+		suspectedNow[p] = h.suspected[p]
 	}
 	h.mu.Unlock()
 	if cb == nil {
 		return
 	}
 	for _, p := range changes {
-		cb(p, suspectedCopy[p])
+		cb(p, suspectedNow[p])
 	}
 }
 
-// Heard implements Detector.
+// Heard implements Detector. The common case — the peer is not suspected
+// — updates lastSeen under mu alone and never touches reportMu: the
+// runtime calls Heard on every protocol message, and serializing that
+// hot path behind the checker's callback sequence would stall the
+// transport reader. Refreshing lastSeen before the fast-path read means
+// a concurrent check() computes silent=false and cannot introduce a
+// transition this call would have to report. Only an actual unsuspect
+// transition takes the slow, serialized path.
 func (h *Heartbeat) Heard(p types.ProcessID) {
 	if p == h.self {
 		return
 	}
+	h.mu.Lock()
+	h.lastSeen[p] = time.Now()
+	suspected := h.suspected[p]
+	h.mu.Unlock()
+	if !suspected {
+		return
+	}
+	h.reportMu.Lock()
+	defer h.reportMu.Unlock()
 	h.mu.Lock()
 	h.lastSeen[p] = time.Now()
 	wasSuspected := h.suspected[p]

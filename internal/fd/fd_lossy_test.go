@@ -1,0 +1,105 @@
+package fd
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"modab/internal/types"
+)
+
+// TestLossyLinkFlapExactlyOnce extends the exactly-once-per-transition
+// contract to lossy links: heartbeats arrive in bursts separated by
+// silence windows longer than the timeout (the footprint of a partitioned
+// then healed — or heavily dropping — link), and every suspect/unsuspect
+// transition must be reported exactly once, in order, with no duplicate
+// or inverted reports.
+func TestLossyLinkFlapExactlyOnce(t *testing.T) {
+	log := &transitionLog{}
+	h := NewHeartbeat(0, 2, 4*time.Millisecond, 20*time.Millisecond, func(types.ProcessID) {})
+	h.Start(log.onChange)
+	defer h.Close()
+
+	const cycles = 5
+	for c := 0; c < cycles; c++ {
+		// Silence: the link drops everything until the peer is suspected.
+		deadline := time.Now().Add(2 * time.Second)
+		for len(log.snapshot()) < 2*c+1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("cycle %d: suspicion never reported; log=%v", c, log.snapshot())
+			}
+			time.Sleep(time.Millisecond)
+		}
+		// Heal: a burst of heartbeats gets through; exactly one unsuspect.
+		for i := 0; i < 8; i++ {
+			h.Heard(1)
+			time.Sleep(time.Millisecond)
+		}
+		deadline = time.Now().Add(2 * time.Second)
+		for len(log.snapshot()) < 2*c+2 {
+			if time.Now().After(deadline) {
+				t.Fatalf("cycle %d: unsuspicion never reported; log=%v", c, log.snapshot())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	got := log.snapshot()
+	if len(got) < 2*cycles {
+		t.Fatalf("flap transitions = %v, want %d", got, 2*cycles)
+	}
+	for i, s := range got {
+		if want := i%2 == 0; s != want {
+			t.Fatalf("transition %d = %v (log %v): duplicates or inversion under lossy link", i, s, got)
+		}
+	}
+}
+
+// TestLossySuspicionReportOrder pins the race the chaos work fixed: a
+// heartbeat that arrives while the checker is still delivering its
+// "suspected" report must not get its "unsuspected" report in front of
+// it. The callback blocks mid-report to force the interleaving; with
+// transitions and reports serialized the log must read suspected before
+// unsuspected.
+func TestLossySuspicionReportOrder(t *testing.T) {
+	var (
+		mu      sync.Mutex
+		reports []bool
+		first   = make(chan struct{})
+		once    sync.Once
+	)
+	h := NewHeartbeat(0, 2, 4*time.Millisecond, 20*time.Millisecond, func(types.ProcessID) {})
+	h.Start(func(p types.ProcessID, suspected bool) {
+		if suspected {
+			once.Do(func() {
+				close(first)
+				// Keep the "suspected" report in flight while the test
+				// injects a heartbeat.
+				time.Sleep(25 * time.Millisecond)
+			})
+		}
+		mu.Lock()
+		reports = append(reports, suspected)
+		mu.Unlock()
+	})
+	defer h.Close()
+
+	<-first    // the checker is inside its "suspected" report
+	h.Heard(1) // late heartbeat races the in-flight report
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		got := append([]bool(nil), reports...)
+		mu.Unlock()
+		if len(got) >= 2 {
+			if !got[0] || got[1] {
+				t.Fatalf("reports = %v, want [true false]: unsuspected overtook the suspected report", got)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout, reports = %v", got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,25 @@
+package modular
+
+import (
+	"testing"
+
+	"modab/internal/engine"
+	"modab/internal/types"
+)
+
+// TestDuplicatedLinksNoDoubleDelivery: with every link duplicating every
+// message (transport retransmission races under a lossy network), the
+// modular stack's layers — rbcast sequence suppression, consensus
+// idempotent handlers, abcast per-sender delivered map — must keep the
+// delivery sequence duplicate-free and totally ordered.
+func TestDuplicatedLinksNoDoubleDelivery(t *testing.T) {
+	r := newRig(t, 3, engine.Config{})
+	r.net.Dup = func(from, to types.ProcessID, data []byte) bool { return true }
+	for p := 0; p < 3; p++ {
+		if _, err := r.engs[p].Abcast([]byte{byte(p)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.run(t)
+	r.checkTotalOrder(t, 3)
+}

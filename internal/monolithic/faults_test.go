@@ -1,0 +1,150 @@
+package monolithic
+
+import (
+	"testing"
+
+	"modab/internal/engine"
+	"modab/internal/types"
+	"modab/internal/wire"
+)
+
+// TestDuplicatedLinksNoDoubleDelivery: a link that duplicates every
+// message (the footprint of transport retransmission races under a lossy
+// network) must not duplicate deliveries or break total order — every
+// handler is idempotent against replays.
+func TestDuplicatedLinksNoDoubleDelivery(t *testing.T) {
+	r := newRig(t, 3, engine.Config{})
+	r.net.Dup = func(from, to types.ProcessID, data []byte) bool { return true }
+	for p := 0; p < 3; p++ {
+		if _, err := r.engs[p].Abcast([]byte{byte(p)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.run(t)
+	r.checkTotalOrder(t, 3)
+}
+
+// TestPrunedInstanceProposalNotAcked pins the safety guard behind the
+// pruned-instance catch-up: a proposal for an instance decided so long
+// ago it left the retention horizon must NOT be acknowledged (a badly
+// lagging proposer could otherwise assemble a majority for a second,
+// conflicting decision) — the receiver serves the original decision from
+// its log instead.
+func TestPrunedInstanceProposalNotAcked(t *testing.T) {
+	cfg := engine.DefaultConfig(3)
+	cfg.IdleKick = 0
+	cfg.DecisionHorizon = 1
+	r := newRig(t, 3, cfg)
+	store := newMemPersister()
+	r.engs[0].cfg.Persist = store
+	for i := 0; i < 4; i++ {
+		if _, err := r.engs[0].Abcast([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		r.run(t)
+	}
+	e := r.engs[0]
+	if e.decidedK != 4 {
+		t.Fatalf("decidedK = %d, want 4", e.decidedK)
+	}
+	if e.insts[1] != nil {
+		t.Fatal("instance 1 not pruned with horizon 1")
+	}
+	r.envs[0].Sends = nil
+	// A lagging p3 re-proposes round 1 of the long-pruned instance 1.
+	prop := message{Type: mPropDec, Instance: 1, Round: 1,
+		Batch: e.insts[4].decision}
+	if err := e.HandleMessage(2, prop.marshal()); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.envs[0].Sends {
+		if s.To == 2 && mtype(s.Data[0]) == mAckDiff {
+			t.Fatal("pruned-instance proposal was acknowledged")
+		}
+	}
+	served := false
+	for _, s := range r.envs[0].Sends {
+		if s.To == 2 && mtype(s.Data[0]) == mDecisionFull {
+			served = true
+		}
+	}
+	if !served {
+		t.Fatal("pruned-instance proposal not answered with the logged decision")
+	}
+	if in := e.insts[1]; in != nil {
+		t.Fatal("the pruned instance was recreated")
+	}
+}
+
+// memPersister is a minimal in-test Persister retaining decisions.
+type memPersister struct{ decisions map[uint64]wire.Batch }
+
+func newMemPersister() *memPersister {
+	return &memPersister{decisions: make(map[uint64]wire.Batch)}
+}
+
+func (m *memPersister) PersistAdmit(wire.Batch) {}
+func (m *memPersister) PersistDecision(k uint64, b wire.Batch) {
+	m.decisions[k] = append(wire.Batch(nil), b...)
+}
+func (m *memPersister) ReadDecision(k uint64) (wire.Batch, bool) {
+	b, ok := m.decisions[k]
+	return b, ok
+}
+
+// TestNackAdvancesProposedRound pins the liveness repair the chaos
+// harness forced: a coordinator whose proposed round is nacked (the
+// nacker abandoned it on suspicion and its ack will never come) must
+// re-enter the round rotation instead of waiting for a majority that
+// cannot complete. The nack for a round this process never proposed, or
+// an old round, stays ignored.
+func TestNackAdvancesProposedRound(t *testing.T) {
+	r := newRig(t, 3, engine.Config{})
+	e := r.engs[0] // round-1 coordinator
+	if _, err := e.Abcast([]byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	// p1 has proposed round 1 of instance 1 and holds only its own ack.
+	in := e.insts[1]
+	if in == nil || !in.coord[1].proposed {
+		t.Fatal("coordinator did not propose round 1")
+	}
+	if in.round != 1 {
+		t.Fatalf("round = %d before any nack", in.round)
+	}
+	// A nack for an unproposed round is ignored.
+	nack := message{Type: mNack, Instance: 1, Round: 3}
+	if err := e.HandleMessage(1, nack.marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if in.round != 1 {
+		t.Fatalf("nack for unproposed round advanced to %d", in.round)
+	}
+	// A nack for the proposed current round advances it: the estimate
+	// goes to the round-2 coordinator.
+	nack = message{Type: mNack, Instance: 1, Round: 1}
+	if err := e.HandleMessage(2, nack.marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if in.round != 2 {
+		t.Fatalf("round = %d after nacking the proposed round, want 2", in.round)
+	}
+	sentEst := false
+	for _, s := range r.envs[0].Sends {
+		if s.To == 1 && mtype(s.Data[0]) == mEstimate {
+			sentEst = true
+		}
+	}
+	if !sentEst {
+		t.Fatal("no estimate sent to the round-2 coordinator after the nack")
+	}
+	// The duplicate nack is idempotent (the round moved past it).
+	if err := e.HandleMessage(2, nack.marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if in.round != 2 {
+		t.Fatalf("duplicate nack advanced to %d", in.round)
+	}
+	r.run(t)
+	r.checkTotalOrder(t, 1)
+}

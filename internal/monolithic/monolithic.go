@@ -588,7 +588,7 @@ func (e *Engine) HandleMessage(from types.ProcessID, data []byte) error {
 	case mEstimate:
 		e.handleEstimate(from, m)
 	case mNack:
-		// Round changes are driven by suspicion only (§3.2 optimization).
+		e.handleNack(m)
 	case mForward:
 		e.handleForward(m)
 	case mDecisionOnly:
@@ -615,9 +615,24 @@ func (e *Engine) handlePropDec(from types.ProcessID, m message) {
 	if m.PrevDecided {
 		e.applyRemoteDecision(from, m.PrevK, m.PrevRound)
 	}
+	if e.insts[m.Instance] == nil && m.Instance <= e.decidedK {
+		// Proposal for an instance decided so long ago it was pruned:
+		// get() would recreate it as undecided and this process would ack
+		// — manufacturing a vote that could let a badly lagging proposer
+		// assemble a majority for a second, conflicting decision. Serve
+		// the original decision (the log keeps it past the prune horizon)
+		// and never ack.
+		e.catchUpPruned(from, m.Instance, m.Round)
+		return
+	}
 	in := e.get(m.Instance)
 	in.proposals[m.Round] = m.Batch
 	if in.decided {
+		// The proposer lags: it missed this instance's decision (a
+		// round-changed coordinator decided it while links were faulty).
+		// Catch it up instead of dropping the proposal silently — the
+		// proposer would otherwise re-propose forever.
+		e.catchUp(from, in)
 		return
 	}
 	if in.waitingRound != 0 && m.Round == in.waitingRound {
@@ -651,8 +666,20 @@ func (e *Engine) handlePropDec(from types.ProcessID, m message) {
 // messages and decide on majority.
 func (e *Engine) handleAckDiff(from types.ProcessID, m message) {
 	e.poolIn(m.Batch)
+	if e.insts[m.Instance] == nil && m.Instance <= e.decidedK {
+		// Ack for a pruned decided instance: recreating it would disarm
+		// the pruned-instance guard for every later stale message. The
+		// acker adopted a proposal and is waiting on a decision that left
+		// retention — serve it from the log.
+		e.catchUpPruned(from, m.Instance, m.Round)
+		e.tryPropose()
+		return
+	}
 	in := e.get(m.Instance)
 	if in.decided {
+		// A late ack for a decided instance is normal (the coordinator
+		// decides on the majority ack); the acker learns the decision from
+		// the piggyback on the next proposal or the standalone flush.
 		e.tryPropose()
 		return
 	}
@@ -667,6 +694,13 @@ func (e *Engine) handleAckDiff(from types.ProcessID, m message) {
 // handleEstimate processes a round-change estimate at the new coordinator.
 func (e *Engine) handleEstimate(from types.ProcessID, m message) {
 	e.poolIn(m.Piggyback)
+	if e.insts[m.Instance] == nil && m.Instance <= e.decidedK {
+		// Estimate for a pruned decided instance: recreating it could make
+		// this process coordinate (and re-propose) an instance the cluster
+		// settled long ago. Serve the original decision instead.
+		e.catchUpPruned(from, m.Instance, m.Round)
+		return
+	}
 	in := e.get(m.Instance)
 	if in.decided {
 		e.send(from, message{Type: mDecisionFull, Instance: in.k, Round: in.decisionRound, Batch: in.decision})
@@ -680,10 +714,61 @@ func (e *Engine) handleEstimate(from types.ProcessID, m message) {
 	e.coordMaybePropose(in, m.Round)
 }
 
+// handleNack processes a nack for a round this process coordinated and
+// proposed. Rounds normally advance on suspicion only (§3.2
+// optimization), but a proposal lost to a peer's crash-recovery restart
+// leaves the unsuspected coordinator waiting for a majority that cannot
+// complete once another peer nacked the round away; the nack is proof the
+// round was abandoned, so the coordinator re-enters the rotation (safe:
+// the Chandra–Toueg locking rule protects agreement across rounds).
+func (e *Engine) handleNack(m message) {
+	if e.insts[m.Instance] == nil && m.Instance <= e.decidedK {
+		return // late nack for a pruned decided instance: never resurrect it
+	}
+	in := e.get(m.Instance)
+	if in.decided || m.Round != in.round || e.rec.Active() {
+		return
+	}
+	cr := in.coord[m.Round]
+	if cr == nil || !cr.proposed {
+		return
+	}
+	// Advance, then keep advancing past coordinators that are currently
+	// suspected (the same cascade Suspect performs): stopping on a round
+	// whose coordinator is down would send the estimate into a void.
+	e.advanceRound(in)
+	for !in.decided && e.suspected[e.coordinator(in.round)] {
+		e.advanceRound(in)
+	}
+}
+
 // handleForward pools directly forwarded messages at the coordinator.
 func (e *Engine) handleForward(m message) {
 	e.poolIn(m.Batch)
 	e.tryPropose()
+}
+
+// catchUp sends the full decision of a decided instance to a peer that
+// demonstrably missed it (it proposed into the instance after this
+// process decided it — pathological outside fault scenarios).
+// Response-driven: one message per stale proposal, no broadcasts.
+func (e *Engine) catchUp(to types.ProcessID, in *inst) {
+	e.send(to, message{Type: mDecisionFull, Instance: in.k, Round: in.decisionRound, Batch: in.decision})
+	e.env.Counters().Retransmissions.Add(1)
+}
+
+// catchUpPruned serves the decision of an instance pruned from memory,
+// reading it back from the durable log (the round of record is gone with
+// the pruned state; the peer's own round stands in — handleDecisionFull
+// only needs a consistent label). Without a log the decision is
+// unservable here and a better-provisioned peer must answer.
+func (e *Engine) catchUpPruned(to types.ProcessID, k uint64, round uint32) {
+	batch, ok := e.lookupDecision(k)
+	if !ok {
+		return
+	}
+	e.send(to, message{Type: mDecisionFull, Instance: k, Round: round, Batch: batch})
+	e.env.Counters().Retransmissions.Add(1)
 }
 
 // poolIn adds piggybacked messages to the pool, ignoring already-delivered
@@ -850,11 +935,21 @@ func (e *Engine) decide(in *inst, batch wire.Batch, r uint32) {
 	// standalone so the idle tail still learns it (never taken under
 	// load). During state-transfer catch-up the decisions being applied
 	// are old news to every peer, so the keepalive is skipped.
+	//
+	// The flush also runs when this process decided as the proposer of a
+	// round it does NOT carry into the next instance — a round-changed
+	// coordinator after the failure detector healed (the next instance
+	// restarts at round 1 under the original coordinator). The §4.3
+	// implicit acknowledgment assumes the decider keeps coordinating;
+	// without this flush a decision taken in round >= 2 just before the
+	// suspicion cleared would never be disseminated and the lagging peers
+	// would wedge (found by the chaos harness under healed partitions).
 	if e.rec.Active() {
 		return
 	}
 	next := e.current()
-	if e.coordinator(next.round) == e.self {
+	wasProposer := in.coord[r] != nil && in.coord[r].proposed
+	if e.coordinator(next.round) == e.self || wasProposer {
 		sent := e.propSent
 		e.tryPropose()
 		noneOpen := e.openProposals() == 0
@@ -945,11 +1040,12 @@ func (e *Engine) lookupDecision(k uint64) (wire.Batch, bool) {
 // through the normal decide path (persisted, adelivered, pruned), then
 // either the catch-up completes or the next chunk is pulled from the same
 // peer.
+// Decisions are applied even when the catch-up has already finished:
+// the finish can race a still-in-flight chunk (the quorum check can be
+// satisfied by a responder that is itself lagging behind the cluster),
+// and the raced chunk may carry decisions whose dissemination this
+// process permanently missed while down.
 func (e *Engine) handleRecoverResp(from types.ProcessID, m message) {
-	if !e.rec.Active() {
-		return // stale response from an earlier recovery
-	}
-	e.rec.Observe(from, m.UpTo)
 	c := e.env.Counters()
 	before := e.decidedK
 	for _, d := range m.Decisions {
@@ -960,6 +1056,10 @@ func (e *Engine) handleRecoverResp(from types.ProcessID, m message) {
 		in := e.get(d.K)
 		e.decide(in, d.Batch, in.round)
 	}
+	if !e.rec.Active() {
+		return // finished catch-up: the decisions above were still usable
+	}
+	e.rec.Observe(from, m.UpTo)
 	if dur, done := e.rec.MaybeFinish(e.decidedK+1, e.env.Now()); done {
 		c.RecoveryNanos.Add(dur.Nanoseconds())
 		e.finishRecovery()

@@ -1,0 +1,238 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"modab/internal/engine"
+	"modab/internal/types"
+)
+
+// faultCluster builds a small loaded cluster for fault-model tests.
+func faultCluster(t *testing.T, stk types.Stack, seed int64, durable bool,
+	onDeliver func(p types.ProcessID, d engine.Delivery, at time.Duration)) *Cluster {
+	t.Helper()
+	c, err := NewCluster(Options{N: 3, Stack: stk, Seed: seed, Durable: durable, OnDeliver: onDeliver})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	return c
+}
+
+// TestPartitionDropsAndAccounts: a partition window drops traffic on both
+// directions, accounts the drops to the senders, and accumulates the
+// partition exposure time once the window closes.
+func TestPartitionDropsAndAccounts(t *testing.T) {
+	c := faultCluster(t, types.Modular, 1, false, nil)
+	c.Partition(0, 1, 100*time.Millisecond, 400*time.Millisecond)
+	InstallWorkload(c, Workload{OfferedLoad: 900, Size: 64, End: 600 * time.Millisecond}, nil)
+	c.Run(time.Second)
+	c.RunIdle(30 * time.Second)
+	if c.Events() != 0 {
+		t.Fatalf("cluster did not quiesce: %d events left", c.Events())
+	}
+	for _, p := range []types.ProcessID{0, 1} {
+		snap := c.Counters(p)
+		if snap.DroppedByFault == 0 {
+			t.Errorf("p%d dropped nothing during the partition", p)
+		}
+		want := int64(300 * time.Millisecond)
+		if snap.PartitionNanos != want {
+			t.Errorf("p%d PartitionNanos = %d, want %d", p, snap.PartitionNanos, want)
+		}
+		if sec := snap.PartitionSecs(); sec < 0.29 || sec > 0.31 {
+			t.Errorf("p%d PartitionSecs = %v, want 0.3", p, sec)
+		}
+	}
+	if snap := c.Counters(2); snap.DroppedByFault != 0 || snap.PartitionNanos != 0 {
+		t.Errorf("p3 was not partitioned but has fault counters: %+v", snap)
+	}
+}
+
+// TestPartitionOneWayIsAsymmetric: only the blocked direction drops.
+func TestPartitionOneWayIsAsymmetric(t *testing.T) {
+	c := faultCluster(t, types.Modular, 2, false, nil)
+	c.PartitionOneWay(0, 2, 100*time.Millisecond, 500*time.Millisecond)
+	InstallWorkload(c, Workload{OfferedLoad: 900, Size: 64, End: 700 * time.Millisecond}, nil)
+	c.Run(time.Second)
+	c.RunIdle(30 * time.Second)
+	if got := c.Counters(0).DroppedByFault; got == 0 {
+		t.Errorf("p1 (blocked direction) dropped nothing")
+	}
+	if got := c.Counters(2).DroppedByFault; got != 0 {
+		t.Errorf("p3 (open direction) dropped %d", got)
+	}
+}
+
+// TestLossyLinkCountersAndDelivery: probabilistic drops, duplication and
+// reordering are counted, and the protocol still delivers everything
+// identically (the link layer's retransmission preserves quasi-reliable
+// channels).
+func TestLossyLinkCountersAndDelivery(t *testing.T) {
+	for _, stk := range []types.Stack{types.Modular, types.Monolithic} {
+		t.Run(stk.String(), func(t *testing.T) {
+			seqs := make([][]types.MsgID, 3)
+			c := faultCluster(t, stk, 3, false, func(p types.ProcessID, d engine.Delivery, _ time.Duration) {
+				seqs[p] = append(seqs[p], d.Msg.ID)
+			})
+			f := LinkFault{Drop: 0.3, Delay: time.Millisecond, Jitter: time.Millisecond, Dup: 0.2, Reorder: 0.3}
+			for _, pair := range [][2]types.ProcessID{{0, 1}, {1, 0}, {1, 2}} {
+				f.From, f.To = 100*time.Millisecond, 700*time.Millisecond
+				c.SetLinkFault(pair[0], pair[1], f)
+			}
+			InstallWorkload(c, Workload{OfferedLoad: 900, Size: 64, End: 900 * time.Millisecond}, nil)
+			c.Run(2 * time.Second)
+			c.RunIdle(30 * time.Second)
+			for _, err := range c.Errs() {
+				t.Errorf("engine error: %v", err)
+			}
+			tot := c.TotalCounters()
+			if tot.DroppedByFault == 0 || tot.DupedByFault == 0 || tot.ReorderedByFault == 0 {
+				t.Errorf("fault counters not exercised: %+v", tot)
+			}
+			if len(seqs[0]) == 0 {
+				t.Fatal("no deliveries")
+			}
+			for p := 1; p < 3; p++ {
+				if fmt.Sprint(seqs[p]) != fmt.Sprint(seqs[0]) {
+					t.Fatalf("delivery orders diverge between p1 and p%d under lossy links", p+1)
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionDrivesSuspicionFlap: the simulated failure detector
+// suspects across a partitioned link after FDDetect and clears the
+// suspicion after heal — observable as consensus round changes during the
+// window and none before it.
+func TestPartitionDrivesSuspicionFlap(t *testing.T) {
+	c := faultCluster(t, types.Modular, 4, false, nil)
+	InstallWorkload(c, Workload{OfferedLoad: 600, Size: 64, End: 900 * time.Millisecond}, nil)
+
+	// Cut p1 (the round-1 coordinator of every instance) off from p2: p2
+	// must suspect p1 and drive round changes; p3 sees nothing.
+	c.Partition(0, 1, 300*time.Millisecond, 700*time.Millisecond)
+	c.Run(250 * time.Millisecond)
+	if got := c.Counters(1).Rounds; got != 0 {
+		t.Fatalf("rounds advanced before the partition: %d", got)
+	}
+	c.Run(time.Second)
+	c.RunIdle(30 * time.Second)
+	if got := c.Counters(1).Rounds; got == 0 {
+		t.Error("p2 never advanced a round although its link to the coordinator was cut")
+	}
+	if c.Events() != 0 {
+		t.Errorf("cluster did not quiesce after heal: %d events", c.Events())
+	}
+}
+
+// TestFaultDeterminism: identical seeds and fault schedules produce
+// identical delivery traces and counters, fault injection included.
+func TestFaultDeterminism(t *testing.T) {
+	run := func() ([][]types.MsgID, string) {
+		seqs := make([][]types.MsgID, 3)
+		c := faultCluster(t, types.Monolithic, 9, false, func(p types.ProcessID, d engine.Delivery, _ time.Duration) {
+			seqs[p] = append(seqs[p], d.Msg.ID)
+		})
+		c.SetLinkFault(0, 1, LinkFault{From: 100 * time.Millisecond, To: 600 * time.Millisecond,
+			Drop: 0.25, Jitter: 2 * time.Millisecond, Dup: 0.1, Reorder: 0.2})
+		c.Partition(1, 2, 400*time.Millisecond, 800*time.Millisecond)
+		InstallWorkload(c, Workload{OfferedLoad: 900, Size: 64, End: time.Second}, nil)
+		c.Run(2 * time.Second)
+		c.RunIdle(30 * time.Second)
+		return seqs, fmt.Sprint(c.TotalCounters())
+	}
+	aSeqs, aStats := run()
+	bSeqs, bStats := run()
+	if fmt.Sprint(aSeqs) != fmt.Sprint(bSeqs) || aStats != bStats {
+		t.Fatal("same seed and schedule produced different fault-injected traces")
+	}
+}
+
+// TestHealTruncatesOpenFault: an open-ended fault cleared by Heal stops
+// dropping and the cluster converges.
+func TestHealTruncatesOpenFault(t *testing.T) {
+	seqs := make([][]types.MsgID, 3)
+	c := faultCluster(t, types.Modular, 6, false, func(p types.ProcessID, d engine.Delivery, _ time.Duration) {
+		seqs[p] = append(seqs[p], d.Msg.ID)
+	})
+	c.Partition(0, 2, 200*time.Millisecond, 0) // open-ended
+	c.Heal(600 * time.Millisecond)
+	InstallWorkload(c, Workload{OfferedLoad: 600, Size: 64, End: 800 * time.Millisecond}, nil)
+	c.Run(2 * time.Second)
+	c.RunIdle(30 * time.Second)
+	if c.Events() != 0 {
+		t.Fatalf("cluster did not quiesce after Heal: %d events", c.Events())
+	}
+	if len(seqs[0]) == 0 || fmt.Sprint(seqs[0]) != fmt.Sprint(seqs[2]) {
+		t.Fatalf("p1 and p3 disagree after heal: %d vs %d deliveries", len(seqs[0]), len(seqs[2]))
+	}
+	// Partition exposure accounted at heal time: 400ms on both directions.
+	want := int64(400 * time.Millisecond)
+	if got := c.Counters(0).PartitionNanos; got != want {
+		t.Errorf("p1 PartitionNanos = %d, want %d", got, want)
+	}
+}
+
+// TestRepartitionAfterRestartStillSuspects pins a stale-flag bug: if a
+// partition on p->q heals while p is crashed, the unsuspect branch of the
+// link failure detector skips the crashed sender and the link's
+// suspicion flag went stale — a LATER partition on the same link would
+// then never report a suspicion to q, silently wedging the cluster.
+// Restart must reset the flag so the second partition flaps normally.
+func TestRepartitionAfterRestartStillSuspects(t *testing.T) {
+	seqs := make([][]types.MsgID, 3)
+	c, err := NewCluster(Options{
+		N: 3, Stack: types.Modular, Seed: 8, Durable: true,
+		OnDeliver: func(p types.ProcessID, d engine.Delivery, _ time.Duration) {
+			seqs[p] = append(seqs[p], d.Msg.ID)
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	// First partition on p1<->p3 heals at 500ms while p1 is down.
+	c.Partition(0, 2, 200*time.Millisecond, 500*time.Millisecond)
+	c.Crash(0, 300*time.Millisecond)
+	c.Restart(0, 700*time.Millisecond)
+	// Second partition on the same link, after everything stabilized.
+	c.Partition(0, 2, 1100*time.Millisecond, 1500*time.Millisecond)
+	InstallWorkload(c, Workload{OfferedLoad: 600, Size: 64, End: 1400 * time.Millisecond}, nil)
+
+	c.Run(1050 * time.Millisecond)
+	roundsBefore := c.Counters(2).Rounds
+	c.Run(2 * time.Second)
+	c.RunIdle(30 * time.Second)
+	for _, err := range c.Errs() {
+		t.Errorf("engine error: %v", err)
+	}
+	if got := c.Counters(2).Rounds; got <= roundsBefore {
+		t.Errorf("p3 advanced no rounds during the second partition (%d before, %d after): suspicion flag went stale",
+			roundsBefore, got)
+	}
+	if c.Events() != 0 {
+		t.Errorf("cluster did not quiesce: %d events", c.Events())
+	}
+	if len(seqs[1]) == 0 || fmt.Sprint(seqs[1]) != fmt.Sprint(seqs[2]) {
+		t.Fatalf("p2 and p3 disagree: %d vs %d deliveries", len(seqs[1]), len(seqs[2]))
+	}
+}
+
+// TestFaultFreeSendPathUntouched: installing no faults leaves the cluster
+// byte-for-byte on the pre-fault schedule — no RNG draws, no extra
+// events. (TestGoldenTraces pins this against recorded fingerprints; this
+// is the cheap in-package cousin comparing against a second fresh run.)
+func TestFaultFreeSendPathUntouched(t *testing.T) {
+	run := func() string {
+		c := faultCluster(t, types.Modular, 5, false, nil)
+		InstallWorkload(c, Workload{OfferedLoad: 900, Size: 64, End: 500 * time.Millisecond}, nil)
+		c.Run(time.Second)
+		c.RunIdle(30 * time.Second)
+		return fmt.Sprint(c.TotalCounters())
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("fault-free runs diverged:\n%s\n%s", a, b)
+	}
+}

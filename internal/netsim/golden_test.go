@@ -33,6 +33,14 @@ type goldenScenario struct {
 	// cluster (crash-recovery model).
 	restart   bool
 	restartAt time.Duration
+	// partition, when set, symmetrically cuts both directions between the
+	// two processes during [partFrom, partTo) — the link-fault subsystem's
+	// pinned scenario (recorded when the subsystem landed; the chaos-free
+	// scenarios above must stay bit-for-bit on their pre-fault
+	// fingerprints).
+	partition        bool
+	partA, partB     int
+	partFrom, partTo time.Duration
 }
 
 // goldenScenarios is the pinned scenario matrix: good runs at both group
@@ -44,6 +52,8 @@ var goldenScenarios = []goldenScenario{
 	{name: "coordcrash/n=3", n: 3, seed: 5, load: 1200, size: 64, crash: 0, crashAt: 500 * time.Millisecond},
 	{name: "restart/n=3", n: 3, seed: 11, load: 1500, size: 128, crash: 1, crashAt: 500 * time.Millisecond,
 		restart: true, restartAt: 1200 * time.Millisecond},
+	{name: "partition/n=3", n: 3, seed: 13, load: 1200, size: 64, crash: -1,
+		partition: true, partA: 0, partB: 2, partFrom: 400 * time.Millisecond, partTo: 900 * time.Millisecond},
 }
 
 // goldenFingerprints maps scenario/stack to the recorded pre-pipelining
@@ -63,6 +73,8 @@ var goldenFingerprints = map[string]string{
 	"coordcrash/n=3/monolithic": "p0{del=597 sent=910 B=122640 disp=1103 cons=445/444} p1{del=1723 sent=3262 B=259704 disp=2898 cons=560/1005} p2{del=1723 sent=2694 B=154928 disp=2338 cons=0/1005} order=4f965e8252b2740e",
 	"restart/n=3/modular":       "p0{del=2432 sent=5394 B=1076816 disp=7578 cons=848/848} p1{del=2432 sent=2429 B=186526 disp=3973 cons=2/448} p2{del=2432 sent=2657 B=386386 disp=7141 cons=2/848} order=9e3fd0ad53a3d1e3",
 	"restart/n=3/monolithic":    "p0{del=2640 sent=3609 B=874127 disp=3973 cons=1799/1799} p1{del=2640 sent=1192 B=113780 disp=1834 cons=0/1799} p2{del=2640 sent=1821 B=286045 disp=2824 cons=0/1799} order=61acde73bb09578b",
+	"partition/n=3/modular":     "p0{del=1893 sent=4224 B=502976 disp=7010 cons=669/669} p1{del=1893 sent=3668 B=200708 disp=5627 cons=3/669} p2{del=1893 sent=2424 B=128716 disp=6277 cons=197/669} order=4701b1310b02188",
+	"partition/n=3/monolithic":  "p0{del=900 sent=4251 B=430295 disp=4635 cons=762/762} p1{del=900 sent=1332 B=91390 disp=1678 cons=0/762} p2{del=900 sent=3742 B=205610 disp=3912 cons=0/762} order=d4ad21ea02127b49",
 }
 
 // fingerprint runs the scenario and folds every process's delivery
@@ -84,6 +96,9 @@ func (s goldenScenario) fingerprint(t *testing.T, stk types.Stack, cfg engine.Co
 		t.Fatalf("NewCluster: %v", err)
 	}
 	InstallWorkload(c, Workload{OfferedLoad: s.load, Size: s.size, End: 2 * time.Second}, nil)
+	if s.partition {
+		c.Partition(types.ProcessID(s.partA), types.ProcessID(s.partB), s.partFrom, s.partTo)
+	}
 	if s.crash >= 0 {
 		c.Crash(types.ProcessID(s.crash), s.crashAt)
 		if s.restart {

@@ -70,6 +70,11 @@ type Cluster struct {
 	stores []*recovery.MemStore
 	rng    *rand.Rand
 	hub    *stream.Hub[engine.Event]
+	// linkFaults holds the per-directed-link fault state (internal/netsim
+	// faults.go); nil or empty entries leave the send path untouched.
+	// linkOrder records link creation order for deterministic sweeps.
+	linkFaults map[linkKey]*linkState
+	linkOrder  []linkKey
 	// streamDropped counts drops at cluster-level subscriptions; Stats
 	// folds it into the totals.
 	streamDropped atomic.Int64
@@ -274,6 +279,11 @@ func (c *Cluster) Utilization(p types.ProcessID) float64 {
 // Pending returns the engine's count of unordered messages at p.
 func (c *Cluster) Pending(p types.ProcessID) int { return c.procs[p].eng.Pending() }
 
+// Events returns the number of queued simulation events. A cluster that
+// reaches zero has quiesced: no message, timer, or fault event is
+// outstanding (the chaos harness's liveness check keys off it).
+func (c *Cluster) Events() int { return c.queue.Len() }
+
 // push schedules an event.
 func (c *Cluster) push(e *event) {
 	c.seq++
@@ -409,6 +419,27 @@ func (c *Cluster) Restart(p types.ProcessID, at time.Duration) {
 				})
 			})
 		}
+		// Link faults outlive the crash, but the suspicion state attached
+		// to them does not: inbound links (k.to == p) fed the dead
+		// engine's failure detector, and outbound links (k.from == p) may
+		// have healed while p was down — the unsuspect branch of fdCheck
+		// skips crashed senders, leaving the flag stale, which would
+		// silently swallow the suspicion of a LATER partition on the same
+		// link. Reset both directions; still-blocked links re-report after
+		// the detection delay (outbound ones re-suspecting at the observer
+		// right after the crash-path unsuspect scheduled above, which runs
+		// first at the same virtual time).
+		for _, k := range c.linkOrder {
+			if k.to != p && k.from != p {
+				continue
+			}
+			key := k
+			st := c.linkFaults[key]
+			st.suspected = false
+			if st.blocked {
+				c.At(c.now+c.model.FDDetect, func() { c.fdCheck(key) })
+			}
+		}
 	})
 }
 
@@ -525,7 +556,8 @@ func (c *Cluster) exec(p *proc, at time.Duration, baseCost time.Duration, fn fun
 	p.busy += cost
 
 	// NIC egress: messages serialize in emission order on the sender's
-	// link, then arrive after the propagation delay.
+	// link, then arrive after the propagation delay (possibly degraded by
+	// injected link faults).
 	for _, om := range env.outbox {
 		sendStart := end
 		if p.nicFreeAt > sendStart {
@@ -533,17 +565,7 @@ func (c *Cluster) exec(p *proc, at time.Duration, baseCost time.Duration, fn fun
 		}
 		ser := c.model.serialization(len(om.data))
 		p.nicFreeAt = sendStart + ser
-		dst := c.procs[om.to]
-		if dst.crashed {
-			continue
-		}
-		c.push(&event{
-			at:   sendStart + ser + c.model.PropDelay,
-			kind: evMsg,
-			proc: om.to,
-			from: p.id,
-			data: om.data,
-		})
+		c.transmit(p.id, om.to, om.data, sendStart+ser)
 	}
 	// Application upcalls complete when the handler does.
 	if c.opts.OnDeliver != nil {

@@ -90,6 +90,22 @@ type Counters struct {
 	// completion, in nanoseconds of the driver's clock (virtual time under
 	// simulation).
 	RecoveryNanos atomic.Int64
+	// DroppedByFault counts transmission attempts discarded by an injected
+	// link fault (partition or probabilistic drop), charged to the sender.
+	// The simulated link retries dropped transmissions, so one message can
+	// contribute several drops before it finally arrives.
+	DroppedByFault atomic.Int64
+	// DupedByFault counts extra deliveries injected by a link duplication
+	// fault, charged to the sender.
+	DupedByFault atomic.Int64
+	// ReorderedByFault counts messages given a bounded extra skew by a link
+	// reordering fault, charged to the sender.
+	ReorderedByFault atomic.Int64
+	// PartitionNanos accumulates, per sender, the virtual time its outbound
+	// directed links spent fully partitioned (summed over links; a closed
+	// window is accounted when it ends). PartitionSecs reports it in
+	// seconds.
+	PartitionNanos atomic.Int64
 }
 
 // Snapshot is an immutable copy of the counters at one instant.
@@ -117,6 +133,10 @@ type Snapshot struct {
 	RecoveryReplayedMsgs  int64
 	RecoveryFetchedMsgs   int64
 	RecoveryNanos         int64
+	DroppedByFault        int64
+	DupedByFault          int64
+	ReorderedByFault      int64
+	PartitionNanos        int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting (each field is
@@ -147,6 +167,10 @@ func (c *Counters) Snapshot() Snapshot {
 		RecoveryReplayedMsgs:  c.RecoveryReplayedMsgs.Load(),
 		RecoveryFetchedMsgs:   c.RecoveryFetchedMsgs.Load(),
 		RecoveryNanos:         c.RecoveryNanos.Load(),
+		DroppedByFault:        c.DroppedByFault.Load(),
+		DupedByFault:          c.DupedByFault.Load(),
+		ReorderedByFault:      c.ReorderedByFault.Load(),
+		PartitionNanos:        c.PartitionNanos.Load(),
 	}
 }
 
@@ -179,6 +203,10 @@ func (s *Snapshot) Add(o Snapshot) {
 	s.RecoveryReplayedMsgs += o.RecoveryReplayedMsgs
 	s.RecoveryFetchedMsgs += o.RecoveryFetchedMsgs
 	s.RecoveryNanos += o.RecoveryNanos
+	s.DroppedByFault += o.DroppedByFault
+	s.DupedByFault += o.DupedByFault
+	s.ReorderedByFault += o.ReorderedByFault
+	s.PartitionNanos += o.PartitionNanos
 }
 
 // Stats is a uniform whole-driver snapshot: one Snapshot per process
@@ -274,5 +302,15 @@ func (s Snapshot) String() string {
 			s.Recoveries, s.RecoveryReplayedMsgs, s.RecoveryFetchedMsgs,
 			float64(s.RecoveryNanos)/1e6)
 	}
+	if s.DroppedByFault > 0 || s.DupedByFault > 0 || s.ReorderedByFault > 0 || s.PartitionNanos > 0 {
+		out += fmt.Sprintf(" faults{dropped=%d duped=%d reordered=%d partition=%.2fs}",
+			s.DroppedByFault, s.DupedByFault, s.ReorderedByFault, s.PartitionSecs())
+	}
 	return out
+}
+
+// PartitionSecs returns the accumulated outbound-link partition time in
+// seconds (the chaos figure's partition-exposure column).
+func (s Snapshot) PartitionSecs() float64 {
+	return float64(s.PartitionNanos) / 1e9
 }

@@ -45,6 +45,39 @@ func TestStringContainsHeadlineNumbers(t *testing.T) {
 	}
 }
 
+func TestFaultCounters(t *testing.T) {
+	var c Counters
+	c.DroppedByFault.Add(5)
+	c.DupedByFault.Add(2)
+	c.ReorderedByFault.Add(3)
+	c.PartitionNanos.Add(1_500_000_000)
+
+	s := c.Snapshot()
+	if s.DroppedByFault != 5 || s.DupedByFault != 2 || s.ReorderedByFault != 3 {
+		t.Fatalf("snapshot: %+v", s)
+	}
+	if got := s.PartitionSecs(); got != 1.5 {
+		t.Fatalf("PartitionSecs = %g, want 1.5", got)
+	}
+
+	var total Snapshot
+	total.Add(s)
+	total.Add(s)
+	if total.DroppedByFault != 10 || total.PartitionNanos != 3_000_000_000 {
+		t.Fatalf("Add: %+v", total)
+	}
+
+	out := s.String()
+	for _, want := range []string{"dropped=5", "duped=2", "reordered=3", "partition=1.50s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() = %q, missing %q", out, want)
+		}
+	}
+	if clean := (Snapshot{}).String(); strings.Contains(clean, "faults{") {
+		t.Fatalf("fault-free String() mentions faults: %q", clean)
+	}
+}
+
 func TestConcurrentWrites(t *testing.T) {
 	var c Counters
 	var wg sync.WaitGroup

@@ -1,0 +1,44 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"modab/internal/recovery"
+	"modab/internal/types"
+	"modab/internal/wire"
+)
+
+// TestGenerateFuzzCorpus regenerates the checked-in seed corpus for
+// FuzzSegmentScan when run with WAL_GEN_CORPUS=1 (a no-op otherwise); the
+// corpus keeps the structurally interesting inputs stable even if the
+// in-code f.Add seeds drift.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("WAL_GEN_CORPUS") == "" {
+		t.Skip("set WAL_GEN_CORPUS=1 to regenerate testdata/fuzz")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzSegmentScan")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	boot := fuzzRecord(recovery.RecBoot, 0, nil)
+	admit := fuzzRecord(recovery.RecAdmit, 0,
+		wire.Batch{{ID: types.MsgID{Sender: 1, Seq: 1}, Body: []byte("payload")}})
+	decide := fuzzRecord(recovery.RecDecision, 1,
+		wire.Batch{{ID: types.MsgID{Sender: 1, Seq: 1}, Body: []byte("payload")}})
+	full := append(append(append([]byte(nil), boot...), admit...), decide...)
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(boot)+9] ^= 0xff
+	for name, data := range map[string][]byte{
+		"well_formed_log": full,
+		"torn_tail":       full[:len(full)-5],
+		"mid_corruption":  corrupt,
+	} {
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

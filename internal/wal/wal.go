@@ -208,10 +208,14 @@ func Open(dir string, opts Options) (*Log, error) {
 	return l, nil
 }
 
-// scanSegment validates segment id record by record, adds its decisions
-// to the index, and returns the byte size of the valid prefix. When
-// tolerateTail is set (last segment only) a partial or CRC-corrupt final
-// record is truncated away instead of failing.
+// scanSegment validates segment id record by record — framing, checksum,
+// and payload structure, exactly what Replay will later require, so a log
+// that opens is guaranteed to replay — adds its decisions to the index,
+// and returns the byte size of the valid prefix. When tolerateTail is set
+// (last segment only) a partial or corrupt final record is truncated away
+// instead of failing. (A CRC-valid but structurally invalid record is
+// possible: the empty payload checksums to 0, so an 8-byte zero run looks
+// CRC-clean — found by FuzzSegmentScan.)
 func (l *Log) scanSegment(id uint64, tolerateTail bool) (int64, error) {
 	path := l.segPath(id)
 	data, err := os.ReadFile(path)
@@ -233,9 +237,12 @@ func (l *Log) scanSegment(id uint64, tolerateTail bool) (int64, error) {
 		if crc32.Checksum(payload, castagnoli) != crc {
 			break // corrupt record: treat as tail
 		}
-		if n >= 9 && recovery.RecKind(payload[0]) == recovery.RecDecision {
-			k := wire.NewReader(payload[1:9]).Uint64()
-			l.index[k] = recRef{seg: id, off: off, n: n}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			break // CRC-valid but structurally corrupt: treat as tail
+		}
+		if rec.Kind == recovery.RecDecision {
+			l.index[rec.Instance] = recRef{seg: id, off: off, n: n}
 		}
 		off += recHeaderBytes + int64(n)
 	}
