@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet docs bench-smoke test-chaos ci
+.PHONY: all build test race vet docs bench-smoke test-chaos fuzz-smoke ci
 
 all: ci
 
@@ -10,16 +10,16 @@ build:
 test:
 	$(GO) test ./...
 
-# The runtime, stream, wal, recovery and fd packages carry the
+# The runtime, stream, wal, recovery, rsm and fd packages carry the
 # concurrency-sensitive code (event loop, delivery streams, flow-control
-# wakeups, background WAL fsync, restart paths, heartbeat suspicion
-# reporting); the root package exercises the facade across all three
-# drivers.
+# wakeups, background WAL fsync, restart paths, applier/snapshot-store
+# locking, heartbeat suspicion reporting); the root package exercises the
+# facade across all three drivers.
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/stream/... ./internal/core/... ./internal/wal/... ./internal/recovery/... ./internal/transport/... ./internal/fd/... .
+	$(GO) test -race ./internal/runtime/... ./internal/stream/... ./internal/core/... ./internal/wal/... ./internal/recovery/... ./internal/rsm/... ./internal/transport/... ./internal/fd/... .
 
 # Chaos soak: the fixed-seed short sweep of the fault-injection harness
-# (three scenario families plus randomized schedules, both stacks, every
+# (four scenario families plus randomized schedules, both stacks, every
 # atomic broadcast property checked per run) — bounded well under a
 # minute so it can gate every push. The nightly-style deep sweep is the
 # same target with CHAOS_SEEDS=200 (or any seed count).
@@ -29,13 +29,21 @@ test-chaos:
 vet:
 	$(GO) vet ./...
 
+# Fuzz smoke: a bounded run of each fuzz target on top of its checked-in
+# seed corpus (testdata/fuzz/...). Plain `go test` already replays the
+# seeds; this target actually mutates for a short budget so the corpus
+# can grow when a new crasher appears.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzSnapshotOpen -fuzztime=30s ./internal/rsm
+
 # Benchmark smoke: compile and run every benchmark for exactly one
-# iteration, plus one repetition of the abbench pipeline figure on the
-# simulator, so benchmark code can no longer rot silently (it is not
-# compiled by plain `go test`).
+# iteration, plus one repetition each of the abbench pipeline and KV
+# figures on the simulator, so benchmark code can no longer rot silently
+# (it is not compiled by plain `go test`).
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/abbench -fig pipeline -reps 1 -warmup 500ms -measure 1s
+	$(GO) run ./cmd/abbench -fig kv -reps 1 -warmup 500ms -measure 1s
 
 # Documentation gate: gofmt-clean tree, documented exported symbols in
 # modab.go, package comments on every internal package, no broken local

@@ -10,6 +10,7 @@
 //	abbench -fig recovery           # crash-recovery cost comparison
 //	abbench -fig pipeline           # consensus pipelining sweep (W = 1..16)
 //	abbench -fig chaos              # property-checked fault-schedule soak
+//	abbench -fig kv                 # replicated KV service: ops/s + submit→applied
 //	abbench -analytical             # §5.2 closed-form tables only
 //	abbench -fig 10 -reps 5 -measure 8s
 //	abbench -fig 11 -batch-msgs 32  # sender-side batching enabled
@@ -33,6 +34,10 @@
 // crash+restart) through internal/chaos with every atomic broadcast
 // property checked per run, and tables the injected fault volume against
 // each stack's repair cost; any property violation fails the run.
+// -fig kv measures the replicated key/value service end to end: applied
+// ops/s and the submit→applied latency distribution (mean and p99) each
+// stack's ordering layer puts in front of the state machine, with
+// snapshotting and WAL truncation active.
 // -json additionally writes every
 // produced figure as a machine-readable report (schema modab-bench/v1)
 // for performance trajectory tracking.
@@ -57,7 +62,7 @@ func main() {
 
 func run() error {
 	var (
-		fig        = flag.String("fig", "all", `figure to regenerate: "8", "9", "10", "11", "recovery", "pipeline", "chaos" or "all"`)
+		fig        = flag.String("fig", "all", `figure to regenerate: "8", "9", "10", "11", "recovery", "pipeline", "chaos", "kv" or "all"`)
 		analytical = flag.Bool("analytical", false, "print the §5.2 analytical tables and exit")
 		reps       = flag.Int("reps", 3, "repetitions per point (95% CIs are computed across them)")
 		warmup     = flag.Duration("warmup", 2*time.Second, "virtual warm-up before measuring")
@@ -136,8 +141,17 @@ func run() error {
 		benchharness.RenderChaos(os.Stdout, cf)
 		chaosFig = &cf
 	}
+	var kvFig *benchharness.KVFigure
+	if *fig == "all" || *fig == "kv" {
+		kf, err := benchharness.FigKV(opts)
+		if err != nil {
+			return fmt.Errorf("figure kv: %w", err)
+		}
+		benchharness.RenderKV(os.Stdout, kf)
+		kvFig = &kf
+	}
 	if *jsonPath != "" {
-		if err := benchharness.WriteJSON(*jsonPath, benchharness.NewReport(opts, produced, recFig, pipeFig, chaosFig)); err != nil {
+		if err := benchharness.WriteJSON(*jsonPath, benchharness.NewReport(opts, produced, recFig, pipeFig, chaosFig, kvFig)); err != nil {
 			return err
 		}
 		fmt.Printf("machine-readable report written to %s\n", *jsonPath)

@@ -20,6 +20,14 @@
 // decisions are persisted to a write-ahead log in that directory (-fsync
 // picks the policy), and a killed process restarted with the same -wal
 // directory replays its log and performs state transfer before resuming.
+//
+// With -kv the process additionally runs the built-in replicated
+// key/value state machine and serves it over HTTP (see kv.go for the
+// API); -snapshot-every sets the snapshot cadence, and combined with
+// -wal a restarted process recovers its KV state from the newest
+// snapshot plus a bounded log suffix. KV serving usually wants a long
+// -dur and -rate 0 (no synthetic load — synthetic payloads are not KV
+// commands and apply as no-op bad commands).
 // -seqlog appends one "sender seq instance" line per delivery — across a
 // restart the file accumulates both incarnations' streams, which is how
 // the integration tests verify the recovered total order.
@@ -34,6 +42,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -71,6 +80,9 @@ func run() error {
 		walDir  = flag.String("wal", "", "write-ahead-log directory: enables crash recovery (restart with the same directory to rejoin)")
 		fsync   = flag.String("fsync", "always", `WAL fsync policy: "always", "interval" or "none"`)
 		seqPath = flag.String("seqlog", "", "append one line per delivered message to this file (total-order audit trail)")
+
+		kvAddr    = flag.String("kv", "", "serve the replicated key/value store over HTTP at this address (usually with -rate 0)")
+		snapEvery = flag.Uint64("snapshot-every", 64, "with -kv: snapshot the state machine every N consensus instances (0 = never)")
 	)
 	flag.Parse()
 
@@ -120,6 +132,13 @@ func run() error {
 		}
 		opts = append(opts, modab.WithDurability(*walDir, policy))
 	}
+	var kvLocal *modab.KV
+	if *kvAddr != "" {
+		opts = append(opts, modab.WithStateMachine(func() modab.StateMachine {
+			kvLocal = modab.NewKV()
+			return kvLocal
+		}, *snapEvery))
+	}
 
 	var seqlog *bufio.Writer
 	var seqfile *os.File
@@ -137,6 +156,16 @@ func run() error {
 		return err
 	}
 	fmt.Printf("%s up as %s of %d peers, stack=%s\n", self, self, len(addrs), stk)
+	var kvSrv *http.Server
+	if *kvAddr != "" {
+		srv, err := startKVServer(*kvAddr, cluster, *id, kvLocal)
+		if err != nil {
+			_ = cluster.Close()
+			return fmt.Errorf("kv listen: %w", err)
+		}
+		kvSrv = srv
+		fmt.Printf("%s serving KV over HTTP at %s\n", self, *kvAddr)
+	}
 
 	// Graceful shutdown on SIGINT/SIGTERM: stop injecting, flush the WAL
 	// and close the transport (cluster.Close), drain the delivery stream.
@@ -239,9 +268,12 @@ func run() error {
 
 	elapsed := time.Since(start).Seconds()
 	counters := cluster.Counters(*id)
-	// Close order: the cluster first (final WAL sync, transport teardown,
-	// stream end), then the consumer drains what is buffered, then the
-	// audit trail flushes.
+	// Close order: the KV front end first (stop taking requests), then the
+	// cluster (final WAL sync, transport teardown, stream end), then the
+	// consumer drains what is buffered, then the audit trail flushes.
+	if kvSrv != nil {
+		_ = kvSrv.Close()
+	}
 	closeErr := cluster.Close()
 	consumerWG.Wait()
 	if seqlog != nil {

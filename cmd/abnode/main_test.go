@@ -2,7 +2,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -219,6 +221,121 @@ func TestAbnodeRestartIntegration(t *testing.T) {
 		ref = seq1
 	}
 	assertRecoveredOrder(t, seq2, ref)
+}
+
+// TestAbnodeKVHTTP spins up a three-process group serving the
+// replicated KV over HTTP and exercises the full surface end to end:
+// put/get/CAS/delete with read-your-writes at the submitting node, and
+// an ordered cross-node read observing a write accepted elsewhere.
+func TestAbnodeKVHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	bin := buildAbnode(t)
+	addrs := freePorts(t, 6)
+	peers := strings.Join(addrs[:3], ",")
+	kvAddrs := addrs[3:]
+
+	var outs [3]strings.Builder
+	procs := make([]*exec.Cmd, 3)
+	for i := 0; i < 3; i++ {
+		cmd := exec.Command(bin,
+			"-id", fmt.Sprint(i),
+			"-peers", peers,
+			"-stack", "monolithic",
+			"-rate", "0",
+			"-dur", "20s",
+			"-quiet",
+			"-kv", kvAddrs[i],
+			"-snapshot-every", "8",
+		)
+		cmd.Stdout = &outs[i]
+		cmd.Stderr = &outs[i]
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start abnode %d: %v", i, err)
+		}
+		procs[i] = cmd
+		defer func() { _ = cmd.Process.Signal(syscall.SIGTERM); _ = cmd.Wait() }()
+	}
+
+	client := &http.Client{Timeout: 15 * time.Second}
+	req := func(method, node, key, body string, hdr map[string]string) (int, string) {
+		t.Helper()
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		r, err := http.NewRequest(method, "http://"+node+"/kv/"+key, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range hdr {
+			r.Header.Set(k, v)
+		}
+		resp, err := client.Do(r)
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, key, err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(data)
+	}
+
+	// Wait for the HTTP front ends to come up and the group to order the
+	// first command.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		r, err := http.NewRequest(http.MethodPut, "http://"+kvAddrs[0]+"/kv/boot", strings.NewReader("1"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Do(r)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusNoContent {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("KV front end never came up: %v\n%s", err, outs[0].String())
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	if code, _ := req(http.MethodPut, kvAddrs[0], "color", "blue", nil); code != http.StatusNoContent {
+		t.Fatalf("put: %d", code)
+	}
+	if code, body := req(http.MethodGet, kvAddrs[0], "color", "", nil); code != http.StatusOK || body != "blue" {
+		t.Fatalf("read-your-writes get = (%d, %q)", code, body)
+	}
+	// Ordered read at a different node than the writer.
+	if code, body := req(http.MethodGet, kvAddrs[1], "color", "", nil); code != http.StatusOK || body != "blue" {
+		t.Fatalf("cross-node get = (%d, %q)", code, body)
+	}
+	// CAS: wrong expectation rejected, right one applied.
+	if code, _ := req(http.MethodPut, kvAddrs[2], "color", "green", map[string]string{"If-Match": "red"}); code != http.StatusPreconditionFailed {
+		t.Fatalf("CAS wrong old = %d, want 412", code)
+	}
+	if code, _ := req(http.MethodPut, kvAddrs[2], "color", "green", map[string]string{"If-Match": "blue"}); code != http.StatusNoContent {
+		t.Fatalf("CAS right old = %d, want 204", code)
+	}
+	if code, body := req(http.MethodGet, kvAddrs[0], "color", "", nil); code != http.StatusOK || body != "green" {
+		t.Fatalf("get after CAS = (%d, %q)", code, body)
+	}
+	// Local (stale-tolerant) read hits the replica directly.
+	if code, body := req(http.MethodGet, kvAddrs[0], "color?local=1", "", nil); code != http.StatusOK || body != "green" {
+		t.Fatalf("local get = (%d, %q)", code, body)
+	}
+	// Delete, then both flavors of missing.
+	if code, _ := req(http.MethodDelete, kvAddrs[1], "color", "", nil); code != http.StatusNoContent {
+		t.Fatalf("delete = %d", code)
+	}
+	if code, _ := req(http.MethodGet, kvAddrs[1], "color", "", nil); code != http.StatusNotFound {
+		t.Fatalf("get after delete = %d, want 404", code)
+	}
+	if code, _ := req(http.MethodDelete, kvAddrs[1], "color", "", nil); code != http.StatusNotFound {
+		t.Fatalf("delete missing = %d, want 404", code)
+	}
 }
 
 // TestAbnodeGracefulSignal: SIGTERM mid-run exits cleanly (WAL flushed,

@@ -118,6 +118,23 @@ type Layer struct {
 	// re-announces only when no progress happened in between, so a healthy
 	// transfer is not multiplied by periodic re-broadcasts.
 	recLastSeen uint64
+	// snap tracks an in-progress snapshot fetch: the far-behind branch of
+	// the catch-up, entered when a responder reports a snapshot at or
+	// above our missing instance but cannot serve the instances themselves
+	// (it truncated its log below the snapshot horizon).
+	snap snapFetch
+}
+
+// snapFetch is the chunk-assembly state of one snapshot transfer.
+type snapFetch struct {
+	active    bool
+	from      types.ProcessID
+	index     uint64
+	total     int
+	buf       []byte
+	startedAt time.Duration
+	lastLen   int // buffered bytes at the last recovery-timer fire
+	stalls    int // consecutive recovery-timer fires without progress
 }
 
 var _ stack.Layer = (*Layer)(nil)
@@ -327,6 +344,20 @@ func (l *Layer) Receive(from types.ProcessID, data []byte) error {
 		}
 		l.handleRecoverResp(from, resp)
 		return nil
+	case wire.FrameSnapReq:
+		req, err := wire.UnmarshalSnapReq(data)
+		if err != nil {
+			return fmt.Errorf("abcast: bad snap-req from %s: %w", from, err)
+		}
+		l.handleSnapReq(from, req)
+		return nil
+	case wire.FrameSnapResp:
+		resp, err := wire.UnmarshalSnapResp(data)
+		if err != nil {
+			return fmt.Errorf("abcast: bad snap-resp from %s: %w", from, err)
+		}
+		l.handleSnapResp(from, resp)
+		return nil
 	}
 	b, err := wire.UnmarshalFrame(data)
 	if err != nil {
@@ -353,6 +384,11 @@ func (l *Layer) Receive(from types.ProcessID, data []byte) error {
 // the data.
 func (l *Layer) handleRecoverReq(from types.ProcessID, req wire.RecoverReq) {
 	resp := wire.RecoverResp{UpTo: l.nextDecide - 1}
+	if l.cfg.Snapshots != nil && l.cfg.Snapshots.Latest != nil {
+		if idx, ok := l.cfg.Snapshots.Latest(); ok {
+			resp.SnapIndex = idx
+		}
+	}
 	end := recovery.ChunkEnd(req.From, resp.UpTo)
 	for k := req.From; end > 0 && k <= end && l.cfg.Persist != nil; k++ {
 		batch, ok := l.cfg.Persist.ReadDecision(k)
@@ -408,13 +444,154 @@ func (l *Layer) handleRecoverResp(from types.ProcessID, resp wire.RecoverResp) {
 	// every responder would ship the same backlog in parallel.
 	if l.nextDecide > before && l.nextDecide <= l.rec.Target() {
 		l.sendRecoverReq(from)
+		return
 	}
+	// Far-behind branch: the responder could not serve our missing
+	// instance (it truncated its log below its snapshot horizon) but holds
+	// a snapshot covering it. Fetch and install the snapshot, then resume
+	// per-instance catch-up above it.
+	if l.nextDecide == before && resp.SnapIndex >= l.nextDecide &&
+		l.cfg.Snapshots != nil && !l.snap.active {
+		l.beginSnapFetch(from, resp.SnapIndex)
+	}
+}
+
+// beginSnapFetch starts fetching the snapshot at index from one peer.
+func (l *Layer) beginSnapFetch(from types.ProcessID, index uint64) {
+	l.snap = snapFetch{active: true, from: from, index: index, startedAt: l.ctx.Env().Now()}
+	l.sendSnapReq()
+}
+
+// sendSnapReq requests the next chunk of the in-progress snapshot fetch.
+func (l *Layer) sendSnapReq() {
+	w := wire.GetWriter(24)
+	wire.AppendSnapReqFrame(w, wire.SnapReq{Index: l.snap.index, Offset: uint64(len(l.snap.buf))})
+	l.ctx.NetSend(l.snap.from, w.Bytes())
+	wire.PutWriter(w)
+}
+
+// handleSnapReq serves one chunk of the local latest snapshot. A request
+// for a snapshot this process no longer has (it moved on) is answered
+// with the newest one from offset 0; the requester restarts its assembly.
+func (l *Layer) handleSnapReq(from types.ProcessID, req wire.SnapReq) {
+	if l.cfg.Snapshots == nil || l.cfg.Snapshots.Latest == nil || l.cfg.Snapshots.Read == nil {
+		return
+	}
+	resp := wire.SnapResp{UpTo: l.nextDecide - 1}
+	if idx, ok := l.cfg.Snapshots.Latest(); ok {
+		off := req.Offset
+		if idx != req.Index {
+			off = 0
+		}
+		if data, total, ok := l.cfg.Snapshots.Read(idx, int(off), wire.SnapChunk); ok {
+			resp.Index = idx
+			resp.Total = uint64(total)
+			resp.Offset = off
+			resp.Data = data
+		}
+	}
+	c := l.ctx.Env().Counters()
+	c.Retransmissions.Add(1)
+	w := wire.GetWriter(64 + len(resp.Data))
+	wire.AppendSnapRespFrame(w, resp)
+	l.ctx.NetSend(from, w.Bytes())
+	wire.PutWriter(w)
+}
+
+// handleSnapResp assembles snapshot chunks and installs the completed
+// envelope: application state through the driver hook, dedup merge and
+// watermark jump in the layer, then per-instance catch-up resumes for
+// whatever suffix remains above the snapshot.
+func (l *Layer) handleSnapResp(from types.ProcessID, resp wire.SnapResp) {
+	if !l.snap.active || from != l.snap.from {
+		return
+	}
+	if resp.Total == 0 || resp.Index < l.nextDecide {
+		// The responder lost its snapshot, or we advanced past it while
+		// fetching; the recovery timer finds another path.
+		l.snap = snapFetch{}
+		return
+	}
+	if resp.Index != l.snap.index {
+		// The responder rotated to a newer snapshot: restart the assembly.
+		l.snap.index = resp.Index
+		l.snap.buf = l.snap.buf[:0]
+		if resp.Offset != 0 {
+			l.sendSnapReq()
+			return
+		}
+	}
+	if int(resp.Offset) != len(l.snap.buf) {
+		l.sendSnapReq() // duplicate or reordered chunk: re-request in place
+		return
+	}
+	l.snap.total = int(resp.Total)
+	l.snap.buf = append(l.snap.buf, resp.Data...)
+	l.rec.Observe(from, resp.UpTo)
+	if len(l.snap.buf) < l.snap.total {
+		l.sendSnapReq()
+		return
+	}
+	env, err := wire.UnmarshalSnapshotEnvelope(l.snap.buf)
+	took := l.ctx.Env().Now() - l.snap.startedAt
+	l.snap = snapFetch{}
+	if err != nil || env.Index < l.nextDecide {
+		return
+	}
+	if err := l.installSnapshot(env); err != nil {
+		return
+	}
+	c := l.ctx.Env().Counters()
+	c.SnapshotInstalls.Add(1)
+	c.SnapshotInstallNanos.Add(took.Nanoseconds())
+	if dur, done := l.rec.MaybeFinish(l.nextDecide, l.ctx.Env().Now()); done {
+		c.RecoveryNanos.Add(dur.Nanoseconds())
+		l.ctx.CancelTimer(timerRecover)
+		l.finishRecovery()
+		return
+	}
+	if l.rec.Active() {
+		l.sendRecoverReq(from)
+	}
+}
+
+// installSnapshot adopts a fetched snapshot: the application side first
+// (persist + state machine restore, through the driver hook), then the
+// layer's own consequences — merged dedup state, jumped decided
+// watermark, released flow slots for own messages the snapshot ordered.
+func (l *Layer) installSnapshot(env wire.SnapshotEnvelope) error {
+	dm, err := dedup.UnmarshalMap(env.Dedup)
+	if err != nil {
+		return err
+	}
+	if l.cfg.Snapshots.Install != nil {
+		if err := l.cfg.Snapshots.Install(env); err != nil {
+			return err
+		}
+	}
+	l.delivered.Merge(dm)
+	l.nextDecide = env.Index + 1
+	for k := range l.decisionsBuf {
+		if k < l.nextDecide {
+			delete(l.decisionsBuf, k)
+		}
+	}
+	for id := range l.pending {
+		if l.isDelivered(id) {
+			delete(l.pending, id)
+			l.snapClean = false
+			_ = l.fc.Delivered(id)
+		}
+	}
+	l.lastProgress = l.ctx.Env().Now()
+	return nil
 }
 
 // finishRecovery resumes normal operation after catch-up: pending-set
 // staleness restarts from here (the fetched instances could not have
 // ordered what only this process holds), and proposing is allowed again.
 func (l *Layer) finishRecovery() {
+	l.snap = snapFetch{}
 	for id, p := range l.pending {
 		p.epoch = l.nextDecide
 		l.pending[id] = p
@@ -613,8 +790,23 @@ func (l *Layer) Timer(id engine.TimerID) {
 		if l.rec.Active() {
 			// Re-announce only when the transfer stalled since the last
 			// fire — a lost request/response or a dead serving peer; a
-			// healthy chunk chain re-arms without extra broadcasts.
-			if l.nextDecide == l.recLastSeen {
+			// healthy chunk chain re-arms without extra broadcasts. A
+			// stalled snapshot fetch first retries its chunk, then (still
+			// stalled) abandons the peer and re-announces.
+			if l.snap.active {
+				if len(l.snap.buf) == l.snap.lastLen {
+					l.snap.stalls++
+					if l.snap.stalls >= 2 {
+						l.snap = snapFetch{}
+						l.sendRecoverReq(types.Nobody)
+					} else {
+						l.sendSnapReq()
+					}
+				} else {
+					l.snap.stalls = 0
+					l.snap.lastLen = len(l.snap.buf)
+				}
+			} else if l.nextDecide == l.recLastSeen {
 				l.sendRecoverReq(types.Nobody)
 			}
 			l.recLastSeen = l.nextDecide

@@ -75,6 +75,33 @@ func TestRenderAnalyticalQuotesPaper(t *testing.T) {
 	}
 }
 
+// TestRunKVPointProducesSaneNumbers exercises the replicated-KV point:
+// commands apply, latency is measured, and snapshots run.
+func TestRunKVPointProducesSaneNumbers(t *testing.T) {
+	opts := quickOpts()
+	opts.Warmup = 500 * time.Millisecond
+	opts.Measure = 2 * time.Second
+	p, err := RunKVPoint(3, types.Monolithic, 1000, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.OpsPerSec <= 0 || p.ApplyMeanMs <= 0 {
+		t.Fatalf("degenerate KV point: %+v", p)
+	}
+	if p.ApplyP99Ms < p.ApplyMeanMs {
+		t.Fatalf("p99 below mean: %+v", p)
+	}
+	if p.SnapshotsTaken == 0 {
+		t.Fatalf("no snapshots under sustained load: %+v", p)
+	}
+
+	var sb strings.Builder
+	RenderKV(&sb, KVFigure{Title: "test", Points: []KVPoint{p}})
+	if !strings.Contains(sb.String(), "monolithic") {
+		t.Errorf("render missing stack name:\n%s", sb.String())
+	}
+}
+
 // TestTinyFigureSweep runs a reduced Fig-10-shaped sweep end to end.
 func TestTinyFigureSweep(t *testing.T) {
 	if testing.Short() {

@@ -22,6 +22,7 @@ type Report struct {
 	Recovery    *RecoveryFigure `json:"recovery,omitempty"`
 	Pipeline    *PipelineFigure `json:"pipeline,omitempty"`
 	Chaos       *ChaosFigure    `json:"chaos,omitempty"`
+	KV          *KVFigure       `json:"kv,omitempty"`
 }
 
 // ReportOptions records the sweep parameters the numbers were produced
@@ -37,7 +38,7 @@ type ReportOptions struct {
 }
 
 // NewReport assembles a report from run options and results.
-func NewReport(opts RunOptions, figs []Figure, rec *RecoveryFigure, pipe *PipelineFigure, cha *ChaosFigure) Report {
+func NewReport(opts RunOptions, figs []Figure, rec *RecoveryFigure, pipe *PipelineFigure, cha *ChaosFigure, kv *KVFigure) Report {
 	opts = opts.withDefaults()
 	return Report{
 		Schema:      ReportSchema,
@@ -55,6 +56,7 @@ func NewReport(opts RunOptions, figs []Figure, rec *RecoveryFigure, pipe *Pipeli
 		Recovery: rec,
 		Pipeline: pipe,
 		Chaos:    cha,
+		KV:       kv,
 	}
 }
 

@@ -1,0 +1,186 @@
+package benchharness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"modab/internal/engine"
+	"modab/internal/netsim"
+	"modab/internal/rsm"
+	"modab/internal/stats"
+	"modab/internal/types"
+)
+
+// KVPoint is one measured replicated-KV configuration: every process
+// submits put commands against a rotating keyspace, and the point
+// reports the end-to-end service metrics — applied operations per
+// second and the submit→applied latency distribution (the client-visible
+// cost of ordering plus apply), alongside the snapshot activity the
+// workload provoked.
+type KVPoint struct {
+	N           int
+	Stack       types.Stack
+	OfferedLoad float64 // KV ops/s offered, global
+
+	OpsPerSec   float64 // applied ops/s (per-process mean over the window)
+	OpsCI       float64 // 95% CI half-width across repetitions
+	ApplyMeanMs float64 // mean submit→applied at the submitter, virtual ms
+	ApplyP99Ms  float64 // p99 submit→applied, virtual ms
+	ApplyCI     float64 // 95% CI half-width of the mean across repetitions
+
+	SnapshotsTaken int64 // per run, at one process
+	WalTruncated   int64 // WAL segments truncated per run, at one process
+}
+
+// kvLoad, kvKeyspace, kvValueSize and kvSnapshotEvery pin the KV sweep's
+// workload: a put-only stream over a bounded keyspace, so state stays
+// small while snapshots and truncation keep running.
+const (
+	kvLoad          = 1000
+	kvKeyspace      = 512
+	kvValueSize     = 64
+	kvSnapshotEvery = 64
+)
+
+// RunKVPoint measures one replicated-KV configuration, averaging over
+// repetitions.
+func RunKVPoint(n int, stk types.Stack, load float64, opts RunOptions) (KVPoint, error) {
+	opts = opts.withDefaults()
+	var ops, mean, p99 stats.Welford
+	var snaps, truncated int64
+	for rep := 0; rep < opts.Repetitions; rep++ {
+		windowStart, windowEnd := opts.Warmup, opts.Warmup+opts.Measure
+
+		// Submit→applied latency at the submitter: applies happen
+		// synchronously at delivery, so the delivery instant at the
+		// sending process is its applied instant.
+		t0 := make(map[types.MsgID]time.Duration)
+		var lat stats.Series
+		var appliedInWindow int64
+		c, err := netsim.NewCluster(netsim.Options{
+			N: n, Stack: stk, Seed: opts.Seed + int64(rep),
+			Model: opts.Model, Durable: true,
+			StateMachine:  func() rsm.StateMachine { return rsm.NewKV() },
+			SnapshotEvery: kvSnapshotEvery,
+			OnDeliver: func(p types.ProcessID, d engine.Delivery, at time.Duration) {
+				if at >= windowStart && at < windowEnd {
+					appliedInWindow++
+				}
+				if types.ProcessID(d.Msg.ID.Sender) != p {
+					return
+				}
+				if start, ok := t0[d.Msg.ID]; ok {
+					lat.Add((at - start).Seconds())
+					delete(t0, d.Msg.ID)
+				}
+			},
+		})
+		if err != nil {
+			return KVPoint{}, err
+		}
+		installKVWorkload(c, n, load, windowEnd, func(id types.MsgID, at time.Duration, err error) {
+			if err == nil && at >= windowStart {
+				t0[id] = at
+			}
+		})
+		c.Run(windowEnd + time.Second)
+		c.RunIdle(10 * time.Second)
+		if errs := c.Errs(); len(errs) > 0 {
+			return KVPoint{}, fmt.Errorf("engine error: %w", errs[0])
+		}
+		window := (windowEnd - windowStart).Seconds()
+		ops.Add(float64(appliedInWindow) / window / float64(n))
+		mean.Add(lat.Mean() * 1e3)
+		p99.Add(lat.Percentile(99) * 1e3)
+		cnt := c.Counters(0)
+		snaps += cnt.SnapshotsTaken
+		truncated += cnt.WalTruncatedSegments
+	}
+	reps := int64(opts.Repetitions)
+	return KVPoint{
+		N:              n,
+		Stack:          stk,
+		OfferedLoad:    load,
+		OpsPerSec:      ops.Mean(),
+		OpsCI:          ops.CI95(),
+		ApplyMeanMs:    mean.Mean(),
+		ApplyP99Ms:     p99.Mean(),
+		ApplyCI:        mean.CI95(),
+		SnapshotsTaken: snaps / reps,
+		WalTruncated:   truncated / reps,
+	}, nil
+}
+
+// installKVWorkload schedules every process to submit put commands over
+// a rotating keyspace at rate load/n until end.
+func installKVWorkload(c *netsim.Cluster, n int, load float64, end time.Duration,
+	report func(types.MsgID, time.Duration, error)) {
+	interval := time.Duration(float64(time.Second) / (load / float64(n)))
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	for i := 0; i < n; i++ {
+		p := types.ProcessID(i)
+		scheduleKVSender(c, p, i, n, end, report, time.Duration(i)*interval/time.Duration(n), interval)
+	}
+}
+
+// scheduleKVSender arms one process's periodic KV put loop.
+func scheduleKVSender(c *netsim.Cluster, p types.ProcessID, k, n int, end time.Duration,
+	report func(types.MsgID, time.Duration, error), next, interval time.Duration) {
+	if next >= end {
+		return
+	}
+	cmd := rsm.EncodePut(
+		[]byte(fmt.Sprintf("key-%04d", k%kvKeyspace)),
+		[]byte(fmt.Sprintf("%0*d", kvValueSize, k)))
+	c.Abcast(p, next, cmd, func(id types.MsgID, t0 time.Duration, err error) {
+		if err != types.ErrCrashed {
+			report(id, t0, err)
+		}
+	})
+	c.At(next, func() {
+		scheduleKVSender(c, p, k+n, n, end, report, next+interval, interval)
+	})
+}
+
+// KVFigure is the replicated-KV service comparison: both stacks, both
+// group sizes, put workload with snapshotting and truncation active.
+type KVFigure struct {
+	Title  string
+	Points []KVPoint
+}
+
+// FigKV measures the end-to-end replicated KV service on both stacks:
+// applied ops/s and the submit→applied latency the ordering layer adds
+// in front of the state machine.
+func FigKV(opts RunOptions) (KVFigure, error) {
+	fig := KVFigure{
+		Title: fmt.Sprintf("Replicated KV service (load = %d ops/s, %d-key space, %d B values, snapshot every %d instances)",
+			kvLoad, kvKeyspace, kvValueSize, kvSnapshotEvery),
+	}
+	for _, n := range GroupSizes {
+		for _, stk := range Stacks {
+			p, err := RunKVPoint(n, stk, kvLoad, opts)
+			if err != nil {
+				return fig, err
+			}
+			fig.Points = append(fig.Points, p)
+		}
+	}
+	return fig, nil
+}
+
+// RenderKV writes the KV figure as an aligned text table.
+func RenderKV(w io.Writer, fig KVFigure) {
+	fmt.Fprintf(w, "kv — %s\n", fig.Title)
+	fmt.Fprintf(w, "%-6s %-11s %12s %10s %12s %12s %10s %10s %10s\n",
+		"group", "stack", "ops/s", "±95%CI", "apply(ms)", "p99(ms)", "±95%CI", "snapshots", "trunc-seg")
+	for _, p := range fig.Points {
+		fmt.Fprintf(w, "%-6d %-11s %12.1f %10.1f %12.3f %12.3f %10.3f %10d %10d\n",
+			p.N, p.Stack, p.OpsPerSec, p.OpsCI, p.ApplyMeanMs, p.ApplyP99Ms, p.ApplyCI,
+			p.SnapshotsTaken, p.WalTruncated)
+	}
+	fmt.Fprintln(w)
+}

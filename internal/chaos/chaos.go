@@ -17,6 +17,13 @@
 //	                    quiesces within a bounded amount of virtual time
 //	                    with nothing left undelivered.
 //
+// Runs with StackConfig.KV additionally load the replicated key/value
+// state machine and check applied-state equivalence: the final KV state
+// is byte-identical across every correct process — including processes
+// that recovered through a snapshot install, whose delivery logs
+// legitimately skip the installed region — and across the two stacks
+// when both delivered the same command set.
+//
 // On a violation the harness re-runs the schedule through a greedy
 // minimizer and reports the seed, the minimized schedule, and the
 // divergent suffix of the two delivery logs that witnessed the violation
@@ -31,6 +38,7 @@ import (
 
 	"modab/internal/engine"
 	"modab/internal/netsim"
+	"modab/internal/rsm"
 	"modab/internal/trace"
 	"modab/internal/types"
 )
@@ -61,6 +69,19 @@ type StackConfig struct {
 	// Settle bounds the virtual time the cluster may take to quiesce
 	// after Horizon — the liveness-after-heal budget (default 30s).
 	Settle time.Duration
+	// KV runs the replicated key/value state machine on every process:
+	// each submission becomes a unique-key put command, snapshots run
+	// every SnapshotEvery instances (truncating durable logs as they
+	// go), and the checker adds applied-state equivalence — final KV
+	// state byte-identical across processes, and across stacks when both
+	// delivered the same command set. A process that recovered through a
+	// snapshot install has a legitimate gap in its delivery log (the
+	// installed region is applied wholesale, never delivered), so its
+	// order check relaxes to an order-preserving subsequence; the state
+	// digest comparison is what holds it to the same final state.
+	KV bool
+	// SnapshotEvery is the snapshot cadence when KV is set (default 8).
+	SnapshotEvery uint64
 }
 
 func (c StackConfig) withDefaults(sch Schedule) StackConfig {
@@ -86,6 +107,9 @@ func (c StackConfig) withDefaults(sch Schedule) StackConfig {
 	}
 	if c.Settle == 0 {
 		c.Settle = 30 * time.Second
+	}
+	if c.KV && c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 8
 	}
 	if sch.NeedsDurability() {
 		c.Durable = true
@@ -118,6 +142,13 @@ type StackResult struct {
 	Quiesced bool
 	// Errs carries engine errors surfaced by the simulator.
 	Errs []error
+	// Digests holds each process's canonical applied-state serialization
+	// (KV runs only; nil otherwise).
+	Digests [][]byte
+	// SnapshotInstalls counts snapshot installs per process (KV runs
+	// only) — an installed process's delivery log legitimately skips the
+	// installed region.
+	SnapshotInstalls []int64
 }
 
 // Violation is one property violation found by the checker.
@@ -199,6 +230,7 @@ func run(seed int64, sch Schedule, cfg StackConfig) (*Result, error) {
 		res.Stacks = append(res.Stacks, *sr)
 		res.Violations = append(res.Violations, checkStack(sr, sch, cfg)...)
 	}
+	res.Violations = append(res.Violations, checkCrossStack(res.Stacks, sch)...)
 	return res, nil
 }
 
@@ -206,7 +238,7 @@ func run(seed int64, sch Schedule, cfg StackConfig) (*Result, error) {
 // is derived from the seed alone, so both stacks see identical workloads.
 func runStack(stk types.Stack, seed int64, sch Schedule, cfg StackConfig) (*StackResult, error) {
 	sr := &StackResult{Stack: stk, Logs: make([][]types.MsgID, cfg.N)}
-	c, err := netsim.NewCluster(netsim.Options{
+	opts := netsim.Options{
 		N:       cfg.N,
 		Stack:   stk,
 		Engine:  cfg.Engine,
@@ -216,7 +248,12 @@ func runStack(stk types.Stack, seed int64, sch Schedule, cfg StackConfig) (*Stac
 		OnDeliver: func(p types.ProcessID, d engine.Delivery, _ time.Duration) {
 			sr.Logs[p] = append(sr.Logs[p], d.Msg.ID)
 		},
-	})
+	}
+	if cfg.KV {
+		opts.StateMachine = func() rsm.StateMachine { return rsm.NewKV() }
+		opts.SnapshotEvery = cfg.SnapshotEvery
+	}
+	c, err := netsim.NewCluster(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -224,6 +261,9 @@ func runStack(stk types.Stack, seed int64, sch Schedule, cfg StackConfig) (*Stac
 
 	// Seed-derived workload, identical across stacks: random processes
 	// submit fixed-size payloads at random times inside [0, InjectEnd).
+	// KV runs submit unique-key puts instead — keyed by submission index,
+	// so the final map depends only on the set of applied commands, never
+	// on the order the stacks interleaved them in.
 	rng := newSubmitRNG(seed)
 	total := int(cfg.Load * cfg.InjectEnd.Seconds())
 	body := make([]byte, cfg.Size)
@@ -232,7 +272,11 @@ func runStack(stk types.Stack, seed int64, sch Schedule, cfg StackConfig) (*Stac
 		at := time.Duration(rng.Int63n(int64(cfg.InjectEnd)))
 		idx := len(sr.Submissions)
 		sr.Submissions = append(sr.Submissions, Submission{By: p, At: at})
-		c.Abcast(p, at, body, func(id types.MsgID, _ time.Duration, err error) {
+		payload := body
+		if cfg.KV {
+			payload = rsm.EncodePut([]byte(fmt.Sprintf("chaos-%05d", i)), body)
+		}
+		c.Abcast(p, at, payload, func(id types.MsgID, _ time.Duration, err error) {
 			if err == nil {
 				sr.Submissions[idx].ID = id
 			}
@@ -244,6 +288,14 @@ func runStack(stk types.Stack, seed int64, sch Schedule, cfg StackConfig) (*Stac
 	sr.Quiesced = c.Events() == 0
 	sr.Stats = c.Stats()
 	sr.Errs = c.Errs()
+	if cfg.KV {
+		sr.Digests = make([][]byte, cfg.N)
+		sr.SnapshotInstalls = make([]int64, cfg.N)
+		for p := 0; p < cfg.N; p++ {
+			sr.Digests[p] = c.Applier(types.ProcessID(p)).StateDigest()
+			sr.SnapshotInstalls[p] = c.Counters(types.ProcessID(p)).SnapshotInstalls
+		}
+	}
 	if testMutateLog != nil {
 		for p := range sr.Logs {
 			sr.Logs[p] = testMutateLog(stk, types.ProcessID(p), sr.Logs[p])

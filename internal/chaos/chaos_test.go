@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"modab/internal/engine"
 	"modab/internal/types"
 )
 
@@ -105,6 +106,42 @@ func TestInjectedAgreementBugCaught(t *testing.T) {
 	// to the empty schedule — the strongest possible minimization.
 	if len(res.Minimized) != 0 {
 		t.Errorf("minimizer kept %d ops for a schedule-independent bug:\n%s", len(res.Minimized), res.Report())
+	}
+}
+
+// TestKVRunSnapshotInstall drives the KV-loaded snapshot-install
+// scenario through the harness and asserts the machinery actually
+// engaged: the restarted process installed a snapshot in at least one
+// stack, digests were collected for every process, and every property —
+// applied-state equivalence included — held.
+func TestKVRunSnapshotInstall(t *testing.T) {
+	cfg := engine.DefaultConfig(3)
+	cfg.DecisionHorizon = 16
+	sch := Schedule{
+		{Kind: OpCrash, A: 2, From: 250 * time.Millisecond},
+		{Kind: OpRestart, A: 2, From: 950 * time.Millisecond},
+	}
+	res, err := Run(9, sch, StackConfig{Engine: cfg, Durable: true, KV: true, SnapshotEvery: 4, Load: 400})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Ok() {
+		t.Fatalf("properties violated:\n%s", res.Report())
+	}
+	installs := int64(0)
+	for _, sr := range res.Stacks {
+		if len(sr.Digests) != 3 {
+			t.Fatalf("%s: %d digests, want 3", sr.Stack, len(sr.Digests))
+		}
+		for p, d := range sr.Digests {
+			if len(d) == 0 {
+				t.Errorf("%s: empty digest at %s", sr.Stack, types.ProcessID(p))
+			}
+		}
+		installs += sr.SnapshotInstalls[2]
+	}
+	if installs == 0 {
+		t.Fatal("restarted process installed no snapshot in either stack — the scenario no longer exercises snapshot state transfer")
 	}
 }
 

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"bytes"
 	"fmt"
 
 	"modab/internal/types"
@@ -44,13 +45,25 @@ func checkStack(sr *StackResult, sch Schedule, cfg StackConfig) []Violation {
 	refLog := sr.Logs[ref]
 
 	// Uniform agreement + uniform total order: correct processes deliver
-	// identical sequences; crashed processes deliver a prefix.
+	// identical sequences; crashed processes deliver a prefix. A process
+	// that recovered through a snapshot install legitimately skips the
+	// installed region (applied wholesale, never delivered), so its check
+	// relaxes to an order-preserving subsequence of the reference — the
+	// applied-state equivalence check below still holds it to the same
+	// final state.
 	for p := 0; p < n; p++ {
 		if p == ref {
 			continue
 		}
 		got := sr.Logs[p]
 		crashed := down[types.ProcessID(p)]
+		if len(sr.SnapshotInstalls) > 0 && sr.SnapshotInstalls[p] > 0 {
+			if i := firstOrderBreak(refLog, got); i >= 0 {
+				add("uniform-total-order", "snapshot-installed %s is not an order-preserving subsequence of %s (break at its index %d):\n    %s suffix: %v",
+					types.ProcessID(p), types.ProcessID(ref), i, types.ProcessID(p), suffix(got, i))
+			}
+			continue
+		}
 		if i := firstDivergence(refLog, got); i >= 0 {
 			add("uniform-total-order", "%s and %s diverge at index %d:\n    %s suffix: %v\n    %s suffix: %v",
 				types.ProcessID(ref), types.ProcessID(p), i,
@@ -61,6 +74,21 @@ func checkStack(sr *StackResult, sch Schedule, cfg StackConfig) []Violation {
 			add("uniform-agreement", "correct %s delivered %d messages, correct %s delivered %d:\n    %s suffix: %v",
 				types.ProcessID(p), len(got), types.ProcessID(ref), len(refLog),
 				types.ProcessID(ref), suffix(refLog, len(got)))
+		}
+	}
+
+	// Applied-state equivalence (KV runs): every process that is correct
+	// at the end — restarted and snapshot-installed ones included — must
+	// hold byte-identical state machine state.
+	if len(sr.Digests) > 0 {
+		for p := 0; p < n; p++ {
+			if down[types.ProcessID(p)] || p == ref {
+				continue
+			}
+			if !bytes.Equal(sr.Digests[p], sr.Digests[ref]) {
+				add("applied-state-equivalence", "%s and %s hold different final KV state (%d vs %d canonical bytes)",
+					types.ProcessID(p), types.ProcessID(ref), len(sr.Digests[p]), len(sr.Digests[ref]))
+			}
 		}
 	}
 
@@ -109,6 +137,76 @@ func checkStack(sr *StackResult, sch Schedule, cfg StackConfig) []Violation {
 		add("liveness-after-heal", "cluster failed to quiesce within %v of virtual settle time after the horizon", cfg.Settle)
 	}
 	return out
+}
+
+// checkCrossStack compares the two stacks' final applied state (KV runs
+// only). The stacks may legitimately admit different command sets (flow
+// control and crash timing are stack-dependent), so the digests are only
+// required to match when the reference delivery sets match — which they
+// do in the sweep families, making this the cross-stack half of the
+// applied-state equivalence property.
+func checkCrossStack(stacks []StackResult, sch Schedule) []Violation {
+	if len(stacks) != 2 || len(stacks[0].Digests) == 0 || len(stacks[1].Digests) == 0 {
+		return nil
+	}
+	down := sch.CrashedForever()
+	refs := make([]int, 2)
+	sets := make([]map[types.MsgID]bool, 2)
+	for i, sr := range stacks {
+		ref := -1
+		for p := range sr.Logs {
+			if down[types.ProcessID(p)] {
+				continue
+			}
+			if ref == -1 || len(sr.Logs[p]) > len(sr.Logs[ref]) {
+				ref = p
+			}
+		}
+		if ref == -1 {
+			return nil
+		}
+		refs[i] = ref
+		sets[i] = make(map[types.MsgID]bool, len(sr.Logs[ref]))
+		for _, id := range sr.Logs[ref] {
+			sets[i][id] = true
+		}
+	}
+	if len(sets[0]) != len(sets[1]) {
+		return nil
+	}
+	for id := range sets[0] {
+		if !sets[1][id] {
+			return nil
+		}
+	}
+	if !bytes.Equal(stacks[0].Digests[refs[0]], stacks[1].Digests[refs[1]]) {
+		return []Violation{{
+			Stack:    stacks[1].Stack,
+			Property: "applied-state-equivalence",
+			Detail: fmt.Sprintf("stacks delivered the same %d commands but converged to different KV state (%s %d vs %s %d canonical bytes)",
+				len(sets[0]), stacks[0].Stack, len(stacks[0].Digests[refs[0]]), stacks[1].Stack, len(stacks[1].Digests[refs[1]])),
+		}}
+	}
+	return nil
+}
+
+// firstOrderBreak returns the first index of got that breaks the order of
+// ref (an entry missing from ref, or one that steps backwards), or -1
+// when got is an order-preserving subsequence of ref.
+func firstOrderBreak(ref, got []types.MsgID) int {
+	idx := make(map[types.MsgID]int, len(ref))
+	for i, id := range ref {
+		idx[id] = i
+	}
+	next := 0
+	for i, id := range got {
+		ri, ok := idx[id]
+		if !ok || ri < next {
+			return i
+		}
+		next = ri + 1
+	}
+	return -1
 }
 
 // firstDivergence returns the first index where the two logs disagree on

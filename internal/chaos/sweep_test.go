@@ -20,10 +20,13 @@ type sweepFamily struct {
 	config   func() StackConfig
 }
 
-// sweepFamilies are the three regression families of the chaos sweep:
+// sweepFamilies are the four regression families of the chaos sweep:
 // a partition during a W=4 pipeline, asymmetric drops on the round-1
-// coordinator's outbound links, and a partition overlapping a
-// crash+restart on a durable cluster.
+// coordinator's outbound links, a partition overlapping a crash+restart
+// on a durable cluster, and a KV-loaded snapshot-install recovery (the
+// crashed process comes back after its peers snapshotted and truncated
+// past its watermark, so its only way back is a snapshot install — with
+// applied-state equivalence checked across processes and stacks).
 var sweepFamilies = []sweepFamily{
 	{
 		name: "partition-during-pipeline",
@@ -70,6 +73,26 @@ var sweepFamilies = []sweepFamily{
 			}
 		},
 		config: func() StackConfig { return StackConfig{Durable: true} },
+	},
+	{
+		name: "snapshot-install-recovery",
+		schedule: func(seed int64) Schedule {
+			victim := types.ProcessID(1 + seed%2)
+			crashAt := 250*time.Millisecond + time.Duration(seed%4)*31*time.Millisecond
+			// The long downtime lets the peers advance several snapshot
+			// intervals past the victim's watermark while the short
+			// decision horizon (below) prunes the decided instances it
+			// would otherwise catch up from.
+			return Schedule{
+				{Kind: OpCrash, A: victim, From: crashAt},
+				{Kind: OpRestart, A: victim, From: crashAt + 700*time.Millisecond},
+			}
+		},
+		config: func() StackConfig {
+			cfg := engine.DefaultConfig(3)
+			cfg.DecisionHorizon = 16
+			return StackConfig{Engine: cfg, Durable: true, KV: true, SnapshotEvery: 4, Load: 400}
+		},
 	},
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"modab/internal/engine"
 	"modab/internal/recovery"
+	"modab/internal/rsm"
 	"modab/internal/runtime"
 	"modab/internal/stream"
 	"modab/internal/trace"
@@ -65,6 +66,23 @@ type GroupOptions struct {
 	// Durability, when non-nil, gives every node a write-ahead log under
 	// Durability.Dir and enables Group.Restart.
 	Durability *DurabilityOptions
+	// StateMachine, when non-nil, gives every node a replicated state
+	// machine fed from its delivery path (the factory runs once per node
+	// incarnation). With Durability, snapshots persist under the node's
+	// log directory and restarts are snapshot-anchored.
+	StateMachine func() rsm.StateMachine
+	// SnapshotEvery is the snapshot cadence in instances; 0 disables
+	// automatic snapshots.
+	SnapshotEvery uint64
+}
+
+// snapshotStore builds the snapshot store of one process: files alongside
+// the write-ahead log when the group is durable, memory otherwise.
+func snapshotStore(d *DurabilityOptions, dir string) (rsm.Store, error) {
+	if d == nil {
+		return rsm.NewMemStore(), nil
+	}
+	return rsm.OpenFileStore(dir)
 }
 
 // Group is a set of real-time nodes connected by an in-memory network —
@@ -137,6 +155,20 @@ func (g *Group) startNode(p types.ProcessID, ep transport.Transport) (*runtime.N
 		}
 		g.hub.Publish(engine.Event{P: p, D: d, At: time.Since(g.start)})
 	}
+	var sm rsm.StateMachine
+	var snaps rsm.Store
+	if g.opts.StateMachine != nil {
+		sm = g.opts.StateMachine()
+		var err error
+		snaps, err = snapshotStore(g.opts.Durability,
+			filepath.Join(dirOf(g.opts.Durability), fmt.Sprintf("p%d", p), "snap"))
+		if err != nil {
+			if store != nil {
+				_ = store.Close()
+			}
+			return nil, err
+		}
+	}
 	node, err := runtime.NewNode(runtime.Options{
 		Self:             p,
 		N:                len(g.nodes),
@@ -149,11 +181,23 @@ func (g *Group) startNode(p types.ProcessID, ep transport.Transport) (*runtime.N
 		SuspectTimeout:   g.opts.SuspectTimeout,
 		DeliveryBuffer:   g.opts.DeliveryBuffer,
 		DeliveryOverflow: g.opts.DeliveryOverflow,
+		StateMachine:     sm,
+		SnapshotStore:    snaps,
+		SnapshotEvery:    g.opts.SnapshotEvery,
 	})
 	if err != nil && store != nil {
 		_ = store.Close()
 	}
 	return node, err
+}
+
+// dirOf is the durability root, or empty without durability (the snapshot
+// store is then in-memory and the path unused).
+func dirOf(d *DurabilityOptions) string {
+	if d == nil {
+		return ""
+	}
+	return d.Dir
 }
 
 // Restart brings a crashed process back — the crash-recovery model. It
@@ -331,6 +375,12 @@ type TCPNodeOptions struct {
 	// directory) and makes a restarted process recover instead of
 	// rejoining empty-handed.
 	Durability *DurabilityOptions
+	// StateMachine, when non-nil, attaches a replicated state machine to
+	// the node (see runtime.Options.StateMachine). With Durability its
+	// snapshots persist under Durability.Dir/snap.
+	StateMachine rsm.StateMachine
+	// SnapshotEvery is the snapshot cadence in instances.
+	SnapshotEvery uint64
 }
 
 // NewTCPNode starts one process of a group communicating over TCP — the
@@ -341,6 +391,17 @@ func NewTCPNode(opts TCPNodeOptions) (*runtime.Node, error) {
 		var err error
 		store, err = wal.Open(opts.Durability.Dir, opts.Durability.Log)
 		if err != nil {
+			return nil, err
+		}
+	}
+	var snaps rsm.Store
+	if opts.StateMachine != nil {
+		var err error
+		snaps, err = snapshotStore(opts.Durability, filepath.Join(dirOf(opts.Durability), "snap"))
+		if err != nil {
+			if store != nil {
+				_ = store.Close()
+			}
 			return nil, err
 		}
 	}
@@ -363,6 +424,9 @@ func NewTCPNode(opts TCPNodeOptions) (*runtime.Node, error) {
 		SuspectTimeout:   opts.SuspectTimeout,
 		DeliveryBuffer:   opts.DeliveryBuffer,
 		DeliveryOverflow: opts.DeliveryOverflow,
+		StateMachine:     opts.StateMachine,
+		SnapshotStore:    snaps,
+		SnapshotEvery:    opts.SnapshotEvery,
 	})
 	if err != nil {
 		_ = tr.Close()

@@ -118,6 +118,29 @@ type Persister interface {
 	ReadDecision(k uint64) (wire.Batch, bool)
 }
 
+// SnapshotHooks connects an engine to the driver's snapshot subsystem
+// (internal/rsm). When non-nil, the engine serves snapshot state
+// transfer to far-behind peers (whose missing instances were truncated
+// out of every log) and installs a fetched snapshot instead of replaying
+// unbounded history. The engine keeps its own consequences of an install
+// — merging the envelope's dedup state and jumping its decided watermark
+// — while the hooks own everything application-side: persistence,
+// restoring the state machine, truncating the log.
+type SnapshotHooks struct {
+	// Latest returns the index of the newest durable local snapshot
+	// (ok false when none exists yet).
+	Latest func() (index uint64, ok bool)
+	// Read returns the chunk [off, off+max) of the encoded snapshot
+	// envelope at index, plus the envelope's total size. ok is false when
+	// that snapshot is no longer available.
+	Read func(index uint64, off, max int) (data []byte, total int, ok bool)
+	// Install persists a fetched envelope locally and restores the
+	// application state machine from it. Called before the engine adopts
+	// the envelope's dedup state, so a failed install leaves the engine
+	// unchanged.
+	Install func(env wire.SnapshotEnvelope) error
+}
+
 // RecoveredState seeds a restarting engine with the state replayed from
 // its write-ahead log (internal/recovery builds it). A nil state — or a
 // fresh, empty log — means a first boot.
@@ -224,6 +247,12 @@ type Config struct {
 	// the decisions it missed while down before resuming normal operation.
 	// Driver-injected.
 	Recovered *RecoveredState
+	// Snapshots, when non-nil, enables snapshot state transfer: the engine
+	// answers recovery requests it cannot serve from its (truncated) log
+	// with its latest snapshot index, serves snapshot chunks, and installs
+	// a peer snapshot when it is itself too far behind. Driver-injected
+	// (see internal/rsm), not a user tunable.
+	Snapshots *SnapshotHooks
 }
 
 // DefaultWindow returns the per-process flow-control window used by both

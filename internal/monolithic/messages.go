@@ -40,6 +40,15 @@ const (
 	// mRecoverResp answers mRecoverReq with the responder's decided horizon
 	// (UpTo) and a contiguous chunk of decided instances.
 	mRecoverResp
+	// mSnapReq asks a peer for a chunk of its snapshot at Instance
+	// (= snapshot index), starting at byte Offset — the far-behind branch of
+	// crash recovery, taken when the responder truncated its log below its
+	// snapshot horizon and cannot serve the instances themselves.
+	mSnapReq
+	// mSnapResp answers mSnapReq with one chunk of the serialized snapshot
+	// envelope (Instance = snapshot index, Total = envelope size, Offset =
+	// chunk position, UpTo = responder's decided horizon).
+	mSnapResp
 )
 
 // String implements fmt.Stringer.
@@ -65,6 +74,10 @@ func (t mtype) String() string {
 		return "recover-req"
 	case mRecoverResp:
 		return "recover-resp"
+	case mSnapReq:
+		return "snap-req"
+	case mSnapResp:
+		return "snap-resp"
 	default:
 		return fmt.Sprintf("mtype(%d)", uint8(t))
 	}
@@ -93,9 +106,19 @@ type message struct {
 	Piggyback wire.Batch
 	// UpTo is the responder's highest contiguously decided instance and
 	// Decisions the served chunk (mRecoverResp; Instance echoes the
-	// requested starting instance).
+	// requested starting instance). SnapIndex is the responder's newest
+	// snapshot index (0 = none): a requester whose catch-up cannot advance
+	// past a truncated log switches to snapshot transfer when SnapIndex
+	// covers its missing instance.
 	UpTo      uint64
+	SnapIndex uint64
 	Decisions []wire.DecidedInstance
+	// Offset, Total and Data carry snapshot transfer chunks (mSnapReq uses
+	// Offset; mSnapResp uses all three, with Instance as the snapshot
+	// index and UpTo as the responder's decided horizon).
+	Offset uint64
+	Total  uint64
+	Data   []byte
 }
 
 // marshal encodes the message through a pooled writer scratch buffer and
@@ -104,7 +127,7 @@ type message struct {
 // pooling still removes the marshal buffer's grow-and-discard churn from
 // the hot path.
 func (m message) marshal() []byte {
-	size := 1 + 8 + 4 + m.Batch.WireSize() + m.Piggyback.WireSize() + 32
+	size := 1 + 8 + 4 + m.Batch.WireSize() + m.Piggyback.WireSize() + len(m.Data) + 48
 	for _, d := range m.Decisions {
 		size += d.WireSize()
 	}
@@ -135,10 +158,18 @@ func (m message) marshalTo(w *wire.Writer) {
 		m.Piggyback.Marshal(w)
 	case mRecoverResp:
 		w.Uint64(m.UpTo)
+		w.Uint64(m.SnapIndex)
 		w.Uint32(uint32(len(m.Decisions)))
 		for _, d := range m.Decisions {
 			d.Marshal(w)
 		}
+	case mSnapReq:
+		w.Uint64(m.Offset)
+	case mSnapResp:
+		w.Uint64(m.Total)
+		w.Uint64(m.Offset)
+		w.Uint64(m.UpTo)
+		w.Bytes32(m.Data)
 	case mNack, mDecisionOnly, mDecisionReq, mRecoverReq:
 		// Header only.
 	}
@@ -165,6 +196,7 @@ func unmarshalMessage(data []byte) (message, error) {
 		m.Piggyback = wire.UnmarshalBatch(r)
 	case mRecoverResp:
 		m.UpTo = r.Uint64()
+		m.SnapIndex = r.Uint64()
 		n := r.Uint32()
 		if r.Err() == nil && n > wire.MaxChunk/16 {
 			return message{}, fmt.Errorf("monolithic: recover-resp of %d decisions", n)
@@ -172,6 +204,13 @@ func unmarshalMessage(data []byte) (message, error) {
 		for i := uint32(0); i < n && r.Err() == nil; i++ {
 			m.Decisions = append(m.Decisions, wire.UnmarshalDecidedInstance(r))
 		}
+	case mSnapReq:
+		m.Offset = r.Uint64()
+	case mSnapResp:
+		m.Total = r.Uint64()
+		m.Offset = r.Uint64()
+		m.UpTo = r.Uint64()
+		m.Data = r.Bytes32()
 	case mNack, mDecisionOnly, mDecisionReq, mRecoverReq:
 		// Header only.
 	default:

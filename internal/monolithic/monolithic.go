@@ -113,6 +113,23 @@ type Engine struct {
 	// recLastSeen is decidedK at the last recovery-timer fire: the timer
 	// re-announces only when no progress happened in between.
 	recLastSeen uint64
+	// snap tracks an in-progress snapshot fetch: the far-behind branch of
+	// the catch-up, entered when a responder reports a snapshot at or above
+	// this process's missing instance but cannot serve the instances
+	// themselves (it truncated its log below the snapshot horizon).
+	snap snapFetch
+}
+
+// snapFetch is the chunk-assembly state of one snapshot transfer.
+type snapFetch struct {
+	active    bool
+	from      types.ProcessID
+	index     uint64
+	total     int
+	buf       []byte
+	startedAt time.Duration
+	lastLen   int // buffered bytes at the last recovery-timer fire
+	stalls    int // consecutive recovery-timer fires without progress
 }
 
 var _ engine.Engine = (*Engine)(nil)
@@ -601,6 +618,10 @@ func (e *Engine) HandleMessage(from types.ProcessID, data []byte) error {
 		e.handleRecoverReq(from, m)
 	case mRecoverResp:
 		e.handleRecoverResp(from, m)
+	case mSnapReq:
+		e.handleSnapReq(from, m)
+	case mSnapResp:
+		e.handleSnapResp(from, m)
 	default:
 		return fmt.Errorf("monolithic: unexpected message type %d from %s", uint8(m.Type), from)
 	}
@@ -1012,6 +1033,11 @@ func (e *Engine) handleDecisionFull(m message) {
 // the local write-ahead log beyond it.
 func (e *Engine) handleRecoverReq(from types.ProcessID, m message) {
 	resp := message{Type: mRecoverResp, Instance: m.Instance, UpTo: e.decidedK}
+	if e.cfg.Snapshots != nil && e.cfg.Snapshots.Latest != nil {
+		if idx, ok := e.cfg.Snapshots.Latest(); ok {
+			resp.SnapIndex = idx
+		}
+	}
 	end := recovery.ChunkEnd(m.Instance, e.decidedK)
 	for k := m.Instance; end > 0 && k <= end; k++ {
 		batch, ok := e.lookupDecision(k)
@@ -1070,7 +1096,155 @@ func (e *Engine) handleRecoverResp(from types.ProcessID, m message) {
 	// every responder would ship the same backlog in parallel.
 	if e.decidedK > before && e.decidedK+1 <= e.rec.Target() {
 		e.send(from, message{Type: mRecoverReq, Instance: e.decidedK + 1})
+		return
 	}
+	// Far-behind branch: the responder could not serve our missing instance
+	// (it truncated its log below its snapshot horizon) but holds a snapshot
+	// covering it. Fetch and install the snapshot, then resume per-instance
+	// catch-up above it.
+	if e.decidedK == before && m.SnapIndex >= e.decidedK+1 &&
+		e.cfg.Snapshots != nil && !e.snap.active {
+		e.beginSnapFetch(from, m.SnapIndex)
+	}
+}
+
+// beginSnapFetch starts fetching the snapshot at index from one peer.
+func (e *Engine) beginSnapFetch(from types.ProcessID, index uint64) {
+	e.snap = snapFetch{active: true, from: from, index: index, startedAt: e.env.Now()}
+	e.sendSnapReq()
+}
+
+// sendSnapReq requests the next chunk of the in-progress snapshot fetch.
+func (e *Engine) sendSnapReq() {
+	e.send(e.snap.from, message{Type: mSnapReq, Instance: e.snap.index, Offset: uint64(len(e.snap.buf))})
+}
+
+// handleSnapReq serves one chunk of the local latest snapshot. A request
+// for a snapshot this process no longer has (it moved on) is answered with
+// the newest one from offset 0; the requester restarts its assembly.
+func (e *Engine) handleSnapReq(from types.ProcessID, m message) {
+	if e.cfg.Snapshots == nil || e.cfg.Snapshots.Latest == nil || e.cfg.Snapshots.Read == nil {
+		return
+	}
+	resp := message{Type: mSnapResp, UpTo: e.decidedK}
+	if idx, ok := e.cfg.Snapshots.Latest(); ok {
+		off := m.Offset
+		if idx != m.Instance {
+			off = 0
+		}
+		if data, total, ok := e.cfg.Snapshots.Read(idx, int(off), wire.SnapChunk); ok {
+			resp.Instance = idx
+			resp.Total = uint64(total)
+			resp.Offset = off
+			resp.Data = data
+		}
+	}
+	e.env.Counters().Retransmissions.Add(1)
+	e.send(from, resp)
+}
+
+// handleSnapResp assembles snapshot chunks and installs the completed
+// envelope: application state through the driver hook, dedup merge and
+// decided-watermark jump in the engine, then per-instance catch-up resumes
+// for whatever suffix remains above the snapshot.
+func (e *Engine) handleSnapResp(from types.ProcessID, m message) {
+	if !e.snap.active || from != e.snap.from {
+		return
+	}
+	if m.Total == 0 || m.Instance <= e.decidedK {
+		// The responder lost its snapshot, or we advanced past it while
+		// fetching; the recovery timer finds another path.
+		e.snap = snapFetch{}
+		return
+	}
+	if m.Instance != e.snap.index {
+		// The responder rotated to a newer snapshot: restart the assembly.
+		e.snap.index = m.Instance
+		e.snap.buf = e.snap.buf[:0]
+		if m.Offset != 0 {
+			e.sendSnapReq()
+			return
+		}
+	}
+	if int(m.Offset) != len(e.snap.buf) {
+		e.sendSnapReq() // duplicate or reordered chunk: re-request in place
+		return
+	}
+	e.snap.total = int(m.Total)
+	e.snap.buf = append(e.snap.buf, m.Data...)
+	e.rec.Observe(from, m.UpTo)
+	if len(e.snap.buf) < e.snap.total {
+		e.sendSnapReq()
+		return
+	}
+	env, err := wire.UnmarshalSnapshotEnvelope(e.snap.buf)
+	took := e.env.Now() - e.snap.startedAt
+	e.snap = snapFetch{}
+	if err != nil || env.Index <= e.decidedK {
+		return
+	}
+	if err := e.installSnapshot(env); err != nil {
+		return
+	}
+	c := e.env.Counters()
+	c.SnapshotInstalls.Add(1)
+	c.SnapshotInstallNanos.Add(took.Nanoseconds())
+	if dur, done := e.rec.MaybeFinish(e.decidedK+1, e.env.Now()); done {
+		c.RecoveryNanos.Add(dur.Nanoseconds())
+		e.finishRecovery()
+		return
+	}
+	if e.rec.Active() {
+		e.send(from, message{Type: mRecoverReq, Instance: e.decidedK + 1})
+	}
+}
+
+// installSnapshot adopts a fetched snapshot: the application side first
+// (persist + state machine restore, through the driver hook), then the
+// engine's own consequences — merged dedup state, jumped decided
+// watermark, pruned per-instance state below the snapshot, released flow
+// slots for own messages the snapshot ordered.
+func (e *Engine) installSnapshot(env wire.SnapshotEnvelope) error {
+	dm, err := dedup.UnmarshalMap(env.Dedup)
+	if err != nil {
+		return err
+	}
+	if e.cfg.Snapshots.Install != nil {
+		if err := e.cfg.Snapshots.Install(env); err != nil {
+			return err
+		}
+	}
+	e.delivered.Merge(dm)
+	e.decidedK = env.Index
+	// A recovering process must never re-enter instances the cluster
+	// settled at or below the snapshot: drop their round state outright
+	// (the pruned-instance guards serve any late messages for them).
+	for k := range e.insts {
+		if k <= env.Index {
+			delete(e.insts, k)
+		}
+	}
+	for k := range e.propIDs {
+		if k <= env.Index {
+			delete(e.propIDs, k)
+		}
+	}
+	// Own and pooled messages the snapshot already ordered: release their
+	// flow slots and stop re-proposing them.
+	for seq, om := range e.own {
+		if e.isDelivered(om.msg.ID) {
+			delete(e.own, seq)
+			_ = e.fc.Delivered(om.msg.ID)
+		}
+	}
+	for id := range e.pool {
+		if e.isDelivered(id) {
+			delete(e.pool, id)
+			delete(e.assigned, id)
+		}
+	}
+	e.lastProgress = e.env.Now()
+	return nil
 }
 
 // finishRecovery resumes normal operation after catch-up: round
@@ -1078,6 +1252,7 @@ func (e *Engine) handleRecoverResp(from types.ProcessID, m message) {
 // backlog is pushed toward the coordinator, and the engine may propose
 // again.
 func (e *Engine) finishRecovery() {
+	e.snap = snapFetch{}
 	e.env.CancelTimer(engine.TimerRecover)
 	e.advanceSuspected()
 	e.tryPropose()
@@ -1098,8 +1273,23 @@ func (e *Engine) HandleTimer(id engine.TimerID) {
 		if e.rec.Active() {
 			// Re-announce only when the transfer stalled since the last
 			// fire — a lost request/response or a dead serving peer; a
-			// healthy chunk chain re-arms without extra broadcasts.
-			if e.decidedK == e.recLastSeen {
+			// healthy chunk chain re-arms without extra broadcasts. A
+			// stalled snapshot fetch first retries its chunk, then (still
+			// stalled) abandons the peer and re-announces.
+			if e.snap.active {
+				if len(e.snap.buf) == e.snap.lastLen {
+					e.snap.stalls++
+					if e.snap.stalls >= 2 {
+						e.snap = snapFetch{}
+						e.sendAll(message{Type: mRecoverReq, Instance: e.decidedK + 1})
+					} else {
+						e.sendSnapReq()
+					}
+				} else {
+					e.snap.stalls = 0
+					e.snap.lastLen = len(e.snap.buf)
+				}
+			} else if e.decidedK == e.recLastSeen {
 				e.sendAll(message{Type: mRecoverReq, Instance: e.decidedK + 1})
 			}
 			e.recLastSeen = e.decidedK

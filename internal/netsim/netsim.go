@@ -17,13 +17,16 @@ import (
 	"sync/atomic"
 	"time"
 
+	"modab/internal/dedup"
 	"modab/internal/engine"
 	"modab/internal/modular"
 	"modab/internal/monolithic"
 	"modab/internal/recovery"
+	"modab/internal/rsm"
 	"modab/internal/stream"
 	"modab/internal/trace"
 	"modab/internal/types"
+	"modab/internal/wire"
 )
 
 // Options configures a simulated cluster.
@@ -55,6 +58,15 @@ type Options struct {
 	// write-ahead log that survives Crash), enabling Restart: crash-recovery
 	// scenarios then run fully deterministically under virtual time.
 	Durable bool
+	// StateMachine, when non-nil, gives every process a replicated state
+	// machine (the factory is called once per process and once more per
+	// restart) fed synchronously from the delivery path through an
+	// rsm.Applier. Snapshot state transfer between engines and
+	// snapshot-anchored restarts switch on with it.
+	StateMachine func() rsm.StateMachine
+	// SnapshotEvery is the applier's snapshot cadence in instances
+	// (rsm.Options.Interval); 0 disables automatic snapshots.
+	SnapshotEvery uint64
 }
 
 // Cluster is a simulated group of processes running one stack.
@@ -68,8 +80,12 @@ type Cluster struct {
 	// stores are the per-process simulated durable stores (Options.Durable);
 	// they survive Crash, which is what makes Restart possible.
 	stores []*recovery.MemStore
-	rng    *rand.Rand
-	hub    *stream.Hub[engine.Event]
+	// snapStores are the per-process snapshot stores
+	// (Options.StateMachine); like stores they survive Crash, modelling
+	// snapshot files that outlive the process.
+	snapStores []*rsm.MemStore
+	rng        *rand.Rand
+	hub        *stream.Hub[engine.Event]
 	// linkFaults holds the per-directed-link fault state (internal/netsim
 	// faults.go); nil or empty entries leave the send path untouched.
 	// linkOrder records link creation order for deterministic sweeps.
@@ -89,6 +105,10 @@ type proc struct {
 	eng      engine.Engine
 	counters trace.Counters
 	env      *simEnv
+
+	// applier is the process's state machine applier (Options.StateMachine);
+	// deliveries feed it synchronously inside exec.
+	applier *rsm.Applier
 
 	cpuFreeAt time.Duration
 	nicFreeAt time.Duration
@@ -182,12 +202,21 @@ func NewCluster(opts Options) (*Cluster, error) {
 			c.stores[i].PersistBoot()
 		}
 	}
+	if opts.StateMachine != nil {
+		c.snapStores = make([]*rsm.MemStore, opts.N)
+		for i := range c.snapStores {
+			c.snapStores[i] = rsm.NewMemStore()
+		}
+	}
 	for i := 0; i < opts.N; i++ {
 		p := &proc{
 			id:       types.ProcessID(i),
 			timerGen: make(map[engine.TimerID]uint64),
 		}
 		p.env = &simEnv{c: c, p: p}
+		if opts.StateMachine != nil {
+			p.applier = c.newApplier(p)
+		}
 		p.eng = c.newEngine(p, nil)
 		c.procs[i] = p
 	}
@@ -197,12 +226,35 @@ func NewCluster(opts Options) (*Cluster, error) {
 	return c, nil
 }
 
+// newApplier builds a fresh applier incarnation for process p over its
+// surviving snapshot store, with write-ahead-log truncation hooked to
+// snapshot completion.
+func (c *Cluster) newApplier(p *proc) *rsm.Applier {
+	return rsm.NewApplier(c.opts.StateMachine(), rsm.Options{
+		N:        c.opts.N,
+		Store:    c.snapStores[p.id],
+		Interval: c.opts.SnapshotEvery,
+		Counters: &p.counters,
+		OnSnapshot: func(snap uint64, covered func(m wire.AppMsg) bool) {
+			if c.stores == nil {
+				return
+			}
+			if n := c.stores[p.id].TruncateBelow(snap, covered); n > 0 {
+				p.counters.WalTruncatedSegments.Add(int64(n))
+			}
+		},
+	})
+}
+
 // newEngine constructs the engine of process p, wiring its simulated
 // durable store (if any) and the recovered state of a restart.
 func (c *Cluster) newEngine(p *proc, recovered *engine.RecoveredState) engine.Engine {
 	cfg := c.opts.Engine
 	if c.stores != nil {
 		cfg.Persist = c.stores[p.id]
+	}
+	if p.applier != nil {
+		cfg.Snapshots = p.applier.Hooks()
 	}
 	cfg.Recovered = recovered
 	switch c.opts.Stack {
@@ -278,6 +330,11 @@ func (c *Cluster) Utilization(p types.ProcessID) float64 {
 
 // Pending returns the engine's count of unordered messages at p.
 func (c *Cluster) Pending(p types.ProcessID) int { return c.procs[p].eng.Pending() }
+
+// Applier returns process p's state machine applier, or nil when the
+// cluster runs without Options.StateMachine. The harness reads applied
+// indexes, awaits results, and compares state digests through it.
+func (c *Cluster) Applier(p types.ProcessID) *rsm.Applier { return c.procs[p].applier }
 
 // Events returns the number of queued simulation events. A cluster that
 // reaches zero has quiesced: no message, timer, or fault event is
@@ -372,7 +429,23 @@ func (c *Cluster) Restart(p types.ProcessID, at time.Duration) {
 			c.errs = append(c.errs, fmt.Errorf("sim t=%v %s: Restart requires Options.Durable", c.now, p))
 			return
 		}
-		st, err := recovery.ReplayState(c.stores[p], c.opts.N)
+		// Snapshot-anchored restart: restore the state machine from the
+		// newest local snapshot (if any), then replay only the log suffix
+		// above it — both into the engine's recovered state and into the
+		// fresh applier incarnation. Without a state machine this
+		// degenerates to the plain full-log replay.
+		var snap uint64
+		var snapDedup dedup.Map
+		if pr.applier != nil {
+			pr.applier = c.newApplier(pr)
+			var err error
+			snap, snapDedup, err = pr.applier.Bootstrap()
+			if err != nil {
+				c.errs = append(c.errs, fmt.Errorf("sim t=%v %s: snapshot bootstrap: %w", c.now, p, err))
+				return
+			}
+		}
+		st, err := recovery.ReplayStateFrom(c.stores[p], c.opts.N, p, snap, snapDedup)
 		if err != nil {
 			c.errs = append(c.errs, fmt.Errorf("sim t=%v %s: replay: %w", c.now, p, err))
 			return
@@ -381,6 +454,26 @@ func (c *Cluster) Restart(p types.ProcessID, at time.Duration) {
 			// Crashed before logging anything: rejoin with empty state, but
 			// still as a restart — catch-up must run.
 			st = &engine.RecoveredState{NextDecide: 1, NextSeq: 1}
+		}
+		if pr.applier != nil {
+			// Re-apply the replayed suffix in delivery order (the decided
+			// batch, deterministically sorted, is exactly what the previous
+			// incarnation adelivered); the applier's dedup absorbs messages
+			// the snapshot already covers.
+			if err := c.stores[p].Replay(func(r recovery.Rec) error {
+				if r.Kind != recovery.RecDecision || r.Instance <= snap {
+					return nil
+				}
+				ordered := append(wire.Batch(nil), r.Batch...)
+				ordered.SortDeterministic()
+				for _, m := range ordered {
+					pr.applier.Apply(engine.Delivery{Msg: m, Instance: r.Instance})
+				}
+				return nil
+			}); err != nil {
+				c.errs = append(c.errs, fmt.Errorf("sim t=%v %s: suffix replay: %w", c.now, p, err))
+				return
+			}
 		}
 		c.stores[p].PersistBoot()
 		// Invalidate every timer armed by the previous incarnation; queued
@@ -566,6 +659,13 @@ func (c *Cluster) exec(p *proc, at time.Duration, baseCost time.Duration, fn fun
 		ser := c.model.serialization(len(om.data))
 		p.nicFreeAt = sendStart + ser
 		c.transmit(p.id, om.to, om.data, sendStart+ser)
+	}
+	// The state machine applies synchronously in the delivery path, before
+	// observers run — an OnDeliver callback already sees the applied state.
+	if p.applier != nil {
+		for _, d := range env.deliveries {
+			p.applier.Apply(d)
+		}
 	}
 	// Application upcalls complete when the handler does.
 	if c.opts.OnDeliver != nil {

@@ -66,6 +66,48 @@ func (s *MemStore) Replay(fn func(r Rec) error) error {
 // Sync implements Store (memory is always "stable").
 func (s *MemStore) Sync() error { return nil }
 
+// TruncateBelow implements Store at record granularity: decision records
+// at or below snap and admit records fully covered by the snapshot are
+// dropped; boot markers always survive. Served decisions at or below
+// snap disappear too, so a peer asking for them is answered the way a
+// truncated WAL would answer — with the snapshot instead.
+func (s *MemStore) TruncateBelow(snap uint64, covered func(m wire.AppMsg) bool) int {
+	if snap == 0 {
+		return 0
+	}
+	removed := 0
+	kept := s.recs[:0]
+	for _, r := range s.recs {
+		drop := false
+		switch r.Kind {
+		case RecDecision:
+			drop = r.Instance <= snap
+		case RecAdmit:
+			if covered != nil && len(r.Batch) > 0 {
+				drop = true
+				for _, m := range r.Batch {
+					if !covered(m) {
+						drop = false
+						break
+					}
+				}
+			}
+		}
+		if drop {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	s.recs = kept
+	for k := range s.decisions {
+		if k <= snap {
+			delete(s.decisions, k)
+		}
+	}
+	return removed
+}
+
 // Close implements Store; the store stays replayable afterwards, like a
 // log file outliving its process.
 func (s *MemStore) Close() error { return nil }

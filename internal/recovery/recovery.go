@@ -90,6 +90,16 @@ type Store interface {
 	Replay(fn func(r Rec) error) error
 	// Sync flushes buffered appends to stable storage.
 	Sync() error
+	// TruncateBelow drops log state made redundant by a durable snapshot
+	// at instance snap: decision records at or below snap, and admit
+	// records all of whose messages covered reports as folded into the
+	// snapshot. Boot markers are never dropped — they carry the
+	// incarnation count, which no snapshot covers. Implementations may
+	// retain more than required (the WAL frees whole segments only); they
+	// must never drop anything else. Returns the number of storage units
+	// removed (segments for the WAL, records for MemStore); snap == 0
+	// is a no-op.
+	TruncateBelow(snap uint64, covered func(m wire.AppMsg) bool) int
 	// Close syncs and releases the store. The underlying log remains on
 	// stable storage for the next incarnation to replay.
 	Close() error
@@ -98,14 +108,30 @@ type Store interface {
 // ReplayState replays a store into the compact state a restarting engine
 // is seeded with. It returns nil for an empty (first-boot) log.
 func ReplayState(s Store, n int) (*engine.RecoveredState, error) {
+	return ReplayStateFrom(s, n, types.Nobody, 0, nil)
+}
+
+// ReplayStateFrom is ReplayState seeded with a local snapshot: the log is
+// replayed on top of the snapshot boundary, so only the suffix above snap
+// contributes replayed decisions (O(suffix), not O(history) — the point
+// of snapshotting). snapDedup is the delivered state carried by the
+// snapshot envelope; self lets the node's own highest ordered sequence
+// number be recovered from it even after the admit records were
+// truncated away. With snap == 0 it degenerates to a plain replay.
+func ReplayStateFrom(s Store, n int, self types.ProcessID, snap uint64, snapDedup dedup.Map) (*engine.RecoveredState, error) {
 	st := &engine.RecoveredState{
-		NextDecide: 1,
+		NextDecide: snap + 1,
 		Delivered:  dedup.NewMap(n),
 	}
+	if snapDedup != nil {
+		st.Delivered.Merge(snapDedup)
+	}
 	admitted := make(map[uint64]wire.AppMsg) // own seq -> msg, not yet ordered
-	var self types.ProcessID
-	selfKnown := false // only admit records identify the local process
+	selfKnown := self != types.Nobody        // admit records also identify the local process
 	var maxSeq uint64
+	if selfKnown && snapDedup != nil {
+		maxSeq = snapDedup.For(self).MaxSeen()
+	}
 	empty := true
 	err := s.Replay(func(r Rec) error {
 		empty = false
@@ -121,9 +147,10 @@ func ReplayState(s Store, n int) (*engine.RecoveredState, error) {
 			}
 		case RecDecision:
 			if r.Instance < st.NextDecide {
-				// Duplicate from a previous incarnation's catch-up; the
-				// append order still guarantees instances never regress
-				// below what replay already processed.
+				// Duplicate from a previous incarnation's catch-up, or an
+				// instance the snapshot already covers; the append order
+				// still guarantees instances never regress below what
+				// replay already processed.
 				return nil
 			}
 			if r.Instance != st.NextDecide {
@@ -153,12 +180,17 @@ func ReplayState(s Store, n int) (*engine.RecoveredState, error) {
 	if err != nil {
 		return nil, err
 	}
-	if empty {
+	if empty && snap == 0 {
 		return nil, nil
 	}
 	st.NextSeq = maxSeq + 1
 	st.Own = make(wire.Batch, 0, len(admitted))
 	for _, m := range admitted {
+		// An admit whose message the snapshot already covers was ordered
+		// before the boundary; re-proposing it would deliver a duplicate.
+		if st.Delivered.Seen(m.ID) {
+			continue
+		}
 		st.Own = append(st.Own, m)
 	}
 	st.Own.SortDeterministic()

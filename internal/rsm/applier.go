@@ -1,0 +1,333 @@
+package rsm
+
+import (
+	"bytes"
+	"sync"
+
+	"modab/internal/dedup"
+	"modab/internal/engine"
+	"modab/internal/trace"
+	"modab/internal/types"
+	"modab/internal/wire"
+)
+
+// resultHistory bounds the per-applier result cache backing
+// read-your-writes waits: results older than this many applies are
+// evicted (Await then reports a nil result, still proving the write
+// applied).
+const resultHistory = 4096
+
+// Options configures an Applier.
+type Options struct {
+	// N is the group size (sizes the applied-ID dedup map).
+	N int
+	// Store is the snapshot store; nil disables snapshotting (the applier
+	// still applies and tracks indexes).
+	Store Store
+	// Interval is the snapshot cadence in instances: a snapshot is taken
+	// at the first instance boundary at least Interval instances past the
+	// previous one. 0 disables automatic snapshots.
+	Interval uint64
+	// Counters is the per-process instrumentation sink (may be nil).
+	Counters *trace.Counters
+	// OnSnapshot, when non-nil, runs after a snapshot reached the Store —
+	// both locally taken and installed from a peer. covered reports
+	// whether a message was ordered at or below the snapshot index;
+	// drivers hook write-ahead-log truncation here.
+	OnSnapshot func(index uint64, covered func(m wire.AppMsg) bool)
+}
+
+// Applier consumes the totally ordered delivery stream, applies each
+// command to the state machine exactly once, snapshots at instance
+// boundaries, and answers read-your-writes waits. Drivers call Apply from
+// the delivery path; all other methods are safe from any goroutine.
+type Applier struct {
+	mu sync.Mutex
+
+	sm   StateMachine
+	opts Options
+
+	// applied is the highest instance with at least one applied command;
+	// open is the instance whose commands are currently arriving (a
+	// snapshot may only cover instances strictly below it).
+	applied  uint64
+	open     uint64
+	lastSnap uint64
+	// seen is the applier-owned applied-ID set. At an instance boundary it
+	// is exactly the set of messages ordered at or below the completed
+	// instance — the dedup state carried inside snapshots.
+	seen dedup.Map
+
+	results map[types.MsgID][]byte
+	order   []types.MsgID
+	waiters map[types.MsgID][]chan []byte
+}
+
+// NewApplier builds an applier over one state machine.
+func NewApplier(sm StateMachine, opts Options) *Applier {
+	if opts.N < 1 {
+		opts.N = 1
+	}
+	return &Applier{
+		sm:      sm,
+		opts:    opts,
+		seen:    dedup.NewMap(opts.N),
+		results: make(map[types.MsgID][]byte),
+		waiters: make(map[types.MsgID][]chan []byte),
+	}
+}
+
+// Apply consumes one adelivered message: boundary snapshot first (when
+// due), then exactly-once apply, result recording and waiter wake-up.
+func (a *Applier) Apply(d engine.Delivery) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if d.Instance > a.open {
+		completed := a.open
+		a.open = d.Instance
+		if completed > 0 && a.opts.Interval > 0 && completed-a.lastSnap >= a.opts.Interval {
+			a.snapshotLocked(completed)
+		}
+	}
+	if a.seen.Seen(d.Msg.ID) {
+		return // replay overlap: already applied by a previous incarnation path
+	}
+	a.seen.Mark(d.Msg.ID)
+	res := a.sm.Apply(Entry{Instance: d.Instance, ID: d.Msg.ID, Cmd: d.Msg.Body})
+	if d.Instance > a.applied {
+		a.applied = d.Instance
+	}
+	if a.opts.Counters != nil {
+		a.opts.Counters.Applied.Add(1)
+	}
+	a.record(d.Msg.ID, res)
+	a.wake(d.Msg.ID, res)
+}
+
+// snapshotLocked serializes the state machine and applied-ID set at a
+// completed instance and persists the envelope. Failures leave the
+// previous snapshot in place (the next boundary retries).
+func (a *Applier) snapshotLocked(index uint64) {
+	if a.opts.Store == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := a.sm.Snapshot(&buf); err != nil {
+		return
+	}
+	env := wire.SnapshotEnvelope{
+		Index: index,
+		Dedup: a.seen.MarshalBytes(),
+		State: buf.Bytes(),
+	}
+	if err := a.opts.Store.Save(env); err != nil {
+		return
+	}
+	a.lastSnap = index
+	if a.opts.Counters != nil {
+		a.opts.Counters.SnapshotsTaken.Add(1)
+	}
+	a.afterSnapshotLocked(env)
+}
+
+// afterSnapshotLocked runs the driver hook with a covered-predicate built
+// from the envelope's own dedup state (exactly the messages ordered at or
+// below the snapshot index, never the live set).
+func (a *Applier) afterSnapshotLocked(env wire.SnapshotEnvelope) {
+	if a.opts.OnSnapshot == nil {
+		return
+	}
+	dm, err := dedup.UnmarshalMap(env.Dedup)
+	if err != nil {
+		return
+	}
+	a.opts.OnSnapshot(env.Index, func(m wire.AppMsg) bool { return dm.Seen(m.ID) })
+}
+
+// Snapshot forces a snapshot at the current applied index, regardless of
+// the interval. It is only sound when delivery is quiescent — no decided
+// batch partially applied — because the envelope's dedup state must be
+// exactly the set of messages ordered at or below the snapshot index
+// (drain/shutdown paths and tests; the steady-state cadence uses the
+// boundary rule inside Apply instead). It reports the index taken, or
+// false when there is nothing new to snapshot.
+func (a *Applier) Snapshot() (uint64, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.opts.Store == nil || a.applied == 0 || a.applied <= a.lastSnap {
+		return 0, false
+	}
+	a.snapshotLocked(a.applied)
+	return a.applied, a.lastSnap == a.applied
+}
+
+// Install adopts a snapshot fetched from a peer: restore the state
+// machine, merge the applied-ID set, jump the indexes, persist the
+// envelope locally (so this process can serve it onward and restart from
+// it), and release waiters whose writes the snapshot covers.
+func (a *Applier) Install(env wire.SnapshotEnvelope) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	dm, err := dedup.UnmarshalMap(env.Dedup)
+	if err != nil {
+		return err
+	}
+	if err := a.sm.Restore(bytes.NewReader(env.State)); err != nil {
+		return err
+	}
+	a.seen.Merge(dm)
+	a.applied = env.Index
+	a.open = env.Index
+	a.lastSnap = env.Index
+	if a.opts.Store != nil {
+		if err := a.opts.Store.Save(env); err == nil {
+			a.afterSnapshotLocked(env)
+		}
+	}
+	for id, chans := range a.waiters {
+		if a.seen.Seen(id) {
+			for _, ch := range chans {
+				ch <- nil
+			}
+			delete(a.waiters, id)
+		}
+	}
+	return nil
+}
+
+// Bootstrap restores the state machine from the newest local snapshot (if
+// any) before log replay; drivers call it once, then seed the engine's
+// recovered state with the returned index and dedup map
+// (recovery.ReplayStateFrom) and replay only the log suffix above it.
+func (a *Applier) Bootstrap() (snap uint64, dm dedup.Map, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.opts.Store == nil {
+		return 0, nil, nil
+	}
+	env, ok := a.opts.Store.LatestEnvelope()
+	if !ok {
+		return 0, nil, nil
+	}
+	dm, err = dedup.UnmarshalMap(env.Dedup)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := a.sm.Restore(bytes.NewReader(env.State)); err != nil {
+		return 0, nil, err
+	}
+	a.seen.Merge(dm)
+	a.applied = env.Index
+	a.open = env.Index
+	a.lastSnap = env.Index
+	return env.Index, dm, nil
+}
+
+// Hooks returns the engine-facing snapshot hooks backed by this applier
+// and its store.
+func (a *Applier) Hooks() *engine.SnapshotHooks {
+	return &engine.SnapshotHooks{
+		Latest: func() (uint64, bool) {
+			if a.opts.Store == nil {
+				return 0, false
+			}
+			return a.opts.Store.Latest()
+		},
+		Read: func(index uint64, off, max int) ([]byte, int, bool) {
+			if a.opts.Store == nil {
+				return nil, 0, false
+			}
+			return a.opts.Store.ReadAt(index, off, max)
+		},
+		Install: a.Install,
+	}
+}
+
+// AppliedIndex returns the highest instance with an applied command.
+func (a *Applier) AppliedIndex() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.applied
+}
+
+// LastSnapshot returns the index of the newest snapshot taken or
+// installed by this applier (0 = none).
+func (a *Applier) LastSnapshot() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastSnap
+}
+
+// Applied reports whether the message has been applied.
+func (a *Applier) Applied(id types.MsgID) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.seen.Seen(id)
+}
+
+// Result returns the apply result of a message still inside the bounded
+// result history.
+func (a *Applier) Result(id types.MsgID) ([]byte, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	res, ok := a.results[id]
+	return res, ok
+}
+
+// Await returns a channel that receives the message's apply result
+// exactly once — immediately when already applied (nil result when the
+// result left the bounded history or arrived inside an installed
+// snapshot), else upon apply. This is the read-your-writes wait the KV
+// service builds on.
+func (a *Applier) Await(id types.MsgID) <-chan []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ch := make(chan []byte, 1)
+	if res, ok := a.results[id]; ok {
+		ch <- res
+		return ch
+	}
+	if a.seen.Seen(id) {
+		ch <- nil
+		return ch
+	}
+	a.waiters[id] = append(a.waiters[id], ch)
+	return ch
+}
+
+// StateDigest serializes the current state machine state canonically
+// (the same bytes every replica with equal state produces) — the chaos
+// harness's applied-state equivalence check compares these.
+func (a *Applier) StateDigest() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var buf bytes.Buffer
+	if err := a.sm.Snapshot(&buf); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
+
+// record caches one apply result, evicting the oldest beyond the history
+// bound.
+func (a *Applier) record(id types.MsgID, res []byte) {
+	a.results[id] = res
+	a.order = append(a.order, id)
+	if len(a.order) > resultHistory {
+		evict := a.order[0]
+		a.order = a.order[1:]
+		delete(a.results, evict)
+	}
+}
+
+// wake releases the waiters of one applied message.
+func (a *Applier) wake(id types.MsgID, res []byte) {
+	chans, ok := a.waiters[id]
+	if !ok {
+		return
+	}
+	delete(a.waiters, id)
+	for _, ch := range chans {
+		ch <- res
+	}
+}

@@ -1,0 +1,213 @@
+package rsm
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"modab/internal/wire"
+)
+
+// KV command opcodes (first byte of a command).
+const (
+	// OpPut sets a key to a value.
+	OpPut byte = 1
+	// OpDelete removes a key.
+	OpDelete byte = 2
+	// OpCAS sets key to new iff its current value equals old (a missing
+	// key matches an empty old).
+	OpCAS byte = 3
+	// OpGet reads a key through the ordering layer (a linearizable read:
+	// the value as of this command's position in the total order).
+	OpGet byte = 4
+)
+
+// KV result status codes (first byte of an Apply result).
+const (
+	// StatusOK means the operation succeeded; gets carry the value.
+	StatusOK byte = 0
+	// StatusMissing means the key did not exist (gets and deletes).
+	StatusMissing byte = 1
+	// StatusCASFailed means the compare-and-swap expectation did not hold.
+	StatusCASFailed byte = 2
+	// StatusBadCommand means the command bytes did not decode; every
+	// replica rejects it identically.
+	StatusBadCommand byte = 3
+)
+
+// EncodePut builds a put command.
+func EncodePut(key, value []byte) []byte {
+	w := wire.NewWriter(1 + 8 + len(key) + len(value))
+	w.Uint8(OpPut)
+	w.Bytes32(key)
+	w.Bytes32(value)
+	return w.Bytes()
+}
+
+// EncodeDelete builds a delete command.
+func EncodeDelete(key []byte) []byte {
+	w := wire.NewWriter(1 + 4 + len(key))
+	w.Uint8(OpDelete)
+	w.Bytes32(key)
+	return w.Bytes()
+}
+
+// EncodeCAS builds a compare-and-swap command (old empty = expect the key
+// to be absent).
+func EncodeCAS(key, old, new []byte) []byte {
+	w := wire.NewWriter(1 + 12 + len(key) + len(old) + len(new))
+	w.Uint8(OpCAS)
+	w.Bytes32(key)
+	w.Bytes32(old)
+	w.Bytes32(new)
+	return w.Bytes()
+}
+
+// EncodeGet builds an ordered (linearizable) get command.
+func EncodeGet(key []byte) []byte {
+	w := wire.NewWriter(1 + 4 + len(key))
+	w.Uint8(OpGet)
+	w.Bytes32(key)
+	return w.Bytes()
+}
+
+// DecodeResult splits an Apply result into its status and value bytes.
+func DecodeResult(res []byte) (status byte, value []byte) {
+	if len(res) == 0 {
+		return StatusBadCommand, nil
+	}
+	return res[0], res[1:]
+}
+
+// KV is the built-in replicated key/value state machine: put, delete,
+// compare-and-swap and ordered get, with a canonical sorted-key snapshot
+// serialization. All state transitions happen through Apply; Get reads
+// the local replica directly (serve stale-tolerant reads, or wait on the
+// submitting write's Await for read-your-writes).
+type KV struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+var _ StateMachine = (*KV)(nil)
+
+// NewKV returns an empty key/value state machine.
+func NewKV() *KV { return &KV{m: make(map[string]string)} }
+
+// Apply implements StateMachine.
+func (kv *KV) Apply(e Entry) []byte {
+	r := wire.NewReader(e.Cmd)
+	op := r.Uint8()
+	key := r.Bytes32()
+	var old, val []byte
+	switch op {
+	case OpPut, OpGet, OpDelete:
+		if op == OpPut {
+			val = r.Bytes32()
+		}
+	case OpCAS:
+		old = r.Bytes32()
+		val = r.Bytes32()
+	}
+	r.ExpectEOF()
+	if r.Err() != nil {
+		return []byte{StatusBadCommand}
+	}
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	switch op {
+	case OpPut:
+		kv.m[string(key)] = string(val)
+		return []byte{StatusOK}
+	case OpDelete:
+		if _, ok := kv.m[string(key)]; !ok {
+			return []byte{StatusMissing}
+		}
+		delete(kv.m, string(key))
+		return []byte{StatusOK}
+	case OpCAS:
+		if kv.m[string(key)] != string(old) {
+			return []byte{StatusCASFailed}
+		}
+		kv.m[string(key)] = string(val)
+		return []byte{StatusOK}
+	case OpGet:
+		v, ok := kv.m[string(key)]
+		if !ok {
+			return []byte{StatusMissing}
+		}
+		return append([]byte{StatusOK}, v...)
+	default:
+		return []byte{StatusBadCommand}
+	}
+}
+
+// Get reads one key from the local replica (no ordering).
+func (kv *KV) Get(key []byte) ([]byte, bool) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	v, ok := kv.m[string(key)]
+	if !ok {
+		return nil, false
+	}
+	return []byte(v), true
+}
+
+// Len returns the number of keys.
+func (kv *KV) Len() int {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return len(kv.m)
+}
+
+// Snapshot implements StateMachine: entry count, then key/value pairs in
+// ascending key order (canonical — equal state serializes identically on
+// every replica).
+func (kv *KV) Snapshot(out io.Writer) error {
+	kv.mu.RLock()
+	keys := make([]string, 0, len(kv.m))
+	size := 4
+	for k, v := range kv.m {
+		keys = append(keys, k)
+		size += 8 + len(k) + len(v)
+	}
+	sort.Strings(keys)
+	w := wire.GetWriter(size)
+	defer wire.PutWriter(w)
+	w.Uint32(uint32(len(keys)))
+	for _, k := range keys {
+		w.Bytes32([]byte(k))
+		w.Bytes32([]byte(kv.m[k]))
+	}
+	kv.mu.RUnlock()
+	_, err := out.Write(w.Bytes())
+	return err
+}
+
+// Restore implements StateMachine.
+func (kv *KV) Restore(in io.Reader) error {
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+	r := wire.NewReader(data)
+	n := r.Uint32()
+	if r.Err() == nil && uint64(n) > uint64(wire.MaxChunk/8) {
+		return fmt.Errorf("rsm: kv snapshot with %d entries", n)
+	}
+	m := make(map[string]string, n)
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		k := r.Bytes32()
+		v := r.Bytes32()
+		m[string(k)] = string(v)
+	}
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("rsm: kv snapshot decode: %w", err)
+	}
+	kv.mu.Lock()
+	kv.m = m
+	kv.mu.Unlock()
+	return nil
+}

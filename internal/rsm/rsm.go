@@ -1,0 +1,57 @@
+// Package rsm is the replicated state machine layer on top of atomic
+// broadcast: it consumes the totally ordered delivery stream of either
+// stack, applies each command to an application StateMachine exactly
+// once, takes periodic snapshots of the resulting state, and restores
+// from a snapshot after a crash so that recovery replays only the log
+// suffix above the snapshot horizon instead of unbounded history.
+//
+// The layer is strictly above the engines: engines order opaque bodies
+// and know nothing about application state. The drivers connect the two —
+// they feed adeliveries into an Applier and inject the Applier's
+// engine.SnapshotHooks so a far-behind peer can fetch and install the
+// newest snapshot over the wire (the recover-snapshot frames) instead of
+// replaying every decided instance since the beginning of time.
+//
+// Snapshot timing: the Applier snapshots only at instance boundaries —
+// when the first command of a later instance arrives and the completed
+// prefix has grown by at least the configured interval. At a boundary the
+// applied-ID set is exactly the set of messages ordered at or below the
+// completed instance, which is what makes the snapshot's dedup state (and
+// the write-ahead-log truncation predicate derived from it) sound.
+package rsm
+
+import (
+	"io"
+
+	"modab/internal/types"
+)
+
+// Entry is one totally ordered command handed to a state machine: the
+// consensus instance that ordered it, the unique message identity (for
+// idempotence and read-your-writes waits) and the opaque command bytes.
+type Entry struct {
+	Instance uint64
+	ID       types.MsgID
+	Cmd      []byte
+}
+
+// StateMachine is the application contract of the replicated state
+// machine layer. Implementations must be deterministic: the same command
+// sequence produces the same state and the same results on every replica,
+// and Snapshot must serialize the state canonically (two replicas with
+// equal state write identical bytes).
+//
+// The Applier serializes all calls, so implementations only need internal
+// locking when the application also reads the state directly (as the KV
+// demo does for local gets).
+type StateMachine interface {
+	// Apply executes one command and returns its result bytes (nil is a
+	// valid result). Apply must not fail: an invalid command must be
+	// rejected deterministically (e.g. an error result), never skipped
+	// non-deterministically.
+	Apply(e Entry) []byte
+	// Snapshot writes a canonical serialization of the full state.
+	Snapshot(w io.Writer) error
+	// Restore replaces the full state with a previously written snapshot.
+	Restore(r io.Reader) error
+}

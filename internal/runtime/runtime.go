@@ -15,11 +15,13 @@ import (
 	"sync"
 	"time"
 
+	"modab/internal/dedup"
 	"modab/internal/engine"
 	"modab/internal/fd"
 	"modab/internal/modular"
 	"modab/internal/monolithic"
 	"modab/internal/recovery"
+	"modab/internal/rsm"
 	"modab/internal/stream"
 	"modab/internal/trace"
 	"modab/internal/transport"
@@ -71,6 +73,19 @@ type Options struct {
 	// (discard for the lagging subscriber and count in
 	// trace.Counters.StreamDropped).
 	DeliveryOverflow stream.Policy
+	// StateMachine, when non-nil, attaches a replicated state machine fed
+	// synchronously from the delivery path through an rsm.Applier
+	// (Node.Applier). With a Store, the node restores the newest local
+	// snapshot at start and replays only the log suffix above it; the
+	// engine additionally serves and installs snapshots during state
+	// transfer (see engine.SnapshotHooks).
+	StateMachine rsm.StateMachine
+	// SnapshotStore persists the applier's snapshots; nil disables
+	// snapshotting (the state machine still applies).
+	SnapshotStore rsm.Store
+	// SnapshotEvery is the snapshot cadence in instances; 0 disables
+	// automatic snapshots.
+	SnapshotEvery uint64
 }
 
 // Node is one running process of the group.
@@ -80,6 +95,9 @@ type Node struct {
 	env  *nodeEnv
 	det  fd.Detector
 	tr   transport.Transport
+	// applier is the state machine applier (Options.StateMachine);
+	// deliveries feed it synchronously on the event loop.
+	applier *rsm.Applier
 
 	loop    chan func()
 	quit    chan struct{}
@@ -114,15 +132,6 @@ func NewNode(opts Options) (*Node, error) {
 	if err := opts.Engine.Validate(); err != nil {
 		return nil, err
 	}
-	if opts.Store != nil {
-		st, err := recovery.ReplayState(opts.Store, opts.N)
-		if err != nil {
-			return nil, fmt.Errorf("runtime: replaying durable store: %w", err)
-		}
-		opts.Store.PersistBoot()
-		opts.Engine.Persist = opts.Store
-		opts.Engine.Recovered = st
-	}
 	if opts.HeartbeatPeriod <= 0 {
 		opts.HeartbeatPeriod = 25 * time.Millisecond
 	}
@@ -130,7 +139,6 @@ func NewNode(opts Options) (*Node, error) {
 		opts.SuspectTimeout = 8 * opts.HeartbeatPeriod
 	}
 	n := &Node{
-		opts:    opts,
 		tr:      opts.Transport,
 		loop:    make(chan func(), 1024),
 		quit:    make(chan struct{}),
@@ -138,6 +146,64 @@ func NewNode(opts Options) (*Node, error) {
 		winCh:   make(chan struct{}),
 	}
 	n.env = &nodeEnv{node: n, start: time.Now(), timers: make(map[engine.TimerID]*timerState)}
+	if opts.StateMachine != nil {
+		n.applier = rsm.NewApplier(opts.StateMachine, rsm.Options{
+			N:        opts.N,
+			Store:    opts.SnapshotStore,
+			Interval: opts.SnapshotEvery,
+			Counters: &n.env.counters,
+			OnSnapshot: func(snap uint64, covered func(m wire.AppMsg) bool) {
+				if opts.Store == nil {
+					return
+				}
+				if removed := opts.Store.TruncateBelow(snap, covered); removed > 0 {
+					n.env.counters.WalTruncatedSegments.Add(int64(removed))
+				}
+			},
+		})
+		opts.Engine.Snapshots = n.applier.Hooks()
+	}
+	if opts.Store != nil {
+		// Snapshot-anchored restart: restore the newest local snapshot
+		// first, then replay only the log suffix above it — into the
+		// engine's recovered state and into the applier. Without a state
+		// machine this degenerates to the plain full-log replay.
+		var snap uint64
+		var snapDedup dedup.Map
+		if n.applier != nil {
+			var err error
+			snap, snapDedup, err = n.applier.Bootstrap()
+			if err != nil {
+				return nil, fmt.Errorf("runtime: restoring local snapshot: %w", err)
+			}
+		}
+		st, err := recovery.ReplayStateFrom(opts.Store, opts.N, opts.Self, snap, snapDedup)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: replaying durable store: %w", err)
+		}
+		if n.applier != nil {
+			// Re-apply the replayed suffix in delivery order (the decided
+			// batch, deterministically sorted); the applier's dedup absorbs
+			// messages the snapshot already covers.
+			if err := opts.Store.Replay(func(r recovery.Rec) error {
+				if r.Kind != recovery.RecDecision || r.Instance <= snap {
+					return nil
+				}
+				ordered := append(wire.Batch(nil), r.Batch...)
+				ordered.SortDeterministic()
+				for _, m := range ordered {
+					n.applier.Apply(engine.Delivery{Msg: m, Instance: r.Instance})
+				}
+				return nil
+			}); err != nil {
+				return nil, fmt.Errorf("runtime: replaying suffix into state machine: %w", err)
+			}
+		}
+		opts.Store.PersistBoot()
+		opts.Engine.Persist = opts.Store
+		opts.Engine.Recovered = st
+	}
+	n.opts = opts
 	n.hub = stream.NewHub[engine.Delivery](opts.DeliveryBuffer, opts.DeliveryOverflow,
 		func() { n.env.counters.StreamDropped.Add(1) })
 	if cb := opts.OnDeliver; cb != nil {
@@ -347,6 +413,11 @@ func (n *Node) Pending() int {
 // Counters returns a snapshot of the node's instrumentation.
 func (n *Node) Counters() trace.Snapshot { return n.env.counters.Snapshot() }
 
+// Applier returns the node's state machine applier, or nil when the node
+// runs without Options.StateMachine. Applications read applied results,
+// await their writes, and take state digests through it.
+func (n *Node) Applier() *rsm.Applier { return n.applier }
+
 // Close stops the node: detector, transport, event loop.
 func (n *Node) Close() error {
 	n.mu.Lock()
@@ -473,6 +544,12 @@ func (e *nodeEnv) stopTimers() {
 }
 
 func (e *nodeEnv) Deliver(d engine.Delivery) {
+	// The state machine applies synchronously in the delivery path, before
+	// streams observe the message — an Await that resolves implies the
+	// local replica reflects the write (read-your-writes).
+	if e.node.applier != nil {
+		e.node.applier.Apply(d)
+	}
 	if d.Msg.ID.Sender == e.node.opts.Self {
 		e.node.windowPulse()
 	}

@@ -90,6 +90,21 @@ type Counters struct {
 	// completion, in nanoseconds of the driver's clock (virtual time under
 	// simulation).
 	RecoveryNanos atomic.Int64
+	// Applied counts delivered application messages applied to the local
+	// state machine (internal/rsm; 0 when no state machine is attached).
+	Applied atomic.Int64
+	// SnapshotsTaken counts state machine snapshots persisted locally at
+	// instance boundaries.
+	SnapshotsTaken atomic.Int64
+	// SnapshotInstalls counts peer snapshots installed during recovery
+	// (the far-behind path that replaces per-instance catch-up).
+	SnapshotInstalls atomic.Int64
+	// SnapshotInstallNanos accumulates the time from the first snapshot
+	// chunk request to install completion, in driver-clock nanoseconds.
+	SnapshotInstallNanos atomic.Int64
+	// WalTruncatedSegments counts write-ahead-log segments freed below the
+	// snapshot horizon.
+	WalTruncatedSegments atomic.Int64
 	// DroppedByFault counts transmission attempts discarded by an injected
 	// link fault (partition or probabilistic drop), charged to the sender.
 	// The simulated link retries dropped transmissions, so one message can
@@ -133,6 +148,11 @@ type Snapshot struct {
 	RecoveryReplayedMsgs  int64
 	RecoveryFetchedMsgs   int64
 	RecoveryNanos         int64
+	Applied               int64
+	SnapshotsTaken        int64
+	SnapshotInstalls      int64
+	SnapshotInstallNanos  int64
+	WalTruncatedSegments  int64
 	DroppedByFault        int64
 	DupedByFault          int64
 	ReorderedByFault      int64
@@ -167,6 +187,11 @@ func (c *Counters) Snapshot() Snapshot {
 		RecoveryReplayedMsgs:  c.RecoveryReplayedMsgs.Load(),
 		RecoveryFetchedMsgs:   c.RecoveryFetchedMsgs.Load(),
 		RecoveryNanos:         c.RecoveryNanos.Load(),
+		Applied:               c.Applied.Load(),
+		SnapshotsTaken:        c.SnapshotsTaken.Load(),
+		SnapshotInstalls:      c.SnapshotInstalls.Load(),
+		SnapshotInstallNanos:  c.SnapshotInstallNanos.Load(),
+		WalTruncatedSegments:  c.WalTruncatedSegments.Load(),
 		DroppedByFault:        c.DroppedByFault.Load(),
 		DupedByFault:          c.DupedByFault.Load(),
 		ReorderedByFault:      c.ReorderedByFault.Load(),
@@ -203,6 +228,11 @@ func (s *Snapshot) Add(o Snapshot) {
 	s.RecoveryReplayedMsgs += o.RecoveryReplayedMsgs
 	s.RecoveryFetchedMsgs += o.RecoveryFetchedMsgs
 	s.RecoveryNanos += o.RecoveryNanos
+	s.Applied += o.Applied
+	s.SnapshotsTaken += o.SnapshotsTaken
+	s.SnapshotInstalls += o.SnapshotInstalls
+	s.SnapshotInstallNanos += o.SnapshotInstallNanos
+	s.WalTruncatedSegments += o.WalTruncatedSegments
 	s.DroppedByFault += o.DroppedByFault
 	s.DupedByFault += o.DupedByFault
 	s.ReorderedByFault += o.ReorderedByFault
@@ -301,6 +331,11 @@ func (s Snapshot) String() string {
 		out += fmt.Sprintf(" recoveries=%d (replayed=%d fetched=%d in %.1fms)",
 			s.Recoveries, s.RecoveryReplayedMsgs, s.RecoveryFetchedMsgs,
 			float64(s.RecoveryNanos)/1e6)
+	}
+	if s.SnapshotsTaken > 0 || s.SnapshotInstalls > 0 {
+		out += fmt.Sprintf(" snapshots{applied=%d taken=%d installed=%d in %.1fms walTrunc=%d}",
+			s.Applied, s.SnapshotsTaken, s.SnapshotInstalls,
+			float64(s.SnapshotInstallNanos)/1e6, s.WalTruncatedSegments)
 	}
 	if s.DroppedByFault > 0 || s.DupedByFault > 0 || s.ReorderedByFault > 0 || s.PartitionNanos > 0 {
 		out += fmt.Sprintf(" faults{dropped=%d duped=%d reordered=%d partition=%.2fs}",

@@ -475,6 +475,92 @@ func decodeRecord(payload []byte) (recovery.Rec, error) {
 	return rec, nil
 }
 
+// TruncateBelow implements recovery.Store at segment granularity: a
+// sealed segment is removed when every record in it is redundant given a
+// durable snapshot at instance snap — decisions at or below snap, admits
+// fully covered by the snapshot — and it holds no boot marker. The open
+// segment always survives (the current incarnation is appending to it),
+// so the log keeps at least one segment and remains openable. Returns
+// the number of segment files removed.
+func (l *Log) TruncateBelow(snap uint64, covered func(m wire.AppMsg) bool) int {
+	if snap == 0 {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0
+	}
+	removed := 0
+	kept := l.segs[:0]
+	for i, id := range l.segs {
+		if i == len(l.segs)-1 || !l.segmentRedundant(id, snap, covered) {
+			kept = append(kept, id)
+			continue
+		}
+		if err := os.Remove(l.segPath(id)); err != nil {
+			// Removal is an optimization; a segment that will not go away
+			// simply stays part of the log.
+			kept = append(kept, id)
+			continue
+		}
+		if f := l.readers[id]; f != nil {
+			f.Close()
+			delete(l.readers, id)
+		}
+		for inst, ref := range l.index {
+			if ref.seg == id {
+				delete(l.index, inst)
+			}
+		}
+		removed++
+	}
+	l.segs = kept
+	return removed
+}
+
+// segmentRedundant re-reads sealed segment id and reports whether every
+// record in it is covered by a snapshot at snap. Caller holds mu.
+func (l *Log) segmentRedundant(id, snap uint64, covered func(m wire.AppMsg) bool) bool {
+	data, err := os.ReadFile(l.segPath(id))
+	if err != nil {
+		return false
+	}
+	var off int64
+	for int64(len(data))-off >= recHeaderBytes {
+		r := wire.NewReader(data[off:])
+		n := r.Uint32()
+		r.Uint32() // crc, validated at Open
+		if n > maxRecordBytes || int64(len(data))-off-recHeaderBytes < int64(n) {
+			return false
+		}
+		rec, err := decodeRecord(data[off+recHeaderBytes : off+recHeaderBytes+int64(n)])
+		if err != nil {
+			return false
+		}
+		switch rec.Kind {
+		case recovery.RecDecision:
+			if rec.Instance > snap {
+				return false
+			}
+		case recovery.RecAdmit:
+			if covered == nil || len(rec.Batch) == 0 {
+				return false
+			}
+			for _, m := range rec.Batch {
+				if !covered(m) {
+					return false
+				}
+			}
+		default:
+			// Boot markers (and anything unknown) pin their segment.
+			return false
+		}
+		off += recHeaderBytes + int64(n)
+	}
+	return off == int64(len(data))
+}
+
 // Sync implements recovery.Store.
 func (l *Log) Sync() error {
 	l.mu.Lock()

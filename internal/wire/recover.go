@@ -34,6 +34,11 @@ type RecoverReq struct {
 type RecoverResp struct {
 	// UpTo is the responder's highest contiguously decided instance.
 	UpTo uint64
+	// SnapIndex is the index of the responder's latest durable snapshot
+	// (0 = none). A requester that gets no decisions but a SnapIndex at or
+	// above its missing instance switches to snapshot state transfer
+	// (FrameSnapReq) — the responder truncated its log below the horizon.
+	SnapIndex uint64
 	// Decisions is a contiguous run of decided instances starting at the
 	// requested From (possibly empty when the responder cannot serve it).
 	Decisions []DecidedInstance
@@ -49,6 +54,7 @@ func AppendRecoverReqFrame(w *Writer, req RecoverReq) {
 func AppendRecoverRespFrame(w *Writer, resp RecoverResp) {
 	w.Uint8(FrameRecoverResp)
 	w.Uint64(resp.UpTo)
+	w.Uint64(resp.SnapIndex)
 	w.Uint32(uint32(len(resp.Decisions)))
 	for _, d := range resp.Decisions {
 		d.Marshal(w)
@@ -91,7 +97,7 @@ func UnmarshalRecoverResp(data []byte) (RecoverResp, error) {
 	if kind := r.Uint8(); r.Err() == nil && kind != FrameRecoverResp {
 		return RecoverResp{}, fmt.Errorf("%w: %d", ErrBadFrame, kind)
 	}
-	resp := RecoverResp{UpTo: r.Uint64()}
+	resp := RecoverResp{UpTo: r.Uint64(), SnapIndex: r.Uint64()}
 	n := r.Uint32()
 	if r.Err() != nil {
 		return RecoverResp{}, r.Err()

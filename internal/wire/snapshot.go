@@ -1,0 +1,128 @@
+package wire
+
+import "fmt"
+
+// Snapshot state-transfer frame kinds. They extend the recover-frame
+// namespace: a rebooting node that is too far behind to be served
+// instance-by-instance (its peers truncated their logs below the
+// snapshot horizon) fetches the newest snapshot in chunks, installs it,
+// and only then resumes the per-instance catch-up of FrameRecoverReq.
+const (
+	// FrameSnapReq asks a peer for one chunk of its snapshot at a given
+	// index, starting at a byte offset.
+	FrameSnapReq uint8 = 5
+	// FrameSnapResp answers with the chunk plus enough metadata for the
+	// requester to detect completion and index changes mid-transfer.
+	FrameSnapResp uint8 = 6
+)
+
+// SnapChunk is the chunk size of snapshot state transfer (256 KiB): small
+// enough to interleave with protocol traffic, large enough that a
+// realistic state machine ships in a handful of round trips.
+const SnapChunk = 256 << 10
+
+// SnapReq is the decoded form of a FrameSnapReq.
+type SnapReq struct {
+	// Index is the snapshot the requester is fetching (learned from
+	// RecoverResp.SnapIndex).
+	Index uint64
+	// Offset is the byte offset of the requested chunk.
+	Offset uint64
+}
+
+// SnapResp is the decoded form of a FrameSnapResp.
+type SnapResp struct {
+	// Index is the snapshot actually served. When the responder has moved
+	// to a newer snapshot mid-transfer it serves that one instead and the
+	// requester restarts from offset 0.
+	Index uint64
+	// Total is the full encoded envelope size in bytes (0 when the
+	// responder no longer has a snapshot to serve).
+	Total uint64
+	// Offset echoes the chunk's byte offset.
+	Offset uint64
+	// UpTo is the responder's highest contiguously decided instance, so
+	// the requester can keep its catch-up target fresh.
+	UpTo uint64
+	// Data is the chunk (empty when the responder cannot serve).
+	Data []byte
+}
+
+// AppendSnapReqFrame appends a snapshot-chunk request frame to w.
+func AppendSnapReqFrame(w *Writer, req SnapReq) {
+	w.Uint8(FrameSnapReq)
+	w.Uint64(req.Index)
+	w.Uint64(req.Offset)
+}
+
+// AppendSnapRespFrame appends a snapshot-chunk response frame to w.
+func AppendSnapRespFrame(w *Writer, resp SnapResp) {
+	w.Uint8(FrameSnapResp)
+	w.Uint64(resp.Index)
+	w.Uint64(resp.Total)
+	w.Uint64(resp.Offset)
+	w.Uint64(resp.UpTo)
+	w.Bytes32(resp.Data)
+}
+
+// UnmarshalSnapReq decodes a FrameSnapReq payload (kind byte included).
+func UnmarshalSnapReq(data []byte) (SnapReq, error) {
+	r := NewReader(data)
+	if kind := r.Uint8(); r.Err() == nil && kind != FrameSnapReq {
+		return SnapReq{}, fmt.Errorf("%w: %d", ErrBadFrame, kind)
+	}
+	req := SnapReq{Index: r.Uint64(), Offset: r.Uint64()}
+	r.ExpectEOF()
+	return req, r.Err()
+}
+
+// UnmarshalSnapResp decodes a FrameSnapResp payload (kind byte included).
+func UnmarshalSnapResp(data []byte) (SnapResp, error) {
+	r := NewReader(data)
+	if kind := r.Uint8(); r.Err() == nil && kind != FrameSnapResp {
+		return SnapResp{}, fmt.Errorf("%w: %d", ErrBadFrame, kind)
+	}
+	resp := SnapResp{Index: r.Uint64(), Total: r.Uint64(), Offset: r.Uint64(), UpTo: r.Uint64()}
+	resp.Data = r.Bytes32()
+	r.ExpectEOF()
+	return resp, r.Err()
+}
+
+// SnapshotEnvelope is the logical content of one snapshot: the state
+// machine's bytes at an instance boundary plus the delivered-dedup state
+// at that same boundary. Shipping the dedup state matters: without it, a
+// node whose own message was ordered at or below Index but who crashed
+// before persisting that decision would re-propose it after install and
+// apply it twice. The envelope is what the snapshot store persists and
+// what state transfer ships; the codec lives here (not in the recovery
+// package) so the engines can decode it without an import cycle.
+type SnapshotEnvelope struct {
+	// Index is the highest instance whose deliveries are folded into
+	// State: the snapshot covers exactly instances [1, Index].
+	Index uint64
+	// Dedup is the marshaled delivered-map (internal/dedup) at Index,
+	// opaque at this layer.
+	Dedup []byte
+	// State is the state machine's own serialization.
+	State []byte
+}
+
+// Marshal appends the envelope to w.
+func (e SnapshotEnvelope) Marshal(w *Writer) {
+	w.Uint64(e.Index)
+	w.Bytes32(e.Dedup)
+	w.Bytes32(e.State)
+}
+
+// WireSize returns the encoded size of the envelope in bytes.
+func (e SnapshotEnvelope) WireSize() int { return 8 + 4 + len(e.Dedup) + 4 + len(e.State) }
+
+// UnmarshalSnapshotEnvelope decodes a snapshot envelope.
+func UnmarshalSnapshotEnvelope(data []byte) (SnapshotEnvelope, error) {
+	r := NewReader(data)
+	e := SnapshotEnvelope{Index: r.Uint64()}
+	e.Dedup = r.Bytes32()
+	e.State = r.Bytes32()
+	r.ExpectEOF()
+	return e, r.Err()
+}

@@ -85,6 +85,7 @@ import (
 	"modab/internal/core"
 	"modab/internal/engine"
 	"modab/internal/netsim"
+	"modab/internal/rsm"
 	"modab/internal/runtime"
 	"modab/internal/stream"
 	"modab/internal/trace"
@@ -134,6 +135,18 @@ type (
 	// SyncPolicy selects when write-ahead-log appends reach stable storage
 	// (see WithDurability): SyncAlways, SyncInterval or SyncNone.
 	SyncPolicy = wal.SyncPolicy
+	// StateMachine is the replicated state machine contract
+	// (Apply/Snapshot/Restore) attached with WithStateMachine; every
+	// process applies the same totally ordered commands, so deterministic
+	// implementations stay byte-identical across the group.
+	StateMachine = rsm.StateMachine
+	// SMEntry is one totally ordered command as the state machine sees it.
+	SMEntry = rsm.Entry
+	// Applier feeds a state machine from the delivery stream and answers
+	// read-your-writes waits (see Cluster.Applier).
+	Applier = rsm.Applier
+	// KV is the built-in replicated key/value state machine (NewKV).
+	KV = rsm.KV
 )
 
 // Stack values.
@@ -184,6 +197,39 @@ var (
 	ErrStalled = types.ErrStalled
 )
 
+// KV result status codes (see DecodeKVResult).
+const (
+	// KVStatusOK means the operation succeeded.
+	KVStatusOK = rsm.StatusOK
+	// KVStatusMissing means the key did not exist.
+	KVStatusMissing = rsm.StatusMissing
+	// KVStatusCASFailed means the compare-and-swap expectation did not hold.
+	KVStatusCASFailed = rsm.StatusCASFailed
+	// KVStatusBadCommand means the command bytes did not decode.
+	KVStatusBadCommand = rsm.StatusBadCommand
+)
+
+// NewKV returns an empty built-in key/value state machine; use it as the
+// WithStateMachine factory ("func() modab.StateMachine { return
+// modab.NewKV() }") and submit commands built with the KVPut family.
+func NewKV() *KV { return rsm.NewKV() }
+
+// KVPut builds a put command for the built-in KV state machine.
+func KVPut(key, value []byte) []byte { return rsm.EncodePut(key, value) }
+
+// KVDelete builds a delete command.
+func KVDelete(key []byte) []byte { return rsm.EncodeDelete(key) }
+
+// KVCAS builds a compare-and-swap command (old empty = expect absent).
+func KVCAS(key, old, new []byte) []byte { return rsm.EncodeCAS(key, old, new) }
+
+// KVGet builds an ordered (linearizable) get command.
+func KVGet(key []byte) []byte { return rsm.EncodeGet(key) }
+
+// DecodeKVResult splits a KV apply result (Applier.Await, Applier.Result)
+// into its status byte and value.
+func DecodeKVResult(res []byte) (status byte, value []byte) { return rsm.DecodeResult(res) }
+
 // StreamBuffer overrides the subscription's buffer capacity.
 func StreamBuffer(n int) StreamOption { return stream.WithBuffer(n) }
 
@@ -210,6 +256,8 @@ type settings struct {
 	batch        *BatchConfig
 	pipeline     int
 	dur          *core.DurabilityOptions
+	sm           func() rsm.StateMachine
+	snapEvery    uint64
 }
 
 // WithConfig overrides the protocol tunables (flow-control window, batch
@@ -291,6 +339,28 @@ func WithPipelining(depth int) Option {
 func WithDurability(dir string, policy SyncPolicy) Option {
 	return func(s *settings) error {
 		s.dur = &core.DurabilityOptions{Dir: dir, Log: wal.Options{Policy: policy}}
+		return nil
+	}
+}
+
+// WithStateMachine attaches a replicated state machine to every process
+// the cluster drives: the factory runs once per process incarnation, and
+// each replica applies the totally ordered command stream exactly once,
+// synchronously in the delivery path (Cluster.Applier exposes results,
+// read-your-writes waits and state digests). snapshotEvery > 0 makes each
+// process snapshot its state machine every that many consensus instances;
+// snapshots then serve two jobs: a restarted or far-behind process
+// installs a peer's snapshot instead of replaying all history, and (with
+// WithDurability) write-ahead-log segments below the snapshot horizon are
+// truncated, bounding both recovery time and disk growth. snapshotEvery 0
+// disables snapshotting (the state machine still applies).
+func WithStateMachine(factory func() StateMachine, snapshotEvery uint64) Option {
+	return func(s *settings) error {
+		if factory == nil {
+			return fmt.Errorf("%w: WithStateMachine requires a factory", types.ErrBadConfig)
+		}
+		s.sm = factory
+		s.snapEvery = snapshotEvery
 		return nil
 	}
 }
@@ -396,9 +466,11 @@ type Cluster struct {
 	node *runtime.Node // TCP driver (one local process)
 	self ProcessID
 	hub  *stream.Hub[engine.Event] // TCP driver's event stream
-	// tcpOpts and onDeliver are retained so Restart can rebuild the local
-	// TCP node; durable records whether WithDurability was given.
+	// tcpOpts, smFactory and onDeliver are retained so Restart can rebuild
+	// the local TCP node (each incarnation gets a fresh state machine);
+	// durable records whether WithDurability was given.
 	tcpOpts   core.TCPNodeOptions
+	smFactory func() rsm.StateMachine
 	onDeliver func(Event)
 	durable   bool
 	// streamDropped counts drops at the TCP driver's cluster-level
@@ -467,6 +539,8 @@ func New(n int, stack Stack, opts ...Option) (*Cluster, error) {
 			DeliveryBuffer:   s.buffer,
 			DeliveryOverflow: s.policy,
 			Durable:          s.dur != nil,
+			StateMachine:     s.sm,
+			SnapshotEvery:    s.snapEvery,
 		})
 		if err != nil {
 			return nil, err
@@ -475,6 +549,7 @@ func New(n int, stack Stack, opts ...Option) (*Cluster, error) {
 
 	case s.tcp:
 		c.self = s.tcpSelf
+		c.smFactory = s.sm
 		c.hub = stream.NewHub[engine.Event](s.buffer, s.policy,
 			func() { c.streamDropped.Add(1) })
 		c.tcpOpts = core.TCPNodeOptions{
@@ -487,6 +562,10 @@ func New(n int, stack Stack, opts ...Option) (*Cluster, error) {
 			DeliveryBuffer:   s.buffer,
 			DeliveryOverflow: s.policy,
 			Durability:       s.dur,
+			SnapshotEvery:    s.snapEvery,
+		}
+		if c.smFactory != nil {
+			c.tcpOpts.StateMachine = c.smFactory()
 		}
 		node, err := core.NewTCPNode(c.tcpOpts)
 		if err != nil {
@@ -510,6 +589,8 @@ func New(n int, stack Stack, opts ...Option) (*Cluster, error) {
 			DeliveryOverflow: s.policy,
 			OnDeliver:        onDeliver,
 			Durability:       s.dur,
+			StateMachine:     s.sm,
+			SnapshotEvery:    s.snapEvery,
 		})
 		if err != nil {
 			return nil, err
@@ -731,6 +812,12 @@ func (c *Cluster) Restart(p int) error {
 		if c.closed {
 			return ErrStopped
 		}
+		if c.smFactory != nil {
+			// A fresh incarnation gets a fresh state machine: its state is
+			// rebuilt from the local snapshot plus the log suffix, never
+			// inherited from the dead incarnation's memory.
+			c.tcpOpts.StateMachine = c.smFactory()
+		}
 		node, err := core.NewTCPNode(c.tcpOpts)
 		if err != nil {
 			return err
@@ -758,6 +845,31 @@ func (c *Cluster) Node(p int) *Node {
 		return c.tcpNode()
 	default:
 		return c.group.Node(p)
+	}
+}
+
+// Applier returns process p's state machine applier: apply results,
+// read-your-writes waits (Applier.Await) and canonical state digests. It
+// returns nil without WithStateMachine, for remote TCP peers, and for
+// crashed real-time processes.
+func (c *Cluster) Applier(p int) *Applier {
+	if p < 0 || p >= c.n {
+		return nil
+	}
+	switch {
+	case c.sim != nil:
+		return c.sim.Applier(ProcessID(p))
+	case c.hub != nil:
+		if p != int(c.self) {
+			return nil
+		}
+		return c.tcpNode().Applier()
+	default:
+		node := c.group.Node(p)
+		if node == nil {
+			return nil
+		}
+		return node.Applier()
 	}
 }
 
