@@ -19,7 +19,7 @@ race:
 	$(GO) test -race ./internal/runtime/... ./internal/stream/... ./internal/core/... ./internal/wal/... ./internal/recovery/... ./internal/rsm/... ./internal/transport/... ./internal/fd/... .
 
 # Chaos soak: the fixed-seed short sweep of the fault-injection harness
-# (four scenario families plus randomized schedules, both stacks, every
+# (five scenario families plus randomized schedules, both stacks, every
 # atomic broadcast property checked per run) — bounded well under a
 # minute so it can gate every push. The nightly-style deep sweep is the
 # same target with CHAOS_SEEDS=200 (or any seed count).
@@ -37,13 +37,14 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzSnapshotOpen -fuzztime=30s ./internal/rsm
 
 # Benchmark smoke: compile and run every benchmark for exactly one
-# iteration, plus one repetition each of the abbench pipeline and KV
-# figures on the simulator, so benchmark code can no longer rot silently
-# (it is not compiled by plain `go test`).
+# iteration, plus one repetition each of the abbench pipeline, KV and
+# ring figures on the simulator, so benchmark code can no longer rot
+# silently (it is not compiled by plain `go test`).
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/abbench -fig pipeline -reps 1 -warmup 500ms -measure 1s
 	$(GO) run ./cmd/abbench -fig kv -reps 1 -warmup 500ms -measure 1s
+	$(GO) run ./cmd/abbench -fig ring -reps 1 -warmup 500ms -measure 1s
 
 # Documentation gate: gofmt-clean tree, documented exported symbols in
 # modab.go, package comments on every internal package, no broken local

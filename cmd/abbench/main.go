@@ -11,6 +11,7 @@
 //	abbench -fig pipeline           # consensus pipelining sweep (W = 1..16)
 //	abbench -fig chaos              # property-checked fault-schedule soak
 //	abbench -fig kv                 # replicated KV service: ops/s + submit→applied
+//	abbench -fig ring               # dissemination topology: all-to-all vs ring relay
 //	abbench -analytical             # §5.2 closed-form tables only
 //	abbench -fig 10 -reps 5 -measure 8s
 //	abbench -fig 11 -batch-msgs 32  # sender-side batching enabled
@@ -38,8 +39,13 @@
 // ops/s and the submit→applied latency distribution (mean and p99) each
 // stack's ordering layer puts in front of the state machine, with
 // snapshotting and WAL truncation active.
+// -fig ring sweeps both stacks under both dissemination topologies
+// (all-to-all vs ring relay, see modab.WithDissemination) over growing
+// group sizes with large payloads at saturating load on the metro model,
+// with per-process egress-bytes columns — the coordinator-NIC bottleneck
+// experiment. -dissem ring retargets the standard figures instead.
 // -json additionally writes every
-// produced figure as a machine-readable report (schema modab-bench/v1)
+// produced figure as a machine-readable report (schema modab-bench/v2)
 // for performance trajectory tracking.
 package main
 
@@ -51,6 +57,7 @@ import (
 
 	"modab/internal/batch"
 	"modab/internal/benchharness"
+	"modab/internal/dissem"
 )
 
 func main() {
@@ -62,7 +69,7 @@ func main() {
 
 func run() error {
 	var (
-		fig        = flag.String("fig", "all", `figure to regenerate: "8", "9", "10", "11", "recovery", "pipeline", "chaos", "kv" or "all"`)
+		fig        = flag.String("fig", "all", `figure to regenerate: "8", "9", "10", "11", "recovery", "pipeline", "chaos", "kv", "ring" or "all"`)
 		analytical = flag.Bool("analytical", false, "print the §5.2 analytical tables and exit")
 		reps       = flag.Int("reps", 3, "repetitions per point (95% CIs are computed across them)")
 		warmup     = flag.Duration("warmup", 2*time.Second, "virtual warm-up before measuring")
@@ -72,6 +79,7 @@ func run() error {
 		batchBytes = flag.Int("batch-bytes", 0, "sender-side batching: encoded bytes per batch (0 = no byte cap)")
 		batchDelay = flag.Duration("batch-delay", 2*time.Millisecond, "sender-side batching: flush delay for undersized batches")
 		pipeline   = flag.Int("pipeline", 0, "consensus pipeline window W for the standard figures (0/1 = sequential)")
+		dissemArg  = flag.String("dissem", "", `payload dissemination for the standard figures: "all-to-all" (default) or "ring"`)
 		jsonPath   = flag.String("json", "", "also write the produced figures as a machine-readable report to this path")
 	)
 	flag.Parse()
@@ -81,13 +89,18 @@ func run() error {
 		return nil
 	}
 
+	dissemStrategy, err := dissem.ParseStrategy(*dissemArg)
+	if err != nil {
+		return fmt.Errorf("-dissem %q: %w", *dissemArg, err)
+	}
 	opts := benchharness.RunOptions{
-		Warmup:      *warmup,
-		Measure:     *measure,
-		Repetitions: *reps,
-		Seed:        *seed,
-		Batch:       batch.Config{MaxMsgs: *batchMsgs, MaxBytes: *batchBytes, MaxDelay: *batchDelay},
-		Pipeline:    *pipeline,
+		Warmup:        *warmup,
+		Measure:       *measure,
+		Repetitions:   *reps,
+		Seed:          *seed,
+		Batch:         batch.Config{MaxMsgs: *batchMsgs, MaxBytes: *batchBytes, MaxDelay: *batchDelay},
+		Pipeline:      *pipeline,
+		Dissemination: dissemStrategy,
 	}
 	if err := opts.Batch.Validate(); err != nil {
 		return err
@@ -150,8 +163,17 @@ func run() error {
 		benchharness.RenderKV(os.Stdout, kf)
 		kvFig = &kf
 	}
+	var ringFig *benchharness.RingFigure
+	if *fig == "all" || *fig == "ring" {
+		rf, err := benchharness.FigRing(opts)
+		if err != nil {
+			return fmt.Errorf("figure ring: %w", err)
+		}
+		benchharness.RenderRing(os.Stdout, rf)
+		ringFig = &rf
+	}
 	if *jsonPath != "" {
-		if err := benchharness.WriteJSON(*jsonPath, benchharness.NewReport(opts, produced, recFig, pipeFig, chaosFig, kvFig)); err != nil {
+		if err := benchharness.WriteJSON(*jsonPath, benchharness.NewReport(opts, produced, recFig, pipeFig, chaosFig, kvFig, ringFig)); err != nil {
 			return err
 		}
 		fmt.Printf("machine-readable report written to %s\n", *jsonPath)

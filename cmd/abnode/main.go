@@ -76,6 +76,7 @@ func run() error {
 		batchBytes = flag.Int("batch-bytes", 0, "sender-side batching: encoded bytes per batch (0 = no byte cap)")
 		batchDelay = flag.Duration("batch-delay", 2*time.Millisecond, "sender-side batching: flush delay for undersized batches")
 		pipeline   = flag.Int("pipeline", 0, "consensus pipeline window W: instances kept in flight concurrently (0/1 = sequential)")
+		dissemArg  = flag.String("dissem", "", `payload dissemination topology: "all-to-all" (default) or "ring"`)
 
 		walDir  = flag.String("wal", "", "write-ahead-log directory: enables crash recovery (restart with the same directory to rejoin)")
 		fsync   = flag.String("fsync", "always", `WAL fsync policy: "always", "interval" or "none"`)
@@ -117,6 +118,13 @@ func run() error {
 	}
 	if *pipeline > 1 {
 		opts = append(opts, modab.WithPipelining(*pipeline))
+	}
+	if *dissemArg != "" {
+		strategy, err := modab.ParseDissemination(*dissemArg)
+		if err != nil {
+			return fmt.Errorf("unknown -dissem %q", *dissemArg)
+		}
+		opts = append(opts, modab.WithDissemination(strategy))
 	}
 	if *walDir != "" {
 		var policy modab.SyncPolicy

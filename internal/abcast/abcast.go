@@ -36,6 +36,7 @@ import (
 
 	"modab/internal/batch"
 	"modab/internal/dedup"
+	"modab/internal/dissem"
 	"modab/internal/engine"
 	"modab/internal/flow"
 	"modab/internal/recovery"
@@ -75,6 +76,11 @@ type Layer struct {
 	self types.ProcessID
 	n    int
 	fc   *flow.Controller
+	// diss is the payload-dissemination strategy (internal/dissem): every
+	// diffuse frame goes out through spread, which either broadcasts it
+	// (AllToAll — the paper's pinned behavior) or hands it to the ring's
+	// first live successor for relaying.
+	diss dissem.Disseminator
 
 	// pending maps unordered known messages to their content; epoch
 	// records the next-to-decide instance at insertion time, for staleness
@@ -167,6 +173,11 @@ func (l *Layer) Init(ctx *stack.Context) {
 	if l.cfg.Batch.Enabled() {
 		l.acc = batch.NewAccumulator(l.cfg.Batch)
 	}
+	var incarnation uint64
+	if st := l.cfg.Recovered; st != nil {
+		incarnation = st.Boots
+	}
+	l.diss = dissem.New(l.cfg.Dissemination, l.self, l.n, incarnation)
 	l.pending = make(map[types.MsgID]pendingMsg)
 	l.delivered = dedup.NewMap(l.n)
 	l.decisionsBuf = make(map[uint64]wire.Batch)
@@ -203,10 +214,9 @@ func (l *Layer) Start() {
 		c.Recoveries.Add(1)
 		c.RecoveryReplayedMsgs.Add(st.ReplayedMsgs)
 		if len(st.Own) > 0 {
-			c.PayloadBytesSent.Add(int64(st.Own.PayloadBytes() * (l.n - 1)))
 			w := wire.GetWriter(1 + st.Own.WireSize())
 			wire.AppendBatchFrame(w, st.Own)
-			l.ctx.NetSendAll(w.Bytes())
+			l.spread(w.Bytes(), st.Own.PayloadBytes())
 			wire.PutWriter(w)
 		}
 		if l.n > 1 {
@@ -270,7 +280,6 @@ func (l *Layer) Abcast(body []byte) (types.MsgID, error) {
 		}
 		l.pending[id] = pendingMsg{msg: msg, epoch: l.nextDecide}
 		l.snapClean = false
-		c.PayloadBytesSent.Add(int64(len(body) * (l.n - 1)))
 		l.diffuseOne(msg)
 		l.maybeStartConsensus()
 		l.armKick()
@@ -303,26 +312,54 @@ func (l *Layer) ingestBatch(b wire.Batch) {
 	c := l.ctx.Env().Counters()
 	c.SenderBatches.Add(1)
 	c.SenderBatchedMsgs.Add(int64(len(b)))
-	c.PayloadBytesSent.Add(int64(b.PayloadBytes() * (l.n - 1)))
 	for _, m := range b {
 		l.pending[m.ID] = pendingMsg{msg: m, epoch: l.nextDecide}
 	}
 	l.snapClean = false
 	w := wire.GetWriter(1 + b.WireSize())
 	wire.AppendBatchFrame(w, b)
-	l.ctx.NetSendAll(w.Bytes())
+	l.spread(w.Bytes(), b.PayloadBytes())
 	wire.PutWriter(w)
 	l.maybeStartConsensus()
 }
 
-// diffuseOne sends a single-message diffuse frame to every peer through a
-// pooled writer (NetSendAll copies the payload before the writer is
-// returned to the pool).
+// diffuseOne spreads a single-message diffuse frame through a pooled
+// writer (the drivers copy the payload before the writer is returned to
+// the pool).
 func (l *Layer) diffuseOne(m wire.AppMsg) {
 	w := wire.GetWriter(1 + m.WireSize())
 	wire.AppendMsgFrame(w, m)
-	l.ctx.NetSendAll(w.Bytes())
+	l.spread(w.Bytes(), len(m.Body))
 	wire.PutWriter(w)
+}
+
+// spread transmits one diffuse frame according to the dissemination
+// strategy and owns its payload-byte accounting: a plain broadcast costs
+// the origin payloadBytes on each of n-1 links (the paper's behavior,
+// bit-identical under AllToAll), a ring origin pays for exactly one
+// transmission and lets the successors carry the rest.
+func (l *Layer) spread(frame []byte, payloadBytes int) {
+	c := l.ctx.Env().Counters()
+	h, to, relay := l.diss.Origin()
+	if !relay {
+		c.PayloadBytesSent.Add(int64(payloadBytes * (l.n - 1)))
+		l.ctx.NetSendAll(frame)
+		return
+	}
+	c.PayloadBytesSent.Add(int64(payloadBytes))
+	w := wire.GetWriter(16 + len(frame))
+	wire.AppendRelayFrame(w, h, frame)
+	l.ctx.NetSend(to, w.Bytes())
+	wire.PutWriter(w)
+}
+
+// spreadFanout is how many transmissions one spread costs the origin —
+// the multiplier the retransmission accounting uses.
+func (l *Layer) spreadFanout() int {
+	if l.diss.Strategy() == dissem.Ring && l.n >= 3 {
+		return 1
+	}
+	return l.n - 1
 }
 
 // Receive implements stack.Layer: a diffused message or batch from a
@@ -358,11 +395,51 @@ func (l *Layer) Receive(from types.ProcessID, data []byte) error {
 		}
 		l.handleSnapResp(from, resp)
 		return nil
+	case wire.FrameRelay:
+		return l.handleRelay(from, data)
 	}
 	b, err := wire.UnmarshalFrame(data)
 	if err != nil {
 		return fmt.Errorf("abcast: bad diffuse from %s: %w", from, err)
 	}
+	l.ingestDiffused(b)
+	return nil
+}
+
+// handleRelay processes a ring-relayed diffuse frame: validate the inner
+// frame, consult the disseminator's dedup watermark (a duplicate is
+// dropped whole), forward the frame to our successor when the lap is not
+// complete, then ingest the inner batch exactly like a directly diffused
+// frame.
+func (l *Layer) handleRelay(from types.ProcessID, data []byte) error {
+	h, inner, err := wire.UnmarshalRelayFrame(data)
+	if err != nil {
+		return fmt.Errorf("abcast: bad relay from %s: %w", from, err)
+	}
+	b, err := wire.UnmarshalFrame(inner)
+	if err != nil {
+		return fmt.Errorf("abcast: bad relayed diffuse from %s: %w", from, err)
+	}
+	nh, to, process, forward := l.diss.Accept(h)
+	if !process {
+		return nil
+	}
+	if forward {
+		c := l.ctx.Env().Counters()
+		c.PayloadBytesSent.Add(int64(b.PayloadBytes()))
+		w := wire.GetWriter(len(data))
+		wire.AppendRelayFrame(w, nh, inner)
+		l.ctx.NetSend(to, w.Bytes())
+		wire.PutWriter(w)
+	}
+	l.ingestDiffused(b)
+	return nil
+}
+
+// ingestDiffused adds a received diffuse batch to the pending set and
+// (re)starts consensus — the shared tail of the direct and relayed
+// receive paths.
+func (l *Layer) ingestDiffused(b wire.Batch) {
 	for _, msg := range b {
 		if l.isDelivered(msg.ID) {
 			continue
@@ -374,7 +451,6 @@ func (l *Layer) Receive(from types.ProcessID, data []byte) error {
 	}
 	l.armKick()
 	l.maybeStartConsensus()
-	return nil
 }
 
 // handleRecoverReq serves a restarted peer a chunk of decided instances
@@ -675,7 +751,7 @@ func (l *Layer) pendingBatch() wire.Batch {
 	for i := range batch {
 		batch[i] = l.pending[l.snapIDs[i]].msg
 	}
-	return batch
+	return wire.CapBatchBytes(batch)
 }
 
 // Event implements stack.Layer: consensus decisions arrive here, possibly
@@ -762,8 +838,7 @@ func (l *Layer) processDecision(k uint64, batch wire.Batch) {
 		if k >= p.epoch && k-p.epoch >= rediffuseGrace*uint64(l.pipe) {
 			p.epoch = l.nextDecide + 1
 			l.pending[id] = p
-			c.Retransmissions.Add(int64(l.n - 1))
-			c.PayloadBytesSent.Add(int64(len(p.msg.Body) * (l.n - 1)))
+			c.Retransmissions.Add(int64(l.spreadFanout()))
 			l.diffuseOne(p.msg)
 		}
 	}
@@ -844,8 +919,7 @@ func (l *Layer) Timer(id engine.TimerID) {
 			p := l.pending[mid]
 			p.epoch = l.nextDecide + 1
 			l.pending[mid] = p
-			c.Retransmissions.Add(int64(l.n - 1))
-			c.PayloadBytesSent.Add(int64(len(p.msg.Body) * (l.n - 1)))
+			c.Retransmissions.Add(int64(l.spreadFanout()))
 			l.diffuseOne(p.msg)
 		}
 		l.maybeStartConsensus()
@@ -880,9 +954,13 @@ func (l *Layer) staleGap() bool {
 	return false
 }
 
-// Suspect implements stack.Layer; the reduction itself ignores the failure
-// detector (consensus consumes it).
-func (l *Layer) Suspect(types.ProcessID, bool) {}
+// Suspect implements stack.Layer. The reduction itself ignores the
+// failure detector (consensus consumes it), but the dissemination
+// strategy tracks it: a ring relayer skips a suspected successor, which
+// is how a cut ring repairs itself.
+func (l *Layer) Suspect(p types.ProcessID, suspected bool) {
+	l.diss.Suspect(p, suspected)
+}
 
 // marshalDiffuse builds a single-message diffuse frame (tests craft
 // inbound frames with it; the hot path uses diffuseOne's pooled writer).

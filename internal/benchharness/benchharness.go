@@ -11,6 +11,7 @@ import (
 
 	"modab/internal/analytical"
 	"modab/internal/batch"
+	"modab/internal/dissem"
 	"modab/internal/engine"
 	"modab/internal/netsim"
 	"modab/internal/stats"
@@ -68,6 +69,11 @@ type RunOptions struct {
 	// dedicated pipeline figure (FigPipeline) sweeps depths itself; this
 	// field pipelines the standard figures.
 	Pipeline int
+	// Dissemination selects the payload topology in every measured engine
+	// (zero = AllToAll, the paper's behavior). The dedicated ring figure
+	// (FigRing) sweeps both strategies itself; this field retargets the
+	// standard figures.
+	Dissemination dissem.Strategy
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -90,13 +96,14 @@ func (o RunOptions) withDefaults() RunOptions {
 func RunPoint(n int, stk types.Stack, load float64, size int, opts RunOptions) (Point, error) {
 	opts = opts.withDefaults()
 	var engCfg engine.Config // zero value: netsim applies DefaultConfig(n)
-	if opts.Batch.Enabled() || opts.Window > 0 || opts.Pipeline > 0 {
+	if opts.Batch.Enabled() || opts.Window > 0 || opts.Pipeline > 0 || opts.Dissemination != dissem.AllToAll {
 		engCfg = engine.DefaultConfig(n)
 		engCfg.Batch = opts.Batch
 		if opts.Window > 0 {
 			engCfg.Window = opts.Window
 		}
 		engCfg.PipelineDepth = opts.Pipeline
+		engCfg.Dissemination = opts.Dissemination
 	}
 	var lat, thr, avgM, msgsPerDec, msgsPerBat, hdrPerMsg, util stats.Welford
 	var blocked, dropped int64

@@ -8,8 +8,10 @@ import (
 )
 
 // ReportSchema versions the machine-readable benchmark output; bump it on
-// breaking shape changes so trajectory tooling can dispatch.
-const ReportSchema = "modab-bench/v1"
+// breaking shape changes so trajectory tooling can dispatch. v2 adds the
+// ring figure (dissemination topology sweep) and the dissemination run
+// option.
+const ReportSchema = "modab-bench/v2"
 
 // Report is the machine-readable form of one abbench run: every figure's
 // points plus the recovery sweep, under a versioned schema — the input of
@@ -23,6 +25,7 @@ type Report struct {
 	Pipeline    *PipelineFigure `json:"pipeline,omitempty"`
 	Chaos       *ChaosFigure    `json:"chaos,omitempty"`
 	KV          *KVFigure       `json:"kv,omitempty"`
+	Ring        *RingFigure     `json:"ring,omitempty"`
 }
 
 // ReportOptions records the sweep parameters the numbers were produced
@@ -35,11 +38,16 @@ type ReportOptions struct {
 	BatchMsgs   int     `json:"batch_msgs,omitempty"`
 	BatchBytes  int     `json:"batch_bytes,omitempty"`
 	Pipeline    int     `json:"pipeline,omitempty"`
+	Dissem      string  `json:"dissem,omitempty"`
 }
 
 // NewReport assembles a report from run options and results.
-func NewReport(opts RunOptions, figs []Figure, rec *RecoveryFigure, pipe *PipelineFigure, cha *ChaosFigure, kv *KVFigure) Report {
+func NewReport(opts RunOptions, figs []Figure, rec *RecoveryFigure, pipe *PipelineFigure, cha *ChaosFigure, kv *KVFigure, ring *RingFigure) Report {
 	opts = opts.withDefaults()
+	dissemName := ""
+	if opts.Dissemination != 0 {
+		dissemName = opts.Dissemination.String()
+	}
 	return Report{
 		Schema:      ReportSchema,
 		GeneratedAt: time.Now().UTC(),
@@ -51,12 +59,14 @@ func NewReport(opts RunOptions, figs []Figure, rec *RecoveryFigure, pipe *Pipeli
 			BatchMsgs:   opts.Batch.MaxMsgs,
 			BatchBytes:  opts.Batch.MaxBytes,
 			Pipeline:    opts.Pipeline,
+			Dissem:      dissemName,
 		},
 		Figures:  figs,
 		Recovery: rec,
 		Pipeline: pipe,
 		Chaos:    cha,
 		KV:       kv,
+		Ring:     ring,
 	}
 }
 

@@ -1,0 +1,188 @@
+package benchharness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"modab/internal/dissem"
+	"modab/internal/engine"
+	"modab/internal/netsim"
+	"modab/internal/stats"
+	"modab/internal/types"
+)
+
+// RingPoint is one measured (n, stack, dissemination) configuration of
+// the topology figure: the coordinator-NIC bottleneck experiment. The
+// egress columns are what the topology changes — under AllToAll the
+// origin (and, in the monolithic stack, the round coordinator) transmits
+// O(n) copies of every payload; under Ring it transmits one.
+type RingPoint struct {
+	N           int
+	Stack       types.Stack
+	Dissem      dissem.Strategy
+	OfferedLoad float64 // msgs/s, global (saturating)
+	Size        int     // bytes
+
+	Throughput float64 // msgs/s (paper's T)
+	ThroughCI  float64 // 95% CI half-width across repetitions
+	LatencyMs  float64 // mean adeliver (early) latency, ms
+	LatencyCI  float64
+	// CoordEgressBPerMsg is the round-1 coordinator's (p0's) total egress
+	// bytes per adelivered message — the NIC-bottleneck metric. Under Ring
+	// it must stay O(1) in n; under AllToAll it grows linearly.
+	CoordEgressBPerMsg float64
+	// MaxEgressBPerMsg is the same metric at the busiest-egress process.
+	MaxEgressBPerMsg float64
+	// PerProcEgressBytes is each process's raw egress byte count (last
+	// repetition) — the abbench table prints it so a ring run's flat
+	// profile is visible next to AllToAll's coordinator spike.
+	PerProcEgressBytes []int64
+	Utilization        float64 // busiest-process CPU utilization
+}
+
+// Ring sweep parameters: large payloads at saturating offered load on the
+// metro cost model (10 GbE, 1 ms links), where moving bulk bytes — not
+// per-message CPU — is the binding constraint, and a deep pipeline so the
+// ring's longer per-frame latency (n-1 sequential hops instead of one)
+// overlaps across instances instead of serializing them.
+var RingGroupSizes = []int{3, 5, 8, 12, 16}
+
+// RingStrategies is the comparison axis of the ring figure.
+var RingStrategies = []dissem.Strategy{dissem.AllToAll, dissem.Ring}
+
+// The payload is sized so the all-to-all coordinator's NIC is the hard
+// ceiling at scale (n-1 copies of 64 KB per message: ~1.3 k msgs/s at
+// n=16 on 10 GbE), while a ring relayer — one copy per payload — never
+// leaves the latency-bound regime; the offered load sits well above the
+// all-to-all ceiling so those points are saturating. The pipeline and the
+// widened admission window cover the ring's serial relay latency (n-1
+// one-millisecond hops at n=16) so laps overlap across instances instead
+// of serializing: DefaultWindow targets a dozen in-flight messages
+// group-wide — right for the latency figure, but a flow-control ceiling
+// of Window/latency here that would bind long before either NIC does.
+// Both strategies get the same window, so the comparison stays fair.
+const (
+	ringLoad     = 12000
+	ringSize     = 65536
+	ringPipeline = 16
+	ringWindow   = 16
+	// ringBatch caps messages per consensus instance: an unbounded batch
+	// under this deep a backlog would encode multi-megabyte frames whose
+	// per-hop serialization time dominates the ring lap. 32 × 64 KB ≈ 2 MB
+	// per frame keeps store-and-forward latency per hop under 2 ms.
+	ringBatch = 32
+)
+
+// RunRingPoint measures one (n, stack, strategy) configuration, averaging
+// over repetitions.
+func RunRingPoint(n int, stk types.Stack, s dissem.Strategy, opts RunOptions) (RingPoint, error) {
+	opts = opts.withDefaults()
+	model := opts.Model
+	if model == (netsim.CostModel{}) {
+		model = netsim.MetroModel()
+	}
+	engCfg := engine.DefaultConfig(n)
+	engCfg.Dissemination = s
+	engCfg.PipelineDepth = ringPipeline
+	engCfg.Window = ringWindow
+	engCfg.MaxBatch = ringBatch
+	engCfg.Batch = opts.Batch
+	if opts.Window > 0 {
+		engCfg.Window = opts.Window
+	}
+	var thr, lat, coordEg, maxEg, util stats.Welford
+	var perProc []int64
+	for rep := 0; rep < opts.Repetitions; rep++ {
+		lc, err := netsim.NewLoadedCluster(
+			netsim.Options{N: n, Stack: stk, Engine: engCfg, Seed: opts.Seed + int64(rep), Model: model},
+			netsim.Workload{OfferedLoad: ringLoad, Size: ringSize},
+			opts.Warmup, opts.Measure)
+		if err != nil {
+			return RingPoint{}, err
+		}
+		lc.Run(opts.Warmup + opts.Measure + time.Second)
+		if errs := lc.Errs(); len(errs) > 0 {
+			return RingPoint{}, fmt.Errorf("engine error: %w", errs[0])
+		}
+		thr.Add(lc.Recorder.Throughput())
+		lat.Add(lc.Recorder.MeanLatency() * 1e3)
+		perProc = perProc[:0]
+		maxB, maxUtil := int64(0), 0.0
+		for p := 0; p < n; p++ {
+			snap := lc.Counters(types.ProcessID(p))
+			perProc = append(perProc, snap.BytesSent)
+			if snap.BytesSent > maxB {
+				maxB = snap.BytesSent
+			}
+			if u := lc.Utilization(types.ProcessID(p)); u > maxUtil {
+				maxUtil = u
+			}
+		}
+		if del := lc.Counters(0).ADeliver; del > 0 {
+			coordEg.Add(float64(lc.Counters(0).BytesSent) / float64(del))
+			maxEg.Add(float64(maxB) / float64(del))
+		}
+		util.Add(maxUtil)
+	}
+	return RingPoint{
+		N:                  n,
+		Stack:              stk,
+		Dissem:             s,
+		OfferedLoad:        ringLoad,
+		Size:               ringSize,
+		Throughput:         thr.Mean(),
+		ThroughCI:          thr.CI95(),
+		LatencyMs:          lat.Mean(),
+		LatencyCI:          lat.CI95(),
+		CoordEgressBPerMsg: coordEg.Mean(),
+		MaxEgressBPerMsg:   maxEg.Mean(),
+		PerProcEgressBytes: perProc,
+		Utilization:        util.Mean(),
+	}, nil
+}
+
+// RingFigure is the dissemination-topology comparison: both stacks, both
+// strategies, over growing group sizes.
+type RingFigure struct {
+	Title  string
+	Points []RingPoint
+}
+
+// FigRing measures both stacks under AllToAll and Ring at every group
+// size in RingGroupSizes (64 KB payloads, saturating load, metro model,
+// pipeline W=16).
+func FigRing(opts RunOptions) (RingFigure, error) {
+	fig := RingFigure{
+		Title: fmt.Sprintf("Dissemination topology, all-to-all vs ring (size=%d B, load=%d msgs/s, W=%d, metro model)",
+			ringSize, ringLoad, ringPipeline),
+	}
+	for _, stk := range Stacks {
+		for _, s := range RingStrategies {
+			for _, n := range RingGroupSizes {
+				p, err := RunRingPoint(n, stk, s, opts)
+				if err != nil {
+					return fig, err
+				}
+				fig.Points = append(fig.Points, p)
+			}
+		}
+	}
+	return fig, nil
+}
+
+// RenderRing writes the ring figure as an aligned text table. The
+// coordB/msg column is the acceptance metric: flat in n under ring,
+// linear under all-to-all. egress(B) lists every process's raw egress so
+// the coordinator spike (or its absence) is visible directly.
+func RenderRing(w io.Writer, fig RingFigure) {
+	fmt.Fprintf(w, "ring — %s\n", fig.Title)
+	fmt.Fprintf(w, "%-6s %-11s %-10s %12s %10s %9s %10s %10s %6s  %s\n",
+		"group", "stack", "dissem", "thr(msg/s)", "±95%CI", "lat(ms)", "coordB/msg", "maxB/msg", "util", "egress(B) per process")
+	for _, p := range fig.Points {
+		fmt.Fprintf(w, "%-6d %-11s %-10s %12.1f %10.1f %9.2f %10.0f %10.0f %6.2f  %v\n",
+			p.N, p.Stack, p.Dissem, p.Throughput, p.ThroughCI, p.LatencyMs,
+			p.CoordEgressBPerMsg, p.MaxEgressBPerMsg, p.Utilization, p.PerProcEgressBytes)
+	}
+	fmt.Fprintln(w)
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"modab/internal/dissem"
 	"modab/internal/engine"
 	"modab/internal/netsim"
 	"modab/internal/types"
@@ -20,13 +21,16 @@ type sweepFamily struct {
 	config   func() StackConfig
 }
 
-// sweepFamilies are the four regression families of the chaos sweep:
+// sweepFamilies are the five regression families of the chaos sweep:
 // a partition during a W=4 pipeline, asymmetric drops on the round-1
 // coordinator's outbound links, a partition overlapping a crash+restart
-// on a durable cluster, and a KV-loaded snapshot-install recovery (the
+// on a durable cluster, a KV-loaded snapshot-install recovery (the
 // crashed process comes back after its peers snapshotted and truncated
 // past its watermark, so its only way back is a snapshot install — with
-// applied-state equivalence checked across processes and stacks).
+// applied-state equivalence checked across processes and stacks), and a
+// ring-dissemination cut (a partitioned ring edge on even seeds, a
+// crashed-and-restarted mid-ring relayer on odd ones, under
+// Dissemination=Ring on a durable cluster).
 var sweepFamilies = []sweepFamily{
 	{
 		name: "partition-during-pipeline",
@@ -92,6 +96,35 @@ var sweepFamilies = []sweepFamily{
 			cfg := engine.DefaultConfig(3)
 			cfg.DecisionHorizon = 16
 			return StackConfig{Engine: cfg, Durable: true, KV: true, SnapshotEvery: 4, Load: 400}
+		},
+	},
+	{
+		name: "ring-cut",
+		schedule: func(seed int64) Schedule {
+			if seed%2 == 0 {
+				// Cut one ring edge a→(a+1) mid-relay: the frames in flight
+				// on it die, the FD-driven skip and the re-spread backstop
+				// must route around until the heal.
+				a := types.ProcessID(seed / 2 % 3)
+				b := types.ProcessID((int(a) + 1) % 3)
+				from := 250*time.Millisecond + time.Duration(seed%5)*43*time.Millisecond
+				return Schedule{
+					{Kind: OpPartition, A: a, B: b, From: from, To: from + 400*time.Millisecond},
+				}
+			}
+			// Crash the mid-ring relayer p1 (p0 is the round-1 coordinator,
+			// so p1 is the first hop of every proposal relay) and bring it
+			// back on the durable cluster.
+			crashAt := 300*time.Millisecond + time.Duration(seed%4)*37*time.Millisecond
+			return Schedule{
+				{Kind: OpCrash, A: 1, From: crashAt},
+				{Kind: OpRestart, A: 1, From: crashAt + 450*time.Millisecond},
+			}
+		},
+		config: func() StackConfig {
+			cfg := engine.DefaultConfig(3)
+			cfg.Dissemination = dissem.Ring
+			return StackConfig{Engine: cfg, Durable: true, Load: 500}
 		},
 	},
 }

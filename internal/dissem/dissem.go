@@ -1,0 +1,278 @@
+// Package dissem is the pluggable payload-dissemination seam shared by
+// both atomic broadcast stacks: it decides how a payload-bearing frame
+// reaches the group, independently of how the group then orders it.
+//
+// Two strategies exist. AllToAll is the paper's original behavior — the
+// origin transmits the frame to all n-1 peers itself — and is bit-for-bit
+// pinned by the netsim golden traces. Ring derives a deterministic
+// successor order from the membership list: the origin transmits each
+// frame exactly once (to its first live successor), every process relays
+// it onward, and the relay stops when the frame would return to the
+// origin, when its hop count reaches n, or when a dedup watermark has
+// already seen it. Ring trades one broadcast for n-1 sequential hops,
+// turning the origin's O(n) egress into O(1) — the coordinator-NIC
+// bottleneck fix (cf. Ring Paxos).
+//
+// Only payload frames go through a Disseminator. Control traffic —
+// consensus proposals/estimates/acks, decisions, recovery and snapshot
+// frames — stays all-to-all or point-to-point since it is small; the
+// engines keep those paths untouched.
+//
+// Fault tolerance: the successor walk skips processes the local failure
+// detector currently suspects (FD-driven ring repair), so a cut ring
+// heals as soon as suspicions propagate; the engines additionally
+// re-spread still-undecided payloads on suspicion changes and on their
+// kick/resend timers, with fresh sequence numbers, covering the window
+// before the detector fires. Sequence numbers are incarnation-tagged in
+// their high bits exactly like the modular rbcast's broadcast numbering,
+// so a restarted origin is never dedup-suppressed against its pre-crash
+// traffic.
+package dissem
+
+import (
+	"modab/internal/types"
+	"modab/internal/wire"
+)
+
+// Strategy selects a dissemination topology. The zero value is AllToAll,
+// the paper's original behavior.
+type Strategy int
+
+const (
+	// AllToAll has the origin transmit every payload frame to all n-1
+	// peers itself (the paper's behavior; golden-trace pinned).
+	AllToAll Strategy = iota
+	// Ring has the origin transmit each payload frame once to its first
+	// live successor; every process relays it onward until it would
+	// return to the origin or a dedup watermark kills it.
+	Ring
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case AllToAll:
+		return "all-to-all"
+	case Ring:
+		return "ring"
+	default:
+		return "unknown"
+	}
+}
+
+// Validate reports whether s names a known strategy.
+func (s Strategy) Validate() error {
+	switch s {
+	case AllToAll, Ring:
+		return nil
+	default:
+		return types.ErrBadConfig
+	}
+}
+
+// ParseStrategy maps the command-line spelling of a strategy ("all-to-all"
+// or "ring") to its value.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "all-to-all", "alltoall", "":
+		return AllToAll, nil
+	case "ring":
+		return Ring, nil
+	default:
+		return 0, types.ErrBadConfig
+	}
+}
+
+// Disseminator is the per-process dissemination state machine. Engines
+// consult it at every payload spread (Origin) and at every received
+// relay frame (Accept); it owns successor selection and duplicate
+// suppression, never the bytes themselves — the engine performs the
+// actual sends so its accounting and persistence hooks stay in one
+// place. All methods run on the engine's single logical thread.
+type Disseminator interface {
+	// Strategy identifies the topology, letting engines keep their
+	// original code path (and wire format) byte-identical under AllToAll.
+	Strategy() Strategy
+	// Origin starts the spread of one locally originated frame. When
+	// relay is false the caller must broadcast the frame plainly to all
+	// peers exactly as it always has (AllToAll, groups of one, or a ring
+	// with no live successor). When relay is true the caller wraps the
+	// frame with the returned header and transmits it to the single
+	// process to.
+	Origin() (h wire.RelayHeader, to types.ProcessID, relay bool)
+	// Accept processes a received relay header. process is false when
+	// the frame is a duplicate (already seen) and must be ignored
+	// entirely. forward is true when the frame must be relayed onward:
+	// the caller re-wraps the inner frame with nh and transmits it to
+	// to. Accept marks the frame seen before answering, so a frame
+	// lapping the ring dies at its first revisit.
+	Accept(h wire.RelayHeader) (nh wire.RelayHeader, to types.ProcessID, process, forward bool)
+	// Suspect updates the failure-detector view the successor walk
+	// skips over. Engines forward every FD transition here.
+	Suspect(p types.ProcessID, suspected bool)
+}
+
+// incarnationShift splits a dissemination sequence number: the high 16
+// bits carry the origin's boot count, the low 48 its per-incarnation
+// counter (same layout as the modular rbcast's broadcast numbering).
+const incarnationShift = 48
+
+// New builds the Disseminator for strategy s at process self in a group
+// of n. incarnation is the origin's boot count (RecoveredState.Boots;
+// zero on a first boot, making the crash-stop wire bytes exact).
+func New(s Strategy, self types.ProcessID, n int, incarnation uint64) Disseminator {
+	if s == Ring {
+		return &ring{
+			self:    self,
+			n:       n,
+			nextSeq: incarnation<<incarnationShift + 1,
+			seen:    make(map[types.ProcessID]map[uint64]*dedup),
+		}
+	}
+	return allToAll{}
+}
+
+// allToAll is the trivial strategy: every Origin answers "broadcast it
+// yourself" and no relay frames ever exist to Accept.
+type allToAll struct{}
+
+func (allToAll) Strategy() Strategy { return AllToAll }
+func (allToAll) Origin() (wire.RelayHeader, types.ProcessID, bool) {
+	return wire.RelayHeader{}, types.Nobody, false
+}
+func (allToAll) Accept(wire.RelayHeader) (wire.RelayHeader, types.ProcessID, bool, bool) {
+	return wire.RelayHeader{}, types.Nobody, false, false
+}
+func (allToAll) Suspect(types.ProcessID, bool) {}
+
+// ring implements the successor-relay topology.
+type ring struct {
+	self      types.ProcessID
+	n         int
+	nextSeq   uint64
+	suspected map[types.ProcessID]bool
+	seen      map[types.ProcessID]map[uint64]*dedup
+}
+
+func (r *ring) Strategy() Strategy { return Ring }
+
+// successor returns the first live process after p in ring order,
+// skipping self-looping back to from (the search start) and every
+// currently suspected process. ok is false when no live successor other
+// than from exists.
+func (r *ring) successor(from types.ProcessID) (types.ProcessID, bool) {
+	for i := 1; i < r.n; i++ {
+		p := types.ProcessID((int(from) + i) % r.n)
+		if p == from || r.suspected[p] {
+			continue
+		}
+		return p, true
+	}
+	return types.Nobody, false
+}
+
+func (r *ring) Origin() (wire.RelayHeader, types.ProcessID, bool) {
+	if r.n < 3 {
+		// A ring of two degenerates to a direct send; plain broadcast is
+		// the same wire cost and keeps the control path trivial.
+		return wire.RelayHeader{}, types.Nobody, false
+	}
+	to, ok := r.successor(r.self)
+	if !ok {
+		// Everyone else is suspected: fall back to plain broadcast so a
+		// wrongly suspected (still live) peer can still hear us.
+		return wire.RelayHeader{}, types.Nobody, false
+	}
+	h := wire.RelayHeader{Origin: r.self, Seq: r.nextSeq}
+	r.nextSeq++
+	r.markSeen(r.self, h.Seq)
+	return h, to, true
+}
+
+func (r *ring) Accept(h wire.RelayHeader) (wire.RelayHeader, types.ProcessID, bool, bool) {
+	if h.Origin == r.self || r.isSeen(h.Origin, h.Seq) {
+		// Our own frame lapped the ring, or a duplicate: drop it.
+		return wire.RelayHeader{}, types.Nobody, false, false
+	}
+	r.markSeen(h.Origin, h.Seq)
+	nh := wire.RelayHeader{Origin: h.Origin, Seq: h.Seq, Hops: h.Hops + 1}
+	if int(nh.Hops) >= r.n {
+		// Hop budget exhausted — every process has had its chance.
+		return wire.RelayHeader{}, types.Nobody, true, false
+	}
+	to, ok := r.successor(r.self)
+	if !ok || to == h.Origin {
+		// The walk came back around to the origin: the lap is complete.
+		return wire.RelayHeader{}, types.Nobody, true, false
+	}
+	return nh, to, true, true
+}
+
+func (r *ring) Suspect(p types.ProcessID, suspected bool) {
+	if p == r.self {
+		return
+	}
+	if r.suspected == nil {
+		r.suspected = make(map[types.ProcessID]bool)
+	}
+	if suspected {
+		r.suspected[p] = true
+	} else {
+		delete(r.suspected, p)
+	}
+}
+
+// dedup suppresses duplicate (origin, incarnation, seq) triples with a
+// contiguous watermark plus a sparse set for out-of-order arrivals
+// (same structure as the modular rbcast's suppressor): each origin
+// incarnation numbers its frames contiguously from 1, so the watermark
+// keeps advancing across restarts instead of wedging on the
+// inter-incarnation gap.
+type dedup struct {
+	watermark uint64
+	sparse    map[uint64]struct{}
+}
+
+func (r *ring) dedupFor(origin types.ProcessID, inc uint64) *dedup {
+	byInc := r.seen[origin]
+	if byInc == nil {
+		byInc = make(map[uint64]*dedup, 1)
+		r.seen[origin] = byInc
+	}
+	d := byInc[inc]
+	if d == nil {
+		d = &dedup{sparse: make(map[uint64]struct{})}
+		byInc[inc] = d
+	}
+	return d
+}
+
+func splitSeq(seq uint64) (inc, ctr uint64) {
+	return seq >> incarnationShift, seq & (1<<incarnationShift - 1)
+}
+
+func (r *ring) isSeen(origin types.ProcessID, seq uint64) bool {
+	inc, ctr := splitSeq(seq)
+	d := r.dedupFor(origin, inc)
+	if ctr <= d.watermark {
+		return true
+	}
+	_, ok := d.sparse[ctr]
+	return ok
+}
+
+func (r *ring) markSeen(origin types.ProcessID, seq uint64) {
+	inc, ctr := splitSeq(seq)
+	d := r.dedupFor(origin, inc)
+	if ctr <= d.watermark {
+		return
+	}
+	d.sparse[ctr] = struct{}{}
+	for {
+		if _, ok := d.sparse[d.watermark+1]; !ok {
+			break
+		}
+		delete(d.sparse, d.watermark+1)
+		d.watermark++
+	}
+}

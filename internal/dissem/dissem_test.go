@@ -1,0 +1,209 @@
+package dissem
+
+import (
+	"errors"
+	"testing"
+
+	"modab/internal/types"
+	"modab/internal/wire"
+)
+
+func TestStrategyValidateAndParse(t *testing.T) {
+	if err := AllToAll.Validate(); err != nil {
+		t.Fatalf("AllToAll.Validate: %v", err)
+	}
+	if err := Ring.Validate(); err != nil {
+		t.Fatalf("Ring.Validate: %v", err)
+	}
+	if err := Strategy(7).Validate(); !errors.Is(err, types.ErrBadConfig) {
+		t.Fatalf("Strategy(7).Validate = %v, want ErrBadConfig", err)
+	}
+	for _, tc := range []struct {
+		in   string
+		want Strategy
+	}{{"", AllToAll}, {"all-to-all", AllToAll}, {"alltoall", AllToAll}, {"ring", Ring}} {
+		got, err := ParseStrategy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseStrategy(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); !errors.Is(err, types.ErrBadConfig) {
+		t.Fatalf("ParseStrategy(bogus) = %v, want ErrBadConfig", err)
+	}
+	if AllToAll.String() != "all-to-all" || Ring.String() != "ring" || Strategy(7).String() != "unknown" {
+		t.Fatal("Strategy.String spellings changed")
+	}
+}
+
+func TestAllToAllNeverRelays(t *testing.T) {
+	d := New(AllToAll, 0, 5, 0)
+	if d.Strategy() != AllToAll {
+		t.Fatal("wrong strategy")
+	}
+	if _, _, relay := d.Origin(); relay {
+		t.Fatal("AllToAll.Origin asked for a relay")
+	}
+	_, _, process, forward := d.Accept(wire.RelayHeader{Origin: 1, Seq: 1})
+	if process || forward {
+		t.Fatal("AllToAll.Accept processed a relay frame")
+	}
+}
+
+// TestRingOriginWalksToSuccessor pins the deterministic successor order:
+// process self originates to (self+1) mod n, skipping suspects.
+func TestRingOriginWalksToSuccessor(t *testing.T) {
+	d := New(Ring, 3, 5, 0)
+	h, to, relay := d.Origin()
+	if !relay || to != 4 {
+		t.Fatalf("Origin = to %v relay %v, want to 4 (successor of 3)", to, relay)
+	}
+	if h.Origin != 3 || h.Seq != 1 || h.Hops != 0 {
+		t.Fatalf("header = %+v, want {Origin:3 Seq:1 Hops:0}", h)
+	}
+	// Successive origins get fresh contiguous sequence numbers.
+	h2, _, _ := d.Origin()
+	if h2.Seq != 2 {
+		t.Fatalf("second Seq = %d, want 2", h2.Seq)
+	}
+	// Suspecting the successor moves the walk one step (wrapping past n).
+	d.Suspect(4, true)
+	if _, to, _ := d.Origin(); to != 0 {
+		t.Fatalf("Origin with p4 suspected = %v, want 0 (wrap)", to)
+	}
+	// Clearing the suspicion restores it.
+	d.Suspect(4, false)
+	if _, to, _ := d.Origin(); to != 4 {
+		t.Fatalf("Origin after un-suspect = %v, want 4", to)
+	}
+}
+
+// TestRingOriginFallsBackToBroadcast covers the two degenerate cases
+// where the caller must broadcast plainly: tiny groups and an all-
+// suspected membership.
+func TestRingOriginFallsBackToBroadcast(t *testing.T) {
+	if _, _, relay := New(Ring, 0, 2, 0).Origin(); relay {
+		t.Fatal("n=2 ring should fall back to plain broadcast")
+	}
+	d := New(Ring, 0, 3, 0)
+	d.Suspect(1, true)
+	d.Suspect(2, true)
+	if _, _, relay := d.Origin(); relay {
+		t.Fatal("fully suspected ring should fall back to plain broadcast")
+	}
+	// Suspecting self is ignored (the FD never reports self, but guard it).
+	d.Suspect(0, true)
+	d.Suspect(1, false)
+	if _, to, relay := d.Origin(); !relay || to != 1 {
+		t.Fatalf("after un-suspecting p1: to %v relay %v, want relay to 1", to, relay)
+	}
+}
+
+// TestRingAcceptForwardsAndStops walks one frame around a 4-ring by hand
+// and checks the stop conditions: forward mid-ring, stop at the process
+// whose successor is the origin, drop at the origin itself.
+func TestRingAcceptForwardsAndStops(t *testing.T) {
+	h := wire.RelayHeader{Origin: 0, Seq: 1}
+
+	d1 := New(Ring, 1, 4, 0)
+	nh, to, process, forward := d1.Accept(h)
+	if !process || !forward || to != 2 {
+		t.Fatalf("p1.Accept = process %v forward %v to %v, want forward to 2", process, forward, to)
+	}
+	if nh.Hops != 1 {
+		t.Fatalf("p1 forwarded with Hops=%d, want 1", nh.Hops)
+	}
+
+	d2 := New(Ring, 2, 4, 0)
+	nh2, to2, process, forward := d2.Accept(nh)
+	if !process || !forward || to2 != 3 {
+		t.Fatalf("p2.Accept = process %v forward %v to %v, want forward to 3", process, forward, to2)
+	}
+
+	d3 := New(Ring, 3, 4, 0)
+	_, _, process, forward = d3.Accept(nh2)
+	if !process || forward {
+		t.Fatalf("p3.Accept = process %v forward %v, want process without forward (successor is origin)", process, forward)
+	}
+
+	// A frame lapping back to its origin is dropped outright.
+	d0 := New(Ring, 0, 4, 0)
+	d0.Origin()
+	_, _, process, forward = d0.Accept(wire.RelayHeader{Origin: 0, Seq: 1, Hops: 3})
+	if process || forward {
+		t.Fatal("origin processed its own lapped frame")
+	}
+}
+
+// TestRingAcceptDedup re-presents the same header twice: the second copy
+// is neither processed nor forwarded.
+func TestRingAcceptDedup(t *testing.T) {
+	d := New(Ring, 1, 4, 0)
+	h := wire.RelayHeader{Origin: 0, Seq: 1}
+	if _, _, process, _ := d.Accept(h); !process {
+		t.Fatal("first copy not processed")
+	}
+	if _, _, process, forward := d.Accept(h); process || forward {
+		t.Fatal("duplicate copy processed or forwarded")
+	}
+	// Out-of-order arrivals are tracked sparsely, then folded into the
+	// watermark once the gap fills.
+	if _, _, process, _ := d.Accept(wire.RelayHeader{Origin: 0, Seq: 5}); !process {
+		t.Fatal("out-of-order seq 5 not processed")
+	}
+	if _, _, process, _ := d.Accept(wire.RelayHeader{Origin: 0, Seq: 5}); process {
+		t.Fatal("duplicate of sparse seq 5 processed")
+	}
+	for _, seq := range []uint64{2, 3, 4} {
+		if _, _, process, _ := d.Accept(wire.RelayHeader{Origin: 0, Seq: seq}); !process {
+			t.Fatalf("gap-filling seq %d not processed", seq)
+		}
+	}
+	if _, _, process, _ := d.Accept(wire.RelayHeader{Origin: 0, Seq: 3}); process {
+		t.Fatal("watermark-covered seq 3 processed again")
+	}
+}
+
+// TestRingAcceptHopBudget exhausts the hop counter: once Hops reaches n
+// the frame is processed but never forwarded, bounding a misrouted frame
+// even if the origin check were fooled.
+func TestRingAcceptHopBudget(t *testing.T) {
+	d := New(Ring, 1, 4, 0)
+	_, _, process, forward := d.Accept(wire.RelayHeader{Origin: 2, Seq: 1, Hops: 3})
+	if !process || forward {
+		t.Fatalf("Accept at hop budget = process %v forward %v, want process without forward", process, forward)
+	}
+}
+
+// TestRingAcceptSkipsSuspectedSuccessor routes around a dead mid-ring
+// process: p1 forwards straight to p3 when p2 is suspected.
+func TestRingAcceptSkipsSuspectedSuccessor(t *testing.T) {
+	d := New(Ring, 1, 4, 0)
+	d.Suspect(2, true)
+	_, to, process, forward := d.Accept(wire.RelayHeader{Origin: 0, Seq: 1})
+	if !process || !forward || to != 3 {
+		t.Fatalf("Accept with p2 suspected = process %v forward %v to %v, want forward to 3", process, forward, to)
+	}
+}
+
+// TestRingIncarnationTagging checks a restarted origin's frames are not
+// suppressed against its pre-crash traffic: the boot count lives in the
+// sequence's high bits, giving each incarnation its own dedup space.
+func TestRingIncarnationTagging(t *testing.T) {
+	d := New(Ring, 0, 3, 2)
+	h, _, relay := d.Origin()
+	if !relay {
+		t.Fatal("no relay")
+	}
+	if h.Seq != 2<<incarnationShift+1 {
+		t.Fatalf("incarnation-2 first Seq = %#x, want %#x", h.Seq, uint64(2<<incarnationShift+1))
+	}
+	// A receiver that saw the pre-crash seq 1 still accepts the
+	// post-restart seq 1 of the new incarnation.
+	recv := New(Ring, 1, 3, 0)
+	if _, _, process, _ := recv.Accept(wire.RelayHeader{Origin: 0, Seq: 1}); !process {
+		t.Fatal("pre-crash frame not processed")
+	}
+	if _, _, process, _ := recv.Accept(wire.RelayHeader{Origin: 0, Seq: h.Seq}); !process {
+		t.Fatal("post-restart frame wrongly dedup-suppressed against the old incarnation")
+	}
+}

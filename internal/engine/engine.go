@@ -14,6 +14,7 @@ import (
 
 	"modab/internal/batch"
 	"modab/internal/dedup"
+	"modab/internal/dissem"
 	"modab/internal/trace"
 	"modab/internal/types"
 	"modab/internal/wire"
@@ -228,6 +229,14 @@ type Config struct {
 	// The zero value disables it (one diffusion per message, the paper's
 	// original behavior). Both stacks honor it identically.
 	Batch batch.Config
+	// Dissemination selects the payload-dissemination topology (see
+	// internal/dissem): AllToAll (the zero value, the paper's original
+	// behavior — golden-trace pinned) or Ring (origin sends each payload
+	// frame once; successors relay; the coordinator's NIC stops being the
+	// bottleneck). Control traffic — proposals as control, estimates,
+	// acks, decisions, recovery, snapshots — is unaffected. Both stacks
+	// honor it identically.
+	Dissemination dissem.Strategy
 	// PipelineDepth is the consensus pipeline window W: the maximum number
 	// of consensus instances a process keeps in flight concurrently
 	// instead of waiting for instance k to decide before proposing k+1.
@@ -328,6 +337,9 @@ func (c Config) Validate() error {
 	case c.DecisionHorizon < 1:
 		return types.ErrBadConfig
 	default:
+		if err := c.Dissemination.Validate(); err != nil {
+			return err
+		}
 		return c.Batch.Validate()
 	}
 }

@@ -26,6 +26,17 @@ type Net struct {
 	queue []netMsg
 	// Delivered counts messages actually handed to receivers.
 	Delivered int
+	// LinkMsgs and LinkBytes count per-link transmissions (keyed by
+	// directed link), including dropped ones — they model what crossed
+	// the sender's NIC, which is what dissemination-topology tests
+	// assert on.
+	LinkMsgs  map[Link]int
+	LinkBytes map[Link]int
+}
+
+// Link is one directed sender→receiver pair of the mini network.
+type Link struct {
+	From, To types.ProcessID
 }
 
 type netMsg struct {
@@ -53,6 +64,15 @@ func (n *Net) Step() (bool, error) {
 	}
 	m := n.queue[0]
 	n.queue = n.queue[1:]
+	if n.LinkMsgs == nil {
+		n.LinkMsgs = make(map[Link]int)
+		n.LinkBytes = make(map[Link]int)
+	}
+	if !m.duped {
+		l := Link{From: m.from, To: m.to}
+		n.LinkMsgs[l]++
+		n.LinkBytes[l] += len(m.data)
+	}
 	if n.Drop != nil && n.Drop(m.from, m.to, m.data) {
 		return true, nil
 	}

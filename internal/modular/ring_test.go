@@ -1,0 +1,176 @@
+package modular
+
+import (
+	"bytes"
+	"testing"
+
+	"modab/internal/dissem"
+	"modab/internal/engine"
+	"modab/internal/enginetest"
+	"modab/internal/stack"
+	"modab/internal/types"
+	"modab/internal/wire"
+)
+
+// ringCfg is the default config with ring dissemination and timers off
+// (the rig drives everything explicitly).
+func ringCfg(n int) engine.Config {
+	cfg := engine.DefaultConfig(n)
+	cfg.IdleKick = 0
+	cfg.Dissemination = dissem.Ring
+	return cfg
+}
+
+// payloadFrame reports whether a modular wire message (stack tag byte +
+// layer frame) carries application payload: a direct diffuse frame or a
+// ring relay.
+func payloadFrame(data []byte) bool {
+	if len(data) < 2 || data[0] != byte(stack.TagABcast) {
+		return false
+	}
+	switch data[1] {
+	case wire.FrameAppMsg, wire.FrameBatch, wire.FrameRelay:
+		return true
+	}
+	return false
+}
+
+// TestRingOriginSendsPayloadOnce pins the tentpole invariant: under Ring
+// the origin transmits each payload frame exactly once (to its
+// successor), not n-1 times, and the relay still reaches every process.
+func TestRingOriginSendsPayloadOnce(t *testing.T) {
+	r := newRig(t, 5, ringCfg(5))
+	origin := 3
+	body := bytes.Repeat([]byte("x"), 4096)
+
+	sent := 0
+	r.net.Deliver = func(to, from types.ProcessID, data []byte) error {
+		if int(from) == origin && payloadFrame(data) {
+			sent++
+		}
+		return r.engs[to].HandleMessage(from, data)
+	}
+	if _, err := r.engs[origin].Abcast(body); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t)
+	r.checkTotalOrder(t, 1)
+	if sent != 1 {
+		t.Fatalf("origin transmitted %d payload frames, want exactly 1", sent)
+	}
+	// The per-link byte accounting agrees: the origin's egress is one
+	// payload, not four (consensus control traffic is small next to the
+	// 4KB body).
+	egress := 0
+	for l, b := range r.net.LinkBytes {
+		if int(l.From) == origin {
+			egress += b
+		}
+	}
+	if egress >= 2*len(body) {
+		t.Fatalf("origin egress %dB under Ring, want < %dB (one payload + control)", egress, 2*len(body))
+	}
+}
+
+// TestAllToAllOriginSendsToEveryPeer is the counterpart baseline: the
+// default strategy transmits the payload on every outbound link.
+func TestAllToAllOriginSendsToEveryPeer(t *testing.T) {
+	r := newRig(t, 5, engine.Config{})
+	origin := 3
+	body := bytes.Repeat([]byte("x"), 4096)
+	if _, err := r.engs[origin].Abcast(body); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t)
+	r.checkTotalOrder(t, 1)
+	egress := 0
+	for l, b := range r.net.LinkBytes {
+		if int(l.From) == origin {
+			egress += b
+		}
+	}
+	if egress < 4*len(body) {
+		t.Fatalf("origin egress %dB under AllToAll, want >= %dB (payload on all 4 links)", egress, 4*len(body))
+	}
+}
+
+// TestRingDuplicateRelaySuppressed injects link-level duplication of
+// every relay frame and asserts the dedup watermark stops the duplicates
+// from being relayed onward: every ring link still carries each relay
+// exactly once, and delivery stays duplicate-free.
+func TestRingDuplicateRelaySuppressed(t *testing.T) {
+	r := newRig(t, 4, ringCfg(4))
+	r.net.Dup = func(from, to types.ProcessID, data []byte) bool {
+		return payloadFrame(data) && data[1] == wire.FrameRelay
+	}
+	if _, err := r.engs[1].Abcast([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t)
+	r.checkTotalOrder(t, 1)
+	// LinkMsgs excludes the injected duplicates, so a relayer fooled into
+	// re-forwarding would show up as 2 relay transmissions on its
+	// successor link; count relay frames per link via the deliver log
+	// instead: re-run a fresh rig with a counting Deliver.
+	r2 := newRig(t, 4, ringCfg(4))
+	relays := make(map[enginetest.Link]int)
+	r2.net.Dup = func(from, to types.ProcessID, data []byte) bool {
+		return payloadFrame(data) && data[1] == wire.FrameRelay
+	}
+	r2.net.Deliver = func(to, from types.ProcessID, data []byte) error {
+		if payloadFrame(data) && data[1] == wire.FrameRelay {
+			relays[enginetest.Link{From: from, To: to}]++
+		}
+		return r2.engs[to].HandleMessage(from, data)
+	}
+	if _, err := r2.engs[1].Abcast([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	r2.run(t)
+	r2.checkTotalOrder(t, 1)
+	for l, c := range relays {
+		// Each link delivered the relay at most twice (original +
+		// injected duplicate); more would mean a relayer forwarded a
+		// duplicate it should have suppressed.
+		if c > 2 {
+			t.Fatalf("link %v→%v carried %d relay frames; dedup failed to suppress a duplicate", l.From, l.To, c)
+		}
+	}
+}
+
+// TestRingSkipsSuspectedSuccessor crashes the origin's successor (drops
+// everything addressed to it) and tells the survivors' failure detectors;
+// the relayer must skip it and the frame must still reach every live
+// process.
+func TestRingSkipsSuspectedSuccessor(t *testing.T) {
+	r := newRig(t, 4, ringCfg(4))
+	crashed := types.ProcessID(1) // successor of origin p0
+	for p := 0; p < 4; p++ {
+		if types.ProcessID(p) != crashed {
+			r.engs[p].Suspect(crashed, true)
+		}
+	}
+	toCrashed := 0
+	r.net.Drop = func(from, to types.ProcessID, data []byte) bool {
+		if to != crashed {
+			return false
+		}
+		if payloadFrame(data) {
+			toCrashed++
+		}
+		return true
+	}
+	if _, err := r.engs[0].Abcast([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t)
+	if toCrashed != 0 {
+		t.Fatalf("%d payload frames were sent to the suspected successor, want 0 (skip)", toCrashed)
+	}
+	// Every live process delivered the message.
+	for _, p := range []int{0, 2, 3} {
+		if got := len(r.order(p)); got != 1 {
+			t.Fatalf("live process p%d delivered %d messages, want 1", p, got)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package monolithic
 import (
 	"fmt"
 
+	"modab/internal/types"
 	"modab/internal/wire"
 )
 
@@ -49,6 +50,14 @@ const (
 	// envelope (Instance = snapshot index, Total = envelope size, Offset =
 	// chunk position, UpTo = responder's decided horizon).
 	mSnapResp
+	// mRelay wraps an mPropDec traveling along the ring dissemination
+	// topology (engine.Config.Dissemination = Ring): Instance carries the
+	// origin-assigned relay sequence number, RelayOrigin/RelayHops the
+	// rest of the relay header, and Data the marshaled inner proposal.
+	// Every other message type stays on its original point-to-point or
+	// all-to-all path — relaying only the bulky proposal is exactly the
+	// coordinator-NIC fix.
+	mRelay
 )
 
 // String implements fmt.Stringer.
@@ -78,6 +87,8 @@ func (t mtype) String() string {
 		return "snap-req"
 	case mSnapResp:
 		return "snap-resp"
+	case mRelay:
+		return "relay"
 	default:
 		return fmt.Sprintf("mtype(%d)", uint8(t))
 	}
@@ -115,10 +126,15 @@ type message struct {
 	Decisions []wire.DecidedInstance
 	// Offset, Total and Data carry snapshot transfer chunks (mSnapReq uses
 	// Offset; mSnapResp uses all three, with Instance as the snapshot
-	// index and UpTo as the responder's decided horizon).
+	// index and UpTo as the responder's decided horizon). mRelay reuses
+	// Data for the marshaled inner proposal.
 	Offset uint64
 	Total  uint64
 	Data   []byte
+	// RelayOrigin and RelayHops complete the relay header of an mRelay
+	// (Instance carries the relay sequence number).
+	RelayOrigin types.ProcessID
+	RelayHops   uint8
 }
 
 // marshal encodes the message through a pooled writer scratch buffer and
@@ -170,6 +186,10 @@ func (m message) marshalTo(w *wire.Writer) {
 		w.Uint64(m.Offset)
 		w.Uint64(m.UpTo)
 		w.Bytes32(m.Data)
+	case mRelay:
+		w.Int32(int32(m.RelayOrigin))
+		w.Uint8(m.RelayHops)
+		w.Bytes32(m.Data)
 	case mNack, mDecisionOnly, mDecisionReq, mRecoverReq:
 		// Header only.
 	}
@@ -210,6 +230,10 @@ func unmarshalMessage(data []byte) (message, error) {
 		m.Total = r.Uint64()
 		m.Offset = r.Uint64()
 		m.UpTo = r.Uint64()
+		m.Data = r.Bytes32()
+	case mRelay:
+		m.RelayOrigin = types.ProcessID(r.Int32())
+		m.RelayHops = r.Uint8()
 		m.Data = r.Bytes32()
 	case mNack, mDecisionOnly, mDecisionReq, mRecoverReq:
 		// Header only.

@@ -38,6 +38,7 @@ import (
 
 	"modab/internal/batch"
 	"modab/internal/dedup"
+	"modab/internal/dissem"
 	"modab/internal/engine"
 	"modab/internal/flow"
 	"modab/internal/recovery"
@@ -62,6 +63,12 @@ type Engine struct {
 	n        int
 	majority int
 	fc       *flow.Controller
+	// diss is the payload-dissemination strategy (internal/dissem). Only
+	// the bulky combined proposal+decision goes through it — under Ring
+	// it is relayed successor-to-successor instead of broadcast, so the
+	// coordinator's egress stops scaling with n; every other message
+	// type keeps its original path.
+	diss dissem.Disseminator
 
 	// own tracks locally abcast messages until adelivery.
 	own map[uint64]*ownMsg // keyed by local sequence number
@@ -93,7 +100,19 @@ type Engine struct {
 	suspected map[types.ProcessID]bool
 	// lastProgress is when the last decision was processed (kick guard).
 	lastProgress time.Duration
-	started      bool
+	// ringWantK is the highest instance known decided remotely whose
+	// refetch was deferred to the resend timer (ring dissemination only;
+	// see ringWant/ringRetryWaiting).
+	ringWantK uint64
+	// ringResendArmed reports a pending TimerResend armed by ringWant.
+	// SetTimer replaces the deadline, so re-arming on every announcement
+	// would push the fire time forever into the future while the ring is
+	// active — the timer must be armed once and left alone until it fires.
+	ringResendArmed bool
+	// ringRetryTo is the last single-target refetch recipient; the target
+	// rotates so a dead or partitioned peer cannot absorb every retry.
+	ringRetryTo types.ProcessID
+	started     bool
 	// pipelineIdle reports that the consensus pipeline stopped (the last
 	// decision was flushed standalone because the coordinator's pool was
 	// empty). While the pipeline runs, fresh abcast messages simply wait
@@ -193,6 +212,11 @@ func New(env engine.Env, cfg engine.Config) *Engine {
 	if cfg.Batch.Enabled() {
 		e.acc = batch.NewAccumulator(cfg.Batch)
 	}
+	var incarnation uint64
+	if st := cfg.Recovered; st != nil {
+		incarnation = st.Boots
+	}
+	e.diss = dissem.New(cfg.Dissemination, e.self, e.n, incarnation)
 	if st := cfg.Recovered; st != nil {
 		// Adopt the replayed state: the decided watermark, the per-sender
 		// delivered suppression, the unordered own backlog (re-occupying
@@ -459,7 +483,7 @@ func (e *Engine) poolBatch(k uint64) wire.Batch {
 	if e.cfg.MaxBatch > 0 && len(batch) > e.cfg.MaxBatch {
 		batch = batch[:e.cfg.MaxBatch]
 	}
-	return batch
+	return wire.CapBatchBytes(batch)
 }
 
 // openProposals counts this process's in-flight proposals: window
@@ -518,8 +542,100 @@ func (e *Engine) proposeRound(in *inst, r uint32, batch wire.Batch) {
 		m.PrevK = prev.k
 		m.PrevRound = prev.decisionRound
 	}
-	e.sendAll(m)
+	e.spreadPropDec(m)
 	e.checkDecide(in, r)
+}
+
+// spreadPropDec disseminates a combined proposal+decision according to
+// the strategy: a plain broadcast under AllToAll (the paper's behavior,
+// bit-identical), or one transmission to the first live successor under
+// Ring, wrapped in an mRelay that the successors carry around the group.
+// The origin pays the payload bytes of exactly one transmission on the
+// ring path (mRelay's own payloadBytes is zero — Data is opaque there).
+func (e *Engine) spreadPropDec(m message) {
+	h, to, relay := e.diss.Origin()
+	if !relay {
+		e.sendAll(m)
+		return
+	}
+	e.env.Counters().PayloadBytesSent.Add(int64(m.payloadBytes()))
+	e.send(to, message{
+		Type:        mRelay,
+		Instance:    h.Seq,
+		RelayOrigin: h.Origin,
+		RelayHops:   h.Hops,
+		Data:        m.marshal(),
+	})
+}
+
+// handleRelay processes a ring-relayed proposal: validate the inner
+// message, consult the disseminator's dedup watermark (a lapped or
+// duplicated frame is dropped whole), forward to our successor when the
+// lap is not complete, then process the proposal exactly as if the
+// origin had sent it directly — acks, nacks and refetches all go
+// straight back to the origin, never along the ring.
+func (e *Engine) handleRelay(from types.ProcessID, m message) error {
+	inner, err := unmarshalMessage(m.Data)
+	if err != nil {
+		return fmt.Errorf("monolithic: bad relayed proposal from %s: %w", from, err)
+	}
+	if inner.Type != mPropDec {
+		return fmt.Errorf("monolithic: relayed %s from %s (only proposals relay)", inner.Type, from)
+	}
+	h := wire.RelayHeader{Origin: m.RelayOrigin, Seq: m.Instance, Hops: m.RelayHops}
+	nh, to, process, forward := e.diss.Accept(h)
+	if !process {
+		return nil
+	}
+	if forward {
+		e.env.Counters().PayloadBytesSent.Add(int64(inner.payloadBytes()))
+		e.send(to, message{
+			Type:        mRelay,
+			Instance:    nh.Seq,
+			RelayOrigin: nh.Origin,
+			RelayHops:   nh.Hops,
+			Data:        m.Data,
+		})
+	}
+	e.handlePropDec(h.Origin, inner)
+	return nil
+}
+
+// respreadOpen re-disseminates every open proposal this process
+// coordinates, with fresh relay sequence numbers — the ring's stall
+// backstop. A relayed proposal that died mid-ring (crashed or partitioned
+// successor, before the failure detector fired) leaves the coordinator
+// waiting on a majority that cannot complete and nothing else would ever
+// retransmit it; suspicion changes and the kick timer route it around the
+// repaired ring. No-op under AllToAll, where the broadcast already
+// reached everyone.
+func (e *Engine) respreadOpen() {
+	if e.diss.Strategy() != dissem.Ring || e.rec.Active() {
+		return
+	}
+	c := e.env.Counters()
+	for k := e.decidedK + 1; k <= e.decidedK+uint64(e.pipe); k++ {
+		in := e.insts[k]
+		if in == nil || in.decided {
+			continue
+		}
+		cr := in.coord[in.round]
+		if cr == nil || !cr.proposed || e.coordinator(in.round) != e.self {
+			continue
+		}
+		m := message{Type: mPropDec, Instance: in.k, Round: in.round, Batch: cr.proposal}
+		prevK := in.k - 1
+		if e.pipe > 1 {
+			prevK = e.decidedK
+		}
+		if prev := e.insts[prevK]; prev != nil && prev.decided {
+			m.PrevDecided = true
+			m.PrevK = prev.k
+			m.PrevRound = prev.decisionRound
+		}
+		c.Retransmissions.Add(1)
+		e.spreadPropDec(m)
+	}
 }
 
 // coordMaybePropose proposes for round r >= 2 once a majority of estimates
@@ -622,6 +738,8 @@ func (e *Engine) HandleMessage(from types.ProcessID, data []byte) error {
 		e.handleSnapReq(from, m)
 	case mSnapResp:
 		e.handleSnapResp(from, m)
+	case mRelay:
+		return e.handleRelay(from, m)
 	default:
 		return fmt.Errorf("monolithic: unexpected message type %d from %s", uint8(m.Type), from)
 	}
@@ -841,9 +959,31 @@ func (e *Engine) applyRemoteDecision(from types.ProcessID, k uint64, round uint3
 		return
 	}
 	in.waitingRound = round
+	if e.diss.Strategy() == dissem.Ring {
+		// Under ring dissemination the proposal carrying this decision is
+		// usually still relaying around the ring (direct control frames
+		// outrun it); an immediate refetch per announcement floods the
+		// decider with full-decision re-serves. Record the want and let the
+		// resend timer refetch only if the relay never arrives.
+		e.ringWant(k)
+		return
+	}
 	e.send(from, message{Type: mDecisionReq, Instance: k})
 	e.env.Counters().Retransmissions.Add(1)
 	if e.cfg.ResendEvery > 0 {
+		e.env.SetTimer(engine.TimerResend, e.cfg.ResendEvery)
+	}
+}
+
+// ringWant records that decisions up to k exist remotely and arms the
+// resend timer; under ring dissemination retryWaiting refetches the gap
+// in bounded chunks only when the ring has genuinely stopped delivering.
+func (e *Engine) ringWant(k uint64) {
+	if k > e.ringWantK {
+		e.ringWantK = k
+	}
+	if e.cfg.ResendEvery > 0 && !e.ringResendArmed {
+		e.ringResendArmed = true
 		e.env.SetTimer(engine.TimerResend, e.cfg.ResendEvery)
 	}
 }
@@ -854,6 +994,10 @@ func (e *Engine) applyRemoteDecision(from types.ProcessID, k uint64, round uint3
 func (e *Engine) requestMissing(from types.ProcessID, upto uint64) {
 	if e.rec.Active() {
 		return // the bulk state transfer already covers the gap
+	}
+	if e.diss.Strategy() == dissem.Ring {
+		e.ringWant(upto)
+		return
 	}
 	c := e.env.Counters()
 	for k := e.decidedK + 1; k <= upto; k++ {
@@ -1004,6 +1148,14 @@ func (e *Engine) handleDecisionOnly(from types.ProcessID, m message) {
 func (e *Engine) handleDecisionReq(from types.ProcessID, m message) {
 	in := e.insts[m.Instance]
 	if in == nil || !in.decided {
+		if m.Instance <= e.decidedK {
+			// Decided here but pruned from memory: serve it from the
+			// durable log if there is one (a peer lagging past the
+			// retention horizon has no other way back without a full
+			// state transfer). The round is a synthesized label — see
+			// catchUpPruned.
+			e.catchUpPruned(from, m.Instance, 1)
+		}
 		return
 	}
 	e.send(from, message{Type: mDecisionFull, Instance: in.k, Round: in.decisionRound, Batch: in.decision})
@@ -1339,6 +1491,10 @@ func (e *Engine) retryWaiting() {
 			}
 		}
 	}
+	if e.diss.Strategy() == dissem.Ring {
+		e.ringRetryWaiting(waiting)
+		return
+	}
 	if !waiting {
 		return
 	}
@@ -1347,6 +1503,78 @@ func (e *Engine) retryWaiting() {
 	if e.cfg.ResendEvery > 0 {
 		e.env.SetTimer(engine.TimerResend, e.cfg.ResendEvery)
 	}
+}
+
+// ringRefetchChunk bounds how many gap decisions one resend-timer fire
+// refetches under ring dissemination — enough to outpace a loaded ring
+// while a cut lasts, small enough never to re-create the flood the
+// deferral exists to prevent.
+const ringRefetchChunk = 32
+
+// ringRetryWaiting is the ring-dissemination resend path: deferred
+// refetches (ringWant) resolve here. A live ring delivers the missing
+// relays on its own — refetch only when nothing has decided for a full
+// resend period (a cut ring edge or a crashed relayer), and then request
+// a bounded chunk of the known gap from everyone still reachable.
+func (e *Engine) ringRetryWaiting(waiting bool) {
+	e.ringResendArmed = false
+	if !waiting && e.ringWantK <= e.decidedK {
+		return
+	}
+	if e.cfg.ResendEvery <= 0 {
+		return
+	}
+	if e.env.Now()-e.lastProgress < e.cfg.ResendEvery {
+		e.ringResendArmed = true
+		e.env.SetTimer(engine.TimerResend, e.cfg.ResendEvery)
+		return
+	}
+	upto := e.ringWantK
+	if upto < e.decidedK+1 {
+		upto = e.decidedK + 1
+	}
+	if max := e.decidedK + ringRefetchChunk; upto > max {
+		upto = max
+	}
+	// Ask exactly one peer: a broadcast here would be answered with a full
+	// decision batch by every peer that has it — an n-fold bulk-byte
+	// amplification of every stall, feeding the very congestion that
+	// caused the stall. The target rotates across retries, so a dead or
+	// unreachable peer only costs one resend period.
+	if target := e.ringRefetchTarget(); target != e.self {
+		c := e.env.Counters()
+		for k := e.decidedK + 1; k <= upto; k++ {
+			e.send(target, message{Type: mDecisionReq, Instance: k})
+			c.Retransmissions.Add(1)
+		}
+	}
+	e.ringResendArmed = true
+	e.env.SetTimer(engine.TimerResend, e.cfg.ResendEvery)
+}
+
+// ringRefetchTarget picks the next refetch recipient: the first
+// unsuspected peer after the previous target, or — when everyone is
+// suspected — the next peer regardless (suspicion can be wrong, and an
+// unanswered request only costs the next timer period). Returns self
+// only when there are no peers at all.
+func (e *Engine) ringRefetchTarget() types.ProcessID {
+	start := int(e.ringRetryTo) + 1
+	fallback := e.self
+	for i := 0; i < e.n; i++ {
+		p := types.ProcessID((start + i) % e.n)
+		if p == e.self {
+			continue
+		}
+		if fallback == e.self {
+			fallback = p
+		}
+		if !e.suspected[p] {
+			e.ringRetryTo = p
+			return p
+		}
+	}
+	e.ringRetryTo = fallback
+	return fallback
 }
 
 // kick is the idle/stall timer: re-forward own messages and retry
@@ -1365,6 +1593,10 @@ func (e *Engine) kick() {
 				e.pool[om.msg.ID] = om.msg
 			}
 			e.tryPropose()
+			// Ring backstop: a stalled open proposal means the relay died
+			// mid-ring before any suspicion fired — re-spread it along the
+			// current (possibly repaired) ring.
+			e.respreadOpen()
 		} else {
 			// Re-forward everything we still hold.
 			batch := e.allOwn(cur.k)
@@ -1393,11 +1625,22 @@ func (e *Engine) armKick() {
 // advancement runs when recovery finishes.
 func (e *Engine) Suspect(p types.ProcessID, suspected bool) {
 	e.suspected[p] = suspected
-	if !suspected || e.rec.Active() {
+	e.diss.Suspect(p, suspected)
+	if e.rec.Active() {
+		return
+	}
+	if !suspected {
+		// A cleared suspicion reshapes the ring too: re-spread open
+		// proposals so a successor that was wrongly skipped (and whose
+		// replacement may have been unreachable) still gets them.
+		e.respreadOpen()
 		return
 	}
 	e.advanceSuspected()
 	e.tryPropose()
+	// The ring just lost a link: immediately re-route open proposals
+	// around the suspected successor instead of waiting for the kick.
+	e.respreadOpen()
 	e.armKick()
 }
 

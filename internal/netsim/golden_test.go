@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"modab/internal/dissem"
 	"modab/internal/engine"
 	"modab/internal/types"
 )
@@ -41,6 +42,11 @@ type goldenScenario struct {
 	partition        bool
 	partA, partB     int
 	partFrom, partTo time.Duration
+	// ring runs the scenario with engine.DefaultConfig(n) plus
+	// Dissemination=Ring, pinning the successor-relay order (the
+	// ring-free scenarios run the zero config and stay on their original
+	// AllToAll fingerprints untouched).
+	ring bool
 }
 
 // goldenScenarios is the pinned scenario matrix: good runs at both group
@@ -54,6 +60,18 @@ var goldenScenarios = []goldenScenario{
 		restart: true, restartAt: 1200 * time.Millisecond},
 	{name: "partition/n=3", n: 3, seed: 13, load: 1200, size: 64, crash: -1,
 		partition: true, partA: 0, partB: 2, partFrom: 400 * time.Millisecond, partTo: 900 * time.Millisecond},
+	// Ring-dissemination matrix: good runs at two group sizes plus a cut
+	// ring edge (0→1 is p0's successor link), pinning the relay order so
+	// future refactors can't silently change it.
+	{name: "ring/n=3", n: 3, seed: 42, load: 1500, size: 128, crash: -1, ring: true},
+	{name: "ring/n=5", n: 5, seed: 9, load: 1800, size: 96, crash: -1, ring: true},
+	// The cut is the ring's first relay edge (p0→p1), so p1 hears no
+	// proposals at all until the heal; the load and cut length are sized
+	// so its decision gap stays inside the non-durable DecisionHorizon
+	// (the chaos ring-cut family covers longer cuts on durable clusters,
+	// where the log serves pruned decisions).
+	{name: "ring-partition/n=3", n: 3, seed: 13, load: 300, size: 64, crash: -1, ring: true,
+		partition: true, partA: 0, partB: 1, partFrom: 400 * time.Millisecond, partTo: 650 * time.Millisecond},
 }
 
 // goldenFingerprints maps scenario/stack to the recorded pre-pipelining
@@ -78,6 +96,15 @@ var goldenFingerprints = map[string]string{
 	"restart/n=3/monolithic":   "p0{del=2640 sent=3609 B=874135 disp=3973 cons=1799/1799} p1{del=2640 sent=1192 B=113780 disp=1834 cons=0/1799} p2{del=2640 sent=1821 B=286205 disp=2824 cons=0/1799} order=61acde73bb09578b",
 	"partition/n=3/modular":    "p0{del=1893 sent=4224 B=502976 disp=7010 cons=669/669} p1{del=1893 sent=3668 B=200708 disp=5627 cons=3/669} p2{del=1893 sent=2424 B=128716 disp=6277 cons=197/669} order=4701b1310b02188",
 	"partition/n=3/monolithic": "p0{del=900 sent=4251 B=430295 disp=4635 cons=762/762} p1{del=900 sent=1332 B=91390 disp=1678 cons=0/762} p2{del=900 sent=3742 B=205610 disp=3912 cons=0/762} order=d4ad21ea02127b49",
+	// Ring-dissemination fingerprints (recorded when the dissemination
+	// seam landed). Note the monolithic coordinator's send count halving
+	// versus its all-to-all golden — the relay offload at work.
+	"ring/n=3/modular":              "p0{del=2688 sent=4601 B=1129976 disp=7512 cons=689/689} p1{del=2688 sent=3910 B=340354 disp=6134 cons=1/689} p2{del=2688 sent=2377 B=279726 disp=6823 cons=1/689} order=3a390ad85a6764e8",
+	"ring/n=3/monolithic":           "p0{del=3000 sent=1753 B=523078 disp=4504 cons=1751/1751} p1{del=3000 sent=3503 B=696836 disp=2752 cons=0/1751} p2{del=3000 sent=1752 B=173784 disp=2752 cons=0/1751} order=288ca4b7ace98886",
+	"ring/n=5/modular":              "p0{del=2272 sent=5193 B=1328944 disp=6443 cons=417/417} p1{del=2272 sent=3942 B=286902 disp=4775 cons=1/417} p2{del=2272 sent=3942 B=286902 disp=4775 cons=1/417} p3{del=2272 sent=2273 B=243406 disp=5192 cons=1/417} p4{del=2272 sent=2078 B=218446 disp=5192 cons=1/417} order=7ab907290812dc0c",
+	"ring/n=5/monolithic":           "p0{del=3600 sent=1085 B=459464 disp=5047 cons=1081/1081} p1{del=3600 sent=2162 B=558429 disp=1802 cons=0/1081} p2{del=3600 sent=2163 B=558446 disp=1802 cons=0/1081} p3{del=3600 sent=2163 B=558446 disp=1802 cons=0/1081} p4{del=3600 sent=1082 B=99034 disp=1802 cons=0/1081} order=c96b408699c69e34",
+	"ring-partition/n=3/modular":    "p0{del=566 sent=2651 B=178888 disp=4679 cons=560/560} p1{del=566 sent=2219 B=83030 disp=3289 cons=491/560} p2{del=566 sent=1054 B=55216 disp=4079 cons=371/560} order=abda69b561df9d41",
+	"ring-partition/n=3/monolithic": "p0{del=535 sent=1595 B=87094 disp=1664 cons=526/526} p1{del=535 sent=1302 B=90089 disp=1202 cons=0/526} p2{del=535 sent=753 B=31761 disp=1319 cons=0/526} order=ffc69bbaa6a7739a",
 }
 
 // fingerprint runs the scenario and folds every process's delivery
@@ -136,7 +163,12 @@ func TestGoldenTraces(t *testing.T) {
 		for _, stk := range []types.Stack{types.Modular, types.Monolithic} {
 			sc, stk := sc, stk
 			t.Run(sc.name+"/"+stk.String(), func(t *testing.T) {
-				got := sc.fingerprint(t, stk, engine.Config{})
+				var cfg engine.Config // zero: netsim applies DefaultConfig(n)
+				if sc.ring {
+					cfg = engine.DefaultConfig(sc.n)
+					cfg.Dissemination = dissem.Ring
+				}
+				got := sc.fingerprint(t, stk, cfg)
 				key := sc.name + "/" + stk.String()
 				want, ok := goldenFingerprints[key]
 				if !ok {

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"modab/internal/dissem"
 	"modab/internal/engine"
 	"modab/internal/types"
 )
@@ -68,6 +69,9 @@ func TestPipelineDepthOneMatchesDefault(t *testing.T) {
 			sc, stk := sc, stk
 			t.Run(sc.name+"/"+stk.String(), func(t *testing.T) {
 				cfg := engine.DefaultConfig(sc.n)
+				if sc.ring {
+					cfg.Dissemination = dissem.Ring
+				}
 				cfg.PipelineDepth = 1
 				got := sc.fingerprint(t, stk, cfg)
 				if want := goldenFingerprints[sc.name+"/"+stk.String()]; got != want {

@@ -89,6 +89,30 @@ func UnmarshalBatch(r *Reader) Batch {
 	return b
 }
 
+// MaxBatchBytes is the hard byte budget for one consensus proposal: a
+// quarter of MaxChunk, leaving generous headroom for the frames that
+// embed a proposal inside further envelopes (relay wrapping, estimate
+// piggybacks) while guaranteeing no honestly-built proposal can ever
+// encode past a receiver's MaxChunk guard. Without this, an unbounded
+// pool — large payloads backing up behind a slow instance — would
+// produce a proposal the wire layer itself refuses to decode.
+const MaxBatchBytes = MaxChunk / 4
+
+// CapBatchBytes truncates b in place to the MaxBatchBytes encoding
+// budget, always keeping at least one message so a single oversized
+// payload still makes progress (a payload near MaxChunk is rejected at
+// submission, not here).
+func CapBatchBytes(b Batch) Batch {
+	size := 4
+	for i, m := range b {
+		size += m.WireSize()
+		if size > MaxBatchBytes && i > 0 {
+			return b[:i]
+		}
+	}
+	return b
+}
+
 // SortDeterministic orders the batch by (sender, seq) — the deterministic
 // adelivery order applied to a decided batch at every process (§3.3).
 func (b Batch) SortDeterministic() {

@@ -26,6 +26,12 @@ func FuzzUnmarshalFrame(f *testing.F) {
 	f.Add(wb.Bytes()[:len(wb.Bytes())/2]) // torn batch
 	f.Add([]byte{99, 0, 0})               // unknown kind
 	f.Add([]byte{})
+	// Relay-tagged frames: UnmarshalFrame must cleanly reject the ring
+	// wrapper (kind 7) — engines peel it with UnmarshalRelayFrame first.
+	var wr Writer
+	AppendRelayFrame(&wr, RelayHeader{Origin: 1, Seq: 1<<48 + 3, Hops: 2}, w.Bytes())
+	f.Add(append([]byte(nil), wr.Bytes()...))
+	f.Add(wr.Bytes()[:relayHeaderBytes]) // relay header with torn-off inner
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		b, err := UnmarshalFrame(data)

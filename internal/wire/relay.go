@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"modab/internal/types"
+)
+
+// FrameRelay tags a diffuse frame traveling along a ring (or any
+// successor-relay) dissemination topology instead of being broadcast by
+// its origin: a relay header — origin process, origin-assigned sequence
+// number, hop count — followed by exactly one ordinary diffuse frame
+// (FrameAppMsg or FrameBatch). The header is what lets every process
+// dedup-suppress a frame that laps the ring and decide whether to keep
+// relaying (see internal/dissem).
+const FrameRelay uint8 = 7
+
+// ErrBadRelay indicates a structurally invalid relay frame: wrong kind
+// tag, a nested relay frame, or an empty inner frame.
+var ErrBadRelay = errors.New("wire: bad relay frame")
+
+// RelayHeader identifies one relayed diffuse frame.
+type RelayHeader struct {
+	// Origin is the process that first spread the frame.
+	Origin types.ProcessID
+	// Seq is the origin-assigned dissemination sequence number,
+	// incarnation-tagged in its high 16 bits exactly like the modular
+	// rbcast's broadcast numbering, so a restarted origin's fresh
+	// numbering is never mistaken for duplicates of its pre-crash
+	// traffic.
+	Seq uint64
+	// Hops counts relay transmissions so far (0 at the origin); relayers
+	// stop forwarding once Hops reaches the group size, bounding any
+	// frame's lifetime even under membership disagreement.
+	Hops uint8
+}
+
+// relayHeaderBytes is the encoded header size: kind + origin + seq + hops.
+const relayHeaderBytes = 1 + 4 + 8 + 1
+
+// AppendRelayFrame appends a relay frame to w: the kind tag, the header,
+// then the inner diffuse frame verbatim. The inner frame must itself be
+// a non-relay diffuse frame; nesting is a protocol error.
+func AppendRelayFrame(w *Writer, h RelayHeader, inner []byte) {
+	w.Uint8(FrameRelay)
+	w.Int32(int32(h.Origin))
+	w.Uint64(h.Seq)
+	w.Uint8(h.Hops)
+	w.Raw(inner)
+}
+
+// UnmarshalRelayFrame decodes a relay frame into its header and the
+// inner diffuse frame bytes (aliasing data, not copied). The inner frame
+// is validated only for non-emptiness and non-nesting; callers decode it
+// with UnmarshalFrame.
+func UnmarshalRelayFrame(data []byte) (RelayHeader, []byte, error) {
+	r := NewReader(data)
+	kind := r.Uint8()
+	var h RelayHeader
+	h.Origin = types.ProcessID(r.Int32())
+	h.Seq = r.Uint64()
+	h.Hops = r.Uint8()
+	inner := r.Rest()
+	if err := r.Err(); err != nil {
+		return RelayHeader{}, nil, err
+	}
+	if kind != FrameRelay {
+		return RelayHeader{}, nil, fmt.Errorf("%w: kind %d", ErrBadRelay, kind)
+	}
+	if len(inner) == 0 {
+		return RelayHeader{}, nil, fmt.Errorf("%w: empty inner frame", ErrBadRelay)
+	}
+	if FrameKind(inner) == FrameRelay {
+		return RelayHeader{}, nil, fmt.Errorf("%w: nested relay", ErrBadRelay)
+	}
+	return h, inner, nil
+}

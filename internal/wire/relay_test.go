@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"modab/internal/types"
+)
+
+// TestRelayFrameRoundTrip pins marshal∘unmarshal = id for the relay
+// header over representative corner values, with both inner frame kinds.
+func TestRelayFrameRoundTrip(t *testing.T) {
+	var inner Writer
+	AppendBatchFrame(&inner, Batch{
+		{ID: types.MsgID{Sender: 2, Seq: 5}, Body: []byte("relayed")},
+	})
+	headers := []RelayHeader{
+		{Origin: 0, Seq: 1, Hops: 0},
+		{Origin: 15, Seq: 1<<48 + 42, Hops: 3}, // incarnation-tagged seq
+		{Origin: 3, Seq: ^uint64(0), Hops: 255},
+	}
+	for _, h := range headers {
+		var w Writer
+		AppendRelayFrame(&w, h, inner.Bytes())
+		if FrameKind(w.Bytes()) != FrameRelay {
+			t.Fatalf("relay frame kind = %d, want %d", FrameKind(w.Bytes()), FrameRelay)
+		}
+		gh, gi, err := UnmarshalRelayFrame(w.Bytes())
+		if err != nil {
+			t.Fatalf("UnmarshalRelayFrame(%+v): %v", h, err)
+		}
+		if gh != h {
+			t.Fatalf("header round-trip changed %+v into %+v", h, gh)
+		}
+		if !bytes.Equal(gi, inner.Bytes()) {
+			t.Fatalf("inner frame round-trip changed bytes for %+v", h)
+		}
+		// The inner frame decodes with the ordinary diffuse decoder.
+		b, err := UnmarshalFrame(gi)
+		if err != nil || len(b) != 1 || !bytes.Equal(b[0].Body, []byte("relayed")) {
+			t.Fatalf("inner frame decode = %v, %v", b, err)
+		}
+	}
+}
+
+// TestUnmarshalRelayFrameRejects covers the structural error paths:
+// truncation, wrong kind, empty inner frame, nested relay.
+func TestUnmarshalRelayFrameRejects(t *testing.T) {
+	var inner Writer
+	AppendMsgFrame(&inner, AppMsg{ID: types.MsgID{Sender: 1, Seq: 1}, Body: []byte("x")})
+	var good Writer
+	AppendRelayFrame(&good, RelayHeader{Origin: 1, Seq: 1}, inner.Bytes())
+
+	for i := 0; i < relayHeaderBytes; i++ {
+		if _, _, err := UnmarshalRelayFrame(good.Bytes()[:i]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", i)
+		}
+	}
+	// The full header with no inner frame is rejected too.
+	if _, _, err := UnmarshalRelayFrame(good.Bytes()[:relayHeaderBytes]); !errors.Is(err, ErrBadRelay) {
+		t.Fatalf("empty inner frame: %v, want ErrBadRelay", err)
+	}
+	wrong := append([]byte(nil), good.Bytes()...)
+	wrong[0] = FrameBatch
+	if _, _, err := UnmarshalRelayFrame(wrong); !errors.Is(err, ErrBadRelay) {
+		t.Fatalf("wrong kind: %v, want ErrBadRelay", err)
+	}
+	var nested Writer
+	AppendRelayFrame(&nested, RelayHeader{Origin: 2, Seq: 2}, good.Bytes())
+	if _, _, err := UnmarshalRelayFrame(nested.Bytes()); !errors.Is(err, ErrBadRelay) {
+		t.Fatalf("nested relay: %v, want ErrBadRelay", err)
+	}
+	// The plain diffuse decoder refuses relay frames outright (engines
+	// route them by kind before ever calling UnmarshalFrame).
+	if _, err := UnmarshalFrame(good.Bytes()); err == nil {
+		t.Fatal("UnmarshalFrame accepted a relay frame")
+	}
+}
+
+// FuzzRelayFrame fuzzes the relay decoder: it must never panic, and any
+// frame it accepts must re-encode to identical header and inner bytes.
+func FuzzRelayFrame(f *testing.F) {
+	var inner Writer
+	AppendMsgFrame(&inner, AppMsg{ID: types.MsgID{Sender: 1, Seq: 7}, Body: []byte("hello")})
+	var w Writer
+	AppendRelayFrame(&w, RelayHeader{Origin: 2, Seq: 1<<48 + 9, Hops: 1}, inner.Bytes())
+	f.Add(append([]byte(nil), w.Bytes()...))
+	f.Add(w.Bytes()[:len(w.Bytes())-3]) // torn inner frame
+	f.Add(w.Bytes()[:relayHeaderBytes]) // header only
+	f.Add([]byte{FrameRelay})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, in, err := UnmarshalRelayFrame(data)
+		if err != nil {
+			return
+		}
+		var rw Writer
+		AppendRelayFrame(&rw, h, in)
+		rh, rin, rerr := UnmarshalRelayFrame(rw.Bytes())
+		if rerr != nil {
+			t.Fatalf("re-encoded relay frame rejected: %v", rerr)
+		}
+		if rh != h || !bytes.Equal(rin, in) {
+			t.Fatalf("round-trip changed relay frame: %+v/%x != %+v/%x", rh, rin, h, in)
+		}
+	})
+}

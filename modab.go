@@ -83,6 +83,7 @@ import (
 
 	"modab/internal/batch"
 	"modab/internal/core"
+	"modab/internal/dissem"
 	"modab/internal/engine"
 	"modab/internal/netsim"
 	"modab/internal/rsm"
@@ -147,6 +148,9 @@ type (
 	Applier = rsm.Applier
 	// KV is the built-in replicated key/value state machine (NewKV).
 	KV = rsm.KV
+	// Dissemination selects how payload frames reach the group (see
+	// WithDissemination): DissemAllToAll or DissemRing.
+	Dissemination = dissem.Strategy
 )
 
 // Stack values.
@@ -157,6 +161,23 @@ const (
 	// Monolithic merges them into a single optimized module (paper §4).
 	Monolithic = types.Monolithic
 )
+
+// Dissemination values.
+const (
+	// DissemAllToAll has every origin broadcast its payload frames to all
+	// n-1 peers itself — the paper's behavior and the default.
+	DissemAllToAll = dissem.AllToAll
+	// DissemRing relays payload frames along a deterministic successor
+	// ring: the origin transmits each frame once, turning its O(n) egress
+	// into O(1) (the coordinator-NIC bottleneck fix).
+	DissemRing = dissem.Ring
+)
+
+// ParseDissemination maps the command-line spelling of a dissemination
+// strategy ("all-to-all" or "ring") to its value.
+func ParseDissemination(name string) (Dissemination, error) {
+	return dissem.ParseStrategy(name)
+}
 
 // Write-ahead-log fsync policies (see WithDurability).
 const (
@@ -255,6 +276,7 @@ type settings struct {
 	onDeliver    func(Event)
 	batch        *BatchConfig
 	pipeline     int
+	dissem       *Dissemination
 	dur          *core.DurabilityOptions
 	sm           func() rsm.StateMachine
 	snapEvery    uint64
@@ -318,6 +340,32 @@ func WithPipelining(depth int) Option {
 			return fmt.Errorf("%w: WithPipelining requires depth >= 1", types.ErrBadConfig)
 		}
 		s.pipeline = depth
+		return nil
+	}
+}
+
+// WithDissemination selects how payload frames reach the group on either
+// stack. DissemAllToAll (the default) is the paper's behavior: every
+// origin broadcasts its diffusion frames to all n-1 peers itself, so the
+// round coordinator's NIC carries O(n) copies of every proposal.
+// DissemRing relays payloads along a deterministic successor ring derived
+// from the membership list instead: the origin transmits each frame
+// exactly once, every process forwards it to its first live successor,
+// and a dedup watermark kills laps — the origin's egress becomes O(1) in
+// n while consensus control traffic (proposals' votes, estimates, acks,
+// decisions, recovery) stays all-to-all and the ordering black box is
+// untouched. The ring repairs itself around suspected processes
+// (failure-detector-driven skip plus re-spread of still-undecided
+// payloads), so fault tolerance is unchanged. Observability: per-process
+// egress bytes appear in Counters.PayloadBytesSent and the cmd/abbench
+// -fig ring table. It composes with WithConfig regardless of option
+// order.
+func WithDissemination(strategy Dissemination) Option {
+	return func(s *settings) error {
+		if err := strategy.Validate(); err != nil {
+			return fmt.Errorf("%w: WithDissemination(%d)", err, strategy)
+		}
+		s.dissem = &strategy
 		return nil
 	}
 }
@@ -505,10 +553,10 @@ func New(n int, stack Stack, opts ...Option) (*Cluster, error) {
 	if s.dur != nil && !s.sim && s.dur.Dir == "" {
 		return nil, fmt.Errorf("%w: WithDurability requires a directory on the real-time drivers", types.ErrBadConfig)
 	}
-	if s.batch != nil || s.pipeline > 0 {
-		// Materialize the defaults first so the batching/pipelining fields
-		// survive the drivers' zero-config check, then overlay them on
-		// whatever WithConfig supplied.
+	if s.batch != nil || s.pipeline > 0 || s.dissem != nil {
+		// Materialize the defaults first so the batching/pipelining/
+		// dissemination fields survive the drivers' zero-config check, then
+		// overlay them on whatever WithConfig supplied.
 		if s.engineCfg.N == 0 {
 			s.engineCfg = engine.DefaultConfig(n)
 		}
@@ -517,6 +565,9 @@ func New(n int, stack Stack, opts ...Option) (*Cluster, error) {
 		}
 		if s.pipeline > 0 {
 			s.engineCfg.PipelineDepth = s.pipeline
+		}
+		if s.dissem != nil {
+			s.engineCfg.Dissemination = *s.dissem
 		}
 	}
 	c := &Cluster{n: n, stack: stack, start: time.Now(), durable: s.dur != nil, onDeliver: s.onDeliver}
