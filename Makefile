@@ -10,13 +10,14 @@ build:
 test:
 	$(GO) test ./...
 
-# The runtime, stream, wal, recovery, rsm and fd packages carry the
+# The runtime, stream, wal, recovery, rsm, fd and obs packages carry the
 # concurrency-sensitive code (event loop, delivery streams, flow-control
 # wakeups, background WAL fsync, restart paths, applier/snapshot-store
-# locking, heartbeat suspicion reporting); the root package exercises the
-# facade across all three drivers.
+# locking, heartbeat suspicion reporting, lock-free histograms scraped
+# mid-run); the root package exercises the facade across all three
+# drivers.
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/stream/... ./internal/core/... ./internal/wal/... ./internal/recovery/... ./internal/rsm/... ./internal/transport/... ./internal/fd/... .
+	$(GO) test -race ./internal/runtime/... ./internal/stream/... ./internal/core/... ./internal/wal/... ./internal/recovery/... ./internal/rsm/... ./internal/transport/... ./internal/fd/... ./internal/obs/... .
 
 # Chaos soak: the fixed-seed short sweep of the fault-injection harness
 # (five scenario families plus randomized schedules, both stacks, every
@@ -38,13 +39,15 @@ fuzz-smoke:
 
 # Benchmark smoke: compile and run every benchmark for exactly one
 # iteration, plus one repetition each of the abbench pipeline, KV and
-# ring figures on the simulator, so benchmark code can no longer rot
-# silently (it is not compiled by plain `go test`).
+# ring figures and one lifecycle-trace dump on the simulator, so
+# benchmark and observability code can no longer rot silently (it is
+# not compiled by plain `go test`).
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/abbench -fig pipeline -reps 1 -warmup 500ms -measure 1s
 	$(GO) run ./cmd/abbench -fig kv -reps 1 -warmup 500ms -measure 1s
 	$(GO) run ./cmd/abbench -fig ring -reps 1 -warmup 500ms -measure 1s
+	$(GO) run ./cmd/abbench -trace-sample 64
 
 # Documentation gate: gofmt-clean tree, documented exported symbols in
 # modab.go, package comments on every internal package, no broken local

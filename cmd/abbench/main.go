@@ -44,8 +44,13 @@
 // group sizes with large payloads at saturating load on the metro model,
 // with per-process egress-bytes columns — the coordinator-NIC bottleneck
 // experiment. -dissem ring retargets the standard figures instead.
+// -trace-sample k dumps the observability layer's sampled message
+// lifecycle timelines instead of a figure: a short run of each stack with
+// 1-in-k tracing, printing each sampled message's stage history
+// (accept → seal → propose → decide → adeliver → apply) in virtual time —
+// deterministic for a given -seed.
 // -json additionally writes every
-// produced figure as a machine-readable report (schema modab-bench/v2)
+// produced figure as a machine-readable report (schema modab-bench/v3)
 // for performance trajectory tracking.
 package main
 
@@ -81,6 +86,7 @@ func run() error {
 		pipeline   = flag.Int("pipeline", 0, "consensus pipeline window W for the standard figures (0/1 = sequential)")
 		dissemArg  = flag.String("dissem", "", `payload dissemination for the standard figures: "all-to-all" (default) or "ring"`)
 		jsonPath   = flag.String("json", "", "also write the produced figures as a machine-readable report to this path")
+		traceK     = flag.Uint64("trace-sample", 0, "dump sampled message lifecycle timelines (1 in k messages) from a short run of each stack and exit; k=1 traces everything")
 	)
 	flag.Parse()
 
@@ -104,6 +110,16 @@ func run() error {
 	}
 	if err := opts.Batch.Validate(); err != nil {
 		return err
+	}
+	if *traceK > 0 {
+		for _, stk := range benchharness.Stacks {
+			ts, err := benchharness.RunTraceSample(stk, *traceK, opts)
+			if err != nil {
+				return fmt.Errorf("trace sample (%s): %w", stk, err)
+			}
+			benchharness.RenderTraceSample(os.Stdout, ts)
+		}
+		return nil
 	}
 	type gen func(benchharness.RunOptions) (benchharness.Figure, error)
 	figures := map[string]gen{

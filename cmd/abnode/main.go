@@ -32,6 +32,12 @@
 // restart the file accumulates both incarnations' streams, which is how
 // the integration tests verify the recovered total order.
 //
+// With -metrics the process serves its live observability surface over
+// HTTP: Prometheus text format at /metrics (every counter plus latency
+// histograms for adeliver, apply, fsync, recovery and snapshot install),
+// expvar at /debug/vars, and net/http/pprof under /debug/pprof/. Use
+// ":0" to pick a free port; the bound address is printed at startup.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: injection stops, the WAL is
 // flushed, the transport closes, and the delivery stream drains before
 // the summary prints.
@@ -42,6 +48,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -51,7 +58,9 @@ import (
 	"time"
 
 	"modab"
+	"modab/internal/obs"
 	"modab/internal/stats"
+	"modab/internal/trace"
 )
 
 func main() {
@@ -84,6 +93,8 @@ func run() error {
 
 		kvAddr    = flag.String("kv", "", "serve the replicated key/value store over HTTP at this address (usually with -rate 0)")
 		snapEvery = flag.Uint64("snapshot-every", 64, "with -kv: snapshot the state machine every N consensus instances (0 = never)")
+
+		metricsAddr = flag.String("metrics", "", `serve live metrics at this address: Prometheus /metrics, expvar /debug/vars, net/http/pprof (":0" picks a free port; the bound address is printed)`)
 	)
 	flag.Parse()
 
@@ -140,6 +151,9 @@ func run() error {
 		}
 		opts = append(opts, modab.WithDurability(*walDir, policy))
 	}
+	if *metricsAddr != "" {
+		opts = append(opts, modab.WithObservability(0))
+	}
 	var kvLocal *modab.KV
 	if *kvAddr != "" {
 		opts = append(opts, modab.WithStateMachine(func() modab.StateMachine {
@@ -173,6 +187,19 @@ func run() error {
 		}
 		kvSrv = srv
 		fmt.Printf("%s serving KV over HTTP at %s\n", self, *kvAddr)
+	}
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			_ = cluster.Close()
+			return fmt.Errorf("metrics listen: %w", err)
+		}
+		metricsSrv = &http.Server{Handler: obs.NewHTTPHandler(
+			func() trace.Snapshot { return cluster.Counters(*id) },
+			cluster.Obs(*id))}
+		go func() { _ = metricsSrv.Serve(ln) }()
+		fmt.Printf("%s serving metrics at http://%s/metrics\n", self, ln.Addr())
 	}
 
 	// Graceful shutdown on SIGINT/SIGTERM: stop injecting, flush the WAL
@@ -281,6 +308,9 @@ func run() error {
 	// consumer drains what is buffered, then the audit trail flushes.
 	if kvSrv != nil {
 		_ = kvSrv.Close()
+	}
+	if metricsSrv != nil {
+		_ = metricsSrv.Close()
 	}
 	closeErr := cluster.Close()
 	consumerWG.Wait()

@@ -9,6 +9,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -335,6 +336,140 @@ func TestAbnodeKVHTTP(t *testing.T) {
 	}
 	if code, _ := req(http.MethodDelete, kvAddrs[1], "color", "", nil); code != http.StatusNotFound {
 		t.Fatalf("delete missing = %d, want 404", code)
+	}
+}
+
+// lockedBuf is a concurrency-safe output sink: the metrics test reads a
+// node's stdout while the process is still writing to it.
+type lockedBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *lockedBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestAbnodeMetricsHTTP runs a loaded three-process group with the
+// observability endpoint enabled on one node and scrapes it mid-load:
+// Prometheus /metrics (counters and latency histograms, with deliveries
+// actually counted), expvar /debug/vars, and a one-second CPU profile
+// from /debug/pprof/profile.
+func TestAbnodeMetricsHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	bin := buildAbnode(t)
+	addrs := freePorts(t, 3)
+	peers := strings.Join(addrs, ",")
+
+	outs := make([]*lockedBuf, 3)
+	procs := make([]*exec.Cmd, 3)
+	for i := 0; i < 3; i++ {
+		args := []string{
+			"-id", fmt.Sprint(i),
+			"-peers", peers,
+			"-stack", "monolithic",
+			"-rate", "150",
+			"-size", "64",
+			"-dur", "15s",
+			"-quiet",
+		}
+		if i == 0 {
+			args = append(args, "-metrics", "127.0.0.1:0")
+		}
+		outs[i] = &lockedBuf{}
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = outs[i]
+		cmd.Stderr = outs[i]
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start abnode %d: %v", i, err)
+		}
+		procs[i] = cmd
+		defer func() { _ = cmd.Process.Signal(syscall.SIGTERM); _ = cmd.Wait() }()
+	}
+
+	// The bound metrics address is printed at startup:
+	// "p0 serving metrics at http://ADDR/metrics".
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics address never printed:\n%s", outs[0].String())
+		}
+		out := outs[0].String()
+		if i := strings.Index(out, "http://"); i >= 0 {
+			rest := out[i+len("http://"):]
+			if j := strings.Index(rest, "/metrics"); j >= 0 {
+				base = "http://" + rest[:j]
+			}
+		}
+		if base == "" {
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+
+	client := &http.Client{Timeout: 15 * time.Second}
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := client.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(data)
+	}
+
+	// Scrape /metrics until the group has ordered traffic: the adeliver
+	// counter and the deliver-latency histogram must both be live.
+	deadline = time.Now().Add(12 * time.Second)
+	for {
+		code, body := get("/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("GET /metrics = %d", code)
+		}
+		for _, want := range []string{
+			"# TYPE modab_a_deliver counter",
+			"modab_deliver_latency_seconds_bucket",
+			"modab_deliver_latency_seconds_count",
+			"modab_trace_sample_every",
+		} {
+			if !strings.Contains(body, want) {
+				t.Fatalf("/metrics lacks %q:\n%s", want, body)
+			}
+		}
+		var adeliver int64
+		for _, line := range strings.Split(body, "\n") {
+			if _, err := fmt.Sscanf(line, "modab_a_deliver %d", &adeliver); err == nil {
+				break
+			}
+		}
+		if adeliver > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("modab_a_deliver never went positive under load:\n%s", body)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	if code, body := get("/debug/vars"); code != http.StatusOK ||
+		!strings.Contains(body, `"modab"`) || !strings.Contains(body, "counters") {
+		t.Fatalf("GET /debug/vars = %d, want modab counters var:\n%s", code, body)
+	}
+
+	// One-second CPU profile while the group is still ordering load.
+	if code, body := get("/debug/pprof/profile?seconds=1"); code != http.StatusOK || len(body) == 0 {
+		t.Fatalf("GET /debug/pprof/profile = (%d, %d bytes)", code, len(body))
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 	"modab/internal/dissem"
 	"modab/internal/engine"
 	"modab/internal/flow"
+	"modab/internal/obs"
 	"modab/internal/recovery"
 	"modab/internal/stack"
 	"modab/internal/types"
@@ -272,6 +273,7 @@ func (l *Layer) Abcast(body []byte) (types.MsgID, error) {
 	c := l.ctx.Env().Counters()
 	c.ABCast.Add(1)
 	c.Dispatches.Add(1) // application downcall into the stack
+	l.cfg.Obs.Submitted(id, l.ctx.Env().Now())
 	if l.acc == nil {
 		if l.cfg.Persist != nil {
 			// Write-ahead of the first diffusion: nothing reaches the wire
@@ -280,6 +282,8 @@ func (l *Layer) Abcast(body []byte) (types.MsgID, error) {
 		}
 		l.pending[id] = pendingMsg{msg: msg, epoch: l.nextDecide}
 		l.snapClean = false
+		// Unbatched: the message is its own sealed batch.
+		l.cfg.Obs.Stage(id, obs.StageSeal, l.ctx.Env().Now())
 		l.diffuseOne(msg)
 		l.maybeStartConsensus()
 		l.armKick()
@@ -312,6 +316,12 @@ func (l *Layer) ingestBatch(b wire.Batch) {
 	c := l.ctx.Env().Counters()
 	c.SenderBatches.Add(1)
 	c.SenderBatchedMsgs.Add(int64(len(b)))
+	if o := l.cfg.Obs; o != nil {
+		now := l.ctx.Env().Now()
+		for _, m := range b {
+			o.Stage(m.ID, obs.StageSeal, now)
+		}
+	}
 	for _, m := range b {
 		l.pending[m.ID] = pendingMsg{msg: m, epoch: l.nextDecide}
 	}
@@ -511,6 +521,7 @@ func (l *Layer) handleRecoverResp(from types.ProcessID, resp wire.RecoverResp) {
 	l.rec.Observe(from, resp.UpTo)
 	if dur, done := l.rec.MaybeFinish(l.nextDecide, l.ctx.Env().Now()); done {
 		c.RecoveryNanos.Add(dur.Nanoseconds())
+		l.cfg.Obs.RecoveryObserved(dur)
 		l.ctx.CancelTimer(timerRecover)
 		l.finishRecovery()
 		return
@@ -620,8 +631,10 @@ func (l *Layer) handleSnapResp(from types.ProcessID, resp wire.SnapResp) {
 	c := l.ctx.Env().Counters()
 	c.SnapshotInstalls.Add(1)
 	c.SnapshotInstallNanos.Add(took.Nanoseconds())
+	l.cfg.Obs.InstallObserved(took)
 	if dur, done := l.rec.MaybeFinish(l.nextDecide, l.ctx.Env().Now()); done {
 		c.RecoveryNanos.Add(dur.Nanoseconds())
+		l.cfg.Obs.RecoveryObserved(dur)
 		l.ctx.CancelTimer(timerRecover)
 		l.finishRecovery()
 		return
@@ -714,6 +727,11 @@ func (l *Layer) maybeStartConsensus() {
 		l.inflight[k] = ids
 		l.lastProgress = l.ctx.Env().Now()
 		l.ctx.Env().Counters().ObserveDepth(len(l.inflight))
+		if o := l.cfg.Obs; o != nil {
+			for _, m := range batch {
+				o.Stage(m.ID, obs.StagePropose, l.lastProgress)
+			}
+		}
 		l.ctx.Emit(stack.TagConsensus, stack.Event{
 			Kind:     stack.EvProposeReq,
 			Instance: k,
@@ -802,6 +820,10 @@ func (l *Layer) processDecision(k uint64, batch wire.Batch) {
 		}
 		l.markDelivered(m.ID)
 		c.ADeliver.Add(1)
+		if o := l.cfg.Obs; o != nil {
+			o.Stage(m.ID, obs.StageDecide, l.lastProgress)
+			o.Delivered(m.ID, l.lastProgress)
+		}
 		l.ctx.Env().Deliver(engine.Delivery{Msg: m, Instance: k})
 		if err := l.fc.Delivered(m.ID); err != nil {
 			// Duplicate releases indicate a protocol bug; surface loudly

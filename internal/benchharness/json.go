@@ -10,8 +10,11 @@ import (
 // ReportSchema versions the machine-readable benchmark output; bump it on
 // breaking shape changes so trajectory tooling can dispatch. v2 adds the
 // ring figure (dissemination topology sweep) and the dissemination run
-// option.
-const ReportSchema = "modab-bench/v2"
+// option; v3 adds the histogram-backed adeliver-latency percentile
+// columns (LatencyP50Ms/LatencyP99Ms on the pipeline and ring points,
+// DeliverP50Ms/DeliverP99Ms on the KV points) sourced from the
+// observability layer's log₂ latency histograms.
+const ReportSchema = "modab-bench/v3"
 
 // Report is the machine-readable form of one abbench run: every figure's
 // points plus the recovery sweep, under a versioned schema — the input of

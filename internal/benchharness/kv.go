@@ -7,6 +7,7 @@ import (
 
 	"modab/internal/engine"
 	"modab/internal/netsim"
+	"modab/internal/obs"
 	"modab/internal/rsm"
 	"modab/internal/stats"
 	"modab/internal/types"
@@ -28,6 +29,12 @@ type KVPoint struct {
 	ApplyMeanMs float64 // mean submit→applied at the submitter, virtual ms
 	ApplyP99Ms  float64 // p99 submit→applied, virtual ms
 	ApplyCI     float64 // 95% CI half-width of the mean across repetitions
+	// DeliverP50Ms/DeliverP99Ms are the submit→adeliver percentiles from
+	// the observability histograms over the measurement window (log₂
+	// bucket upper bounds — the histogram-backed counterpart of the exact
+	// series percentiles above).
+	DeliverP50Ms float64
+	DeliverP99Ms float64
 
 	SnapshotsTaken int64 // per run, at one process
 	WalTruncated   int64 // WAL segments truncated per run, at one process
@@ -49,6 +56,7 @@ func RunKVPoint(n int, stk types.Stack, load float64, opts RunOptions) (KVPoint,
 	opts = opts.withDefaults()
 	var ops, mean, p99 stats.Welford
 	var snaps, truncated int64
+	var hist obs.HistSnapshot
 	for rep := 0; rep < opts.Repetitions; rep++ {
 		windowStart, windowEnd := opts.Warmup, opts.Warmup+opts.Measure
 
@@ -84,6 +92,13 @@ func RunKVPoint(n int, stk types.Stack, load float64, opts RunOptions) (KVPoint,
 				t0[id] = at
 			}
 		})
+		// Drop warm-up samples from the deliver histograms so the
+		// percentile columns cover the same window as the series above.
+		c.At(windowStart, func() {
+			for p := 0; p < n; p++ {
+				c.Obs(types.ProcessID(p)).Deliver.Reset()
+			}
+		})
 		c.Run(windowEnd + time.Second)
 		c.RunIdle(10 * time.Second)
 		if errs := c.Errs(); len(errs) > 0 {
@@ -96,6 +111,9 @@ func RunKVPoint(n int, stk types.Stack, load float64, opts RunOptions) (KVPoint,
 		cnt := c.Counters(0)
 		snaps += cnt.SnapshotsTaken
 		truncated += cnt.WalTruncatedSegments
+		for p := 0; p < n; p++ {
+			hist = hist.Merge(c.Obs(types.ProcessID(p)).Deliver.Snapshot())
+		}
 	}
 	reps := int64(opts.Repetitions)
 	return KVPoint{
@@ -107,6 +125,8 @@ func RunKVPoint(n int, stk types.Stack, load float64, opts RunOptions) (KVPoint,
 		ApplyMeanMs:    mean.Mean(),
 		ApplyP99Ms:     p99.Mean(),
 		ApplyCI:        mean.CI95(),
+		DeliverP50Ms:   histMs(hist.P50()),
+		DeliverP99Ms:   histMs(hist.P99()),
 		SnapshotsTaken: snaps / reps,
 		WalTruncated:   truncated / reps,
 	}, nil
@@ -175,12 +195,12 @@ func FigKV(opts RunOptions) (KVFigure, error) {
 // RenderKV writes the KV figure as an aligned text table.
 func RenderKV(w io.Writer, fig KVFigure) {
 	fmt.Fprintf(w, "kv — %s\n", fig.Title)
-	fmt.Fprintf(w, "%-6s %-11s %12s %10s %12s %12s %10s %10s %10s\n",
-		"group", "stack", "ops/s", "±95%CI", "apply(ms)", "p99(ms)", "±95%CI", "snapshots", "trunc-seg")
+	fmt.Fprintf(w, "%-6s %-11s %12s %10s %12s %12s %10s %9s %9s %10s %10s\n",
+		"group", "stack", "ops/s", "±95%CI", "apply(ms)", "p99(ms)", "±95%CI", "h-p50(ms)", "h-p99(ms)", "snapshots", "trunc-seg")
 	for _, p := range fig.Points {
-		fmt.Fprintf(w, "%-6d %-11s %12.1f %10.1f %12.3f %12.3f %10.3f %10d %10d\n",
+		fmt.Fprintf(w, "%-6d %-11s %12.1f %10.1f %12.3f %12.3f %10.3f %9.3f %9.3f %10d %10d\n",
 			p.N, p.Stack, p.OpsPerSec, p.OpsCI, p.ApplyMeanMs, p.ApplyP99Ms, p.ApplyCI,
-			p.SnapshotsTaken, p.WalTruncated)
+			p.DeliverP50Ms, p.DeliverP99Ms, p.SnapshotsTaken, p.WalTruncated)
 	}
 	fmt.Fprintln(w)
 }

@@ -7,6 +7,7 @@ import (
 
 	"modab/internal/engine"
 	"modab/internal/netsim"
+	"modab/internal/obs"
 	"modab/internal/stats"
 	"modab/internal/types"
 )
@@ -26,6 +27,8 @@ type PipelinePoint struct {
 	ThroughCI     float64 // 95% CI half-width across repetitions
 	LatencyMs     float64 // mean adeliver (early) latency, ms
 	LatencyCI     float64
+	LatencyP50Ms  float64 // p50 submit→adeliver over the window (obs histograms)
+	LatencyP99Ms  float64 // p99 submit→adeliver over the window
 	M             float64 // avg messages ordered per consensus
 	DepthObserved int64   // high-water mark of concurrent instances
 	AvgDepth      float64 // mean in-flight instances per proposal
@@ -63,6 +66,7 @@ func RunPipelinePoint(n int, stk types.Stack, depth int, opts RunOptions) (Pipel
 	}
 	var thr, lat, avgM, avgDepth, util stats.Welford
 	var depthObserved int64
+	var hist obs.HistSnapshot
 	for rep := 0; rep < opts.Repetitions; rep++ {
 		lc, err := netsim.NewLoadedCluster(
 			netsim.Options{N: n, Stack: stk, Engine: engCfg, Seed: opts.Seed + int64(rep), Model: model},
@@ -78,6 +82,7 @@ func RunPipelinePoint(n int, stk types.Stack, depth int, opts RunOptions) (Pipel
 		tot := lc.TotalCounters()
 		thr.Add(lc.Recorder.Throughput())
 		lat.Add(lc.Recorder.MeanLatency() * 1e3)
+		hist = hist.Merge(lc.DeliverHistogram())
 		avgM.Add(tot.AvgBatch())
 		avgDepth.Add(tot.AvgPipelineDepth())
 		if tot.PipelineDepthObserved > depthObserved {
@@ -101,6 +106,8 @@ func RunPipelinePoint(n int, stk types.Stack, depth int, opts RunOptions) (Pipel
 		ThroughCI:     thr.CI95(),
 		LatencyMs:     lat.Mean(),
 		LatencyCI:     lat.CI95(),
+		LatencyP50Ms:  histMs(hist.P50()),
+		LatencyP99Ms:  histMs(hist.P99()),
 		M:             avgM.Mean(),
 		DepthObserved: depthObserved,
 		AvgDepth:      avgDepth.Mean(),
@@ -136,16 +143,21 @@ func FigPipeline(opts RunOptions) (PipelineFigure, error) {
 
 // RenderPipeline writes the pipeline figure as an aligned text table.
 // depthSeen/avgDepth report what the window actually did (a sequential
-// run pins both at 1); the latency column is the mean adeliver latency of
-// the early delivery.
+// run pins both at 1); the latency columns are the mean adeliver latency
+// of the early delivery plus the p50/p99 of the submit→adeliver
+// distribution from the observability histograms (log₂ bucket upper
+// bounds, so they quantize coarser than the mean).
 func RenderPipeline(w io.Writer, fig PipelineFigure) {
 	fmt.Fprintf(w, "pipeline — %s\n", fig.Title)
-	fmt.Fprintf(w, "%-6s %-11s %3s %14s %12s %10s %10s %7s %9s %9s %6s\n",
-		"group", "stack", "W", "thr(msg/s)", "±95%CI", "lat(ms)", "±95%CI", "M", "depthSeen", "avgDepth", "util")
+	fmt.Fprintf(w, "%-6s %-11s %3s %14s %12s %10s %10s %8s %8s %7s %9s %9s %6s\n",
+		"group", "stack", "W", "thr(msg/s)", "±95%CI", "lat(ms)", "±95%CI", "p50(ms)", "p99(ms)", "M", "depthSeen", "avgDepth", "util")
 	for _, p := range fig.Points {
-		fmt.Fprintf(w, "%-6d %-11s %3d %14.1f %12.1f %10.3f %10.3f %7.2f %9d %9.2f %6.2f\n",
+		fmt.Fprintf(w, "%-6d %-11s %3d %14.1f %12.1f %10.3f %10.3f %8.3f %8.3f %7.2f %9d %9.2f %6.2f\n",
 			p.N, p.Stack, p.Depth, p.Throughput, p.ThroughCI, p.LatencyMs, p.LatencyCI,
-			p.M, p.DepthObserved, p.AvgDepth, p.Utilization)
+			p.LatencyP50Ms, p.LatencyP99Ms, p.M, p.DepthObserved, p.AvgDepth, p.Utilization)
 	}
 	fmt.Fprintln(w)
 }
+
+// histMs converts a histogram duration to fractional milliseconds.
+func histMs(d time.Duration) float64 { return d.Seconds() * 1e3 }

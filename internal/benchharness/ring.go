@@ -8,6 +8,7 @@ import (
 	"modab/internal/dissem"
 	"modab/internal/engine"
 	"modab/internal/netsim"
+	"modab/internal/obs"
 	"modab/internal/stats"
 	"modab/internal/types"
 )
@@ -28,6 +29,10 @@ type RingPoint struct {
 	ThroughCI  float64 // 95% CI half-width across repetitions
 	LatencyMs  float64 // mean adeliver (early) latency, ms
 	LatencyCI  float64
+	// LatencyP50Ms/LatencyP99Ms are the submit→adeliver percentiles over
+	// the measurement window (obs histograms, log₂ bucket upper bounds).
+	LatencyP50Ms float64
+	LatencyP99Ms float64
 	// CoordEgressBPerMsg is the round-1 coordinator's (p0's) total egress
 	// bytes per adelivered message — the NIC-bottleneck metric. Under Ring
 	// it must stay O(1) in n; under AllToAll it grows linearly.
@@ -93,6 +98,7 @@ func RunRingPoint(n int, stk types.Stack, s dissem.Strategy, opts RunOptions) (R
 	}
 	var thr, lat, coordEg, maxEg, util stats.Welford
 	var perProc []int64
+	var hist obs.HistSnapshot
 	for rep := 0; rep < opts.Repetitions; rep++ {
 		lc, err := netsim.NewLoadedCluster(
 			netsim.Options{N: n, Stack: stk, Engine: engCfg, Seed: opts.Seed + int64(rep), Model: model},
@@ -107,6 +113,7 @@ func RunRingPoint(n int, stk types.Stack, s dissem.Strategy, opts RunOptions) (R
 		}
 		thr.Add(lc.Recorder.Throughput())
 		lat.Add(lc.Recorder.MeanLatency() * 1e3)
+		hist = hist.Merge(lc.DeliverHistogram())
 		perProc = perProc[:0]
 		maxB, maxUtil := int64(0), 0.0
 		for p := 0; p < n; p++ {
@@ -135,6 +142,8 @@ func RunRingPoint(n int, stk types.Stack, s dissem.Strategy, opts RunOptions) (R
 		ThroughCI:          thr.CI95(),
 		LatencyMs:          lat.Mean(),
 		LatencyCI:          lat.CI95(),
+		LatencyP50Ms:       histMs(hist.P50()),
+		LatencyP99Ms:       histMs(hist.P99()),
 		CoordEgressBPerMsg: coordEg.Mean(),
 		MaxEgressBPerMsg:   maxEg.Mean(),
 		PerProcEgressBytes: perProc,
@@ -177,11 +186,12 @@ func FigRing(opts RunOptions) (RingFigure, error) {
 // the coordinator spike (or its absence) is visible directly.
 func RenderRing(w io.Writer, fig RingFigure) {
 	fmt.Fprintf(w, "ring — %s\n", fig.Title)
-	fmt.Fprintf(w, "%-6s %-11s %-10s %12s %10s %9s %10s %10s %6s  %s\n",
-		"group", "stack", "dissem", "thr(msg/s)", "±95%CI", "lat(ms)", "coordB/msg", "maxB/msg", "util", "egress(B) per process")
+	fmt.Fprintf(w, "%-6s %-11s %-10s %12s %10s %9s %8s %8s %10s %10s %6s  %s\n",
+		"group", "stack", "dissem", "thr(msg/s)", "±95%CI", "lat(ms)", "p50(ms)", "p99(ms)", "coordB/msg", "maxB/msg", "util", "egress(B) per process")
 	for _, p := range fig.Points {
-		fmt.Fprintf(w, "%-6d %-11s %-10s %12.1f %10.1f %9.2f %10.0f %10.0f %6.2f  %v\n",
+		fmt.Fprintf(w, "%-6d %-11s %-10s %12.1f %10.1f %9.2f %8.2f %8.2f %10.0f %10.0f %6.2f  %v\n",
 			p.N, p.Stack, p.Dissem, p.Throughput, p.ThroughCI, p.LatencyMs,
+			p.LatencyP50Ms, p.LatencyP99Ms,
 			p.CoordEgressBPerMsg, p.MaxEgressBPerMsg, p.Utilization, p.PerProcEgressBytes)
 	}
 	fmt.Fprintln(w)

@@ -38,6 +38,7 @@ import (
 
 	"modab/internal/engine"
 	"modab/internal/netsim"
+	"modab/internal/obs"
 	"modab/internal/rsm"
 	"modab/internal/trace"
 	"modab/internal/types"
@@ -149,6 +150,11 @@ type StackResult struct {
 	// only) — an installed process's delivery log legitimately skips the
 	// installed region.
 	SnapshotInstalls []int64
+	// Traces holds each process's sampled message lifecycle events from
+	// the observability layer (1-in-k by sequence number, so both stacks
+	// sample the same messages); Report attaches a few timelines to
+	// violation reports as ordering evidence.
+	Traces [][]obs.StageEvent
 }
 
 // Violation is one property violation found by the checker.
@@ -195,8 +201,44 @@ func (r *Result) Report() string {
 		fmt.Fprintf(&b, "  %s\n", v)
 	}
 	fmt.Fprintf(&b, "  minimized schedule (%d of %d ops):\n%s\n", len(r.Minimized), len(r.Schedule), indent(r.Minimized.String()))
+	for _, sr := range r.Stacks {
+		b.WriteString(indent(sr.traceReport()))
+		b.WriteByte('\n')
+	}
 	fmt.Fprintf(&b, "  repro: chaos.Run(%d, schedule, cfg) — same seed, same schedule, same run", r.Seed)
 	return strings.TrimRight(b.String(), "\n")
+}
+
+// traceMaxTimelines bounds how many sampled lifecycle timelines a
+// violation report shows per stack — enough to see where ordering went
+// sideways without drowning the minimized schedule.
+const traceMaxTimelines = 3
+
+// traceReport renders a stack's sampled lifecycle timelines (merged
+// across processes, grouped per message) for attachment to a violation
+// report.
+func (sr *StackResult) traceReport() string {
+	var all []obs.StageEvent
+	for _, evs := range sr.Traces {
+		all = append(all, evs...)
+	}
+	tls := obs.Timelines(all)
+	if len(tls) == 0 {
+		return fmt.Sprintf("%s: no sampled lifecycle traces", sr.Stack)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s sampled lifecycle traces:", sr.Stack)
+	shown := tls
+	if len(shown) > traceMaxTimelines {
+		shown = shown[:traceMaxTimelines]
+	}
+	for _, tl := range shown {
+		fmt.Fprintf(&b, "\n  %s", tl)
+	}
+	if elided := len(tls) - len(shown); elided > 0 {
+		fmt.Fprintf(&b, "\n  ... %d more elided", elided)
+	}
+	return b.String()
 }
 
 func indent(s string) string {
@@ -288,6 +330,10 @@ func runStack(stk types.Stack, seed int64, sch Schedule, cfg StackConfig) (*Stac
 	sr.Quiesced = c.Events() == 0
 	sr.Stats = c.Stats()
 	sr.Errs = c.Errs()
+	sr.Traces = make([][]obs.StageEvent, cfg.N)
+	for p := 0; p < cfg.N; p++ {
+		sr.Traces[p] = c.Obs(types.ProcessID(p)).TraceEvents()
+	}
 	if cfg.KV {
 		sr.Digests = make([][]byte, cfg.N)
 		sr.SnapshotInstalls = make([]int64, cfg.N)

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"modab/internal/engine"
+	"modab/internal/obs"
 	"modab/internal/recovery"
 	"modab/internal/rsm"
 	"modab/internal/runtime"
@@ -37,9 +38,13 @@ type DurabilityOptions struct {
 	Log wal.Options
 }
 
-// open opens the log of process p under the configured root.
-func (d *DurabilityOptions) open(p types.ProcessID) (recovery.Store, error) {
-	return wal.Open(filepath.Join(d.Dir, fmt.Sprintf("p%d", p)), d.Log)
+// open opens the log of process p under the configured root, wiring the
+// process's observability recorder (may be nil) into the log's fsync
+// instrumentation.
+func (d *DurabilityOptions) open(p types.ProcessID, rec *obs.Recorder) (recovery.Store, error) {
+	opts := d.Log
+	opts.Obs = rec
+	return wal.Open(filepath.Join(d.Dir, fmt.Sprintf("p%d", p)), opts)
 }
 
 // DeliverFunc observes one adelivery at one process of a group.
@@ -74,6 +79,11 @@ type GroupOptions struct {
 	// SnapshotEvery is the snapshot cadence in instances; 0 disables
 	// automatic snapshots.
 	SnapshotEvery uint64
+	// Observability, when non-nil, gives every node an obs.Recorder
+	// (latency histograms plus the sampled lifecycle tracer; the pointed-to
+	// zero value selects the defaults). Recorders survive Crash/Restart,
+	// accumulating across incarnations; read them with Group.Obs.
+	Observability *obs.Config
 }
 
 // snapshotStore builds the snapshot store of one process: files alongside
@@ -106,6 +116,12 @@ type Group struct {
 	stack types.Stack
 	opts  GroupOptions
 
+	// obsRecs holds the per-process observability recorders
+	// (GroupOptions.Observability); like counters they outlive node
+	// incarnations, so Restart hands the new node its predecessor's
+	// recorder.
+	obsRecs []*obs.Recorder
+
 	// streamDropped counts drops at group-level subscriptions, which are
 	// not attributable to one process; Stats folds it into the totals.
 	streamDropped atomic.Int64
@@ -127,6 +143,12 @@ func NewGroup(n int, stack types.Stack, opts GroupOptions) (*Group, error) {
 	}
 	g.hub = stream.NewHub[engine.Event](opts.DeliveryBuffer, opts.DeliveryOverflow,
 		func() { g.streamDropped.Add(1) })
+	if opts.Observability != nil {
+		g.obsRecs = make([]*obs.Recorder, n)
+		for i := range g.obsRecs {
+			g.obsRecs[i] = obs.NewRecorder(*opts.Observability)
+		}
+	}
 	for i := 0; i < n; i++ {
 		node, err := g.startNode(types.ProcessID(i), net.Endpoint(types.ProcessID(i)))
 		if err != nil {
@@ -141,10 +163,14 @@ func NewGroup(n int, stack types.Stack, opts GroupOptions) (*Group, error) {
 // startNode builds one node of the group on the given transport endpoint,
 // opening its write-ahead log when durability is configured.
 func (g *Group) startNode(p types.ProcessID, ep transport.Transport) (*runtime.Node, error) {
+	var rec *obs.Recorder
+	if g.obsRecs != nil {
+		rec = g.obsRecs[p]
+	}
 	var store recovery.Store
 	if g.opts.Durability != nil {
 		var err error
-		store, err = g.opts.Durability.open(p)
+		store, err = g.opts.Durability.open(p, rec)
 		if err != nil {
 			return nil, err
 		}
@@ -184,6 +210,7 @@ func (g *Group) startNode(p types.ProcessID, ep transport.Transport) (*runtime.N
 		StateMachine:     sm,
 		SnapshotStore:    snaps,
 		SnapshotEvery:    g.opts.SnapshotEvery,
+		Obs:              rec,
 	})
 	if err != nil && store != nil {
 		_ = store.Close()
@@ -298,6 +325,16 @@ func (g *Group) Counters(p int) trace.Snapshot {
 	return node.Counters()
 }
 
+// Obs returns process p's observability recorder, or nil when the group
+// runs without GroupOptions.Observability (or for an out-of-range index).
+// The recorder survives Crash/Restart, accumulating across incarnations.
+func (g *Group) Obs(p int) *obs.Recorder {
+	if g.obsRecs == nil || p < 0 || p >= len(g.obsRecs) {
+		return nil
+	}
+	return g.obsRecs[p]
+}
+
 // Stats returns the uniform whole-group snapshot.
 func (g *Group) Stats() trace.Stats {
 	st := trace.Stats{N: len(g.nodes), PerProcess: make([]trace.Snapshot, len(g.nodes))}
@@ -381,6 +418,11 @@ type TCPNodeOptions struct {
 	StateMachine rsm.StateMachine
 	// SnapshotEvery is the snapshot cadence in instances.
 	SnapshotEvery uint64
+	// Obs, when non-nil, attaches the caller-owned observability recorder
+	// (cmd/abnode builds one and serves it over HTTP with
+	// obs.NewHTTPHandler). Wired through to the engine, the applier, and
+	// the write-ahead log's fsync instrumentation.
+	Obs *obs.Recorder
 }
 
 // NewTCPNode starts one process of a group communicating over TCP — the
@@ -388,8 +430,10 @@ type TCPNodeOptions struct {
 func NewTCPNode(opts TCPNodeOptions) (*runtime.Node, error) {
 	var store recovery.Store
 	if opts.Durability != nil {
+		logOpts := opts.Durability.Log
+		logOpts.Obs = opts.Obs
 		var err error
-		store, err = wal.Open(opts.Durability.Dir, opts.Durability.Log)
+		store, err = wal.Open(opts.Durability.Dir, logOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -427,6 +471,7 @@ func NewTCPNode(opts TCPNodeOptions) (*runtime.Node, error) {
 		StateMachine:     opts.StateMachine,
 		SnapshotStore:    snaps,
 		SnapshotEvery:    opts.SnapshotEvery,
+		Obs:              opts.Obs,
 	})
 	if err != nil {
 		_ = tr.Close()

@@ -15,6 +15,7 @@ import (
 	"modab/internal/batch"
 	"modab/internal/dedup"
 	"modab/internal/dissem"
+	"modab/internal/obs"
 	"modab/internal/trace"
 	"modab/internal/types"
 	"modab/internal/wire"
@@ -262,6 +263,13 @@ type Config struct {
 	// a peer snapshot when it is itself too far behind. Driver-injected
 	// (see internal/rsm), not a user tunable.
 	Snapshots *SnapshotHooks
+	// Obs, when non-nil, enables the observability layer: the engine
+	// records latency histogram samples and sampled message lifecycle
+	// stages through it, using Env.Now timestamps only — recording never
+	// sends a message or arms a timer, so enabling it cannot perturb the
+	// protocol trace. Driver-injected (see internal/obs), not a user
+	// tunable.
+	Obs *obs.Recorder
 }
 
 // DefaultWindow returns the per-process flow-control window used by both

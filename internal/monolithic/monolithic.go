@@ -41,6 +41,7 @@ import (
 	"modab/internal/dissem"
 	"modab/internal/engine"
 	"modab/internal/flow"
+	"modab/internal/obs"
 	"modab/internal/recovery"
 	"modab/internal/types"
 	"modab/internal/wire"
@@ -341,6 +342,7 @@ func (e *Engine) Abcast(body []byte) (types.MsgID, error) {
 	c := e.env.Counters()
 	c.ABCast.Add(1)
 	c.Dispatches.Add(1) // application downcall into the engine
+	e.cfg.Obs.Submitted(id, e.env.Now())
 	if e.acc == nil {
 		e.ingestBatch(wire.Batch{msg})
 		return id, nil
@@ -368,6 +370,12 @@ func (e *Engine) Abcast(body []byte) (types.MsgID, error) {
 func (e *Engine) ingestBatch(b wire.Batch) {
 	if e.cfg.Persist != nil {
 		e.cfg.Persist.PersistAdmit(b)
+	}
+	if o := e.cfg.Obs; o != nil {
+		now := e.env.Now()
+		for _, m := range b {
+			o.Stage(m.ID, obs.StageSeal, now)
+		}
 	}
 	for _, m := range b {
 		e.own[m.ID.Seq] = &ownMsg{msg: m}
@@ -527,6 +535,12 @@ func (e *Engine) proposeRound(in *inst, r uint32, batch wire.Batch) {
 	}
 	e.propSent++
 	e.env.Counters().ObserveDepth(e.openProposals())
+	if o := e.cfg.Obs; o != nil {
+		now := e.env.Now()
+		for _, pm := range batch {
+			o.Stage(pm.ID, obs.StagePropose, now)
+		}
+	}
 	m := message{Type: mPropDec, Instance: in.k, Round: r, Batch: batch}
 	// Piggyback a decision on the proposal (§4.1). Sequentially the
 	// freshest decision is exactly instance in.k-1; under pipelining the
@@ -1048,6 +1062,10 @@ func (e *Engine) decide(in *inst, batch wire.Batch, r uint32) {
 		}
 		e.markDelivered(msg.ID)
 		c.ADeliver.Add(1)
+		if o := e.cfg.Obs; o != nil {
+			o.Stage(msg.ID, obs.StageDecide, e.lastProgress)
+			o.Delivered(msg.ID, e.lastProgress)
+		}
 		e.env.Deliver(engine.Delivery{Msg: msg, Instance: in.k})
 		if err := e.fc.Delivered(msg.ID); err != nil {
 			c.Retransmissions.Add(1)
@@ -1240,6 +1258,7 @@ func (e *Engine) handleRecoverResp(from types.ProcessID, m message) {
 	e.rec.Observe(from, m.UpTo)
 	if dur, done := e.rec.MaybeFinish(e.decidedK+1, e.env.Now()); done {
 		c.RecoveryNanos.Add(dur.Nanoseconds())
+		e.cfg.Obs.RecoveryObserved(dur)
 		e.finishRecovery()
 		return
 	}
@@ -1341,8 +1360,10 @@ func (e *Engine) handleSnapResp(from types.ProcessID, m message) {
 	c := e.env.Counters()
 	c.SnapshotInstalls.Add(1)
 	c.SnapshotInstallNanos.Add(took.Nanoseconds())
+	e.cfg.Obs.InstallObserved(took)
 	if dur, done := e.rec.MaybeFinish(e.decidedK+1, e.env.Now()); done {
 		c.RecoveryNanos.Add(dur.Nanoseconds())
+		e.cfg.Obs.RecoveryObserved(dur)
 		e.finishRecovery()
 		return
 	}

@@ -21,6 +21,7 @@ import (
 	"modab/internal/engine"
 	"modab/internal/modular"
 	"modab/internal/monolithic"
+	"modab/internal/obs"
 	"modab/internal/recovery"
 	"modab/internal/rsm"
 	"modab/internal/stream"
@@ -67,6 +68,11 @@ type Options struct {
 	// SnapshotEvery is the applier's snapshot cadence in instances
 	// (rsm.Options.Interval); 0 disables automatic snapshots.
 	SnapshotEvery uint64
+	// Obs tunes the per-process observability recorders. Observability is
+	// always on under the simulator — recording only reads the frozen
+	// handler clock, so the traces stay bit-for-bit deterministic — and
+	// the zero value selects the defaults (sample 1 in 32 messages).
+	Obs obs.Config
 }
 
 // Cluster is a simulated group of processes running one stack.
@@ -105,6 +111,10 @@ type proc struct {
 	eng      engine.Engine
 	counters trace.Counters
 	env      *simEnv
+
+	// obs is the process's observability recorder; it survives Crash and
+	// Restart (like counters), accumulating across incarnations.
+	obs *obs.Recorder
 
 	// applier is the process's state machine applier (Options.StateMachine);
 	// deliveries feed it synchronously inside exec.
@@ -212,6 +222,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 		p := &proc{
 			id:       types.ProcessID(i),
 			timerGen: make(map[engine.TimerID]uint64),
+			obs:      obs.NewRecorder(opts.Obs),
 		}
 		p.env = &simEnv{c: c, p: p}
 		if opts.StateMachine != nil {
@@ -235,6 +246,8 @@ func (c *Cluster) newApplier(p *proc) *rsm.Applier {
 		Store:    c.snapStores[p.id],
 		Interval: c.opts.SnapshotEvery,
 		Counters: &p.counters,
+		Obs:      p.obs,
+		Now:      p.env.Now,
 		OnSnapshot: func(snap uint64, covered func(m wire.AppMsg) bool) {
 			if c.stores == nil {
 				return
@@ -256,6 +269,7 @@ func (c *Cluster) newEngine(p *proc, recovered *engine.RecoveredState) engine.En
 	if p.applier != nil {
 		cfg.Snapshots = p.applier.Hooks()
 	}
+	cfg.Obs = p.obs
 	cfg.Recovered = recovered
 	switch c.opts.Stack {
 	case types.Monolithic:
@@ -335,6 +349,11 @@ func (c *Cluster) Pending(p types.ProcessID) int { return c.procs[p].eng.Pending
 // cluster runs without Options.StateMachine. The harness reads applied
 // indexes, awaits results, and compares state digests through it.
 func (c *Cluster) Applier(p types.ProcessID) *rsm.Applier { return c.procs[p].applier }
+
+// Obs returns process p's observability recorder (latency histograms and
+// the sampled lifecycle trace). The recorder survives crashes and
+// restarts, accumulating across incarnations.
+func (c *Cluster) Obs(p types.ProcessID) *obs.Recorder { return c.procs[p].obs }
 
 // Events returns the number of queued simulation events. A cluster that
 // reaches zero has quiesced: no message, timer, or fault event is

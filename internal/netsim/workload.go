@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"modab/internal/engine"
+	"modab/internal/obs"
 	"modab/internal/stats"
 	"modab/internal/types"
 )
@@ -172,6 +173,27 @@ func NewLoadedCluster(opts Options, w Workload, warmup, measure time.Duration) (
 	if err != nil {
 		return nil, err
 	}
+	// Align the deliver-latency histograms with the measurement window:
+	// drop the warm-up samples at the window boundary, so the percentile
+	// columns of the benchmark reports cover the same interval as the
+	// mean-latency metric. A scheduled call never touches an engine, so
+	// the protocol trace is unaffected.
+	c.At(warmup, func() {
+		for _, p := range c.procs {
+			p.obs.Deliver.Reset()
+		}
+	})
 	InstallWorkload(c, w, rec)
 	return &LoadedCluster{Cluster: c, Recorder: rec, Workload: w}, nil
+}
+
+// DeliverHistogram merges every process's deliver-latency histogram over
+// the run (the warm-up samples having been dropped at the window
+// boundary) into one cluster-wide snapshot.
+func (lc *LoadedCluster) DeliverHistogram() obs.HistSnapshot {
+	var out obs.HistSnapshot
+	for _, p := range lc.procs {
+		out = out.Merge(p.obs.Deliver.Snapshot())
+	}
+	return out
 }

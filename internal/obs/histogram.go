@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers every non-negative int64 nanosecond duration: bucket
+// 0 holds exact zeros, bucket i (i >= 1) holds durations whose
+// nanosecond count has i significant bits — the half-open range
+// [2^(i-1), 2^i). bits.Len64 of the largest int64 is 63, so 64 buckets
+// suffice.
+const numBuckets = 64
+
+// Histogram is a lock-free fixed-bucket log₂ latency histogram: every
+// Observe is three atomic adds plus a CAS loop for the running maximum,
+// so it is safe to record from an engine thread while an HTTP scraper
+// reads it. The zero value is ready for use. All methods are nil-safe,
+// so a disabled recording site costs exactly one nil check.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// bucketOf returns the bucket index of a nanosecond count.
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(ns))
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i in
+// nanoseconds (0 for bucket 0).
+func BucketUpper(i int) time.Duration {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return time.Duration(int64(^uint64(0) >> 1)) // max int64
+	}
+	return time.Duration(int64(1)<<uint(i) - 1)
+}
+
+// Observe records one duration. Negative durations clamp to zero (a
+// restarted virtual clock can produce them; they carry no information).
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[bucketOf(ns)].Add(1)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a consistent-enough copy for reporting: each field is
+// read atomically (cross-field skew of in-flight observations is
+// harmless for statistics).
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Reset zeroes the histogram. It is not atomic with respect to
+// concurrent observers; use it only at measurement-window boundaries the
+// caller controls (the simulator resets at the end of warm-up).
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// HistSnapshot is a plain-value histogram state: mergeable across
+// processes and queryable for percentiles.
+type HistSnapshot struct {
+	Count   int64
+	Sum     int64 // nanoseconds
+	Max     int64 // nanoseconds
+	Buckets [numBuckets]int64
+}
+
+// Merge returns the combination of two snapshots (counts and sums add,
+// maxima take the larger). Merge is commutative and associative, so
+// cross-process aggregation order does not matter.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	out := s
+	out.Count += o.Count
+	out.Sum += o.Sum
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	for i := range out.Buckets {
+		out.Buckets[i] += o.Buckets[i]
+	}
+	return out
+}
+
+// Mean returns the mean observed duration (0 when empty).
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / s.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) as the upper bound of
+// the bucket holding the rank, clamped to the observed maximum — so a
+// single-sample histogram reports that exact sample at every quantile,
+// and the estimate never exceeds log₂-bucket resolution (a factor of 2).
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, b := range s.Buckets {
+		cum += b
+		if cum >= rank {
+			est := BucketUpper(i)
+			if est > time.Duration(s.Max) {
+				est = time.Duration(s.Max)
+			}
+			return est
+		}
+	}
+	return time.Duration(s.Max)
+}
+
+// P50 returns the estimated median.
+func (s HistSnapshot) P50() time.Duration { return s.Quantile(0.50) }
+
+// P95 returns the estimated 95th percentile.
+func (s HistSnapshot) P95() time.Duration { return s.Quantile(0.95) }
+
+// P99 returns the estimated 99th percentile.
+func (s HistSnapshot) P99() time.Duration { return s.Quantile(0.99) }
+
+// MaxDur returns the observed maximum as a duration.
+func (s HistSnapshot) MaxDur() time.Duration { return time.Duration(s.Max) }

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1)            // bucket 1: [1, 1]
+	h.Observe(2)            // bucket 2: [2, 3]
+	h.Observe(3)            // bucket 2
+	h.Observe(4)            // bucket 3: [4, 7]
+	h.Observe(-time.Second) // clamps to bucket 0
+	s := h.Snapshot()
+	want := map[int]int64{0: 2, 1: 1, 2: 2, 3: 1}
+	for i, b := range s.Buckets {
+		if b != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, b, want[i])
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("Count = %d, want 6", s.Count)
+	}
+	if s.Sum != 1+2+3+4 {
+		t.Errorf("Sum = %d, want 10 (negatives clamp to 0)", s.Sum)
+	}
+	if s.Max != 4 {
+		t.Errorf("Max = %d, want 4", s.Max)
+	}
+}
+
+func TestBucketUpperCoversBucketOf(t *testing.T) {
+	// Every observation must land in a bucket whose upper bound is >= the
+	// observation and whose predecessor's upper bound is < it.
+	for _, ns := range []int64{1, 2, 3, 4, 7, 8, 1000, 1 << 20, (1 << 20) - 1, 1<<62 + 5} {
+		b := bucketOf(ns)
+		if got := int64(BucketUpper(b)); got < ns {
+			t.Errorf("BucketUpper(bucketOf(%d)) = %d < observation", ns, got)
+		}
+		if prev := int64(BucketUpper(b - 1)); prev >= ns {
+			t.Errorf("BucketUpper(%d) = %d >= %d; observation belongs one bucket down", b-1, prev, ns)
+		}
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	var s HistSnapshot
+	if s.Mean() != 0 || s.P50() != 0 || s.P99() != 0 || s.MaxDur() != 0 {
+		t.Fatalf("empty snapshot not all-zero: %+v", s)
+	}
+}
+
+func TestSingleSampleExactQuantiles(t *testing.T) {
+	var h Histogram
+	const d = 700 * time.Microsecond
+	h.Observe(d)
+	s := h.Snapshot()
+	// The bucket upper bound clamps to the observed max, so a one-sample
+	// histogram reports that exact sample at every quantile.
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := s.Quantile(q); got != d {
+			t.Errorf("Quantile(%g) = %v, want %v", q, got, d)
+		}
+	}
+	if s.Mean() != d {
+		t.Errorf("Mean = %v, want %v", s.Mean(), d)
+	}
+}
+
+func TestQuantileRanks(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(16 * time.Millisecond)
+	s := h.Snapshot()
+	msUpper := BucketUpper(bucketOf(int64(time.Millisecond)))
+	if got := s.P50(); got != msUpper {
+		t.Errorf("P50 = %v, want the 1ms bucket upper bound %v", got, msUpper)
+	}
+	if got := s.P99(); got != msUpper {
+		t.Errorf("P99 = %v, want the 1ms bucket upper bound %v (rank 99 of 100)", got, msUpper)
+	}
+	if got := s.Quantile(1); got != 16*time.Millisecond {
+		t.Errorf("Quantile(1) = %v, want the exact max 16ms", got)
+	}
+}
+
+func TestMergeCommutativeAssociative(t *testing.T) {
+	mk := func(ds ...time.Duration) HistSnapshot {
+		var h Histogram
+		for _, d := range ds {
+			h.Observe(d)
+		}
+		return h.Snapshot()
+	}
+	a := mk(time.Millisecond, 2*time.Millisecond)
+	b := mk(16 * time.Millisecond)
+	c := mk(0, 400*time.Microsecond, time.Second)
+
+	if a.Merge(b) != b.Merge(a) {
+		t.Error("Merge not commutative")
+	}
+	if a.Merge(b).Merge(c) != a.Merge(b.Merge(c)) {
+		t.Error("Merge not associative")
+	}
+	m := a.Merge(b).Merge(c)
+	if m.Count != 6 {
+		t.Errorf("merged Count = %d, want 6", m.Count)
+	}
+	if m.MaxDur() != time.Second {
+		t.Errorf("merged Max = %v, want 1s", m.MaxDur())
+	}
+	if m.Sum != a.Sum+b.Sum+c.Sum {
+		t.Errorf("merged Sum = %d, want %d", m.Sum, a.Sum+b.Sum+c.Sum)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	h.Reset()
+	if s := h.Snapshot(); s != (HistSnapshot{}) {
+		t.Fatalf("snapshot after Reset not zero: %+v", s)
+	}
+}
+
+func TestNilHistogramSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Millisecond) // must not panic
+	h.Reset()
+	if s := h.Snapshot(); s != (HistSnapshot{}) {
+		t.Fatalf("nil snapshot not zero: %+v", s)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i))
+	}
+}
+
+func BenchmarkHistogramObserveNil(b *testing.B) {
+	// The disabled path: one nil check per recording site.
+	var h *Histogram
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i))
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"modab/internal/types"
+)
+
+func id(sender int, seq uint64) types.MsgID {
+	return types.MsgID{Sender: types.ProcessID(sender), Seq: seq}
+}
+
+func TestSamplingRule(t *testing.T) {
+	r := NewRecorder(Config{SampleEvery: 4})
+	if r.SampleEvery() != 4 {
+		t.Fatalf("SampleEvery = %d, want 4", r.SampleEvery())
+	}
+	for seq, want := range map[uint64]bool{0: true, 1: false, 3: false, 4: true, 8: true, 9: false} {
+		if got := r.Sampled(id(1, seq)); got != want {
+			t.Errorf("Sampled(seq=%d) = %v, want %v", seq, got, want)
+		}
+	}
+	// The rule depends only on the ID, so every process agrees.
+	if r.Sampled(id(0, 4)) != r.Sampled(id(2, 4)) {
+		t.Error("sampling disagrees across senders of the same seq")
+	}
+	if def := NewRecorder(Config{}); def.SampleEvery() != DefaultSampleEvery {
+		t.Errorf("default SampleEvery = %d, want %d", def.SampleEvery(), DefaultSampleEvery)
+	}
+}
+
+func TestSubmittedDelivered(t *testing.T) {
+	r := NewRecorder(Config{SampleEvery: 2})
+	m := id(0, 2) // sampled
+	r.Submitted(m, 10*time.Millisecond)
+	r.Delivered(m, 25*time.Millisecond)
+
+	s := r.Deliver.Snapshot()
+	if s.Count != 1 || s.MaxDur() != 15*time.Millisecond {
+		t.Fatalf("Deliver histogram = count %d max %v, want 1 sample of 15ms", s.Count, s.MaxDur())
+	}
+	evs := r.TraceEvents()
+	want := []StageEvent{
+		{ID: m, Stage: StageAccept, At: 10 * time.Millisecond},
+		{ID: m, Stage: StageADeliver, At: 25 * time.Millisecond},
+	}
+	if !reflect.DeepEqual(evs, want) {
+		t.Fatalf("TraceEvents = %v, want %v", evs, want)
+	}
+
+	// A remote message (never submitted here) contributes a stage when
+	// sampled but no Deliver histogram sample.
+	r.Delivered(id(1, 4), 30*time.Millisecond)
+	if got := r.Deliver.Snapshot().Count; got != 1 {
+		t.Fatalf("remote delivery entered the Deliver histogram (count %d)", got)
+	}
+	if got := len(r.TraceEvents()); got != 3 {
+		t.Fatalf("remote sampled delivery not traced (%d events)", got)
+	}
+}
+
+func TestAppliedRecordsHistogramAndStage(t *testing.T) {
+	r := NewRecorder(Config{SampleEvery: 1})
+	m := id(0, 7)
+	r.Applied(m, 10*time.Millisecond, 12*time.Millisecond)
+	if s := r.Apply.Snapshot(); s.Count != 1 || s.MaxDur() != 2*time.Millisecond {
+		t.Fatalf("Apply histogram = count %d max %v", s.Count, s.MaxDur())
+	}
+	evs := r.TraceEvents()
+	if len(evs) != 1 || evs[0].Stage != StageApply || evs[0].At != 12*time.Millisecond {
+		t.Fatalf("TraceEvents = %v", evs)
+	}
+}
+
+func TestTraceRingWrap(t *testing.T) {
+	r := NewRecorder(Config{SampleEvery: 1, TraceCap: 4})
+	for seq := uint64(1); seq <= 6; seq++ {
+		r.Stage(id(0, seq), StageDecide, time.Duration(seq)*time.Millisecond)
+	}
+	evs := r.TraceEvents()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(i + 3); e.ID.Seq != want {
+			t.Errorf("event %d is seq %d, want %d (oldest-first after wrap)", i, e.ID.Seq, want)
+		}
+	}
+}
+
+func TestTimelinesGrouping(t *testing.T) {
+	evs := []StageEvent{
+		{ID: id(1, 32), Stage: StageAccept, At: 1 * time.Millisecond},
+		{ID: id(0, 32), Stage: StageDecide, At: 3 * time.Millisecond},
+		{ID: id(1, 32), Stage: StageADeliver, At: 5 * time.Millisecond},
+	}
+	tls := Timelines(evs)
+	if len(tls) != 2 {
+		t.Fatalf("got %d timelines, want 2", len(tls))
+	}
+	if tls[0].ID != id(0, 32) || tls[1].ID != id(1, 32) {
+		t.Fatalf("timelines not ordered by ID: %v", tls)
+	}
+	if len(tls[1].Events) != 2 || tls[1].Events[0].Stage != StageAccept {
+		t.Fatalf("events not grouped in recording order: %v", tls[1])
+	}
+	if got := tls[1].String(); got != "p2#32: accept@1ms adeliver@5ms" {
+		t.Fatalf("Timeline.String() = %q", got)
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	m := id(0, 0)
+	r.Submitted(m, time.Millisecond)
+	r.Delivered(m, time.Millisecond)
+	r.Applied(m, 0, time.Millisecond)
+	r.Stage(m, StageSeal, time.Millisecond)
+	r.FsyncObserved(time.Millisecond)
+	r.RecoveryObserved(time.Millisecond)
+	r.InstallObserved(time.Millisecond)
+	if r.Sampled(m) {
+		t.Error("nil recorder samples")
+	}
+	if r.SampleEvery() != 0 {
+		t.Error("nil SampleEvery != 0")
+	}
+	if r.TraceEvents() != nil {
+		t.Error("nil TraceEvents != nil")
+	}
+	if r.Histograms() != nil {
+		t.Error("nil Histograms != nil")
+	}
+}
+
+func TestHistogramsStableOrder(t *testing.T) {
+	r := NewRecorder(Config{})
+	var names []string
+	for _, nh := range r.Histograms() {
+		names = append(names, nh.Name)
+	}
+	want := []string{"deliver", "apply", "fsync", "recovery", "install"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("Histograms order = %v, want %v", names, want)
+	}
+}
+
+func BenchmarkRecorderUnsampledStage(b *testing.B) {
+	// The common tracer path: an unsampled message costs one modulo.
+	r := NewRecorder(Config{})
+	m := id(0, 1)
+	for i := 0; i < b.N; i++ {
+		r.Stage(m, StageDecide, time.Duration(i))
+	}
+}
+
+func BenchmarkRecorderNilStage(b *testing.B) {
+	var r *Recorder
+	m := id(0, 1)
+	for i := 0; i < b.N; i++ {
+		r.Stage(m, StageDecide, time.Duration(i))
+	}
+}

@@ -3,9 +3,11 @@ package rsm
 import (
 	"bytes"
 	"sync"
+	"time"
 
 	"modab/internal/dedup"
 	"modab/internal/engine"
+	"modab/internal/obs"
 	"modab/internal/trace"
 	"modab/internal/types"
 	"modab/internal/wire"
@@ -35,6 +37,12 @@ type Options struct {
 	// whether a message was ordered at or below the snapshot index;
 	// drivers hook write-ahead-log truncation here.
 	OnSnapshot func(index uint64, covered func(m wire.AppMsg) bool)
+	// Obs, when non-nil, records per-command apply latency and the apply
+	// lifecycle stage of sampled messages. Requires Now.
+	Obs *obs.Recorder
+	// Now supplies driver-clock timestamps for Obs (engine.Env.Now of the
+	// owning process). Ignored when Obs is nil.
+	Now func() time.Duration
 }
 
 // Applier consumes the totally ordered delivery stream, applies each
@@ -93,7 +101,14 @@ func (a *Applier) Apply(d engine.Delivery) {
 		return // replay overlap: already applied by a previous incarnation path
 	}
 	a.seen.Mark(d.Msg.ID)
+	var start time.Duration
+	if a.opts.Obs != nil && a.opts.Now != nil {
+		start = a.opts.Now()
+	}
 	res := a.sm.Apply(Entry{Instance: d.Instance, ID: d.Msg.ID, Cmd: d.Msg.Body})
+	if a.opts.Obs != nil && a.opts.Now != nil {
+		a.opts.Obs.Applied(d.Msg.ID, start, a.opts.Now())
+	}
 	if d.Instance > a.applied {
 		a.applied = d.Instance
 	}

@@ -20,6 +20,7 @@ import (
 	"modab/internal/fd"
 	"modab/internal/modular"
 	"modab/internal/monolithic"
+	"modab/internal/obs"
 	"modab/internal/recovery"
 	"modab/internal/rsm"
 	"modab/internal/stream"
@@ -86,6 +87,12 @@ type Options struct {
 	// SnapshotEvery is the snapshot cadence in instances; 0 disables
 	// automatic snapshots.
 	SnapshotEvery uint64
+	// Obs, when non-nil, attaches the observability layer: the engine and
+	// applier record latency histograms and sampled lifecycle stages into
+	// it (see internal/obs), and it can be served over HTTP with
+	// obs.NewHTTPHandler. Nil disables recording at one nil check per
+	// site.
+	Obs *obs.Recorder
 }
 
 // Node is one running process of the group.
@@ -146,12 +153,15 @@ func NewNode(opts Options) (*Node, error) {
 		winCh:   make(chan struct{}),
 	}
 	n.env = &nodeEnv{node: n, start: time.Now(), timers: make(map[engine.TimerID]*timerState)}
+	opts.Engine.Obs = opts.Obs
 	if opts.StateMachine != nil {
 		n.applier = rsm.NewApplier(opts.StateMachine, rsm.Options{
 			N:        opts.N,
 			Store:    opts.SnapshotStore,
 			Interval: opts.SnapshotEvery,
 			Counters: &n.env.counters,
+			Obs:      opts.Obs,
+			Now:      n.env.Now,
 			OnSnapshot: func(snap uint64, covered func(m wire.AppMsg) bool) {
 				if opts.Store == nil {
 					return
@@ -417,6 +427,10 @@ func (n *Node) Counters() trace.Snapshot { return n.env.counters.Snapshot() }
 // runs without Options.StateMachine. Applications read applied results,
 // await their writes, and take state digests through it.
 func (n *Node) Applier() *rsm.Applier { return n.applier }
+
+// Obs returns the node's observability recorder (Options.Obs; nil when
+// observability is disabled).
+func (n *Node) Obs() *obs.Recorder { return n.opts.Obs }
 
 // Close stops the node: detector, transport, event loop.
 func (n *Node) Close() error {

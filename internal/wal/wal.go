@@ -44,6 +44,7 @@ import (
 	"sync"
 	"time"
 
+	"modab/internal/obs"
 	"modab/internal/recovery"
 	"modab/internal/wire"
 )
@@ -84,6 +85,9 @@ type Options struct {
 	Interval time.Duration
 	// SegmentBytes is the rotation threshold for segment files.
 	SegmentBytes int64
+	// Obs, when non-nil, records every fsync's wall-clock duration into
+	// the owning process's Fsync latency histogram.
+	Obs *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -257,6 +261,17 @@ func (l *Log) scanSegment(id uint64, tolerateTail bool) (int64, error) {
 	return off, nil
 }
 
+// syncCur fsyncs the current segment, recording the wall-clock duration
+// in the Fsync histogram when observability is enabled. Caller holds mu.
+func (l *Log) syncCur() error {
+	start := time.Now()
+	err := l.cur.Sync()
+	if err == nil {
+		l.opts.Obs.FsyncObserved(time.Since(start))
+	}
+	return err
+}
+
 // syncLoop is the SyncInterval background flusher.
 func (l *Log) syncLoop() {
 	defer l.wg.Done()
@@ -269,7 +284,7 @@ func (l *Log) syncLoop() {
 		case <-t.C:
 			l.mu.Lock()
 			if l.dirty && !l.closed {
-				if err := l.cur.Sync(); err == nil {
+				if err := l.syncCur(); err == nil {
 					l.dirty = false
 				}
 			}
@@ -310,7 +325,7 @@ func (l *Log) append(kind recovery.RecKind, instance uint64, b wire.Batch) {
 		l.index[instance] = recRef{seg: l.curID, off: off, n: uint32(len(payload))}
 	}
 	if l.opts.Policy == SyncAlways {
-		if err := l.cur.Sync(); err != nil {
+		if err := l.syncCur(); err != nil {
 			panic(fmt.Sprintf("wal: fsync %s: %v", l.segPath(l.curID), err))
 		}
 		l.dirty = false
@@ -322,7 +337,7 @@ func (l *Log) append(kind recovery.RecKind, instance uint64, b wire.Batch) {
 
 // rotate seals the current segment and starts the next one. Caller holds mu.
 func (l *Log) rotate() {
-	if err := l.cur.Sync(); err != nil {
+	if err := l.syncCur(); err != nil {
 		panic(fmt.Sprintf("wal: fsync %s: %v", l.segPath(l.curID), err))
 	}
 	if err := l.cur.Close(); err != nil {

@@ -86,6 +86,7 @@ import (
 	"modab/internal/dissem"
 	"modab/internal/engine"
 	"modab/internal/netsim"
+	"modab/internal/obs"
 	"modab/internal/rsm"
 	"modab/internal/runtime"
 	"modab/internal/stream"
@@ -151,6 +152,17 @@ type (
 	// Dissemination selects how payload frames reach the group (see
 	// WithDissemination): DissemAllToAll or DissemRing.
 	Dissemination = dissem.Strategy
+	// ObsRecorder is one process's observability state — latency
+	// histograms (submit→adeliver, apply, fsync, recovery, snapshot
+	// install) plus the sampled message lifecycle tracer. Attach with
+	// WithObservability, read with Cluster.Obs, serve over HTTP with
+	// obs.NewHTTPHandler (see cmd/abnode -metrics).
+	ObsRecorder = obs.Recorder
+	// ObsHistSnapshot is an immutable, mergeable copy of one latency
+	// histogram (percentiles via P50/P95/P99).
+	ObsHistSnapshot = obs.HistSnapshot
+	// ObsStageEvent is one recorded lifecycle point of a sampled message.
+	ObsStageEvent = obs.StageEvent
 )
 
 // Stack values.
@@ -280,6 +292,7 @@ type settings struct {
 	dur          *core.DurabilityOptions
 	sm           func() rsm.StateMachine
 	snapEvery    uint64
+	obsCfg       *obs.Config
 }
 
 // WithConfig overrides the protocol tunables (flow-control window, batch
@@ -409,6 +422,25 @@ func WithStateMachine(factory func() StateMachine, snapshotEvery uint64) Option 
 		}
 		s.sm = factory
 		s.snapEvery = snapshotEvery
+		return nil
+	}
+}
+
+// WithObservability attaches the end-to-end observability layer to every
+// process the cluster drives: lock-free latency histograms on the hot
+// paths (abcast→adeliver, state machine apply, write-ahead-log fsync,
+// recovery, snapshot install) and a lifecycle tracer that follows one in
+// every sampleEvery application messages through its pipeline stages
+// (accept → seal → propose → decide → adeliver → apply). sampleEvery 0
+// selects the default (one in 32). Read the per-process recorders with
+// Cluster.Obs; recorders survive Crash/Restart, accumulating across
+// incarnations. Recording costs a few atomic adds per message on the hot
+// path and never perturbs the protocol. The simulated driver records
+// unconditionally (in deterministic virtual time); there this option only
+// tunes the sampling period.
+func WithObservability(sampleEvery uint64) Option {
+	return func(s *settings) error {
+		s.obsCfg = &obs.Config{SampleEvery: sampleEvery}
 		return nil
 	}
 }
@@ -592,6 +624,7 @@ func New(n int, stack Stack, opts ...Option) (*Cluster, error) {
 			Durable:          s.dur != nil,
 			StateMachine:     s.sm,
 			SnapshotEvery:    s.snapEvery,
+			Obs:              simObsConfig(s.obsCfg),
 		})
 		if err != nil {
 			return nil, err
@@ -614,6 +647,11 @@ func New(n int, stack Stack, opts ...Option) (*Cluster, error) {
 			DeliveryOverflow: s.policy,
 			Durability:       s.dur,
 			SnapshotEvery:    s.snapEvery,
+		}
+		if s.obsCfg != nil {
+			// The recorder lives on tcpOpts, not the node, so a restarted
+			// incarnation keeps accumulating into it.
+			c.tcpOpts.Obs = obs.NewRecorder(*s.obsCfg)
 		}
 		if c.smFactory != nil {
 			c.tcpOpts.StateMachine = c.smFactory()
@@ -642,6 +680,7 @@ func New(n int, stack Stack, opts ...Option) (*Cluster, error) {
 			Durability:       s.dur,
 			StateMachine:     s.sm,
 			SnapshotEvery:    s.snapEvery,
+			Observability:    s.obsCfg,
 		})
 		if err != nil {
 			return nil, err
@@ -922,6 +961,37 @@ func (c *Cluster) Applier(p int) *Applier {
 		}
 		return node.Applier()
 	}
+}
+
+// Obs returns process p's observability recorder (latency histograms and
+// the sampled lifecycle trace). It returns nil on the real-time drivers
+// without WithObservability, for remote TCP peers, and for out-of-range
+// indexes; the simulated driver always records. Recorders survive
+// Crash/Restart, accumulating across incarnations.
+func (c *Cluster) Obs(p int) *ObsRecorder {
+	if p < 0 || p >= c.n {
+		return nil
+	}
+	switch {
+	case c.sim != nil:
+		return c.sim.Obs(ProcessID(p))
+	case c.hub != nil:
+		if p != int(c.self) {
+			return nil
+		}
+		return c.tcpOpts.Obs
+	default:
+		return c.group.Obs(p)
+	}
+}
+
+// simObsConfig unwraps the optional observability config for the
+// simulated driver (which always records; nil means defaults).
+func simObsConfig(cfg *obs.Config) obs.Config {
+	if cfg == nil {
+		return obs.Config{}
+	}
+	return *cfg
 }
 
 // Sim returns the underlying simulated cluster (nil on real-time
