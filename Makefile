@@ -17,10 +17,10 @@ test:
 # mid-run); the root package exercises the facade across all three
 # drivers.
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/stream/... ./internal/core/... ./internal/wal/... ./internal/recovery/... ./internal/rsm/... ./internal/transport/... ./internal/fd/... ./internal/obs/... .
+	$(GO) test -race ./internal/runtime/... ./internal/stream/... ./internal/core/... ./internal/wal/... ./internal/recovery/... ./internal/rsm/... ./internal/transport/... ./internal/fd/... ./internal/obs/... ./internal/payload/... .
 
 # Chaos soak: the fixed-seed short sweep of the fault-injection harness
-# (five scenario families plus randomized schedules, both stacks, every
+# (six scenario families plus randomized schedules, both stacks, every
 # atomic broadcast property checked per run) — bounded well under a
 # minute so it can gate every push. The nightly-style deep sweep is the
 # same target with CHAOS_SEEDS=200 (or any seed count).
@@ -38,8 +38,8 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzSnapshotOpen -fuzztime=30s ./internal/rsm
 
 # Benchmark smoke: compile and run every benchmark for exactly one
-# iteration, plus one repetition each of the abbench pipeline, KV and
-# ring figures and one lifecycle-trace dump on the simulator, so
+# iteration, plus one repetition each of the abbench pipeline, KV,
+# ring and digest figures and one lifecycle-trace dump on the simulator, so
 # benchmark and observability code can no longer rot silently (it is
 # not compiled by plain `go test`).
 bench-smoke:
@@ -47,6 +47,7 @@ bench-smoke:
 	$(GO) run ./cmd/abbench -fig pipeline -reps 1 -warmup 500ms -measure 1s
 	$(GO) run ./cmd/abbench -fig kv -reps 1 -warmup 500ms -measure 1s
 	$(GO) run ./cmd/abbench -fig ring -reps 1 -warmup 500ms -measure 1s
+	$(GO) run ./cmd/abbench -fig digest -reps 1 -warmup 500ms -measure 1s
 	$(GO) run ./cmd/abbench -trace-sample 64
 
 # Documentation gate: gofmt-clean tree, documented exported symbols in

@@ -12,6 +12,7 @@
 //	abbench -fig chaos              # property-checked fault-schedule soak
 //	abbench -fig kv                 # replicated KV service: ops/s + submit→applied
 //	abbench -fig ring               # dissemination topology: all-to-all vs ring relay
+//	abbench -fig digest             # digest ordering: payload vs descriptor consensus
 //	abbench -analytical             # §5.2 closed-form tables only
 //	abbench -fig 10 -reps 5 -measure 8s
 //	abbench -fig 11 -batch-msgs 32  # sender-side batching enabled
@@ -44,13 +45,19 @@
 // group sizes with large payloads at saturating load on the metro model,
 // with per-process egress-bytes columns — the coordinator-NIC bottleneck
 // experiment. -dissem ring retargets the standard figures instead.
+// -fig digest sweeps both stacks with digest ordering off and on (n=5,
+// 64 B messages, 1000-message sender batches, saturating load on a
+// payload-bound model), with ordering-path vs dissemination-path bytes
+// per message — the split that stops consensus traffic from scaling with
+// payload size (see modab.WithDigestOrdering). -digest retargets the
+// standard figures instead.
 // -trace-sample k dumps the observability layer's sampled message
 // lifecycle timelines instead of a figure: a short run of each stack with
 // 1-in-k tracing, printing each sampled message's stage history
 // (accept → seal → propose → decide → adeliver → apply) in virtual time —
 // deterministic for a given -seed.
 // -json additionally writes every
-// produced figure as a machine-readable report (schema modab-bench/v3)
+// produced figure as a machine-readable report (schema modab-bench/v4)
 // for performance trajectory tracking.
 package main
 
@@ -74,7 +81,7 @@ func main() {
 
 func run() error {
 	var (
-		fig        = flag.String("fig", "all", `figure to regenerate: "8", "9", "10", "11", "recovery", "pipeline", "chaos", "kv", "ring" or "all"`)
+		fig        = flag.String("fig", "all", `figure to regenerate: "8", "9", "10", "11", "recovery", "pipeline", "chaos", "kv", "ring", "digest" or "all"`)
 		analytical = flag.Bool("analytical", false, "print the §5.2 analytical tables and exit")
 		reps       = flag.Int("reps", 3, "repetitions per point (95% CIs are computed across them)")
 		warmup     = flag.Duration("warmup", 2*time.Second, "virtual warm-up before measuring")
@@ -85,6 +92,7 @@ func run() error {
 		batchDelay = flag.Duration("batch-delay", 2*time.Millisecond, "sender-side batching: flush delay for undersized batches")
 		pipeline   = flag.Int("pipeline", 0, "consensus pipeline window W for the standard figures (0/1 = sequential)")
 		dissemArg  = flag.String("dissem", "", `payload dissemination for the standard figures: "all-to-all" (default) or "ring"`)
+		digest     = flag.Bool("digest", false, "digest ordering for the standard figures: disseminate payloads once, order descriptors")
 		jsonPath   = flag.String("json", "", "also write the produced figures as a machine-readable report to this path")
 		traceK     = flag.Uint64("trace-sample", 0, "dump sampled message lifecycle timelines (1 in k messages) from a short run of each stack and exit; k=1 traces everything")
 	)
@@ -107,6 +115,7 @@ func run() error {
 		Batch:         batch.Config{MaxMsgs: *batchMsgs, MaxBytes: *batchBytes, MaxDelay: *batchDelay},
 		Pipeline:      *pipeline,
 		Dissemination: dissemStrategy,
+		Digest:        *digest,
 	}
 	if err := opts.Batch.Validate(); err != nil {
 		return err
@@ -188,8 +197,17 @@ func run() error {
 		benchharness.RenderRing(os.Stdout, rf)
 		ringFig = &rf
 	}
+	var digFig *benchharness.DigestFigure
+	if *fig == "all" || *fig == "digest" {
+		df, err := benchharness.FigDigest(opts)
+		if err != nil {
+			return fmt.Errorf("figure digest: %w", err)
+		}
+		benchharness.RenderDigest(os.Stdout, df)
+		digFig = &df
+	}
 	if *jsonPath != "" {
-		if err := benchharness.WriteJSON(*jsonPath, benchharness.NewReport(opts, produced, recFig, pipeFig, chaosFig, kvFig, ringFig)); err != nil {
+		if err := benchharness.WriteJSON(*jsonPath, benchharness.NewReport(opts, produced, recFig, pipeFig, chaosFig, kvFig, ringFig, digFig)); err != nil {
 			return err
 		}
 		fmt.Printf("machine-readable report written to %s\n", *jsonPath)

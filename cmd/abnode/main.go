@@ -16,6 +16,12 @@
 // policy so a lagging consumer shows up as a nonzero streamDropped
 // counter instead of backpressuring the protocol.
 //
+// With -digest (requires -batch-msgs) the group runs digest ordering:
+// each sender disseminates its payload batches exactly once over the
+// -dissem topology and consensus orders compact descriptors instead of
+// payload-carrying frames (see modab.WithDigestOrdering). All processes
+// must agree on the flag.
+//
 // With -wal the process runs in the crash-recovery model: admissions and
 // decisions are persisted to a write-ahead log in that directory (-fsync
 // picks the policy), and a killed process restarted with the same -wal
@@ -86,6 +92,7 @@ func run() error {
 		batchDelay = flag.Duration("batch-delay", 2*time.Millisecond, "sender-side batching: flush delay for undersized batches")
 		pipeline   = flag.Int("pipeline", 0, "consensus pipeline window W: instances kept in flight concurrently (0/1 = sequential)")
 		dissemArg  = flag.String("dissem", "", `payload dissemination topology: "all-to-all" (default) or "ring"`)
+		digest     = flag.Bool("digest", false, "digest ordering: disseminate payload batches once, run consensus on compact descriptors (requires -batch-msgs)")
 
 		walDir  = flag.String("wal", "", "write-ahead-log directory: enables crash recovery (restart with the same directory to rejoin)")
 		fsync   = flag.String("fsync", "always", `WAL fsync policy: "always", "interval" or "none"`)
@@ -136,6 +143,12 @@ func run() error {
 			return fmt.Errorf("unknown -dissem %q", *dissemArg)
 		}
 		opts = append(opts, modab.WithDissemination(strategy))
+	}
+	if *digest {
+		if !bcfg.Enabled() {
+			return fmt.Errorf("-digest requires sender batching (-batch-msgs)")
+		}
+		opts = append(opts, modab.WithDigestOrdering())
 	}
 	if *walDir != "" {
 		var policy modab.SyncPolicy

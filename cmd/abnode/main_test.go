@@ -225,9 +225,11 @@ func TestAbnodeRestartIntegration(t *testing.T) {
 }
 
 // TestAbnodeKVHTTP spins up a three-process group serving the
-// replicated KV over HTTP and exercises the full surface end to end:
-// put/get/CAS/delete with read-your-writes at the submitting node, and
-// an ordered cross-node read observing a write accepted elsewhere.
+// replicated KV over HTTP — with digest ordering on, so every command
+// travels once as an announced payload batch and consensus orders
+// descriptors — and exercises the full surface end to end: put/get/CAS/
+// delete with read-your-writes at the submitting node, and an ordered
+// cross-node read observing a write accepted elsewhere.
 func TestAbnodeKVHTTP(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns real processes")
@@ -249,6 +251,9 @@ func TestAbnodeKVHTTP(t *testing.T) {
 			"-quiet",
 			"-kv", kvAddrs[i],
 			"-snapshot-every", "8",
+			"-batch-msgs", "4",
+			"-batch-delay", "2ms",
+			"-digest",
 		)
 		cmd.Stdout = &outs[i]
 		cmd.Stderr = &outs[i]

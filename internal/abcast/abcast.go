@@ -40,6 +40,7 @@ import (
 	"modab/internal/engine"
 	"modab/internal/flow"
 	"modab/internal/obs"
+	"modab/internal/payload"
 	"modab/internal/recovery"
 	"modab/internal/stack"
 	"modab/internal/types"
@@ -57,6 +58,11 @@ const (
 	// timerRecover drives state-transfer retries after a crash-recovery
 	// restart.
 	timerRecover engine.TimerID = 3
+	// timerPayload drives decided-but-not-resident payload refetches under
+	// digest ordering: armed when the head decision blocks on a missing
+	// payload, it fetches from one rotating live holder per fire (the same
+	// deferred single-target pattern as the ring decision refetch).
+	timerPayload engine.TimerID = 4
 )
 
 // rediffuseGrace is how many decided instances a pending message may miss
@@ -102,8 +108,12 @@ type Layer struct {
 	// decisionsBuf holds out-of-order decisions until their turn. With
 	// pipelining, decisions for up to W instances legitimately race each
 	// other here (the paper's sequential stack only ever buffered
-	// reordered rbcast deliveries).
-	decisionsBuf map[uint64]wire.Batch
+	// reordered rbcast deliveries). Under digest ordering a buffered
+	// decision is either a descriptor batch straight from consensus
+	// (resolved == false) or a payload batch from state transfer
+	// (resolved == true) — the flag is explicit because a real
+	// application message with a 16-byte body would alias a descriptor.
+	decisionsBuf map[uint64]decision
 	// snapIDs caches the proposable (pending, unassigned) message IDs in
 	// sorted order between pendingBatch calls; snapClean reports the cache
 	// still matches the pending set and assignments.
@@ -130,6 +140,38 @@ type Layer struct {
 	// above our missing instance but cannot serve the instances themselves
 	// (it truncated its log below the snapshot horizon).
 	snap snapFetch
+
+	// Digest-ordering state (cfg.DigestOrdering; all nil/zero otherwise).
+	// store holds disseminated payload bytes while consensus orders only
+	// descriptors; nextDSeq mints incarnation-tagged descriptor sequence
+	// numbers; descDone remembers delivered descriptors (pruned with the
+	// decision horizon) so duplicate announces don't re-enter pending;
+	// recoveredDescs are the restart-regrouped own descriptors Start
+	// re-announces; pw is the blocked-head payload wait; suspectedSet
+	// feeds the refetch target rotation.
+	store          *payload.Store
+	nextDSeq       uint64
+	descDone       map[types.MsgID]uint64
+	recoveredDescs []wire.Descriptor
+	pw             payloadWait
+	suspectedSet   map[types.ProcessID]bool
+}
+
+// decision is one buffered consensus outcome; resolved reports whether
+// Batch already carries real application messages (state transfer) rather
+// than descriptors still needing payload resolution.
+type decision struct {
+	batch    wire.Batch
+	resolved bool
+}
+
+// payloadWait tracks a head decision blocked on a non-resident payload:
+// since anchors the blocked-time accounting, to is the refetch rotation
+// cursor.
+type payloadWait struct {
+	active bool
+	since  time.Duration
+	to     types.ProcessID
 }
 
 // snapFetch is the chunk-assembly state of one snapshot transfer.
@@ -181,10 +223,16 @@ func (l *Layer) Init(ctx *stack.Context) {
 	l.diss = dissem.New(l.cfg.Dissemination, l.self, l.n, incarnation)
 	l.pending = make(map[types.MsgID]pendingMsg)
 	l.delivered = dedup.NewMap(l.n)
-	l.decisionsBuf = make(map[uint64]wire.Batch)
+	l.decisionsBuf = make(map[uint64]decision)
 	l.inflight = make(map[uint64][]types.MsgID)
 	l.pipe = l.cfg.EffectivePipeline()
 	l.nextDecide = 1
+	if l.cfg.DigestOrdering {
+		l.store = payload.NewStore()
+		l.descDone = make(map[types.MsgID]uint64)
+		l.suspectedSet = make(map[types.ProcessID]bool)
+		l.nextDSeq = incarnation << wire.DSeqIncarnationShift
+	}
 	if st := l.cfg.Recovered; st != nil {
 		// Adopt the replayed state: decided watermark, per-sender delivered
 		// suppression, the unordered own backlog (re-occupying its
@@ -196,7 +244,17 @@ func (l *Layer) Init(ctx *stack.Context) {
 		seqs := make([]uint64, 0, len(st.Own))
 		for _, m := range st.Own {
 			seqs = append(seqs, m.ID.Seq)
-			l.pending[m.ID] = pendingMsg{msg: m, epoch: l.nextDecide}
+			if !l.cfg.DigestOrdering {
+				l.pending[m.ID] = pendingMsg{msg: m, epoch: l.nextDecide}
+			}
+		}
+		if l.cfg.DigestOrdering {
+			// The replayed backlog re-enters the ordering path as fresh
+			// incarnation-tagged descriptors over maximal contiguous runs
+			// (batch boundaries are not logged, so the regrouping may
+			// differ from the pre-crash ones; per-message delivery dedup
+			// makes any overlap harmless).
+			l.recoveredDescs = l.regroupOwn(st.Own)
 		}
 		var last uint64
 		if st.NextSeq > 0 {
@@ -204,6 +262,36 @@ func (l *Layer) Init(ctx *stack.Context) {
 		}
 		l.fc.Resume(last, seqs)
 	}
+}
+
+// regroupOwn splits the replayed own backlog into maximal contiguous
+// sequence runs, mints a descriptor for each, makes the payloads resident
+// and the descriptors pending. Only called under digest ordering.
+func (l *Layer) regroupOwn(own wire.Batch) []wire.Descriptor {
+	if len(own) == 0 {
+		return nil
+	}
+	sorted := make(wire.Batch, len(own))
+	copy(sorted, own)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID.Seq < sorted[j].ID.Seq })
+	var descs []wire.Descriptor
+	start := 0
+	for i := 1; i <= len(sorted); i++ {
+		if i < len(sorted) && sorted[i].ID.Seq == sorted[i-1].ID.Seq+1 {
+			continue
+		}
+		run := sorted[start:i]
+		l.nextDSeq++
+		d, err := wire.DescriptorFor(run, l.nextDSeq)
+		if err == nil {
+			l.store.PutBatch(run)
+			pm := d.AppMsg()
+			l.pending[pm.ID] = pendingMsg{msg: pm, epoch: l.nextDecide}
+			descs = append(descs, d)
+		}
+		start = i
+	}
+	return descs
 }
 
 // Start implements stack.Layer. A recovered layer re-diffuses its
@@ -215,10 +303,21 @@ func (l *Layer) Start() {
 		c.Recoveries.Add(1)
 		c.RecoveryReplayedMsgs.Add(st.ReplayedMsgs)
 		if len(st.Own) > 0 {
-			w := wire.GetWriter(1 + st.Own.WireSize())
-			wire.AppendBatchFrame(w, st.Own)
-			l.spread(w.Bytes(), st.Own.PayloadBytes())
-			wire.PutWriter(w)
+			if l.cfg.DigestOrdering {
+				// Re-announce the regrouped backlog: payloads travel once
+				// more through the dissemination seam, descriptors re-enter
+				// the ordering path.
+				for _, d := range l.recoveredDescs {
+					if b, ok := l.store.Range(d); ok {
+						l.announce(d, b)
+					}
+				}
+			} else {
+				w := wire.GetWriter(1 + st.Own.WireSize())
+				wire.AppendBatchFrame(w, st.Own)
+				l.spread(w.Bytes(), st.Own.PayloadBytes())
+				wire.PutWriter(w)
+			}
 		}
 		if l.n > 1 {
 			l.rec.Begin(l.ctx.Env().Now(), recovery.Quorum(l.n))
@@ -275,6 +374,12 @@ func (l *Layer) Abcast(body []byte) (types.MsgID, error) {
 	c.Dispatches.Add(1) // application downcall into the stack
 	l.cfg.Obs.Submitted(id, l.ctx.Env().Now())
 	if l.acc == nil {
+		if l.cfg.DigestOrdering {
+			// Unbatched digest mode: the message is its own announced batch.
+			l.ingestBatch(wire.Batch{msg})
+			l.armKick()
+			return id, nil
+		}
 		if l.cfg.Persist != nil {
 			// Write-ahead of the first diffusion: nothing reaches the wire
 			// that a restarted incarnation would not find in its log.
@@ -322,6 +427,26 @@ func (l *Layer) ingestBatch(b wire.Batch) {
 			o.Stage(m.ID, obs.StageSeal, now)
 		}
 	}
+	if l.cfg.DigestOrdering {
+		// Disseminate the payload once, order only the descriptor: the
+		// batch becomes resident, its descriptor becomes the pending
+		// pseudo-message consensus will carry. Own sealed batches are
+		// contiguous by construction (flow control assigns sequential
+		// seqs and the accumulator preserves admission order).
+		l.nextDSeq++
+		d, err := wire.DescriptorFor(b, l.nextDSeq)
+		if err == nil {
+			l.store.PutBatch(b)
+			pm := d.AppMsg()
+			l.pending[pm.ID] = pendingMsg{msg: pm, epoch: l.nextDecide}
+			l.snapClean = false
+			l.announce(d, b)
+			l.maybeStartConsensus()
+			return
+		}
+		// Unreachable for own batches; fall through to plain diffusion so
+		// a shape bug degrades instead of losing the messages.
+	}
 	for _, m := range b {
 		l.pending[m.ID] = pendingMsg{msg: m, epoch: l.nextDecide}
 	}
@@ -331,6 +456,15 @@ func (l *Layer) ingestBatch(b wire.Batch) {
 	l.spread(w.Bytes(), b.PayloadBytes())
 	wire.PutWriter(w)
 	l.maybeStartConsensus()
+}
+
+// announce spreads one payload-announce frame (descriptor + batch)
+// through the dissemination strategy.
+func (l *Layer) announce(d wire.Descriptor, b wire.Batch) {
+	w := wire.GetWriter(32 + b.WireSize())
+	wire.AppendAnnounceFrame(w, d, b)
+	l.spread(w.Bytes(), b.PayloadBytes())
+	wire.PutWriter(w)
 }
 
 // diffuseOne spreads a single-message diffuse frame through a pooled
@@ -353,12 +487,14 @@ func (l *Layer) spread(frame []byte, payloadBytes int) {
 	h, to, relay := l.diss.Origin()
 	if !relay {
 		c.PayloadBytesSent.Add(int64(payloadBytes * (l.n - 1)))
+		c.DisseminatedBytes.Add(int64(len(frame) * (l.n - 1)))
 		l.ctx.NetSendAll(frame)
 		return
 	}
 	c.PayloadBytesSent.Add(int64(payloadBytes))
 	w := wire.GetWriter(16 + len(frame))
 	wire.AppendRelayFrame(w, h, frame)
+	c.DisseminatedBytes.Add(int64(len(w.Bytes())))
 	l.ctx.NetSend(to, w.Bytes())
 	wire.PutWriter(w)
 }
@@ -407,6 +543,42 @@ func (l *Layer) Receive(from types.ProcessID, data []byte) error {
 		return nil
 	case wire.FrameRelay:
 		return l.handleRelay(from, data)
+	case wire.FrameAnnounce:
+		if !l.cfg.DigestOrdering {
+			return fmt.Errorf("abcast: announce from %s without digest ordering", from)
+		}
+		d, b, err := wire.UnmarshalAnnounceFrame(data)
+		if err != nil {
+			return fmt.Errorf("abcast: bad announce from %s: %w", from, err)
+		}
+		l.handleAnnounce(d, b)
+		return nil
+	case wire.FramePayloadFetch:
+		if !l.cfg.DigestOrdering {
+			return fmt.Errorf("abcast: payload-fetch from %s without digest ordering", from)
+		}
+		d, err := wire.UnmarshalPayloadFetch(data)
+		if err != nil {
+			return fmt.Errorf("abcast: bad payload-fetch from %s: %w", from, err)
+		}
+		l.handlePayloadFetch(from, d)
+		return nil
+	case wire.FramePayloadResp:
+		if !l.cfg.DigestOrdering {
+			return fmt.Errorf("abcast: payload-resp from %s without digest ordering", from)
+		}
+		d, b, err := wire.UnmarshalPayloadRespFrame(data)
+		if err != nil {
+			return fmt.Errorf("abcast: bad payload-resp from %s: %w", from, err)
+		}
+		l.handlePayloadResp(d, b)
+		return nil
+	}
+	if l.cfg.DigestOrdering {
+		// A plain payload diffuse under digest ordering means the cluster
+		// runs mixed configurations; reject it before it poisons the
+		// pending set with payload-mode entries.
+		return fmt.Errorf("abcast: plain diffuse from %s under digest ordering", from)
 	}
 	b, err := wire.UnmarshalFrame(data)
 	if err != nil {
@@ -414,6 +586,64 @@ func (l *Layer) Receive(from types.ProcessID, data []byte) error {
 	}
 	l.ingestDiffused(b)
 	return nil
+}
+
+// handleAnnounce ingests a disseminated payload batch and its descriptor:
+// the payload becomes resident (fetchable, resolvable), the descriptor
+// becomes pending for ordering unless already delivered, and a head
+// decision blocked on this payload unblocks.
+func (l *Layer) handleAnnounce(d wire.Descriptor, b wire.Batch) {
+	pm := d.AppMsg()
+	if _, done := l.descDone[pm.ID]; done {
+		return // duplicate announce of a delivered descriptor
+	}
+	l.store.PutBatch(b)
+	if l.rangeFullyDelivered(d) {
+		// Every message of the range is already adelivered — learned
+		// through a recovery chunk or snapshot install that never named
+		// this descriptor ID — so there is nothing left to order. Retire
+		// it instead of pooling: a pending entry no decision will ever
+		// cover would be re-announced by the origin's kick forever.
+		delete(l.pending, pm.ID)
+		l.snapClean = false
+		l.descDone[pm.ID] = l.nextDecide - 1
+		l.store.MarkDelivered(d, l.nextDecide-1)
+		return
+	}
+	if _, known := l.pending[pm.ID]; !known {
+		l.pending[pm.ID] = pendingMsg{msg: pm, epoch: l.nextDecide}
+		l.snapClean = false
+	}
+	l.drainDecisions()
+	l.maybeStartConsensus()
+	l.armKick()
+}
+
+// handlePayloadFetch serves a decided-but-not-resident repair request from
+// the local store; a miss is silently ignored — the requester's timer
+// rotates to the next holder.
+func (l *Layer) handlePayloadFetch(from types.ProcessID, d wire.Descriptor) {
+	b, ok := l.store.Range(d)
+	if !ok {
+		return
+	}
+	c := l.ctx.Env().Counters()
+	c.Retransmissions.Add(1)
+	c.PayloadBytesSent.Add(int64(b.PayloadBytes()))
+	w := wire.GetWriter(32 + b.WireSize())
+	wire.AppendPayloadRespFrame(w, d, b)
+	c.DisseminatedBytes.Add(int64(len(w.Bytes())))
+	l.ctx.NetSend(from, w.Bytes())
+	wire.PutWriter(w)
+}
+
+// handlePayloadResp ingests a repair response (validated against its
+// descriptor at the wire layer) and retries the blocked head.
+func (l *Layer) handlePayloadResp(d wire.Descriptor, b wire.Batch) {
+	l.store.PutBatch(b)
+	l.drainDecisions()
+	l.maybeStartConsensus()
+	l.armKick()
 }
 
 // handleRelay processes a ring-relayed diffuse frame: validate the inner
@@ -426,6 +656,31 @@ func (l *Layer) handleRelay(from types.ProcessID, data []byte) error {
 	if err != nil {
 		return fmt.Errorf("abcast: bad relay from %s: %w", from, err)
 	}
+	if l.cfg.DigestOrdering {
+		// Ring dissemination under digest ordering relays announce frames.
+		if wire.FrameKind(inner) != wire.FrameAnnounce {
+			return fmt.Errorf("abcast: relayed non-announce from %s under digest ordering", from)
+		}
+		d, b, err := wire.UnmarshalAnnounceFrame(inner)
+		if err != nil {
+			return fmt.Errorf("abcast: bad relayed announce from %s: %w", from, err)
+		}
+		nh, to, process, forward := l.diss.Accept(h)
+		if !process {
+			return nil
+		}
+		if forward {
+			c := l.ctx.Env().Counters()
+			c.PayloadBytesSent.Add(int64(b.PayloadBytes()))
+			c.DisseminatedBytes.Add(int64(len(data)))
+			w := wire.GetWriter(len(data))
+			wire.AppendRelayFrame(w, nh, inner)
+			l.ctx.NetSend(to, w.Bytes())
+			wire.PutWriter(w)
+		}
+		l.handleAnnounce(d, b)
+		return nil
+	}
 	b, err := wire.UnmarshalFrame(inner)
 	if err != nil {
 		return fmt.Errorf("abcast: bad relayed diffuse from %s: %w", from, err)
@@ -437,6 +692,7 @@ func (l *Layer) handleRelay(from types.ProcessID, data []byte) error {
 	if forward {
 		c := l.ctx.Env().Counters()
 		c.PayloadBytesSent.Add(int64(b.PayloadBytes()))
+		c.DisseminatedBytes.Add(int64(len(data)))
 		w := wire.GetWriter(len(data))
 		wire.AppendRelayFrame(w, nh, inner)
 		l.ctx.NetSend(to, w.Bytes())
@@ -513,7 +769,9 @@ func (l *Layer) handleRecoverResp(from types.ProcessID, resp wire.RecoverResp) {
 			continue // already applied (replay, buffered decision, racing chunk)
 		}
 		c.RecoveryFetchedMsgs.Add(int64(len(d.Batch)))
-		l.Event(stack.Event{Kind: stack.EvDecide, Instance: d.K, Batch: d.Batch})
+		// State-transfer decisions are served from the responder's log,
+		// which stores resolved payload batches even under digest ordering.
+		l.enqueueDecision(d.K, d.Batch, true)
 	}
 	if !l.rec.Active() {
 		return // finished catch-up: the decisions above were still usable
@@ -665,11 +923,51 @@ func (l *Layer) installSnapshot(env wire.SnapshotEnvelope) error {
 			delete(l.decisionsBuf, k)
 		}
 	}
-	for id := range l.pending {
-		if l.isDelivered(id) {
-			delete(l.pending, id)
-			l.snapClean = false
-			_ = l.fc.Delivered(id)
+	if l.cfg.DigestOrdering {
+		// Pending entries are descriptor pseudo-messages here: one is
+		// obsolete when every real message of its range is now delivered.
+		// Own flow slots release per covered real message either way (a
+		// partially covered descriptor stays pending but its delivered own
+		// seqs must not hold the window; double releases are rejected by
+		// the controller and ignored, exactly like the payload-mode path).
+		for id, p := range l.pending {
+			d, err := wire.ParseDescriptor(p.msg)
+			if err != nil {
+				continue
+			}
+			covered := 0
+			for i := uint32(0); i < d.Count; i++ {
+				rid := types.MsgID{Sender: d.Origin, Seq: d.FirstSeq + uint64(i)}
+				if !l.isDelivered(rid) {
+					continue
+				}
+				covered++
+				if d.Origin == l.self {
+					_ = l.fc.Delivered(rid)
+				}
+			}
+			if covered == int(d.Count) {
+				delete(l.pending, id)
+				l.snapClean = false
+				l.descDone[id] = env.Index
+				l.store.MarkDelivered(d, env.Index)
+			}
+		}
+		// The blocked head (if any) was either pruned by the watermark jump
+		// or is still blocked; reset the wait, then re-drain so a still
+		// blocked head re-arms the refetch timer from scratch.
+		if l.pw.active {
+			l.pw.active = false
+			l.ctx.CancelTimer(timerPayload)
+		}
+		l.drainDecisions()
+	} else {
+		for id := range l.pending {
+			if l.isDelivered(id) {
+				delete(l.pending, id)
+				l.snapClean = false
+				_ = l.fc.Delivered(id)
+			}
 		}
 	}
 	l.lastProgress = l.ctx.Env().Now()
@@ -684,6 +982,9 @@ func (l *Layer) finishRecovery() {
 	for id, p := range l.pending {
 		p.epoch = l.nextDecide
 		l.pending[id] = p
+	}
+	if l.cfg.DigestOrdering {
+		l.drainDecisions()
 	}
 	l.maybeStartConsensus()
 	l.armKick()
@@ -778,39 +1079,202 @@ func (l *Layer) Event(ev stack.Event) {
 	if ev.Kind != stack.EvDecide {
 		return
 	}
-	if ev.Instance < l.nextDecide {
+	l.enqueueDecision(ev.Instance, ev.Batch, false)
+}
+
+// enqueueDecision buffers one decision (from consensus or state transfer)
+// and drains the in-order prefix. A resolved entry is never downgraded by
+// a late unresolved duplicate.
+func (l *Layer) enqueueDecision(k uint64, b wire.Batch, resolved bool) {
+	if k < l.nextDecide {
 		return // duplicate decision for an already-processed instance
 	}
-	l.decisionsBuf[ev.Instance] = ev.Batch
-	for {
-		batch, ok := l.decisionsBuf[l.nextDecide]
-		if !ok {
-			break
-		}
-		delete(l.decisionsBuf, l.nextDecide)
-		l.processDecision(l.nextDecide, batch)
-		l.nextDecide++
+	if old, ok := l.decisionsBuf[k]; !ok || !old.resolved {
+		l.decisionsBuf[k] = decision{batch: b, resolved: resolved}
 	}
+	l.drainDecisions()
 	l.maybeStartConsensus()
 	l.armKick()
+}
+
+// drainDecisions processes buffered decisions in instance order. Under
+// digest ordering an unresolved head is first expanded through the payload
+// store; if any descriptor's payload is not yet resident the drain stops
+// without advancing — adelivery of a decided digest blocks until its
+// payload is resident — and the payload-wait timer takes over the repair.
+func (l *Layer) drainDecisions() {
+	for {
+		dec, ok := l.decisionsBuf[l.nextDecide]
+		if !ok {
+			return
+		}
+		if l.cfg.DigestOrdering && !dec.resolved {
+			resolved, descs, blocked := l.resolveDecision(dec.batch)
+			if blocked {
+				l.beginPayloadWait()
+				return
+			}
+			l.endPayloadWait()
+			delete(l.decisionsBuf, l.nextDecide)
+			l.processDecision(l.nextDecide, resolved, descs)
+			l.nextDecide++
+			continue
+		}
+		delete(l.decisionsBuf, l.nextDecide)
+		l.processDecision(l.nextDecide, dec.batch, nil)
+		l.nextDecide++
+	}
+}
+
+// resolveDecision expands a decided descriptor batch into its payload
+// messages, in the deterministic order of the decided batch itself (the
+// caller re-sorts the whole expansion). A descriptor whose payload is not
+// resident blocks the decision — unless its entire range was already
+// delivered through an overlapping post-restart descriptor, in which case
+// it resolves to nothing. Elements that do not parse as descriptors pass
+// through unchanged (a deterministic last resort; own batches are always
+// announced as descriptors).
+func (l *Layer) resolveDecision(b wire.Batch) (resolved wire.Batch, descs []wire.Descriptor, blocked bool) {
+	resolved = make(wire.Batch, 0, len(b))
+	for _, m := range b {
+		d, err := wire.ParseDescriptor(m)
+		if err != nil {
+			resolved = append(resolved, m)
+			continue
+		}
+		pb, ok := l.store.Range(d)
+		if !ok {
+			if l.rangeFullyDelivered(d) {
+				descs = append(descs, d)
+				continue
+			}
+			return nil, nil, true
+		}
+		resolved = append(resolved, pb...)
+		descs = append(descs, d)
+	}
+	return resolved, descs, false
+}
+
+// rangeFullyDelivered reports whether every real message of the
+// descriptor's range was already adelivered (possible only with
+// overlapping post-restart descriptors).
+func (l *Layer) rangeFullyDelivered(d wire.Descriptor) bool {
+	for i := uint32(0); i < d.Count; i++ {
+		if !l.isDelivered(types.MsgID{Sender: d.Origin, Seq: d.FirstSeq + uint64(i)}) {
+			return false
+		}
+	}
+	return true
+}
+
+// beginPayloadWait starts (or keeps) the blocked-head payload wait. No
+// fetch is sent immediately: the announce is usually still in flight, so
+// the first repair attempt is deferred to the timer (the same discipline
+// as the ring decision refetch).
+func (l *Layer) beginPayloadWait() {
+	if l.pw.active {
+		return
+	}
+	l.pw.active = true
+	l.pw.since = l.ctx.Env().Now()
+	if l.cfg.ResendEvery > 0 {
+		l.ctx.SetTimer(timerPayload, l.cfg.ResendEvery)
+	}
+}
+
+// endPayloadWait closes an active payload wait, accounting the blocked
+// time.
+func (l *Layer) endPayloadWait() {
+	if !l.pw.active {
+		return
+	}
+	dur := l.ctx.Env().Now() - l.pw.since
+	l.ctx.Env().Counters().PayloadFetchNanos.Add(dur.Nanoseconds())
+	l.cfg.Obs.PayloadFetchObserved(dur)
+	l.pw.active = false
+	l.ctx.CancelTimer(timerPayload)
+}
+
+// headMissingDescriptor returns the first descriptor of the head decision
+// whose payload is neither resident nor fully delivered.
+func (l *Layer) headMissingDescriptor() (wire.Descriptor, bool) {
+	dec, ok := l.decisionsBuf[l.nextDecide]
+	if !ok || dec.resolved {
+		return wire.Descriptor{}, false
+	}
+	for _, m := range dec.batch {
+		d, err := wire.ParseDescriptor(m)
+		if err != nil {
+			continue
+		}
+		if _, resident := l.store.Range(d); !resident && !l.rangeFullyDelivered(d) {
+			return d, true
+		}
+	}
+	return wire.Descriptor{}, false
+}
+
+// nextFetchTarget rotates the payload-fetch cursor to the next live
+// process: never self, skipping currently suspected processes, falling
+// back to plain rotation when everyone else is suspected (a wrongly
+// suspected holder can still answer).
+func (l *Layer) nextFetchTarget() types.ProcessID {
+	if l.n < 2 {
+		return types.Nobody
+	}
+	start := int(l.pw.to) + 1
+	for i := 0; i < l.n; i++ {
+		p := types.ProcessID((start + i) % l.n)
+		if p == l.self || l.suspectedSet[p] {
+			continue
+		}
+		l.pw.to = p
+		return p
+	}
+	for i := 0; i < l.n; i++ {
+		p := types.ProcessID((start + i) % l.n)
+		if p != l.self {
+			l.pw.to = p
+			return p
+		}
+	}
+	return types.Nobody
 }
 
 // processDecision adelivers a decided batch in deterministic order,
 // releases flow-control slots, and re-diffuses stale survivors. With
 // durability enabled the decision is logged first — write-ahead of the
-// deliveries it implies.
-func (l *Layer) processDecision(k uint64, batch wire.Batch) {
+// deliveries it implies. Under digest ordering batch is the RESOLVED
+// payload expansion and descs the descriptors it came from: the log
+// stores resolved batches (so recovery, state transfer and replay work
+// unchanged), and the descriptors retire from pending/descDone/store
+// here.
+func (l *Layer) processDecision(k uint64, batch wire.Batch, descs []wire.Descriptor) {
 	if l.cfg.Persist != nil {
 		l.cfg.Persist.PersistDecision(k, batch)
 	}
 	l.lastProgress = l.ctx.Env().Now()
+	for _, d := range descs {
+		pmID := types.MsgID{Sender: d.Origin, Seq: d.DSeq}
+		delete(l.pending, pmID)
+		l.snapClean = false
+		l.descDone[pmID] = k
+		l.store.MarkDelivered(d, k)
+	}
 	ordered := make(wire.Batch, len(batch))
 	copy(ordered, batch)
 	ordered.SortDeterministic()
 	c := l.ctx.Env().Counters()
 	for _, m := range ordered {
-		delete(l.pending, m.ID)
-		l.snapClean = false
+		if !l.cfg.DigestOrdering {
+			// Under digest ordering the pending set holds only descriptor
+			// pseudo-messages; the resolved real IDs alias pseudo IDs at
+			// incarnation 0 (real seq n vs descriptor counter n), so a
+			// delete here would silently drop an undecided descriptor.
+			delete(l.pending, m.ID)
+			l.snapClean = false
+		}
 		if l.isDelivered(m.ID) {
 			// With pipelining, two concurrent instances may both order a
 			// message (different processes proposed it to different
@@ -844,6 +1308,38 @@ func (l *Layer) processDecision(k uint64, batch wire.Batch) {
 			}
 		}
 	}
+	// Retire pending descriptors the delivery loop just made obsolete: a
+	// post-restart regrouped descriptor overlaps its pre-crash ancestors,
+	// so a decision naming the ancestor can deliver the whole range of a
+	// still-pending sibling. That sibling resolves to nothing, no future
+	// decision needs to name it, and — if its proposal frame was lost to a
+	// partition — nothing would ever decide it out of the pending set.
+	// (Flow slots for covered own seqs were already released above when the
+	// real messages delivered.)
+	if l.cfg.DigestOrdering {
+		for _, id := range l.sortedPendingIDs() {
+			d, err := wire.ParseDescriptor(l.pending[id].msg)
+			if err != nil || !l.rangeFullyDelivered(d) {
+				continue
+			}
+			delete(l.pending, id)
+			l.snapClean = false
+			l.descDone[id] = k
+			l.store.MarkDelivered(d, k)
+		}
+	}
+	// Retire resolved payload and descriptor bookkeeping that fell behind
+	// the decision retention horizon: entries this old are no longer
+	// servable targets of the repair paths.
+	if h := uint64(l.cfg.DecisionHorizon); l.cfg.DigestOrdering && h > 0 && k > h {
+		cutoff := k - h
+		l.store.PruneBelow(cutoff)
+		for id, dk := range l.descDone {
+			if dk <= cutoff {
+				delete(l.descDone, id)
+			}
+		}
+	}
 	// Survivor re-diffusion: a pending message that predates several
 	// decided instances was missed by the coordinator — the only causes
 	// are a sender crash mid-diffusion or extreme reordering. Re-diffuse
@@ -860,10 +1356,34 @@ func (l *Layer) processDecision(k uint64, batch wire.Batch) {
 		if k >= p.epoch && k-p.epoch >= rediffuseGrace*uint64(l.pipe) {
 			p.epoch = l.nextDecide + 1
 			l.pending[id] = p
-			c.Retransmissions.Add(int64(l.spreadFanout()))
-			l.diffuseOne(p.msg)
+			if l.rediffuse(p.msg) {
+				c.Retransmissions.Add(int64(l.spreadFanout()))
+			}
 		}
 	}
+}
+
+// rediffuse re-spreads one stale pending entry. In payload mode it is a
+// plain diffuse; under digest ordering the entry is a descriptor
+// pseudo-message re-announced together with its resident payload (a
+// descriptor whose payload this process no longer holds is skipped — it
+// either resolves trivially as fully delivered, or another holder
+// re-announces it).
+func (l *Layer) rediffuse(m wire.AppMsg) bool {
+	if !l.cfg.DigestOrdering {
+		l.diffuseOne(m)
+		return true
+	}
+	d, err := wire.ParseDescriptor(m)
+	if err != nil {
+		return false
+	}
+	b, ok := l.store.Range(d)
+	if !ok {
+		return false
+	}
+	l.announce(d, b)
+	return true
 }
 
 // Timer implements stack.Layer: the batching age trigger and the idle
@@ -913,6 +1433,37 @@ func (l *Layer) Timer(id engine.TimerID) {
 		}
 		return
 	}
+	if id == timerPayload {
+		if !l.pw.active {
+			return
+		}
+		// Payloads may have arrived without triggering a drain (e.g. via a
+		// racing snapshot install); retry before fetching.
+		l.drainDecisions()
+		if !l.pw.active {
+			l.maybeStartConsensus()
+			l.armKick()
+			return
+		}
+		// Still blocked: fetch the first missing payload from one rotating
+		// live holder. Bounded to a single target per fire so a cluster-wide
+		// stall does not multiply into a fetch storm.
+		if d, ok := l.headMissingDescriptor(); ok {
+			if to := l.nextFetchTarget(); to != types.Nobody {
+				c := l.ctx.Env().Counters()
+				c.PayloadFetches.Add(1)
+				c.Retransmissions.Add(1)
+				w := wire.GetWriter(32)
+				wire.AppendPayloadFetchFrame(w, d)
+				l.ctx.NetSend(to, w.Bytes())
+				wire.PutWriter(w)
+			}
+		}
+		if l.cfg.ResendEvery > 0 {
+			l.ctx.SetTimer(timerPayload, l.cfg.ResendEvery)
+		}
+		return
+	}
 	if id != timerKick || l.cfg.IdleKick <= 0 {
 		return
 	}
@@ -941,8 +1492,9 @@ func (l *Layer) Timer(id engine.TimerID) {
 			p := l.pending[mid]
 			p.epoch = l.nextDecide + 1
 			l.pending[mid] = p
-			c.Retransmissions.Add(int64(l.spreadFanout()))
-			l.diffuseOne(p.msg)
+			if l.rediffuse(p.msg) {
+				c.Retransmissions.Add(int64(l.spreadFanout()))
+			}
 		}
 		l.maybeStartConsensus()
 	}
@@ -982,6 +1534,13 @@ func (l *Layer) staleGap() bool {
 // is how a cut ring repairs itself.
 func (l *Layer) Suspect(p types.ProcessID, suspected bool) {
 	l.diss.Suspect(p, suspected)
+	if l.suspectedSet != nil {
+		if suspected {
+			l.suspectedSet[p] = true
+		} else {
+			delete(l.suspectedSet, p)
+		}
+	}
 }
 
 // marshalDiffuse builds a single-message diffuse frame (tests craft

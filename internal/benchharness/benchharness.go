@@ -74,6 +74,11 @@ type RunOptions struct {
 	// (FigRing) sweeps both strategies itself; this field retargets the
 	// standard figures.
 	Dissemination dissem.Strategy
+	// Digest turns digest ordering on in every measured engine (payloads
+	// disseminate once, consensus orders ~32-byte descriptors). The
+	// dedicated digest figure (FigDigest) sweeps both modes itself; this
+	// field retargets the standard figures.
+	Digest bool
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -96,7 +101,7 @@ func (o RunOptions) withDefaults() RunOptions {
 func RunPoint(n int, stk types.Stack, load float64, size int, opts RunOptions) (Point, error) {
 	opts = opts.withDefaults()
 	var engCfg engine.Config // zero value: netsim applies DefaultConfig(n)
-	if opts.Batch.Enabled() || opts.Window > 0 || opts.Pipeline > 0 || opts.Dissemination != dissem.AllToAll {
+	if opts.Batch.Enabled() || opts.Window > 0 || opts.Pipeline > 0 || opts.Dissemination != dissem.AllToAll || opts.Digest {
 		engCfg = engine.DefaultConfig(n)
 		engCfg.Batch = opts.Batch
 		if opts.Window > 0 {
@@ -104,6 +109,7 @@ func RunPoint(n int, stk types.Stack, load float64, size int, opts RunOptions) (
 		}
 		engCfg.PipelineDepth = opts.Pipeline
 		engCfg.Dissemination = opts.Dissemination
+		engCfg.DigestOrdering = opts.Digest
 	}
 	var lat, thr, avgM, msgsPerDec, msgsPerBat, hdrPerMsg, util stats.Welford
 	var blocked, dropped int64

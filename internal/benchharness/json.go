@@ -13,8 +13,10 @@ import (
 // option; v3 adds the histogram-backed adeliver-latency percentile
 // columns (LatencyP50Ms/LatencyP99Ms on the pipeline and ring points,
 // DeliverP50Ms/DeliverP99Ms on the KV points) sourced from the
-// observability layer's log₂ latency histograms.
-const ReportSchema = "modab-bench/v3"
+// observability layer's log₂ latency histograms; v4 adds the digest
+// figure (ordering/dissemination byte split with digest ordering off and
+// on) and the digest run option.
+const ReportSchema = "modab-bench/v4"
 
 // Report is the machine-readable form of one abbench run: every figure's
 // points plus the recovery sweep, under a versioned schema — the input of
@@ -29,6 +31,7 @@ type Report struct {
 	Chaos       *ChaosFigure    `json:"chaos,omitempty"`
 	KV          *KVFigure       `json:"kv,omitempty"`
 	Ring        *RingFigure     `json:"ring,omitempty"`
+	Digest      *DigestFigure   `json:"digest,omitempty"`
 }
 
 // ReportOptions records the sweep parameters the numbers were produced
@@ -42,10 +45,11 @@ type ReportOptions struct {
 	BatchBytes  int     `json:"batch_bytes,omitempty"`
 	Pipeline    int     `json:"pipeline,omitempty"`
 	Dissem      string  `json:"dissem,omitempty"`
+	Digest      bool    `json:"digest,omitempty"`
 }
 
 // NewReport assembles a report from run options and results.
-func NewReport(opts RunOptions, figs []Figure, rec *RecoveryFigure, pipe *PipelineFigure, cha *ChaosFigure, kv *KVFigure, ring *RingFigure) Report {
+func NewReport(opts RunOptions, figs []Figure, rec *RecoveryFigure, pipe *PipelineFigure, cha *ChaosFigure, kv *KVFigure, ring *RingFigure, dig *DigestFigure) Report {
 	opts = opts.withDefaults()
 	dissemName := ""
 	if opts.Dissemination != 0 {
@@ -63,6 +67,7 @@ func NewReport(opts RunOptions, figs []Figure, rec *RecoveryFigure, pipe *Pipeli
 			BatchBytes:  opts.Batch.MaxBytes,
 			Pipeline:    opts.Pipeline,
 			Dissem:      dissemName,
+			Digest:      opts.Digest,
 		},
 		Figures:  figs,
 		Recovery: rec,
@@ -70,6 +75,7 @@ func NewReport(opts RunOptions, figs []Figure, rec *RecoveryFigure, pipe *Pipeli
 		Chaos:    cha,
 		KV:       kv,
 		Ring:     ring,
+		Digest:   dig,
 	}
 }
 

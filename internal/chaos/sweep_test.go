@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"modab/internal/batch"
 	"modab/internal/dissem"
 	"modab/internal/engine"
 	"modab/internal/netsim"
@@ -21,16 +22,22 @@ type sweepFamily struct {
 	config   func() StackConfig
 }
 
-// sweepFamilies are the five regression families of the chaos sweep:
+// sweepFamilies are the six regression families of the chaos sweep:
 // a partition during a W=4 pipeline, asymmetric drops on the round-1
 // coordinator's outbound links, a partition overlapping a crash+restart
 // on a durable cluster, a KV-loaded snapshot-install recovery (the
 // crashed process comes back after its peers snapshotted and truncated
 // past its watermark, so its only way back is a snapshot install — with
-// applied-state equivalence checked across processes and stacks), and a
+// applied-state equivalence checked across processes and stacks), a
 // ring-dissemination cut (a partitioned ring edge on even seeds, a
 // crashed-and-restarted mid-ring relayer on odd ones, under
-// Dissemination=Ring on a durable cluster).
+// Dissemination=Ring on a durable cluster), and a digest-ordering family
+// (KV-loaded batched cluster with WithDigestOrdering semantics: a
+// lost-payload-before-decide partition that severs the announce path
+// between two non-coordinator processes so decided descriptors arrive
+// with non-resident payloads and the post-decide re-fetch must repair
+// them, rotated by seed with crash+restart and an overlapping
+// partition+crash on the durable cluster).
 var sweepFamilies = []sweepFamily{
 	{
 		name: "partition-during-pipeline",
@@ -125,6 +132,55 @@ var sweepFamilies = []sweepFamily{
 			cfg := engine.DefaultConfig(3)
 			cfg.Dissemination = dissem.Ring
 			return StackConfig{Engine: cfg, Durable: true, Load: 500}
+		},
+	},
+	{
+		name: "digest-ordering",
+		schedule: func(seed int64) Schedule {
+			switch seed % 3 {
+			case 0:
+				// Lost payload before decide: cut the link between the two
+				// non-coordinator processes mid-injection. Announces each
+				// origin sends the other die on the cut, while p0 keeps
+				// ordering descriptors for everyone — so the far side
+				// decides descriptors whose payload batches it never
+				// received and must repair them through the post-decide
+				// payload fetch (rotating away from the suspected origin).
+				a := types.ProcessID(1)
+				b := types.ProcessID(2)
+				from := 150*time.Millisecond + time.Duration(seed%5)*47*time.Millisecond
+				return Schedule{
+					{Kind: OpPartition, A: a, B: b, From: from, To: from + 450*time.Millisecond},
+				}
+			case 1:
+				// Crash+restart under digest ordering on the durable
+				// cluster: recovery regroups the replayed own backlog into
+				// fresh incarnation-tagged descriptors and re-announces.
+				victim := types.ProcessID(1 + seed%2)
+				crashAt := 300*time.Millisecond + time.Duration(seed%4)*43*time.Millisecond
+				return Schedule{
+					{Kind: OpCrash, A: victim, From: crashAt},
+					{Kind: OpRestart, A: victim, From: crashAt + 500*time.Millisecond},
+				}
+			default:
+				// Partition overlapping a crash: the payload holder set
+				// shrinks while a link is down, so repair has to rotate
+				// past both the dead origin and the unreachable peer.
+				victim := types.ProcessID(1 + seed%2)
+				other := types.ProcessID(2 - seed%2)
+				crashAt := 300*time.Millisecond + time.Duration(seed%4)*37*time.Millisecond
+				return Schedule{
+					{Kind: OpPartition, A: 0, B: other, From: 200 * time.Millisecond, To: 650 * time.Millisecond},
+					{Kind: OpCrash, A: victim, From: crashAt},
+					{Kind: OpRestart, A: victim, From: crashAt + 450*time.Millisecond},
+				}
+			}
+		},
+		config: func() StackConfig {
+			cfg := engine.DefaultConfig(3)
+			cfg.DigestOrdering = true
+			cfg.Batch = batch.Config{MaxMsgs: 8, MaxDelay: 2 * time.Millisecond}
+			return StackConfig{Engine: cfg, Durable: true, KV: true, Load: 400}
 		},
 	},
 }

@@ -572,14 +572,24 @@ func (l *Layer) prune() {
 }
 
 // send marshals and transmits one consensus message, accounting payload
-// bytes for the data-volume analysis.
+// bytes for the data-volume analysis and whole-frame bytes as ordering
+// traffic (OrderedBytes): every consensus frame exists only to order, so
+// its full wire size — batch included — is the cost of ordering. Under
+// digest ordering the batch is a 16-byte descriptor body and this counter
+// stops scaling with payload size; that drop is the figure's headline.
 func (l *Layer) send(to types.ProcessID, m message) {
-	l.ctx.Env().Counters().PayloadBytesSent.Add(int64(m.Batch.PayloadBytes()))
-	l.ctx.NetSend(to, m.marshal())
+	data := m.marshal()
+	c := l.ctx.Env().Counters()
+	c.PayloadBytesSent.Add(int64(m.Batch.PayloadBytes()))
+	c.OrderedBytes.Add(int64(len(data)))
+	l.ctx.NetSend(to, data)
 }
 
 // sendAll transmits one consensus message to every other process.
 func (l *Layer) sendAll(m message) {
-	l.ctx.Env().Counters().PayloadBytesSent.Add(int64(m.Batch.PayloadBytes() * (l.n - 1)))
-	l.ctx.NetSendAll(m.marshal())
+	data := m.marshal()
+	c := l.ctx.Env().Counters()
+	c.PayloadBytesSent.Add(int64(m.Batch.PayloadBytes() * (l.n - 1)))
+	c.OrderedBytes.Add(int64(len(data) * (l.n - 1)))
+	l.ctx.NetSendAll(data)
 }

@@ -40,6 +40,10 @@ const (
 	// TimerRecover drives state-transfer retries while a restarted engine
 	// is catching up on missed decisions (crash-recovery subsystem).
 	TimerRecover TimerID = 4
+	// TimerPayload drives digest-ordering payload re-fetch: armed while an
+	// in-order decided descriptor's payload batch is not yet resident, it
+	// fetches the missing bytes from one rotating live holder per fire.
+	TimerPayload TimerID = 5
 	// TimerUser is the first ID free for driver/application use.
 	TimerUser TimerID = 64
 )
@@ -238,6 +242,17 @@ type Config struct {
 	// acks, decisions, recovery, snapshots — is unaffected. Both stacks
 	// honor it identically.
 	Dissemination dissem.Strategy
+	// DigestOrdering separates payload dissemination from ordering: the
+	// sender rbcasts a batch's payload bytes exactly once (an announce
+	// frame through the dissemination seam), and consensus then orders a
+	// compact descriptor — (origin, incarnation-tagged batch seq, CRC
+	// digest, count) — instead of the payload-carrying batch, so
+	// proposal/estimate/ack/decision frames stop scaling with payload
+	// size. Adelivery of a decided descriptor blocks until its payload is
+	// resident (internal/payload), with a timer-driven re-fetch from a
+	// rotating live holder. Off by default (the golden-trace-pinned
+	// payload-ordering behavior). Both stacks honor it identically.
+	DigestOrdering bool
 	// PipelineDepth is the consensus pipeline window W: the maximum number
 	// of consensus instances a process keeps in flight concurrently
 	// instead of waiting for instance k to decide before proposing k+1.

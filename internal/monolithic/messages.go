@@ -56,8 +56,25 @@ const (
 	// rest of the relay header, and Data the marshaled inner proposal.
 	// Every other message type stays on its original point-to-point or
 	// all-to-all path — relaying only the bulky proposal is exactly the
-	// coordinator-NIC fix.
+	// coordinator-NIC fix. Under digest ordering the proposal is pure
+	// control (it carries descriptors, not payloads), so mRelay instead
+	// wraps the payload announce: Data holds a raw wire.FrameAnnounce
+	// frame rather than a marshaled inner message.
 	mRelay
+	// mAnnounce carries one payload batch with its descriptor (digest
+	// ordering): the one-time payload dissemination, after which every
+	// ordering message — proposal, ack, estimate, decision — carries only
+	// the ~32-byte descriptor pseudo-message. Data holds a raw
+	// wire.FrameAnnounce frame, validated (count, ID range, CRC digest)
+	// at the wire layer before the engine sees it.
+	mAnnounce
+	// mPayloadFetch asks one peer for the payload batch of a decided
+	// descriptor that never became resident here (lost announce, restart).
+	// Data holds a raw wire.FramePayloadFetch frame.
+	mPayloadFetch
+	// mPayloadResp answers mPayloadFetch; Data holds a raw
+	// wire.FramePayloadResp frame, validated exactly like an announce.
+	mPayloadResp
 )
 
 // String implements fmt.Stringer.
@@ -89,6 +106,12 @@ func (t mtype) String() string {
 		return "snap-resp"
 	case mRelay:
 		return "relay"
+	case mAnnounce:
+		return "announce"
+	case mPayloadFetch:
+		return "payload-fetch"
+	case mPayloadResp:
+		return "payload-resp"
 	default:
 		return fmt.Sprintf("mtype(%d)", uint8(t))
 	}
@@ -190,6 +213,8 @@ func (m message) marshalTo(w *wire.Writer) {
 		w.Int32(int32(m.RelayOrigin))
 		w.Uint8(m.RelayHops)
 		w.Bytes32(m.Data)
+	case mAnnounce, mPayloadFetch, mPayloadResp:
+		w.Bytes32(m.Data)
 	case mNack, mDecisionOnly, mDecisionReq, mRecoverReq:
 		// Header only.
 	}
@@ -234,6 +259,8 @@ func unmarshalMessage(data []byte) (message, error) {
 	case mRelay:
 		m.RelayOrigin = types.ProcessID(r.Int32())
 		m.RelayHops = r.Uint8()
+		m.Data = r.Bytes32()
+	case mAnnounce, mPayloadFetch, mPayloadResp:
 		m.Data = r.Bytes32()
 	case mNack, mDecisionOnly, mDecisionReq, mRecoverReq:
 		// Header only.

@@ -42,6 +42,7 @@ import (
 	"modab/internal/engine"
 	"modab/internal/flow"
 	"modab/internal/obs"
+	"modab/internal/payload"
 	"modab/internal/recovery"
 	"modab/internal/types"
 	"modab/internal/wire"
@@ -138,6 +139,37 @@ type Engine struct {
 	// this process's missing instance but cannot serve the instances
 	// themselves (it truncated its log below the snapshot horizon).
 	snap snapFetch
+
+	// Digest-ordering state (cfg.DigestOrdering; see engine.Config). In
+	// this mode own and pool hold descriptor pseudo-messages — one per
+	// sealed batch — so the entire consensus machinery (acks, estimates,
+	// proposals, piggybacks) carries ~32-byte descriptors while store
+	// keeps the payload bytes disseminated once through mAnnounce.
+	store *payload.Store
+	// nextDSeq numbers own descriptors, incarnation-tagged in its high 16
+	// bits so a restarted origin's regrouped batches never collide with
+	// its pre-crash descriptors.
+	nextDSeq uint64
+	// descDone remembers decided descriptors (pseudo ID → deciding
+	// instance) until the retention horizon prunes them. Descriptor IDs
+	// alias real message IDs at incarnation 0, so the per-sender delivered
+	// suppressor must never stand in for this map.
+	descDone map[types.MsgID]uint64
+	// pw is the blocked-head payload wait: the in-order decision whose
+	// descriptor payload is not resident, parked until an announce/fetch
+	// response lands (TimerPayload fetches from one rotating holder).
+	pw payloadWait
+}
+
+// payloadWait parks the head decision of digest ordering while some
+// decided descriptor's payload batch is missing.
+type payloadWait struct {
+	active bool
+	k      uint64
+	batch  wire.Batch
+	round  uint32
+	since  time.Duration
+	to     types.ProcessID
 }
 
 // snapFetch is the chunk-assembly state of one snapshot transfer.
@@ -171,6 +203,13 @@ type inst struct {
 	// waitingRound is nonzero when a decision for this instance is known
 	// to exist in that round but the matching proposal is missing.
 	waitingRound uint32
+	// full buffers an already-resolved decision batch under digest
+	// ordering (mDecisionFull and recovery serve post-resolution bytes,
+	// which must never be re-parsed as descriptors — a real 16-byte body
+	// would alias one); hasFull/fullRound qualify it.
+	full      wire.Batch
+	fullRound uint32
+	hasFull   bool
 }
 
 type coordRound struct {
@@ -218,6 +257,11 @@ func New(env engine.Env, cfg engine.Config) *Engine {
 		incarnation = st.Boots
 	}
 	e.diss = dissem.New(cfg.Dissemination, e.self, e.n, incarnation)
+	if cfg.DigestOrdering {
+		e.store = payload.NewStore()
+		e.descDone = make(map[types.MsgID]uint64)
+		e.nextDSeq = incarnation << wire.DSeqIncarnationShift
+	}
 	if st := cfg.Recovered; st != nil {
 		// Adopt the replayed state: the decided watermark, the per-sender
 		// delivered suppression, the unordered own backlog (re-occupying
@@ -229,8 +273,18 @@ func New(env engine.Env, cfg engine.Config) *Engine {
 		seqs := make([]uint64, 0, len(st.Own))
 		for _, m := range st.Own {
 			seqs = append(seqs, m.ID.Seq)
-			e.own[m.ID.Seq] = &ownMsg{msg: m}
-			e.pool[m.ID] = m
+		}
+		if cfg.DigestOrdering {
+			// The replayed backlog re-enters the ordering path as fresh
+			// descriptors (regrouped into contiguous runs), not as raw
+			// messages; the flow slots stay bound to the real sequence
+			// numbers either way.
+			e.regroupOwn(st.Own)
+		} else {
+			for _, m := range st.Own {
+				e.own[m.ID.Seq] = &ownMsg{msg: m}
+				e.pool[m.ID] = m
+			}
 		}
 		var last uint64
 		if st.NextSeq > 0 {
@@ -239,6 +293,34 @@ func New(env engine.Env, cfg engine.Config) *Engine {
 		e.fc.Resume(last, seqs)
 	}
 	return e
+}
+
+// regroupOwn rebuilds a replayed own backlog as descriptors (digest
+// ordering): the surviving messages are regrouped into maximal contiguous
+// sequence runs — gaps are messages an old decision already ordered —
+// each run becoming one resident payload batch whose fresh
+// incarnation-tagged descriptor joins own and pool.
+func (e *Engine) regroupOwn(own wire.Batch) {
+	msgs := make(wire.Batch, len(own))
+	copy(msgs, own)
+	sort.Slice(msgs, func(i, j int) bool { return msgs[i].ID.Seq < msgs[j].ID.Seq })
+	for start := 0; start < len(msgs); {
+		end := start + 1
+		for end < len(msgs) && msgs[end].ID.Seq == msgs[end-1].ID.Seq+1 {
+			end++
+		}
+		run := msgs[start:end]
+		start = end
+		e.nextDSeq++
+		d, err := wire.DescriptorFor(run, e.nextDSeq)
+		if err != nil {
+			continue // impossible for a contiguous single-origin run
+		}
+		e.store.PutBatch(run)
+		pm := d.AppMsg()
+		e.own[d.DSeq] = &ownMsg{msg: pm}
+		e.pool[pm.ID] = pm
+	}
 }
 
 // Start implements engine.Engine. A recovered engine announces itself and
@@ -259,7 +341,10 @@ func (e *Engine) Start() {
 			}
 			// Re-inject the replayed own backlog: forward it to the current
 			// coordinator now (the paper's bootstrap path) so its ordering
-			// does not depend on the idle-kick timer being enabled.
+			// does not depend on the idle-kick timer being enabled. Under
+			// digest ordering the payload bytes must travel too — the
+			// forward carries only descriptors.
+			e.reannounceOwn()
 			e.forwardRecoveredOwn()
 		} else {
 			e.tryPropose()
@@ -377,7 +462,22 @@ func (e *Engine) ingestBatch(b wire.Batch) {
 			o.Stage(m.ID, obs.StageSeal, now)
 		}
 	}
-	for _, m := range b {
+	entries := b
+	if e.cfg.DigestOrdering {
+		// Disseminate the payload exactly once; only the descriptor
+		// pseudo-message enters the ordering machinery (own, pool, acks,
+		// proposals). Own sealed batches are contiguous by construction
+		// (flow control assigns sequential seqs, the accumulator preserves
+		// admission order); on the impossible shape error the raw messages
+		// degrade to payload-style ordering instead of being lost.
+		e.nextDSeq++
+		if d, err := wire.DescriptorFor(b, e.nextDSeq); err == nil {
+			e.store.PutBatch(b)
+			entries = wire.Batch{d.AppMsg()}
+			e.spreadAnnounce(d, b)
+		}
+	}
+	for _, m := range entries {
 		e.own[m.ID.Seq] = &ownMsg{msg: m}
 		// Own messages always join the local pool: inert while another
 		// process coordinates, but immediately proposable if this process
@@ -387,7 +487,7 @@ func (e *Engine) ingestBatch(b wire.Batch) {
 	cur := e.current()
 	coord := e.coordinator(cur.round)
 	if coord == e.self {
-		for _, m := range b {
+		for _, m := range entries {
 			e.own[m.ID.Seq].attached = cur.k
 		}
 		e.tryPropose()
@@ -567,6 +667,13 @@ func (e *Engine) proposeRound(in *inst, r uint32, batch wire.Batch) {
 // The origin pays the payload bytes of exactly one transmission on the
 // ring path (mRelay's own payloadBytes is zero — Data is opaque there).
 func (e *Engine) spreadPropDec(m message) {
+	if e.cfg.DigestOrdering {
+		// Digest ordering: the proposal carries descriptors only — pure
+		// control that no longer scales with payload size — so it never
+		// rides the ring; mAnnounce is what relays (spreadAnnounce).
+		e.sendAll(m)
+		return
+	}
 	h, to, relay := e.diss.Origin()
 	if !relay {
 		e.sendAll(m)
@@ -589,6 +696,9 @@ func (e *Engine) spreadPropDec(m message) {
 // origin had sent it directly — acks, nacks and refetches all go
 // straight back to the origin, never along the ring.
 func (e *Engine) handleRelay(from types.ProcessID, m message) error {
+	if e.cfg.DigestOrdering {
+		return e.handleAnnounceRelay(from, m)
+	}
 	inner, err := unmarshalMessage(m.Data)
 	if err != nil {
 		return fmt.Errorf("monolithic: bad relayed proposal from %s: %w", from, err)
@@ -613,6 +723,148 @@ func (e *Engine) handleRelay(from types.ProcessID, m message) error {
 	}
 	e.handlePropDec(h.Origin, inner)
 	return nil
+}
+
+// spreadAnnounce disseminates one payload batch with its descriptor
+// through the strategy seam: a broadcast mAnnounce under AllToAll, or one
+// transmission to the first live successor under Ring (the successors
+// relay it around the group, so the origin's egress stays constant).
+// This is digest ordering's only payload-bearing dissemination.
+func (e *Engine) spreadAnnounce(d wire.Descriptor, b wire.Batch) {
+	w := wire.GetWriter(32 + b.WireSize())
+	wire.AppendAnnounceFrame(w, d, b)
+	frame := make([]byte, w.Len())
+	copy(frame, w.Bytes())
+	wire.PutWriter(w)
+	c := e.env.Counters()
+	h, to, relay := e.diss.Origin()
+	if !relay {
+		c.PayloadBytesSent.Add(int64(b.PayloadBytes() * (e.n - 1)))
+		e.sendAll(message{Type: mAnnounce, Data: frame})
+		return
+	}
+	c.PayloadBytesSent.Add(int64(b.PayloadBytes()))
+	e.send(to, message{
+		Type:        mRelay,
+		Instance:    h.Seq,
+		RelayOrigin: h.Origin,
+		RelayHops:   h.Hops,
+		Data:        frame,
+	})
+}
+
+// handleAnnounceRelay processes a ring-relayed payload announce (under
+// digest ordering the relay wraps a raw announce frame — the proposal is
+// pure control and never relays): validate the frame at the wire layer,
+// dedup on the relay watermark, forward along the ring, then ingest
+// exactly like a direct announce.
+func (e *Engine) handleAnnounceRelay(from types.ProcessID, m message) error {
+	d, b, err := wire.UnmarshalAnnounceFrame(m.Data)
+	if err != nil {
+		return fmt.Errorf("monolithic: bad relayed announce from %s: %w", from, err)
+	}
+	h := wire.RelayHeader{Origin: m.RelayOrigin, Seq: m.Instance, Hops: m.RelayHops}
+	nh, to, process, forward := e.diss.Accept(h)
+	if !process {
+		return nil
+	}
+	if forward {
+		e.env.Counters().PayloadBytesSent.Add(int64(b.PayloadBytes()))
+		e.send(to, message{
+			Type:        mRelay,
+			Instance:    nh.Seq,
+			RelayOrigin: nh.Origin,
+			RelayHops:   nh.Hops,
+			Data:        m.Data,
+		})
+	}
+	e.handleAnnounce(d, b)
+	return nil
+}
+
+// handleAnnounce ingests a disseminated payload batch: the bytes become
+// resident (proposable, fetchable, resolvable), the descriptor joins the
+// pool unless already decided, and a head decision blocked on this
+// payload retries.
+func (e *Engine) handleAnnounce(d wire.Descriptor, b wire.Batch) {
+	pm := d.AppMsg()
+	if _, done := e.descDone[pm.ID]; done {
+		return // duplicate announce of a decided descriptor
+	}
+	e.store.PutBatch(b)
+	if e.rangeFullyDelivered(d) {
+		// Every message of the range is already adelivered — the decision
+		// arrived pre-resolved (decision-full answer, recovery chunk)
+		// while this announce was cut off, so no descriptor retirement
+		// ever named this ID. Retire it here: pooling it would park a
+		// fully-decided descriptor that no future decision will clear,
+		// and the origin's kick would re-announce it forever.
+		e.descDone[pm.ID] = e.decidedK
+		e.store.MarkDelivered(d, e.decidedK)
+		delete(e.pool, pm.ID)
+		delete(e.assigned, pm.ID)
+		return
+	}
+	if _, ok := e.pool[pm.ID]; !ok {
+		e.pool[pm.ID] = pm
+	}
+	e.retryBlockedDecide()
+	e.tryPropose()
+	e.armKick()
+}
+
+// handlePayloadFetch serves a decided-but-not-resident repair request
+// from the local store; a miss is silently ignored — the requester's
+// timer rotates to the next holder.
+func (e *Engine) handlePayloadFetch(from types.ProcessID, d wire.Descriptor) {
+	b, ok := e.store.Range(d)
+	if !ok {
+		return
+	}
+	c := e.env.Counters()
+	c.Retransmissions.Add(1)
+	c.PayloadBytesSent.Add(int64(b.PayloadBytes()))
+	w := wire.GetWriter(32 + b.WireSize())
+	wire.AppendPayloadRespFrame(w, d, b)
+	frame := make([]byte, w.Len())
+	copy(frame, w.Bytes())
+	wire.PutWriter(w)
+	e.send(from, message{Type: mPayloadResp, Data: frame})
+}
+
+// handlePayloadResp ingests a repair response (validated against its
+// descriptor at the wire layer) and retries the blocked head.
+func (e *Engine) handlePayloadResp(d wire.Descriptor, b wire.Batch) {
+	e.store.PutBatch(b)
+	e.retryBlockedDecide()
+	e.tryPropose()
+}
+
+// reannounceOwn re-disseminates the payload batch of every own undecided
+// descriptor (digest ordering; no-op otherwise). Recovered backlogs and
+// stalled kicks must re-spread the payload bytes, not just the
+// descriptor — a forward alone could let the cluster order a digest
+// whose bytes only this process holds.
+func (e *Engine) reannounceOwn() {
+	if !e.cfg.DigestOrdering || len(e.own) == 0 {
+		return
+	}
+	dseqs := make([]uint64, 0, len(e.own))
+	for dseq := range e.own {
+		dseqs = append(dseqs, dseq)
+	}
+	sort.Slice(dseqs, func(i, j int) bool { return dseqs[i] < dseqs[j] })
+	c := e.env.Counters()
+	for _, dseq := range dseqs {
+		d, err := wire.ParseDescriptor(e.own[dseq].msg)
+		if err != nil {
+			continue // shape-bug fallback entry: raw messages, nothing to announce
+		}
+		if b, ok := e.store.Range(d); ok {
+			c.Retransmissions.Add(1)
+			e.spreadAnnounce(d, b)
+		}
+	}
 }
 
 // respreadOpen re-disseminates every open proposal this process
@@ -754,6 +1006,33 @@ func (e *Engine) HandleMessage(from types.ProcessID, data []byte) error {
 		e.handleSnapResp(from, m)
 	case mRelay:
 		return e.handleRelay(from, m)
+	case mAnnounce:
+		if !e.cfg.DigestOrdering {
+			return fmt.Errorf("monolithic: announce from %s without digest ordering", from)
+		}
+		d, b, err := wire.UnmarshalAnnounceFrame(m.Data)
+		if err != nil {
+			return fmt.Errorf("monolithic: bad announce from %s: %w", from, err)
+		}
+		e.handleAnnounce(d, b)
+	case mPayloadFetch:
+		if !e.cfg.DigestOrdering {
+			return fmt.Errorf("monolithic: payload fetch from %s without digest ordering", from)
+		}
+		d, err := wire.UnmarshalPayloadFetch(m.Data)
+		if err != nil {
+			return fmt.Errorf("monolithic: bad payload fetch from %s: %w", from, err)
+		}
+		e.handlePayloadFetch(from, d)
+	case mPayloadResp:
+		if !e.cfg.DigestOrdering {
+			return fmt.Errorf("monolithic: payload response from %s without digest ordering", from)
+		}
+		d, b, err := wire.UnmarshalPayloadRespFrame(m.Data)
+		if err != nil {
+			return fmt.Errorf("monolithic: bad payload response from %s: %w", from, err)
+		}
+		e.handlePayloadResp(d, b)
 	default:
 		return fmt.Errorf("monolithic: unexpected message type %d from %s", uint8(m.Type), from)
 	}
@@ -928,7 +1207,24 @@ func (e *Engine) catchUpPruned(to types.ProcessID, k uint64, round uint32) {
 // ones.
 func (e *Engine) poolIn(batch wire.Batch) {
 	for _, msg := range batch {
-		if e.isDelivered(msg.ID) {
+		if e.cfg.DigestOrdering {
+			// The batch carries descriptor pseudo-messages here, whose IDs
+			// alias real message IDs at incarnation 0 — the per-sender
+			// delivered suppressor must not be consulted (a real seq n
+			// delivery would falsely suppress descriptor counter n);
+			// descDone is the descriptor-space dedup.
+			if _, done := e.descDone[msg.ID]; done {
+				continue
+			}
+			// A descriptor whose whole range is already adelivered (learned
+			// through a pre-resolved decision that named no descriptors) has
+			// nothing left to order — retire instead of pooling.
+			if d, err := wire.ParseDescriptor(msg); err == nil && e.rangeFullyDelivered(d) {
+				e.descDone[msg.ID] = e.decidedK
+				e.store.MarkDelivered(d, e.decidedK)
+				continue
+			}
+		} else if e.isDelivered(msg.ID) {
 			continue
 		}
 		if _, ok := e.pool[msg.ID]; !ok {
@@ -1023,12 +1319,214 @@ func (e *Engine) requestMissing(from types.ProcessID, upto uint64) {
 	}
 }
 
-// decide finalizes the current instance: adeliver the batch, release flow
-// control, advance to the next instance and keep the pipeline moving.
+// decide finalizes the current instance from an unresolved decision
+// batch: under digest ordering the decided descriptors are first resolved
+// to their resident payload batches — parking the head (and arming the
+// payload re-fetch) when some payload has not arrived — while payload
+// ordering adelivers the batch directly.
 func (e *Engine) decide(in *inst, batch wire.Batch, r uint32) {
 	if in.decided || in.k != e.decidedK+1 {
 		return
 	}
+	if !e.cfg.DigestOrdering {
+		e.finalize(in, batch, nil, r)
+		return
+	}
+	resolved, descs, blocked := e.resolveDecision(batch)
+	if blocked {
+		e.blockOnPayload(in.k, batch, r)
+		return
+	}
+	if e.pw.active && e.pw.k == in.k {
+		e.endPayloadWait()
+	}
+	e.finalize(in, resolved, descs, r)
+}
+
+// decideResolved finalizes the current instance from an already-resolved
+// decision batch — a full-decision re-serve or a recovery chunk, whose
+// batches were stored post-resolution (the WAL and instance memory keep
+// resolved bytes under digest ordering). Re-resolving them would be
+// wrong, not just wasteful: a real 16-byte message body aliases a
+// descriptor encoding.
+func (e *Engine) decideResolved(in *inst, batch wire.Batch, r uint32) {
+	if in.decided || in.k != e.decidedK+1 {
+		return
+	}
+	if e.pw.active && e.pw.k == in.k {
+		e.endPayloadWait()
+	}
+	e.finalize(in, batch, nil, r)
+}
+
+// resolveDecision maps a decided descriptor batch to the real messages it
+// ordered. Elements that do not parse as descriptors pass through raw
+// (the shape-bug fallback ordered them as plain messages). A descriptor
+// with no resident payload resolves trivially — to nothing — when every
+// message of its range was already adelivered (an overlapping
+// post-restart descriptor re-ordered after pruning); otherwise it blocks
+// the decision until the payload lands.
+func (e *Engine) resolveDecision(batch wire.Batch) (resolved wire.Batch, descs []wire.Descriptor, blocked bool) {
+	for _, m := range batch {
+		d, err := wire.ParseDescriptor(m)
+		if err != nil {
+			resolved = append(resolved, m)
+			continue
+		}
+		if b, ok := e.store.Range(d); ok {
+			resolved = append(resolved, b...)
+			descs = append(descs, d)
+			continue
+		}
+		if e.rangeFullyDelivered(d) {
+			descs = append(descs, d)
+			continue
+		}
+		blocked = true
+	}
+	if blocked {
+		return nil, nil, true
+	}
+	return resolved, descs, false
+}
+
+// rangeFullyDelivered reports whether every real message of the
+// descriptor's range was already adelivered (possible only when an
+// overlapping post-restart descriptor ordered them first).
+func (e *Engine) rangeFullyDelivered(d wire.Descriptor) bool {
+	for i := uint32(0); i < d.Count; i++ {
+		if !e.isDelivered(types.MsgID{Sender: d.Origin, Seq: d.FirstSeq + uint64(i)}) {
+			return false
+		}
+	}
+	return true
+}
+
+// blockOnPayload parks the head decision until its missing payload
+// arrives (announce, relay, or fetched response). No immediate fetch: the
+// announce is usually still in flight — direct control frames outrun ring
+// relays — and TimerPayload fetches from a single rotating holder only if
+// it never lands (the same deferral discipline as the ring's decision
+// refetch).
+func (e *Engine) blockOnPayload(k uint64, batch wire.Batch, r uint32) {
+	if e.pw.active && e.pw.k == k {
+		e.pw.batch = batch
+		e.pw.round = r
+		return
+	}
+	e.pw = payloadWait{active: true, k: k, batch: batch, round: r, since: e.env.Now(), to: e.pw.to}
+	if e.cfg.ResendEvery > 0 {
+		e.env.SetTimer(engine.TimerPayload, e.cfg.ResendEvery)
+	}
+}
+
+// endPayloadWait closes the blocked-head wait, attributing the blocked
+// duration to the payload-fetch accounting.
+func (e *Engine) endPayloadWait() {
+	dur := e.env.Now() - e.pw.since
+	e.env.Counters().PayloadFetchNanos.Add(dur.Nanoseconds())
+	e.cfg.Obs.PayloadFetchObserved(dur)
+	e.pw.active = false
+	e.env.CancelTimer(engine.TimerPayload)
+}
+
+// retryBlockedDecide re-attempts the head decision parked on a missing
+// payload (after an announce, relay or fetch response made bytes
+// resident).
+func (e *Engine) retryBlockedDecide() {
+	if !e.pw.active {
+		return
+	}
+	in := e.insts[e.pw.k]
+	if in == nil || in.decided || e.pw.k != e.decidedK+1 {
+		// Stale wait: a snapshot install or a resolved re-serve advanced
+		// the watermark past the parked instance.
+		e.pw.active = false
+		e.env.CancelTimer(engine.TimerPayload)
+		return
+	}
+	e.decide(in, e.pw.batch, e.pw.round)
+}
+
+// payloadTimer is the digest-ordering re-fetch driver: if the head is
+// still blocked after a full resend period, fetch the first missing
+// payload from one rotating live holder — a single target per fire, so a
+// cluster-wide stall never multiplies into a fetch storm.
+func (e *Engine) payloadTimer() {
+	if !e.pw.active {
+		return
+	}
+	e.retryBlockedDecide()
+	if !e.pw.active {
+		return
+	}
+	if d, ok := e.headMissingDescriptor(); ok {
+		if to := e.nextFetchTarget(); to != e.self {
+			c := e.env.Counters()
+			c.PayloadFetches.Add(1)
+			c.Retransmissions.Add(1)
+			w := wire.GetWriter(32)
+			wire.AppendPayloadFetchFrame(w, d)
+			frame := make([]byte, w.Len())
+			copy(frame, w.Bytes())
+			wire.PutWriter(w)
+			e.send(to, message{Type: mPayloadFetch, Data: frame})
+		}
+	}
+	if e.cfg.ResendEvery > 0 {
+		e.env.SetTimer(engine.TimerPayload, e.cfg.ResendEvery)
+	}
+}
+
+// headMissingDescriptor returns the first descriptor of the blocked head
+// whose payload is neither resident nor fully delivered.
+func (e *Engine) headMissingDescriptor() (wire.Descriptor, bool) {
+	for _, m := range e.pw.batch {
+		d, err := wire.ParseDescriptor(m)
+		if err != nil {
+			continue
+		}
+		if _, ok := e.store.Range(d); ok {
+			continue
+		}
+		if e.rangeFullyDelivered(d) {
+			continue
+		}
+		return d, true
+	}
+	return wire.Descriptor{}, false
+}
+
+// nextFetchTarget rotates the payload-fetch recipient across unsuspected
+// peers — or, with everyone suspected, across all peers (suspicion can be
+// wrong, and an unanswered fetch only costs one resend period). Returns
+// self only when there are no peers at all.
+func (e *Engine) nextFetchTarget() types.ProcessID {
+	start := int(e.pw.to) + 1
+	fallback := e.self
+	for i := 0; i < e.n; i++ {
+		p := types.ProcessID((start + i) % e.n)
+		if p == e.self {
+			continue
+		}
+		if fallback == e.self {
+			fallback = p
+		}
+		if !e.suspected[p] {
+			e.pw.to = p
+			return p
+		}
+	}
+	e.pw.to = fallback
+	return fallback
+}
+
+// finalize commits the head decision: persist, adeliver, release flow
+// control, close proposal bookkeeping, cascade buffered successors and
+// keep the pipeline moving. batch is the adeliverable form — the resolved
+// real messages under digest ordering — and descs the descriptors the
+// decision retired (digest ordering only; nil otherwise).
+func (e *Engine) finalize(in *inst, batch wire.Batch, descs []wire.Descriptor, r uint32) {
 	if e.cfg.Persist != nil {
 		// Write-ahead: the decision reaches stable storage before any of
 		// its messages is adelivered, so a crash-recovery replay never
@@ -1044,14 +1542,34 @@ func (e *Engine) decide(in *inst, batch wire.Batch, r uint32) {
 	c := e.env.Counters()
 	c.ConsensusDecided.Add(1)
 	c.BatchedMsgs.Add(int64(len(batch)))
+	// Descriptor bookkeeping first (digest ordering): the retired
+	// descriptors leave own/pool under their pseudo IDs, and descDone
+	// suppresses late announces and piggybacks of them.
+	for _, d := range descs {
+		pmID := types.MsgID{Sender: d.Origin, Seq: d.DSeq}
+		delete(e.pool, pmID)
+		delete(e.assigned, pmID)
+		if d.Origin == e.self {
+			delete(e.own, d.DSeq)
+		}
+		e.descDone[pmID] = in.k
+		e.store.MarkDelivered(d, in.k)
+	}
 	ordered := make(wire.Batch, len(batch))
 	copy(ordered, batch)
 	ordered.SortDeterministic()
 	for _, msg := range ordered {
-		delete(e.pool, msg.ID)
-		delete(e.assigned, msg.ID)
-		if msg.ID.Sender == e.self {
-			delete(e.own, msg.ID.Seq)
+		if !e.cfg.DigestOrdering {
+			// Under digest ordering own/pool hold only descriptor
+			// pseudo-messages, whose IDs alias the resolved real IDs at
+			// incarnation 0 — deleting by real ID here would silently drop
+			// an undecided descriptor (the descs loop above is the
+			// bookkeeping that replaces this one).
+			delete(e.pool, msg.ID)
+			delete(e.assigned, msg.ID)
+			if msg.ID.Sender == e.self {
+				delete(e.own, msg.ID.Seq)
+			}
 		}
 		if e.isDelivered(msg.ID) {
 			// With pipelining, two concurrent instances may both order a
@@ -1071,6 +1589,35 @@ func (e *Engine) decide(in *inst, batch wire.Batch, r uint32) {
 			c.Retransmissions.Add(1)
 		}
 	}
+	// Sweep the pool for descriptor entries whose whole range is now
+	// delivered and retire them like the loop above. Two ways such an
+	// entry appears: a decision learned already-resolved (decision-full
+	// answer, recovery chunk, buffered cascade) names no descriptors, so
+	// the loop above could not retire the ones it covered; and a decision
+	// naming a pre-crash descriptor can deliver the entire range of a
+	// still-pooled post-restart sibling that regrouped the same seqs.
+	// Either way the leftover would re-announce on the kick timer forever
+	// and the cluster would never quiesce.
+	if e.cfg.DigestOrdering {
+		ids := make([]types.MsgID, 0, len(e.pool))
+		for id := range e.pool {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+		for _, id := range ids {
+			d, err := wire.ParseDescriptor(e.pool[id])
+			if err != nil || !e.rangeFullyDelivered(d) {
+				continue
+			}
+			delete(e.pool, id)
+			delete(e.assigned, id)
+			if d.Origin == e.self {
+				delete(e.own, d.DSeq)
+			}
+			e.descDone[id] = in.k
+			e.store.MarkDelivered(d, in.k)
+		}
+	}
 	// Close this instance's proposal bookkeeping: pool messages it carried
 	// but did not order become proposable again for a later window slot.
 	if ids := e.propIDs[in.k]; ids != nil {
@@ -1083,11 +1630,19 @@ func (e *Engine) decide(in *inst, batch wire.Batch, r uint32) {
 	}
 	e.prune()
 	// Cascade: a decision announcement for the next instance may already
-	// be buffered (out-of-order recovery).
-	if buf := e.insts[e.decidedK+1]; buf != nil && !buf.decided && buf.waitingRound != 0 {
-		if batch, ok := buf.proposals[buf.waitingRound]; ok {
-			e.decide(buf, batch, buf.waitingRound)
+	// be buffered (out-of-order recovery). An already-resolved full
+	// decision (digest ordering) takes precedence — it is applicable
+	// as-is, where the raw proposal would have to re-resolve.
+	if buf := e.insts[e.decidedK+1]; buf != nil && !buf.decided {
+		if e.cfg.DigestOrdering && buf.hasFull {
+			e.decideResolved(buf, buf.full, buf.fullRound)
 			return
+		}
+		if buf.waitingRound != 0 {
+			if batch, ok := buf.proposals[buf.waitingRound]; ok {
+				e.decide(buf, batch, buf.waitingRound)
+				return
+			}
 		}
 	}
 	// Cascade (ack path): with pipelining, a later window instance can
@@ -1191,6 +1746,19 @@ func (e *Engine) handleDecisionFull(m message) {
 	if in.decided {
 		return
 	}
+	if e.cfg.DigestOrdering {
+		// The served batch is already resolved (deciders store and serve
+		// post-resolution bytes): buffer it apart from raw proposals so
+		// the cascade never re-parses real messages as descriptors.
+		in.full = m.Batch
+		in.fullRound = m.Round
+		in.hasFull = true
+		in.waitingRound = m.Round
+		if m.Instance == e.decidedK+1 {
+			e.decideResolved(in, m.Batch, m.Round)
+		}
+		return
+	}
 	in.proposals[m.Round] = m.Batch
 	in.waitingRound = m.Round
 	if m.Instance == e.decidedK+1 {
@@ -1250,7 +1818,12 @@ func (e *Engine) handleRecoverResp(from types.ProcessID, m message) {
 		}
 		c.RecoveryFetchedMsgs.Add(int64(len(d.Batch)))
 		in := e.get(d.K)
-		e.decide(in, d.Batch, in.round)
+		if e.cfg.DigestOrdering {
+			// Logged decisions hold resolved batches under digest ordering.
+			e.decideResolved(in, d.Batch, in.round)
+		} else {
+			e.decide(in, d.Batch, in.round)
+		}
 	}
 	if !e.rec.Active() {
 		return // finished catch-up: the decisions above were still usable
@@ -1403,17 +1976,56 @@ func (e *Engine) installSnapshot(env wire.SnapshotEnvelope) error {
 		}
 	}
 	// Own and pooled messages the snapshot already ordered: release their
-	// flow slots and stop re-proposing them.
-	for seq, om := range e.own {
-		if e.isDelivered(om.msg.ID) {
-			delete(e.own, seq)
-			_ = e.fc.Delivered(om.msg.ID)
+	// flow slots and stop re-proposing them. Under digest ordering the
+	// pool holds descriptor pseudo-messages whose IDs alias real IDs at
+	// incarnation 0, so coverage is checked per real message of each
+	// descriptor's range instead of per pool ID; a partially covered
+	// descriptor stays proposable (it resolves trivially for the covered
+	// prefix once re-ordered) but its delivered own slots release now.
+	if e.cfg.DigestOrdering {
+		for id, pm := range e.pool {
+			d, err := wire.ParseDescriptor(pm)
+			if err != nil {
+				continue // shape-bug fallback entry: left for re-proposal
+			}
+			covered := 0
+			for i := uint32(0); i < d.Count; i++ {
+				rid := types.MsgID{Sender: d.Origin, Seq: d.FirstSeq + uint64(i)}
+				if e.isDelivered(rid) {
+					covered++
+					if d.Origin == e.self {
+						_ = e.fc.Delivered(rid)
+					}
+				}
+			}
+			if covered == int(d.Count) {
+				delete(e.pool, id)
+				delete(e.assigned, id)
+				if d.Origin == e.self {
+					delete(e.own, d.DSeq)
+				}
+				e.descDone[id] = env.Index
+				e.store.MarkDelivered(d, env.Index)
+			}
 		}
-	}
-	for id := range e.pool {
-		if e.isDelivered(id) {
-			delete(e.pool, id)
-			delete(e.assigned, id)
+		// A blocked head below the new watermark is obsolete; drop the
+		// wait outright (retryBlockedDecide would also detect it).
+		if e.pw.active {
+			e.pw.active = false
+			e.env.CancelTimer(engine.TimerPayload)
+		}
+	} else {
+		for seq, om := range e.own {
+			if e.isDelivered(om.msg.ID) {
+				delete(e.own, seq)
+				_ = e.fc.Delivered(om.msg.ID)
+			}
+		}
+		for id := range e.pool {
+			if e.isDelivered(id) {
+				delete(e.pool, id)
+				delete(e.assigned, id)
+			}
 		}
 	}
 	e.lastProgress = e.env.Now()
@@ -1442,6 +2054,8 @@ func (e *Engine) HandleTimer(id engine.TimerID) {
 		e.kick()
 	case engine.TimerFlush:
 		e.flushBatch()
+	case engine.TimerPayload:
+		e.payloadTimer()
 	case engine.TimerRecover:
 		if e.rec.Active() {
 			// Re-announce only when the transfer stalled since the last
@@ -1613,6 +2227,9 @@ func (e *Engine) kick() {
 			for _, om := range e.own {
 				e.pool[om.msg.ID] = om.msg
 			}
+			// Digest backstop: peers may hold our descriptors without the
+			// payload bytes (lost announce) — re-spread both.
+			e.reannounceOwn()
 			e.tryPropose()
 			// Ring backstop: a stalled open proposal means the relay died
 			// mid-ring before any suspicion fired — re-spread it along the
@@ -1620,6 +2237,7 @@ func (e *Engine) kick() {
 			e.respreadOpen()
 		} else {
 			// Re-forward everything we still hold.
+			e.reannounceOwn()
 			batch := e.allOwn(cur.k)
 			if len(batch) > 0 {
 				e.send(coord, message{Type: mForward, Instance: cur.k, Round: cur.round, Batch: batch})
@@ -1681,7 +2299,9 @@ func (e *Engine) advanceSuspected() {
 	}
 }
 
-// prune drops instance state beyond the catch-up horizon.
+// prune drops instance state beyond the catch-up horizon, and with it —
+// under digest ordering — the resolved payload batches and descriptor
+// bookkeeping that are no longer servable repair targets.
 func (e *Engine) prune() {
 	h := uint64(e.cfg.DecisionHorizon)
 	if h == 0 || e.decidedK <= h {
@@ -1691,6 +2311,14 @@ func (e *Engine) prune() {
 	for k, in := range e.insts {
 		if in.decided && k <= cutoff {
 			delete(e.insts, k)
+		}
+	}
+	if e.cfg.DigestOrdering {
+		e.store.PruneBelow(cutoff)
+		for id, dk := range e.descDone {
+			if dk <= cutoff {
+				delete(e.descDone, id)
+			}
 		}
 	}
 }
@@ -1704,16 +2332,43 @@ func (m message) payloadBytes() int {
 	return pb
 }
 
+// accountFrame attributes one marshaled frame to the ordering- or
+// dissemination-path byte counters (the digest figure's split).
+// Proposals, acks, estimates, forwards and decision traffic are ordering
+// cost — the frames whose size digest ordering collapses to descriptor
+// scale; announces and payload re-serves are dissemination cost; a relay
+// frame is whichever its inner frame is (proposals in payload mode,
+// announces under digest ordering). Recovery, snapshot transfer and
+// payload-fetch requests count as neither.
+func (e *Engine) accountFrame(t mtype, size, fanout int) {
+	c := e.env.Counters()
+	switch t {
+	case mPropDec, mAckDiff, mEstimate, mNack, mForward, mDecisionOnly, mDecisionReq, mDecisionFull:
+		c.OrderedBytes.Add(int64(size * fanout))
+	case mAnnounce, mPayloadResp:
+		c.DisseminatedBytes.Add(int64(size * fanout))
+	case mRelay:
+		if e.cfg.DigestOrdering {
+			c.DisseminatedBytes.Add(int64(size * fanout))
+		} else {
+			c.OrderedBytes.Add(int64(size * fanout))
+		}
+	}
+}
+
 // send marshals and transmits one message, accounting payload bytes.
 func (e *Engine) send(to types.ProcessID, m message) {
 	e.env.Counters().PayloadBytesSent.Add(int64(m.payloadBytes()))
-	e.env.Send(to, m.marshal())
+	data := m.marshal()
+	e.accountFrame(m.Type, len(data), 1)
+	e.env.Send(to, data)
 }
 
 // sendAll transmits one message to every other process.
 func (e *Engine) sendAll(m message) {
 	e.env.Counters().PayloadBytesSent.Add(int64(m.payloadBytes() * (e.n - 1)))
 	data := m.marshal()
+	e.accountFrame(m.Type, len(data), e.n-1)
 	for p := 0; p < e.n; p++ {
 		if types.ProcessID(p) == e.self {
 			continue

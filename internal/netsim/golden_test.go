@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"modab/internal/batch"
 	"modab/internal/dissem"
 	"modab/internal/engine"
 	"modab/internal/types"
@@ -47,6 +48,11 @@ type goldenScenario struct {
 	// ring-free scenarios run the zero config and stay on their original
 	// AllToAll fingerprints untouched).
 	ring bool
+	// digest runs the scenario with engine.DefaultConfig(n) plus
+	// DigestOrdering and an 8-message sender batch, pinning the
+	// announce/descriptor split (the digest-free scenarios run with the
+	// feature off and stay on their original fingerprints untouched).
+	digest bool
 }
 
 // goldenScenarios is the pinned scenario matrix: good runs at both group
@@ -72,6 +78,14 @@ var goldenScenarios = []goldenScenario{
 	// where the log serves pruned decisions).
 	{name: "ring-partition/n=3", n: 3, seed: 13, load: 300, size: 64, crash: -1, ring: true,
 		partition: true, partA: 0, partB: 1, partFrom: 400 * time.Millisecond, partTo: 650 * time.Millisecond},
+	// Digest-ordering matrix: a good run (announce + descriptor consensus
+	// in steady state) and a partition between the two non-coordinator
+	// processes (decided descriptors arrive before their payload on the
+	// far side, exercising the blocked-head delivery and the late-announce
+	// retirement), pinning the split's wire behavior bit-for-bit.
+	{name: "digest/n=3", n: 3, seed: 42, load: 1500, size: 128, crash: -1, digest: true},
+	{name: "digest-partition/n=3", n: 3, seed: 13, load: 900, size: 64, crash: -1, digest: true,
+		partition: true, partA: 1, partB: 2, partFrom: 400 * time.Millisecond, partTo: 800 * time.Millisecond},
 }
 
 // goldenFingerprints maps scenario/stack to the recorded pre-pipelining
@@ -105,6 +119,15 @@ var goldenFingerprints = map[string]string{
 	"ring/n=5/monolithic":           "p0{del=3600 sent=1085 B=459464 disp=5047 cons=1081/1081} p1{del=3600 sent=2162 B=558429 disp=1802 cons=0/1081} p2{del=3600 sent=2163 B=558446 disp=1802 cons=0/1081} p3{del=3600 sent=2163 B=558446 disp=1802 cons=0/1081} p4{del=3600 sent=1082 B=99034 disp=1802 cons=0/1081} order=c96b408699c69e34",
 	"ring-partition/n=3/modular":    "p0{del=566 sent=2651 B=178888 disp=4679 cons=560/560} p1{del=566 sent=2219 B=83030 disp=3289 cons=491/560} p2{del=566 sent=1054 B=55216 disp=4079 cons=371/560} order=abda69b561df9d41",
 	"ring-partition/n=3/monolithic": "p0{del=535 sent=1595 B=87094 disp=1664 cons=526/526} p1{del=535 sent=1302 B=90089 disp=1202 cons=0/526} p2{del=535 sent=753 B=31761 disp=1319 cons=0/526} order=ffc69bbaa6a7739a",
+	// Digest-ordering fingerprints (recorded when the
+	// dissemination/ordering split landed). Note the bytes-sent drop versus
+	// the matching payload-mode goldens at the same seed and load: payloads
+	// cross the wire once as announces while consensus frames carry only
+	// descriptors.
+	"digest/n=3/modular":              "p0{del=3000 sent=4294 B=490748 disp=8266 cons=823/823} p1{del=3000 sent=3473 B=376454 disp=6620 cons=6/823} p2{del=3000 sent=1825 B=333590 disp=7443 cons=6/823} order=e5561d2e0be487c",
+	"digest/n=3/monolithic":           "p0{del=3000 sent=4254 B=527302 disp=5379 cons=1255/1255} p1{del=3000 sent=2876 B=398142 disp=3630 cons=0/1255} p2{del=3000 sent=2631 B=382021 disp=3752 cons=0/1255} order=e3fde66d7f621d18",
+	"digest-partition/n=3/modular":    "p0{del=642 sent=2050 B=143028 disp=8059 cons=377/377} p1{del=642 sent=6054 B=650720 disp=4636 cons=3/377} p2{del=642 sent=5100 B=549116 disp=5103 cons=3/377} order=7df8e679e06c01b6",
+	"digest-partition/n=3/monolithic": "p0{del=1800 sent=4428 B=453908 disp=5219 cons=1434/1434} p1{del=1800 sent=2910 B=203266 disp=3364 cons=0/1434} p2{del=1800 sent=2908 B=203042 disp=3463 cons=0/1434} order=c8cb69cf65e82d4f",
 }
 
 // fingerprint runs the scenario and folds every process's delivery
@@ -167,6 +190,11 @@ func TestGoldenTraces(t *testing.T) {
 				if sc.ring {
 					cfg = engine.DefaultConfig(sc.n)
 					cfg.Dissemination = dissem.Ring
+				}
+				if sc.digest {
+					cfg = engine.DefaultConfig(sc.n)
+					cfg.DigestOrdering = true
+					cfg.Batch = batch.Config{MaxMsgs: 8, MaxDelay: 2 * time.Millisecond}
 				}
 				got := sc.fingerprint(t, stk, cfg)
 				key := sc.name + "/" + stk.String()

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"modab/internal/batch"
 	"modab/internal/dissem"
 	"modab/internal/engine"
 	"modab/internal/types"
@@ -71,6 +72,10 @@ func TestPipelineDepthOneMatchesDefault(t *testing.T) {
 				cfg := engine.DefaultConfig(sc.n)
 				if sc.ring {
 					cfg.Dissemination = dissem.Ring
+				}
+				if sc.digest {
+					cfg.DigestOrdering = true
+					cfg.Batch = batch.Config{MaxMsgs: 8, MaxDelay: 2 * time.Millisecond}
 				}
 				cfg.PipelineDepth = 1
 				got := sc.fingerprint(t, stk, cfg)

@@ -112,6 +112,12 @@ type Recorder struct {
 	Recovery Histogram
 	// Install is the snapshot fetch+install duration.
 	Install Histogram
+	// PayloadFetch is the time adelivery of a decided descriptor was
+	// blocked waiting for its payload to become resident (digest ordering
+	// only; the submit→adeliver Deliver histogram already includes this
+	// wait, because Delivered is recorded at payload-resident delivery,
+	// never at digest decide).
+	PayloadFetch Histogram
 
 	cfg Config
 
@@ -240,6 +246,15 @@ func (r *Recorder) InstallObserved(d time.Duration) {
 	r.Install.Observe(d)
 }
 
+// PayloadFetchObserved records one decided-but-not-resident wait: the
+// time from the blocking decide to the payload becoming resident.
+func (r *Recorder) PayloadFetchObserved(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.PayloadFetch.Observe(d)
+}
+
 // TraceEvents returns the recorded stage events, oldest first.
 func (r *Recorder) TraceEvents() []StageEvent {
 	if r == nil {
@@ -265,6 +280,7 @@ func (r *Recorder) Histograms() []NamedHistogram {
 		{"fsync", &r.Fsync},
 		{"recovery", &r.Recovery},
 		{"install", &r.Install},
+		{"payload_fetch", &r.PayloadFetch},
 	}
 }
 

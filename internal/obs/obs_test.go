@@ -121,6 +121,7 @@ func TestNilRecorderSafe(t *testing.T) {
 	r.FsyncObserved(time.Millisecond)
 	r.RecoveryObserved(time.Millisecond)
 	r.InstallObserved(time.Millisecond)
+	r.PayloadFetchObserved(time.Millisecond)
 	if r.Sampled(m) {
 		t.Error("nil recorder samples")
 	}
@@ -141,7 +142,7 @@ func TestHistogramsStableOrder(t *testing.T) {
 	for _, nh := range r.Histograms() {
 		names = append(names, nh.Name)
 	}
-	want := []string{"deliver", "apply", "fsync", "recovery", "install"}
+	want := []string{"deliver", "apply", "fsync", "recovery", "install", "payload_fetch"}
 	if !reflect.DeepEqual(names, want) {
 		t.Fatalf("Histograms order = %v, want %v", names, want)
 	}

@@ -1,0 +1,135 @@
+package payload
+
+import (
+	"testing"
+
+	"modab/internal/types"
+	"modab/internal/wire"
+)
+
+func msg(origin types.ProcessID, seq uint64, body string) wire.AppMsg {
+	return wire.AppMsg{ID: types.MsgID{Sender: origin, Seq: seq}, Body: []byte(body)}
+}
+
+func contiguous(origin types.ProcessID, first uint64, n int) wire.Batch {
+	b := make(wire.Batch, 0, n)
+	for i := 0; i < n; i++ {
+		b = append(b, msg(origin, first+uint64(i), "x"))
+	}
+	return b
+}
+
+func TestStoreRangeResolvesDescriptor(t *testing.T) {
+	s := NewStore()
+	b := contiguous(1, 10, 5)
+	d, err := wire.DescriptorFor(b, 77)
+	if err != nil {
+		t.Fatalf("DescriptorFor: %v", err)
+	}
+	if s.Has(d) {
+		t.Fatal("empty store claims residency")
+	}
+	s.PutBatch(b)
+	if !s.Has(d) {
+		t.Fatal("full range not resident after PutBatch")
+	}
+	got, ok := s.Range(d)
+	if !ok || len(got) != 5 {
+		t.Fatalf("Range: ok=%v len=%d", ok, len(got))
+	}
+	if err := d.Validate(got); err != nil {
+		t.Fatalf("resolved batch does not validate: %v", err)
+	}
+	if s.Len() != 5 || s.Bytes() != 5 {
+		t.Fatalf("Len=%d Bytes=%d, want 5/5", s.Len(), s.Bytes())
+	}
+}
+
+func TestStoreRangeMissingMessage(t *testing.T) {
+	s := NewStore()
+	b := contiguous(2, 1, 4)
+	d, _ := wire.DescriptorFor(b, 1)
+	for i, m := range b {
+		if i == 2 {
+			continue // hole
+		}
+		s.Put(m)
+	}
+	if s.Has(d) {
+		t.Fatal("store with a hole claims residency")
+	}
+	if _, ok := s.Range(d); ok {
+		t.Fatal("Range resolved across a hole")
+	}
+}
+
+func TestStorePutIdempotent(t *testing.T) {
+	s := NewStore()
+	m := msg(0, 1, "abc")
+	s.Put(m)
+	s.Put(msg(0, 1, "different"))
+	got, _ := s.Get(0, 1)
+	if string(got.Body) != "abc" {
+		t.Fatalf("second Put overwrote body: %q", got.Body)
+	}
+	if s.Len() != 1 || s.Bytes() != 3 {
+		t.Fatalf("Len=%d Bytes=%d after duplicate Put", s.Len(), s.Bytes())
+	}
+}
+
+func TestStoreRetention(t *testing.T) {
+	s := NewStore()
+	b1 := contiguous(1, 0, 3)
+	b2 := contiguous(1, 3, 3)
+	d1, _ := wire.DescriptorFor(b1, 1)
+	d2, _ := wire.DescriptorFor(b2, 2)
+	s.PutBatch(b1)
+	s.PutBatch(b2)
+	s.MarkDelivered(d1, 5)
+	// Undelivered and above-cutoff entries survive.
+	s.PruneBelow(4)
+	if !s.Has(d1) || !s.Has(d2) {
+		t.Fatal("prune below delivery instance dropped entries")
+	}
+	// At the cutoff the delivered range goes; the undelivered one stays
+	// (it is bounded by flow control, not the horizon).
+	s.PruneBelow(5)
+	if s.Has(d1) {
+		t.Fatal("delivered range survived its horizon")
+	}
+	if !s.Has(d2) {
+		t.Fatal("undelivered range was pruned")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len=%d after prune, want 3", s.Len())
+	}
+}
+
+func TestStoreOverlappingDescriptorsAfterRestart(t *testing.T) {
+	// A restarted origin re-announces its backlog under fresh descriptor
+	// boundaries: ranges may partially overlap an old descriptor. Both
+	// must resolve, and delivery stamps must not double-apply.
+	s := NewStore()
+	old := contiguous(3, 1, 10) // [1,11)
+	s.PutBatch(old)
+	dOld, _ := wire.DescriptorFor(old, 1)
+	reAnnounced := contiguous(3, 1, 20) // [1,21) regrouped after restart
+	dNew, _ := wire.DescriptorFor(reAnnounced, (1<<48)|1)
+	s.PutBatch(reAnnounced)
+	if !s.Has(dOld) || !s.Has(dNew) {
+		t.Fatal("overlapping ranges not both resident")
+	}
+	s.MarkDelivered(dOld, 7)
+	s.MarkDelivered(dNew, 9) // seqs 1-10 keep their earlier stamp
+	s.PruneBelow(7)
+	if s.Has(dNew) {
+		t.Fatal("overlap prefix should be pruned at the old stamp")
+	}
+	if _, ok := s.Get(3, 11); !ok {
+		t.Fatal("suffix delivered at 9 pruned at cutoff 7")
+	}
+	s.PruneBelow(9)
+	if s.Len() != 0 {
+		t.Fatalf("Len=%d after full prune", s.Len())
+	}
+}

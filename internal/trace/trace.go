@@ -121,6 +121,24 @@ type Counters struct {
 	// window is accounted when it ends). PartitionSecs reports it in
 	// seconds.
 	PartitionNanos atomic.Int64
+	// OrderedBytes counts the wire bytes of ordering-path frames this
+	// process sent: consensus proposals/estimates/acks/nacks and decision
+	// dissemination. Under digest ordering these frames carry compact
+	// descriptors, so OrderedBytes stops scaling with payload size — the
+	// ordered-vs-disseminated split of the `-fig digest` benchmark.
+	OrderedBytes atomic.Int64
+	// DisseminatedBytes counts the wire bytes of payload dissemination
+	// frames this process sent (diffusion/announce frames, relay wrapping
+	// included, and payload-fetch re-serves), multiplied by fanout.
+	DisseminatedBytes atomic.Int64
+	// PayloadFetches counts decided-but-not-resident repairs: a decided
+	// descriptor whose payload had to be refetched from a live holder
+	// before adelivery (digest ordering only).
+	PayloadFetches atomic.Int64
+	// PayloadFetchNanos accumulates the time adelivery was blocked waiting
+	// for a non-resident payload, from the blocking decide to residency,
+	// in driver-clock nanoseconds.
+	PayloadFetchNanos atomic.Int64
 }
 
 // Snapshot is an immutable copy of the counters at one instant.
@@ -157,6 +175,10 @@ type Snapshot struct {
 	DupedByFault          int64
 	ReorderedByFault      int64
 	PartitionNanos        int64
+	OrderedBytes          int64
+	DisseminatedBytes     int64
+	PayloadFetches        int64
+	PayloadFetchNanos     int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting (each field is
@@ -196,6 +218,10 @@ func (c *Counters) Snapshot() Snapshot {
 		DupedByFault:          c.DupedByFault.Load(),
 		ReorderedByFault:      c.ReorderedByFault.Load(),
 		PartitionNanos:        c.PartitionNanos.Load(),
+		OrderedBytes:          c.OrderedBytes.Load(),
+		DisseminatedBytes:     c.DisseminatedBytes.Load(),
+		PayloadFetches:        c.PayloadFetches.Load(),
+		PayloadFetchNanos:     c.PayloadFetchNanos.Load(),
 	}
 }
 
@@ -237,6 +263,10 @@ func (s *Snapshot) Add(o Snapshot) {
 	s.DupedByFault += o.DupedByFault
 	s.ReorderedByFault += o.ReorderedByFault
 	s.PartitionNanos += o.PartitionNanos
+	s.OrderedBytes += o.OrderedBytes
+	s.DisseminatedBytes += o.DisseminatedBytes
+	s.PayloadFetches += o.PayloadFetches
+	s.PayloadFetchNanos += o.PayloadFetchNanos
 }
 
 // Stats is a uniform whole-driver snapshot: one Snapshot per process
@@ -313,6 +343,26 @@ func (s Snapshot) HeaderBytesPerMsg() float64 {
 	return float64(s.BytesSent-s.PayloadBytesSent) / float64(s.ABCast)
 }
 
+// OrderedBytesPerMsg returns the ordering-path wire bytes spent per
+// adelivered application message — the quantity digest ordering collapses
+// (a 1000-message batch orders as one ~32-byte descriptor). Meaningful on
+// group-wide totals.
+func (s Snapshot) OrderedBytesPerMsg() float64 {
+	if s.ADeliver == 0 {
+		return 0
+	}
+	return float64(s.OrderedBytes) / float64(s.ADeliver)
+}
+
+// DisseminatedBytesPerMsg returns the payload-dissemination wire bytes per
+// adelivered application message. Meaningful on group-wide totals.
+func (s Snapshot) DisseminatedBytesPerMsg() float64 {
+	if s.ADeliver == 0 {
+		return 0
+	}
+	return float64(s.DisseminatedBytes) / float64(s.ADeliver)
+}
+
 // String implements fmt.Stringer with the headline counters.
 func (s Snapshot) String() string {
 	out := fmt.Sprintf("sent=%d (%d B, payload %d B) recv=%d consensus=%d/%d avgM=%.2f dispatches=%d",
@@ -336,6 +386,10 @@ func (s Snapshot) String() string {
 		out += fmt.Sprintf(" snapshots{applied=%d taken=%d installed=%d in %.1fms walTrunc=%d}",
 			s.Applied, s.SnapshotsTaken, s.SnapshotInstalls,
 			float64(s.SnapshotInstallNanos)/1e6, s.WalTruncatedSegments)
+	}
+	if s.PayloadFetches > 0 {
+		out += fmt.Sprintf(" payloadFetches=%d (blocked %.1fms)",
+			s.PayloadFetches, float64(s.PayloadFetchNanos)/1e6)
 	}
 	if s.DroppedByFault > 0 || s.DupedByFault > 0 || s.ReorderedByFault > 0 || s.PartitionNanos > 0 {
 		out += fmt.Sprintf(" faults{dropped=%d duped=%d reordered=%d partition=%.2fs}",

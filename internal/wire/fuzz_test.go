@@ -32,6 +32,29 @@ func FuzzUnmarshalFrame(f *testing.F) {
 	AppendRelayFrame(&wr, RelayHeader{Origin: 1, Seq: 1<<48 + 3, Hops: 2}, w.Bytes())
 	f.Add(append([]byte(nil), wr.Bytes()...))
 	f.Add(wr.Bytes()[:relayHeaderBytes]) // relay header with torn-off inner
+	// Digest-ordering frames (kinds 8-10): UnmarshalFrame must reject them
+	// like any foreign kind — engines demultiplex them by FrameKind before
+	// this decoder runs — and the decoder must survive their shapes.
+	db := Batch{
+		{ID: types.MsgID{Sender: 1, Seq: 5}, Body: []byte("p0")},
+		{ID: types.MsgID{Sender: 1, Seq: 6}, Body: []byte("p1")},
+	}
+	dd, _ := DescriptorFor(db, 1<<48|9)
+	var wa Writer
+	AppendAnnounceFrame(&wa, dd, db)
+	f.Add(append([]byte(nil), wa.Bytes()...))
+	var wf Writer
+	AppendPayloadFetchFrame(&wf, dd)
+	f.Add(append([]byte(nil), wf.Bytes()...))
+	var wp Writer
+	AppendPayloadRespFrame(&wp, dd, db)
+	f.Add(append([]byte(nil), wp.Bytes()...))
+	f.Add(wa.Bytes()[:len(wa.Bytes())/2]) // torn announce
+	// A batch frame carrying a descriptor pseudo-message (what consensus
+	// actually orders in digest mode).
+	var wdp Writer
+	AppendBatchFrame(&wdp, Batch{dd.AppMsg()})
+	f.Add(append([]byte(nil), wdp.Bytes()...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		b, err := UnmarshalFrame(data)
@@ -52,6 +75,71 @@ func FuzzUnmarshalFrame(f *testing.F) {
 		for i := range b {
 			if rb[i].ID != b[i].ID || !bytes.Equal(rb[i].Body, b[i].Body) {
 				t.Fatalf("round-trip changed message %d: %+v != %+v", i, rb[i], b[i])
+			}
+		}
+	})
+}
+
+// FuzzDigestFrames fuzzes the digest-ordering frame decoders: announce,
+// payload-fetch and payload-resp. They must never panic, any accepted
+// announce/resp must satisfy descriptor validation by construction, and
+// accepted frames must round-trip.
+func FuzzDigestFrames(f *testing.F) {
+	db := Batch{
+		{ID: types.MsgID{Sender: 2, Seq: 100}, Body: []byte("alpha")},
+		{ID: types.MsgID{Sender: 2, Seq: 101}, Body: bytes.Repeat([]byte("b"), 64)},
+		{ID: types.MsgID{Sender: 2, Seq: 102}, Body: nil},
+	}
+	dd, _ := DescriptorFor(db, 3<<48|7)
+	var wa Writer
+	AppendAnnounceFrame(&wa, dd, db)
+	f.Add(append([]byte(nil), wa.Bytes()...))
+	var wp Writer
+	AppendPayloadRespFrame(&wp, dd, db)
+	f.Add(append([]byte(nil), wp.Bytes()...))
+	var wf Writer
+	AppendPayloadFetchFrame(&wf, dd)
+	f.Add(append([]byte(nil), wf.Bytes()...))
+	// Corrupted digest: flip a payload byte after framing — the decoder
+	// must reject the CRC mismatch.
+	corrupt := append([]byte(nil), wa.Bytes()...)
+	corrupt[len(corrupt)-10] ^= 0xff
+	f.Add(corrupt)
+	f.Add(wa.Bytes()[:24]) // torn descriptor
+	f.Add([]byte{FrameAnnounce})
+	f.Add([]byte{FramePayloadFetch, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if d, b, err := UnmarshalAnnounceFrame(data); err == nil {
+			if verr := d.Validate(b); verr != nil {
+				t.Fatalf("accepted announce fails validation: %v", verr)
+			}
+			var w Writer
+			AppendAnnounceFrame(&w, d, b)
+			rd, rb, rerr := UnmarshalAnnounceFrame(w.Bytes())
+			if rerr != nil {
+				t.Fatalf("re-encoded announce rejected: %v", rerr)
+			}
+			if rd != d || len(rb) != len(b) {
+				t.Fatalf("announce round-trip changed: %+v != %+v", rd, d)
+			}
+		}
+		if d, b, err := UnmarshalPayloadRespFrame(data); err == nil {
+			var w Writer
+			AppendPayloadRespFrame(&w, d, b)
+			if _, _, rerr := UnmarshalPayloadRespFrame(w.Bytes()); rerr != nil {
+				t.Fatalf("re-encoded payload-resp rejected: %v", rerr)
+			}
+		}
+		if d, err := UnmarshalPayloadFetch(data); err == nil {
+			var w Writer
+			AppendPayloadFetchFrame(&w, d)
+			rd, rerr := UnmarshalPayloadFetch(w.Bytes())
+			if rerr != nil {
+				t.Fatalf("re-encoded payload-fetch rejected: %v", rerr)
+			}
+			if rd != d {
+				t.Fatalf("payload-fetch round-trip changed: %+v != %+v", rd, d)
 			}
 		}
 	})

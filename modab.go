@@ -289,6 +289,7 @@ type settings struct {
 	batch        *BatchConfig
 	pipeline     int
 	dissem       *Dissemination
+	digest       bool
 	dur          *core.DurabilityOptions
 	sm           func() rsm.StateMachine
 	snapEvery    uint64
@@ -379,6 +380,32 @@ func WithDissemination(strategy Dissemination) Option {
 			return fmt.Errorf("%w: WithDissemination(%d)", err, strategy)
 		}
 		s.dissem = &strategy
+		return nil
+	}
+}
+
+// WithDigestOrdering splits payload dissemination from ordering on either
+// stack (cf. Ring Paxos / Chop Chop): the sender disseminates a batch's
+// payload bytes exactly once through the dissemination seam
+// (WithDissemination — announce frames travel all-to-all or around the
+// ring), and consensus then orders only a compact descriptor — origin,
+// incarnation-tagged batch sequence number, CRC-32C digest, message count
+// — so a 1000-message batch orders as one ~32-wire-byte unit and
+// proposal/estimate/ack/decision frames stop scaling with payload size.
+// Adelivery of a decided descriptor blocks until its payload is resident;
+// a payload lost in flight is refetched from a rotating live holder on
+// the resend timer (Config.ResendEvery), and write-ahead logs store
+// resolved payload batches, so recovery, state transfer and replay are
+// unchanged. Flow control keeps accounting per message. Both stacks honor
+// the split identically; the default (off) is bit-for-bit the payload
+// ordering the golden traces pin. Observability: Counters report
+// OrderedBytes, DisseminatedBytes, PayloadFetches and PayloadFetchNanos,
+// the payload_fetch histogram records blocked adeliveries, and
+// cmd/abbench grows -digest and -fig digest. It composes with WithConfig
+// regardless of option order.
+func WithDigestOrdering() Option {
+	return func(s *settings) error {
+		s.digest = true
 		return nil
 	}
 }
@@ -585,10 +612,10 @@ func New(n int, stack Stack, opts ...Option) (*Cluster, error) {
 	if s.dur != nil && !s.sim && s.dur.Dir == "" {
 		return nil, fmt.Errorf("%w: WithDurability requires a directory on the real-time drivers", types.ErrBadConfig)
 	}
-	if s.batch != nil || s.pipeline > 0 || s.dissem != nil {
+	if s.batch != nil || s.pipeline > 0 || s.dissem != nil || s.digest {
 		// Materialize the defaults first so the batching/pipelining/
-		// dissemination fields survive the drivers' zero-config check, then
-		// overlay them on whatever WithConfig supplied.
+		// dissemination/digest fields survive the drivers' zero-config
+		// check, then overlay them on whatever WithConfig supplied.
 		if s.engineCfg.N == 0 {
 			s.engineCfg = engine.DefaultConfig(n)
 		}
@@ -600,6 +627,9 @@ func New(n int, stack Stack, opts ...Option) (*Cluster, error) {
 		}
 		if s.dissem != nil {
 			s.engineCfg.Dissemination = *s.dissem
+		}
+		if s.digest {
+			s.engineCfg.DigestOrdering = true
 		}
 	}
 	c := &Cluster{n: n, stack: stack, start: time.Now(), durable: s.dur != nil, onDeliver: s.onDeliver}
