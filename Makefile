@@ -14,10 +14,11 @@ test:
 # concurrency-sensitive code (event loop, delivery streams, flow-control
 # wakeups, background WAL fsync, restart paths, applier/snapshot-store
 # locking, heartbeat suspicion reporting, lock-free histograms scraped
-# mid-run); the root package exercises the facade across all three
-# drivers.
+# mid-run); member carries the view history consulted from driver
+# callbacks; the root package exercises the facade — including dynamic
+# membership — across all three drivers.
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/stream/... ./internal/core/... ./internal/wal/... ./internal/recovery/... ./internal/rsm/... ./internal/transport/... ./internal/fd/... ./internal/obs/... ./internal/payload/... .
+	$(GO) test -race ./internal/runtime/... ./internal/stream/... ./internal/core/... ./internal/wal/... ./internal/recovery/... ./internal/rsm/... ./internal/transport/... ./internal/fd/... ./internal/obs/... ./internal/payload/... ./internal/member/... .
 
 # Chaos soak: the fixed-seed short sweep of the fault-injection harness
 # (six scenario families plus randomized schedules, both stacks, every
@@ -39,15 +40,16 @@ fuzz-smoke:
 
 # Benchmark smoke: compile and run every benchmark for exactly one
 # iteration, plus one repetition each of the abbench pipeline, KV,
-# ring and digest figures and one lifecycle-trace dump on the simulator, so
-# benchmark and observability code can no longer rot silently (it is
-# not compiled by plain `go test`).
+# ring, digest and membership figures and one lifecycle-trace dump on
+# the simulator, so benchmark and observability code can no longer rot
+# silently (it is not compiled by plain `go test`).
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/abbench -fig pipeline -reps 1 -warmup 500ms -measure 1s
 	$(GO) run ./cmd/abbench -fig kv -reps 1 -warmup 500ms -measure 1s
 	$(GO) run ./cmd/abbench -fig ring -reps 1 -warmup 500ms -measure 1s
 	$(GO) run ./cmd/abbench -fig digest -reps 1 -warmup 500ms -measure 1s
+	$(GO) run ./cmd/abbench -fig membership -reps 1 -warmup 500ms -measure 1s
 	$(GO) run ./cmd/abbench -trace-sample 64
 
 # Documentation gate: gofmt-clean tree, documented exported symbols in

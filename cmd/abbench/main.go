@@ -13,6 +13,7 @@
 //	abbench -fig kv                 # replicated KV service: ops/s + submit→applied
 //	abbench -fig ring               # dissemination topology: all-to-all vs ring relay
 //	abbench -fig digest             # digest ordering: payload vs descriptor consensus
+//	abbench -fig membership         # dynamic membership: rolling replace under load
 //	abbench -analytical             # §5.2 closed-form tables only
 //	abbench -fig 10 -reps 5 -measure 8s
 //	abbench -fig 11 -batch-msgs 32  # sender-side batching enabled
@@ -51,6 +52,13 @@
 // per message — the split that stops consensus traffic from scaling with
 // payload size (see modab.WithDigestOrdering). -digest retargets the
 // standard figures instead.
+// -fig membership measures dynamic membership end to end: a 3-process
+// cluster under load rolling-replaces its entire boot group (join a
+// fresh process, let it catch up through state transfer, retire an old
+// one — three times inside the measurement window, every config change
+// riding the total order), and the table compares the ordered-throughput
+// dip against a steady-membership control run plus each joiner's
+// catch-up latency per stack.
 // -trace-sample k dumps the observability layer's sampled message
 // lifecycle timelines instead of a figure: a short run of each stack with
 // 1-in-k tracing, printing each sampled message's stage history
@@ -81,7 +89,7 @@ func main() {
 
 func run() error {
 	var (
-		fig        = flag.String("fig", "all", `figure to regenerate: "8", "9", "10", "11", "recovery", "pipeline", "chaos", "kv", "ring", "digest" or "all"`)
+		fig        = flag.String("fig", "all", `figure to regenerate: "8", "9", "10", "11", "recovery", "pipeline", "chaos", "kv", "ring", "digest", "membership" or "all"`)
 		analytical = flag.Bool("analytical", false, "print the §5.2 analytical tables and exit")
 		reps       = flag.Int("reps", 3, "repetitions per point (95% CIs are computed across them)")
 		warmup     = flag.Duration("warmup", 2*time.Second, "virtual warm-up before measuring")
@@ -206,8 +214,17 @@ func run() error {
 		benchharness.RenderDigest(os.Stdout, df)
 		digFig = &df
 	}
+	var memFig *benchharness.MembershipFigure
+	if *fig == "all" || *fig == "membership" {
+		mf, err := benchharness.FigMembership(opts)
+		if err != nil {
+			return fmt.Errorf("figure membership: %w", err)
+		}
+		benchharness.RenderMembership(os.Stdout, mf)
+		memFig = &mf
+	}
 	if *jsonPath != "" {
-		if err := benchharness.WriteJSON(*jsonPath, benchharness.NewReport(opts, produced, recFig, pipeFig, chaosFig, kvFig, ringFig, digFig)); err != nil {
+		if err := benchharness.WriteJSON(*jsonPath, benchharness.NewReport(opts, produced, recFig, pipeFig, chaosFig, kvFig, ringFig, digFig, memFig)); err != nil {
 			return err
 		}
 		fmt.Printf("machine-readable report written to %s\n", *jsonPath)

@@ -22,6 +22,21 @@
 // payload-carrying frames (see modab.WithDigestOrdering). All processes
 // must agree on the flag.
 //
+// With -join the process starts outside the boot group and asks a
+// running member (-sponsor) to admit it: the AddProcess op rides the
+// total order, every member learns the joiner's address from the
+// decided op itself, and the joiner catches up through state transfer
+// before participating. Its own listen address must appear in its
+// -peers list at index -id; the boot members keep their original short
+// -peers list. For a second or later joiner, whose -peers already
+// lists earlier joiners, -bootn must name the original boot-group
+// size. Removal is an operator action on any member (see
+// modab.Cluster.Remove); the removed process is then simply stopped.
+//
+// Example (join a fourth process to the group above):
+//
+//	abnode -id 3 -peers 127.0.0.1:7000,...,127.0.0.1:7003 -join -sponsor 0 -stack monolithic -wal /tmp/p3
+//
 // With -wal the process runs in the crash-recovery model: admissions and
 // decisions are persisted to a write-ahead log in that directory (-fsync
 // picks the policy), and a killed process restarted with the same -wal
@@ -94,6 +109,10 @@ func run() error {
 		dissemArg  = flag.String("dissem", "", `payload dissemination topology: "all-to-all" (default) or "ring"`)
 		digest     = flag.Bool("digest", false, "digest ordering: disseminate payload batches once, run consensus on compact descriptors (requires -batch-msgs)")
 
+		join    = flag.Bool("join", false, "start as a joiner: this process is not in the boot group; it asks -sponsor to admit it and catches up through state transfer (its own address must still be in -peers at index -id)")
+		sponsor = flag.Int("sponsor", 0, "with -join: ID of the member asked to sponsor the admission")
+		bootN   = flag.Int("bootn", 0, "with -join: original boot-group size (0 = infer as -id; set explicitly when -peers already lists earlier joiners)")
+
 		walDir  = flag.String("wal", "", "write-ahead-log directory: enables crash recovery (restart with the same directory to rejoin)")
 		fsync   = flag.String("fsync", "always", `WAL fsync policy: "always", "interval" or "none"`)
 		seqPath = flag.String("seqlog", "", "append one line per delivered message to this file (total-order audit trail)")
@@ -124,6 +143,12 @@ func run() error {
 
 	self := modab.ProcessID(*id)
 	opts := []modab.Option{modab.WithTransportTCP(addrs, self)}
+	if *join {
+		if *sponsor < 0 || *sponsor >= len(addrs) || *sponsor == *id {
+			return fmt.Errorf("-sponsor must name another peer (got %d)", *sponsor)
+		}
+		opts = append(opts, modab.WithJoin(*bootN))
+	}
 	if *dropslow {
 		opts = append(opts, modab.WithDeliveryOverflow(modab.OverflowDrop))
 	}
@@ -219,6 +244,18 @@ func run() error {
 	// and close the transport (cluster.Close), drain the delivery stream.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *join {
+		fmt.Printf("%s requesting admission via %s\n", self, modab.ProcessID(*sponsor))
+		jctx, jcancel := context.WithTimeout(ctx, time.Minute)
+		err := cluster.RequestJoin(jctx, modab.ProcessID(*sponsor))
+		jcancel()
+		if err != nil {
+			_ = cluster.Close()
+			return fmt.Errorf("join: %w", err)
+		}
+		fmt.Printf("%s admitted: view %v\n", self, cluster.View(*id))
+	}
 
 	// Consume deliveries from the stream on a dedicated goroutine.
 	var (

@@ -224,6 +224,104 @@ func TestAbnodeRestartIntegration(t *testing.T) {
 	assertRecoveredOrder(t, seq2, ref)
 }
 
+// TestAbnodeJoinIntegration is the TCP acceptance test of dynamic
+// membership: a three-process boot group orders traffic, then a fourth
+// abnode starts with -join, self-requests admission through a sponsor,
+// catches up through state transfer, and contributes its own messages.
+// The boot group's audit trails must show one consistent total order
+// from instance 1; the joiner's trail starts at its admitting view
+// (config-at-k, not history — the pre-join past arrives as state, not
+// deliveries) and from there must be a gap-free dup-free run of the
+// reference order.
+func TestAbnodeJoinIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	bin := buildAbnode(t)
+	dir := t.TempDir()
+	addrs := freePorts(t, 4)
+	bootPeers := strings.Join(addrs[:3], ",")
+	allPeers := strings.Join(addrs, ",")
+
+	args := func(id int, peers string, rate float64, dur time.Duration, extra ...string) []string {
+		base := []string{
+			"-id", fmt.Sprint(id),
+			"-peers", peers,
+			"-stack", "monolithic",
+			"-rate", fmt.Sprint(rate),
+			"-size", "64",
+			"-dur", dur.String(),
+			"-quiet",
+			"-wal", filepath.Join(dir, fmt.Sprintf("wal%d", id)),
+			"-fsync", "none",
+			"-seqlog", filepath.Join(dir, fmt.Sprintf("seq%d", id)),
+		}
+		return append(base, extra...)
+	}
+
+	var outs [3]strings.Builder
+	procs := make([]*exec.Cmd, 3)
+	for i := 0; i < 3; i++ {
+		cmd := exec.Command(bin, args(i, bootPeers, 60, 8*time.Second)...)
+		cmd.Stdout = &outs[i]
+		cmd.Stderr = &outs[i]
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start abnode %d: %v", i, err)
+		}
+		procs[i] = cmd
+	}
+
+	// Let the boot group order traffic before the joiner shows up.
+	time.Sleep(2500 * time.Millisecond)
+	var joinOut strings.Builder
+	joiner := exec.Command(bin, args(3, allPeers, 40, 3*time.Second, "-join", "-sponsor", "0")...)
+	joiner.Stdout = &joinOut
+	joiner.Stderr = &joinOut
+	if err := joiner.Start(); err != nil {
+		t.Fatalf("start joiner: %v", err)
+	}
+	if err := joiner.Wait(); err != nil {
+		t.Fatalf("joiner: %v\n%s", err, joinOut.String())
+	}
+	for i := 0; i < 3; i++ {
+		if err := procs[i].Wait(); err != nil {
+			t.Fatalf("abnode %d: %v\n%s", i, err, outs[i].String())
+		}
+	}
+	if !strings.Contains(joinOut.String(), "admitted") {
+		t.Fatalf("joiner never reported admission:\n%s", joinOut.String())
+	}
+
+	seqs := make([][]seqEntry, 4)
+	for i := range seqs {
+		seqs[i] = readSeqlog(t, filepath.Join(dir, fmt.Sprintf("seq%d", i)))
+		if len(seqs[i]) == 0 {
+			t.Fatalf("p%d has an empty audit trail", i)
+		}
+	}
+	for i := 1; i < 3; i++ {
+		assertPrefixConsistent(t, fmt.Sprintf("p0 vs p%d", i), seqs[0], seqs[i])
+	}
+	// The joiner's stream aligns mid-reference (one leading "gap": the
+	// pre-join history it received as state) and runs contiguously after.
+	ref := seqs[0]
+	if len(seqs[1]) > len(ref) {
+		ref = seqs[1]
+	}
+	assertRecoveredOrder(t, seqs[3], ref)
+	// The joiner's own messages must have been ordered at the boot group.
+	joinerSent := false
+	for _, e := range seqs[0] {
+		if e.sender == 3 {
+			joinerSent = true
+			break
+		}
+	}
+	if !joinerSent {
+		t.Fatalf("no joiner-originated message in the reference order")
+	}
+}
+
 // TestAbnodeKVHTTP spins up a three-process group serving the
 // replicated KV over HTTP — with digest ordering on, so every command
 // travels once as an announced payload batch and consensus orders

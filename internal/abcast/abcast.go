@@ -39,6 +39,7 @@ import (
 	"modab/internal/dissem"
 	"modab/internal/engine"
 	"modab/internal/flow"
+	"modab/internal/member"
 	"modab/internal/obs"
 	"modab/internal/payload"
 	"modab/internal/recovery"
@@ -81,8 +82,24 @@ type Layer struct {
 	cfg engine.Config
 
 	self types.ProcessID
-	n    int
-	fc   *flow.Controller
+	// n is the boot upper bound of the process-ID space (Env.N), used only
+	// for sizing hints; group-size decisions go through hist.
+	n  int
+	fc *flow.Controller
+	// hist is the decided membership history: every fan-out, quorum-size
+	// and retention decision consults a view from it, never the boot n. A
+	// decided config op appends a view here and propagates to the
+	// consensus and rbcast layers as a stack.EvConfig event.
+	hist *member.History
+	// retires maps a remove boundary (the new view's activation instance)
+	// to the origins removed there; consumed when the last old-view
+	// instance is processed — the earliest point at which no undecided
+	// instance can still reference the removed origin's pending state.
+	retires map[uint64][]types.ProcessID
+	// draining guards drainDecisions against re-entry: applying a config
+	// op mid-delivery synchronously pokes the consensus layer, which may
+	// bounce an event back into this layer.
+	draining bool
 	// diss is the payload-dissemination strategy (internal/dissem): every
 	// diffuse frame goes out through spread, which either broadcasts it
 	// (AllToAll — the paper's pinned behavior) or hands it to the ring's
@@ -227,6 +244,12 @@ func (l *Layer) Init(ctx *stack.Context) {
 	l.inflight = make(map[uint64][]types.MsgID)
 	l.pipe = l.cfg.EffectivePipeline()
 	l.nextDecide = 1
+	if v := l.cfg.InitialView; v != nil {
+		l.hist = member.NewHistoryFrom(*v)
+	} else {
+		l.hist = member.NewHistory(l.n)
+	}
+	l.retires = make(map[uint64][]types.ProcessID)
 	if l.cfg.DigestOrdering {
 		l.store = payload.NewStore()
 		l.descDone = make(map[types.MsgID]uint64)
@@ -261,6 +284,25 @@ func (l *Layer) Init(ctx *stack.Context) {
 			last = st.NextSeq - 1
 		}
 		l.fc.Resume(last, seqs)
+		// Rebuild the membership history from the replayed log: config ops
+		// ride the total order as ordinary decided messages, so re-applying
+		// them in instance order reconstructs exactly the view sequence the
+		// pre-crash incarnation held. (A log truncated below a config op
+		// loses that provenance; the netsim and runtime drivers keep
+		// membership runs untruncated, and joiners get InitialView instead.)
+		if l.cfg.Persist != nil {
+			for k := uint64(1); k < l.nextDecide; k++ {
+				b, ok := l.cfg.Persist.ReadDecision(k)
+				if !ok {
+					continue
+				}
+				for _, m := range b {
+					if op, isCfg := member.DecodeOp(m.Body); isCfg {
+						l.hist.Apply(op, k, l.pipe)
+					}
+				}
+			}
+		}
 	}
 }
 
@@ -298,6 +340,20 @@ func (l *Layer) regroupOwn(own wire.Batch) []wire.Descriptor {
 // unordered own messages (already logged — no re-persist), announces
 // itself, and catches up on missed decisions before proposing anything.
 func (l *Layer) Start() {
+	// Propagate any non-boot views (joiner seed, replayed config ops) to
+	// the peer layers now that every layer is initialized, and point the
+	// local dissemination/flow seams at the current view. The modular
+	// driver additionally seeds the consensus and rbcast layers directly
+	// for joiners; the re-emission is idempotent there.
+	if cur := l.hist.Current(); cur.Epoch > 0 {
+		for _, v := range l.hist.Views() {
+			if v.Epoch == 0 {
+				continue
+			}
+			l.emitConfig(v)
+		}
+		l.reconfigureLocal(cur)
+	}
 	if st := l.cfg.Recovered; st != nil {
 		c := l.ctx.Env().Counters()
 		c.Recoveries.Add(1)
@@ -319,8 +375,8 @@ func (l *Layer) Start() {
 				wire.PutWriter(w)
 			}
 		}
-		if l.n > 1 {
-			l.rec.Begin(l.ctx.Env().Now(), recovery.Quorum(l.n))
+		if l.others() > 0 {
+			l.rec.Begin(l.ctx.Env().Now(), recovery.Quorum(len(l.hist.Current().Members)))
 			l.recLastSeen = l.nextDecide
 			l.sendRecoverReq(types.Nobody)
 			if l.cfg.ResendEvery > 0 {
@@ -339,7 +395,7 @@ func (l *Layer) sendRecoverReq(to types.ProcessID) {
 	w := wire.GetWriter(16)
 	wire.AppendRecoverReqFrame(w, wire.RecoverReq{From: l.nextDecide})
 	if to == types.Nobody {
-		l.ctx.NetSendAll(w.Bytes())
+		l.ctx.NetSendMembers(l.hist.Current().Members, w.Bytes())
 	} else {
 		l.ctx.NetSend(to, w.Bytes())
 	}
@@ -486,9 +542,11 @@ func (l *Layer) spread(frame []byte, payloadBytes int) {
 	c := l.ctx.Env().Counters()
 	h, to, relay := l.diss.Origin()
 	if !relay {
-		c.PayloadBytesSent.Add(int64(payloadBytes * (l.n - 1)))
-		c.DisseminatedBytes.Add(int64(len(frame) * (l.n - 1)))
-		l.ctx.NetSendAll(frame)
+		members := l.hist.Current().Members
+		others := l.others()
+		c.PayloadBytesSent.Add(int64(payloadBytes * others))
+		c.DisseminatedBytes.Add(int64(len(frame) * others))
+		l.ctx.NetSendMembers(members, frame)
 		return
 	}
 	c.PayloadBytesSent.Add(int64(payloadBytes))
@@ -502,10 +560,23 @@ func (l *Layer) spread(frame []byte, payloadBytes int) {
 // spreadFanout is how many transmissions one spread costs the origin —
 // the multiplier the retransmission accounting uses.
 func (l *Layer) spreadFanout() int {
-	if l.diss.Strategy() == dissem.Ring && l.n >= 3 {
+	if l.diss.Strategy() == dissem.Ring && len(l.hist.Current().Members) >= 3 {
 		return 1
 	}
-	return l.n - 1
+	return l.others()
+}
+
+// others returns the number of current-view members other than self —
+// the broadcast fan-out. A process being removed (self no longer a
+// member) still counts every member.
+func (l *Layer) others() int {
+	n := 0
+	for _, p := range l.hist.Current().Members {
+		if p != l.self {
+			n++
+		}
+	}
+	return n
 }
 
 // Receive implements stack.Layer: a diffused message or batch from a
@@ -593,6 +664,13 @@ func (l *Layer) Receive(from types.ProcessID, data []byte) error {
 // becomes pending for ordering unless already delivered, and a head
 // decision blocked on this payload unblocks.
 func (l *Layer) handleAnnounce(d wire.Descriptor, b wire.Batch) {
+	if !l.hist.Current().Contains(d.Origin) {
+		// A removed (or not-yet-added) origin's announce must not re-enter
+		// the pending set: nothing will ever propose it past the remove
+		// boundary, so pooling it would leak and re-kick forever. A joiner
+		// racing its own add simply re-announces until the add activates.
+		return
+	}
 	pm := d.AppMsg()
 	if _, done := l.descDone[pm.ID]; done {
 		return // duplicate announce of a delivered descriptor
@@ -706,8 +784,9 @@ func (l *Layer) handleRelay(from types.ProcessID, data []byte) error {
 // (re)starts consensus — the shared tail of the direct and relayed
 // receive paths.
 func (l *Layer) ingestDiffused(b wire.Batch) {
+	cur := l.hist.Current()
 	for _, msg := range b {
-		if l.isDelivered(msg.ID) {
+		if l.isDelivered(msg.ID) || !cur.Contains(msg.ID.Sender) {
 			continue
 		}
 		if _, known := l.pending[msg.ID]; !known {
@@ -1050,9 +1129,15 @@ func (l *Layer) maybeStartConsensus() {
 // retains it.
 func (l *Layer) pendingBatch() wire.Batch {
 	if !l.snapClean {
+		cur := l.hist.Current()
 		l.snapIDs = l.snapIDs[:0]
 		for id, p := range l.pending {
-			if p.assigned == 0 {
+			// Only current members' messages are proposable: from the moment
+			// the remove op is applied, no proposal of ours carries the
+			// removed origin again, which bounds its in-flight references to
+			// instances below the activation boundary (where its state is
+			// then retired).
+			if p.assigned == 0 && cur.Contains(id.Sender) {
 				l.snapIDs = append(l.snapIDs, id)
 			}
 		}
@@ -1103,6 +1188,11 @@ func (l *Layer) enqueueDecision(k uint64, b wire.Batch, resolved bool) {
 // without advancing — adelivery of a decided digest blocks until its
 // payload is resident — and the payload-wait timer takes over the repair.
 func (l *Layer) drainDecisions() {
+	if l.draining {
+		return
+	}
+	l.draining = true
+	defer func() { l.draining = false }()
 	for {
 		dec, ok := l.decisionsBuf[l.nextDecide]
 		if !ok {
@@ -1220,26 +1310,134 @@ func (l *Layer) headMissingDescriptor() (wire.Descriptor, bool) {
 // back to plain rotation when everyone else is suspected (a wrongly
 // suspected holder can still answer).
 func (l *Layer) nextFetchTarget() types.ProcessID {
-	if l.n < 2 {
+	members := l.hist.Current().Members
+	n := len(members)
+	if n < 2 {
 		return types.Nobody
 	}
-	start := int(l.pw.to) + 1
-	for i := 0; i < l.n; i++ {
-		p := types.ProcessID((start + i) % l.n)
+	// Rank of the first member strictly after the cursor (wrapping); for
+	// the static boot view this is the original (cursor+1+i) mod n walk.
+	start := 0
+	for i, p := range members {
+		if p > l.pw.to {
+			start = i
+			break
+		}
+	}
+	for i := 0; i < n; i++ {
+		p := members[(start+i)%n]
 		if p == l.self || l.suspectedSet[p] {
 			continue
 		}
 		l.pw.to = p
 		return p
 	}
-	for i := 0; i < l.n; i++ {
-		p := types.ProcessID((start + i) % l.n)
+	for i := 0; i < n; i++ {
+		p := members[(start+i)%n]
 		if p != l.self {
 			l.pw.to = p
 			return p
 		}
 	}
 	return types.Nobody
+}
+
+// SubmitConfig implements engine.ConfigSubmitter: validate the op
+// against the current view, stamp it with the current epoch (the
+// compare-and-swap that makes concurrent and replayed ops idempotent),
+// and submit it through the ordinary abcast path — it is diffused,
+// proposed and decided exactly like an application message.
+func (l *Layer) SubmitConfig(op member.Op) (types.MsgID, error) {
+	cur := l.hist.Current()
+	op.BaseEpoch = cur.Epoch
+	switch op.Kind {
+	case member.OpAdd:
+		if op.Target < 0 || cur.Contains(op.Target) {
+			return types.MsgID{}, types.ErrBadConfig
+		}
+	case member.OpRemove:
+		if !cur.Contains(op.Target) || len(cur.Members) <= 1 {
+			return types.MsgID{}, types.ErrBadConfig
+		}
+	default:
+		return types.MsgID{}, types.ErrBadConfig
+	}
+	return l.Abcast(member.EncodeOp(op))
+}
+
+// CurrentView implements engine.ConfigSubmitter.
+func (l *Layer) CurrentView() member.View { return l.hist.Current() }
+
+// Views returns the full decided view sequence (checker support: the
+// chaos harness asserts all correct processes agree on the
+// epoch → activation map).
+func (l *Layer) Views() []member.View { return l.hist.Views() }
+
+// applyConfig applies one decided config op at instance k. A failed
+// apply (stale epoch, duplicate add, absent remove) is a deterministic
+// no-op at every process — the op was ordered, so everyone rejects it
+// with the same history. A successful apply appends the new view
+// (activating at k plus the pipeline window), propagates it to the
+// consensus and rbcast layers and the local dissemination/flow seams,
+// schedules the removed origin's state retirement, and notifies the
+// driver.
+func (l *Layer) applyConfig(k uint64, op member.Op) {
+	v, ok := l.hist.Apply(op, k, l.pipe)
+	if !ok {
+		return
+	}
+	l.ctx.Env().Counters().ConfigChanges.Add(1)
+	l.emitConfig(v)
+	l.reconfigureLocal(v)
+	if op.Kind == member.OpRemove {
+		l.retires[v.Activation] = append(l.retires[v.Activation], op.Target)
+	}
+	if l.cfg.OnConfig != nil {
+		l.cfg.OnConfig(v, op)
+	}
+}
+
+// emitConfig propagates a view to the peer layers of the modular stack.
+func (l *Layer) emitConfig(v member.View) {
+	ev := stack.Event{Kind: stack.EvConfig, Instance: v.Activation, Members: v.Members}
+	l.ctx.Emit(stack.TagConsensus, ev)
+	l.ctx.Emit(stack.TagRBcast, ev)
+}
+
+// reconfigureLocal points this layer's own seams at a new view: the
+// dissemination topology follows the member list, the flow-control
+// window is re-derived from the group size when it was the size-derived
+// default (an explicitly configured window is left alone), and the
+// proposable-snapshot cache is invalidated so the membership filter in
+// pendingBatch re-applies.
+func (l *Layer) reconfigureLocal(v member.View) {
+	l.diss.SetMembers(v.Members)
+	if l.cfg.Window == engine.DefaultWindow(l.cfg.N) {
+		ncfg := l.cfg
+		ncfg.Window = engine.DefaultWindow(len(v.Members))
+		l.fc.SetWindow(ncfg.EffectiveWindow())
+	}
+	l.snapClean = false
+}
+
+// retireOrigin drops the local state of a removed origin at its
+// activation boundary: undelivered pending entries (no proposal will
+// carry them again), undelivered payload residency (no decision will
+// resolve through them; delivered entries stay on the normal retention
+// horizon for repair serving), and suspicion bookkeeping.
+func (l *Layer) retireOrigin(origin types.ProcessID) {
+	for id := range l.pending {
+		if id.Sender == origin {
+			delete(l.pending, id)
+			l.snapClean = false
+		}
+	}
+	delete(l.suspectedSet, origin)
+	if l.store != nil {
+		if retired := l.store.RetireOrigin(origin); retired > 0 {
+			l.ctx.Env().Counters().PayloadsRetired.Add(int64(retired))
+		}
+	}
 }
 
 // processDecision adelivers a decided batch in deterministic order,
@@ -1283,6 +1481,17 @@ func (l *Layer) processDecision(k uint64, batch wire.Batch, descs []wire.Descrip
 			continue
 		}
 		l.markDelivered(m.ID)
+		if op, isCfg := member.DecodeOp(m.Body); isCfg {
+			// Config ops ride the total order but never reach the
+			// application: apply the membership change here — in delivery
+			// order, at the same point of the order at every process — and
+			// release the submitter's flow slot like any delivery.
+			l.applyConfig(k, op)
+			if err := l.fc.Delivered(m.ID); err != nil {
+				c.Retransmissions.Add(1)
+			}
+			continue
+		}
 		c.ADeliver.Add(1)
 		if o := l.cfg.Obs; o != nil {
 			o.Stage(m.ID, obs.StageDecide, l.lastProgress)
@@ -1326,6 +1535,17 @@ func (l *Layer) processDecision(k uint64, batch wire.Batch, descs []wire.Descrip
 			l.snapClean = false
 			l.descDone[id] = k
 			l.store.MarkDelivered(d, k)
+		}
+	}
+	// Retire the state of origins removed at boundary k+1: k is the last
+	// old-view instance, so every instance that could still reference the
+	// removed origin (a proposal made before its proposer applied the
+	// remove) has now been processed. Undelivered pending entries, payload
+	// residency and suspicion bookkeeping of the origin go here.
+	if origins := l.retires[k+1]; len(origins) > 0 {
+		delete(l.retires, k+1)
+		for _, origin := range origins {
+			l.retireOrigin(origin)
 		}
 	}
 	// Retire resolved payload and descriptor bookkeeping that fell behind
@@ -1469,13 +1689,13 @@ func (l *Layer) Timer(id engine.TimerID) {
 	}
 	now := l.ctx.Env().Now()
 	stalled := now-l.lastProgress >= l.cfg.IdleKick
-	if stalled && !l.rec.Active() && l.n > 1 && l.staleGap() {
+	if stalled && !l.rec.Active() && l.others() > 0 && l.staleGap() {
 		// Backstop for missed decision dissemination: a buffered decision
 		// far beyond the deliverable watermark proves the cluster decided
 		// instances whose announcements this process permanently missed
 		// (e.g. the catch-up finish raced the deciding traffic). Re-enter
 		// the state-transfer protocol to pull the gap from a peer's log.
-		l.rec.Begin(now, recovery.Quorum(l.n))
+		l.rec.Begin(now, recovery.Quorum(len(l.hist.Current().Members)))
 		l.recLastSeen = l.nextDecide
 		l.sendRecoverReq(types.Nobody)
 		if l.cfg.ResendEvery > 0 {

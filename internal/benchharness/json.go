@@ -15,23 +15,25 @@ import (
 // DeliverP50Ms/DeliverP99Ms on the KV points) sourced from the
 // observability layer's log₂ latency histograms; v4 adds the digest
 // figure (ordering/dissemination byte split with digest ordering off and
-// on) and the digest run option.
-const ReportSchema = "modab-bench/v4"
+// on) and the digest run option; v5 adds the membership figure (rolling-
+// replace throughput dip and joiner catch-up cost).
+const ReportSchema = "modab-bench/v5"
 
 // Report is the machine-readable form of one abbench run: every figure's
 // points plus the recovery sweep, under a versioned schema — the input of
 // BENCH_*.json performance-trajectory tracking.
 type Report struct {
-	Schema      string          `json:"schema"`
-	GeneratedAt time.Time       `json:"generated_at"`
-	Options     ReportOptions   `json:"options"`
-	Figures     []Figure        `json:"figures,omitempty"`
-	Recovery    *RecoveryFigure `json:"recovery,omitempty"`
-	Pipeline    *PipelineFigure `json:"pipeline,omitempty"`
-	Chaos       *ChaosFigure    `json:"chaos,omitempty"`
-	KV          *KVFigure       `json:"kv,omitempty"`
-	Ring        *RingFigure     `json:"ring,omitempty"`
-	Digest      *DigestFigure   `json:"digest,omitempty"`
+	Schema      string            `json:"schema"`
+	GeneratedAt time.Time         `json:"generated_at"`
+	Options     ReportOptions     `json:"options"`
+	Figures     []Figure          `json:"figures,omitempty"`
+	Recovery    *RecoveryFigure   `json:"recovery,omitempty"`
+	Pipeline    *PipelineFigure   `json:"pipeline,omitempty"`
+	Chaos       *ChaosFigure      `json:"chaos,omitempty"`
+	KV          *KVFigure         `json:"kv,omitempty"`
+	Ring        *RingFigure       `json:"ring,omitempty"`
+	Digest      *DigestFigure     `json:"digest,omitempty"`
+	Membership  *MembershipFigure `json:"membership,omitempty"`
 }
 
 // ReportOptions records the sweep parameters the numbers were produced
@@ -49,7 +51,7 @@ type ReportOptions struct {
 }
 
 // NewReport assembles a report from run options and results.
-func NewReport(opts RunOptions, figs []Figure, rec *RecoveryFigure, pipe *PipelineFigure, cha *ChaosFigure, kv *KVFigure, ring *RingFigure, dig *DigestFigure) Report {
+func NewReport(opts RunOptions, figs []Figure, rec *RecoveryFigure, pipe *PipelineFigure, cha *ChaosFigure, kv *KVFigure, ring *RingFigure, dig *DigestFigure, mem *MembershipFigure) Report {
 	opts = opts.withDefaults()
 	dissemName := ""
 	if opts.Dissemination != 0 {
@@ -69,13 +71,14 @@ func NewReport(opts RunOptions, figs []Figure, rec *RecoveryFigure, pipe *Pipeli
 			Dissem:      dissemName,
 			Digest:      opts.Digest,
 		},
-		Figures:  figs,
-		Recovery: rec,
-		Pipeline: pipe,
-		Chaos:    cha,
-		KV:       kv,
-		Ring:     ring,
-		Digest:   dig,
+		Figures:    figs,
+		Recovery:   rec,
+		Pipeline:   pipe,
+		Chaos:      cha,
+		KV:         kv,
+		Ring:       ring,
+		Digest:     dig,
+		Membership: mem,
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"modab/internal/engine"
+	"modab/internal/member"
 	"modab/internal/netsim"
 	"modab/internal/obs"
 	"modab/internal/rsm"
@@ -132,8 +133,14 @@ type Submission struct {
 type StackResult struct {
 	Stack types.Stack
 	// Logs holds each process's delivery sequence, pre-crash and
-	// post-restart deliveries concatenated.
+	// post-restart deliveries concatenated. Schedules with joins grow the
+	// slice past the boot group; a joiner's log starts at its first
+	// catch-up delivery (instance 1, so normally the full prefix).
 	Logs [][]types.MsgID
+	// Views holds each process's decided view sequence — schedules with
+	// membership ops feed the no-straddle check: correct processes must
+	// agree on every epoch's activation instance and member set.
+	Views [][]member.View
 	// Submissions records every injected abcast attempt.
 	Submissions []Submission
 	// Stats is the cluster-wide counter snapshot after quiescence.
@@ -288,6 +295,9 @@ func runStack(stk types.Stack, seed int64, sch Schedule, cfg StackConfig) (*Stac
 		Seed:    seed,
 		Durable: cfg.Durable,
 		OnDeliver: func(p types.ProcessID, d engine.Delivery, _ time.Duration) {
+			for int(p) >= len(sr.Logs) { // joiners extend the log set
+				sr.Logs = append(sr.Logs, nil)
+			}
 			sr.Logs[p] = append(sr.Logs[p], d.Msg.ID)
 		},
 	}
@@ -330,14 +340,20 @@ func runStack(stk types.Stack, seed int64, sch Schedule, cfg StackConfig) (*Stac
 	sr.Quiesced = c.Events() == 0
 	sr.Stats = c.Stats()
 	sr.Errs = c.Errs()
-	sr.Traces = make([][]obs.StageEvent, cfg.N)
-	for p := 0; p < cfg.N; p++ {
+	nprocs := c.Procs() // boot group plus any joiners the schedule spawned
+	for len(sr.Logs) < nprocs {
+		sr.Logs = append(sr.Logs, nil)
+	}
+	sr.Traces = make([][]obs.StageEvent, nprocs)
+	sr.Views = make([][]member.View, nprocs)
+	for p := 0; p < nprocs; p++ {
 		sr.Traces[p] = c.Obs(types.ProcessID(p)).TraceEvents()
+		sr.Views[p] = c.ViewHistory(types.ProcessID(p))
 	}
 	if cfg.KV {
-		sr.Digests = make([][]byte, cfg.N)
-		sr.SnapshotInstalls = make([]int64, cfg.N)
-		for p := 0; p < cfg.N; p++ {
+		sr.Digests = make([][]byte, nprocs)
+		sr.SnapshotInstalls = make([]int64, nprocs)
+		for p := 0; p < nprocs; p++ {
 			sr.Digests[p] = c.Applier(types.ProcessID(p)).StateDigest()
 			sr.SnapshotInstalls[p] = c.Counters(types.ProcessID(p)).SnapshotInstalls
 		}

@@ -145,6 +145,48 @@ func TestKVRunSnapshotInstall(t *testing.T) {
 	}
 }
 
+// TestMembershipChurnRunEngages drives one replace-under-fire schedule
+// through the harness and asserts the membership machinery actually
+// engaged in both stacks: the joiner spawned and delivered the full
+// reference order, every process reached the final 3-member view with
+// the joiner in and the victim out, view histories agreed, and the
+// joiner's KV digest matches the survivors'.
+func TestMembershipChurnRunEngages(t *testing.T) {
+	sch := Schedule{
+		{Kind: OpJoin, A: 3, B: 1, From: 250 * time.Millisecond},
+		{Kind: OpLeave, A: 0, B: 1, From: 650 * time.Millisecond},
+		{Kind: OpCrash, A: 0, From: 950 * time.Millisecond},
+	}
+	res, err := Run(13, sch, StackConfig{Durable: true, KV: true, SnapshotEvery: 1 << 20, Load: 400})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Ok() {
+		t.Fatalf("properties violated:\n%s", res.Report())
+	}
+	for _, sr := range res.Stacks {
+		if len(sr.Logs) != 4 {
+			t.Fatalf("%s: %d logs, want 4 (joiner missing)", sr.Stack, len(sr.Logs))
+		}
+		if len(sr.Logs[3]) == 0 || len(sr.Logs[3]) != len(sr.Logs[1]) {
+			t.Errorf("%s: joiner delivered %d of %d messages", sr.Stack, len(sr.Logs[3]), len(sr.Logs[1]))
+		}
+		for p := 1; p < 4; p++ {
+			views := sr.Views[p]
+			if len(views) == 0 {
+				t.Fatalf("%s: no view history at p%d", sr.Stack, p+1)
+			}
+			final := views[len(views)-1]
+			if len(final.Members) != 3 || !final.Contains(3) || final.Contains(0) {
+				t.Errorf("%s: p%d final view %v, want {1,2,3} with the victim out", sr.Stack, p+1, final)
+			}
+		}
+		if string(sr.Digests[3]) != string(sr.Digests[1]) {
+			t.Errorf("%s: joiner KV digest differs from survivor's", sr.Stack)
+		}
+	}
+}
+
 // TestScheduleEnd covers the heal/window end computation.
 func TestScheduleEnd(t *testing.T) {
 	open := Schedule{{Kind: OpPartition, A: 0, B: 1, From: 100 * time.Millisecond}}

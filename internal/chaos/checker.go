@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"modab/internal/member"
 	"modab/internal/types"
 )
 
@@ -74,6 +75,36 @@ func checkStack(sr *StackResult, sch Schedule, cfg StackConfig) []Violation {
 			add("uniform-agreement", "correct %s delivered %d messages, correct %s delivered %d:\n    %s suffix: %v",
 				types.ProcessID(p), len(got), types.ProcessID(ref), len(refLog),
 				types.ProcessID(ref), suffix(refLog, len(got)))
+		}
+	}
+
+	// Config agreement (schedules with membership ops): correct processes
+	// must agree on every epoch's activation instance and member set —
+	// the observable witness that no decided instance straddled two
+	// configurations (an op decided at k activates at exactly k+W
+	// everywhere, joiners included; a joiner's history legitimately
+	// starts at its admitting view, hence the shared-epoch comparison).
+	if len(sr.Views) > 0 {
+		refViews := epochMap(sr.Views[ref])
+		for p := 0; p < len(sr.Views); p++ {
+			if p == ref || down[types.ProcessID(p)] {
+				continue
+			}
+			for _, v := range sr.Views[p] {
+				rv, ok := refViews[v.Epoch]
+				if !ok {
+					continue
+				}
+				if v.Activation != rv.Activation {
+					add("config-agreement", "%s activates epoch %d at instance %d, %s at %d",
+						types.ProcessID(p), v.Epoch, v.Activation, types.ProcessID(ref), rv.Activation)
+					continue
+				}
+				if !sameMembers(v.Members, rv.Members) {
+					add("config-agreement", "%s and %s disagree on epoch %d members: %v vs %v",
+						types.ProcessID(p), types.ProcessID(ref), v.Epoch, v.Members, rv.Members)
+				}
+			}
 		}
 	}
 
@@ -188,6 +219,28 @@ func checkCrossStack(stacks []StackResult, sch Schedule) []Violation {
 		}}
 	}
 	return nil
+}
+
+// epochMap indexes a decided view sequence by epoch.
+func epochMap(views []member.View) map[uint64]member.View {
+	m := make(map[uint64]member.View, len(views))
+	for _, v := range views {
+		m[v.Epoch] = v
+	}
+	return m
+}
+
+// sameMembers reports whether two sorted member sets are identical.
+func sameMembers(a, b []types.ProcessID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // firstOrderBreak returns the first index of got that breaks the order of

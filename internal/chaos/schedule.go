@@ -33,6 +33,16 @@ const (
 	// OpSuspect injects a wrong suspicion: B suspects A during [From, To)
 	// although A is alive and reachable.
 	OpSuspect
+	// OpJoin admits process A at From: sponsor B submits the config change
+	// and the joiner spawns once the decided view admitting it applies.
+	// Joiner IDs must be dense (the next unused ID) and explicit at
+	// schedule-build time, so runs stay bit-for-bit reproducible.
+	OpJoin
+	// OpLeave removes member A at From through sponsor B. The removed
+	// process keeps running until a later OpCrash decommissions it —
+	// schedules pair every leave with a crash, which also makes the
+	// checker treat the process as faulty.
+	OpLeave
 )
 
 // Op is one schedule operation. A and B name processes, From and To bound
@@ -65,6 +75,10 @@ func (op Op) String() string {
 		return fmt.Sprintf("restart %s at %v", op.A, op.From)
 	case OpSuspect:
 		return fmt.Sprintf("suspect %s at %s [%v,%v)", op.A, op.B, op.From, op.To)
+	case OpJoin:
+		return fmt.Sprintf("join %s via %s at %v", op.A, op.B, op.From)
+	case OpLeave:
+		return fmt.Sprintf("leave %s via %s at %v", op.A, op.B, op.From)
 	default:
 		return fmt.Sprintf("op(%d)", int(op.Kind))
 	}
@@ -106,6 +120,10 @@ func (s Schedule) Apply(c *netsim.Cluster) {
 			c.Restart(op.A, op.From)
 		case OpSuspect:
 			c.SuspectWindow(op.B, op.A, op.From, op.To-op.From)
+		case OpJoin:
+			c.Join(op.B, op.A, op.From)
+		case OpLeave:
+			c.Remove(op.B, op.A, op.From)
 		}
 	}
 }
@@ -124,7 +142,7 @@ func (s Schedule) End() (end time.Duration, ok bool) {
 	for _, op := range s {
 		t := op.To
 		switch op.Kind {
-		case OpHeal, OpCrash, OpRestart:
+		case OpHeal, OpCrash, OpRestart, OpJoin, OpLeave:
 			t = op.From
 		}
 		if t == 0 { // open-ended window: needs a heal after it opens

@@ -183,6 +183,45 @@ var sweepFamilies = []sweepFamily{
 			return StackConfig{Engine: cfg, Durable: true, KV: true, Load: 400}
 		},
 	},
+	{
+		name: "membership-churn",
+		schedule: func(seed int64) Schedule {
+			// One replace under fire: p4 joins, then a rotating boot member
+			// is removed and decommissioned by a crash. Even seeds overlap
+			// the join with a partition (the joiner's catch-up and the
+			// config ops must ride out the cut); odd seeds crash+restart a
+			// surviving member so its WAL replay rescans the decided config
+			// ops, plus a wrong suspicion across the remove boundary.
+			victim := types.ProcessID(seed % 3)
+			sponsor := types.ProcessID((int(victim) + 1) % 3)
+			other := types.ProcessID((int(victim) + 2) % 3)
+			joinAt := 200*time.Millisecond + time.Duration(seed%5)*31*time.Millisecond
+			removeAt := joinAt + 400*time.Millisecond
+			crashAt := removeAt + 300*time.Millisecond
+			s := Schedule{
+				{Kind: OpJoin, A: 3, B: sponsor, From: joinAt},
+				{Kind: OpLeave, A: victim, B: sponsor, From: removeAt},
+				{Kind: OpCrash, A: victim, From: crashAt},
+			}
+			if seed%2 == 0 {
+				s = append(s, Op{Kind: OpPartition, A: victim, B: other,
+					From: joinAt - 50*time.Millisecond, To: joinAt + 250*time.Millisecond})
+			} else {
+				s = append(s,
+					Op{Kind: OpCrash, A: other, From: joinAt + 100*time.Millisecond},
+					Op{Kind: OpRestart, A: other, From: joinAt + 450*time.Millisecond},
+					Op{Kind: OpSuspect, A: sponsor, B: other,
+						From: removeAt, To: removeAt + 150*time.Millisecond})
+			}
+			return s
+		},
+		config: func() StackConfig {
+			// KV state-digest equality must include the joiner; snapshots
+			// stay effectively off (a joiner restarting from a truncated
+			// WAL is the documented membership limitation).
+			return StackConfig{Durable: true, KV: true, SnapshotEvery: 1 << 20, Load: 400}
+		},
+	},
 }
 
 // sweepSeeds returns how many seeds per family the sweep runs: 8 by

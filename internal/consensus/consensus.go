@@ -32,6 +32,7 @@ import (
 
 	"modab/internal/dedup"
 	"modab/internal/engine"
+	"modab/internal/member"
 	"modab/internal/stack"
 	"modab/internal/types"
 	"modab/internal/wire"
@@ -49,9 +50,16 @@ type Layer struct {
 	resend     time.Duration
 	horizon    int
 
-	self       types.ProcessID
-	n          int
-	majority   int
+	self types.ProcessID
+	// views is the ascending-activation sequence of membership views
+	// this layer has been told about (stack.EvConfig from the abcast
+	// layer, which processes decisions in total order). Every quorum
+	// comparison and coordinator lookup for instance k goes through
+	// viewAt(k) — never through a majority cached at construction, which
+	// is exactly the stale-quorum bug dynamic membership exposes: a
+	// decided remove from n=5 to 4 must shrink the quorum on the very
+	// next governed instance.
+	views      []member.View
 	insts      map[uint64]*instance
 	suspected  map[types.ProcessID]bool
 	maxDecided uint64
@@ -95,19 +103,64 @@ func (l *Layer) Tag() stack.Tag { return stack.TagConsensus }
 func (l *Layer) Init(ctx *stack.Context) {
 	l.ctx = ctx
 	l.self = ctx.Env().Self()
-	l.n = ctx.Env().N()
-	l.majority = types.Majority(l.n)
+	if l.views == nil {
+		l.views = member.NewHistory(ctx.Env().N()).Views()
+	}
 	l.insts = make(map[uint64]*instance)
 	l.suspected = make(map[types.ProcessID]bool)
 	l.decidedSet = dedup.NewSet()
 }
 
+// SeedView replaces the boot view (joiners start from the config they
+// were admitted into, not from epoch 0). Call before the stack starts;
+// it survives Init in either order.
+func (l *Layer) SeedView(v member.View) {
+	l.views = []member.View{v}
+}
+
 // Start implements stack.Layer.
 func (l *Layer) Start() {}
 
-// coordinator returns the coordinator of round r (1-based rounds).
-func (l *Layer) coordinator(r uint32) types.ProcessID {
-	return types.ProcessID((int(r) - 1) % l.n)
+// viewAt returns the membership view governing instance k.
+func (l *Layer) viewAt(k uint64) member.View {
+	for i := len(l.views) - 1; i >= 0; i-- {
+		if l.views[i].Activation <= k {
+			return l.views[i]
+		}
+	}
+	return l.views[0]
+}
+
+// coordinatorAt returns the coordinator of round r (1-based) of
+// instance k: the view's sorted members rotated by round. For the
+// static epoch-0 view this is the paper's (r-1) mod n.
+func (l *Layer) coordinatorAt(k uint64, r uint32) types.ProcessID {
+	return l.viewAt(k).Coordinator(r)
+}
+
+// applyView appends a decided membership view and re-evaluates
+// suspicion-driven round advancement for instances the new rotation now
+// governs (a peer past the boundary may already have opened them in us
+// via proposals under the old rotation).
+func (l *Layer) applyView(activation uint64, members []types.ProcessID) {
+	cur := l.views[len(l.views)-1]
+	if activation <= cur.Activation {
+		return
+	}
+	l.views = append(l.views, member.View{
+		Epoch:      cur.Epoch + 1,
+		Activation: activation,
+		Members:    append([]types.ProcessID(nil), members...),
+	})
+	for _, k := range l.sortedInstanceKeys() {
+		if k < activation {
+			continue
+		}
+		inst := l.insts[k]
+		for !inst.decided && l.suspected[l.coordinatorAt(k, inst.round)] {
+			l.advanceRound(inst)
+		}
+	}
 }
 
 // instance state.
@@ -169,7 +222,7 @@ func (l *Layer) get(k uint64) *instance {
 		coord:     make(map[uint32]*coordRound),
 	}
 	l.insts[k] = inst
-	for l.suspected[l.coordinator(inst.round)] {
+	for l.suspected[l.coordinatorAt(k, inst.round)] {
 		l.advanceRound(inst)
 	}
 	return inst
@@ -187,6 +240,8 @@ func (l *Layer) Event(ev stack.Event) {
 			return
 		}
 		l.handleDecisionTag(ev.From, m)
+	case stack.EvConfig:
+		l.applyView(ev.Instance, ev.Members)
 	}
 }
 
@@ -205,7 +260,7 @@ func (l *Layer) propose(k uint64, batch wire.Batch) {
 	inst.estimate = batch
 	inst.estTS = 0
 	inst.hasEstimate = true
-	if l.coordinator(1) == l.self && inst.round == 1 && !inst.coordRound(1).proposed {
+	if l.coordinatorAt(k, 1) == l.self && inst.round == 1 && !inst.coordRound(1).proposed {
 		l.proposeRound(inst, 1, batch)
 		return
 	}
@@ -251,18 +306,24 @@ func (l *Layer) coordMaybePropose(inst *instance, r uint32) {
 	if cr.proposed {
 		return
 	}
-	votes := len(cr.estimates)
-	if _, ok := cr.estimates[l.self]; !ok {
+	view := l.viewAt(inst.k)
+	votes := 0
+	for p := range cr.estimates {
+		if view.Contains(p) {
+			votes++ // only the governing view's members form the quorum
+		}
+	}
+	if _, ok := cr.estimates[l.self]; !ok && view.Contains(l.self) {
 		votes++ // the local estimate participates implicitly
 	}
-	if votes < l.majority {
+	if votes < view.Majority() {
 		return
 	}
 	// Choose the estimate with the largest timestamp ("the eldest value").
-	// Iterate in process order so tie-breaks are deterministic.
+	// Iterate in member order so tie-breaks are deterministic.
 	best := estimateEntry{hasValue: inst.hasEstimate, ts: inst.estTS, batch: inst.estimate}
-	for p := 0; p < l.n; p++ {
-		e, ok := cr.estimates[types.ProcessID(p)]
+	for _, p := range view.Members {
+		e, ok := cr.estimates[p]
 		if !ok || !e.hasValue {
 			continue
 		}
@@ -281,13 +342,13 @@ func (l *Layer) coordMaybePropose(inst *instance, r uint32) {
 // coordinator (the paper's round-change path; never taken in good runs).
 func (l *Layer) advanceRound(inst *instance) {
 	r := inst.round
-	if c := l.coordinator(r); c != l.self && !inst.nacked[r] {
+	if c := l.coordinatorAt(inst.k, r); c != l.self && !inst.nacked[r] {
 		l.send(c, message{Type: mtNack, Instance: inst.k, Round: r})
 	}
 	inst.nacked[r] = true
 	inst.round = r + 1
 	l.ctx.Env().Counters().Rounds.Add(1)
-	next := l.coordinator(inst.round)
+	next := l.coordinatorAt(inst.k, inst.round)
 	if next == l.self {
 		l.coordMaybePropose(inst, inst.round)
 		return
@@ -405,7 +466,7 @@ func (l *Layer) handleNack(m message) {
 	// suspected (the same cascade Suspect performs): stopping on a round
 	// whose coordinator is down would send the estimate into a void.
 	l.advanceRound(inst)
-	for !inst.decided && l.suspected[l.coordinator(inst.round)] {
+	for !inst.decided && l.suspected[l.coordinatorAt(inst.k, inst.round)] {
 		l.advanceRound(inst)
 	}
 }
@@ -417,7 +478,7 @@ func (l *Layer) handleEstimate(from types.ProcessID, m message) {
 		l.send(from, message{Type: mtDecisionFull, Instance: inst.k, Round: inst.decisionRound, Batch: inst.decision})
 		return
 	}
-	if l.coordinator(m.Round) != l.self || m.Round < 2 {
+	if l.coordinatorAt(m.Instance, m.Round) != l.self || m.Round < 2 {
 		return
 	}
 	cr := inst.coordRound(m.Round)
@@ -429,7 +490,17 @@ func (l *Layer) handleEstimate(from types.ProcessID, m message) {
 // has acknowledged the round-r proposal.
 func (l *Layer) checkDecide(inst *instance, r uint32) {
 	cr := inst.coordRound(r)
-	if inst.decided || !cr.proposed || len(cr.acks) < l.majority {
+	if inst.decided || !cr.proposed {
+		return
+	}
+	view := l.viewAt(inst.k)
+	votes := 0
+	for p := range cr.acks {
+		if view.Contains(p) {
+			votes++ // only the governing view's members form the quorum
+		}
+	}
+	if votes < view.Majority() {
 		return
 	}
 	// Disseminate the DECISION tag through reliable broadcast, then decide
@@ -519,8 +590,8 @@ func (l *Layer) Timer(id engine.TimerID) {
 		}
 		waiting = true
 		req := message{Type: mtDecisionReq, Instance: inst.k}
-		l.sendAll(req)
-		l.ctx.Env().Counters().Retransmissions.Add(int64(l.n - 1))
+		sent := l.sendAll(req)
+		l.ctx.Env().Counters().Retransmissions.Add(int64(sent))
 	}
 	if waiting && l.resend > 0 {
 		l.ctx.SetTimer(timerResend, l.resend)
@@ -549,7 +620,7 @@ func (l *Layer) Suspect(p types.ProcessID, suspected bool) {
 	}
 	for _, k := range l.sortedInstanceKeys() {
 		inst := l.insts[k]
-		for !inst.decided && l.suspected[l.coordinator(inst.round)] {
+		for !inst.decided && l.suspected[l.coordinatorAt(k, inst.round)] {
 			l.advanceRound(inst)
 		}
 	}
@@ -585,11 +656,20 @@ func (l *Layer) send(to types.ProcessID, m message) {
 	l.ctx.NetSend(to, data)
 }
 
-// sendAll transmits one consensus message to every other process.
-func (l *Layer) sendAll(m message) {
+// sendAll transmits one consensus message to every other member of the
+// view governing its instance, returning the number of sends.
+func (l *Layer) sendAll(m message) int {
 	data := m.marshal()
+	members := l.viewAt(m.Instance).Members
+	sends := 0
+	for _, p := range members {
+		if p != l.self {
+			sends++
+		}
+	}
 	c := l.ctx.Env().Counters()
-	c.PayloadBytesSent.Add(int64(m.Batch.PayloadBytes() * (l.n - 1)))
-	c.OrderedBytes.Add(int64(len(data) * (l.n - 1)))
-	l.ctx.NetSendAll(data)
+	c.PayloadBytesSent.Add(int64(m.Batch.PayloadBytes() * sends))
+	c.OrderedBytes.Add(int64(len(data) * sends))
+	l.ctx.NetSendMembers(members, data)
+	return sends
 }

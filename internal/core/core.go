@@ -6,6 +6,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"modab/internal/engine"
+	"modab/internal/member"
 	"modab/internal/obs"
 	"modab/internal/recovery"
 	"modab/internal/rsm"
@@ -98,13 +100,32 @@ func snapshotStore(d *DurabilityOptions, dir string) (rsm.Store, error) {
 // Group is a set of real-time nodes connected by an in-memory network —
 // the quickest way to use the library inside one OS process.
 type Group struct {
-	// mu guards nodes: Crash, Restart and Close swap entries concurrently
-	// with submissions reading them.
+	// mu guards nodes (and the membership state below): Crash, Restart,
+	// Close and joiner spawns swap or grow entries concurrently with
+	// submissions reading them.
 	mu    sync.RWMutex
 	nodes []*runtime.Node
 	net   *transport.MemNetwork
 	hub   *stream.Hub[engine.Event]
 	start time.Time
+
+	// bootN is the boot group size — the epoch-0 view every incarnation
+	// rebuilds its config history from (runtime Options.N must stay the
+	// boot size across restarts and joins; the current membership is the
+	// engines' business, not a driver constant).
+	bootN int
+	// nextID allocates dense joiner IDs; pending marks IDs whose OpAdd is
+	// in flight so the first applied view naming one spawns it exactly
+	// once. spawnErr surfaces a failed spawn to the waiting Add. closed
+	// stops late spawns after Close.
+	nextID   types.ProcessID
+	pending  map[types.ProcessID]bool
+	spawnErr map[types.ProcessID]error
+	closed   bool
+	// viewCh is closed and replaced on every applied view change and
+	// joiner spawn — a condition broadcast for Add/Remove waiters.
+	viewMu sync.Mutex
+	viewCh chan struct{}
 
 	// lifecycle serializes Crash, Restart and Close with each other (but
 	// not with submissions): a Restart overlapping a Crash of the same
@@ -135,11 +156,16 @@ func NewGroup(n int, stack types.Stack, opts GroupOptions) (*Group, error) {
 	}
 	net := transport.NewMemNetwork()
 	g := &Group{
-		net:   net,
-		nodes: make([]*runtime.Node, n),
-		start: time.Now(),
-		stack: stack,
-		opts:  opts,
+		net:      net,
+		nodes:    make([]*runtime.Node, n),
+		start:    time.Now(),
+		stack:    stack,
+		opts:     opts,
+		bootN:    n,
+		nextID:   types.ProcessID(n),
+		pending:  make(map[types.ProcessID]bool),
+		spawnErr: make(map[types.ProcessID]error),
+		viewCh:   make(chan struct{}),
 	}
 	g.hub = stream.NewHub[engine.Event](opts.DeliveryBuffer, opts.DeliveryOverflow,
 		func() { g.streamDropped.Add(1) })
@@ -150,7 +176,7 @@ func NewGroup(n int, stack types.Stack, opts GroupOptions) (*Group, error) {
 		}
 	}
 	for i := 0; i < n; i++ {
-		node, err := g.startNode(types.ProcessID(i), net.Endpoint(types.ProcessID(i)))
+		node, err := g.startNode(types.ProcessID(i), net.Endpoint(types.ProcessID(i)), nil)
 		if err != nil {
 			g.Close()
 			return nil, fmt.Errorf("core: start node %d: %w", i, err)
@@ -161,12 +187,17 @@ func NewGroup(n int, stack types.Stack, opts GroupOptions) (*Group, error) {
 }
 
 // startNode builds one node of the group on the given transport endpoint,
-// opening its write-ahead log when durability is configured.
-func (g *Group) startNode(p types.ProcessID, ep transport.Transport) (*runtime.Node, error) {
+// opening its write-ahead log when durability is configured. A non-nil
+// initView marks the node a joiner: it starts from the admitting view
+// and catches up through state transfer instead of assuming the boot
+// group.
+func (g *Group) startNode(p types.ProcessID, ep transport.Transport, initView *member.View) (*runtime.Node, error) {
 	var rec *obs.Recorder
-	if g.obsRecs != nil {
+	g.mu.RLock()
+	if g.obsRecs != nil && int(p) < len(g.obsRecs) {
 		rec = g.obsRecs[p]
 	}
+	g.mu.RUnlock()
 	var store recovery.Store
 	if g.opts.Durability != nil {
 		var err error
@@ -197,7 +228,7 @@ func (g *Group) startNode(p types.ProcessID, ep transport.Transport) (*runtime.N
 	}
 	node, err := runtime.NewNode(runtime.Options{
 		Self:             p,
-		N:                len(g.nodes),
+		N:                g.bootN,
 		Stack:            g.stack,
 		Engine:           g.opts.Engine,
 		Transport:        ep,
@@ -211,6 +242,8 @@ func (g *Group) startNode(p types.ProcessID, ep transport.Transport) (*runtime.N
 		SnapshotStore:    snaps,
 		SnapshotEvery:    g.opts.SnapshotEvery,
 		Obs:              rec,
+		InitialView:      initView,
+		OnConfig:         func(v member.View, op member.Op) { g.onViewChange(v, op) },
 	})
 	if err != nil && store != nil {
 		_ = store.Close()
@@ -233,9 +266,6 @@ func dirOf(d *DurabilityOptions) string {
 // decisions via state transfer before resuming. The survivors' failure
 // detectors unsuspect it as soon as they hear from it again.
 func (g *Group) Restart(p int) error {
-	if p < 0 || p >= len(g.nodes) {
-		return fmt.Errorf("%w: p%d of a group of %d", types.ErrBadConfig, p+1, len(g.nodes))
-	}
 	if g.opts.Durability == nil {
 		return fmt.Errorf("%w: Restart requires GroupOptions.Durability", types.ErrBadConfig)
 	}
@@ -244,13 +274,18 @@ func (g *Group) Restart(p int) error {
 	g.lifecycle.Lock()
 	defer g.lifecycle.Unlock()
 	g.mu.RLock()
-	running := g.nodes[p] != nil
+	inRange := p >= 0 && p < len(g.nodes)
+	running := inRange && g.nodes[p] != nil
+	size := len(g.nodes)
 	g.mu.RUnlock()
+	if !inRange {
+		return fmt.Errorf("%w: p%d of a group of %d", types.ErrBadConfig, p+1, size)
+	}
 	if running {
 		return fmt.Errorf("%w: p%d is still running", types.ErrBadConfig, p+1)
 	}
 	pid := types.ProcessID(p)
-	node, err := g.startNode(pid, g.net.Reset(pid))
+	node, err := g.startNode(pid, g.net.Reset(pid), nil)
 	if err != nil {
 		return fmt.Errorf("core: restart node %d: %w", p, err)
 	}
@@ -260,8 +295,228 @@ func (g *Group) Restart(p int) error {
 	return nil
 }
 
-// N returns the group size.
-func (g *Group) N() int { return len(g.nodes) }
+// Add admits a new process to the group: an OpAdd rides the total order
+// through a live member, and when the first process applies the view
+// that admits it, the joiner is spawned on a fresh in-memory endpoint
+// (with its own write-ahead log and snapshot store when the group is
+// durable) and catches up through the ordinary restart-style state
+// transfer. Add blocks until the joiner is running and returns its ID.
+func (g *Group) Add(ctx context.Context) (types.ProcessID, error) {
+	if g.opts.Durability == nil {
+		// Members without write-ahead logs cannot serve the decided
+		// prefix, so the joiner's state transfer would never finish.
+		return 0, fmt.Errorf("%w: Add requires GroupOptions.Durability", types.ErrBadConfig)
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return 0, types.ErrStopped
+	}
+	target := g.nextID
+	g.nextID++
+	g.pending[target] = true
+	g.mu.Unlock()
+	if err := g.submitConfig(ctx, member.Op{Kind: member.OpAdd, Target: target}, -1); err != nil {
+		g.mu.Lock()
+		delete(g.pending, target)
+		g.mu.Unlock()
+		return 0, err
+	}
+	for {
+		wait := g.viewChanged()
+		g.mu.RLock()
+		var node *runtime.Node
+		if int(target) < len(g.nodes) {
+			node = g.nodes[target]
+		}
+		err := g.spawnErr[target]
+		g.mu.RUnlock()
+		if err != nil {
+			return 0, err
+		}
+		if node != nil {
+			return target, nil
+		}
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+}
+
+// Remove retires process p: an OpRemove rides the total order through a
+// surviving member, and once every live process has applied the view
+// that excludes p, the process is decommissioned (crashed). Removing an
+// already-crashed process works — that is the permanent-node-loss
+// recovery: the group stops waiting for it and quorums shrink.
+func (g *Group) Remove(ctx context.Context, p int) error {
+	target := types.ProcessID(p)
+	if err := g.submitConfig(ctx, member.Op{Kind: member.OpRemove, Target: target}, p); err != nil {
+		return err
+	}
+	for {
+		wait := g.viewChanged()
+		if g.removedEverywhere(target) {
+			return g.Crash(p)
+		}
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// View returns process p's newest locally applied membership view (the
+// zero view after Crash(p) or for an out-of-range index).
+func (g *Group) View(p int) member.View {
+	node, err := g.node(p)
+	if err != nil {
+		return member.View{}
+	}
+	return node.CurrentView()
+}
+
+// Views returns process p's locally applied view history, oldest first
+// (nil after Crash(p); a joiner's history starts at its admitting view).
+func (g *Group) Views(p int) []member.View {
+	node, err := g.node(p)
+	if err != nil {
+		return nil
+	}
+	return node.Views()
+}
+
+// submitConfig drives one config op through a live member, retrying
+// flow-control rejections (the op is an ordinary abcast competing for
+// window slots). avoid names a process not to use as sponsor — the
+// remove target; -1 for none.
+func (g *Group) submitConfig(ctx context.Context, op member.Op, avoid int) error {
+	for {
+		node := g.sponsor(avoid)
+		if node == nil {
+			return types.ErrCrashed
+		}
+		_, err := node.SubmitConfig(op)
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, types.ErrFlowControl):
+			select {
+			case <-time.After(2 * time.Millisecond):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		default:
+			return err
+		}
+	}
+}
+
+// sponsor picks a live node to submit a config op through.
+func (g *Group) sponsor(avoid int) *runtime.Node {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for i, n := range g.nodes {
+		if n != nil && i != avoid {
+			return n
+		}
+	}
+	return nil
+}
+
+// removedEverywhere reports whether every live process other than target
+// has applied a view excluding target (and at least one such process
+// exists).
+func (g *Group) removedEverywhere(target types.ProcessID) bool {
+	g.mu.RLock()
+	nodes := make([]*runtime.Node, len(g.nodes))
+	copy(nodes, g.nodes)
+	g.mu.RUnlock()
+	any := false
+	for i, n := range nodes {
+		if n == nil || i == int(target) {
+			continue
+		}
+		any = true
+		if n.CurrentView().Contains(target) {
+			return false
+		}
+	}
+	return any
+}
+
+// onViewChange observes every applied view at every process (the
+// runtime's OnConfig hook, on a node's event loop): the first view
+// naming a pending joiner spawns it, and every change wakes Add/Remove
+// waiters.
+func (g *Group) onViewChange(v member.View, op member.Op) {
+	if op.Kind == member.OpAdd {
+		g.maybeSpawn(op.Target, v)
+	}
+	g.viewPulse()
+}
+
+// maybeSpawn starts a pending joiner exactly once, asynchronously (a
+// node spawn opens logs and starts goroutines — not event-loop work).
+func (g *Group) maybeSpawn(id types.ProcessID, v member.View) {
+	g.mu.Lock()
+	if g.closed || !g.pending[id] {
+		g.mu.Unlock()
+		return
+	}
+	delete(g.pending, id)
+	for int(id) >= len(g.nodes) {
+		g.nodes = append(g.nodes, nil)
+		if g.obsRecs != nil {
+			g.obsRecs = append(g.obsRecs, obs.NewRecorder(*g.opts.Observability))
+		}
+	}
+	g.mu.Unlock()
+	view := v
+	view.Members = append([]types.ProcessID(nil), v.Members...)
+	go func() {
+		node, err := g.startNode(id, g.net.Endpoint(id), &view)
+		g.mu.Lock()
+		switch {
+		case err != nil:
+			g.spawnErr[id] = err
+		case g.closed:
+			g.mu.Unlock()
+			_ = node.Close()
+			g.viewPulse()
+			return
+		default:
+			g.nodes[id] = node
+		}
+		g.mu.Unlock()
+		g.viewPulse()
+	}()
+}
+
+// viewChanged returns a channel closed at the next view change or spawn.
+func (g *Group) viewChanged() <-chan struct{} {
+	g.viewMu.Lock()
+	defer g.viewMu.Unlock()
+	return g.viewCh
+}
+
+// viewPulse wakes every Add/Remove waiter.
+func (g *Group) viewPulse() {
+	g.viewMu.Lock()
+	close(g.viewCh)
+	g.viewCh = make(chan struct{})
+	g.viewMu.Unlock()
+}
+
+// N returns the number of process slots ever created (boot group plus
+// joiners; removed and crashed processes keep their slots).
+func (g *Group) N() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.nodes)
+}
 
 // Node returns the i-th process's node (nil after Crash(i) or for an
 // out-of-range index).
@@ -272,10 +527,12 @@ func (g *Group) Node(i int) *runtime.Node {
 
 // node fetches one process's live node, with bounds and crash checks.
 func (g *Group) node(p int) (*runtime.Node, error) {
-	if p < 0 || p >= len(g.nodes) {
-		return nil, fmt.Errorf("%w: p%d of a group of %d", types.ErrBadConfig, p+1, len(g.nodes))
-	}
 	g.mu.RLock()
+	if p < 0 || p >= len(g.nodes) {
+		size := len(g.nodes)
+		g.mu.RUnlock()
+		return nil, fmt.Errorf("%w: p%d of a group of %d", types.ErrBadConfig, p+1, size)
+	}
 	n := g.nodes[p]
 	g.mu.RUnlock()
 	if n == nil {
@@ -329,6 +586,8 @@ func (g *Group) Counters(p int) trace.Snapshot {
 // runs without GroupOptions.Observability (or for an out-of-range index).
 // The recorder survives Crash/Restart, accumulating across incarnations.
 func (g *Group) Obs(p int) *obs.Recorder {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	if g.obsRecs == nil || p < 0 || p >= len(g.obsRecs) {
 		return nil
 	}
@@ -337,8 +596,9 @@ func (g *Group) Obs(p int) *obs.Recorder {
 
 // Stats returns the uniform whole-group snapshot.
 func (g *Group) Stats() trace.Stats {
-	st := trace.Stats{N: len(g.nodes), PerProcess: make([]trace.Snapshot, len(g.nodes))}
-	for i := range g.nodes {
+	n := g.N()
+	st := trace.Stats{N: n, PerProcess: make([]trace.Snapshot, n)}
+	for i := 0; i < n; i++ {
 		st.PerProcess[i] = g.Counters(i)
 		st.Total.Add(st.PerProcess[i])
 	}
@@ -351,12 +611,14 @@ func (g *Group) Stats() trace.Stats {
 // only after the node fully stopped (and, with durability, released its
 // write-ahead log), so a subsequent Restart finds the log quiescent.
 func (g *Group) Crash(p int) error {
-	if p < 0 || p >= len(g.nodes) {
-		return fmt.Errorf("%w: p%d of a group of %d", types.ErrBadConfig, p+1, len(g.nodes))
-	}
 	g.lifecycle.Lock()
 	defer g.lifecycle.Unlock()
 	g.mu.Lock()
+	if p < 0 || p >= len(g.nodes) {
+		size := len(g.nodes)
+		g.mu.Unlock()
+		return fmt.Errorf("%w: p%d of a group of %d", types.ErrBadConfig, p+1, size)
+	}
 	node := g.nodes[p]
 	g.nodes[p] = nil
 	g.mu.Unlock()
@@ -372,6 +634,7 @@ func (g *Group) Close() {
 	g.lifecycle.Lock()
 	defer g.lifecycle.Unlock()
 	g.mu.Lock()
+	g.closed = true
 	nodes := make([]*runtime.Node, len(g.nodes))
 	copy(nodes, g.nodes)
 	for i := range g.nodes {
@@ -423,6 +686,22 @@ type TCPNodeOptions struct {
 	// obs.NewHTTPHandler). Wired through to the engine, the applier, and
 	// the write-ahead log's fsync instrumentation.
 	Obs *obs.Recorder
+	// Join marks this process a joiner: Addrs[Self] is its own listen
+	// address (the boot peers occupy the lower slots), and instead of
+	// assuming boot membership it starts with restart-style empty state —
+	// once a member sponsors its admission (runtime.Node.RequestJoin), it
+	// announces itself and catches up through state transfer.
+	Join bool
+	// BootN is the original boot group size, the epoch-0 view a joiner
+	// replays config history from. 0 infers it: len(Addrs) for members,
+	// Self for a joiner (correct when this is the first join; later
+	// joiners whose Addrs table already includes earlier joiners must set
+	// it explicitly).
+	BootN int
+	// OnConfig, when non-nil, observes every applied membership view (see
+	// runtime.Options.OnConfig). The node already grows its TCP address
+	// table from OpAdd addresses and retargets its failure detector.
+	OnConfig func(v member.View, op member.Op)
 }
 
 // NewTCPNode starts one process of a group communicating over TCP — the
@@ -456,9 +735,23 @@ func NewTCPNode(opts TCPNodeOptions) (*runtime.Node, error) {
 		}
 		return nil, err
 	}
+	// A joiner's boot group is the peers below its own slot; a boot member
+	// counts the whole table. BootN overrides both.
+	n := len(opts.Addrs)
+	if opts.Join && int(opts.Self) < n {
+		n = int(opts.Self)
+	}
+	if opts.BootN > 0 {
+		n = opts.BootN
+	}
+	// addrTable grows as OpAdd ops activate, so every member learns a
+	// joiner's address from the decided op itself (no out-of-band address
+	// exchange). Touched only on the node's event loop (OnConfig is
+	// serial).
+	addrTable := append([]string(nil), opts.Addrs...)
 	node, err := runtime.NewNode(runtime.Options{
 		Self:             opts.Self,
-		N:                len(opts.Addrs),
+		N:                n,
 		Stack:            opts.Stack,
 		Engine:           opts.Engine,
 		Transport:        tr,
@@ -472,6 +765,21 @@ func NewTCPNode(opts TCPNodeOptions) (*runtime.Node, error) {
 		SnapshotStore:    snaps,
 		SnapshotEvery:    opts.SnapshotEvery,
 		Obs:              opts.Obs,
+		Join:             opts.Join,
+		OnConfig: func(v member.View, op member.Op) {
+			if op.Kind == member.OpAdd && op.Addr != "" {
+				for int(op.Target) >= len(addrTable) {
+					addrTable = append(addrTable, "")
+				}
+				if addrTable[op.Target] != op.Addr {
+					addrTable[op.Target] = op.Addr
+					tr.SetAddrs(addrTable)
+				}
+			}
+			if fn := opts.OnConfig; fn != nil {
+				fn(v, op)
+			}
+		},
 	})
 	if err != nil {
 		_ = tr.Close()

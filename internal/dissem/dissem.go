@@ -110,6 +110,11 @@ type Disseminator interface {
 	// Suspect updates the failure-detector view the successor walk
 	// skips over. Engines forward every FD transition here.
 	Suspect(p types.ProcessID, suspected bool)
+	// SetMembers switches the membership view at a decided boundary.
+	// The ring successor order is derived from the member list, so a
+	// removed member closes its ring hole instead of being skipped as a
+	// permanent suspect; suspicion state of non-members is pruned.
+	SetMembers(members []types.ProcessID)
 }
 
 // incarnationShift splits a dissemination sequence number: the high 16
@@ -122,9 +127,13 @@ const incarnationShift = 48
 // zero on a first boot, making the crash-stop wire bytes exact).
 func New(s Strategy, self types.ProcessID, n int, incarnation uint64) Disseminator {
 	if s == Ring {
+		members := make([]types.ProcessID, n)
+		for i := range members {
+			members[i] = types.ProcessID(i)
+		}
 		return &ring{
 			self:    self,
-			n:       n,
+			members: members,
 			nextSeq: incarnation<<incarnationShift + 1,
 			seen:    make(map[types.ProcessID]map[uint64]*dedup),
 		}
@@ -144,11 +153,12 @@ func (allToAll) Accept(wire.RelayHeader) (wire.RelayHeader, types.ProcessID, boo
 	return wire.RelayHeader{}, types.Nobody, false, false
 }
 func (allToAll) Suspect(types.ProcessID, bool) {}
+func (allToAll) SetMembers([]types.ProcessID)  {}
 
 // ring implements the successor-relay topology.
 type ring struct {
 	self      types.ProcessID
-	n         int
+	members   []types.ProcessID // sorted current view
 	nextSeq   uint64
 	suspected map[types.ProcessID]bool
 	seen      map[types.ProcessID]map[uint64]*dedup
@@ -156,13 +166,46 @@ type ring struct {
 
 func (r *ring) Strategy() Strategy { return Ring }
 
-// successor returns the first live process after p in ring order,
-// skipping self-looping back to from (the search start) and every
+// SetMembers implements Disseminator.
+func (r *ring) SetMembers(members []types.ProcessID) {
+	r.members = append([]types.ProcessID(nil), members...)
+	for p := range r.suspected {
+		if !r.isMember(p) {
+			delete(r.suspected, p)
+		}
+	}
+}
+
+func (r *ring) isMember(p types.ProcessID) bool {
+	for _, m := range r.members {
+		if m == p {
+			return true
+		}
+	}
+	return false
+}
+
+// successor returns the first live member after from in member-rank ring
+// order, skipping looping back to from (the search start) and every
 // currently suspected process. ok is false when no live successor other
-// than from exists.
+// than from exists. For the static boot view {0..n-1} the walk is
+// identical to the original (from+i) mod n ID arithmetic.
 func (r *ring) successor(from types.ProcessID) (types.ProcessID, bool) {
-	for i := 1; i < r.n; i++ {
-		p := types.ProcessID((int(from) + i) % r.n)
+	n := len(r.members)
+	if n == 0 {
+		return types.Nobody, false
+	}
+	// Rank of the first member strictly after from (wrapping to 0); works
+	// whether or not from itself is still a member.
+	start := 0
+	for i, p := range r.members {
+		if p > from {
+			start = i
+			break
+		}
+	}
+	for i := 0; i < n; i++ {
+		p := r.members[(start+i)%n]
 		if p == from || r.suspected[p] {
 			continue
 		}
@@ -172,7 +215,7 @@ func (r *ring) successor(from types.ProcessID) (types.ProcessID, bool) {
 }
 
 func (r *ring) Origin() (wire.RelayHeader, types.ProcessID, bool) {
-	if r.n < 3 {
+	if len(r.members) < 3 {
 		// A ring of two degenerates to a direct send; plain broadcast is
 		// the same wire cost and keeps the control path trivial.
 		return wire.RelayHeader{}, types.Nobody, false
@@ -196,7 +239,7 @@ func (r *ring) Accept(h wire.RelayHeader) (wire.RelayHeader, types.ProcessID, bo
 	}
 	r.markSeen(h.Origin, h.Seq)
 	nh := wire.RelayHeader{Origin: h.Origin, Seq: h.Seq, Hops: h.Hops + 1}
-	if int(nh.Hops) >= r.n {
+	if int(nh.Hops) >= len(r.members) {
 		// Hop budget exhausted — every process has had its chance.
 		return wire.RelayHeader{}, types.Nobody, true, false
 	}

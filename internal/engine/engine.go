@@ -15,6 +15,7 @@ import (
 	"modab/internal/batch"
 	"modab/internal/dedup"
 	"modab/internal/dissem"
+	"modab/internal/member"
 	"modab/internal/obs"
 	"modab/internal/trace"
 	"modab/internal/types"
@@ -75,7 +76,10 @@ type Event struct {
 type Env interface {
 	// Self returns the local process identifier (0-based).
 	Self() types.ProcessID
-	// N returns the static group size.
+	// N returns the upper bound of the process-ID space: the boot group
+	// size, growing when dynamic membership admits joiners with higher
+	// IDs. It is NOT the current member count — layers that need quorum
+	// sizes or fan-out sets consult the decided membership view, never N.
 	N() int
 	// Now returns the elapsed time since the process started, in the
 	// driver's clock (virtual in simulation, monotonic in real time).
@@ -201,6 +205,19 @@ type Engine interface {
 	Pending() int
 }
 
+// ConfigSubmitter is implemented by engines that support dynamic
+// membership (both stacks do). SubmitConfig stamps the op with the
+// engine's current epoch and submits it through the ordinary abcast
+// path; the op decides like any message and activates at the decided
+// boundary. Drivers type-assert for it on the Engine interface.
+type ConfigSubmitter interface {
+	SubmitConfig(op member.Op) (types.MsgID, error)
+	// CurrentView returns the newest locally applied membership view
+	// (possibly not yet activated — activation lags the decide by the
+	// pipeline window).
+	CurrentView() member.View
+}
+
 // Config carries the tunables shared by both stacks. The zero value is not
 // valid; use DefaultConfig and override.
 type Config struct {
@@ -278,6 +295,19 @@ type Config struct {
 	// a peer snapshot when it is itself too far behind. Driver-injected
 	// (see internal/rsm), not a user tunable.
 	Snapshots *SnapshotHooks
+	// InitialView, when non-nil, seeds the engine's membership history
+	// with an explicit boot view instead of the static epoch-0 group
+	// {0..N-1}. Drivers set it when spawning a joiner, whose first view
+	// is the config it was admitted into, not history's beginning.
+	InitialView *member.View
+	// OnConfig, when non-nil, is invoked — in delivery order, while the
+	// engine processes the deciding instance — each time a membership
+	// change is applied locally, with the view it produced and the op
+	// that produced it (op.Addr carries a joiner's transport address).
+	// Drivers use it to spawn joiners, stop removed processes, grow
+	// transport address tables, and retarget failure-detector monitor
+	// sets. Like Deliver, it must not re-enter the engine.
+	OnConfig func(v member.View, op member.Op)
 	// Obs, when non-nil, enables the observability layer: the engine
 	// records latency histogram samples and sampled message lifecycle
 	// stages through it, using Env.Now timestamps only — recording never

@@ -10,6 +10,7 @@
 package fd
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -37,7 +38,6 @@ type Detector interface {
 // suspicions strictly more accurate).
 type Heartbeat struct {
 	self    types.ProcessID
-	n       int
 	timeout time.Duration
 	period  time.Duration
 	send    func(to types.ProcessID) // emits one heartbeat to a peer
@@ -54,6 +54,7 @@ type Heartbeat struct {
 	// detector.
 	reportMu  sync.Mutex
 	mu        sync.Mutex
+	members   map[types.ProcessID]bool // peers currently monitored (never self)
 	lastSeen  map[types.ProcessID]time.Time
 	suspected map[types.ProcessID]bool
 	onChange  ChangeFunc
@@ -70,16 +71,55 @@ var _ Detector = (*Heartbeat)(nil)
 // threshold (timeout should be several periods).
 func NewHeartbeat(self types.ProcessID, n int, period, timeout time.Duration,
 	send func(to types.ProcessID)) *Heartbeat {
+	members := make(map[types.ProcessID]bool, n)
+	for i := 0; i < n; i++ {
+		if p := types.ProcessID(i); p != self {
+			members[p] = true
+		}
+	}
 	return &Heartbeat{
 		self:      self,
-		n:         n,
 		timeout:   timeout,
 		period:    period,
 		send:      send,
+		members:   members,
 		lastSeen:  make(map[types.ProcessID]time.Time, n),
 		suspected: make(map[types.ProcessID]bool, n),
 		done:      make(chan struct{}),
 	}
+}
+
+// SetMembers replaces the monitor set with the given group view (self is
+// excluded automatically). State of removed peers is pruned — without
+// this, a removed process stays suspected forever, ring dissemination
+// keeps skipping a hole, and a later re-add of the same ID would inherit
+// a stale suspicion. Newly added peers start with a fresh grace period
+// and are unsuspected; their first suspicion (and the unsuspect when
+// they are heard) is therefore reported exactly once, as for any peer.
+func (h *Heartbeat) SetMembers(members []types.ProcessID) {
+	h.reportMu.Lock()
+	defer h.reportMu.Unlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	want := make(map[types.ProcessID]bool, len(members))
+	for _, p := range members {
+		if p != h.self {
+			want[p] = true
+		}
+	}
+	now := time.Now()
+	for p := range want {
+		if !h.members[p] {
+			h.lastSeen[p] = now // grace period for joiners
+		}
+	}
+	for p := range h.members {
+		if !want[p] {
+			delete(h.lastSeen, p)
+			delete(h.suspected, p)
+		}
+	}
+	h.members = want
 }
 
 // Start implements Detector.
@@ -87,10 +127,8 @@ func (h *Heartbeat) Start(onChange ChangeFunc) {
 	h.mu.Lock()
 	h.onChange = onChange
 	now := time.Now()
-	for i := 0; i < h.n; i++ {
-		if p := types.ProcessID(i); p != h.self {
-			h.lastSeen[p] = now // grace period at startup
-		}
+	for p := range h.members {
+		h.lastSeen[p] = now // grace period at startup
 	}
 	h.mu.Unlock()
 	h.wg.Add(1)
@@ -108,10 +146,14 @@ func (h *Heartbeat) loop() {
 			return
 		case <-ticker.C:
 		}
-		for i := 0; i < h.n; i++ {
-			if p := types.ProcessID(i); p != h.self {
-				h.send(p)
-			}
+		h.mu.Lock()
+		peers := make([]types.ProcessID, 0, len(h.members))
+		for p := range h.members {
+			peers = append(peers, p)
+		}
+		h.mu.Unlock()
+		for _, p := range peers {
+			h.send(p)
 		}
 		h.check()
 	}
@@ -126,17 +168,14 @@ func (h *Heartbeat) check() {
 	now := time.Now()
 	var changes []types.ProcessID
 	h.mu.Lock()
-	for i := 0; i < h.n; i++ {
-		p := types.ProcessID(i)
-		if p == h.self {
-			continue
-		}
+	for p := range h.members {
 		silent := now.Sub(h.lastSeen[p]) > h.timeout
 		if silent != h.suspected[p] {
 			h.suspected[p] = silent
 			changes = append(changes, p)
 		}
 	}
+	sort.Slice(changes, func(i, j int) bool { return changes[i] < changes[j] })
 	cb := h.onChange
 	suspectedNow := make(map[types.ProcessID]bool, len(changes))
 	for _, p := range changes {
@@ -164,6 +203,11 @@ func (h *Heartbeat) Heard(p types.ProcessID) {
 		return
 	}
 	h.mu.Lock()
+	if !h.members[p] {
+		// A removed peer's late frames must not resurrect its FD state.
+		h.mu.Unlock()
+		return
+	}
 	h.lastSeen[p] = time.Now()
 	suspected := h.suspected[p]
 	h.mu.Unlock()
@@ -173,6 +217,10 @@ func (h *Heartbeat) Heard(p types.ProcessID) {
 	h.reportMu.Lock()
 	defer h.reportMu.Unlock()
 	h.mu.Lock()
+	if !h.members[p] {
+		h.mu.Unlock()
+		return
+	}
 	h.lastSeen[p] = time.Now()
 	wasSuspected := h.suspected[p]
 	if wasSuspected {
@@ -190,11 +238,12 @@ func (h *Heartbeat) Suspects() []types.ProcessID {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	var out []types.ProcessID
-	for i := 0; i < h.n; i++ {
-		if p := types.ProcessID(i); h.suspected[p] {
+	for p, susp := range h.suspected {
+		if susp {
 			out = append(out, p)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -1,0 +1,153 @@
+package fd
+
+import (
+	"testing"
+	"time"
+
+	"modab/internal/types"
+)
+
+// countLog tallies per-process suspicion transitions.
+type countLog struct {
+	changeLog
+}
+
+func (c *countLog) counts(p types.ProcessID) (suspects, unsuspects int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ch := range c.changes {
+		if ch.p != p {
+			continue
+		}
+		if ch.suspected {
+			suspects++
+		} else {
+			unsuspects++
+		}
+	}
+	return
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSetMembersPrunesRemovedPeer is the satellite-2 regression: without
+// pruning, a removed process stays suspected forever.
+func TestSetMembersPrunesRemovedPeer(t *testing.T) {
+	h := NewHeartbeat(0, 3, 5*time.Millisecond, 20*time.Millisecond, func(types.ProcessID) {})
+	defer h.Close()
+	var log countLog
+	h.Start(log.record)
+
+	// Keep p1 alive; p2 goes silent and gets suspected.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+				h.Heard(1)
+			}
+		}
+	}()
+	waitFor(t, "p2 suspected", func() bool {
+		s, _ := log.counts(2)
+		return s == 1
+	})
+
+	// Remove p2 from the group: its suspicion state must be pruned, with
+	// no unsuspect report (it is no longer monitored, not "alive again").
+	h.SetMembers([]types.ProcessID{0, 1})
+	waitFor(t, "suspects empty", func() bool { return len(h.Suspects()) == 0 })
+	if _, u := log.counts(2); u != 0 {
+		t.Fatalf("remove reported %d unsuspects, want 0", u)
+	}
+
+	// A removed peer's late frames must not resurrect FD state.
+	h.Heard(2)
+	time.Sleep(50 * time.Millisecond)
+	if got := h.Suspects(); len(got) != 0 {
+		t.Fatalf("Suspects() after late Heard = %v", got)
+	}
+}
+
+// TestRemoveReAddExactlyOnce asserts the exactly-once unsuspect
+// semantics across a remove + re-add of the same process ID: the re-added
+// incarnation starts fresh (grace period, unsuspected), is suspected
+// exactly once when it goes silent, and unsuspected exactly once when
+// heard — no stale transition inherited from its previous incarnation.
+func TestRemoveReAddExactlyOnce(t *testing.T) {
+	h := NewHeartbeat(0, 3, 5*time.Millisecond, 20*time.Millisecond, func(types.ProcessID) {})
+	defer h.Close()
+	var log countLog
+	h.Start(log.record)
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+				h.Heard(1)
+			}
+		}
+	}()
+
+	// Incarnation 1 of p2: silent, suspected once, then removed.
+	waitFor(t, "first suspicion of p2", func() bool {
+		s, _ := log.counts(2)
+		return s == 1
+	})
+	h.SetMembers([]types.ProcessID{0, 1})
+
+	// Re-add the same ID. It starts with a grace period, so no instant
+	// re-suspicion from the stale lastSeen of incarnation 1.
+	h.SetMembers([]types.ProcessID{0, 1, 2})
+	if s, _ := log.counts(2); s != 1 {
+		t.Fatalf("re-add caused immediate suspicion: %d suspects", s)
+	}
+
+	// Incarnation 2 goes silent → exactly one new suspicion.
+	waitFor(t, "second suspicion of p2", func() bool {
+		s, _ := log.counts(2)
+		return s == 2
+	})
+
+	// Heard → exactly one unsuspect in total (incarnation 1's suspicion
+	// was pruned silently, never unsuspected).
+	h.Heard(2)
+	waitFor(t, "unsuspect of p2", func() bool {
+		_, u := log.counts(2)
+		return u == 1
+	})
+
+	// Keep p2 alive and verify no further transitions appear.
+	stop2 := make(chan struct{})
+	defer close(stop2)
+	go func() {
+		for {
+			select {
+			case <-stop2:
+				return
+			case <-time.After(2 * time.Millisecond):
+				h.Heard(2)
+			}
+		}
+	}()
+	time.Sleep(60 * time.Millisecond)
+	if s, u := log.counts(2); s != 2 || u != 1 {
+		t.Fatalf("transitions = %d suspects / %d unsuspects, want 2/1", s, u)
+	}
+}

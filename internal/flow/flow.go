@@ -46,6 +46,18 @@ func NewController(self types.ProcessID, window int) *Controller {
 // Window returns the configured window.
 func (c *Controller) Window() int { return c.window }
 
+// SetWindow resizes the window at a membership boundary (the paper's
+// per-process window is derived from the group size, so adds and
+// removes re-balance it). Shrinking may leave the controller
+// over-committed; Admit then blocks until deliveries drain the excess,
+// exactly like the post-restart Resume over-commit.
+func (c *Controller) SetWindow(w int) {
+	if w < 1 {
+		w = 1
+	}
+	c.window = w
+}
+
 // InFlight returns the number of local messages abcast but not yet
 // adelivered.
 func (c *Controller) InFlight() int { return len(c.inFlight) }

@@ -10,6 +10,7 @@ import (
 	"modab/internal/abcast"
 	"modab/internal/consensus"
 	"modab/internal/engine"
+	"modab/internal/member"
 	"modab/internal/rbcast"
 	"modab/internal/stack"
 	"modab/internal/types"
@@ -41,6 +42,13 @@ func New(env engine.Env, cfg engine.Config) *Engine {
 	rb := rbcast.New(stack.TagConsensus, mode, incarnation)
 	cs := consensus.New(stack.TagABcast, cfg.ResendEvery, cfg.DecisionHorizon)
 	ab := abcast.New(cfg)
+	if cfg.InitialView != nil {
+		// A joiner's first view is the config it was admitted into, not
+		// history's beginning: seed every membership-aware layer before the
+		// stack starts.
+		rb.SeedView(*cfg.InitialView)
+		cs.SeedView(*cfg.InitialView)
+	}
 	return &Engine{
 		env: env,
 		stk: stack.New(env, rb, cs, ab),
@@ -67,3 +75,15 @@ func (e *Engine) Suspect(p types.ProcessID, suspected bool) { e.stk.Suspect(p, s
 
 // Pending implements engine.Engine.
 func (e *Engine) Pending() int { return e.ab.Pending() }
+
+// SubmitConfig implements engine.ConfigSubmitter: the op rides the
+// ordinary abcast path and takes effect at its decided boundary.
+func (e *Engine) SubmitConfig(op member.Op) (types.MsgID, error) { return e.ab.SubmitConfig(op) }
+
+// CurrentView implements engine.ConfigSubmitter.
+func (e *Engine) CurrentView() member.View { return e.ab.CurrentView() }
+
+// Views returns the full decided view sequence (checker support).
+func (e *Engine) Views() []member.View { return e.ab.Views() }
+
+var _ engine.ConfigSubmitter = (*Engine)(nil)

@@ -41,6 +41,7 @@ import (
 	"modab/internal/dissem"
 	"modab/internal/engine"
 	"modab/internal/flow"
+	"modab/internal/member"
 	"modab/internal/obs"
 	"modab/internal/payload"
 	"modab/internal/recovery"
@@ -61,9 +62,24 @@ type Engine struct {
 	env engine.Env
 	cfg engine.Config
 
-	self     types.ProcessID
-	n        int
-	majority int
+	self types.ProcessID
+	// hist is the totally ordered view sequence (internal/member): every
+	// quorum check, coordinator rotation and send fan-out for instance k
+	// consults the view governing k instead of a cached group size — the
+	// cached n/majority pair was exactly the fixed-membership assumption
+	// dynamic membership invalidates.
+	hist *member.History
+	// retires schedules a removed origin's local-state retirement, keyed
+	// by the removing view's activation instance and consumed while
+	// finalizing the last old-view instance (activation-1): by then every
+	// decision that could reference the origin's state has been processed
+	// locally, so pending entries, payload residency and suspicion
+	// bookkeeping can be dropped without wedging an in-flight decide.
+	retires map[uint64][]types.ProcessID
+	// viewKick defers the post-view-change suspicion cascade out of the
+	// delivery loop (applyConfig runs mid-finalize; advancing rounds there
+	// could nest a decide under a half-updated instance).
+	viewKick bool
 	fc       *flow.Controller
 	// diss is the payload-dissemination strategy (internal/dissem). Only
 	// the bulky combined proposal+decision goes through it — under Ring
@@ -237,8 +253,6 @@ func New(env engine.Env, cfg engine.Config) *Engine {
 		env:       env,
 		cfg:       cfg,
 		self:      env.Self(),
-		n:         env.N(),
-		majority:  types.Majority(env.N()),
 		fc:        flow.NewController(env.Self(), cfg.EffectiveWindow()),
 		own:       make(map[uint64]*ownMsg),
 		pool:      make(map[types.MsgID]wire.AppMsg),
@@ -248,6 +262,14 @@ func New(env engine.Env, cfg engine.Config) *Engine {
 		delivered: dedup.NewMap(env.N()),
 		insts:     make(map[uint64]*inst),
 		suspected: make(map[types.ProcessID]bool),
+		retires:   make(map[uint64][]types.ProcessID),
+	}
+	if cfg.InitialView != nil {
+		// A joiner's first view is the config it was admitted into, not
+		// history's beginning.
+		e.hist = member.NewHistoryFrom(*cfg.InitialView)
+	} else {
+		e.hist = member.NewHistory(env.N())
 	}
 	if cfg.Batch.Enabled() {
 		e.acc = batch.NewAccumulator(cfg.Batch)
@@ -256,7 +278,7 @@ func New(env engine.Env, cfg engine.Config) *Engine {
 	if st := cfg.Recovered; st != nil {
 		incarnation = st.Boots
 	}
-	e.diss = dissem.New(cfg.Dissemination, e.self, e.n, incarnation)
+	e.diss = dissem.New(cfg.Dissemination, e.self, env.N(), incarnation)
 	if cfg.DigestOrdering {
 		e.store = payload.NewStore()
 		e.descDone = make(map[types.MsgID]uint64)
@@ -291,6 +313,26 @@ func New(env engine.Env, cfg engine.Config) *Engine {
 			last = st.NextSeq - 1
 		}
 		e.fc.Resume(last, seqs)
+		// Re-derive the view history from the durable log: decided config
+		// ops replay idempotently (epoch CAS), so a restart resumes under
+		// the membership it had decided. Logged batches hold resolved
+		// bodies in both ordering modes, so the ops are directly visible.
+		if cfg.Persist != nil {
+			for k := uint64(1); k <= e.decidedK; k++ {
+				b, ok := cfg.Persist.ReadDecision(k)
+				if !ok {
+					continue
+				}
+				for _, m := range b {
+					if op, isCfg := member.DecodeOp(m.Body); isCfg {
+						e.hist.Apply(op, k, e.pipe)
+					}
+				}
+			}
+		}
+	}
+	if cur := e.hist.Current(); cur.Epoch > 0 || cfg.InitialView != nil {
+		e.reconfigureLocal(cur)
 	}
 	return e
 }
@@ -332,8 +374,8 @@ func (e *Engine) Start() {
 		c := e.env.Counters()
 		c.Recoveries.Add(1)
 		c.RecoveryReplayedMsgs.Add(st.ReplayedMsgs)
-		if e.n > 1 {
-			e.rec.Begin(e.env.Now(), recovery.Quorum(e.n))
+		if e.others() > 0 {
+			e.rec.Begin(e.env.Now(), recovery.Quorum(len(e.hist.Current().Members)))
 			e.recLastSeen = e.decidedK
 			e.sendAll(message{Type: mRecoverReq, Instance: e.decidedK + 1})
 			if e.cfg.ResendEvery > 0 {
@@ -362,7 +404,7 @@ func (e *Engine) forwardRecoveredOwn() {
 		return
 	}
 	cur := e.current()
-	if coord := e.coordinator(cur.round); coord != e.self {
+	if coord := e.coordinatorAt(cur.k, cur.round); coord != e.self {
 		e.forwardOwn(cur, coord)
 	}
 }
@@ -384,9 +426,26 @@ func (e *Engine) Pending() int {
 	return n
 }
 
-// coordinator returns the coordinator of round r (1-based).
-func (e *Engine) coordinator(r uint32) types.ProcessID {
-	return types.ProcessID((int(r) - 1) % e.n)
+// viewAt returns the membership view governing consensus instance k.
+func (e *Engine) viewAt(k uint64) member.View { return e.hist.At(k) }
+
+// coordinatorAt returns the coordinator of round r (1-based) of
+// instance k: members of the governing view rotate in sorted order. For
+// the static boot view {0..n-1} this degenerates to the paper's
+// (r-1) mod n rule.
+func (e *Engine) coordinatorAt(k uint64, r uint32) types.ProcessID {
+	return e.viewAt(k).Coordinator(r)
+}
+
+// others counts current-view members other than this process.
+func (e *Engine) others() int {
+	n := 0
+	for _, p := range e.hist.Current().Members {
+		if p != e.self {
+			n++
+		}
+	}
+	return n
 }
 
 // get returns (creating if needed) the instance state for k, advancing
@@ -404,7 +463,7 @@ func (e *Engine) get(k uint64) *inst {
 		coord:     make(map[uint32]*coordRound),
 	}
 	e.insts[k] = in
-	for !e.rec.Active() && e.suspected[e.coordinator(in.round)] {
+	for !e.rec.Active() && e.suspected[e.coordinatorAt(k, in.round)] {
 		e.advanceRound(in)
 	}
 	return in
@@ -485,7 +544,7 @@ func (e *Engine) ingestBatch(b wire.Batch) {
 		e.pool[m.ID] = m
 	}
 	cur := e.current()
-	coord := e.coordinator(cur.round)
+	coord := e.coordinatorAt(cur.k, cur.round)
 	if coord == e.self {
 		for _, m := range entries {
 			e.own[m.ID.Seq].attached = cur.k
@@ -555,7 +614,7 @@ func (e *Engine) tryPropose() {
 			continue
 		}
 		r := in.round
-		if e.coordinator(r) != e.self {
+		if e.coordinatorAt(k, r) != e.self {
 			continue
 		}
 		cr := in.coordRound(r)
@@ -580,9 +639,17 @@ func (e *Engine) tryPropose() {
 // eligible: a round change within k re-proposes them) — as a
 // deterministic, optionally capped batch.
 func (e *Engine) poolBatch(k uint64) wire.Batch {
+	cur := e.hist.Current()
 	batch := make(wire.Batch, 0, len(e.pool))
 	for id, m := range e.pool {
 		if a, ok := e.assigned[id]; ok && a != k {
+			continue
+		}
+		if !cur.Contains(id.Sender) {
+			// Removed origin: from the moment this process applies the
+			// remove, none of its proposals carries the origin again — the
+			// guarantee that lets the activation boundary retire the
+			// origin's payload state without wedging a later decide.
 			continue
 		}
 		batch = append(batch, m)
@@ -739,7 +806,7 @@ func (e *Engine) spreadAnnounce(d wire.Descriptor, b wire.Batch) {
 	c := e.env.Counters()
 	h, to, relay := e.diss.Origin()
 	if !relay {
-		c.PayloadBytesSent.Add(int64(b.PayloadBytes() * (e.n - 1)))
+		c.PayloadBytesSent.Add(int64(b.PayloadBytes() * e.others()))
 		e.sendAll(message{Type: mAnnounce, Data: frame})
 		return
 	}
@@ -787,6 +854,9 @@ func (e *Engine) handleAnnounceRelay(from types.ProcessID, m message) error {
 // pool unless already decided, and a head decision blocked on this
 // payload retries.
 func (e *Engine) handleAnnounce(d wire.Descriptor, b wire.Batch) {
+	if !e.hist.Current().Contains(d.Origin) {
+		return // removed origin: its undecided payloads are retired state
+	}
 	pm := d.AppMsg()
 	if _, done := e.descDone[pm.ID]; done {
 		return // duplicate announce of a decided descriptor
@@ -886,7 +956,7 @@ func (e *Engine) respreadOpen() {
 			continue
 		}
 		cr := in.coord[in.round]
-		if cr == nil || !cr.proposed || e.coordinator(in.round) != e.self {
+		if cr == nil || !cr.proposed || e.coordinatorAt(in.k, in.round) != e.self {
 			continue
 		}
 		m := message{Type: mPropDec, Instance: in.k, Round: in.round, Batch: cr.proposal}
@@ -915,17 +985,27 @@ func (e *Engine) coordMaybePropose(in *inst, r uint32) {
 	if cr.proposed {
 		return
 	}
-	votes := len(cr.estimates)
-	if _, ok := cr.estimates[e.self]; !ok {
-		votes++
+	// Quorum and tie-break iterate the view governing this instance:
+	// estimates from processes outside it never count toward the
+	// majority, and the majority itself is the view's.
+	v := e.viewAt(in.k)
+	votes := 0
+	for _, p := range v.Members {
+		if p == e.self {
+			votes++ // own estimate is in.est/in.estTS, not in the map
+			continue
+		}
+		if _, ok := cr.estimates[p]; ok {
+			votes++
+		}
 	}
-	if votes < e.majority {
+	if votes < v.Majority() {
 		return
 	}
-	// Iterate in process order so tie-breaks are deterministic.
+	// Iterate in member order so tie-breaks are deterministic.
 	best := estimateEntry{hasValue: in.hasEst, ts: in.estTS, batch: in.est}
-	for p := 0; p < e.n; p++ {
-		en, ok := cr.estimates[types.ProcessID(p)]
+	for _, p := range v.Members {
+		en, ok := cr.estimates[p]
 		if !ok || !en.hasValue {
 			continue
 		}
@@ -950,13 +1030,13 @@ func (e *Engine) coordMaybePropose(in *inst, r uint32) {
 // next coordinator.
 func (e *Engine) advanceRound(in *inst) {
 	r := in.round
-	if c := e.coordinator(r); c != e.self && !in.nacked[r] {
+	if c := e.coordinatorAt(in.k, r); c != e.self && !in.nacked[r] {
 		e.send(c, message{Type: mNack, Instance: in.k, Round: r})
 	}
 	in.nacked[r] = true
 	in.round = r + 1
 	e.env.Counters().Rounds.Add(1)
-	next := e.coordinator(in.round)
+	next := e.coordinatorAt(in.k, in.round)
 	if next == e.self {
 		e.coordMaybePropose(in, in.round)
 		return
@@ -1138,7 +1218,7 @@ func (e *Engine) handleEstimate(from types.ProcessID, m message) {
 		e.send(from, message{Type: mDecisionFull, Instance: in.k, Round: in.decisionRound, Batch: in.decision})
 		return
 	}
-	if e.coordinator(m.Round) != e.self || m.Round < 2 {
+	if e.coordinatorAt(m.Instance, m.Round) != e.self || m.Round < 2 {
 		return
 	}
 	cr := in.coordRound(m.Round)
@@ -1169,7 +1249,7 @@ func (e *Engine) handleNack(m message) {
 	// suspected (the same cascade Suspect performs): stopping on a round
 	// whose coordinator is down would send the estimate into a void.
 	e.advanceRound(in)
-	for !in.decided && e.suspected[e.coordinator(in.round)] {
+	for !in.decided && e.suspected[e.coordinatorAt(in.k, in.round)] {
 		e.advanceRound(in)
 	}
 }
@@ -1206,7 +1286,13 @@ func (e *Engine) catchUpPruned(to types.ProcessID, k uint64, round uint32) {
 // poolIn adds piggybacked messages to the pool, ignoring already-delivered
 // ones.
 func (e *Engine) poolIn(batch wire.Batch) {
+	cur := e.hist.Current()
 	for _, msg := range batch {
+		if !cur.Contains(msg.ID.Sender) {
+			// Removed origin: pooling it would let a proposal carry state
+			// the activation boundary already retired cluster-wide.
+			continue
+		}
 		if e.cfg.DigestOrdering {
 			// The batch carries descriptor pseudo-messages here, whose IDs
 			// alias real message IDs at incarnation 0 — the per-sender
@@ -1233,11 +1319,22 @@ func (e *Engine) poolIn(batch wire.Batch) {
 	}
 }
 
-// checkDecide decides instance k at the coordinator once a majority
-// (including itself) acknowledged round r.
+// checkDecide decides instance k at the coordinator once a majority of
+// the view governing k (including itself) acknowledged round r. Acks
+// from processes outside that view never count.
 func (e *Engine) checkDecide(in *inst, r uint32) {
 	cr := in.coordRound(r)
-	if in.decided || !cr.proposed || len(cr.acks) < e.majority {
+	if in.decided || !cr.proposed {
+		return
+	}
+	v := e.viewAt(in.k)
+	acks := 0
+	for _, p := range v.Members {
+		if cr.acks[p] {
+			acks++
+		}
+	}
+	if acks < v.Majority() {
 		return
 	}
 	e.decide(in, cr.proposal, r)
@@ -1502,10 +1599,21 @@ func (e *Engine) headMissingDescriptor() (wire.Descriptor, bool) {
 // wrong, and an unanswered fetch only costs one resend period). Returns
 // self only when there are no peers at all.
 func (e *Engine) nextFetchTarget() types.ProcessID {
-	start := int(e.pw.to) + 1
+	members := e.hist.Current().Members
+	n := len(members)
+	// Rank of the first member strictly after the previous target
+	// (wrapping); for the static boot view this is the original
+	// (prev+1+i) mod n walk.
+	start := 0
+	for i, p := range members {
+		if p > e.pw.to {
+			start = i
+			break
+		}
+	}
 	fallback := e.self
-	for i := 0; i < e.n; i++ {
-		p := types.ProcessID((start + i) % e.n)
+	for i := 0; i < n; i++ {
+		p := members[(start+i)%n]
 		if p == e.self {
 			continue
 		}
@@ -1579,6 +1687,16 @@ func (e *Engine) finalize(in *inst, batch wire.Batch, descs []wire.Descriptor, r
 			continue
 		}
 		e.markDelivered(msg.ID)
+		if op, isCfg := member.DecodeOp(msg.Body); isCfg {
+			// A config op consumes its slot in the total order but never
+			// surfaces as an application delivery — the view change is its
+			// whole effect. Its flow slot releases like any own message.
+			e.applyConfig(in.k, op)
+			if err := e.fc.Delivered(msg.ID); err != nil {
+				c.Retransmissions.Add(1)
+			}
+			continue
+		}
 		c.ADeliver.Add(1)
 		if o := e.cfg.Obs; o != nil {
 			o.Stage(msg.ID, obs.StageDecide, e.lastProgress)
@@ -1627,6 +1745,23 @@ func (e *Engine) finalize(in *inst, batch wire.Batch, descs []wire.Descriptor, r
 			}
 		}
 		delete(e.propIDs, in.k)
+	}
+	// A view that removed an origin activates at in.k+1: this was the
+	// last old-view instance, every decision that could reference the
+	// origin's state has been processed locally, so its leftovers retire
+	// now.
+	if origins := e.retires[in.k+1]; len(origins) > 0 {
+		delete(e.retires, in.k+1)
+		for _, origin := range origins {
+			e.retireOrigin(origin)
+		}
+	}
+	// A config op applied in this instance may have reshaped the
+	// coordinator rotation of open instances at or past its activation:
+	// re-run the suspicion cascade outside the delivery loop.
+	if e.viewKick {
+		e.viewKick = false
+		e.advanceSuspected()
 	}
 	e.prune()
 	// Cascade: a decision announcement for the next instance may already
@@ -1687,7 +1822,7 @@ func (e *Engine) finalize(in *inst, batch wire.Batch, descs []wire.Descriptor, r
 	}
 	next := e.current()
 	wasProposer := in.coord[r] != nil && in.coord[r].proposed
-	if e.coordinator(next.round) == e.self || wasProposer {
+	if e.coordinatorAt(next.k, next.round) == e.self || wasProposer {
 		sent := e.propSent
 		e.tryPropose()
 		noneOpen := e.openProposals() == 0
@@ -1711,7 +1846,7 @@ func (e *Engine) handleDecisionOnly(from types.ProcessID, m message) {
 	e.applyRemoteDecision(from, m.Instance, m.Round)
 	if len(e.own) > 0 {
 		cur := e.current()
-		if coord := e.coordinator(cur.round); coord != e.self && !cur.decided && len(cur.proposals) == 0 {
+		if coord := e.coordinatorAt(cur.k, cur.round); coord != e.self && !cur.decided && len(cur.proposals) == 0 {
 			e.forwardOwn(cur, coord)
 		}
 	}
@@ -2134,7 +2269,7 @@ func (e *Engine) retryWaiting() {
 		return
 	}
 	e.sendAll(message{Type: mDecisionReq, Instance: e.decidedK + 1})
-	e.env.Counters().Retransmissions.Add(int64(e.n - 1))
+	e.env.Counters().Retransmissions.Add(int64(e.others()))
 	if e.cfg.ResendEvery > 0 {
 		e.env.SetTimer(engine.TimerResend, e.cfg.ResendEvery)
 	}
@@ -2193,10 +2328,20 @@ func (e *Engine) ringRetryWaiting(waiting bool) {
 // unanswered request only costs the next timer period). Returns self
 // only when there are no peers at all.
 func (e *Engine) ringRefetchTarget() types.ProcessID {
-	start := int(e.ringRetryTo) + 1
+	members := e.hist.Current().Members
+	n := len(members)
+	// Member-rank rotation: at the static boot view this walks
+	// (prev+1+i) mod n exactly as the original ID arithmetic did.
+	start := 0
+	for i, p := range members {
+		if p > e.ringRetryTo {
+			start = i
+			break
+		}
+	}
 	fallback := e.self
-	for i := 0; i < e.n; i++ {
-		p := types.ProcessID((start + i) % e.n)
+	for i := 0; i < n; i++ {
+		p := members[(start+i)%n]
 		if p == e.self {
 			continue
 		}
@@ -2222,7 +2367,7 @@ func (e *Engine) kick() {
 	stalled := now-e.lastProgress >= e.cfg.IdleKick
 	if stalled && (len(e.own) > 0 || len(e.pool) > 0) {
 		cur := e.current()
-		coord := e.coordinator(cur.round)
+		coord := e.coordinatorAt(cur.k, cur.round)
 		if coord == e.self {
 			for _, om := range e.own {
 				e.pool[om.msg.ID] = om.msg
@@ -2293,7 +2438,7 @@ func (e *Engine) advanceSuspected() {
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	for _, k := range keys {
 		in := e.insts[k]
-		for !in.decided && e.suspected[e.coordinator(in.round)] {
+		for !in.decided && e.suspected[e.coordinatorAt(in.k, in.round)] {
 			e.advanceRound(in)
 		}
 	}
@@ -2364,16 +2509,114 @@ func (e *Engine) send(to types.ProcessID, m message) {
 	e.env.Send(to, data)
 }
 
-// sendAll transmits one message to every other process.
+// sendAll transmits one message to every other current-view member.
 func (e *Engine) sendAll(m message) {
-	e.env.Counters().PayloadBytesSent.Add(int64(m.payloadBytes() * (e.n - 1)))
+	members := e.hist.Current().Members
+	others := 0
+	for _, p := range members {
+		if p != e.self {
+			others++
+		}
+	}
+	e.env.Counters().PayloadBytesSent.Add(int64(m.payloadBytes() * others))
+	if others == 0 {
+		return
+	}
 	data := m.marshal()
-	e.accountFrame(m.Type, len(data), e.n-1)
-	for p := 0; p < e.n; p++ {
-		if types.ProcessID(p) == e.self {
+	e.accountFrame(m.Type, len(data), others)
+	for _, p := range members {
+		if p == e.self {
 			continue
 		}
-		e.env.Send(types.ProcessID(p), data)
+		e.env.Send(p, data)
+	}
+}
+
+// SubmitConfig implements engine.ConfigSubmitter: validate the op
+// against the current view, stamp it with the current epoch (the
+// compare-and-swap that makes concurrent and replayed ops idempotent),
+// and submit it through the ordinary abcast path — it is forwarded,
+// proposed and decided exactly like an application message.
+func (e *Engine) SubmitConfig(op member.Op) (types.MsgID, error) {
+	cur := e.hist.Current()
+	op.BaseEpoch = cur.Epoch
+	switch op.Kind {
+	case member.OpAdd:
+		if op.Target < 0 || cur.Contains(op.Target) {
+			return types.MsgID{}, types.ErrBadConfig
+		}
+	case member.OpRemove:
+		if !cur.Contains(op.Target) || len(cur.Members) <= 1 {
+			return types.MsgID{}, types.ErrBadConfig
+		}
+	default:
+		return types.MsgID{}, types.ErrBadConfig
+	}
+	return e.Abcast(member.EncodeOp(op))
+}
+
+// CurrentView implements engine.ConfigSubmitter.
+func (e *Engine) CurrentView() member.View { return e.hist.Current() }
+
+// Views returns the full decided view sequence (checker support).
+func (e *Engine) Views() []member.View { return e.hist.Views() }
+
+var _ engine.ConfigSubmitter = (*Engine)(nil)
+
+// applyConfig applies one decided config op at instance k. A failed
+// apply (stale epoch, duplicate add, absent remove) is a deterministic
+// no-op at every process — the op was ordered, so everyone rejects it
+// against the same history. A successful apply appends the new view
+// (activating at k plus the pipeline window), repoints the local
+// dissemination/flow seams, schedules the removed origin's state
+// retirement, and notifies the driver.
+func (e *Engine) applyConfig(k uint64, op member.Op) {
+	v, ok := e.hist.Apply(op, k, e.pipe)
+	if !ok {
+		return
+	}
+	e.env.Counters().ConfigChanges.Add(1)
+	e.reconfigureLocal(v)
+	if op.Kind == member.OpRemove {
+		e.retires[v.Activation] = append(e.retires[v.Activation], op.Target)
+	}
+	// The cascade itself runs in finalize, after the delivery loop.
+	e.viewKick = true
+	if e.cfg.OnConfig != nil {
+		e.cfg.OnConfig(v, op)
+	}
+}
+
+// reconfigureLocal points the engine's seams at a new view: the
+// dissemination topology follows the member list, and the flow-control
+// window is re-derived from the group size when it was the size-derived
+// default (an explicitly configured window is left alone).
+func (e *Engine) reconfigureLocal(v member.View) {
+	e.diss.SetMembers(v.Members)
+	if e.cfg.Window == engine.DefaultWindow(e.cfg.N) {
+		ncfg := e.cfg
+		ncfg.Window = engine.DefaultWindow(len(v.Members))
+		e.fc.SetWindow(ncfg.EffectiveWindow())
+	}
+}
+
+// retireOrigin drops the local state of a removed origin at its
+// activation boundary: undecided pool entries (no proposal will carry
+// them again), undelivered payload residency (no decision will resolve
+// through them; delivered entries stay on the normal retention horizon
+// for repair serving), and suspicion bookkeeping.
+func (e *Engine) retireOrigin(origin types.ProcessID) {
+	for id := range e.pool {
+		if id.Sender == origin {
+			delete(e.pool, id)
+			delete(e.assigned, id)
+		}
+	}
+	delete(e.suspected, origin)
+	if e.store != nil {
+		if retired := e.store.RetireOrigin(origin); retired > 0 {
+			e.env.Counters().PayloadsRetired.Add(int64(retired))
+		}
 	}
 }
 

@@ -1,0 +1,308 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"modab/internal/engine"
+	"modab/internal/types"
+)
+
+// membershipHarness collects per-process delivery orders keyed by ID so
+// the proc set can grow mid-run (joiners).
+type membershipHarness struct {
+	orders map[types.ProcessID][]types.MsgID
+}
+
+func newMembershipCluster(t *testing.T, stk types.Stack, n int, durable bool) (*Cluster, *membershipHarness) {
+	t.Helper()
+	h := &membershipHarness{orders: make(map[types.ProcessID][]types.MsgID)}
+	c, err := NewCluster(Options{
+		N:       n,
+		Stack:   stk,
+		Durable: durable,
+		OnDeliver: func(p types.ProcessID, d engine.Delivery, _ time.Duration) {
+			h.orders[p] = append(h.orders[p], d.Msg.ID)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, h
+}
+
+// submitTracked abcasts a body at p and records the admitted ID.
+func submitTracked(c *Cluster, ids *[]types.MsgID, p types.ProcessID, at time.Duration) {
+	idx := len(*ids)
+	*ids = append(*ids, types.MsgID{})
+	c.Abcast(p, at, []byte(fmt.Sprintf("m-%d", idx)), func(id types.MsgID, _ time.Duration, err error) {
+		if err == nil {
+			(*ids)[idx] = id
+		}
+	})
+}
+
+// assertSameOrder fails unless every listed process delivered the exact
+// same sequence; it returns that sequence.
+func assertSameOrder(t *testing.T, h *membershipHarness, procs []types.ProcessID) []types.MsgID {
+	t.Helper()
+	ref := h.orders[procs[0]]
+	for _, p := range procs[1:] {
+		got := h.orders[p]
+		if len(got) != len(ref) {
+			t.Fatalf("p%d delivered %d messages, p%d delivered %d",
+				p, len(got), procs[0], len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("order differs at %d: p%d=%v p%d=%v", i, p, got[i], procs[0], ref[i])
+			}
+		}
+	}
+	return ref
+}
+
+// assertNoDuplicates fails if the sequence delivers any ID twice or an
+// ID that was never admitted.
+func assertNoDuplicates(t *testing.T, seq []types.MsgID, admitted []types.MsgID) map[types.MsgID]bool {
+	t.Helper()
+	valid := map[types.MsgID]bool{}
+	for _, id := range admitted {
+		if id != (types.MsgID{}) {
+			valid[id] = true
+		}
+	}
+	seen := map[types.MsgID]bool{}
+	for _, id := range seq {
+		if seen[id] {
+			t.Fatalf("duplicate delivery %v", id)
+		}
+		seen[id] = true
+		if !valid[id] {
+			t.Fatalf("delivered never-admitted %v", id)
+		}
+	}
+	return seen
+}
+
+// assertViewAgreement fails unless the listed processes agree on the
+// epoch → (activation, members) map for every epoch they share: no
+// decided instance may straddle two configs, so the view sequence is
+// itself totally ordered state. A joiner's history starts at its
+// admitting view rather than at history's beginning, hence the
+// intersection (but all listed processes must agree on the final epoch).
+func assertViewAgreement(t *testing.T, c *Cluster, procs []types.ProcessID) {
+	t.Helper()
+	byEpoch := func(p types.ProcessID) map[uint64]struct {
+		act     uint64
+		members []types.ProcessID
+	} {
+		m := make(map[uint64]struct {
+			act     uint64
+			members []types.ProcessID
+		})
+		for _, v := range c.ViewHistory(p) {
+			m[v.Epoch] = struct {
+				act     uint64
+				members []types.ProcessID
+			}{v.Activation, v.Members}
+		}
+		return m
+	}
+	ref := byEpoch(procs[0])
+	last := c.View(procs[0]).Epoch
+	for _, p := range procs[1:] {
+		if e := c.View(p).Epoch; e != last {
+			t.Fatalf("p%d at epoch %d, p%d at epoch %d", p, e, procs[0], last)
+		}
+		for epoch, got := range byEpoch(p) {
+			want, ok := ref[epoch]
+			if !ok {
+				continue
+			}
+			if got.act != want.act {
+				t.Fatalf("epoch %d: p%d activates at %d, p%d at %d",
+					epoch, p, got.act, procs[0], want.act)
+			}
+			if len(got.members) != len(want.members) {
+				t.Fatalf("epoch %d member count differs across p%d and p%d", epoch, p, procs[0])
+			}
+			for j := range want.members {
+				if got.members[j] != want.members[j] {
+					t.Fatalf("epoch %d members differ across p%d and p%d", epoch, p, procs[0])
+				}
+			}
+		}
+	}
+}
+
+// TestMembershipQuorumShrink is the regression test for the cached-
+// majority bug: with n=5 both engines used to freeze majority=3 at
+// construction, so after removing two members the three-process view
+// {0,1,2} would still demand three acks and a single further crash
+// (leaving two correct processes — a majority of 3, not of 5) stalled
+// the protocol forever. With per-instance views the two survivors keep
+// deciding.
+func TestMembershipQuorumShrink(t *testing.T) {
+	for _, stk := range []types.Stack{types.Modular, types.Monolithic} {
+		stk := stk
+		t.Run(stk.String(), func(t *testing.T) {
+			t.Parallel()
+			c, h := newMembershipCluster(t, stk, 5, false)
+			var ids []types.MsgID
+
+			// Load before, during and — critically — after the crashes.
+			for i := 0; i < 20; i++ {
+				submitTracked(c, &ids, 0, time.Duration(i)*50*time.Millisecond)
+			}
+			c.Remove(0, 4, 150*time.Millisecond)
+			c.Remove(0, 3, 600*time.Millisecond)
+			c.Crash(4, 1000*time.Millisecond)
+			c.Crash(3, 1000*time.Millisecond)
+			// Two correct processes left: a majority of the 3-member view,
+			// but not of the boot view.
+			c.Crash(2, 1300*time.Millisecond)
+			for i := 0; i < 10; i++ {
+				submitTracked(c, &ids, 0, 1600*time.Millisecond+time.Duration(i)*40*time.Millisecond)
+			}
+
+			c.Run(30 * time.Second)
+			if errs := c.Errs(); len(errs) > 0 {
+				t.Fatalf("engine error: %v", errs[0])
+			}
+
+			survivors := []types.ProcessID{0, 1}
+			seq := assertSameOrder(t, h, survivors)
+			seen := assertNoDuplicates(t, seq, ids)
+			for i, id := range ids {
+				if id != (types.MsgID{}) && !seen[id] {
+					t.Fatalf("message %d (%v) never delivered", i, id)
+				}
+			}
+			v := c.View(0)
+			if len(v.Members) != 3 || v.Epoch != 2 {
+				t.Fatalf("final view: epoch %d members %v", v.Epoch, v.Members)
+			}
+			assertViewAgreement(t, c, survivors)
+		})
+	}
+}
+
+// TestMembershipJoin admits a fourth process into a running 3-group:
+// the joiner must bootstrap through state transfer, deliver the full
+// prefix (including messages ordered before it existed), agree on the
+// view history, and accept submissions of its own.
+func TestMembershipJoin(t *testing.T) {
+	for _, stk := range []types.Stack{types.Modular, types.Monolithic} {
+		stk := stk
+		t.Run(stk.String(), func(t *testing.T) {
+			t.Parallel()
+			c, h := newMembershipCluster(t, stk, 3, true)
+			var ids []types.MsgID
+
+			for i := 0; i < 15; i++ {
+				submitTracked(c, &ids, types.ProcessID(i%3), time.Duration(i)*40*time.Millisecond)
+			}
+			c.Join(0, 3, 700*time.Millisecond)
+			for i := 0; i < 12; i++ {
+				submitTracked(c, &ids, types.ProcessID(i%4), 1100*time.Millisecond+time.Duration(i)*40*time.Millisecond)
+			}
+
+			c.Run(30 * time.Second)
+			if errs := c.Errs(); len(errs) > 0 {
+				t.Fatalf("engine error: %v", errs[0])
+			}
+			if c.Procs() != 4 {
+				t.Fatalf("joiner never spawned: %d procs", c.Procs())
+			}
+
+			all := []types.ProcessID{0, 1, 2, 3}
+			seq := assertSameOrder(t, h, all)
+			seen := assertNoDuplicates(t, seq, ids)
+			for i, id := range ids {
+				if id != (types.MsgID{}) && !seen[id] {
+					t.Fatalf("message %d (%v) never delivered", i, id)
+				}
+			}
+			for _, p := range all {
+				v := c.View(p)
+				if len(v.Members) != 4 || !v.Contains(3) {
+					t.Fatalf("p%d view: epoch %d members %v", p, v.Epoch, v.Members)
+				}
+			}
+			assertViewAgreement(t, c, all)
+		})
+	}
+}
+
+// TestMembershipRollingReplace is the acceptance scenario: a 3-node
+// cluster under continuous load survives a rolling replacement of all
+// three boot processes — join 3, retire 0; join 4, retire 1; join 5,
+// retire 2 — with zero delivery gaps or duplicates and an identical
+// total order at the final members, none of which existed at boot.
+func TestMembershipRollingReplace(t *testing.T) {
+	for _, stk := range []types.Stack{types.Modular, types.Monolithic} {
+		stk := stk
+		t.Run(stk.String(), func(t *testing.T) {
+			t.Parallel()
+			c, h := newMembershipCluster(t, stk, 3, true)
+			var ids []types.MsgID
+			load := func(p types.ProcessID, from, to time.Duration) {
+				for at := from; at < to; at += 50 * time.Millisecond {
+					submitTracked(c, &ids, p, at)
+				}
+			}
+
+			// Each boot process stops submitting well before its removal is
+			// proposed, so its messages are ordered before the boundary.
+			load(0, 0, 400*time.Millisecond)
+			load(1, 0, 1100*time.Millisecond)
+			load(2, 0, 1800*time.Millisecond)
+			// Joiners pick up the load once they are caught up.
+			load(3, 1100*time.Millisecond, 2600*time.Millisecond)
+			load(4, 1800*time.Millisecond, 2800*time.Millisecond)
+			load(5, 2500*time.Millisecond, 3000*time.Millisecond)
+
+			c.Join(1, 3, 450*time.Millisecond)
+			c.Remove(1, 0, 800*time.Millisecond)
+			c.Crash(0, 1050*time.Millisecond)
+			c.Join(2, 4, 1200*time.Millisecond)
+			c.Remove(2, 1, 1500*time.Millisecond)
+			c.Crash(1, 1750*time.Millisecond)
+			c.Join(3, 5, 1900*time.Millisecond)
+			c.Remove(3, 2, 2200*time.Millisecond)
+			c.Crash(2, 2450*time.Millisecond)
+
+			c.Run(30 * time.Second)
+			if errs := c.Errs(); len(errs) > 0 {
+				t.Fatalf("engine error: %v", errs[0])
+			}
+			if c.Procs() != 6 {
+				t.Fatalf("expected 6 procs, have %d", c.Procs())
+			}
+
+			final := []types.ProcessID{3, 4, 5}
+			seq := assertSameOrder(t, h, final)
+			seen := assertNoDuplicates(t, seq, ids)
+			// Zero gaps: every admitted message was delivered — the boot
+			// processes stopped submitting long before their removal, the
+			// joiners stayed members to the end.
+			for i, id := range ids {
+				if id != (types.MsgID{}) && !seen[id] {
+					t.Fatalf("message %d (%v) never delivered", i, id)
+				}
+			}
+			for _, p := range final {
+				v := c.View(p)
+				if len(v.Members) != 3 || !v.Contains(3) || !v.Contains(4) || !v.Contains(5) {
+					t.Fatalf("p%d final view: epoch %d members %v", p, v.Epoch, v.Members)
+				}
+			}
+			assertViewAgreement(t, c, final)
+			if len(seq) < 60 {
+				t.Fatalf("suspiciously few deliveries under load: %d", len(seq))
+			}
+		})
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"modab/internal/dedup"
 	"modab/internal/engine"
+	"modab/internal/member"
 	"modab/internal/modular"
 	"modab/internal/monolithic"
 	"modab/internal/obs"
@@ -103,6 +104,10 @@ type Cluster struct {
 	// errs collects engine errors (malformed messages etc.); tests assert
 	// it stays empty.
 	errs []error
+	// pendingJoins are processes whose OpAdd was submitted but whose view
+	// has not yet been observed at any correct process; the first
+	// OnConfig naming one spawns it (membership.go).
+	pendingJoins map[types.ProcessID]bool
 }
 
 // proc is one simulated process.
@@ -197,10 +202,11 @@ func NewCluster(opts Options) (*Cluster, error) {
 		opts.Model = DefaultModel()
 	}
 	c := &Cluster{
-		opts:  opts,
-		model: opts.Model,
-		procs: make([]*proc, opts.N),
-		rng:   rand.New(rand.NewSource(opts.Seed)),
+		opts:         opts,
+		model:        opts.Model,
+		procs:        make([]*proc, opts.N),
+		rng:          rand.New(rand.NewSource(opts.Seed)),
+		pendingJoins: make(map[types.ProcessID]bool),
 	}
 	c.hub = stream.NewHub[engine.Event](opts.DeliveryBuffer, opts.DeliveryOverflow,
 		func() { c.streamDropped.Add(1) })
@@ -228,7 +234,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 		if opts.StateMachine != nil {
 			p.applier = c.newApplier(p)
 		}
-		p.eng = c.newEngine(p, nil)
+		p.eng = c.newEngine(p, nil, nil)
 		c.procs[i] = p
 	}
 	for _, p := range c.procs {
@@ -260,8 +266,9 @@ func (c *Cluster) newApplier(p *proc) *rsm.Applier {
 }
 
 // newEngine constructs the engine of process p, wiring its simulated
-// durable store (if any) and the recovered state of a restart.
-func (c *Cluster) newEngine(p *proc, recovered *engine.RecoveredState) engine.Engine {
+// durable store (if any), the recovered state of a restart, and — for a
+// joiner's first incarnation — the view it was admitted into.
+func (c *Cluster) newEngine(p *proc, recovered *engine.RecoveredState, initView *member.View) engine.Engine {
 	cfg := c.opts.Engine
 	if c.stores != nil {
 		cfg.Persist = c.stores[p.id]
@@ -271,6 +278,9 @@ func (c *Cluster) newEngine(p *proc, recovered *engine.RecoveredState) engine.En
 	}
 	cfg.Obs = p.obs
 	cfg.Recovered = recovered
+	cfg.InitialView = initView
+	id := p.id
+	cfg.OnConfig = func(v member.View, _ member.Op) { c.onViewChange(id, v) }
 	switch c.opts.Stack {
 	case types.Monolithic:
 		return monolithic.New(p.env, cfg)
@@ -307,7 +317,7 @@ func (c *Cluster) TotalCounters() trace.Snapshot {
 // Stats returns the uniform whole-cluster snapshot (same shape as the
 // real-time drivers').
 func (c *Cluster) Stats() trace.Stats {
-	st := trace.Stats{N: c.opts.N, PerProcess: make([]trace.Snapshot, c.opts.N)}
+	st := trace.Stats{N: len(c.procs), PerProcess: make([]trace.Snapshot, len(c.procs))}
 	for i, p := range c.procs {
 		st.PerProcess[i] = p.counters.Snapshot()
 		st.Total.Add(st.PerProcess[i])
@@ -385,6 +395,14 @@ func (c *Cluster) Abcast(p types.ProcessID, at time.Duration, body []byte,
 		at = c.now
 	}
 	c.push(&event{at: at, kind: evCall, proc: types.Nobody, fn: func() {
+		if p < 0 || int(p) >= len(c.procs) {
+			// A joiner that has not spawned yet behaves like a crashed
+			// process for submissions.
+			if report != nil {
+				report(types.MsgID{}, c.now, types.ErrCrashed)
+			}
+			return
+		}
 		pr := c.procs[p]
 		if pr.crashed {
 			if report != nil {
@@ -501,7 +519,7 @@ func (c *Cluster) Restart(p types.ProcessID, at time.Duration) {
 			pr.timerGen[id]++
 		}
 		pr.crashed = false
-		pr.eng = c.newEngine(pr, st)
+		pr.eng = c.newEngine(pr, st, nil)
 		c.exec(pr, c.now, 0, pr.eng.Start)
 		// Failure detection: the survivors hear the recovered process and
 		// unsuspect it; the recovered process detects peers still down.
@@ -724,7 +742,9 @@ func (e *simEnv) Counters() *trace.Counters { return &e.p.counters }
 func (e *simEnv) Deliver(d engine.Delivery) { e.deliveries = append(e.deliveries, d) }
 
 func (e *simEnv) Send(to types.ProcessID, data []byte) {
-	if to == e.p.id || to < 0 || int(to) >= e.c.opts.N {
+	// The upper bound is the spawned-process count, not the boot size:
+	// joiners admitted by config changes extend the ID space.
+	if to == e.p.id || to < 0 || int(to) >= len(e.c.procs) {
 		return
 	}
 	e.p.counters.MsgsSent.Add(1)

@@ -135,6 +135,31 @@ func (s *Store) MarkDelivered(d wire.Descriptor, k uint64) {
 	}
 }
 
+// RetireOrigin drops every undelivered entry of the given origin,
+// returning how many were dropped. It is the remove-boundary
+// counterpart of PruneBelow: once an origin has been removed from the
+// group, no descriptor can ever decide for its still-undelivered
+// announced batches, so without retirement they would sit in the store
+// until process shutdown (the flow-window bound caps them but never
+// frees them). Delivered entries are left to normal horizon retention —
+// they may still serve payload-fetch repair for lagging peers.
+func (s *Store) RetireOrigin(origin types.ProcessID) int {
+	seqs := s.byOrigin[origin]
+	retired := 0
+	for seq, e := range seqs {
+		if e.deliveredAt == 0 {
+			delete(seqs, seq)
+			s.bytes -= len(e.msg.Body)
+			s.count--
+			retired++
+		}
+	}
+	if len(seqs) == 0 {
+		delete(s.byOrigin, origin)
+	}
+	return retired
+}
+
 // PruneBelow drops every delivered entry whose delivery instance is at or
 // below cutoff. Undelivered entries are never pruned — they are bounded by
 // the origins' flow windows and still needed for delivery.

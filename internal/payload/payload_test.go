@@ -133,3 +133,46 @@ func TestStoreOverlappingDescriptorsAfterRestart(t *testing.T) {
 		t.Fatalf("Len=%d after full prune", s.Len())
 	}
 }
+
+// TestRetireOrigin is the satellite-3 leak regression: a removed
+// origin's undelivered announced batches must be dropped at the remove
+// boundary, while its delivered entries stay on normal horizon
+// retention, and other origins are untouched.
+func TestRetireOrigin(t *testing.T) {
+	s := NewStore()
+	// Origin 1: 3 delivered + 4 undelivered messages.
+	del := contiguous(1, 1, 3)
+	s.PutBatch(del)
+	d1, _ := wire.DescriptorFor(del, 9)
+	s.MarkDelivered(d1, 9)
+	s.PutBatch(contiguous(1, 4, 4))
+	// Origin 2: 2 undelivered messages — must survive.
+	s.PutBatch(contiguous(2, 1, 2))
+
+	base := s.Len()
+	if base != 9 {
+		t.Fatalf("setup Len=%d, want 9", base)
+	}
+	if got := s.RetireOrigin(1); got != 4 {
+		t.Fatalf("RetireOrigin retired %d, want 4", got)
+	}
+	if s.Len() != 5 || s.Bytes() != 5 {
+		t.Fatalf("after retire Len=%d Bytes=%d, want 5/5", s.Len(), s.Bytes())
+	}
+	// Delivered entries still resident (serve payload-fetch repair)...
+	if _, ok := s.Get(1, 2); !ok {
+		t.Fatal("delivered entry of retired origin was dropped")
+	}
+	// ...until the horizon prunes them as usual.
+	s.PruneBelow(9)
+	if s.Len() != 2 {
+		t.Fatalf("after prune Len=%d, want 2 (origin 2 only)", s.Len())
+	}
+	if _, ok := s.Get(2, 1); !ok {
+		t.Fatal("unrelated origin lost an entry")
+	}
+	// Retiring an origin with no state is a no-op.
+	if got := s.RetireOrigin(7); got != 0 {
+		t.Fatalf("RetireOrigin(empty) = %d, want 0", got)
+	}
+}

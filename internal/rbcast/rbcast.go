@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"modab/internal/engine"
+	"modab/internal/member"
 	"modab/internal/stack"
 	"modab/internal/types"
 	"modab/internal/wire"
@@ -75,8 +76,13 @@ type Layer struct {
 	subscriber stack.Tag
 	mode       Mode
 
-	self        types.ProcessID
-	n           int
+	self types.ProcessID
+	// members is the current view's sorted member set (updated by
+	// stack.EvConfig at decided boundaries). Relay-set selection works in
+	// member-rank space, not raw ID space: removing a member closes the
+	// ring hole instead of skipping it, and the relay count follows the
+	// live view size rather than the boot n.
+	members     []types.ProcessID
 	incarnation uint64
 	nextSeq     uint64
 	// seen suppresses duplicates per origin and per origin-incarnation
@@ -102,16 +108,34 @@ func (l *Layer) Tag() stack.Tag { return stack.TagRBcast }
 func (l *Layer) Init(ctx *stack.Context) {
 	l.ctx = ctx
 	l.self = ctx.Env().Self()
-	l.n = ctx.Env().N()
-	l.seen = make(map[types.ProcessID]map[uint64]*dedup, l.n)
+	if l.members == nil {
+		l.members = member.NewHistory(ctx.Env().N()).Current().Members
+	}
+	l.seen = make(map[types.ProcessID]map[uint64]*dedup, len(l.members))
+}
+
+// SeedView replaces the boot member set (joiners start from the config
+// they were admitted into). Call before the stack starts; it survives
+// Init in either order.
+func (l *Layer) SeedView(v member.View) {
+	l.members = append([]types.ProcessID(nil), v.Members...)
 }
 
 // Start implements stack.Layer.
 func (l *Layer) Start() {}
 
-// Event implements stack.Layer: only EvBroadcastReq is meaningful here.
+// Event implements stack.Layer: EvBroadcastReq broadcasts, EvConfig
+// switches the member set at a decided boundary. Broadcasts in flight
+// across the switch stay reliable: the origin's send already reached
+// every member of its view, and the decision-fetch path of the consensus
+// layer repairs any rdelivery a relay-set change may have cost.
 func (l *Layer) Event(ev stack.Event) {
-	if ev.Kind != stack.EvBroadcastReq {
+	switch ev.Kind {
+	case stack.EvConfig:
+		l.members = append([]types.ProcessID(nil), ev.Members...)
+		return
+	case stack.EvBroadcastReq:
+	default:
 		return
 	}
 	l.nextSeq++
@@ -151,21 +175,43 @@ func (l *Layer) shouldRelay(origin types.ProcessID) bool {
 	if l.mode == Classic {
 		return true
 	}
-	// Relay set: the ⌊(n-1)/2⌋ processes following the origin in ring
-	// order. Origin plus relay set is a majority.
-	relays := (l.n - 1) / 2
-	d := (int(l.self) - int(origin) + l.n) % l.n
+	// Relay set: the ⌊(n-1)/2⌋ members following the origin in member-rank
+	// ring order. Origin plus relay set is a majority of the view. A
+	// non-member never relays, and broadcasts from a non-member origin (a
+	// removed process draining) are not relayed either — the origin's own
+	// send-to-all plus the decision-fetch path cover them.
+	n := len(l.members)
+	ro, rs := -1, -1
+	for i, p := range l.members {
+		if p == origin {
+			ro = i
+		}
+		if p == l.self {
+			rs = i
+		}
+	}
+	if ro < 0 || rs < 0 {
+		return false
+	}
+	relays := (n - 1) / 2
+	d := (rs - ro + n) % n
 	return d >= 1 && d <= relays
 }
 
-// sendToOthers transmits m to every process except self. The textbook
-// algorithm (and the paper's §5.2.1 message count) re-sends to all n-1
-// other processes, including the origin.
+// sendToOthers transmits m to every current member except self. The
+// textbook algorithm (and the paper's §5.2.1 message count) re-sends to
+// all n-1 other processes, including the origin.
 func (l *Layer) sendToOthers(m message, relayedFrom types.ProcessID) {
-	if relayedFrom != types.Nobody {
-		l.ctx.Env().Counters().Retransmissions.Add(int64(l.n - 1))
+	sends := 0
+	for _, p := range l.members {
+		if p != l.self {
+			sends++
+		}
 	}
-	l.ctx.NetSendAll(m.marshal())
+	if relayedFrom != types.Nobody {
+		l.ctx.Env().Counters().Retransmissions.Add(int64(sends))
+	}
+	l.ctx.NetSendMembers(l.members, m.marshal())
 }
 
 // message is the rbcast wire unit.

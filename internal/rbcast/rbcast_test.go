@@ -78,7 +78,7 @@ func TestRelaySetSize(t *testing.T) {
 				if self == origin {
 					continue
 				}
-				l := &Layer{mode: Majority, n: n, self: types.ProcessID(self)}
+				l := &Layer{mode: Majority, members: bootMembers(n), self: types.ProcessID(self)}
 				if l.shouldRelay(types.ProcessID(origin)) {
 					relays++
 				}
@@ -282,7 +282,7 @@ func TestIncarnationNamespacing(t *testing.T) {
 
 func TestClassicEveryoneRelays(t *testing.T) {
 	for self := 1; self < 4; self++ {
-		l := &Layer{mode: Classic, n: 4, self: types.ProcessID(self)}
+		l := &Layer{mode: Classic, members: bootMembers(4), self: types.ProcessID(self)}
 		if !l.shouldRelay(0) {
 			t.Errorf("classic: p%d should relay", self+1)
 		}
@@ -292,4 +292,13 @@ func TestClassicEveryoneRelays(t *testing.T) {
 func ExampleMode_MessagesPerBroadcast() {
 	fmt.Println(Majority.MessagesPerBroadcast(3), Classic.MessagesPerBroadcast(3))
 	// Output: 4 6
+}
+
+// bootMembers is the static epoch-0 member set {0..n-1}.
+func bootMembers(n int) []types.ProcessID {
+	out := make([]types.ProcessID, n)
+	for i := range out {
+		out[i] = types.ProcessID(i)
+	}
+	return out
 }

@@ -18,6 +18,7 @@ import (
 	"modab/internal/dedup"
 	"modab/internal/engine"
 	"modab/internal/fd"
+	"modab/internal/member"
 	"modab/internal/modular"
 	"modab/internal/monolithic"
 	"modab/internal/obs"
@@ -34,6 +35,10 @@ import (
 const (
 	chanEngine byte = 0
 	chanFD     byte = 1
+	// chanJoin carries a join request: a process not yet in the group asks
+	// a member to submit its admission (member.EncodeOp body). Fire-and-
+	// forget; the joiner retries until it sees itself in the view.
+	chanJoin byte = 2
 )
 
 // Options configures a Node.
@@ -93,6 +98,27 @@ type Options struct {
 	// obs.NewHTTPHandler. Nil disables recording at one nil check per
 	// site.
 	Obs *obs.Recorder
+	// InitialView, when non-nil, marks this node a joiner: the engine is
+	// seeded with the admitting view instead of the static boot group and
+	// bootstraps through the restart-style state transfer (pulling the
+	// decided prefix — or a snapshot — before participating). The failure
+	// detector monitors the view's members.
+	InitialView *member.View
+	// Join marks the node a joiner that does not yet know its admitting
+	// view (the TCP deployment, where the admission decides while the
+	// process is already running): the engine starts from the epoch-0 boot
+	// view with restart-style empty state, announces itself, and pulls the
+	// decided prefix — replaying every config op on the way to the current
+	// view. Mutually redundant with InitialView (which skips the replay of
+	// pre-admission config history).
+	Join bool
+	// OnConfig, when non-nil, observes every applied membership view (in
+	// delivery order, on the event loop — it must not call back into the
+	// Node). The node itself already retargets its failure detector;
+	// drivers use the hook to spawn joiners, decommission removed
+	// processes, and grow transport address tables (op.Addr carries a
+	// joiner's address).
+	OnConfig func(v member.View, op member.Op)
 }
 
 // Node is one running process of the group.
@@ -213,6 +239,27 @@ func NewNode(opts Options) (*Node, error) {
 		opts.Engine.Persist = opts.Store
 		opts.Engine.Recovered = st
 	}
+	if opts.InitialView != nil {
+		opts.Engine.InitialView = opts.InitialView
+	}
+	if (opts.InitialView != nil || opts.Join) && opts.Engine.Recovered == nil {
+		// A joiner without a pre-existing log bootstraps like a restarted
+		// process with an empty state: announce, then pull the decided
+		// prefix (or a snapshot) through state transfer.
+		opts.Engine.Recovered = &engine.RecoveredState{NextDecide: 1, NextSeq: 1}
+	}
+	opts.Engine.OnConfig = func(v member.View, op member.Op) {
+		// Keep the failure detector pointed at the current members: removed
+		// processes stop being suspected (and their suspicion state is
+		// pruned), joiners start being monitored. Custom detectors without
+		// a SetMembers keep their static monitor set.
+		if sm, ok := n.det.(interface{ SetMembers([]types.ProcessID) }); ok {
+			sm.SetMembers(v.Members)
+		}
+		if fn := opts.OnConfig; fn != nil {
+			fn(v, op)
+		}
+	}
 	n.opts = opts
 	n.hub = stream.NewHub[engine.Delivery](opts.DeliveryBuffer, opts.DeliveryOverflow,
 		func() { n.env.counters.StreamDropped.Add(1) })
@@ -237,10 +284,16 @@ func NewNode(opts Options) (*Node, error) {
 
 	n.det = opts.Detector
 	if n.det == nil {
-		n.det = fd.NewHeartbeat(opts.Self, opts.N, opts.HeartbeatPeriod, opts.SuspectTimeout,
+		hb := fd.NewHeartbeat(opts.Self, opts.N, opts.HeartbeatPeriod, opts.SuspectTimeout,
 			func(to types.ProcessID) {
 				_ = n.tr.Send(to, []byte{chanFD})
 			})
+		if opts.InitialView != nil {
+			// A joiner monitors the members of its admitting view, not the
+			// (possibly long-replaced) boot group 0..N-1.
+			hb.SetMembers(opts.InitialView.Members)
+		}
+		n.det = hb
 	}
 
 	n.wg.Add(1)
@@ -300,6 +353,22 @@ func (n *Node) onFrame(from types.ProcessID, data []byte) {
 			// Malformed frames are dropped; quasi-reliable channels do not
 			// corrupt, so this only fires on version mismatch.
 			_ = n.eng.HandleMessage(from, payload)
+		})
+	case chanJoin:
+		// A non-member asks us to sponsor its admission. Submit the OpAdd
+		// on its behalf; duplicates (retries racing the in-flight decide)
+		// fall out of the epoch CAS, and rejections are silent — the joiner
+		// keeps retrying until it sees itself in the view.
+		op, ok := member.DecodeOp(data[1:])
+		if !ok || op.Kind != member.OpAdd {
+			return
+		}
+		n.post(func() {
+			cs, ok := n.eng.(engine.ConfigSubmitter)
+			if !ok || cs.CurrentView().Contains(op.Target) {
+				return
+			}
+			_, _ = cs.SubmitConfig(op)
 		})
 	}
 }
@@ -431,6 +500,81 @@ func (n *Node) Applier() *rsm.Applier { return n.applier }
 // Obs returns the node's observability recorder (Options.Obs; nil when
 // observability is disabled).
 func (n *Node) Obs() *obs.Recorder { return n.opts.Obs }
+
+// SubmitConfig submits a membership change (add or remove) for total
+// ordering. The op rides the ordinary abcast path: it decides in some
+// consensus instance and activates a pipeline window later, at which
+// point every process switches views at the same instance (OnConfig
+// fires). Like TryAbcast it surfaces types.ErrFlowControl when the
+// window is full — callers retry.
+func (n *Node) SubmitConfig(op member.Op) (types.MsgID, error) {
+	cs, ok := n.eng.(engine.ConfigSubmitter)
+	if !ok {
+		return types.MsgID{}, fmt.Errorf("%w: engine does not support membership changes", types.ErrBadConfig)
+	}
+	type result struct {
+		id  types.MsgID
+		err error
+	}
+	ch := make(chan result, 1)
+	fn := func() {
+		id, err := cs.SubmitConfig(op)
+		ch <- result{id, err}
+	}
+	select {
+	case n.loop <- fn:
+	case <-n.quit:
+		return types.MsgID{}, types.ErrStopped
+	}
+	select {
+	case r := <-ch:
+		return r.id, r.err
+	case <-n.stopped:
+		return types.MsgID{}, types.ErrStopped
+	}
+}
+
+// RequestJoin asks an existing member to sponsor this node's admission:
+// an OpAdd naming this process, with addr the address peers should dial
+// (grown into their transport tables at activation). Fire-and-forget —
+// callers retry on an interval until CurrentView contains this node.
+func (n *Node) RequestJoin(sponsor types.ProcessID, addr string) error {
+	op := member.Op{Kind: member.OpAdd, Target: n.opts.Self, Addr: addr}
+	return n.tr.Send(sponsor, append([]byte{chanJoin}, member.EncodeOp(op)...))
+}
+
+// CurrentView returns the newest locally applied membership view.
+func (n *Node) CurrentView() member.View {
+	cs, ok := n.eng.(engine.ConfigSubmitter)
+	if !ok {
+		return member.View{}
+	}
+	ch := make(chan member.View, 1)
+	n.post(func() { ch <- cs.CurrentView() })
+	select {
+	case v := <-ch:
+		return v
+	case <-n.stopped:
+		return member.View{}
+	}
+}
+
+// Views returns this node's locally applied view history, oldest first
+// (a joiner's history starts at its admitting view).
+func (n *Node) Views() []member.View {
+	vh, ok := n.eng.(interface{ Views() []member.View })
+	if !ok {
+		return nil
+	}
+	ch := make(chan []member.View, 1)
+	n.post(func() { ch <- vh.Views() })
+	select {
+	case v := <-ch:
+		return v
+	case <-n.stopped:
+		return nil
+	}
+}
 
 // Close stops the node: detector, transport, event loop.
 func (n *Node) Close() error {

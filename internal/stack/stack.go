@@ -67,6 +67,13 @@ const (
 	EvProposeReq
 	// EvDecide notifies the subscribing layer that Instance decided Batch.
 	EvDecide
+	// EvConfig notifies the subscribing layer of a decided membership
+	// change: Members is the new view's sorted member set, Instance its
+	// activation instance (the first instance it governs). The abcast
+	// layer — which processes decisions in total order — emits it to the
+	// consensus and rbcast layers, so every layer switches quorum size
+	// and relay topology at exactly the same boundary.
+	EvConfig
 )
 
 // String implements fmt.Stringer.
@@ -80,6 +87,8 @@ func (k EventKind) String() string {
 		return "propose-req"
 	case EvDecide:
 		return "decide"
+	case EvConfig:
+		return "config"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}
@@ -93,6 +102,8 @@ type Event struct {
 	Instance uint64
 	Data     []byte
 	Batch    wire.Batch
+	// Members carries the new view's sorted member set (EvConfig only).
+	Members []types.ProcessID
 }
 
 // Layer is a microprotocol participating in a stack.
@@ -229,6 +240,22 @@ func (c *Context) NetSendAll(payload []byte) {
 			continue
 		}
 		c.stack.env.Send(types.ProcessID(p), frame)
+	}
+}
+
+// NetSendMembers transmits a layer message to every process in members
+// except the local one. Layers that track a dynamic view use it instead
+// of NetSendAll, whose 0..N-1 fan-out assumes static membership.
+func (c *Context) NetSendMembers(members []types.ProcessID, payload []byte) {
+	self := c.stack.env.Self()
+	frame := make([]byte, 0, 1+len(payload))
+	frame = append(frame, byte(c.layer.Tag()))
+	frame = append(frame, payload...)
+	for _, p := range members {
+		if p == self {
+			continue
+		}
+		c.stack.env.Send(p, frame)
 	}
 }
 

@@ -139,6 +139,13 @@ type Counters struct {
 	// for a non-resident payload, from the blocking decide to residency,
 	// in driver-clock nanoseconds.
 	PayloadFetchNanos atomic.Int64
+	// ConfigChanges counts membership changes applied locally: a decided
+	// add/remove op that passed its epoch check and produced a new view.
+	ConfigChanges atomic.Int64
+	// PayloadsRetired counts undelivered payload-store entries dropped at
+	// a membership remove boundary: announced batches of a removed origin
+	// that no surviving proposal will ever order (digest ordering only).
+	PayloadsRetired atomic.Int64
 }
 
 // Snapshot is an immutable copy of the counters at one instant.
@@ -179,6 +186,8 @@ type Snapshot struct {
 	DisseminatedBytes     int64
 	PayloadFetches        int64
 	PayloadFetchNanos     int64
+	ConfigChanges         int64
+	PayloadsRetired       int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting (each field is
@@ -222,6 +231,8 @@ func (c *Counters) Snapshot() Snapshot {
 		DisseminatedBytes:     c.DisseminatedBytes.Load(),
 		PayloadFetches:        c.PayloadFetches.Load(),
 		PayloadFetchNanos:     c.PayloadFetchNanos.Load(),
+		ConfigChanges:         c.ConfigChanges.Load(),
+		PayloadsRetired:       c.PayloadsRetired.Load(),
 	}
 }
 
@@ -267,6 +278,8 @@ func (s *Snapshot) Add(o Snapshot) {
 	s.DisseminatedBytes += o.DisseminatedBytes
 	s.PayloadFetches += o.PayloadFetches
 	s.PayloadFetchNanos += o.PayloadFetchNanos
+	s.ConfigChanges += o.ConfigChanges
+	s.PayloadsRetired += o.PayloadsRetired
 }
 
 // Stats is a uniform whole-driver snapshot: one Snapshot per process

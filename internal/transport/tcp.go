@@ -141,7 +141,11 @@ func (t *TCP) readLoop(c net.Conn) {
 		return
 	}
 	from := types.ProcessID(int32(binary.BigEndian.Uint32(idBuf[:])))
-	if int(from) < 0 || int(from) >= len(t.addrs) {
+	// The address table gates outbound dials only: an inbound peer beyond
+	// the table is a joiner whose admission hasn't activated here yet (its
+	// address arrives with the decided OpAdd). Reject only nonsense IDs —
+	// the engine's membership guard decides whether to listen to them.
+	if int(from) < 0 || from == t.self {
 		return
 	}
 	var lenBuf [4]byte
@@ -174,10 +178,13 @@ func (t *TCP) readLoop(c net.Conn) {
 // unreachable peer drops the message (crash-stop assumption) and backs
 // off before re-dialing.
 func (t *TCP) Send(to types.ProcessID, data []byte) error {
+	t.mu.Lock()
+	// The bounds check reads the address table under the lock: SetAddrs
+	// grows it concurrently when a decided join carries a new address.
 	if int(to) < 0 || int(to) >= len(t.addrs) {
+		t.mu.Unlock()
 		return ErrUnknownPeer
 	}
-	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return ErrClosed

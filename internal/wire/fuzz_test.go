@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"modab/internal/member"
 	"modab/internal/types"
 )
 
@@ -55,6 +56,20 @@ func FuzzUnmarshalFrame(f *testing.F) {
 	var wdp Writer
 	AppendBatchFrame(&wdp, Batch{dd.AppMsg()})
 	f.Add(append([]byte(nil), wdp.Bytes()...))
+	// Membership frames: config ops are magic-prefixed bodies riding
+	// ordinary msg/batch frames — the decoder must survive their shapes
+	// and torn variants (op decoding itself happens above the wire layer).
+	addOp := member.EncodeOp(member.Op{Kind: member.OpAdd, Target: 3, BaseEpoch: 2, Addr: "10.0.0.4:7000"})
+	var wm Writer
+	AppendMsgFrame(&wm, AppMsg{ID: types.MsgID{Sender: 0, Seq: 12}, Body: addOp})
+	f.Add(append([]byte(nil), wm.Bytes()...))
+	rmOp := member.EncodeOp(member.Op{Kind: member.OpRemove, Target: 1, BaseEpoch: 7})
+	var wmb Writer
+	AppendBatchFrame(&wmb, Batch{
+		{ID: types.MsgID{Sender: 2, Seq: 3}, Body: rmOp},
+		{ID: types.MsgID{Sender: 2, Seq: 4}, Body: addOp[:len(addOp)-3]}, // torn op body
+	})
+	f.Add(append([]byte(nil), wmb.Bytes()...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		b, err := UnmarshalFrame(data)

@@ -85,6 +85,7 @@ import (
 	"modab/internal/core"
 	"modab/internal/dissem"
 	"modab/internal/engine"
+	"modab/internal/member"
 	"modab/internal/netsim"
 	"modab/internal/obs"
 	"modab/internal/rsm"
@@ -163,6 +164,10 @@ type (
 	ObsHistSnapshot = obs.HistSnapshot
 	// ObsStageEvent is one recorded lifecycle point of a sampled message.
 	ObsStageEvent = obs.StageEvent
+	// View is one membership configuration: its epoch, the consensus
+	// instance it activates at, and the member set (see Cluster.Add,
+	// Cluster.Remove, Cluster.View).
+	View = member.View
 )
 
 // Stack values.
@@ -228,6 +233,9 @@ var (
 	// ErrStalled is returned by a simulated blocking Abcast when virtual
 	// time cannot advance while the window is full.
 	ErrStalled = types.ErrStalled
+	// ErrBadConfig is returned by options and operations whose
+	// requirements are not met (for example Add without WithDurability).
+	ErrBadConfig = types.ErrBadConfig
 )
 
 // KV result status codes (see DecodeKVResult).
@@ -294,6 +302,8 @@ type settings struct {
 	sm           func() rsm.StateMachine
 	snapEvery    uint64
 	obsCfg       *obs.Config
+	join         bool
+	bootN        int
 }
 
 // WithConfig overrides the protocol tunables (flow-control window, batch
@@ -490,6 +500,26 @@ func WithTransportTCP(addrs []string, self ProcessID) Option {
 	}
 }
 
+// WithJoin marks the local TCP process as a joiner: it is not part of
+// the boot group, starts with an empty restart-style state, and must be
+// admitted through RequestJoin before it participates. The address
+// table passed to WithTransportTCP must include the joiner's own listen
+// address in its slot; the boot group is the table prefix. bootN is the
+// original boot-group size — pass 0 to infer it as self (correct for
+// the first joiner, whose slot extends the boot table by one); later
+// joiners, whose tables already include earlier joiners, must pass it
+// explicitly. TCP driver only.
+func WithJoin(bootN int) Option {
+	return func(s *settings) error {
+		if bootN < 0 {
+			return fmt.Errorf("%w: negative boot-group size", types.ErrBadConfig)
+		}
+		s.join = true
+		s.bootN = bootN
+		return nil
+	}
+}
+
 // WithSimulation runs the cluster on the deterministic discrete-event
 // simulator with the given seed (same seed, same trace). Submission then
 // advances virtual time: Abcast executes at the current virtual instant,
@@ -609,6 +639,9 @@ func New(n int, stack Stack, opts ...Option) (*Cluster, error) {
 	if s.tcp && len(s.tcpAddrs) != n {
 		return nil, fmt.Errorf("%w: n=%d but WithTransportTCP has %d addresses", types.ErrBadConfig, n, len(s.tcpAddrs))
 	}
+	if s.join && !s.tcp {
+		return nil, fmt.Errorf("%w: WithJoin requires WithTransportTCP", types.ErrBadConfig)
+	}
 	if s.dur != nil && !s.sim && s.dur.Dir == "" {
 		return nil, fmt.Errorf("%w: WithDurability requires a directory on the real-time drivers", types.ErrBadConfig)
 	}
@@ -677,6 +710,8 @@ func New(n int, stack Stack, opts ...Option) (*Cluster, error) {
 			DeliveryOverflow: s.policy,
 			Durability:       s.dur,
 			SnapshotEvery:    s.snapEvery,
+			Join:             s.join,
+			BootN:            s.bootN,
 		}
 		if s.obsCfg != nil {
 			// The recorder lives on tcpOpts, not the node, so a restarted
@@ -740,7 +775,7 @@ func (c *Cluster) bridge(node *runtime.Node) {
 }
 
 // N returns the group size.
-func (c *Cluster) N() int { return c.n }
+func (c *Cluster) N() int { return c.size() }
 
 // tcpNode returns the TCP driver's current local node (Restart swaps it).
 func (c *Cluster) tcpNode() *runtime.Node {
@@ -793,8 +828,8 @@ func (c *Cluster) TryAbcast(p int, body []byte) (MsgID, error) {
 // steps the simulation forward until the window frees, the context ends,
 // or the event queue runs dry (ErrStalled).
 func (c *Cluster) simAbcast(ctx context.Context, p int, body []byte, try bool) (MsgID, error) {
-	if p < 0 || p >= c.n {
-		return MsgID{}, fmt.Errorf("%w: p%d of %d", types.ErrBadConfig, p+1, c.n)
+	if n := c.size(); p < 0 || p >= n {
+		return MsgID{}, fmt.Errorf("%w: p%d of %d", types.ErrBadConfig, p+1, n)
 	}
 	for {
 		var (
@@ -868,7 +903,8 @@ func (c *Cluster) Stats() Stats {
 	case c.sim != nil:
 		return c.sim.Stats()
 	case c.hub != nil:
-		st := Stats{N: c.n, PerProcess: make([]Snapshot, c.n)}
+		n := c.size()
+		st := Stats{N: n, PerProcess: make([]Snapshot, n)}
 		st.PerProcess[c.self] = c.Counters(int(c.self))
 		st.Total = st.PerProcess[c.self]
 		return st
@@ -915,8 +951,8 @@ func (c *Cluster) Restart(p int) error {
 	if !c.durable {
 		return fmt.Errorf("%w: Restart requires WithDurability", types.ErrBadConfig)
 	}
-	if p < 0 || p >= c.n {
-		return fmt.Errorf("%w: p%d of %d", types.ErrBadConfig, p+1, c.n)
+	if n := c.size(); p < 0 || p >= n {
+		return fmt.Errorf("%w: p%d of %d", types.ErrBadConfig, p+1, n)
 	}
 	switch {
 	case c.sim != nil:
@@ -950,6 +986,280 @@ func (c *Cluster) Restart(p int) error {
 	}
 }
 
+// Add admits a new process to the group: an AddProcess op rides the
+// total order like any message, decides in a consensus instance, and
+// activates at a decided boundary — every member switches quorum size,
+// failure-detector monitor set, ring successor order and retention
+// accounting at exactly the same instance. Add returns the new
+// process's ID (dense: the next unused one).
+//
+// On the in-process group and simulated drivers the joiner is spawned
+// by the cluster itself (it catches up through snapshot install plus
+// log-suffix state transfer — joins require WithDurability) and addr
+// must be omitted. On the TCP driver the local node sponsors the
+// admission of a process at addr — the one address argument — and every
+// member learns the address from the decided op itself; the operator
+// starts that process with abnode's -join flag (it may also self-request
+// admission, in which case Add is not needed).
+func (c *Cluster) Add(ctx context.Context, addr ...string) (ProcessID, error) {
+	if !c.durable {
+		// Members without write-ahead logs cannot serve the decided
+		// prefix, so a joiner would wait on state transfer forever.
+		return 0, fmt.Errorf("%w: Add requires WithDurability", types.ErrBadConfig)
+	}
+	switch {
+	case c.sim != nil:
+		if len(addr) > 0 {
+			return 0, fmt.Errorf("%w: addr is only for the TCP driver", types.ErrBadConfig)
+		}
+		return c.simAdd(ctx)
+	case c.hub != nil:
+		if len(addr) != 1 || addr[0] == "" {
+			return 0, fmt.Errorf("%w: the TCP driver needs the joiner's listen address", types.ErrBadConfig)
+		}
+		return c.tcpAdd(ctx, addr[0])
+	default:
+		if len(addr) > 0 {
+			return 0, fmt.Errorf("%w: addr is only for the TCP driver", types.ErrBadConfig)
+		}
+		id, err := c.group.Add(ctx)
+		if err != nil {
+			return 0, err
+		}
+		c.grow(int(id) + 1)
+		return id, nil
+	}
+}
+
+// RequestJoin asks sponsor — a current member — to submit this
+// process's admission, and blocks until the decided view admits us.
+// The request frame is fire-and-forget (it may race the decide or be
+// dropped by a connecting transport), so it is re-sent periodically
+// until the view changes. TCP driver with WithJoin only.
+func (c *Cluster) RequestJoin(ctx context.Context, sponsor ProcessID) error {
+	node := c.tcpNode()
+	if node == nil {
+		return ErrStopped
+	}
+	if c.hub == nil || !c.tcpOpts.Join {
+		return fmt.Errorf("%w: RequestJoin needs the TCP driver with WithJoin", types.ErrBadConfig)
+	}
+	addr := c.tcpOpts.Addrs[c.self]
+	for !node.CurrentView().Contains(c.self) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		_ = node.RequestJoin(sponsor, addr)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// Remove retires process p from the group: a RemoveProcess op rides the
+// total order, and once the view excluding p has activated everywhere
+// the process is decommissioned (in-process and simulated drivers crash
+// it; on the TCP driver the operator stops it). Removing an
+// already-crashed process is the permanent-node-loss recovery: the
+// group stops waiting for it and quorums shrink at the boundary.
+func (c *Cluster) Remove(ctx context.Context, p int) error {
+	switch {
+	case c.sim != nil:
+		return c.simRemove(ctx, p)
+	case c.hub != nil:
+		node := c.tcpNode()
+		if node == nil {
+			return ErrStopped
+		}
+		target := ProcessID(p)
+		if err := submitConfigRetry(ctx, node, member.Op{Kind: member.OpRemove, Target: target}); err != nil {
+			return err
+		}
+		return waitView(ctx, node, func(v View) bool { return !v.Contains(target) })
+	default:
+		return c.group.Remove(ctx, p)
+	}
+}
+
+// View returns process p's newest locally applied membership view (the
+// zero view for crashed processes, remote TCP peers, and out-of-range
+// indexes).
+func (c *Cluster) View(p int) View {
+	switch {
+	case c.sim != nil:
+		if !c.sim.Live(ProcessID(p)) {
+			return View{}
+		}
+		return c.sim.View(ProcessID(p))
+	case c.hub != nil:
+		if p != int(c.self) {
+			return View{}
+		}
+		node := c.tcpNode()
+		if node == nil {
+			return View{}
+		}
+		return node.CurrentView()
+	default:
+		return c.group.View(p)
+	}
+}
+
+// grow raises the facade's process-slot count after an admission.
+func (c *Cluster) grow(n int) {
+	c.mu.Lock()
+	if n > c.n {
+		c.n = n
+	}
+	c.mu.Unlock()
+}
+
+// size is the current process-slot count (boot group plus joiners).
+func (c *Cluster) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// simSponsor finds a live simulated process to submit a config op
+// through, skipping avoid.
+func (c *Cluster) simSponsor(avoid int) (ProcessID, bool) {
+	for p := 0; p < c.sim.Procs(); p++ {
+		if p != avoid && c.sim.Live(ProcessID(p)) {
+			return ProcessID(p), true
+		}
+	}
+	return 0, false
+}
+
+// simAdd runs an admission on the simulated driver: submit at the
+// current virtual instant, then step virtual time until the joiner is
+// spawned AND every live member has applied the admitting view. The
+// second condition matters: a config op submitted through a process
+// that is still on the old epoch gets stamped with a stale BaseEpoch
+// and is deterministically rejected at decide time, so returning at
+// first-spawn would make an immediately following Add/Remove no-op.
+func (c *Cluster) simAdd(ctx context.Context) (ProcessID, error) {
+	sponsor, ok := c.simSponsor(-1)
+	if !ok {
+		return 0, ErrCrashed
+	}
+	id := ProcessID(c.sim.Procs())
+	c.sim.Join(sponsor, id, c.sim.Now())
+	c.sim.Run(c.sim.Now())
+	admitted := func() bool {
+		if c.sim.Procs() <= int(id) {
+			return false
+		}
+		for q := 0; q < c.sim.Procs(); q++ {
+			if !c.sim.Live(ProcessID(q)) {
+				continue
+			}
+			if !c.sim.View(ProcessID(q)).Contains(id) {
+				return false
+			}
+		}
+		return true
+	}
+	for !admitted() {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		if !c.sim.Step() {
+			return 0, fmt.Errorf("%w: at virtual time %v", ErrStalled, c.sim.Now())
+		}
+	}
+	c.grow(int(id) + 1)
+	return id, nil
+}
+
+// simRemove runs a removal on the simulated driver: submit, step until
+// every live survivor has applied the view excluding the target, then
+// crash the target (decommission).
+func (c *Cluster) simRemove(ctx context.Context, p int) error {
+	target := ProcessID(p)
+	sponsor, ok := c.simSponsor(p)
+	if !ok {
+		return ErrCrashed
+	}
+	c.sim.Remove(sponsor, target, c.sim.Now())
+	c.sim.Run(c.sim.Now())
+	applied := func() bool {
+		for q := 0; q < c.sim.Procs(); q++ {
+			if q == p || !c.sim.Live(ProcessID(q)) {
+				continue
+			}
+			if c.sim.View(ProcessID(q)).Contains(target) {
+				return false
+			}
+		}
+		return true
+	}
+	for !applied() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !c.sim.Step() {
+			return fmt.Errorf("%w: at virtual time %v", ErrStalled, c.sim.Now())
+		}
+	}
+	if c.sim.Live(target) {
+		c.sim.Crash(target, c.sim.Now())
+		c.sim.Run(c.sim.Now())
+	}
+	return nil
+}
+
+// tcpAdd sponsors the admission of a remote joiner at addr through the
+// local node and waits for the view to admit it.
+func (c *Cluster) tcpAdd(ctx context.Context, addr string) (ProcessID, error) {
+	node := c.tcpNode()
+	if node == nil {
+		return 0, ErrStopped
+	}
+	target := node.CurrentView().MaxID() + 1
+	op := member.Op{Kind: member.OpAdd, Target: target, Addr: addr}
+	if err := submitConfigRetry(ctx, node, op); err != nil {
+		return 0, err
+	}
+	if err := waitView(ctx, node, func(v View) bool { return v.Contains(target) }); err != nil {
+		return 0, err
+	}
+	c.grow(int(target) + 1)
+	return target, nil
+}
+
+// submitConfigRetry submits one config op, retrying flow-control
+// rejections (the op is an ordinary abcast competing for window slots).
+func submitConfigRetry(ctx context.Context, node *runtime.Node, op member.Op) error {
+	for {
+		_, err := node.SubmitConfig(op)
+		if !errors.Is(err, ErrFlowControl) {
+			return err
+		}
+		select {
+		case <-time.After(2 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// waitView polls the local node until its applied view satisfies ok.
+func waitView(ctx context.Context, node *runtime.Node, ok func(View) bool) error {
+	for !ok(node.CurrentView()) {
+		select {
+		case <-time.After(2 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
 // Node returns the runtime node driving process p, or nil when p is not
 // driven by this cluster in real time (simulated driver, remote TCP
 // peers, crashed processes). It is the escape hatch to the lower-level
@@ -973,7 +1283,7 @@ func (c *Cluster) Node(p int) *Node {
 // returns nil without WithStateMachine, for remote TCP peers, and for
 // crashed real-time processes.
 func (c *Cluster) Applier(p int) *Applier {
-	if p < 0 || p >= c.n {
+	if p < 0 || p >= c.size() {
 		return nil
 	}
 	switch {
@@ -999,7 +1309,7 @@ func (c *Cluster) Applier(p int) *Applier {
 // indexes; the simulated driver always records. Recorders survive
 // Crash/Restart, accumulating across incarnations.
 func (c *Cluster) Obs(p int) *ObsRecorder {
-	if p < 0 || p >= c.n {
+	if p < 0 || p >= c.size() {
 		return nil
 	}
 	switch {
